@@ -1,0 +1,77 @@
+//===- bench/ablation_gsa.cpp - Gated SSA vs complete propagation ---------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §4.2 claims: "the results that we obtained in this study
+/// with complete propagation can be achieved by basing the jump-function
+/// generator on a gated single-assignment form ... would never consider
+/// the dead assignments that we found in the complete propagations."
+///
+/// This ablation runs the polynomial analyzer three ways — plain, with
+/// iterated dead-code elimination (complete propagation), and with gated
+/// jump functions — and verifies that gated SSA recovers everything
+/// complete propagation recovers, in a single pass. (Gated counts can
+/// exceed complete counts by the guard-condition uses that DCE physically
+/// deletes but GSA merely bypasses.)
+///
+//===----------------------------------------------------------------------===//
+
+#include "ipcp/Pipeline.h"
+#include "support/TablePrinter.h"
+#include "workloads/Suite.h"
+
+#include <iostream>
+
+using namespace ipcp;
+
+namespace {
+struct RunOutcome {
+  unsigned Count = 0;
+  unsigned DceRounds = 0;
+};
+} // namespace
+
+static RunOutcome run(const std::string &Source, bool Complete, bool Gsa) {
+  PipelineOptions Opts;
+  Opts.CompletePropagation = Complete;
+  Opts.UseGatedSsa = Gsa;
+  PipelineResult R = runPipeline(Source, Opts);
+  if (!R.Ok) {
+    std::cerr << "pipeline failed: " << R.Error;
+    exit(1);
+  }
+  return {R.SubstitutedConstants, R.DceRounds};
+}
+
+int main() {
+  std::cout << "Ablation: gated-SSA jump functions vs complete "
+               "propagation (paper §4.2)\n\n";
+
+  TablePrinter Table;
+  Table.addHeader({"Program", "Poly", "Complete", "DCE rounds",
+                   "Gated SSA", "GSA rounds"});
+  bool ClaimHolds = true;
+  for (const WorkloadProgram &P : benchmarkSuite()) {
+    RunOutcome Plain = run(P.Source, false, false);
+    RunOutcome Complete = run(P.Source, true, false);
+    RunOutcome Gated = run(P.Source, false, true);
+    Table.addRow({P.Name, std::to_string(Plain.Count),
+                  std::to_string(Complete.Count),
+                  std::to_string(Complete.DceRounds),
+                  std::to_string(Gated.Count), "0"});
+    // The §4.2 claim: one gated pass subsumes iterated DCE.
+    if (Gated.Count < Complete.Count) {
+      std::cerr << "GSA claim violated on " << P.Name << "\n";
+      ClaimHolds = false;
+    }
+  }
+  Table.print(std::cout);
+
+  std::cout << "\nfinding: gated jump functions reach complete-"
+               "propagation precision without iterating: "
+            << (ClaimHolds ? "yes" : "NO") << "\n";
+  return ClaimHolds ? 0 : 1;
+}

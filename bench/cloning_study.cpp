@@ -1,0 +1,151 @@
+//===- bench/cloning_study.cpp - Constant-directed cloning study ----------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Metzger & Stroud (paper reference [13]) report that "goal-directed
+/// cloning of procedures based on interprocedural constants can
+/// substantially increase the number of interprocedural constants
+/// available". This study runs the cloning transform over programs whose
+/// shared helpers receive conflicting constants — the meet destroys the
+/// information until the helpers are duplicated — and over the main
+/// suite (whose programs were generated without cloning opportunities,
+/// a negative control the transform must recognize).
+///
+//===----------------------------------------------------------------------===//
+
+#include "ipcp/Cloning.h"
+#include "ipcp/Pipeline.h"
+#include "support/TablePrinter.h"
+#include "workloads/Suite.h"
+
+#include <iostream>
+
+using namespace ipcp;
+
+namespace {
+
+struct Scenario {
+  const char *Name;
+  std::string Source;
+};
+
+/// A BLAS-style library where one helper serves several shapes.
+std::string sharedKernelScenario() {
+  return R"(program sharedkernel
+proc main()
+  call sweep(64, 1)
+  call sweep(128, 2)
+  call sweep(64, 1)
+end
+proc sweep(n, stride)
+  integer i
+  do i = 1, n, stride
+    call body(n, stride, i)
+  end do
+end
+proc body(n, stride, idx)
+  print n + stride * idx
+  print n / stride
+end
+)";
+}
+
+/// Cascading constants: cloning stage1 exposes clones of stage2.
+std::string cascadeScenario() {
+  return R"(program cascade
+proc main()
+  call stage1(10)
+  call stage1(20)
+end
+proc stage1(k)
+  call stage2(k)
+  call stage2(k)
+end
+proc stage2(m)
+  print m
+  print m * m
+end
+)";
+}
+
+/// A flag parameter selecting behaviour — the classic cloning win.
+std::string flagScenario() {
+  return R"(program flags
+proc main()
+  call kernel(1)
+  call kernel(0)
+end
+proc kernel(transpose)
+  integer i
+  if (transpose == 1) then
+    print 100
+  end if
+  do i = 1, 8
+    print transpose * i
+  end do
+end
+)";
+}
+
+unsigned countConstants(const std::string &Source) {
+  PipelineResult R = runPipeline(Source, PipelineOptions());
+  if (!R.Ok) {
+    std::cerr << "pipeline failed: " << R.Error;
+    exit(1);
+  }
+  return R.SubstitutedConstants;
+}
+
+} // namespace
+
+int main() {
+  std::cout << "Cloning study: constants recovered by duplicating "
+               "procedures per constant signature\n(Metzger & Stroud, "
+               "paper reference [13])\n\n";
+
+  std::vector<Scenario> Scenarios = {
+      {"sharedkernel", sharedKernelScenario()},
+      {"cascade", cascadeScenario()},
+      {"flags", flagScenario()},
+  };
+
+  TablePrinter Table;
+  Table.addHeader({"Scenario", "Before", "After", "Clones", "Rounds"});
+  bool CloningHelps = true;
+  for (const Scenario &S : Scenarios) {
+    unsigned Before = countConstants(S.Source);
+    CloneResult Cloned = cloneForConstants(S.Source);
+    if (!Cloned.Ok) {
+      std::cerr << Cloned.Error;
+      return 1;
+    }
+    unsigned After = countConstants(Cloned.Source);
+    Table.addRow({S.Name, std::to_string(Before), std::to_string(After),
+                  std::to_string(Cloned.ClonesCreated),
+                  std::to_string(Cloned.Rounds)});
+    if (After <= Before || Cloned.ClonesCreated == 0)
+      CloningHelps = false;
+  }
+  Table.print(std::cout);
+
+  // Negative control: the generated suite has no cloning opportunities
+  // (its conflicting constants flow to distinct procedures by design).
+  unsigned SuiteClones = 0;
+  for (const WorkloadProgram &P : benchmarkSuite()) {
+    CloneResult Cloned = cloneForConstants(P.Source);
+    if (!Cloned.Ok) {
+      std::cerr << Cloned.Error;
+      return 1;
+    }
+    SuiteClones += Cloned.ClonesCreated;
+  }
+  std::cout << "\nsuite negative control: " << SuiteClones
+            << " clones across the 12 generated programs (expected 0)\n";
+  std::cout << "finding: cloning 'substantially increases' the constants "
+               "on conflict-heavy scenarios: "
+            << (CloningHelps ? "yes" : "NO") << "\n";
+  return CloningHelps && SuiteClones == 0 ? 0 : 1;
+}

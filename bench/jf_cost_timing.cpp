@@ -1,0 +1,161 @@
+//===- bench/jf_cost_timing.cpp - Jump function cost study (§3.1.5) -------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §3.1.5 discusses the *costs* of the four forward jump
+/// functions: literal is a textual scan; the other three pay O(N) for
+/// SSA-based value numbering; polynomial's propagation cost carries an
+/// extra |support| factor that "approaches 1" in practice. This bench
+/// measures:
+///   * construction time per kind (suite programs and synthetic scaling),
+///   * interprocedural propagation time per kind,
+///   * the average polynomial support size (reported as a counter).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+#include "analysis/ModRef.h"
+#include "ipcp/Pipeline.h"
+#include "ir/CfgBuilder.h"
+#include "lang/Parser.h"
+#include "workloads/Suite.h"
+#include "workloads/Synthetic.h"
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+using namespace ipcp;
+
+namespace {
+
+/// Everything that precedes jump-function generation, built once.
+struct Prepared {
+  std::unique_ptr<AstContext> Ctx;
+  SymbolTable Symbols;
+  Module M;
+  std::unique_ptr<CallGraph> CG;
+  std::unique_ptr<ModRefInfo> MRI;
+};
+
+Prepared prepare(const std::string &Source) {
+  Prepared P;
+  DiagnosticEngine Diags;
+  P.Ctx = parseProgram(Source, Diags);
+  if (Diags.hasErrors()) {
+    Diags.print(std::cerr);
+    exit(1);
+  }
+  P.Symbols = Sema::run(*P.Ctx, Diags);
+  if (Diags.hasErrors()) {
+    Diags.print(std::cerr);
+    exit(1);
+  }
+  P.M = buildModule(P.Ctx->program(), P.Symbols);
+  P.CG = std::make_unique<CallGraph>(P.M, *P.Ctx->program().entryProc());
+  P.MRI = std::make_unique<ModRefInfo>(P.M, P.Symbols, *P.CG);
+  return P;
+}
+
+const std::string &suiteSource(const std::string &Name) {
+  for (const WorkloadProgram &P : benchmarkSuite())
+    if (P.Name == Name)
+      return P.Source;
+  std::cerr << "no suite program " << Name << "\n";
+  exit(1);
+}
+
+JumpFunctionKind kindOf(int64_t Arg) {
+  switch (Arg) {
+  case 0:
+    return JumpFunctionKind::Literal;
+  case 1:
+    return JumpFunctionKind::IntraConst;
+  case 2:
+    return JumpFunctionKind::PassThrough;
+  default:
+    return JumpFunctionKind::Polynomial;
+  }
+}
+
+/// Construction cost per kind on the largest suite program (spec77).
+void BM_Construction_spec77(benchmark::State &State) {
+  static Prepared P = prepare(suiteSource("spec77"));
+  JumpFunctionOptions Opts;
+  Opts.Kind = kindOf(State.range(0));
+  size_t Forward = 0;
+  double AvgSupport = 0;
+  for (auto _ : State) {
+    ProgramJumpFunctions Jfs =
+        buildJumpFunctions(P.M, P.Symbols, *P.CG, P.MRI.get(), Opts);
+    Forward = Jfs.Stats.NumForward;
+    AvgSupport = Jfs.Stats.avgPolySupport();
+    benchmark::DoNotOptimize(Jfs);
+  }
+  State.SetLabel(jumpFunctionKindName(Opts.Kind));
+  State.counters["forward_jfs"] = double(Forward);
+  State.counters["avg_poly_support"] = AvgSupport;
+}
+
+/// Propagation cost per kind on spec77 (jump functions prebuilt).
+void BM_Propagation_spec77(benchmark::State &State) {
+  static Prepared P = prepare(suiteSource("spec77"));
+  JumpFunctionOptions Opts;
+  Opts.Kind = kindOf(State.range(0));
+  ProgramJumpFunctions Jfs =
+      buildJumpFunctions(P.M, P.Symbols, *P.CG, P.MRI.get(), Opts);
+  unsigned Evals = 0;
+  for (auto _ : State) {
+    SolveResult R = solveConstants(P.Symbols, *P.CG, Jfs);
+    Evals = R.JfEvaluations;
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetLabel(jumpFunctionKindName(Opts.Kind));
+  State.counters["jf_evaluations"] = double(Evals);
+}
+
+/// Whole-analyzer cost per kind on spec77 (parse to counts).
+void BM_EndToEnd_spec77(benchmark::State &State) {
+  const std::string &Source = suiteSource("spec77");
+  PipelineOptions Opts;
+  Opts.Kind = kindOf(State.range(0));
+  for (auto _ : State) {
+    PipelineResult R = runPipeline(Source, Opts);
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetLabel(jumpFunctionKindName(Opts.Kind));
+}
+
+/// Scaling: polynomial construction + propagation on synthetic programs
+/// of growing procedure count. The paper's §3.1.5 bound is O(N) in the
+/// procedure size for construction; complexity should look near-linear.
+void BM_Scaling_synthetic(benchmark::State &State) {
+  SyntheticSpec Spec;
+  Spec.Procs = static_cast<int>(State.range(0));
+  std::string Source = generateSynthetic(Spec);
+  Prepared P = prepare(Source);
+  JumpFunctionOptions Opts;
+  Opts.Kind = JumpFunctionKind::Polynomial;
+  for (auto _ : State) {
+    ProgramJumpFunctions Jfs =
+        buildJumpFunctions(P.M, P.Symbols, *P.CG, P.MRI.get(), Opts);
+    SolveResult R = solveConstants(P.Symbols, *P.CG, Jfs);
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+} // namespace
+
+BENCHMARK(BM_Construction_spec77)->DenseRange(0, 3, 1);
+BENCHMARK(BM_Propagation_spec77)->DenseRange(0, 3, 1);
+BENCHMARK(BM_EndToEnd_spec77)->DenseRange(0, 3, 1);
+BENCHMARK(BM_Scaling_synthetic)
+    ->RangeMultiplier(2)
+    ->Range(16, 256)
+    ->Complexity(benchmark::oN);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+//===- bench/table2_jump_functions.cpp - Reproduce Table 2 ----------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table 2: constants found through use of jump functions. Four forward
+/// jump functions with return jump functions, plus polynomial and
+/// pass-through without return jump functions, over the 12-program
+/// suite. Prints measured/paper pairs and verifies the paper's headline
+/// findings (pass-through == polynomial; intraprocedural <= pass-through;
+/// literal <= intraprocedural; return JFs tripled ocean).
+///
+//===----------------------------------------------------------------------===//
+
+#include "ipcp/Pipeline.h"
+#include "support/TablePrinter.h"
+#include "workloads/Suite.h"
+
+#include <iostream>
+
+using namespace ipcp;
+
+static unsigned run(const std::string &Source, JumpFunctionKind Kind,
+                    bool Rjf) {
+  PipelineOptions Opts;
+  Opts.Kind = Kind;
+  Opts.UseReturnJumpFunctions = Rjf;
+  PipelineResult R = runPipeline(Source, Opts);
+  if (!R.Ok) {
+    std::cerr << "pipeline failed: " << R.Error;
+    exit(1);
+  }
+  return R.SubstitutedConstants;
+}
+
+static std::string cell(unsigned Measured, int Paper) {
+  return std::to_string(Measured) + "/" + std::to_string(Paper);
+}
+
+int main() {
+  std::cout << "Table 2: constants found through use of jump functions\n";
+  std::cout << "(each cell is measured/paper)\n\n";
+
+  TablePrinter Table;
+  Table.addHeader({"Program", "Poly", "Pass", "Intra", "Literal",
+                   "Poly-noRJF", "Pass-noRJF"});
+
+  bool AllFindingsHold = true;
+  for (const WorkloadProgram &P : benchmarkSuite()) {
+    unsigned Poly = run(P.Source, JumpFunctionKind::Polynomial, true);
+    unsigned Pass = run(P.Source, JumpFunctionKind::PassThrough, true);
+    unsigned Intra = run(P.Source, JumpFunctionKind::IntraConst, true);
+    unsigned Lit = run(P.Source, JumpFunctionKind::Literal, true);
+    unsigned PolyNoRjf =
+        run(P.Source, JumpFunctionKind::Polynomial, false);
+    unsigned PassNoRjf =
+        run(P.Source, JumpFunctionKind::PassThrough, false);
+
+    Table.addRow({P.Name, cell(Poly, P.Paper.Polynomial),
+                  cell(Pass, P.Paper.PassThrough),
+                  cell(Intra, P.Paper.IntraConst),
+                  cell(Lit, P.Paper.Literal),
+                  cell(PolyNoRjf, P.Paper.PolynomialNoRjf),
+                  cell(PassNoRjf, P.Paper.PassThroughNoRjf)});
+
+    // The paper's orderings must hold on every program.
+    bool Ok = Pass == Poly && Intra <= Pass && Lit <= Intra &&
+              PassNoRjf == PolyNoRjf && PolyNoRjf <= Poly;
+    if (!Ok) {
+      std::cerr << "ordering violated for " << P.Name << "\n";
+      AllFindingsHold = false;
+    }
+  }
+  Table.print(std::cout);
+
+  // Headline finding: return jump functions more than tripled ocean.
+  const WorkloadProgram *Ocean = nullptr;
+  for (const WorkloadProgram &P : benchmarkSuite())
+    if (P.Name == "ocean")
+      Ocean = &P;
+  unsigned OceanRjf = run(Ocean->Source, JumpFunctionKind::Polynomial,
+                          true);
+  unsigned OceanNoRjf = run(Ocean->Source, JumpFunctionKind::Polynomial,
+                            false);
+  std::cout << "\nfindings:\n";
+  std::cout << "  pass-through == polynomial on every program: "
+            << (AllFindingsHold ? "yes" : "NO") << "\n";
+  std::cout << "  return JFs on ocean: " << OceanNoRjf << " -> " << OceanRjf
+            << " (x" << (double(OceanRjf) / double(OceanNoRjf))
+            << ", paper: 62 -> 194, >3x)\n";
+  return AllFindingsHold && OceanRjf > 3 * OceanNoRjf ? 0 : 1;
+}

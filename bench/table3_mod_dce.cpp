@@ -1,0 +1,95 @@
+//===- bench/table3_mod_dce.cpp - Reproduce Table 3 -----------------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table 3: the most precise jump function (polynomial + return JFs)
+/// without MOD information, with MOD, with complete propagation
+/// (iterated dead-code elimination), and a purely intraprocedural
+/// propagation. Verifies the paper's findings: MOD matters a lot, DCE
+/// adds little (and only one DCE round is ever needed), intraprocedural
+/// propagation finds far fewer constants.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ipcp/Pipeline.h"
+#include "support/TablePrinter.h"
+#include "workloads/Suite.h"
+
+#include <iostream>
+
+using namespace ipcp;
+
+namespace {
+struct RunOutcome {
+  unsigned Count = 0;
+  unsigned DceRounds = 0;
+};
+} // namespace
+
+static RunOutcome run(const std::string &Source, bool UseMod, bool Complete,
+                      bool IntraOnly) {
+  PipelineOptions Opts;
+  Opts.Kind = JumpFunctionKind::Polynomial;
+  Opts.UseMod = UseMod;
+  Opts.CompletePropagation = Complete;
+  Opts.IntraproceduralOnly = IntraOnly;
+  PipelineResult R = runPipeline(Source, Opts);
+  if (!R.Ok) {
+    std::cerr << "pipeline failed: " << R.Error;
+    exit(1);
+  }
+  return {R.SubstitutedConstants, R.DceRounds};
+}
+
+static std::string cell(unsigned Measured, int Paper) {
+  return std::to_string(Measured) + "/" + std::to_string(Paper);
+}
+
+int main() {
+  std::cout << "Table 3: comparison of the most precise jump function "
+               "with other propagation techniques\n";
+  std::cout << "(each cell is measured/paper)\n\n";
+
+  TablePrinter Table;
+  Table.addHeader({"Program", "Poly w/o MOD", "Poly w/ MOD",
+                   "Complete", "Intraprocedural", "DCE rounds"});
+
+  bool FindingsHold = true;
+  for (const WorkloadProgram &P : benchmarkSuite()) {
+    RunOutcome NoMod = run(P.Source, false, false, false);
+    RunOutcome WithMod = run(P.Source, true, false, false);
+    RunOutcome Complete = run(P.Source, true, true, false);
+    RunOutcome Intra = run(P.Source, true, false, true);
+
+    Table.addRow({P.Name, cell(NoMod.Count, P.Paper.PolyNoMod),
+                  cell(WithMod.Count, P.Paper.Polynomial),
+                  cell(Complete.Count, P.Paper.Complete),
+                  cell(Intra.Count, P.Paper.IntraOnly),
+                  std::to_string(Complete.DceRounds)});
+
+    // Paper findings, program by program: MOD never hurts; complete
+    // propagation never hurts and needs at most one DCE round; the
+    // interprocedural propagation finds at least as much as the
+    // intraprocedural one.
+    bool Ok = NoMod.Count <= WithMod.Count &&
+              WithMod.Count <= Complete.Count &&
+              Complete.DceRounds <= 1 && Intra.Count <= WithMod.Count;
+    if (!Ok) {
+      std::cerr << "finding violated for " << P.Name << "\n";
+      FindingsHold = false;
+    }
+  }
+  Table.print(std::cout);
+
+  std::cout << "\nfindings:\n"
+            << "  MOD information never hurts and usually helps "
+               "substantially (paper: 'substantial difference')\n"
+            << "  complete propagation needed at most one DCE round "
+               "(paper: 'only one pass ... was needed')\n"
+            << "  interprocedural >= intraprocedural on every program\n"
+            << "  all verified: " << (FindingsHold ? "yes" : "NO") << "\n";
+  return FindingsHold ? 0 : 1;
+}

@@ -1,0 +1,231 @@
+//===- examples/subscript_linearity.cpp - Dependence-analysis payoff ------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shen, Li & Yew (paper reference [14]) found that with interprocedural
+/// constants "approximately 50 percent of the subscripts which had
+/// previously been considered nonlinear were found to be linear" — and
+/// many dependence analyzers simply give up on nonlinear subscripts.
+///
+/// This example classifies every array subscript of a linear-algebra-
+/// style program as LINEAR (affine in enclosing loop variables with
+/// known integer coefficients) or NONLINEAR, first without and then with
+/// the interprocedural constants, and reports the recovered fraction.
+/// The classic culprit is column-major indexing a(i + (j-1)*lda): linear
+/// only when the leading dimension lda is a compile-time constant.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ipcp/Pipeline.h"
+#include "lang/Parser.h"
+
+#include <iostream>
+#include <set>
+
+using namespace ipcp;
+
+static const char *Source = R"(program blas
+array a(65536)
+array b(65536)
+
+proc main()
+  call scale(256, 3)
+  call copyblock(256, 128)
+end
+
+proc scale(lda, s)
+  integer i, j
+  do j = 1, 64
+    do i = 1, 64
+      a(i + (j - 1) * lda) = a(i + (j - 1) * lda) * s
+    end do
+  end do
+end
+
+proc copyblock(lda, off)
+  integer i, j
+  do j = 1, 32
+    do i = 1, 32
+      b(i + (j - 1) * lda + off) = a(i + (j - 1) * lda)
+    end do
+  end do
+end
+)";
+
+namespace {
+
+/// A subscript is linear when it is a sum of terms, each either a known
+/// integer or loopvar * known integer. \p LoopVars holds the symbols of
+/// enclosing DO variables; \p Consts the analyzer's proven constant
+/// uses.
+bool isKnownConst(const SubstitutionMap &Consts, const Expr *E,
+                  const std::set<uint32_t> &LoopVars) {
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    return true;
+  case ExprKind::VarRef:
+    return Consts.count(E->id()) != 0;
+  case ExprKind::Unary:
+    return isKnownConst(Consts, cast<UnaryExpr>(E)->operand(), LoopVars);
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    return isKnownConst(Consts, B->lhs(), LoopVars) &&
+           isKnownConst(Consts, B->rhs(), LoopVars);
+  }
+  case ExprKind::ArrayRef:
+    return false;
+  }
+  return false;
+}
+
+bool isLinear(const SubstitutionMap &Consts, const Expr *E,
+              const std::set<uint32_t> &LoopVars) {
+  if (isKnownConst(Consts, E, LoopVars))
+    return true;
+  switch (E->kind()) {
+  case ExprKind::VarRef:
+    return LoopVars.count(cast<VarRefExpr>(E)->symbol()) != 0;
+  case ExprKind::Unary:
+    return isLinear(Consts, cast<UnaryExpr>(E)->operand(), LoopVars);
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    switch (B->op()) {
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+      return isLinear(Consts, B->lhs(), LoopVars) &&
+             isLinear(Consts, B->rhs(), LoopVars);
+    case BinaryOp::Mul:
+      // linear * known-constant stays linear.
+      return (isLinear(Consts, B->lhs(), LoopVars) &&
+              isKnownConst(Consts, B->rhs(), LoopVars)) ||
+             (isKnownConst(Consts, B->lhs(), LoopVars) &&
+              isLinear(Consts, B->rhs(), LoopVars));
+    default:
+      return false;
+    }
+  }
+  default:
+    return false;
+  }
+}
+
+struct SubscriptCounts {
+  unsigned Linear = 0;
+  unsigned Nonlinear = 0;
+};
+
+void visitExpr(const SubstitutionMap &Consts, const Expr *E,
+               std::set<uint32_t> &LoopVars, SubscriptCounts &Counts) {
+  switch (E->kind()) {
+  case ExprKind::ArrayRef: {
+    const auto *A = cast<ArrayRefExpr>(E);
+    if (isLinear(Consts, A->index(), LoopVars))
+      ++Counts.Linear;
+    else
+      ++Counts.Nonlinear;
+    visitExpr(Consts, A->index(), LoopVars, Counts);
+    break;
+  }
+  case ExprKind::Unary:
+    visitExpr(Consts, cast<UnaryExpr>(E)->operand(), LoopVars, Counts);
+    break;
+  case ExprKind::Binary:
+    visitExpr(Consts, cast<BinaryExpr>(E)->lhs(), LoopVars, Counts);
+    visitExpr(Consts, cast<BinaryExpr>(E)->rhs(), LoopVars, Counts);
+    break;
+  default:
+    break;
+  }
+}
+
+void visitStmts(const SubstitutionMap &Consts,
+                const std::vector<Stmt *> &Stmts,
+                std::set<uint32_t> &LoopVars, SubscriptCounts &Counts) {
+  for (const Stmt *S : Stmts) {
+    switch (S->kind()) {
+    case StmtKind::Assign:
+      visitExpr(Consts, cast<AssignStmt>(S)->target(), LoopVars, Counts);
+      visitExpr(Consts, cast<AssignStmt>(S)->value(), LoopVars, Counts);
+      break;
+    case StmtKind::Call:
+      for (const Expr *Arg : cast<CallStmt>(S)->args())
+        visitExpr(Consts, Arg, LoopVars, Counts);
+      break;
+    case StmtKind::If: {
+      const auto *I = cast<IfStmt>(S);
+      visitExpr(Consts, I->cond(), LoopVars, Counts);
+      visitStmts(Consts, I->thenBody(), LoopVars, Counts);
+      visitStmts(Consts, I->elseBody(), LoopVars, Counts);
+      break;
+    }
+    case StmtKind::DoLoop: {
+      const auto *D = cast<DoLoopStmt>(S);
+      bool Inserted = LoopVars.insert(D->var()->symbol()).second;
+      visitStmts(Consts, D->body(), LoopVars, Counts);
+      if (Inserted)
+        LoopVars.erase(D->var()->symbol());
+      break;
+    }
+    case StmtKind::While:
+      visitStmts(Consts, cast<WhileStmt>(S)->body(), LoopVars, Counts);
+      break;
+    case StmtKind::Print:
+      visitExpr(Consts, cast<PrintStmt>(S)->value(), LoopVars, Counts);
+      break;
+    default:
+      break;
+    }
+  }
+}
+
+SubscriptCounts classify(AstContext &Ctx, const SymbolTable &Symbols,
+                         bool Interprocedural) {
+  PipelineOptions Opts;
+  Opts.IntraproceduralOnly = !Interprocedural;
+  PipelineResult Result = runPipelineOnAst(Ctx, Symbols, Opts);
+  if (!Result.Ok) {
+    std::cerr << Result.Error;
+    exit(1);
+  }
+  SubscriptCounts Counts;
+  std::set<uint32_t> LoopVars;
+  for (const auto &P : Ctx.program().Procs)
+    visitStmts(Result.Substitutions, P->Body, LoopVars, Counts);
+  return Counts;
+}
+
+} // namespace
+
+int main() {
+  std::cout << "=== subscript linearity: the dependence-analysis payoff "
+               "===\n\n";
+
+  DiagnosticEngine Diags;
+  auto Ctx = parseProgram(Source, Diags);
+  SymbolTable Symbols = Sema::run(*Ctx, Diags);
+  if (Diags.hasErrors()) {
+    Diags.print(std::cerr);
+    return 1;
+  }
+
+  SubscriptCounts Before = classify(*Ctx, Symbols, false);
+  SubscriptCounts After = classify(*Ctx, Symbols, true);
+
+  unsigned Total = Before.Linear + Before.Nonlinear;
+  std::cout << "subscripts: " << Total << "\n";
+  std::cout << "  linear without IPCP: " << Before.Linear << " ("
+            << Before.Nonlinear << " nonlinear)\n";
+  std::cout << "  linear with IPCP:    " << After.Linear << " ("
+            << After.Nonlinear << " nonlinear)\n";
+  if (Before.Nonlinear) {
+    double Recovered =
+        100.0 * double(Before.Nonlinear - After.Nonlinear) /
+        double(Before.Nonlinear);
+    std::cout << "  nonlinear subscripts recovered: " << Recovered
+              << "% (Shen/Li/Yew report ~50% on FORTRAN libraries)\n";
+  }
+  return After.Linear > Before.Linear ? 0 : 1;
+}

@@ -1,0 +1,125 @@
+//===- examples/whole_program_optimizer.cpp - Everything together ---------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A capstone tour: drive the whole library as a source-to-source
+/// whole-program optimizer, the way the CONVEX Application Compiler used
+/// these ideas (paper reference [13]). The pipeline is
+///
+///   1. constant-directed procedure cloning  (split conflicting meets)
+///   2. interprocedural constant propagation (polynomial + return JFs)
+///   3. complete propagation                  (fold decided branches)
+///   4. constant substitution                 (rewrite the source)
+///
+/// run over a small "application" whose configuration flows from main
+/// through a dispatch layer into shared kernels. The example prints the
+/// constants found at each stage and the final specialized program.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ipcp/Cloning.h"
+#include "ipcp/Pipeline.h"
+
+#include <iostream>
+
+using namespace ipcp;
+
+static const char *Source = R"(program app
+global tracing
+
+proc main()
+  tracing = 0
+  call run(32, 1)            ! small problem, fast path
+  call run(1024, 0)          ! big problem, precise path
+end
+
+proc run(size, fast)
+  integer iters
+  iters = 100
+  if (tracing == 1) then
+    read iters               ! never happens: tracing is 0
+  end if
+  call solve(size, fast, iters)
+end
+
+proc solve(n, fastpath, steps)
+  integer t
+  do t = 1, steps
+    if (fastpath == 1) then
+      call kernel(n, 2)
+    else
+      call kernel(n, 8)
+    end if
+  end do
+end
+
+proc kernel(n, unroll)
+  integer i
+  do i = 1, n / unroll
+    print i * unroll
+  end do
+end
+)";
+
+namespace {
+
+unsigned countAt(const std::string &Text, const PipelineOptions &Opts) {
+  PipelineResult R = runPipeline(Text, Opts);
+  if (!R.Ok) {
+    std::cerr << R.Error;
+    exit(1);
+  }
+  return R.SubstitutedConstants;
+}
+
+} // namespace
+
+int main() {
+  std::cout << "=== whole-program optimizer: cloning + IPCP + DCE + "
+               "substitution ===\n\n";
+  std::cout << Source << '\n';
+
+  // Stage 0: plain polynomial IPCP as the baseline.
+  unsigned Baseline = countAt(Source, PipelineOptions());
+  std::cout << "baseline IPCP: " << Baseline
+            << " constants substituted (the meet destroys size/fast at "
+               "'run' and n/unroll at 'kernel')\n";
+
+  // Stage 1: cloning splits 'run', then cascades into solve and kernel.
+  CloneResult Cloned = cloneForConstants(Source);
+  if (!Cloned.Ok) {
+    std::cerr << Cloned.Error;
+    return 1;
+  }
+  std::cout << "after cloning (" << Cloned.ClonesCreated << " clones, "
+            << Cloned.Rounds
+            << " rounds): " << countAt(Cloned.Source, PipelineOptions())
+            << " constants\n";
+
+  // Stage 2: complete propagation removes the tracing branch and
+  // substitutes everything that is now constant.
+  PipelineOptions Final;
+  Final.CompletePropagation = true;
+  Final.EmitTransformedSource = true;
+  PipelineResult R = runPipeline(Cloned.Source, Final);
+  if (!R.Ok) {
+    std::cerr << R.Error;
+    return 1;
+  }
+  std::cout << "after complete propagation: " << R.SubstitutedConstants
+            << " constants (" << R.FoldedBranches
+            << " branches folded)\n\n";
+
+  std::cout << "--- specialized program ---\n" << R.TransformedSource;
+
+  // The payoff the paper's intro promises: every kernel clone now has a
+  // compile-time loop bound.
+  bool Specialized =
+      R.TransformedSource.find("do t = 1, 100") != std::string::npos;
+  std::cout << "\nloop bounds specialized: "
+            << (Specialized ? "yes" : "no") << '\n';
+  return R.SubstitutedConstants > Baseline && Specialized ? 0 : 1;
+}

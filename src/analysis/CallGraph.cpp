@@ -1,0 +1,136 @@
+//===- analysis/CallGraph.cpp - Program call graph ------------------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ipcp;
+
+CallGraph::CallGraph(const Module &M, ProcId Entry) : Entry(Entry) {
+  size_t N = M.Functions.size();
+  Sites.resize(N);
+  Callers.resize(N);
+  Reachable.assign(N, 0);
+  SccIds.assign(N, UINT32_MAX);
+  Recursive.assign(N, 0);
+
+  for (ProcId P = 0; P != N; ++P) {
+    const Function &F = M.function(P);
+    for (BlockId B = 0, BE = static_cast<BlockId>(F.numBlocks()); B != BE;
+         ++B) {
+      const auto &Instrs = F.block(B).Instrs;
+      for (uint32_t I = 0, IE = static_cast<uint32_t>(Instrs.size());
+           I != IE; ++I) {
+        if (Instrs[I].Op != Opcode::Call)
+          continue;
+        CallSite S;
+        S.Caller = P;
+        S.Callee = Instrs[I].Callee;
+        S.Block = B;
+        S.InstrIdx = I;
+        Sites[P].push_back(S);
+        Callers[S.Callee].push_back(S);
+      }
+    }
+  }
+
+  // Reachability and DFS postorder from the entry (iterative).
+  std::vector<std::pair<ProcId, size_t>> Stack;
+  std::vector<ProcId> PostOrder;
+  Reachable[Entry] = 1;
+  Stack.push_back({Entry, 0});
+  while (!Stack.empty()) {
+    auto &[P, Next] = Stack.back();
+    if (Next < Sites[P].size()) {
+      ProcId Callee = Sites[P][Next++].Callee;
+      if (!Reachable[Callee]) {
+        Reachable[Callee] = 1;
+        Stack.push_back({Callee, 0});
+      }
+      continue;
+    }
+    PostOrder.push_back(P);
+    Stack.pop_back();
+  }
+  BottomUp = PostOrder;
+  TopDown.assign(PostOrder.rbegin(), PostOrder.rend());
+
+  // Tarjan SCCs (iterative), over all procedures.
+  struct NodeState {
+    uint32_t Index = UINT32_MAX;
+    uint32_t LowLink = 0;
+    bool OnStack = false;
+  };
+  std::vector<NodeState> State(N);
+  std::vector<ProcId> SccStack;
+  uint32_t NextIndex = 0;
+  uint32_t NextScc = 0;
+
+  struct TarjanFrame {
+    ProcId P;
+    size_t NextEdge;
+  };
+  for (ProcId Root = 0; Root != N; ++Root) {
+    if (State[Root].Index != UINT32_MAX)
+      continue;
+    std::vector<TarjanFrame> Frames;
+    Frames.push_back({Root, 0});
+    State[Root].Index = State[Root].LowLink = NextIndex++;
+    State[Root].OnStack = true;
+    SccStack.push_back(Root);
+
+    while (!Frames.empty()) {
+      TarjanFrame &Top = Frames.back();
+      if (Top.NextEdge < Sites[Top.P].size()) {
+        ProcId W = Sites[Top.P][Top.NextEdge++].Callee;
+        if (State[W].Index == UINT32_MAX) {
+          State[W].Index = State[W].LowLink = NextIndex++;
+          State[W].OnStack = true;
+          SccStack.push_back(W);
+          Frames.push_back({W, 0});
+        } else if (State[W].OnStack) {
+          State[Top.P].LowLink = std::min(State[Top.P].LowLink,
+                                          State[W].Index);
+        }
+        continue;
+      }
+      ProcId P = Top.P;
+      Frames.pop_back();
+      if (!Frames.empty())
+        State[Frames.back().P].LowLink =
+            std::min(State[Frames.back().P].LowLink, State[P].LowLink);
+      if (State[P].LowLink != State[P].Index)
+        continue;
+      // P is an SCC root; pop its members.
+      std::vector<ProcId> Members;
+      for (;;) {
+        ProcId W = SccStack.back();
+        SccStack.pop_back();
+        State[W].OnStack = false;
+        SccIds[W] = NextScc;
+        Members.push_back(W);
+        if (W == P)
+          break;
+      }
+      bool SelfLoop = false;
+      for (const CallSite &S : Sites[P])
+        SelfLoop |= S.Callee == P;
+      if (Members.size() > 1 || SelfLoop)
+        for (ProcId W : Members)
+          Recursive[W] = 1;
+      ++NextScc;
+    }
+  }
+}
+
+size_t CallGraph::numCallSites() const {
+  size_t Total = 0;
+  for (const auto &S : Sites)
+    Total += S.size();
+  return Total;
+}

@@ -1,0 +1,85 @@
+//===- analysis/CallGraph.h - Program call graph ----------------*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The call graph G the interprocedural phases run over (paper §2): one
+/// node per procedure, one edge per call site. Provides reachability from
+/// the entry, a bottom-up order for return-jump-function generation, and
+/// Tarjan SCCs so recursive cycles are handled conservatively.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_ANALYSIS_CALLGRAPH_H
+#define IPCP_ANALYSIS_CALLGRAPH_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace ipcp {
+
+/// One call site: an edge of the call graph, anchored at its Call
+/// instruction.
+struct CallSite {
+  ProcId Caller = UINT32_MAX;
+  ProcId Callee = UINT32_MAX;
+  BlockId Block = InvalidBlock;
+  uint32_t InstrIdx = 0;
+};
+
+/// The call graph of one lowered module.
+class CallGraph {
+public:
+  CallGraph(const Module &M, ProcId Entry);
+
+  ProcId entry() const { return Entry; }
+  size_t numProcs() const { return Sites.size(); }
+
+  /// Call sites textually inside \p P, in block/instruction order.
+  const std::vector<CallSite> &callSitesIn(ProcId P) const {
+    return Sites.at(P);
+  }
+
+  /// Call sites whose callee is \p P.
+  const std::vector<CallSite> &callSitesOf(ProcId P) const {
+    return Callers.at(P);
+  }
+
+  /// True if \p P is reachable from the entry procedure.
+  bool isReachable(ProcId P) const { return Reachable.at(P); }
+
+  /// Procedures in bottom-up order (callees before callers, ignoring
+  /// back edges within recursive cycles), restricted to reachable procs.
+  const std::vector<ProcId> &bottomUpOrder() const { return BottomUp; }
+
+  /// Procedures in top-down order (callers before callees, ignoring back
+  /// edges), restricted to reachable procs.
+  const std::vector<ProcId> &topDownOrder() const { return TopDown; }
+
+  /// Tarjan SCC id of \p P (dense, reverse-topological: callees' SCCs
+  /// have smaller ids than callers' within reachable code).
+  uint32_t sccId(ProcId P) const { return SccIds.at(P); }
+
+  /// True if \p P sits on a call-graph cycle (including self-recursion).
+  bool isRecursive(ProcId P) const { return Recursive.at(P); }
+
+  /// Total number of call sites.
+  size_t numCallSites() const;
+
+private:
+  ProcId Entry;
+  std::vector<std::vector<CallSite>> Sites;
+  std::vector<std::vector<CallSite>> Callers;
+  std::vector<uint8_t> Reachable;
+  std::vector<ProcId> BottomUp;
+  std::vector<ProcId> TopDown;
+  std::vector<uint32_t> SccIds;
+  std::vector<uint8_t> Recursive;
+};
+
+} // namespace ipcp
+
+#endif // IPCP_ANALYSIS_CALLGRAPH_H

@@ -1,0 +1,93 @@
+//===- analysis/DeadCodeElim.cpp - Branch-driven dead code removal --------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DeadCodeElim.h"
+
+#include "support/Casting.h"
+
+using namespace ipcp;
+
+namespace {
+
+class Rewriter {
+public:
+  Rewriter(AstContext &Ctx, const DeadCodeElim::Decisions &Decisions)
+      : Ctx(Ctx), Decisions(Decisions) {}
+
+  unsigned folded() const { return Folded; }
+
+  std::vector<Stmt *> rewriteList(const std::vector<Stmt *> &Stmts) {
+    std::vector<Stmt *> Out;
+    for (Stmt *S : Stmts)
+      rewriteInto(S, Out);
+    return Out;
+  }
+
+private:
+  /// Appends the rewritten form of \p S (possibly nothing, possibly the
+  /// spliced contents of a folded branch) to \p Out.
+  void rewriteInto(Stmt *S, std::vector<Stmt *> &Out) {
+    switch (S->kind()) {
+    case StmtKind::If: {
+      auto *I = cast<IfStmt>(S);
+      if (auto It = Decisions.find(I->id()); It != Decisions.end()) {
+        ++Folded;
+        const auto &Arm = It->second ? I->thenBody() : I->elseBody();
+        for (Stmt *Inner : rewriteList(Arm))
+          Out.push_back(Inner);
+        return;
+      }
+      I->setThenBody(rewriteList(I->thenBody()));
+      I->setElseBody(rewriteList(I->elseBody()));
+      Out.push_back(I);
+      return;
+    }
+    case StmtKind::While: {
+      auto *W = cast<WhileStmt>(S);
+      if (auto It = Decisions.find(W->id());
+          It != Decisions.end() && !It->second) {
+        ++Folded; // Loop body never executes.
+        return;
+      }
+      W->setBody(rewriteList(W->body()));
+      Out.push_back(W);
+      return;
+    }
+    case StmtKind::DoLoop: {
+      auto *D = cast<DoLoopStmt>(S);
+      if (auto It = Decisions.find(D->id());
+          It != Decisions.end() && !It->second) {
+        // Zero-trip loop: only the loop-variable initialization remains.
+        ++Folded;
+        Out.push_back(Ctx.createStmt<AssignStmt>(D->loc(), D->var(),
+                                                 D->lo()));
+        return;
+      }
+      D->setBody(rewriteList(D->body()));
+      Out.push_back(D);
+      return;
+    }
+    default:
+      Out.push_back(S);
+      return;
+    }
+  }
+
+  AstContext &Ctx;
+  const DeadCodeElim::Decisions &Decisions;
+  unsigned Folded = 0;
+};
+
+} // namespace
+
+unsigned DeadCodeElim::run(AstContext &Ctx,
+                           const Decisions &Decisions) {
+  Rewriter R(Ctx, Decisions);
+  Program &Prog = Ctx.program();
+  for (auto &P : Prog.Procs)
+    P->Body = R.rewriteList(P->Body);
+  return R.folded();
+}

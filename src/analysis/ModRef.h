@@ -1,0 +1,77 @@
+//===- analysis/ModRef.h - Interprocedural MOD/REF summaries ----*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Flow-insensitive interprocedural MOD and REF summary sets in the style
+/// of Cooper & Kennedy (paper reference [7], computed here with a simple
+/// fixpoint over call-graph bindings rather than the binding multi-graph).
+///
+/// MOD(p) contains the formals and globals that an invocation of p may
+/// modify; REF(p) the ones it may reference. The paper's central Table 3
+/// experiment toggles exactly this information: without MOD, every call
+/// must be assumed to clobber every global and every by-reference actual.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_ANALYSIS_MODREF_H
+#define IPCP_ANALYSIS_MODREF_H
+
+#include "analysis/CallGraph.h"
+#include "ir/Ssa.h"
+
+#include <vector>
+
+namespace ipcp {
+
+/// MOD/REF summaries for every procedure of one module.
+class ModRefInfo {
+public:
+  ModRefInfo(const Module &M, const SymbolTable &Symbols,
+             const CallGraph &CG);
+
+  /// True if calling \p P may modify \p Sym (a formal of P, a global
+  /// scalar, or an array).
+  bool mods(ProcId P, SymbolId Sym) const { return Mod[P][Sym]; }
+
+  /// True if calling \p P may reference \p Sym.
+  bool refs(ProcId P, SymbolId Sym) const { return Ref[P][Sym]; }
+
+  /// All modified symbols of \p P in SymbolId order (formals, globals,
+  /// arrays).
+  std::vector<SymbolId> modSet(ProcId P) const;
+
+  /// All referenced symbols of \p P in SymbolId order.
+  std::vector<SymbolId> refSet(ProcId P) const;
+
+  /// Number of fixpoint iterations taken (statistics).
+  unsigned iterations() const { return Iterations; }
+
+private:
+  // Dense bitsets indexed [ProcId][SymbolId].
+  std::vector<std::vector<uint8_t>> Mod;
+  std::vector<std::vector<uint8_t>> Ref;
+  unsigned Iterations = 0;
+};
+
+/// Computes the scalar symbols the call instruction \p Call (inside \p F)
+/// may modify, in deterministic order: by-reference actuals first (in
+/// argument order), then global scalars (in declaration order).
+///
+/// With \p MRI non-null, only actuals bound to MOD formals and globals in
+/// MOD(callee) are killed. With \p MRI null, the worst case is assumed —
+/// every by-reference actual and every global scalar dies — which is the
+/// paper's "without MOD information" configuration (Table 3, column 1).
+std::vector<SymbolId> computeCallKills(const Function &F, const Instr &Call,
+                                       const SymbolTable &Symbols,
+                                       const ModRefInfo *MRI);
+
+/// Wraps computeCallKills as a SsaForm::KillOracle.
+SsaForm::KillOracle makeKillOracle(const SymbolTable &Symbols,
+                                   const ModRefInfo *MRI);
+
+} // namespace ipcp
+
+#endif // IPCP_ANALYSIS_MODREF_H

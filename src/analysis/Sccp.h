@@ -1,0 +1,122 @@
+//===- analysis/Sccp.h - Sparse conditional constant propagation -*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wegman–Zadeck sparse conditional constant propagation (paper reference
+/// [16]) over the SSA overlay, with two IPCP-specific extensions:
+///
+///  * the entry lattice is seedable — seeding it with a procedure's
+///    CONSTANTS set turns this pass into the paper's constant
+///    *substitution* engine, while an all-BOTTOM seed gives the purely
+///    intraprocedural baseline of Table 3 column 4;
+///  * the value a call assigns to each symbol it may modify is supplied
+///    by a callback, which is how constant-valued return jump functions
+///    re-enter the intraprocedural world.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_ANALYSIS_SCCP_H
+#define IPCP_ANALYSIS_SCCP_H
+
+#include "ipcp/Lattice.h"
+#include "ir/Ssa.h"
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace ipcp {
+
+class Sccp;
+
+/// Lattice values flowing into one call site, handed to the kill-value
+/// callback.
+class SccpCallValues {
+public:
+  SccpCallValues(const Sccp &S, BlockId Block, uint32_t InstrIdx)
+      : S(S), Block(Block), InstrIdx(InstrIdx) {}
+
+  /// Lattice value of the \p Idx-th actual.
+  LatticeValue actual(uint32_t Idx) const;
+  /// Lattice value of global scalar \p G flowing into the call.
+  LatticeValue global(SymbolId G) const;
+
+private:
+  const Sccp &S;
+  BlockId Block;
+  uint32_t InstrIdx;
+};
+
+/// Decides the post-call lattice value of a symbol the call may modify.
+/// A null callback means every kill is BOTTOM.
+using SccpKillFn = std::function<LatticeValue(
+    const Instr &Call, SymbolId Killed, const SccpCallValues &Values)>;
+
+/// Entry-lattice seed: values for formals/globals on procedure entry.
+/// Symbols absent from the map start at BOTTOM (unknown caller).
+using SccpSeeds = std::unordered_map<SymbolId, LatticeValue>;
+
+/// One SCCP run over one procedure.
+class Sccp {
+public:
+  /// Runs to fixpoint. \p Seeds and \p KillFn may be null.
+  Sccp(const SsaForm &Ssa, const SymbolTable &Symbols,
+       const SccpSeeds *Seeds, const SccpKillFn *KillFn);
+
+  const SsaForm &ssa() const { return Ssa; }
+  const SymbolTable &symbols() const { return Symbols; }
+
+  /// Final lattice value of \p Id. TOP means the definition was never
+  /// reached along any executable path.
+  LatticeValue value(SsaId Id) const { return Values.at(Id); }
+
+  /// Lattice value of source-operand \p Slot of an instruction (resolves
+  /// Const operands).
+  LatticeValue operandValue(BlockId B, uint32_t InstrIdx,
+                            uint32_t Slot) const;
+
+  /// True if any executable path reaches \p B.
+  bool blockExecutable(BlockId B) const { return ExecBlock.at(B); }
+
+  /// True if the CFG edge \p SuccIdx out of \p B ever executes.
+  bool edgeExecutable(BlockId B, uint32_t SuccIdx) const {
+    return ExecEdge.at(B).at(SuccIdx);
+  }
+
+  /// Branches (in executable blocks) whose condition folded to a
+  /// constant, as (source statement id, taken-is-true) pairs — the input
+  /// to dead-code elimination.
+  std::vector<std::pair<StmtId, bool>> constantBranches() const;
+
+  /// Statistics: number of lattice cells that ended Const.
+  size_t numConstants() const;
+
+private:
+  friend class SccpCallValues;
+
+  void markEdgeExecutable(BlockId From, uint32_t SuccIdx);
+  void visitBlock(BlockId B);
+  void visitPhi(BlockId B, uint32_t PhiIdx);
+  void visitInstr(BlockId B, uint32_t InstrIdx);
+  void setValue(SsaId Id, LatticeValue V);
+  LatticeValue operandValueImpl(const Instr &In, const InstrSsaInfo &Info,
+                                uint32_t Slot) const;
+  bool edgeIntoExecutable(BlockId Pred, BlockId Succ) const;
+
+  const SsaForm &Ssa;
+  const SymbolTable &Symbols;
+  const SccpKillFn *KillFn;
+
+  std::vector<LatticeValue> Values;
+  std::vector<uint8_t> ExecBlock;
+  std::vector<std::vector<uint8_t>> ExecEdge;
+  std::vector<std::pair<BlockId, uint32_t>> EdgeWork;
+  std::vector<SsaId> SsaWork;
+};
+
+} // namespace ipcp
+
+#endif // IPCP_ANALYSIS_SCCP_H

@@ -1,0 +1,56 @@
+//===- ipcp/Cloning.h - Constant-directed procedure cloning -----*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Goal-directed procedure cloning in the style of Metzger & Stroud
+/// (paper reference [13]) and Cooper, Hall & Kennedy (reference [6]):
+/// when distinct call sites pass *different* constants to the same
+/// formal, the meet destroys them all. Cloning the procedure per
+/// constant signature lets each clone keep its own CONSTANTS set; the
+/// paper reports this "can substantially increase the number of
+/// interprocedural constants available".
+///
+/// The transform is source-to-source and iterative: each round runs the
+/// full analyzer, partitions every cloneable procedure's call sites by
+/// the vector of constants their jump functions deliver, duplicates the
+/// procedure per additional signature, retargets the calls, and
+/// re-analyzes — cloning can cascade, so rounds repeat until a fixed
+/// point or the budget.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_IPCP_CLONING_H
+#define IPCP_IPCP_CLONING_H
+
+#include <string>
+#include <string_view>
+
+namespace ipcp {
+
+/// Limits for one cloning run.
+struct CloneOptions {
+  unsigned MaxRounds = 4;
+  unsigned MaxClones = 64;
+};
+
+/// Outcome of one cloning run.
+struct CloneResult {
+  bool Ok = false;
+  std::string Error;
+  /// The transformed program (original when nothing was cloned).
+  std::string Source;
+  unsigned ClonesCreated = 0;
+  unsigned Rounds = 0;
+};
+
+/// Clones procedures of \p Source until every formal that can be made
+/// constant by duplication is constant (or the budget runs out).
+CloneResult cloneForConstants(std::string_view Source,
+                              const CloneOptions &Opts = CloneOptions());
+
+} // namespace ipcp
+
+#endif // IPCP_IPCP_CLONING_H

@@ -1,0 +1,287 @@
+//===- ipcp/JumpFunctionBuilder.cpp - Jump function generation ------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ipcp/JumpFunctionBuilder.h"
+
+#include "ir/Dominators.h"
+
+#include <cassert>
+
+using namespace ipcp;
+
+const JumpFunction *ProgramJumpFunctions::returnJf(ProcId Callee,
+                                                   SymbolId CalleeKey) const {
+  if (Callee >= ReturnJfs.size())
+    return nullptr;
+  auto It = ReturnJfs[Callee].find(CalleeKey);
+  return It == ReturnJfs[Callee].end() ? nullptr : &It->second;
+}
+
+std::optional<SymbolId>
+ProgramJumpFunctions::calleeKeyForKill(const Instr &Call, SymbolId Killed,
+                                       const SymbolTable &Symbols) {
+  assert(Call.Op == Opcode::Call);
+  const auto &Formals = Symbols.formals(Call.Callee);
+  std::optional<SymbolId> Key;
+  unsigned Bindings = 0;
+  for (uint32_t I = 0, E = static_cast<uint32_t>(Call.Args.size());
+       I != E && I < Formals.size(); ++I) {
+    const Operand &Actual = Call.Args[I];
+    if (Actual.isVar() && Actual.Sym == Killed) {
+      ++Bindings;
+      Key = Formals[I];
+    }
+  }
+  const Symbol &S = Symbols.symbol(Killed);
+  if (S.Kind == SymbolKind::Global) {
+    // A global that is also passed by reference can be written through
+    // either name: conservatively unknown.
+    if (Bindings != 0)
+      return std::nullopt;
+    return Killed;
+  }
+  // A symbol passed in two positions aliases itself: unknown.
+  if (Bindings != 1)
+    return std::nullopt;
+  return Key;
+}
+
+namespace {
+
+/// Evaluates the return jump function covering \p Killed at \p Call under
+/// a caller-side environment that maps each callee-side support symbol to
+/// a lattice value.
+LatticeValue evalReturnJf(const ProgramJumpFunctions &Jfs,
+                          const SymbolTable &Symbols, const Instr &Call,
+                          SymbolId Killed,
+                          const std::function<LatticeValue(SymbolId)>
+                              &CalleeSideEnv) {
+  auto Key = ProgramJumpFunctions::calleeKeyForKill(Call, Killed, Symbols);
+  if (!Key)
+    return LatticeValue::bottom();
+  const JumpFunction *Rjf = Jfs.returnJf(Call.Callee, *Key);
+  if (!Rjf)
+    return LatticeValue::bottom();
+  return Rjf->eval(CalleeSideEnv);
+}
+
+/// Builds the callee-side environment for return-jump-function evaluation
+/// at a call site: a callee formal maps to the value of the bound actual,
+/// a global maps to the value of the global flowing into the call.
+/// Values that are not constants become BOTTOM — the paper's rule that a
+/// return jump function depending on the *calling* procedure's
+/// parameters never evaluates to a constant (§3.2).
+template <typename ActualFn, typename GlobalFn>
+std::function<LatticeValue(SymbolId)>
+makeCalleeSideEnv(const SymbolTable &Symbols, ProcId Callee,
+                  ActualFn Actual, GlobalFn Global) {
+  return [&Symbols, Callee, Actual, Global](SymbolId Sym) -> LatticeValue {
+    const Symbol &S = Symbols.symbol(Sym);
+    if (S.Kind == SymbolKind::Formal) {
+      assert(S.Owner == Callee && "support symbol from the wrong procedure");
+      (void)Callee;
+      return Actual(S.FormalIndex);
+    }
+    assert(S.Kind == SymbolKind::Global && "unexpected support symbol");
+    return Global(Sym);
+  };
+}
+
+LatticeValue constOrBottom(const VnExpr *E) {
+  return E->isConst() ? LatticeValue::constant(E->ConstValue)
+                      : LatticeValue::bottom();
+}
+
+} // namespace
+
+KillValueFn ipcp::makeVnKillFn(const ProgramJumpFunctions &Jfs,
+                               const SymbolTable &Symbols) {
+  return [&Jfs, &Symbols](const Instr &Call, SymbolId Killed,
+                          const CallSiteValues &Values)
+             -> std::optional<int64_t> {
+    auto Env = makeCalleeSideEnv(
+        Symbols, Call.Callee,
+        [&](uint32_t Idx) { return constOrBottom(Values.actual(Idx)); },
+        [&](SymbolId G) { return constOrBottom(Values.global(G)); });
+    LatticeValue V = evalReturnJf(Jfs, Symbols, Call, Killed, Env);
+    if (V.isConst())
+      return V.value();
+    return std::nullopt;
+  };
+}
+
+SccpKillFn ipcp::makeSccpKillFn(const ProgramJumpFunctions &Jfs,
+                                const SymbolTable &Symbols) {
+  return [&Jfs, &Symbols](const Instr &Call, SymbolId Killed,
+                          const SccpCallValues &Values) -> LatticeValue {
+    auto Env = makeCalleeSideEnv(
+        Symbols, Call.Callee,
+        [&](uint32_t Idx) { return Values.actual(Idx); },
+        [&](SymbolId G) { return Values.global(G); });
+    LatticeValue V = evalReturnJf(Jfs, Symbols, Call, Killed, Env);
+    // TOP can only arise from a TOP input, i.e. an unreached value; the
+    // kill is then also unreached and TOP is the correct optimistic
+    // answer.
+    return V;
+  };
+}
+
+ProgramJumpFunctions ipcp::buildJumpFunctions(const Module &M,
+                                              const SymbolTable &Symbols,
+                                              const CallGraph &CG,
+                                              const ModRefInfo *MRI,
+                                              const JumpFunctionOptions &Opts) {
+  assert((Opts.UseMod == (MRI != nullptr)) &&
+         "MOD info must be supplied exactly when UseMod is set");
+
+  ProgramJumpFunctions Jfs;
+  Jfs.Options = Opts;
+  Jfs.PerSite.resize(M.Functions.size());
+  Jfs.ReturnJfs.resize(M.Functions.size());
+
+  // Return jump functions are built even without MOD summaries: the
+  // bottom-up value numbering then runs under worst-case call effects, so
+  // only leaf-ish procedures keep precise return jump functions — which
+  // is how the paper's "without MOD" column still benefits from them.
+  bool UseRjf = Opts.UseReturnJumpFunctions;
+
+  SsaForm::KillOracle KillOracle = makeKillOracle(Symbols, MRI);
+  KillValueFn VnKillFn = makeVnKillFn(Jfs, Symbols);
+  const KillValueFn *VnKillFnPtr = UseRjf ? &VnKillFn : nullptr;
+
+  // Stage 1: return jump functions, bottom-up so callee RJFs are ready
+  // when a caller's value numbering wants them. Within a recursive SCC
+  // the not-yet-built callee RJFs simply read as bottom (conservative).
+  if (UseRjf) {
+    for (ProcId P : CG.bottomUpOrder()) {
+      const Function &F = M.function(P);
+      DominatorTree DT(F);
+      SsaForm Ssa(F, Symbols, DT, KillOracle);
+      VnContext Ctx;
+      ValueNumbering VN(Ssa, Symbols, Ctx, VnKillFnPtr,
+                        Opts.UseGatedSsa ? &DT : nullptr);
+
+      auto &Out = Jfs.ReturnJfs[P];
+      const auto &ExitSyms = Ssa.exitSymbols();
+      for (uint32_t I = 0, E = static_cast<uint32_t>(ExitSyms.size());
+           I != E; ++I) {
+        SymbolId Sym = ExitSyms[I];
+        // With MOD: only modified symbols need an RJF (unmodified ones
+        // are never killed). Without MOD: everything may be killed, so
+        // every exit symbol gets one (identity RJFs recover pass-through
+        // values at worst-case kills).
+        if (MRI && !MRI->mods(P, Sym))
+          continue;
+        JumpFunction Rjf;
+        if (Ssa.hasExitEnv()) {
+          const VnExpr *Exit = VN.exprOf(Ssa.exitEnv()[I]);
+          Rjf = JumpFunction::classify(JumpFunctionKind::Polynomial, Exit,
+                                       /*IsLiteralOperand=*/false,
+                                       Opts.UseGatedSsa);
+        }
+        ++Jfs.Stats.NumReturn;
+        switch (Rjf.form()) {
+        case JumpFunction::Form::Const:
+          ++Jfs.Stats.NumReturnConst;
+          break;
+        case JumpFunction::Form::Bottom:
+          ++Jfs.Stats.NumReturnBottom;
+          break;
+        default:
+          ++Jfs.Stats.NumReturnPoly;
+          break;
+        }
+        Out.emplace(Sym, std::move(Rjf));
+      }
+    }
+  }
+
+  // Stage 2: forward jump functions for every call site of every
+  // reachable procedure. The literal kind needs no intraprocedural
+  // analysis at all — "a textual scan of the call sites provides all the
+  // required information" (§3.1.5) — so it skips SSA and value numbering
+  // entirely; every other kind pays for them.
+  bool LiteralOnly = Opts.Kind == JumpFunctionKind::Literal;
+  for (ProcId P : CG.topDownOrder()) {
+    const Function &F = M.function(P);
+    std::optional<DominatorTree> DT;
+    std::optional<SsaForm> Ssa;
+    std::optional<VnContext> Ctx;
+    std::optional<ValueNumbering> VN;
+    if (!LiteralOnly) {
+      DT.emplace(F);
+      Ssa.emplace(F, Symbols, *DT, KillOracle);
+      Ctx.emplace();
+      VN.emplace(*Ssa, Symbols, *Ctx, VnKillFnPtr,
+                 Opts.UseGatedSsa ? &*DT : nullptr);
+    }
+
+    auto recordStats = [&](const JumpFunction &J) {
+      ++Jfs.Stats.NumForward;
+      switch (J.form()) {
+      case JumpFunction::Form::Const:
+        ++Jfs.Stats.NumForwardConst;
+        break;
+      case JumpFunction::Form::PassThrough:
+        ++Jfs.Stats.NumForwardPassThrough;
+        break;
+      case JumpFunction::Form::Poly:
+        ++Jfs.Stats.NumForwardPoly;
+        Jfs.Stats.TotalPolySupport += J.support().size();
+        Jfs.Stats.MaxPolySupport =
+            std::max(Jfs.Stats.MaxPolySupport, J.support().size());
+        break;
+      case JumpFunction::Form::Bottom:
+        ++Jfs.Stats.NumForwardBottom;
+        break;
+      }
+    };
+
+    auto &Sites = Jfs.PerSite[P];
+    for (const CallSite &S : CG.callSitesIn(P)) {
+      const Instr &Call = F.block(S.Block).Instrs[S.InstrIdx];
+      CallSiteJumpFunctions SiteJfs;
+
+      const auto &Formals = Symbols.formals(S.Callee);
+      for (uint32_t I = 0, E = static_cast<uint32_t>(Formals.size());
+           I != E; ++I) {
+        JumpFunction J;
+        if (I < Call.Args.size()) {
+          if (LiteralOnly) {
+            if (Call.Args[I].isConst())
+              J = JumpFunction::constant(Call.Args[I].ConstValue);
+          } else {
+            const VnExpr *ArgExpr =
+                VN->exprOfOperand(S.Block, S.InstrIdx, I);
+            J = JumpFunction::classify(Opts.Kind, ArgExpr,
+                                       Call.Args[I].isConst(),
+                                       Opts.UseGatedSsa);
+          }
+        }
+        recordStats(J);
+        SiteJfs.Args.push_back(std::move(J));
+      }
+
+      const auto &Globals = Symbols.globalScalars();
+      for (uint32_t GI = 0, GE = static_cast<uint32_t>(Globals.size());
+           GI != GE; ++GI) {
+        JumpFunction J; // Literal: globals are never literal -> bottom.
+        if (!LiteralOnly) {
+          const InstrSsaInfo &Info = Ssa->instrInfo(S.Block, S.InstrIdx);
+          J = JumpFunction::classify(Opts.Kind, VN->exprOf(Info.GlobalEnv[GI]),
+                                     /*IsLiteralOperand=*/false,
+                                     Opts.UseGatedSsa);
+        }
+        recordStats(J);
+        SiteJfs.Globals.push_back(std::move(J));
+      }
+
+      Sites.push_back(std::move(SiteJfs));
+    }
+  }
+
+  return Jfs;
+}

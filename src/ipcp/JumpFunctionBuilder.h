@@ -1,0 +1,138 @@
+//===- ipcp/JumpFunctionBuilder.h - Jump function generation ----*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates the jump functions for a whole program, following the
+/// paper's four-stage execution (§4.1):
+///
+///   1. return jump functions, in a bottom-up walk over the call graph
+///      (SSA + value numbering per procedure, discarded afterwards);
+///   2. forward jump functions for every call site, using the return
+///      jump functions built in stage 1;
+///   (stages 3 and 4 — propagation and recording — live in Solver and
+///   Pipeline).
+///
+/// MOD information is a parameter: with UseMod=false the builder assumes
+/// every call clobbers every global and by-reference actual — the
+/// "without MOD" column of Table 3. Return jump functions are still
+/// built in that mode (the paper's column 1 uses them), but their own
+/// generation then also runs under worst-case kills, so only procedures
+/// without calls keep precise ones; this reproduces the paper's
+/// observation that "the presence of any call in a routine eliminated
+/// potential constants along paths leaving the call site".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_IPCP_JUMPFUNCTIONBUILDER_H
+#define IPCP_IPCP_JUMPFUNCTIONBUILDER_H
+
+#include "analysis/CallGraph.h"
+#include "analysis/ModRef.h"
+#include "analysis/Sccp.h"
+#include "ipcp/JumpFunction.h"
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace ipcp {
+
+/// Configuration of one jump-function generation run.
+struct JumpFunctionOptions {
+  JumpFunctionKind Kind = JumpFunctionKind::Polynomial;
+  /// Build and use return jump functions (§3.2).
+  bool UseReturnJumpFunctions = true;
+  /// Use interprocedural MOD summaries; false = worst-case call effects.
+  bool UseMod = true;
+  /// Build jump functions over gated SSA (paper §4.2): two-way join phis
+  /// with evaluable predicates become gamma selectors, so constants
+  /// behind statically-decidable branches propagate without iterated
+  /// dead-code elimination. Only strengthens the polynomial kind.
+  bool UseGatedSsa = false;
+};
+
+/// Aggregate statistics over one generation run (feeds the §3.1.5 cost
+/// discussion benches).
+struct JumpFunctionStats {
+  size_t NumForward = 0;
+  size_t NumForwardConst = 0;
+  size_t NumForwardPassThrough = 0;
+  size_t NumForwardPoly = 0;
+  size_t NumForwardBottom = 0;
+  size_t TotalPolySupport = 0;
+  size_t MaxPolySupport = 0;
+  size_t NumReturn = 0;
+  size_t NumReturnConst = 0;
+  size_t NumReturnPoly = 0;
+  size_t NumReturnBottom = 0;
+
+  /// Mean |support| over non-trivial polynomial forward jump functions;
+  /// the paper observes this "approaches 1" in practice (§3.1.5).
+  double avgPolySupport() const {
+    return NumForwardPoly ? double(TotalPolySupport) / double(NumForwardPoly)
+                          : 0.0;
+  }
+};
+
+/// The jump functions of one call site.
+struct CallSiteJumpFunctions {
+  /// One forward jump function per callee formal, in parameter order.
+  std::vector<JumpFunction> Args;
+  /// One forward jump function per global scalar, parallel to
+  /// SymbolTable::globalScalars() (globals are implicit parameters).
+  std::vector<JumpFunction> Globals;
+};
+
+/// All jump functions of one program, plus evaluation helpers.
+class ProgramJumpFunctions {
+public:
+  JumpFunctionOptions Options;
+
+  /// PerSite[p] is parallel to CallGraph::callSitesIn(p); empty for
+  /// procedures unreachable from the entry.
+  std::vector<std::vector<CallSiteJumpFunctions>> PerSite;
+
+  /// ReturnJfs[p] maps each symbol in MOD(p) (formals of p and globals)
+  /// to its return jump function.
+  std::vector<std::unordered_map<SymbolId, JumpFunction>> ReturnJfs;
+
+  JumpFunctionStats Stats;
+
+  /// The return jump function of \p Callee for callee-side symbol
+  /// \p CalleeKey, or null.
+  const JumpFunction *returnJf(ProcId Callee, SymbolId CalleeKey) const;
+
+  /// Maps a killed caller-side symbol at \p Call to the callee-side key
+  /// its return jump function is indexed by: the bound formal for a
+  /// by-reference actual, the global itself otherwise. Returns nullopt
+  /// for ambiguous bindings (a symbol passed twice, or a global that is
+  /// also passed by reference), which are treated conservatively.
+  static std::optional<SymbolId> calleeKeyForKill(const Instr &Call,
+                                                  SymbolId Killed,
+                                                  const SymbolTable &Symbols);
+};
+
+/// Runs stages 1 and 2. \p MRI must be non-null iff Opts.UseMod.
+ProgramJumpFunctions buildJumpFunctions(const Module &M,
+                                        const SymbolTable &Symbols,
+                                        const CallGraph &CG,
+                                        const ModRefInfo *MRI,
+                                        const JumpFunctionOptions &Opts);
+
+/// Kill-value callback for ValueNumbering: evaluates the callee's return
+/// jump function with the intraprocedural constants flowing into the
+/// call (paper §3.2: "evaluated exactly twice at each call site").
+KillValueFn makeVnKillFn(const ProgramJumpFunctions &Jfs,
+                         const SymbolTable &Symbols);
+
+/// Kill-value callback for Sccp: the same evaluation against lattice
+/// values, used by the constant-substitution pass.
+SccpKillFn makeSccpKillFn(const ProgramJumpFunctions &Jfs,
+                          const SymbolTable &Symbols);
+
+} // namespace ipcp
+
+#endif // IPCP_IPCP_JUMPFUNCTIONBUILDER_H

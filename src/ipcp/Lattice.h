@@ -1,0 +1,101 @@
+//===- ipcp/Lattice.h - The constant propagation lattice --------*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three-level constant propagation lattice of the paper's Figure 1:
+/// TOP (no information yet / never executed), a constant value c, and
+/// BOTTOM (not provably constant). The lattice is infinite but has
+/// bounded depth: any value can be lowered at most twice, which is what
+/// bounds the interprocedural propagation time (paper §2, §3.1.5).
+///
+/// Header-only so both the intraprocedural SCCP engine and the
+/// interprocedural solver share one definition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_IPCP_LATTICE_H
+#define IPCP_IPCP_LATTICE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace ipcp {
+
+/// One element of the constant propagation lattice.
+class LatticeValue {
+public:
+  enum Kind : uint8_t { Top, Const, Bottom };
+
+  /// Default-constructs TOP, the initial optimistic approximation.
+  LatticeValue() = default;
+
+  static LatticeValue top() { return LatticeValue(); }
+  static LatticeValue bottom() {
+    LatticeValue V;
+    V.K = Bottom;
+    return V;
+  }
+  static LatticeValue constant(int64_t Value) {
+    LatticeValue V;
+    V.K = Const;
+    V.Value = Value;
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isTop() const { return K == Top; }
+  bool isConst() const { return K == Const; }
+  bool isBottom() const { return K == Bottom; }
+
+  int64_t value() const {
+    assert(K == Const && "value() on a non-constant lattice element");
+    return Value;
+  }
+
+  /// The meet operation of Figure 1:
+  ///   any ^ TOP = any,  any ^ BOTTOM = BOTTOM,
+  ///   ci ^ cj = ci if ci == cj, else BOTTOM.
+  LatticeValue meet(const LatticeValue &Other) const {
+    if (isTop())
+      return Other;
+    if (Other.isTop())
+      return *this;
+    if (isBottom() || Other.isBottom())
+      return bottom();
+    return Value == Other.Value ? *this : bottom();
+  }
+
+  bool operator==(const LatticeValue &Other) const {
+    if (K != Other.K)
+      return false;
+    return K != Const || Value == Other.Value;
+  }
+  bool operator!=(const LatticeValue &Other) const {
+    return !(*this == Other);
+  }
+
+  /// Renders as "T", "_|_", or the constant.
+  std::string str() const {
+    switch (K) {
+    case Top:
+      return "T";
+    case Bottom:
+      return "_|_";
+    case Const:
+      return std::to_string(Value);
+    }
+    return "?";
+  }
+
+private:
+  Kind K = Top;
+  int64_t Value = 0;
+};
+
+} // namespace ipcp
+
+#endif // IPCP_IPCP_LATTICE_H

@@ -1,0 +1,129 @@
+//===- ipcp/Pipeline.cpp - Whole-program analysis driver ------------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ipcp/Pipeline.h"
+
+#include "ir/CfgBuilder.h"
+#include "lang/AstPrinter.h"
+#include "lang/Parser.h"
+
+#include <cassert>
+
+using namespace ipcp;
+
+PipelineResult ipcp::runPipelineOnAst(AstContext &Ctx,
+                                      const SymbolTable &Symbols,
+                                      const PipelineOptions &Opts) {
+  PipelineResult Result;
+  const Program &Prog = Ctx.program();
+  auto Entry = Prog.entryProc();
+  if (!Entry) {
+    Result.Error = "program has no 'main' procedure";
+    return Result;
+  }
+
+  for (const auto &P : Prog.Procs)
+    Result.ProcNames.push_back(P->name());
+  Result.Constants.resize(Prog.Procs.size());
+  Result.PerProcSubstituted.assign(Prog.Procs.size(), 0);
+
+  // Complete propagation iterates the whole analysis; each round resets
+  // every CONSTANTS cell to TOP and starts over on the DCE'd program
+  // (paper §4.2). The bound of 16 is a safety net; the paper observed —
+  // and our tests assert — convergence after a single DCE round.
+  for (unsigned Round = 0;; ++Round) {
+    assert(Round < 16 && "complete propagation failed to converge");
+
+    Module M = buildModule(Prog, Symbols);
+    CallGraph CG(M, *Entry);
+
+    std::optional<ModRefInfo> MRI;
+    if (Opts.UseMod)
+      MRI.emplace(M, Symbols, CG);
+
+    ProgramJumpFunctions Jfs;
+    SolveResult Solve;
+    bool UseRjfInSccp = false;
+    if (!Opts.IntraproceduralOnly) {
+      JumpFunctionOptions JfOpts;
+      JfOpts.Kind = Opts.Kind;
+      JfOpts.UseReturnJumpFunctions = Opts.UseReturnJumpFunctions;
+      JfOpts.UseMod = Opts.UseMod;
+      JfOpts.UseGatedSsa = Opts.UseGatedSsa;
+      Jfs = buildJumpFunctions(M, Symbols, CG, MRI ? &*MRI : nullptr,
+                               JfOpts);
+      Solve = solveConstants(Symbols, CG, Jfs, Opts.Strategy);
+      UseRjfInSccp = Opts.UseReturnJumpFunctions;
+    }
+
+    SubstitutionResult Subs = countSubstitutions(
+        M, Symbols, CG, Opts.IntraproceduralOnly ? nullptr : &Solve,
+        MRI ? &*MRI : nullptr, UseRjfInSccp ? &Jfs : nullptr);
+
+    bool FinalRound = true;
+    if (Opts.CompletePropagation && !Subs.Branches.empty()) {
+      unsigned Folded = DeadCodeElim::run(Ctx, Subs.Branches);
+      if (Folded != 0) {
+        Result.FoldedBranches += Folded;
+        ++Result.DceRounds;
+        FinalRound = false;
+      }
+    }
+    if (!FinalRound)
+      continue;
+
+    // Record the results of the final round.
+    Result.Ok = true;
+    Result.SubstitutedConstants = Subs.Total;
+    Result.ConstantPrints = Subs.ConstantPrints;
+    Result.PerProcSubstituted = Subs.PerProc;
+    Result.JfStats = Jfs.Stats;
+    Result.SolverProcVisits = Solve.ProcVisits;
+    Result.SolverJfEvaluations = Solve.JfEvaluations;
+    Result.SolverCellLowerings = Solve.CellLowerings;
+
+    if (!Opts.IntraproceduralOnly) {
+      for (ProcId P = 0, E = static_cast<ProcId>(Prog.Procs.size()); P != E;
+           ++P) {
+        if (!CG.isReachable(P)) {
+          Result.NeverCalled.push_back(Prog.Procs[P]->name());
+          continue;
+        }
+        for (auto [Sym, Value] : Solve.constants(P)) {
+          Result.Constants[P].push_back(
+              {Symbols.symbol(Sym).Name, Value});
+          // Metzger & Stroud's observation: many constant globals are
+          // known on entry but never referenced by the procedure.
+          if (MRI && Symbols.symbol(Sym).Kind == SymbolKind::Global &&
+              !MRI->refs(P, Sym))
+            ++Result.KnownButIrrelevant;
+        }
+      }
+    }
+
+    if (Opts.EmitTransformedSource) {
+      AstPrinter Printer(&Subs.Map);
+      Result.TransformedSource = Printer.programToString(Prog);
+    }
+    Result.Substitutions = std::move(Subs.Map);
+    return Result;
+  }
+}
+
+PipelineResult ipcp::runPipeline(std::string_view Source,
+                                 const PipelineOptions &Opts) {
+  DiagnosticEngine Diags;
+  auto Ctx = parseProgram(Source, Diags);
+  SymbolTable Symbols;
+  if (!Diags.hasErrors())
+    Symbols = Sema::run(*Ctx, Diags);
+  if (Diags.hasErrors()) {
+    PipelineResult Result;
+    Result.Error = Diags.str();
+    return Result;
+  }
+  return runPipelineOnAst(*Ctx, Symbols, Opts);
+}

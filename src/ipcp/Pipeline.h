@@ -1,0 +1,113 @@
+//===- ipcp/Pipeline.h - Whole-program analysis driver ----------*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top of the public API: runs the complete analyzer over MiniFort
+/// source under one configuration and reports everything the paper's
+/// experiments measure. Every column of Tables 2 and 3 is one
+/// PipelineOptions setting:
+///
+///   Table 2: Kind x UseReturnJumpFunctions (UseMod on)
+///   Table 3: {Polynomial, no MOD} / {Polynomial, MOD} /
+///            {Polynomial, MOD, CompletePropagation} /
+///            {IntraproceduralOnly}
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_IPCP_PIPELINE_H
+#define IPCP_IPCP_PIPELINE_H
+
+#include "ipcp/JumpFunctionBuilder.h"
+#include "ipcp/Solver.h"
+#include "ipcp/Substitution.h"
+#include "lang/Sema.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ipcp {
+
+/// One analyzer configuration.
+struct PipelineOptions {
+  /// Which forward jump function to build (§3.1).
+  JumpFunctionKind Kind = JumpFunctionKind::Polynomial;
+  /// Build/use return jump functions (§3.2).
+  bool UseReturnJumpFunctions = true;
+  /// Use interprocedural MOD summaries (Table 3 toggles this).
+  bool UseMod = true;
+  /// Iterate {propagate, dead-code eliminate, reset to TOP} to a fixed
+  /// point — the paper's "complete propagation" (Table 3, column 3).
+  /// Mutates the AST.
+  bool CompletePropagation = false;
+  /// Skip the interprocedural phases entirely: SCCP per procedure with
+  /// BOTTOM entries but MOD-aware call effects (Table 3, column 4).
+  bool IntraproceduralOnly = false;
+  /// Build jump functions over gated SSA (paper §4.2); an alternative to
+  /// CompletePropagation that needs no iteration.
+  bool UseGatedSsa = false;
+  /// Fixpoint strategy for the interprocedural solver.
+  SolverStrategy Strategy = SolverStrategy::Worklist;
+  /// Also render the transformed source with constants substituted.
+  bool EmitTransformedSource = false;
+};
+
+/// Everything one run reports.
+struct PipelineResult {
+  bool Ok = false;
+  /// Diagnostics text when !Ok.
+  std::string Error;
+
+  /// The paper's headline metric: constants substituted into the code.
+  unsigned SubstitutedConstants = 0;
+  /// Executable prints with a known constant operand (transform-stable
+  /// effectiveness metric; see comparison_wz).
+  unsigned ConstantPrints = 0;
+  /// CONSTANTS entries for globals the procedure never references —
+  /// "known but irrelevant" in Metzger & Stroud's terms (§4.1), the very
+  /// reason the paper counts substitutions rather than set sizes.
+  unsigned KnownButIrrelevant = 0;
+  /// Per-procedure breakdown, indexed by ProcId.
+  std::vector<unsigned> PerProcSubstituted;
+  /// Procedure names, indexed by ProcId.
+  std::vector<std::string> ProcNames;
+  /// CONSTANTS(p) rendered as (symbol name, value), per procedure.
+  std::vector<std::vector<std::pair<std::string, int64_t>>> Constants;
+  /// Procedures never invoked (all VAL cells remained TOP).
+  std::vector<std::string> NeverCalled;
+
+  /// Complete propagation: how many DCE rounds ran (0 when the first
+  /// propagation already found no foldable branch) and how many branches
+  /// they folded.
+  unsigned DceRounds = 0;
+  unsigned FoldedBranches = 0;
+
+  JumpFunctionStats JfStats;
+  unsigned SolverProcVisits = 0;
+  unsigned SolverJfEvaluations = 0;
+  unsigned SolverCellLowerings = 0;
+
+  /// VarRefExpr id -> proven constant, for every substituted use. Keyed
+  /// on the analyzed AST, so only meaningful to callers that hold it
+  /// (runPipelineOnAst users and the examples).
+  SubstitutionMap Substitutions;
+
+  /// Transformed source (only when EmitTransformedSource).
+  std::string TransformedSource;
+};
+
+/// Parses, checks, and analyzes \p Source under \p Opts.
+PipelineResult runPipeline(std::string_view Source,
+                           const PipelineOptions &Opts);
+
+/// Runs the analysis phases over an already-checked program. Mutates the
+/// AST when Opts.CompletePropagation. Exposed for the driver and tests.
+PipelineResult runPipelineOnAst(AstContext &Ctx, const SymbolTable &Symbols,
+                                const PipelineOptions &Opts);
+
+} // namespace ipcp
+
+#endif // IPCP_IPCP_PIPELINE_H

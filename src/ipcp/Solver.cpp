@@ -1,0 +1,293 @@
+//===- ipcp/Solver.cpp - Interprocedural propagation ----------------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ipcp/Solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+using namespace ipcp;
+
+std::vector<std::pair<SymbolId, int64_t>>
+SolveResult::constants(ProcId P) const {
+  std::vector<std::pair<SymbolId, int64_t>> Out;
+  for (const auto &[Sym, V] : Val.at(P))
+    if (V.isConst())
+      Out.push_back({Sym, V.value()});
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+LatticeValue SolveResult::valueOf(ProcId P, SymbolId Sym) const {
+  if (P >= Val.size())
+    return LatticeValue::top();
+  auto It = Val[P].find(Sym);
+  return It == Val[P].end() ? LatticeValue::top() : It->second;
+}
+
+size_t SolveResult::numConstantCells() const {
+  size_t N = 0;
+  for (const auto &Cells : Val)
+    for (const auto &[Sym, V] : Cells)
+      N += V.isConst();
+  return N;
+}
+
+namespace {
+
+/// Shared state of one propagation run.
+class Propagation {
+public:
+  Propagation(const SymbolTable &Symbols, const CallGraph &CG,
+              const ProgramJumpFunctions &Jfs)
+      : Symbols(Symbols), CG(CG), Jfs(Jfs) {
+    Result.Val.resize(CG.numProcs());
+    for (ProcId P = 0, E = static_cast<ProcId>(CG.numProcs()); P != E; ++P)
+      for (SymbolId Sym : Symbols.interproceduralParams(P))
+        Result.Val[P].emplace(Sym, LatticeValue::top());
+    // The entry procedure runs with no caller: nothing is known about
+    // the (uninitialized) globals.
+    for (auto &[Sym, V] : Result.Val[CG.entry()])
+      V = LatticeValue::bottom();
+  }
+
+  /// Evaluates all call sites of \p Caller. Returns the callees whose
+  /// VAL changed.
+  std::vector<ProcId> processProc(ProcId Caller) {
+    ++Result.ProcVisits;
+    std::vector<ProcId> Changed;
+    const auto &Sites = CG.callSitesIn(Caller);
+    const auto &SiteJfs = Jfs.PerSite[Caller];
+    assert(Sites.size() == SiteJfs.size() &&
+           "jump functions out of sync with call graph");
+
+    auto Env = [this, Caller](SymbolId Sym) {
+      auto It = Result.Val[Caller].find(Sym);
+      assert(It != Result.Val[Caller].end() &&
+             "jump function support escapes the caller's parameters");
+      return It->second;
+    };
+
+    for (uint32_t SI = 0, SE = static_cast<uint32_t>(Sites.size()); SI != SE;
+         ++SI) {
+      ProcId Callee = Sites[SI].Callee;
+      bool CalleeChanged = false;
+
+      auto meetInto = [&](SymbolId Sym, const JumpFunction &J) {
+        ++Result.JfEvaluations;
+        LatticeValue V = J.eval(Env);
+        auto It = Result.Val[Callee].find(Sym);
+        assert(It != Result.Val[Callee].end());
+        LatticeValue New = It->second.meet(V);
+        if (New != It->second) {
+          It->second = New;
+          ++Result.CellLowerings;
+          CalleeChanged = true;
+        }
+      };
+
+      const auto &Formals = Symbols.formals(Callee);
+      for (uint32_t I = 0, E = static_cast<uint32_t>(Formals.size()); I != E;
+           ++I)
+        meetInto(Formals[I], SiteJfs[SI].Args[I]);
+      const auto &Globals = Symbols.globalScalars();
+      for (uint32_t I = 0, E = static_cast<uint32_t>(Globals.size()); I != E;
+           ++I)
+        meetInto(Globals[I], SiteJfs[SI].Globals[I]);
+
+      if (CalleeChanged)
+        Changed.push_back(Callee);
+    }
+    return Changed;
+  }
+
+  SolveResult take() { return std::move(Result); }
+
+  const SymbolTable &Symbols;
+  const CallGraph &CG;
+  const ProgramJumpFunctions &Jfs;
+  SolveResult Result;
+};
+
+} // namespace
+
+namespace {
+
+/// The binding multi-graph formulation: cells are (procedure, symbol)
+/// pairs; each jump function J at a call edge (p, s) -> q for callee
+/// cell (q, x) is a hyper-edge from its support cells {(p, z)} to
+/// (q, x). Lowering a cell re-evaluates only the jump functions whose
+/// support contains it — finer-grained than the procedure worklist.
+class BindingGraphSolver {
+public:
+  BindingGraphSolver(const SymbolTable &Symbols, const CallGraph &CG,
+                     const ProgramJumpFunctions &Jfs, SolveResult &Result)
+      : Symbols(Symbols), CG(CG), Jfs(Jfs), Result(Result) {
+    buildCells();
+    buildEdges();
+  }
+
+  void run() {
+    // Every edge is evaluated once; afterwards only support-triggered
+    // re-evaluations happen.
+    for (uint32_t E = 0; E != Edges.size(); ++E)
+      scheduleEdge(E);
+    while (!Work.empty()) {
+      uint32_t E = Work.back();
+      Work.pop_back();
+      InWork[E] = 0;
+      evaluateEdge(E);
+    }
+    // ProcVisits is not meaningful here; report cell count instead of 0
+    // to keep the stats interpretable.
+    Result.ProcVisits = static_cast<unsigned>(Cells.size());
+  }
+
+private:
+  struct Cell {
+    ProcId Proc;
+    SymbolId Sym;
+  };
+  struct Edge {
+    ProcId Caller;
+    const JumpFunction *Jf;
+    uint32_t Target; ///< Cell index.
+  };
+
+  uint32_t cellIndex(ProcId P, SymbolId Sym) {
+    auto Key = (uint64_t(P) << 32) | Sym;
+    auto It = CellIdx.find(Key);
+    assert(It != CellIdx.end() && "unknown binding cell");
+    return It->second;
+  }
+
+  void buildCells() {
+    for (ProcId P = 0; P != CG.numProcs(); ++P)
+      for (SymbolId Sym : Symbols.interproceduralParams(P)) {
+        auto Key = (uint64_t(P) << 32) | Sym;
+        CellIdx.emplace(Key, uint32_t(Cells.size()));
+        Cells.push_back({P, Sym});
+      }
+  }
+
+  void buildEdges() {
+    UsersOf.assign(Cells.size(), {});
+    for (ProcId P : CG.topDownOrder()) {
+      const auto &Sites = CG.callSitesIn(P);
+      const auto &SiteJfs = Jfs.PerSite[P];
+      for (uint32_t SI = 0; SI != Sites.size(); ++SI) {
+        ProcId Callee = Sites[SI].Callee;
+        auto addEdge = [&](SymbolId TargetSym, const JumpFunction &J) {
+          uint32_t E = static_cast<uint32_t>(Edges.size());
+          Edges.push_back({P, &J, cellIndex(Callee, TargetSym)});
+          for (SymbolId Support : J.support())
+            UsersOf[cellIndex(P, Support)].push_back(E);
+        };
+        const auto &Formals = Symbols.formals(Callee);
+        for (uint32_t I = 0; I != Formals.size(); ++I)
+          addEdge(Formals[I], SiteJfs[SI].Args[I]);
+        const auto &Globals = Symbols.globalScalars();
+        for (uint32_t I = 0; I != Globals.size(); ++I)
+          addEdge(Globals[I], SiteJfs[SI].Globals[I]);
+      }
+    }
+    InWork.assign(Edges.size(), 0);
+  }
+
+  void scheduleEdge(uint32_t E) {
+    if (!InWork[E]) {
+      InWork[E] = 1;
+      Work.push_back(E);
+    }
+  }
+
+  void evaluateEdge(uint32_t E) {
+    const Edge &Ed = Edges[E];
+    ++Result.JfEvaluations;
+    auto Env = [&](SymbolId Sym) {
+      auto It = Result.Val[Ed.Caller].find(Sym);
+      assert(It != Result.Val[Ed.Caller].end());
+      return It->second;
+    };
+    LatticeValue V = Ed.Jf->eval(Env);
+    Cell &Target = Cells[Ed.Target];
+    auto It = Result.Val[Target.Proc].find(Target.Sym);
+    assert(It != Result.Val[Target.Proc].end());
+    LatticeValue New = It->second.meet(V);
+    if (New == It->second)
+      return;
+    It->second = New;
+    ++Result.CellLowerings;
+    for (uint32_t User : UsersOf[Ed.Target])
+      scheduleEdge(User);
+  }
+
+  const SymbolTable &Symbols;
+  const CallGraph &CG;
+  const ProgramJumpFunctions &Jfs;
+  SolveResult &Result;
+  std::vector<Cell> Cells;
+  std::unordered_map<uint64_t, uint32_t> CellIdx;
+  std::vector<Edge> Edges;
+  std::vector<std::vector<uint32_t>> UsersOf;
+  std::vector<uint32_t> Work;
+  std::vector<uint8_t> InWork;
+};
+
+} // namespace
+
+SolveResult ipcp::solveConstants(const SymbolTable &Symbols,
+                                 const CallGraph &CG,
+                                 const ProgramJumpFunctions &Jfs,
+                                 SolverStrategy Strategy) {
+  Propagation Prop(Symbols, CG, Jfs);
+
+  if (Strategy == SolverStrategy::BindingGraph) {
+    BindingGraphSolver Solver(Symbols, CG, Jfs, Prop.Result);
+    Solver.run();
+    return Prop.take();
+  }
+
+  if (Strategy == SolverStrategy::Worklist) {
+    std::vector<uint8_t> InWork(CG.numProcs(), 0);
+    std::vector<ProcId> Work;
+    auto push = [&](ProcId P) {
+      if (!InWork[P]) {
+        InWork[P] = 1;
+        Work.push_back(P);
+      }
+    };
+    // Every reachable procedure is visited at least once (its call sites
+    // must run even if nothing ever lowers its own cells — e.g. a
+    // parameterless procedure in a program without globals). Top-down
+    // initial order makes the common acyclic case converge in one pass.
+    for (auto It = CG.topDownOrder().rbegin(),
+              End = CG.topDownOrder().rend();
+         It != End; ++It)
+      push(*It); // Reversed: the stack pops entry first.
+    while (!Work.empty()) {
+      ProcId P = Work.back();
+      Work.pop_back();
+      InWork[P] = 0;
+      // A callee whose cells changed must re-evaluate its own call
+      // sites.
+      for (ProcId Changed : Prop.processProc(P))
+        push(Changed);
+    }
+  } else {
+    bool AnyChange = true;
+    while (AnyChange) {
+      AnyChange = false;
+      unsigned Before = Prop.Result.CellLowerings;
+      for (ProcId P : CG.topDownOrder())
+        Prop.processProc(P);
+      AnyChange = Prop.Result.CellLowerings != Before;
+    }
+  }
+
+  return Prop.take();
+}

@@ -1,0 +1,92 @@
+//===- ipcp/Substitution.cpp - Constant substitution counting -------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ipcp/Substitution.h"
+
+#include "analysis/Sccp.h"
+#include "ir/Dominators.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ipcp;
+
+SubstitutionResult ipcp::countSubstitutions(const Module &M,
+                                            const SymbolTable &Symbols,
+                                            const CallGraph &CG,
+                                            const SolveResult *Solve,
+                                            const ModRefInfo *MRI,
+                                            const ProgramJumpFunctions *Jfs) {
+  SubstitutionResult Result;
+  Result.PerProc.assign(M.Functions.size(), 0);
+
+  SsaForm::KillOracle KillOracle = makeKillOracle(Symbols, MRI);
+  SccpKillFn KillFn;
+  const SccpKillFn *KillFnPtr = nullptr;
+  if (Jfs) {
+    KillFn = makeSccpKillFn(*Jfs, Symbols);
+    KillFnPtr = &KillFn;
+  }
+
+  for (ProcId P : CG.topDownOrder()) {
+    const Function &F = M.function(P);
+    DominatorTree DT(F);
+    SsaForm Ssa(F, Symbols, DT, KillOracle);
+
+    // Seed the entry lattice with this procedure's CONSTANTS set.
+    SccpSeeds Seeds;
+    if (Solve)
+      for (const auto &[Sym, V] : Solve->Val.at(P))
+        Seeds.emplace(Sym, V);
+
+    Sccp Analysis(Ssa, Symbols, Solve ? &Seeds : nullptr, KillFnPtr);
+
+    for (BlockId B = 0, BE = static_cast<BlockId>(F.numBlocks()); B != BE;
+         ++B) {
+      if (!Analysis.blockExecutable(B))
+        continue;
+      const auto &Instrs = F.block(B).Instrs;
+      for (uint32_t I = 0, IE = static_cast<uint32_t>(Instrs.size());
+           I != IE; ++I) {
+        const Instr &In = Instrs[I];
+        const InstrSsaInfo &Info = Ssa.instrInfo(B, I);
+
+        // A by-reference actual the callee may modify must stay a
+        // variable.
+        auto unsubstitutable = [&](const Operand &Op) {
+          if (In.Op != Opcode::Call || !Op.isVar())
+            return false;
+          for (const auto &[Killed, Def] : Info.Kills)
+            if (Killed == Op.Sym)
+              return true;
+          return false;
+        };
+
+        if (In.Op == Opcode::Print &&
+            Analysis.operandValue(B, I, 0).isConst())
+          ++Result.ConstantPrints;
+
+        uint32_t Slot = 0;
+        In.forEachUse([&](const Operand &Op) {
+          uint32_t S = Slot++;
+          if (!Op.isVar() || Op.SourceExpr == 0 || unsubstitutable(Op))
+            return;
+          LatticeValue V = Analysis.value(Info.UseSsa[S]);
+          if (!V.isConst())
+            return;
+          ++Result.Total;
+          ++Result.PerProc[P];
+          Result.Map.emplace(Op.SourceExpr, V.value());
+        });
+      }
+    }
+
+    for (auto [StmtId, Taken] : Analysis.constantBranches())
+      Result.Branches.emplace(StmtId, Taken);
+  }
+
+  return Result;
+}

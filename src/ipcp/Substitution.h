@@ -1,0 +1,71 @@
+//===- ipcp/Substitution.h - Constant substitution counting -----*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stage 4 of the analyzer: recording the results. Following Metzger &
+/// Stroud (paper §4.1), effectiveness is measured as the number of
+/// constants actually substituted into the code — "known but irrelevant"
+/// constants do not count. We count, uniformly for every configuration,
+/// the source-level variable uses that the configuration proves to carry
+/// a known constant (see DESIGN.md §3 "Metric"): an SCCP pass seeded with
+/// the interprocedural CONSTANTS sets (or with BOTTOM for the purely
+/// intraprocedural baseline) runs over each reachable procedure, and
+/// every executable, substitutable use with a constant lattice value
+/// counts once.
+///
+/// A use is *not* substitutable when it is a by-reference actual the
+/// callee may modify — replacing the variable with a literal would break
+/// the binding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_IPCP_SUBSTITUTION_H
+#define IPCP_IPCP_SUBSTITUTION_H
+
+#include "analysis/CallGraph.h"
+#include "analysis/DeadCodeElim.h"
+#include "analysis/ModRef.h"
+#include "ipcp/JumpFunctionBuilder.h"
+#include "ipcp/Solver.h"
+#include "lang/AstPrinter.h"
+
+#include <vector>
+
+namespace ipcp {
+
+/// Outcome of the substitution pass over one program.
+struct SubstitutionResult {
+  /// Total substituted (constant-valued) variable uses.
+  unsigned Total = 0;
+  /// Per-procedure breakdown, indexed by ProcId.
+  std::vector<unsigned> PerProc;
+  /// VarRefExpr id -> constant, for emitting transformed source.
+  SubstitutionMap Map;
+  /// Branches proven constant by the seeded SCCP (input to DCE in the
+  /// complete-propagation loop).
+  DeadCodeElim::Decisions Branches;
+  /// Executable print statements whose operand is a known constant — a
+  /// transform-stable effectiveness metric (print sites survive
+  /// procedure integration, unlike call-argument use sites).
+  unsigned ConstantPrints = 0;
+};
+
+/// Runs the seeded-SCCP substitution pass.
+///
+/// \p Solve supplies the entry seeds (CONSTANTS sets); pass null for the
+/// purely intraprocedural baseline (all entries BOTTOM). \p MRI controls
+/// call kill sets (null = worst case). \p Jfs supplies return jump
+/// functions for call-kill recovery; pass null to disable them.
+SubstitutionResult countSubstitutions(const Module &M,
+                                      const SymbolTable &Symbols,
+                                      const CallGraph &CG,
+                                      const SolveResult *Solve,
+                                      const ModRefInfo *MRI,
+                                      const ProgramJumpFunctions *Jfs);
+
+} // namespace ipcp
+
+#endif // IPCP_IPCP_SUBSTITUTION_H

@@ -1,0 +1,365 @@
+//===- ir/CfgBuilder.cpp - AST to CFG lowering ----------------------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CfgBuilder.h"
+
+#include <cassert>
+
+using namespace ipcp;
+
+namespace {
+
+/// Lowers one procedure.
+class FunctionBuilder {
+public:
+  FunctionBuilder(const Program &Prog, const SymbolTable &Symbols,
+                  ProcId Proc)
+      : Prog(Prog), Symbols(Symbols), ProcIdx(Proc),
+        F(std::make_unique<Function>(Proc, Prog.Procs[Proc]->name())) {}
+
+  std::unique_ptr<Function> run() {
+    Cur = F->addBlock();
+    BlockId Exit = F->addBlock();
+    F->setExitBlock(Exit);
+
+    // Global initializers become a prologue of the entry procedure, the
+    // MiniFort analogue of FORTRAN DATA statements.
+    if (Prog.entryProc() && *Prog.entryProc() == ProcIdx) {
+      for (const GlobalDecl &G : Prog.Globals) {
+        if (!G.Init)
+          continue;
+        Instr I;
+        I.Op = Opcode::Copy;
+        I.Dst = Operand::makeVar(G.Symbol);
+        I.Src1 = Operand::makeConst(*G.Init);
+        emit(std::move(I));
+      }
+    }
+
+    lowerStmts(Prog.Procs[ProcIdx]->Body);
+    if (Cur != InvalidBlock)
+      setJump(Exit);
+
+    Instr Ret;
+    Ret.Op = Opcode::Ret;
+    F->block(Exit).Instrs.push_back(std::move(Ret));
+
+    F->removeUnreachableBlocks();
+    return std::move(F);
+  }
+
+private:
+  void emit(Instr I) {
+    assert(Cur != InvalidBlock && "emission without a current block");
+    assert(F->block(Cur).Instrs.empty() ||
+           !F->block(Cur).Instrs.back().isTerminator());
+    F->block(Cur).Instrs.push_back(std::move(I));
+  }
+
+  /// Terminates the current block with an unconditional jump to \p Target
+  /// and leaves no current block.
+  void setJump(BlockId Target) {
+    Instr I;
+    I.Op = Opcode::Jump;
+    emit(std::move(I));
+    F->block(Cur).Succs = {Target};
+    Cur = InvalidBlock;
+  }
+
+  /// Terminates the current block with a conditional branch.
+  void setBranch(Operand Cond, BlockId TrueBlock, BlockId FalseBlock,
+                 StmtId Source) {
+    Instr I;
+    I.Op = Opcode::Branch;
+    I.Src1 = Cond;
+    I.SourceStmt = Source;
+    emit(std::move(I));
+    F->block(Cur).Succs = {TrueBlock, FalseBlock};
+    Cur = InvalidBlock;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  /// Lowers \p E into the current block and returns the operand holding
+  /// its value. Literals stay Const operands; variable references stay Var
+  /// operands (consumed directly by the using instruction).
+  Operand lowerExpr(const Expr *E) {
+    switch (E->kind()) {
+    case ExprKind::IntLit:
+      return Operand::makeConst(cast<IntLitExpr>(E)->value());
+    case ExprKind::VarRef: {
+      const auto *V = cast<VarRefExpr>(E);
+      return Operand::makeVar(V->symbol(), V->id());
+    }
+    case ExprKind::ArrayRef: {
+      const auto *A = cast<ArrayRefExpr>(E);
+      Operand Index = lowerExpr(A->index());
+      Instr I;
+      I.Op = Opcode::Load;
+      I.Array = A->symbol();
+      I.Src1 = Index;
+      I.Dst = Operand::makeTemp(F->newTemp());
+      Operand Result = I.Dst;
+      emit(std::move(I));
+      return Result;
+    }
+    case ExprKind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      Operand Src = lowerExpr(U->operand());
+      // Negated literals fold to constant operands so "-1" behaves as a
+      // literal everywhere a positive literal would (DO steps, literal
+      // jump functions). Binary expressions are deliberately NOT folded:
+      // "0 + 0" at a call site is not a textual literal (§3.1.1).
+      if (Src.isConst())
+        return Operand::makeConst(evalUnaryOp(U->op(), Src.ConstValue));
+      Instr I;
+      I.Op = Opcode::Unary;
+      I.UnOp = U->op();
+      I.Src1 = Src;
+      I.Dst = Operand::makeTemp(F->newTemp());
+      Operand Result = I.Dst;
+      emit(std::move(I));
+      return Result;
+    }
+    case ExprKind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      Operand Lhs = lowerExpr(B->lhs());
+      Operand Rhs = lowerExpr(B->rhs());
+      Instr I;
+      I.Op = Opcode::Binary;
+      I.BinOp = B->op();
+      I.Src1 = Lhs;
+      I.Src2 = Rhs;
+      I.Dst = Operand::makeTemp(F->newTemp());
+      Operand Result = I.Dst;
+      emit(std::move(I));
+      return Result;
+    }
+    }
+    assert(false && "unknown expression kind");
+    return Operand();
+  }
+
+  /// Like lowerExpr, but guarantees the result is immune to later variable
+  /// assignments: Var operands are copied into a fresh temporary. Used for
+  /// DO-loop bounds, which FORTRAN captures once at loop entry.
+  Operand lowerExprCaptured(const Expr *E) {
+    Operand Op = lowerExpr(E);
+    if (!Op.isVar())
+      return Op;
+    Instr I;
+    I.Op = Opcode::Copy;
+    I.Src1 = Op;
+    I.Dst = Operand::makeTemp(F->newTemp());
+    Operand Result = I.Dst;
+    emit(std::move(I));
+    return Result;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  void lowerStmts(const std::vector<Stmt *> &Stmts) {
+    for (const Stmt *S : Stmts) {
+      if (Cur == InvalidBlock) {
+        // Code after a 'return' in the same statement list: unreachable.
+        // Lower it into a detached block so diagnostics still see it; the
+        // final unreachable-block sweep deletes it.
+        Cur = F->addBlock();
+      }
+      lowerStmt(S);
+    }
+  }
+
+  void lowerStmt(const Stmt *S) {
+    switch (S->kind()) {
+    case StmtKind::Assign:
+      return lowerAssign(cast<AssignStmt>(S));
+    case StmtKind::Call:
+      return lowerCall(cast<CallStmt>(S));
+    case StmtKind::If:
+      return lowerIf(cast<IfStmt>(S));
+    case StmtKind::DoLoop:
+      return lowerDo(cast<DoLoopStmt>(S));
+    case StmtKind::While:
+      return lowerWhile(cast<WhileStmt>(S));
+    case StmtKind::Print: {
+      Instr I;
+      I.Op = Opcode::Print;
+      I.Src1 = lowerExpr(cast<PrintStmt>(S)->value());
+      I.SourceStmt = S->id();
+      emit(std::move(I));
+      return;
+    }
+    case StmtKind::Read: {
+      Instr I;
+      I.Op = Opcode::Read;
+      I.Dst = Operand::makeVar(cast<ReadStmt>(S)->target()->symbol());
+      I.SourceStmt = S->id();
+      emit(std::move(I));
+      return;
+    }
+    case StmtKind::Return:
+      setJump(F->exitBlock());
+      return;
+    }
+  }
+
+  void lowerAssign(const AssignStmt *S) {
+    if (const auto *V = dyn_cast<VarRefExpr>(S->target())) {
+      Operand Value = lowerExpr(S->value());
+      Instr I;
+      I.Op = Opcode::Copy;
+      I.Dst = Operand::makeVar(V->symbol()); // Definition: no SourceExpr.
+      I.Src1 = Value;
+      I.SourceStmt = S->id();
+      emit(std::move(I));
+      return;
+    }
+    const auto *A = cast<ArrayRefExpr>(S->target());
+    Operand Index = lowerExpr(A->index());
+    Operand Value = lowerExpr(S->value());
+    Instr I;
+    I.Op = Opcode::Store;
+    I.Array = A->symbol();
+    I.Src1 = Index;
+    I.Src2 = Value;
+    I.SourceStmt = S->id();
+    emit(std::move(I));
+  }
+
+  void lowerCall(const CallStmt *S) {
+    Instr I;
+    I.Op = Opcode::Call;
+    I.Callee = S->callee();
+    I.SourceStmt = S->id();
+    for (const Expr *Arg : S->args())
+      I.Args.push_back(lowerExpr(Arg));
+    emit(std::move(I));
+  }
+
+  void lowerIf(const IfStmt *S) {
+    Operand Cond = lowerExpr(S->cond());
+    BlockId ThenBlock = F->addBlock();
+    BlockId ElseBlock = S->elseBody().empty() ? InvalidBlock : F->addBlock();
+    BlockId JoinBlock = F->addBlock();
+    setBranch(Cond, ThenBlock,
+              ElseBlock == InvalidBlock ? JoinBlock : ElseBlock, S->id());
+
+    Cur = ThenBlock;
+    lowerStmts(S->thenBody());
+    if (Cur != InvalidBlock)
+      setJump(JoinBlock);
+
+    if (ElseBlock != InvalidBlock) {
+      Cur = ElseBlock;
+      lowerStmts(S->elseBody());
+      if (Cur != InvalidBlock)
+        setJump(JoinBlock);
+    }
+    Cur = JoinBlock;
+  }
+
+  void lowerWhile(const WhileStmt *S) {
+    BlockId Header = F->addBlock();
+    setJump(Header);
+
+    Cur = Header;
+    Operand Cond = lowerExpr(S->cond());
+    BlockId Body = F->addBlock();
+    BlockId Exit = F->addBlock();
+    setBranch(Cond, Body, Exit, S->id());
+
+    Cur = Body;
+    lowerStmts(S->body());
+    if (Cur != InvalidBlock)
+      setJump(Header);
+    Cur = Exit;
+  }
+
+  void lowerDo(const DoLoopStmt *S) {
+    // Bounds and step are captured once, before the loop (FORTRAN
+    // semantics). A constant step selects the comparison direction; a
+    // non-constant step is assumed positive (documented MiniFort rule).
+    Operand Lo = lowerExpr(S->lo());
+    Operand Hi = lowerExprCaptured(S->hi());
+    Operand Step = S->step() ? lowerExprCaptured(S->step())
+                             : Operand::makeConst(1);
+    bool Descending = Step.isConst() && Step.ConstValue < 0;
+
+    SymbolId Var = S->var()->symbol();
+    Instr Init;
+    Init.Op = Opcode::Copy;
+    Init.Dst = Operand::makeVar(Var);
+    Init.Src1 = Lo;
+    Init.SourceStmt = S->id();
+    emit(std::move(Init));
+
+    BlockId Header = F->addBlock();
+    setJump(Header);
+
+    Cur = Header;
+    Instr Cmp;
+    Cmp.Op = Opcode::Binary;
+    Cmp.BinOp = Descending ? BinaryOp::CmpGe : BinaryOp::CmpLe;
+    // The loop-variable read in the header is compiler-generated, so it
+    // carries no SourceExpr and is never counted as a substitutable use.
+    Cmp.Src1 = Operand::makeVar(Var);
+    Cmp.Src2 = Hi;
+    Cmp.Dst = Operand::makeTemp(F->newTemp());
+    Operand Cond = Cmp.Dst;
+    emit(std::move(Cmp));
+
+    BlockId Body = F->addBlock();
+    BlockId Exit = F->addBlock();
+    setBranch(Cond, Body, Exit, S->id());
+
+    Cur = Body;
+    lowerStmts(S->body());
+    if (Cur != InvalidBlock) {
+      Instr Inc;
+      Inc.Op = Opcode::Binary;
+      Inc.BinOp = BinaryOp::Add;
+      Inc.Src1 = Operand::makeVar(Var);
+      Inc.Src2 = Step;
+      Inc.Dst = Operand::makeTemp(F->newTemp());
+      Operand Next = Inc.Dst;
+      emit(std::move(Inc));
+      Instr Upd;
+      Upd.Op = Opcode::Copy;
+      Upd.Dst = Operand::makeVar(Var);
+      Upd.Src1 = Next;
+      emit(std::move(Upd));
+      setJump(Header);
+    }
+    Cur = Exit;
+  }
+
+  const Program &Prog;
+  const SymbolTable &Symbols;
+  ProcId ProcIdx;
+  std::unique_ptr<Function> F;
+  BlockId Cur = InvalidBlock;
+};
+
+} // namespace
+
+std::unique_ptr<Function> ipcp::buildFunction(const Program &Prog,
+                                              const SymbolTable &Symbols,
+                                              ProcId Proc) {
+  FunctionBuilder Builder(Prog, Symbols, Proc);
+  return Builder.run();
+}
+
+Module ipcp::buildModule(const Program &Prog, const SymbolTable &Symbols) {
+  Module M;
+  for (ProcId P = 0, E = static_cast<ProcId>(Prog.Procs.size()); P != E; ++P)
+    M.Functions.push_back(buildFunction(Prog, Symbols, P));
+  return M;
+}

@@ -1,0 +1,44 @@
+//===- ir/CfgBuilder.h - AST to CFG lowering --------------------*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers semantically-checked MiniFort procedures to the quad CFG.
+///
+/// Lowering invariants relied on elsewhere:
+///  * every source variable use lowers to exactly one Var operand tagged
+///    with its VarRefExpr id;
+///  * literal call arguments stay Const operands (the literal jump
+///    function is a textual property, paper §3.1.1);
+///  * DO-loop bounds are captured in temporaries at loop entry (FORTRAN
+///    semantics);
+///  * each function has a single exit block holding the only Ret;
+///  * global initializers are lowered into a prologue of the entry
+///    procedure (the analogue of DATA statements).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_IR_CFGBUILDER_H
+#define IPCP_IR_CFGBUILDER_H
+
+#include "ir/Function.h"
+#include "lang/Ast.h"
+#include "lang/Sema.h"
+
+#include <memory>
+
+namespace ipcp {
+
+/// Lowers every procedure of \p Prog. Requires error-free Sema results.
+Module buildModule(const Program &Prog, const SymbolTable &Symbols);
+
+/// Lowers a single procedure (exposed for unit tests).
+std::unique_ptr<Function> buildFunction(const Program &Prog,
+                                        const SymbolTable &Symbols,
+                                        ProcId Proc);
+
+} // namespace ipcp
+
+#endif // IPCP_IR_CFGBUILDER_H

@@ -1,0 +1,97 @@
+//===- ir/Dominators.cpp - Dominator tree and frontiers -------------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Dominators.h"
+
+#include <cassert>
+
+using namespace ipcp;
+
+DominatorTree::DominatorTree(const Function &F) {
+  size_t N = F.numBlocks();
+  Idom.assign(N, InvalidBlock);
+  Children.assign(N, {});
+  Frontier.assign(N, {});
+  RpoNumber.assign(N, UINT32_MAX);
+
+  Rpo = F.reversePostOrder();
+  for (uint32_t I = 0, E = static_cast<uint32_t>(Rpo.size()); I != E; ++I)
+    RpoNumber[Rpo[I]] = I;
+
+  // Cooper-Harvey-Kennedy: intersect along idom chains until fixpoint.
+  auto intersect = [&](BlockId A, BlockId B) {
+    while (A != B) {
+      while (RpoNumber[A] > RpoNumber[B])
+        A = Idom[A];
+      while (RpoNumber[B] > RpoNumber[A])
+        B = Idom[B];
+    }
+    return A;
+  };
+
+  BlockId Entry = F.entry();
+  Idom[Entry] = Entry;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BlockId B : Rpo) {
+      if (B == Entry)
+        continue;
+      BlockId NewIdom = InvalidBlock;
+      for (BlockId P : F.block(B).Preds) {
+        if (Idom[P] == InvalidBlock)
+          continue; // Unreachable or not yet processed.
+        NewIdom = NewIdom == InvalidBlock ? P : intersect(P, NewIdom);
+      }
+      assert(NewIdom != InvalidBlock && "reachable block with no "
+                                        "processed predecessor");
+      if (Idom[B] != NewIdom) {
+        Idom[B] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+
+  for (BlockId B : Rpo)
+    if (B != Entry)
+      Children[Idom[B]].push_back(B);
+
+  // Dominance frontiers (CHK): walk up from each join point's preds.
+  for (BlockId B : Rpo) {
+    const auto &Preds = F.block(B).Preds;
+    if (Preds.size() < 2)
+      continue;
+    for (BlockId P : Preds) {
+      if (Idom[P] == InvalidBlock)
+        continue;
+      BlockId Runner = P;
+      while (Runner != Idom[B]) {
+        Frontier[Runner].push_back(B);
+        Runner = Idom[Runner];
+      }
+    }
+  }
+  // Deduplicate frontier entries (a node can reach the same join through
+  // several predecessors).
+  for (auto &DF : Frontier) {
+    std::vector<uint8_t> Seen(N, 0);
+    std::vector<BlockId> Unique;
+    for (BlockId B : DF)
+      if (!Seen[B]) {
+        Seen[B] = 1;
+        Unique.push_back(B);
+      }
+    DF = std::move(Unique);
+  }
+}
+
+bool DominatorTree::dominates(BlockId A, BlockId B) const {
+  assert(isReachable(A) && isReachable(B) &&
+         "dominance query on unreachable block");
+  while (B != A && B != Idom[B])
+    B = Idom[B];
+  return B == A;
+}

@@ -1,0 +1,64 @@
+//===- ir/Dominators.h - Dominator tree and frontiers -----------*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator tree and dominance frontiers via the iterative algorithm of
+/// Cooper, Harvey & Kennedy ("A Simple, Fast Dominance Algorithm"), used
+/// by the SSA construction of Cytron et al. (paper reference [8]).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_IR_DOMINATORS_H
+#define IPCP_IR_DOMINATORS_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace ipcp {
+
+/// Dominator information for one function. All queries refer to blocks
+/// reachable from the entry (the CFG builder prunes the rest; the exit
+/// block of a non-terminating function may still be unreachable and then
+/// has no dominator data).
+class DominatorTree {
+public:
+  /// Builds the tree for \p F. Requires up-to-date predecessor lists.
+  explicit DominatorTree(const Function &F);
+
+  /// Immediate dominator of \p B; the entry is its own idom. InvalidBlock
+  /// for unreachable blocks.
+  BlockId idom(BlockId B) const { return Idom[B]; }
+
+  /// True if \p A dominates \p B (reflexive).
+  bool dominates(BlockId A, BlockId B) const;
+
+  /// Children of \p B in the dominator tree.
+  const std::vector<BlockId> &children(BlockId B) const {
+    return Children[B];
+  }
+
+  /// Dominance frontier of \p B.
+  const std::vector<BlockId> &frontier(BlockId B) const {
+    return Frontier[B];
+  }
+
+  /// The reverse postorder used to build the tree (reachable blocks only).
+  const std::vector<BlockId> &reversePostOrder() const { return Rpo; }
+
+  bool isReachable(BlockId B) const { return Idom[B] != InvalidBlock; }
+
+private:
+  std::vector<BlockId> Idom;
+  std::vector<std::vector<BlockId>> Children;
+  std::vector<std::vector<BlockId>> Frontier;
+  std::vector<BlockId> Rpo;
+  std::vector<uint32_t> RpoNumber;
+};
+
+} // namespace ipcp
+
+#endif // IPCP_IR_DOMINATORS_H

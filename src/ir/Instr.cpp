@@ -1,0 +1,69 @@
+//===- ir/Instr.cpp - Quad instructions and operands ----------------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Instr.h"
+
+using namespace ipcp;
+
+bool ipcp::evalBinaryOp(BinaryOp Op, int64_t Lhs, int64_t Rhs,
+                        int64_t &Result) {
+  switch (Op) {
+  case BinaryOp::Add:
+    Result = Lhs + Rhs;
+    return true;
+  case BinaryOp::Sub:
+    Result = Lhs - Rhs;
+    return true;
+  case BinaryOp::Mul:
+    Result = Lhs * Rhs;
+    return true;
+  case BinaryOp::Div:
+    if (Rhs == 0)
+      return false;
+    Result = Lhs / Rhs;
+    return true;
+  case BinaryOp::Mod:
+    if (Rhs == 0)
+      return false;
+    Result = Lhs % Rhs;
+    return true;
+  case BinaryOp::CmpEq:
+    Result = Lhs == Rhs;
+    return true;
+  case BinaryOp::CmpNe:
+    Result = Lhs != Rhs;
+    return true;
+  case BinaryOp::CmpLt:
+    Result = Lhs < Rhs;
+    return true;
+  case BinaryOp::CmpLe:
+    Result = Lhs <= Rhs;
+    return true;
+  case BinaryOp::CmpGt:
+    Result = Lhs > Rhs;
+    return true;
+  case BinaryOp::CmpGe:
+    Result = Lhs >= Rhs;
+    return true;
+  case BinaryOp::LogicalAnd:
+    Result = (Lhs != 0) && (Rhs != 0);
+    return true;
+  case BinaryOp::LogicalOr:
+    Result = (Lhs != 0) || (Rhs != 0);
+    return true;
+  }
+  return false;
+}
+
+int64_t ipcp::evalUnaryOp(UnaryOp Op, int64_t Value) {
+  switch (Op) {
+  case UnaryOp::Neg:
+    return -Value;
+  case UnaryOp::LogicalNot:
+    return Value == 0;
+  }
+  return 0;
+}

@@ -1,0 +1,177 @@
+//===- ir/Instr.h - Quad instructions and operands --------------*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The quad-style IR that MiniFort procedures lower to. Operands reference
+/// scalar symbols, compiler temporaries, or integer constants; every
+/// source-level variable *use* lowers to exactly one Var operand tagged
+/// with the originating VarRefExpr id, which is what lets the substitution
+/// pass count "constants substituted into the code" the way the paper does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_IR_INSTR_H
+#define IPCP_IR_INSTR_H
+
+#include "lang/Ast.h"
+#include "lang/Sema.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ipcp {
+
+/// Id of a compiler temporary within one function. Each temporary is
+/// defined exactly once, so temporaries are born in SSA form.
+using TempId = uint32_t;
+
+/// What an operand denotes.
+enum class OperandKind : uint8_t {
+  None,  ///< Absent (e.g. unused slot).
+  Const, ///< Integer literal.
+  Var,   ///< Scalar variable (global, formal, or local).
+  Temp,  ///< Compiler temporary.
+};
+
+/// One instruction operand.
+struct Operand {
+  OperandKind Kind = OperandKind::None;
+  int64_t ConstValue = 0;      ///< For Const.
+  SymbolId Sym = InvalidSymbol; ///< For Var.
+  TempId Temp = 0;             ///< For Temp.
+  /// The VarRefExpr this operand lowered from, or 0. Only set on Var
+  /// operands that represent a source-level variable use.
+  ExprId SourceExpr = 0;
+
+  static Operand makeConst(int64_t Value) {
+    Operand Op;
+    Op.Kind = OperandKind::Const;
+    Op.ConstValue = Value;
+    return Op;
+  }
+  static Operand makeVar(SymbolId Sym, ExprId Source = 0) {
+    Operand Op;
+    Op.Kind = OperandKind::Var;
+    Op.Sym = Sym;
+    Op.SourceExpr = Source;
+    return Op;
+  }
+  static Operand makeTemp(TempId Temp) {
+    Operand Op;
+    Op.Kind = OperandKind::Temp;
+    Op.Temp = Temp;
+    return Op;
+  }
+
+  bool isConst() const { return Kind == OperandKind::Const; }
+  bool isVar() const { return Kind == OperandKind::Var; }
+  bool isTemp() const { return Kind == OperandKind::Temp; }
+  bool isNone() const { return Kind == OperandKind::None; }
+};
+
+/// Instruction opcodes. Branch/Jump/Ret are block terminators.
+enum class Opcode : uint8_t {
+  Copy,   ///< Dst = Src1
+  Unary,  ///< Dst = UnOp Src1
+  Binary, ///< Dst = Src1 BinOp Src2
+  Load,   ///< Dst = Array[Src1]           (opaque to constants)
+  Store,  ///< Array[Src1] = Src2
+  Call,   ///< call Callee(Args...)
+  Read,   ///< Dst = <runtime input>        (source of BOTTOM)
+  Print,  ///< print Src1                   (pure use)
+  Branch, ///< if Src1 != 0 goto succ[0] else succ[1]
+  Jump,   ///< goto succ[0]
+  Ret,    ///< procedure return
+};
+
+/// One quad. A plain struct: the set of meaningful fields depends on the
+/// opcode (see the per-opcode comments above).
+struct Instr {
+  Opcode Op = Opcode::Ret;
+  /// Destination (Var or Temp) for Copy/Unary/Binary/Load/Read.
+  Operand Dst;
+  /// First source: Copy/Unary src, Binary lhs, Load/Store index, Branch
+  /// condition, Print value.
+  Operand Src1;
+  /// Second source: Binary rhs, Store value.
+  Operand Src2;
+  UnaryOp UnOp = UnaryOp::Neg;   ///< For Unary.
+  BinaryOp BinOp = BinaryOp::Add; ///< For Binary.
+  SymbolId Array = InvalidSymbol; ///< For Load/Store.
+  ProcId Callee = UINT32_MAX;     ///< For Call.
+  std::vector<Operand> Args;      ///< For Call, in parameter order.
+  /// The source statement this instruction lowered from (0 if synthetic).
+  /// Branch instructions use it to map back to IfStmt/WhileStmt/DoLoopStmt
+  /// nodes for dead-code elimination.
+  StmtId SourceStmt = 0;
+
+  bool isTerminator() const {
+    return Op == Opcode::Branch || Op == Opcode::Jump || Op == Opcode::Ret;
+  }
+
+  /// Invokes \p Fn on every source operand (not Dst), in slot order. For
+  /// calls, the arguments are the source operands.
+  template <typename FnT> void forEachUse(FnT Fn) {
+    switch (Op) {
+    case Opcode::Copy:
+    case Opcode::Unary:
+    case Opcode::Print:
+    case Opcode::Branch:
+      Fn(Src1);
+      break;
+    case Opcode::Binary:
+    case Opcode::Store:
+      Fn(Src1);
+      Fn(Src2);
+      break;
+    case Opcode::Load:
+      Fn(Src1);
+      break;
+    case Opcode::Call:
+      for (Operand &Arg : Args)
+        Fn(Arg);
+      break;
+    case Opcode::Read:
+    case Opcode::Jump:
+    case Opcode::Ret:
+      break;
+    }
+  }
+
+  template <typename FnT> void forEachUse(FnT Fn) const {
+    const_cast<Instr *>(this)->forEachUse(
+        [&](Operand &Op) { Fn(static_cast<const Operand &>(Op)); });
+  }
+
+  /// Returns the destination operand if this instruction defines a scalar
+  /// (variable or temporary), else null. Call kill-defs are not included;
+  /// they live in the SSA overlay because they depend on MOD information.
+  const Operand *def() const {
+    switch (Op) {
+    case Opcode::Copy:
+    case Opcode::Unary:
+    case Opcode::Binary:
+    case Opcode::Load:
+    case Opcode::Read:
+      return &Dst;
+    default:
+      return nullptr;
+    }
+  }
+};
+
+/// Evaluates \p Op applied to \p Lhs and \p Rhs with MiniFort semantics
+/// (truncating division; relational/logical results are 0/1). Returns
+/// false (and leaves \p Result alone) for division/modulo by zero, which
+/// the analyses treat as BOTTOM.
+bool evalBinaryOp(BinaryOp Op, int64_t Lhs, int64_t Rhs, int64_t &Result);
+
+/// Evaluates \p Op applied to \p Value.
+int64_t evalUnaryOp(UnaryOp Op, int64_t Value);
+
+} // namespace ipcp
+
+#endif // IPCP_IR_INSTR_H

@@ -1,0 +1,172 @@
+//===- ir/IrPrinter.cpp - Textual IR dumps --------------------------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IrPrinter.h"
+
+#include <ostream>
+#include <sstream>
+
+using namespace ipcp;
+
+std::string ipcp::operandToString(const Operand &Op,
+                                  const SymbolTable &Symbols) {
+  switch (Op.Kind) {
+  case OperandKind::None:
+    return "<none>";
+  case OperandKind::Const:
+    return std::to_string(Op.ConstValue);
+  case OperandKind::Var:
+    return Symbols.symbol(Op.Sym).Name;
+  case OperandKind::Temp:
+    return "t" + std::to_string(Op.Temp);
+  }
+  return "<bad>";
+}
+
+namespace {
+
+void printInstr(const Instr &In, const SymbolTable &Symbols,
+                const BasicBlock &BB, std::ostream &OS) {
+  auto Op = [&](const Operand &O) { return operandToString(O, Symbols); };
+  switch (In.Op) {
+  case Opcode::Copy:
+    OS << Op(In.Dst) << " = " << Op(In.Src1);
+    break;
+  case Opcode::Unary:
+    OS << Op(In.Dst) << " = " << unaryOpSpelling(In.UnOp) << ' '
+       << Op(In.Src1);
+    break;
+  case Opcode::Binary:
+    OS << Op(In.Dst) << " = " << Op(In.Src1) << ' '
+       << binaryOpSpelling(In.BinOp) << ' ' << Op(In.Src2);
+    break;
+  case Opcode::Load:
+    OS << Op(In.Dst) << " = " << Symbols.symbol(In.Array).Name << '['
+       << Op(In.Src1) << ']';
+    break;
+  case Opcode::Store:
+    OS << Symbols.symbol(In.Array).Name << '[' << Op(In.Src1)
+       << "] = " << Op(In.Src2);
+    break;
+  case Opcode::Call: {
+    OS << "call @" << In.Callee << '(';
+    bool First = true;
+    for (const Operand &Arg : In.Args) {
+      if (!First)
+        OS << ", ";
+      First = false;
+      OS << Op(Arg);
+    }
+    OS << ')';
+    break;
+  }
+  case Opcode::Read:
+    OS << Op(In.Dst) << " = read";
+    break;
+  case Opcode::Print:
+    OS << "print " << Op(In.Src1);
+    break;
+  case Opcode::Branch:
+    OS << "br " << Op(In.Src1) << ", bb" << BB.Succs[0] << ", bb"
+       << BB.Succs[1];
+    break;
+  case Opcode::Jump:
+    OS << "jmp bb" << BB.Succs[0];
+    break;
+  case Opcode::Ret:
+    OS << "ret";
+    break;
+  }
+}
+
+} // namespace
+
+void ipcp::printFunction(const Function &F, const SymbolTable &Symbols,
+                         std::ostream &OS) {
+  OS << "func " << F.name() << " (proc " << F.proc() << ", exit bb"
+     << F.exitBlock() << ")\n";
+  for (BlockId B = 0, E = static_cast<BlockId>(F.numBlocks()); B != E; ++B) {
+    const BasicBlock &BB = F.block(B);
+    OS << "bb" << B << ":";
+    if (!BB.Preds.empty()) {
+      OS << "  ; preds:";
+      for (BlockId P : BB.Preds)
+        OS << " bb" << P;
+    }
+    OS << '\n';
+    for (const Instr &In : BB.Instrs) {
+      OS << "  ";
+      printInstr(In, Symbols, BB, OS);
+      OS << '\n';
+    }
+  }
+}
+
+std::string ipcp::functionToString(const Function &F,
+                                   const SymbolTable &Symbols) {
+  std::ostringstream OS;
+  printFunction(F, Symbols, OS);
+  return OS.str();
+}
+
+void ipcp::printSsa(const SsaForm &Ssa, const SymbolTable &Symbols,
+                    std::ostream &OS) {
+  const Function &F = Ssa.function();
+  auto valName = [&](SsaId Id) {
+    if (Id == InvalidSsa)
+      return std::string("<imm>");
+    const SsaDef &D = Ssa.def(Id);
+    std::string Base = D.Kind == SsaDefKind::TempDef
+                           ? "t" + std::to_string(D.Temp)
+                           : Symbols.symbol(D.Sym).Name;
+    return Base + "." + std::to_string(Id);
+  };
+
+  OS << "func " << F.name() << " [ssa]\n";
+  OS << "  entry:";
+  for (auto [Sym, Id] : Ssa.entryDefs())
+    OS << ' ' << valName(Id);
+  OS << '\n';
+  for (BlockId B = 0, E = static_cast<BlockId>(F.numBlocks()); B != E; ++B) {
+    const BasicBlock &BB = F.block(B);
+    OS << "bb" << B << ":\n";
+    for (const Phi &P : Ssa.phis(B)) {
+      OS << "  " << valName(P.Def) << " = phi";
+      for (uint32_t I = 0, PE = static_cast<uint32_t>(P.Incoming.size());
+           I != PE; ++I)
+        OS << " [bb" << BB.Preds[I] << ": " << valName(P.Incoming[I]) << ']';
+      OS << '\n';
+    }
+    for (uint32_t I = 0, IE = static_cast<uint32_t>(BB.Instrs.size());
+         I != IE; ++I) {
+      const Instr &In = BB.Instrs[I];
+      const InstrSsaInfo &Info = Ssa.instrInfo(B, I);
+      OS << "  ";
+      printInstr(In, Symbols, BB, OS);
+      OS << "  ; uses:";
+      for (SsaId Use : Info.UseSsa)
+        OS << ' ' << valName(Use);
+      if (Info.DefSsa != InvalidSsa)
+        OS << "  def: " << valName(Info.DefSsa);
+      for (auto [Sym, Id] : Info.Kills)
+        OS << "  kill: " << valName(Id);
+      OS << '\n';
+    }
+  }
+  if (Ssa.hasExitEnv()) {
+    OS << "  exit:";
+    for (SsaId Id : Ssa.exitEnv())
+      OS << ' ' << valName(Id);
+    OS << '\n';
+  }
+}
+
+std::string ipcp::ssaToString(const SsaForm &Ssa,
+                              const SymbolTable &Symbols) {
+  std::ostringstream OS;
+  printSsa(Ssa, Symbols, OS);
+  return OS.str();
+}

@@ -1,0 +1,44 @@
+//===- ir/IrPrinter.h - Textual IR dumps ------------------------*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-readable dumps of the quad CFG and its SSA overlay, for tests
+/// and the --dump-ir mode of the driver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_IR_IRPRINTER_H
+#define IPCP_IR_IRPRINTER_H
+
+#include "ir/Function.h"
+#include "ir/Ssa.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace ipcp {
+
+/// Prints \p F block by block ("bb0: ...").
+void printFunction(const Function &F, const SymbolTable &Symbols,
+                   std::ostream &OS);
+
+/// Renders \p F into a string.
+std::string functionToString(const Function &F, const SymbolTable &Symbols);
+
+/// Prints \p F with SSA annotations (phi nodes, value numbers on defs and
+/// uses, call kills).
+void printSsa(const SsaForm &Ssa, const SymbolTable &Symbols,
+              std::ostream &OS);
+
+/// Renders the SSA form into a string.
+std::string ssaToString(const SsaForm &Ssa, const SymbolTable &Symbols);
+
+/// Renders one operand ("7", "n", "t3").
+std::string operandToString(const Operand &Op, const SymbolTable &Symbols);
+
+} // namespace ipcp
+
+#endif // IPCP_IR_IRPRINTER_H

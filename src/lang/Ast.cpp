@@ -1,0 +1,58 @@
+//===- lang/Ast.cpp - MiniFort abstract syntax trees ----------------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Ast.h"
+
+using namespace ipcp;
+
+const char *ipcp::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Mod:
+    return "%";
+  case BinaryOp::CmpEq:
+    return "==";
+  case BinaryOp::CmpNe:
+    return "!=";
+  case BinaryOp::CmpLt:
+    return "<";
+  case BinaryOp::CmpLe:
+    return "<=";
+  case BinaryOp::CmpGt:
+    return ">";
+  case BinaryOp::CmpGe:
+    return ">=";
+  case BinaryOp::LogicalAnd:
+    return "and";
+  case BinaryOp::LogicalOr:
+    return "or";
+  }
+  return "?";
+}
+
+const char *ipcp::unaryOpSpelling(UnaryOp Op) {
+  switch (Op) {
+  case UnaryOp::Neg:
+    return "-";
+  case UnaryOp::LogicalNot:
+    return "not";
+  }
+  return "?";
+}
+
+std::optional<ProcId> Program::findProc(const std::string &Name) const {
+  for (ProcId I = 0, E = static_cast<ProcId>(Procs.size()); I != E; ++I)
+    if (Procs[I]->name() == Name)
+      return I;
+  return std::nullopt;
+}

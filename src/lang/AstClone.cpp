@@ -1,0 +1,113 @@
+//===- lang/AstClone.cpp - Deep AST cloning -------------------------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AstClone.h"
+
+#include <cassert>
+
+using namespace ipcp;
+
+static const std::string &substName(const NameSubst &Subst,
+                                    const std::string &Name) {
+  auto It = Subst.find(Name);
+  return It == Subst.end() ? Name : It->second;
+}
+
+VarRefExpr *ipcp::cloneVarRef(AstContext &Ctx, const VarRefExpr *V,
+                              const NameSubst &Subst) {
+  return Ctx.createExpr<VarRefExpr>(V->loc(), substName(Subst, V->name()));
+}
+
+Expr *ipcp::cloneExpr(AstContext &Ctx, const Expr *E,
+                      const NameSubst &Subst) {
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    return Ctx.createExpr<IntLitExpr>(E->loc(),
+                                      cast<IntLitExpr>(E)->value());
+  case ExprKind::VarRef:
+    return cloneVarRef(Ctx, cast<VarRefExpr>(E), Subst);
+  case ExprKind::ArrayRef: {
+    const auto *A = cast<ArrayRefExpr>(E);
+    return Ctx.createExpr<ArrayRefExpr>(A->loc(),
+                                        substName(Subst, A->name()),
+                                        cloneExpr(Ctx, A->index(), Subst));
+  }
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    return Ctx.createExpr<UnaryExpr>(U->loc(), U->op(),
+                                     cloneExpr(Ctx, U->operand(), Subst));
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    return Ctx.createExpr<BinaryExpr>(B->loc(), B->op(),
+                                      cloneExpr(Ctx, B->lhs(), Subst),
+                                      cloneExpr(Ctx, B->rhs(), Subst));
+  }
+  }
+  assert(false && "unknown expression kind");
+  return nullptr;
+}
+
+Stmt *ipcp::cloneStmt(AstContext &Ctx, const Stmt *S,
+                      const NameSubst &Subst) {
+  switch (S->kind()) {
+  case StmtKind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    return Ctx.createStmt<AssignStmt>(A->loc(),
+                                      cloneExpr(Ctx, A->target(), Subst),
+                                      cloneExpr(Ctx, A->value(), Subst));
+  }
+  case StmtKind::Call: {
+    const auto *C = cast<CallStmt>(S);
+    std::vector<Expr *> Args;
+    for (const Expr *Arg : C->args())
+      Args.push_back(cloneExpr(Ctx, Arg, Subst));
+    return Ctx.createStmt<CallStmt>(C->loc(), C->calleeName(),
+                                    std::move(Args));
+  }
+  case StmtKind::If: {
+    const auto *I = cast<IfStmt>(S);
+    return Ctx.createStmt<IfStmt>(I->loc(),
+                                  cloneExpr(Ctx, I->cond(), Subst),
+                                  cloneStmts(Ctx, I->thenBody(), Subst),
+                                  cloneStmts(Ctx, I->elseBody(), Subst));
+  }
+  case StmtKind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    return Ctx.createStmt<WhileStmt>(W->loc(),
+                                     cloneExpr(Ctx, W->cond(), Subst),
+                                     cloneStmts(Ctx, W->body(), Subst));
+  }
+  case StmtKind::DoLoop: {
+    const auto *D = cast<DoLoopStmt>(S);
+    return Ctx.createStmt<DoLoopStmt>(
+        D->loc(), cloneVarRef(Ctx, D->var(), Subst),
+        cloneExpr(Ctx, D->lo(), Subst), cloneExpr(Ctx, D->hi(), Subst),
+        D->step() ? cloneExpr(Ctx, D->step(), Subst) : nullptr,
+        cloneStmts(Ctx, D->body(), Subst));
+  }
+  case StmtKind::Print:
+    return Ctx.createStmt<PrintStmt>(
+        S->loc(), cloneExpr(Ctx, cast<PrintStmt>(S)->value(), Subst));
+  case StmtKind::Read:
+    return Ctx.createStmt<ReadStmt>(
+        S->loc(), cloneVarRef(Ctx, cast<ReadStmt>(S)->target(), Subst));
+  case StmtKind::Return:
+    return Ctx.createStmt<ReturnStmt>(S->loc());
+  }
+  assert(false && "unknown statement kind");
+  return nullptr;
+}
+
+std::vector<Stmt *> ipcp::cloneStmts(AstContext &Ctx,
+                                     const std::vector<Stmt *> &Stmts,
+                                     const NameSubst &Subst) {
+  std::vector<Stmt *> Out;
+  Out.reserve(Stmts.size());
+  for (const Stmt *S : Stmts)
+    Out.push_back(cloneStmt(Ctx, S, Subst));
+  return Out;
+}

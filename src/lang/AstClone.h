@@ -1,0 +1,49 @@
+//===- lang/AstClone.h - Deep AST cloning -----------------------*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep cloning of statement trees with optional name substitution. The
+/// procedure integrator (Inliner) clones callee bodies with renamed
+/// locals; the cloning transform duplicates whole procedures verbatim.
+/// Cloned nodes get fresh ids from the destination context; resolved
+/// symbols are NOT copied — clone consumers re-run Sema (typically by
+/// printing and re-parsing).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_LANG_ASTCLONE_H
+#define IPCP_LANG_ASTCLONE_H
+
+#include "lang/Ast.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ipcp {
+
+/// Variable/array renaming applied during cloning (empty = verbatim).
+using NameSubst = std::unordered_map<std::string, std::string>;
+
+/// Clones \p E into \p Ctx, renaming identifiers through \p Subst.
+Expr *cloneExpr(AstContext &Ctx, const Expr *E, const NameSubst &Subst);
+
+/// Clones \p V (keeping it a VarRefExpr) into \p Ctx.
+VarRefExpr *cloneVarRef(AstContext &Ctx, const VarRefExpr *V,
+                        const NameSubst &Subst);
+
+/// Clones a statement tree into \p Ctx. Call statements are cloned with
+/// their callee names unchanged.
+Stmt *cloneStmt(AstContext &Ctx, const Stmt *S, const NameSubst &Subst);
+
+/// Clones a statement list into \p Ctx.
+std::vector<Stmt *> cloneStmts(AstContext &Ctx,
+                               const std::vector<Stmt *> &Stmts,
+                               const NameSubst &Subst);
+
+} // namespace ipcp
+
+#endif // IPCP_LANG_ASTCLONE_H

@@ -1,0 +1,263 @@
+//===- lang/AstPrinter.cpp - MiniFort pretty-printer ----------------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AstPrinter.h"
+
+#include <cassert>
+#include <ostream>
+#include <sstream>
+
+using namespace ipcp;
+
+/// Binding strength used to decide where parentheses are required.
+/// Higher binds tighter. Matches the parser's precedence levels.
+static int precedence(const Expr *E) {
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+  case ExprKind::VarRef:
+  case ExprKind::ArrayRef:
+    return 100;
+  case ExprKind::Unary:
+    return 60;
+  case ExprKind::Binary:
+    switch (cast<BinaryExpr>(E)->op()) {
+    case BinaryOp::Mul:
+    case BinaryOp::Div:
+    case BinaryOp::Mod:
+      return 50;
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+      return 40;
+    case BinaryOp::CmpEq:
+    case BinaryOp::CmpNe:
+    case BinaryOp::CmpLt:
+    case BinaryOp::CmpLe:
+    case BinaryOp::CmpGt:
+    case BinaryOp::CmpGe:
+      return 30;
+    case BinaryOp::LogicalAnd:
+      return 20;
+    case BinaryOp::LogicalOr:
+      return 10;
+    }
+  }
+  return 0;
+}
+
+void AstPrinter::printExpr(const Expr *E, std::ostream &OS,
+                           int ParentPrec) const {
+  int Prec = precedence(E);
+  bool NeedParens = Prec < ParentPrec;
+  if (NeedParens)
+    OS << '(';
+
+  switch (E->kind()) {
+  case ExprKind::IntLit: {
+    int64_t V = cast<IntLitExpr>(E)->value();
+    if (V < 0)
+      OS << "(0 - " << -(V + 1) << " - 1)"; // Avoid re-lexing issues.
+    else
+      OS << V;
+    break;
+  }
+  case ExprKind::VarRef: {
+    const auto *V = cast<VarRefExpr>(E);
+    if (Substitutions) {
+      if (auto It = Substitutions->find(V->id());
+          It != Substitutions->end()) {
+        OS << It->second;
+        break;
+      }
+    }
+    OS << V->name();
+    break;
+  }
+  case ExprKind::ArrayRef: {
+    const auto *A = cast<ArrayRefExpr>(E);
+    OS << A->name() << '(';
+    printExpr(A->index(), OS, 0);
+    OS << ')';
+    break;
+  }
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    OS << unaryOpSpelling(U->op());
+    if (U->op() == UnaryOp::LogicalNot)
+      OS << ' ';
+    printExpr(U->operand(), OS, Prec + 1);
+    break;
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    printExpr(B->lhs(), OS, Prec);
+    OS << ' ' << binaryOpSpelling(B->op()) << ' ';
+    // Right operand needs stricter binding for left-associative operators.
+    printExpr(B->rhs(), OS, Prec + 1);
+    break;
+  }
+  }
+
+  if (NeedParens)
+    OS << ')';
+}
+
+std::string AstPrinter::exprToString(const Expr *E) const {
+  std::ostringstream OS;
+  printExpr(E, OS, 0);
+  return OS.str();
+}
+
+static void indentTo(std::ostream &OS, unsigned Indent) {
+  for (unsigned I = 0; I != Indent; ++I)
+    OS << "  ";
+}
+
+void AstPrinter::printBody(const std::vector<Stmt *> &Body, std::ostream &OS,
+                           unsigned Indent) const {
+  for (const Stmt *S : Body)
+    printStmt(S, OS, Indent);
+}
+
+void AstPrinter::printStmt(const Stmt *S, std::ostream &OS,
+                           unsigned Indent) const {
+  indentTo(OS, Indent);
+  switch (S->kind()) {
+  case StmtKind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    // The assignment target prints as a name even when a substitution map
+    // is present: only uses are substitutable.
+    if (const auto *V = dyn_cast<VarRefExpr>(A->target())) {
+      OS << V->name();
+    } else {
+      const auto *Arr = cast<ArrayRefExpr>(A->target());
+      OS << Arr->name() << '(';
+      printExpr(Arr->index(), OS, 0);
+      OS << ')';
+    }
+    OS << " = ";
+    printExpr(A->value(), OS, 0);
+    OS << '\n';
+    return;
+  }
+  case StmtKind::Call: {
+    const auto *C = cast<CallStmt>(S);
+    OS << "call " << C->calleeName() << '(';
+    bool First = true;
+    for (const Expr *Arg : C->args()) {
+      if (!First)
+        OS << ", ";
+      First = false;
+      printExpr(Arg, OS, 0);
+    }
+    OS << ")\n";
+    return;
+  }
+  case StmtKind::If: {
+    const auto *I = cast<IfStmt>(S);
+    OS << "if (";
+    printExpr(I->cond(), OS, 0);
+    OS << ") then\n";
+    printBody(I->thenBody(), OS, Indent + 1);
+    if (!I->elseBody().empty()) {
+      indentTo(OS, Indent);
+      OS << "else\n";
+      printBody(I->elseBody(), OS, Indent + 1);
+    }
+    indentTo(OS, Indent);
+    OS << "end if\n";
+    return;
+  }
+  case StmtKind::DoLoop: {
+    const auto *D = cast<DoLoopStmt>(S);
+    OS << "do " << D->var()->name() << " = ";
+    printExpr(D->lo(), OS, 0);
+    OS << ", ";
+    printExpr(D->hi(), OS, 0);
+    if (D->step()) {
+      OS << ", ";
+      printExpr(D->step(), OS, 0);
+    }
+    OS << '\n';
+    printBody(D->body(), OS, Indent + 1);
+    indentTo(OS, Indent);
+    OS << "end do\n";
+    return;
+  }
+  case StmtKind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    OS << "while (";
+    printExpr(W->cond(), OS, 0);
+    OS << ")\n";
+    printBody(W->body(), OS, Indent + 1);
+    indentTo(OS, Indent);
+    OS << "end while\n";
+    return;
+  }
+  case StmtKind::Print: {
+    OS << "print ";
+    printExpr(cast<PrintStmt>(S)->value(), OS, 0);
+    OS << '\n';
+    return;
+  }
+  case StmtKind::Read: {
+    OS << "read " << cast<ReadStmt>(S)->target()->name() << '\n';
+    return;
+  }
+  case StmtKind::Return:
+    OS << "return\n";
+    return;
+  }
+}
+
+void AstPrinter::printProc(const Proc &P, std::ostream &OS) const {
+  OS << "proc " << P.name() << '(';
+  bool First = true;
+  for (const std::string &F : P.formals()) {
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << F;
+  }
+  OS << ")\n";
+  if (!P.Locals.empty()) {
+    OS << "  integer ";
+    First = true;
+    for (const std::string &L : P.Locals) {
+      if (!First)
+        OS << ", ";
+      First = false;
+      OS << L;
+    }
+    OS << '\n';
+  }
+  for (const ArrayDecl &A : P.LocalArrays)
+    OS << "  array " << A.Name << '(' << A.Size << ")\n";
+  printBody(P.Body, OS, 1);
+  OS << "end\n";
+}
+
+void AstPrinter::print(const Program &Prog, std::ostream &OS) const {
+  if (!Prog.Name.empty())
+    OS << "program " << Prog.Name << '\n';
+  for (const GlobalDecl &G : Prog.Globals) {
+    OS << "global " << G.Name;
+    if (G.Init)
+      OS << " = " << *G.Init;
+    OS << '\n';
+  }
+  for (const ArrayDecl &A : Prog.GlobalArrays)
+    OS << "array " << A.Name << '(' << A.Size << ")\n";
+  for (const auto &P : Prog.Procs) {
+    OS << '\n';
+    printProc(*P, OS);
+  }
+}
+
+std::string AstPrinter::programToString(const Program &Prog) const {
+  std::ostringstream OS;
+  print(Prog, OS);
+  return OS.str();
+}

@@ -1,0 +1,65 @@
+//===- lang/AstPrinter.h - MiniFort pretty-printer --------------*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints an AST back as MiniFort source. The printer optionally rewrites
+/// selected variable uses to integer literals; this implements the paper's
+/// "transformed version of the original source in which the
+/// interprocedural constants are textually substituted" (§4.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_LANG_ASTPRINTER_H
+#define IPCP_LANG_ASTPRINTER_H
+
+#include "lang/Ast.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+
+namespace ipcp {
+
+/// Maps VarRefExpr ids to the constant that should replace them in
+/// printed output.
+using SubstitutionMap = std::unordered_map<ExprId, int64_t>;
+
+/// Pretty-prints programs (or fragments) as parseable MiniFort source.
+class AstPrinter {
+public:
+  /// Creates a printer. If \p Substitutions is non-null, VarRef uses whose
+  /// ids appear in the map print as their constant value instead of their
+  /// name.
+  explicit AstPrinter(const SubstitutionMap *Substitutions = nullptr)
+      : Substitutions(Substitutions) {}
+
+  /// Prints the whole program.
+  void print(const Program &Prog, std::ostream &OS) const;
+
+  /// Prints one procedure.
+  void printProc(const Proc &P, std::ostream &OS) const;
+
+  /// Prints one statement at \p Indent levels of two-space indentation.
+  void printStmt(const Stmt *S, std::ostream &OS, unsigned Indent) const;
+
+  /// Renders one expression (no trailing newline).
+  std::string exprToString(const Expr *E) const;
+
+  /// Renders the whole program into a string.
+  std::string programToString(const Program &Prog) const;
+
+private:
+  void printExpr(const Expr *E, std::ostream &OS, int ParentPrec) const;
+  void printBody(const std::vector<Stmt *> &Body, std::ostream &OS,
+                 unsigned Indent) const;
+
+  const SubstitutionMap *Substitutions;
+};
+
+} // namespace ipcp
+
+#endif // IPCP_LANG_ASTPRINTER_H

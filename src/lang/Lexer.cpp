@@ -1,0 +1,288 @@
+//===- lang/Lexer.cpp - MiniFort lexer ------------------------------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cassert>
+#include <cctype>
+#include <unordered_map>
+
+using namespace ipcp;
+
+const char *ipcp::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of file";
+  case TokenKind::Newline:
+    return "end of line";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::KwProgram:
+    return "'program'";
+  case TokenKind::KwGlobal:
+    return "'global'";
+  case TokenKind::KwArray:
+    return "'array'";
+  case TokenKind::KwProc:
+    return "'proc'";
+  case TokenKind::KwInteger:
+    return "'integer'";
+  case TokenKind::KwCall:
+    return "'call'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwThen:
+    return "'then'";
+  case TokenKind::KwElseif:
+    return "'elseif'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwEnd:
+    return "'end'";
+  case TokenKind::KwDo:
+    return "'do'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwPrint:
+    return "'print'";
+  case TokenKind::KwRead:
+    return "'read'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwAnd:
+    return "'and'";
+  case TokenKind::KwOr:
+    return "'or'";
+  case TokenKind::KwNot:
+    return "'not'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::Error:
+    return "invalid token";
+  }
+  return "unknown";
+}
+
+static const std::unordered_map<std::string_view, TokenKind> &keywordTable() {
+  static const std::unordered_map<std::string_view, TokenKind> Table = {
+      {"program", TokenKind::KwProgram}, {"global", TokenKind::KwGlobal},
+      {"array", TokenKind::KwArray},     {"proc", TokenKind::KwProc},
+      {"integer", TokenKind::KwInteger}, {"call", TokenKind::KwCall},
+      {"if", TokenKind::KwIf},           {"then", TokenKind::KwThen},
+      {"elseif", TokenKind::KwElseif},   {"else", TokenKind::KwElse},
+      {"end", TokenKind::KwEnd},         {"do", TokenKind::KwDo},
+      {"while", TokenKind::KwWhile},     {"print", TokenKind::KwPrint},
+      {"read", TokenKind::KwRead},       {"return", TokenKind::KwReturn},
+      {"and", TokenKind::KwAnd},         {"or", TokenKind::KwOr},
+      {"not", TokenKind::KwNot},
+  };
+  return Table;
+}
+
+Lexer::Lexer(std::string_view Source, DiagnosticEngine &Diags)
+    : Source(Source), Diags(Diags) {}
+
+bool Lexer::atEnd() const { return Pos >= Source.size(); }
+
+char Lexer::peek() const { return atEnd() ? '\0' : Source[Pos]; }
+
+char Lexer::peekAhead() const {
+  return Pos + 1 < Source.size() ? Source[Pos + 1] : '\0';
+}
+
+char Lexer::advance() {
+  assert(!atEnd() && "advance past end of buffer");
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+void Lexer::skipHorizontalSpaceAndComments() {
+  while (!atEnd()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r') {
+      advance();
+      continue;
+    }
+    if (C == '!' && peekAhead() != '=') {
+      // Comment to end of line; the newline itself is handled by next().
+      // "!=" is the not-equal operator, not a comment.
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, SourceLoc Loc) {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = Loc;
+  if (Kind != TokenKind::Newline && Kind != TokenKind::Eof)
+    TokenOnLine = true;
+  return T;
+}
+
+Token Lexer::lexIdentifierOrKeyword(SourceLoc Loc) {
+  size_t Start = Pos;
+  while (!atEnd() && (std::isalnum((unsigned char)peek()) || peek() == '_'))
+    advance();
+  std::string_view Text = Source.substr(Start, Pos - Start);
+  const auto &Keywords = keywordTable();
+  if (auto It = Keywords.find(Text); It != Keywords.end())
+    return makeToken(It->second, Loc);
+  Token T = makeToken(TokenKind::Identifier, Loc);
+  T.Text = std::string(Text);
+  return T;
+}
+
+Token Lexer::lexNumber(SourceLoc Loc) {
+  size_t Start = Pos;
+  while (!atEnd() && std::isdigit((unsigned char)peek()))
+    advance();
+  std::string_view Text = Source.substr(Start, Pos - Start);
+  Token T = makeToken(TokenKind::IntLiteral, Loc);
+  // MiniFort literals fit in int64_t by construction of the workloads; on
+  // overflow we diagnose and clamp rather than wrapping silently.
+  int64_t Value = 0;
+  bool Overflow = false;
+  for (char C : Text) {
+    if (Value > (INT64_MAX - (C - '0')) / 10) {
+      Overflow = true;
+      break;
+    }
+    Value = Value * 10 + (C - '0');
+  }
+  if (Overflow) {
+    Diags.error(Loc, "integer literal too large");
+    Value = INT64_MAX;
+  }
+  T.IntValue = Value;
+  return T;
+}
+
+Token Lexer::next() {
+  skipHorizontalSpaceAndComments();
+  SourceLoc Loc(Line, Col);
+
+  if (atEnd()) {
+    if (TokenOnLine) {
+      TokenOnLine = false;
+      return makeToken(TokenKind::Newline, Loc);
+    }
+    return makeToken(TokenKind::Eof, Loc);
+  }
+
+  char C = peek();
+  if (C == '\n') {
+    advance();
+    if (TokenOnLine) {
+      TokenOnLine = false;
+      return makeToken(TokenKind::Newline, Loc);
+    }
+    return next(); // Blank line: no token.
+  }
+
+  if (std::isalpha((unsigned char)C) || C == '_')
+    return lexIdentifierOrKeyword(Loc);
+  if (std::isdigit((unsigned char)C))
+    return lexNumber(Loc);
+
+  advance();
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen, Loc);
+  case ')':
+    return makeToken(TokenKind::RParen, Loc);
+  case ',':
+    return makeToken(TokenKind::Comma, Loc);
+  case '+':
+    return makeToken(TokenKind::Plus, Loc);
+  case '-':
+    return makeToken(TokenKind::Minus, Loc);
+  case '*':
+    return makeToken(TokenKind::Star, Loc);
+  case '/':
+    return makeToken(TokenKind::Slash, Loc);
+  case '%':
+    return makeToken(TokenKind::Percent, Loc);
+  case '=':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::EqEq, Loc);
+    }
+    return makeToken(TokenKind::Assign, Loc);
+  case '<':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::LessEq, Loc);
+    }
+    return makeToken(TokenKind::Less, Loc);
+  case '>':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::GreaterEq, Loc);
+    }
+    return makeToken(TokenKind::Greater, Loc);
+  case '!':
+    // skipHorizontalSpaceAndComments() only lets '!' through when it is
+    // followed by '=', i.e. the not-equal operator.
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::NotEq, Loc);
+    }
+    break;
+  default:
+    break;
+  }
+  Diags.error(Loc, std::string("unexpected character '") + C + "'");
+  return makeToken(TokenKind::Error, Loc);
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Tokens.push_back(next());
+    if (Tokens.back().is(TokenKind::Eof))
+      return Tokens;
+  }
+}

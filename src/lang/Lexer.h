@@ -1,0 +1,65 @@
+//===- lang/Lexer.h - MiniFort lexer ----------------------------*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for MiniFort. Comments run from '!' to end of line;
+/// blank lines produce no tokens; every non-blank line is terminated by a
+/// Newline token.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_LANG_LEXER_H
+#define IPCP_LANG_LEXER_H
+
+#include "lang/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ipcp {
+
+/// Turns a MiniFort source buffer into a token stream.
+///
+/// The lexer is line-oriented: consecutive newlines collapse into a single
+/// Newline token and a leading blank region produces none, so the parser
+/// never sees empty statements. Invalid characters produce an Error token
+/// and a diagnostic, then lexing continues.
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticEngine &Diags);
+
+  /// Lexes and returns the next token.
+  Token next();
+
+  /// Lexes the entire buffer (convenience for tests). The last token is
+  /// always Eof.
+  std::vector<Token> lexAll();
+
+private:
+  char peek() const;
+  char peekAhead() const;
+  char advance();
+  bool atEnd() const;
+  void skipHorizontalSpaceAndComments();
+  Token makeToken(TokenKind Kind, SourceLoc Loc);
+  Token lexIdentifierOrKeyword(SourceLoc Loc);
+  Token lexNumber(SourceLoc Loc);
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+  /// True once any token has been produced on the current line; controls
+  /// Newline emission so blank lines are invisible to the parser.
+  bool TokenOnLine = false;
+};
+
+} // namespace ipcp
+
+#endif // IPCP_LANG_LEXER_H

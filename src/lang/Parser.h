@@ -1,0 +1,32 @@
+//===- lang/Parser.h - MiniFort parser --------------------------*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for MiniFort. See the grammar in README.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_LANG_PARSER_H
+#define IPCP_LANG_PARSER_H
+
+#include "lang/Ast.h"
+#include "lang/Lexer.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string_view>
+
+namespace ipcp {
+
+/// Parses \p Source into an AST. Always returns a context; the caller must
+/// check \p Diags for errors before trusting the tree. On a syntax error
+/// the parser reports a diagnostic and resynchronizes at the next line.
+std::unique_ptr<AstContext> parseProgram(std::string_view Source,
+                                         DiagnosticEngine &Diags);
+
+} // namespace ipcp
+
+#endif // IPCP_LANG_PARSER_H

@@ -1,0 +1,85 @@
+//===- lang/Token.h - MiniFort tokens ---------------------------*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds and the Token value type for the MiniFort language, the
+/// FORTRAN-flavoured input language of the analyzer (see DESIGN.md §2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_LANG_TOKEN_H
+#define IPCP_LANG_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace ipcp {
+
+/// The lexical classes of MiniFort. Statements are line-oriented, so the
+/// lexer emits explicit Newline tokens.
+enum class TokenKind {
+  Eof,
+  Newline,
+  Identifier,
+  IntLiteral,
+  // Keywords.
+  KwProgram,
+  KwGlobal,
+  KwArray,
+  KwProc,
+  KwInteger,
+  KwCall,
+  KwIf,
+  KwThen,
+  KwElseif,
+  KwElse,
+  KwEnd,
+  KwDo,
+  KwWhile,
+  KwPrint,
+  KwRead,
+  KwReturn,
+  KwAnd,
+  KwOr,
+  KwNot,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  Comma,
+  Assign,  // =
+  Plus,    // +
+  Minus,   // -
+  Star,    // *
+  Slash,   // /
+  Percent, // %
+  EqEq,    // ==
+  NotEq,   // !=
+  Less,    // <
+  LessEq,  // <=
+  Greater, // >
+  GreaterEq, // >=
+  Error,
+};
+
+/// Returns a human-readable spelling of \p Kind for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token. \c Text is populated for identifiers; \c IntValue for
+/// integer literals.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  std::string Text;
+  int64_t IntValue = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace ipcp
+
+#endif // IPCP_LANG_TOKEN_H

@@ -1,0 +1,50 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast ---------*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal LLVM-style RTTI helpers. A class opts in by providing
+/// \c static bool classof(const Base *).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_SUPPORT_CASTING_H
+#define IPCP_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace ipcp {
+
+/// Returns true if \p Val is an instance of \p To.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast; asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+/// Checked downcast (const overload).
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast; returns null if \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// Checking downcast (const overload).
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace ipcp
+
+#endif // IPCP_SUPPORT_CASTING_H

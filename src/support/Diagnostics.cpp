@@ -1,0 +1,49 @@
+//===- support/Diagnostics.cpp - Diagnostic collection --------------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <ostream>
+#include <sstream>
+
+using namespace ipcp;
+
+void DiagnosticEngine::error(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+  ++NumErrors;
+}
+
+void DiagnosticEngine::warning(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+}
+
+void DiagnosticEngine::note(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+}
+
+static const char *kindName(DiagKind Kind) {
+  switch (Kind) {
+  case DiagKind::Error:
+    return "error";
+  case DiagKind::Warning:
+    return "warning";
+  case DiagKind::Note:
+    return "note";
+  }
+  return "unknown";
+}
+
+void DiagnosticEngine::print(std::ostream &OS) const {
+  for (const Diagnostic &D : Diags)
+    OS << D.Loc.str() << ": " << kindName(D.Kind) << ": " << D.Message
+       << '\n';
+}
+
+std::string DiagnosticEngine::str() const {
+  std::ostringstream OS;
+  print(OS);
+  return OS.str();
+}

@@ -1,0 +1,68 @@
+//===- support/Diagnostics.h - Diagnostic collection ------------*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostic engine. Library code never prints or aborts on user
+/// errors; it records diagnostics here and callers decide what to do.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_SUPPORT_DIAGNOSTICS_H
+#define IPCP_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ipcp {
+
+/// Severity of a diagnostic message.
+enum class DiagKind { Error, Warning, Note };
+
+/// One recorded diagnostic: severity, location, and message text.
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Accumulates diagnostics produced while processing one source buffer.
+///
+/// The engine is append-only; callers query \c hasErrors() after running a
+/// phase and may render everything with \c print().
+class DiagnosticEngine {
+public:
+  /// Records an error at \p Loc.
+  void error(SourceLoc Loc, std::string Message);
+
+  /// Records a warning at \p Loc.
+  void warning(SourceLoc Loc, std::string Message);
+
+  /// Records a note at \p Loc (typically attached to a preceding error).
+  void note(SourceLoc Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+  bool empty() const { return Diags.empty(); }
+
+  /// Writes all diagnostics to \p OS, one per line, in the order they were
+  /// recorded ("<line>:<col>: error: <message>").
+  void print(std::ostream &OS) const;
+
+  /// Renders all diagnostics into a string (convenience for tests).
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace ipcp
+
+#endif // IPCP_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,44 @@
+//===- support/SourceLoc.h - Source locations -------------------*- C++ -*-===//
+//
+// Part of the ipcp project: a reproduction of Grove & Torczon, PLDI 1993,
+// "Interprocedural Constant Propagation: A Study of Jump Function
+// Implementations".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight 1-based line/column source locations used by the lexer,
+/// parser, and diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_SUPPORT_SOURCELOC_H
+#define IPCP_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace ipcp {
+
+/// A position in a source buffer. Line and column are 1-based; a
+/// default-constructed location is invalid (line 0).
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t Line, uint32_t Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLoc &Other) const = default;
+
+  /// Renders the location as "line:col" for diagnostics.
+  std::string str() const {
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+};
+
+} // namespace ipcp
+
+#endif // IPCP_SUPPORT_SOURCELOC_H

@@ -1,0 +1,71 @@
+//===- support/TablePrinter.cpp - Aligned text tables ---------------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+#include <sstream>
+
+using namespace ipcp;
+
+void TablePrinter::addHeader(std::vector<std::string> Cells) {
+  assert(Rows.empty() && "header must be added before any row");
+  HasHeader = true;
+  Rows.push_back(std::move(Cells));
+}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+void TablePrinter::print(std::ostream &OS) const {
+  if (Rows.empty())
+    return;
+
+  size_t NumCols = 0;
+  for (const auto &Row : Rows)
+    NumCols = std::max(NumCols, Row.size());
+
+  std::vector<size_t> Widths(NumCols, 0);
+  for (const auto &Row : Rows)
+    for (size_t I = 0, E = Row.size(); I != E; ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+
+  auto printRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I != NumCols; ++I) {
+      std::string Cell = I < Row.size() ? Row[I] : std::string();
+      if (I != 0)
+        OS << "  ";
+      if (I == 0) {
+        // Left-align the label column.
+        OS << Cell << std::string(Widths[I] - Cell.size(), ' ');
+      } else {
+        OS << std::string(Widths[I] - Cell.size(), ' ') << Cell;
+      }
+    }
+    OS << '\n';
+  };
+
+  size_t Start = 0;
+  if (HasHeader) {
+    printRow(Rows[0]);
+    size_t Total = 0;
+    for (size_t I = 0; I != NumCols; ++I)
+      Total += Widths[I] + (I ? 2 : 0);
+    OS << std::string(Total, '-') << '\n';
+    Start = 1;
+  }
+  for (size_t I = Start, E = Rows.size(); I != E; ++I)
+    printRow(Rows[I]);
+}
+
+std::string TablePrinter::str() const {
+  std::ostringstream OS;
+  print(OS);
+  return OS.str();
+}

@@ -1,0 +1,48 @@
+//===- support/TablePrinter.h - Aligned text tables -------------*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders simple column-aligned text tables. Used by the benchmark
+/// harnesses to print the paper's tables side by side with measured values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_SUPPORT_TABLEPRINTER_H
+#define IPCP_SUPPORT_TABLEPRINTER_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ipcp {
+
+/// Accumulates rows of string cells and prints them with each column padded
+/// to its widest cell. The first row added with \c addHeader() is separated
+/// from the body by a dashed rule.
+class TablePrinter {
+public:
+  /// Sets the header row. Must be called at most once, before any addRow().
+  void addHeader(std::vector<std::string> Cells);
+
+  /// Appends a body row. Rows may have fewer cells than the header; missing
+  /// cells render empty.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Writes the table to \p OS. The first column is left-aligned; all other
+  /// columns are right-aligned (numeric convention).
+  void print(std::ostream &OS) const;
+
+  /// Renders the table into a string.
+  std::string str() const;
+
+private:
+  bool HasHeader = false;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace ipcp
+
+#endif // IPCP_SUPPORT_TABLEPRINTER_H

@@ -1,0 +1,399 @@
+//===- workloads/ProgramGen.cpp - Workload generator toolkit --------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/ProgramGen.h"
+
+#include <sstream>
+
+using namespace ipcp;
+
+void ProgramGen::emitUses(std::vector<std::string> &Out,
+                          const std::string &Var, int Uses,
+                          const std::string &Indent) {
+  // Each statement reads Var exactly once; the multiplier varies so the
+  // generated code is not a wall of identical lines.
+  for (int I = 0; I < Uses; ++I)
+    Out.push_back(Indent + "print " + Var + " * " +
+                  std::to_string(I % 7 + 2));
+}
+
+/// Appends roughly \p Lines lines of constant-free, call-free work over a
+/// READ-initialized scalar \p T.
+static void emitPadding(std::vector<std::string> &Out, const std::string &T,
+                        int Lines) {
+  int Block = 0;
+  for (int Emitted = 0; Emitted < Lines; ++Block) {
+    switch (Block % 3) {
+    case 0:
+      Out.push_back("  if (" + T + " > 0) then");
+      Out.push_back("    " + T + " = " + T + " - 3");
+      Out.push_back("  end if");
+      Emitted += 3;
+      break;
+    case 1:
+      Out.push_back("  while (" + T + " > 16)");
+      Out.push_back("    " + T + " = " + T + " / 2");
+      Out.push_back("  end while");
+      Emitted += 3;
+      break;
+    case 2:
+      Out.push_back("  " + T + " = " + T + " * 5 + 1");
+      Out.push_back("  print " + T + " - 2");
+      Emitted += 2;
+      break;
+    }
+  }
+}
+
+void ProgramGen::addGroupProc(const std::string &ProcName,
+                              const std::string &FormalList,
+                              std::vector<std::string> Decls,
+                              std::vector<std::string> Stmts,
+                              bool PadBeforeTrailingCall) {
+  // Pad short procedures to the program's target size. The padding
+  // variable is READ-initialized, so nothing it computes is constant.
+  int Have = static_cast<int>(Decls.size() + Stmts.size()) + 2;
+  if (Have < MinProcLines) {
+    std::string T = "pad";
+    Decls.push_back("  integer " + T);
+    std::vector<std::string> Pad;
+    Pad.push_back("  read " + T);
+    emitPadding(Pad, T, MinProcLines - Have - 1);
+    // Keep a trailing call (e.g. a phase's helper call) the last
+    // statement so leaf/non-leaf structure is preserved either way.
+    if (PadBeforeTrailingCall && !Stmts.empty()) {
+      Stmts.insert(Stmts.end() - 1, Pad.begin(), Pad.end());
+    } else {
+      Stmts.insert(Stmts.end(), Pad.begin(), Pad.end());
+    }
+  }
+
+  std::ostringstream OS;
+  OS << "proc " << ProcName << "(" << FormalList << ")\n";
+  for (const auto &D : Decls)
+    OS << D << '\n';
+  for (const auto &S : Stmts)
+    OS << S << '\n';
+  OS << "end\n";
+  addProc(OS.str());
+}
+
+const std::string &ProgramGen::spacerProc() {
+  if (!Spacer.empty())
+    return Spacer;
+  Spacer = fresh("spacer");
+  std::string Leaf = Spacer + "_leaf";
+  addGroupProc(Leaf, "", {"  integer q"}, {"  read q", "  print q"});
+  addGroupProc(Spacer, "", {"  integer s"},
+               {"  read s", "  print s + 1", "  call " + Leaf + "()"},
+               /*PadBeforeTrailingCall=*/true);
+  return Spacer;
+}
+
+void ProgramGen::litDirect(int64_t Val, int Uses) {
+  std::string P = fresh("ld");
+  std::vector<std::string> Stmts;
+  emitUses(Stmts, "p", Uses);
+  addGroupProc(P, "p", {}, std::move(Stmts));
+  addMainStmt("call " + P + "(" + std::to_string(Val) + ")");
+}
+
+void ProgramGen::localConstHost(int64_t Val, int Uses) {
+  std::string P = fresh("lc");
+  std::vector<std::string> Stmts = {"  v = " + std::to_string(Val)};
+  emitUses(Stmts, "v", Uses);
+  addGroupProc(P, "", {"  integer v"}, std::move(Stmts));
+  addMainStmt("call " + P + "()");
+}
+
+void ProgramGen::localConstInMain(int64_t Val, int Uses) {
+  std::string V = fresh("mv");
+  addMainDecl(V);
+  addMainStmt(V + " = " + std::to_string(Val));
+  std::vector<std::string> Lines;
+  emitUses(Lines, V, Uses, "");
+  for (const auto &L : Lines)
+    addMainStmt(L);
+}
+
+void ProgramGen::globalAcrossCall(int64_t Val, int Uses) {
+  std::string G = fresh("gac");
+  addGlobalLine("global " + G);
+  addMainStmt(G + " = " + std::to_string(Val));
+  addMainStmt("call " + spacerProc() + "()");
+  std::vector<std::string> Lines;
+  emitUses(Lines, G, Uses, "");
+  for (const auto &L : Lines)
+    addMainStmt(L);
+}
+
+void ProgramGen::globalImplicit(int64_t Val, int Uses) {
+  std::string G = fresh("gi");
+  addGlobalLine("global " + G);
+  std::string P = fresh("giu");
+  std::vector<std::string> Stmts;
+  emitUses(Stmts, G, Uses);
+  addGroupProc(P, "", {}, std::move(Stmts));
+  addMainStmt(G + " = " + std::to_string(Val));
+  addMainStmt("call " + spacerProc() + "()");
+  addMainStmt("call " + P + "()");
+}
+
+void ProgramGen::globalImplicitDirect(int64_t Val, int Uses) {
+  std::string G = fresh("gd");
+  addGlobalLine("global " + G);
+  std::string P = fresh("gdu");
+  std::vector<std::string> Stmts;
+  emitUses(Stmts, G, Uses);
+  addGroupProc(P, "", {}, std::move(Stmts));
+  addMainStmt(G + " = " + std::to_string(Val));
+  addMainStmt("call " + P + "()");
+}
+
+void ProgramGen::passChain(int64_t Val, int Depth, int UsesInner) {
+  std::string Base = fresh("pc");
+  for (int D = 1; D <= Depth; ++D) {
+    std::string P = Base + "_" + std::to_string(D);
+    std::vector<std::string> Stmts;
+    bool Trailing = false;
+    if (D < Depth) {
+      Stmts.push_back("  call " + Base + "_" + std::to_string(D + 1) +
+                      "(x)");
+      Trailing = true;
+    } else {
+      emitUses(Stmts, "x", UsesInner);
+    }
+    addGroupProc(P, "x", {}, std::move(Stmts), Trailing);
+  }
+  addMainStmt("call " + Base + "_1(" + std::to_string(Val) + ")");
+}
+
+void ProgramGen::passChainGlobal(int64_t Val, int Depth, int UsesInner) {
+  std::string G = fresh("gk");
+  addGlobalLine("global " + G);
+  std::string Base = fresh("gc");
+  for (int D = 1; D <= Depth; ++D) {
+    std::string P = Base + "_" + std::to_string(D);
+    std::vector<std::string> Stmts;
+    bool Trailing = false;
+    if (D < Depth) {
+      Stmts.push_back("  call " + Base + "_" + std::to_string(D + 1) +
+                      "(x)");
+      Trailing = true;
+    } else {
+      emitUses(Stmts, "x", UsesInner);
+    }
+    addGroupProc(P, "x", {}, std::move(Stmts), Trailing);
+  }
+  addMainStmt(G + " = " + std::to_string(Val));
+  addMainStmt("call " + spacerProc() + "()");
+  addMainStmt("call " + Base + "_1(" + G + ")");
+}
+
+void ProgramGen::rjfCallerUse(int64_t Val, int Uses) {
+  std::string Set = fresh("rset");
+  addGroupProc(Set, "o", {}, {"  o = " + std::to_string(Val)});
+  std::string V = fresh("rv");
+  addMainDecl(V);
+  addMainStmt("call " + Set + "(" + V + ")");
+  std::vector<std::string> Lines;
+  emitUses(Lines, V, Uses, "");
+  for (const auto &L : Lines)
+    addMainStmt(L);
+}
+
+void ProgramGen::rjfForwarded(int64_t Val, int Uses) {
+  std::string Set = fresh("rset");
+  addGroupProc(Set, "o", {}, {"  o = " + std::to_string(Val)});
+  std::string Use = fresh("ruse");
+  std::vector<std::string> Stmts;
+  emitUses(Stmts, "p", Uses);
+  addGroupProc(Use, "p", {}, std::move(Stmts));
+  std::string V = fresh("rv");
+  addMainDecl(V);
+  addMainStmt("call " + Set + "(" + V + ")");
+  addMainStmt("call " + Use + "(" + V + ")");
+}
+
+void ProgramGen::rjfGlobalInit(int64_t Val,
+                               const std::vector<int> &PhaseUses) {
+  std::string G = fresh("rg");
+  addGlobalLine("global " + G);
+  std::string Init = fresh("rginit");
+  // The initializer must stay a leaf: its return jump function is what
+  // carries the constant past the kill. No padding risk — padding never
+  // adds calls.
+  addGroupProc(Init, "", {}, {"  " + G + " = " + std::to_string(Val)});
+  addMainStmt("call " + Init + "()");
+
+  // Each phase uses the global, then does non-leaf helper work. The
+  // helper call makes the phase's own return jump function for the
+  // global imprecise under worst-case kill assumptions, so without MOD
+  // only the first phase sees the constant.
+  std::string Helper = fresh("rghelp");
+  addGroupProc(Helper, "", {"  integer h"}, {"  read h", "  print h"});
+
+  for (size_t Phase = 0; Phase != PhaseUses.size(); ++Phase) {
+    std::string P = fresh("rgphase");
+    std::vector<std::string> Stmts;
+    emitUses(Stmts, G, PhaseUses[Phase]);
+    Stmts.push_back("  call " + Helper + "()");
+    addGroupProc(P, "", {}, std::move(Stmts),
+                 /*PadBeforeTrailingCall=*/true);
+    addMainStmt("call " + P + "()");
+  }
+}
+
+void ProgramGen::deadBranchExposed(int64_t Val, int Uses) {
+  std::string Prod = fresh("dbp");
+  std::string Cons = fresh("dbu");
+  std::vector<std::string> ConsStmts;
+  emitUses(ConsStmts, "p", Uses);
+  addGroupProc(Cons, "p", {}, std::move(ConsStmts));
+  std::vector<std::string> ProdStmts = {
+      "  v = " + std::to_string(Val),
+      "  if (flag == 1) then",
+      "    read v",
+      "  end if",
+      "  call " + Cons + "(v)",
+  };
+  addGroupProc(Prod, "flag", {"  integer v"}, std::move(ProdStmts),
+               /*PadBeforeTrailingCall=*/true);
+  // The flag argument is an expression, not a literal, so the literal
+  // jump function never sees this group at all (the guard's condition
+  // use would otherwise perturb the literal column).
+  addMainStmt("call " + Prod + "(0 + 0)");
+}
+
+void ProgramGen::polyShapedArg() {
+  std::string Use = fresh("ps");
+  addGroupProc(Use, "q", {}, {"  print q"});
+  std::string Host = fresh("psh");
+  addGroupProc(Host, "a, b", {},
+               {"  call " + Use + "(a * 2 + b - 1)"},
+               /*PadBeforeTrailingCall=*/true);
+  std::string A = fresh("pa"), B = fresh("pb");
+  addMainDecl(A);
+  addMainDecl(B);
+  addMainStmt("read " + A);
+  addMainStmt("read " + B);
+  addMainStmt("call " + Host + "(" + A + ", " + B + ")");
+}
+
+/// Emits roughly \p Lines lines of constant-free computation over the
+/// given (already-declared, READ-initialized) scalar names into \p Out.
+static void emitFillerBody(std::vector<std::string> &Out,
+                           const std::string &T1, const std::string &T2,
+                           const std::string &Iv, const std::string &Arr,
+                           int Lines, const std::string &Indent) {
+  int Emitted = 0;
+  int Block = 0;
+  while (Emitted < Lines) {
+    switch (Block % 3) {
+    case 0:
+      Out.push_back(Indent + "do " + Iv + " = 1, " + T1);
+      Out.push_back(Indent + "  " + Arr + "(" + Iv + " % 64 + 1) = " + T2 +
+                    " + " + Iv);
+      Out.push_back(Indent + "  " + T2 + " = " + T2 + " + " + Arr + "(" +
+                    Iv + " % 64 + 1)");
+      Out.push_back(Indent + "end do");
+      Emitted += 4;
+      break;
+    case 1:
+      Out.push_back(Indent + "if (" + T1 + " > " + T2 + ") then");
+      Out.push_back(Indent + "  " + T2 + " = " + T2 + " * 3 - " + T1);
+      Out.push_back(Indent + "else");
+      Out.push_back(Indent + "  " + T2 + " = " + T2 + " + 7");
+      Out.push_back(Indent + "end if");
+      Emitted += 5;
+      break;
+    case 2:
+      Out.push_back(Indent + "while (" + T2 + " > " + T1 + ")");
+      Out.push_back(Indent + "  " + T2 + " = " + T2 + " - " + T1 + " - 1");
+      Out.push_back(Indent + "end while");
+      Out.push_back(Indent + "print " + T2 + " + " + T1);
+      Emitted += 4;
+      break;
+    }
+    ++Block;
+  }
+}
+
+void ProgramGen::fillerProc(int Lines) {
+  std::string P = fresh("work");
+  std::ostringstream Proc;
+  Proc << "proc " << P << "()\n"
+       << "  integer t1, t2, i\n"
+       << "  array w_" << P << "(64)\n"
+       << "  read t1\n"
+       << "  read t2\n";
+  std::vector<std::string> Body;
+  emitFillerBody(Body, "t1", "t2", "i", "w_" + P, Lines, "  ");
+  for (const auto &L : Body)
+    Proc << L << '\n';
+  Proc << "end\n";
+  addProc(Proc.str());
+  addMainStmt("call " + P + "()");
+}
+
+void ProgramGen::fillerInMain(int Lines) {
+  std::string T1 = fresh("ft"), T2 = fresh("fu"), Iv = fresh("fi");
+  std::string Arr = fresh("fw");
+  addMainDecl(T1);
+  addMainDecl(T2);
+  addMainDecl(Iv);
+  addGlobalLine("array " + Arr + "(64)");
+  addMainStmt("read " + T1);
+  addMainStmt("read " + T2);
+  std::vector<std::string> Body;
+  emitFillerBody(Body, T1, T2, Iv, Arr, Lines, "");
+  for (const auto &L : Body)
+    addMainStmt(L);
+}
+
+void ProgramGen::fillerChain(int Depth, int LinesEach) {
+  std::string Base = fresh("fc");
+  for (int D = Depth; D >= 1; --D) {
+    std::ostringstream Proc;
+    Proc << "proc " << Base << "_" << D << "(n)\n"
+         << "  integer t1, t2, i\n"
+         << "  array w(64)\n"
+         << "  read t1\n"
+         << "  t2 = n\n";
+    std::vector<std::string> Body;
+    emitFillerBody(Body, "t1", "t2", "i", "w", LinesEach, "  ");
+    for (const auto &L : Body)
+      Proc << L << '\n';
+    if (D < Depth)
+      Proc << "  call " << Base << "_" << D + 1 << "(t2)\n";
+    Proc << "end\n";
+    addProc(Proc.str());
+  }
+  std::string Seed = fresh("fs");
+  addMainDecl(Seed);
+  addMainStmt("read " + Seed);
+  addMainStmt("call " + Base + "_1(" + Seed + ")");
+}
+
+std::string ProgramGen::render() const {
+  std::ostringstream OS;
+  OS << "program " << Name << '\n';
+  for (const auto &G : GlobalLines)
+    OS << G << '\n';
+  OS << '\n';
+  OS << "proc main()\n";
+  for (const auto &D : MainDecls)
+    OS << "  integer " << D << '\n';
+  for (const auto &S : MainBody) {
+    // Main statements are stored unindented (group emitters may already
+    // contain their own nesting); re-indent uniformly by two spaces.
+    OS << "  " << S << '\n';
+  }
+  OS << "end\n\n";
+  for (const auto &P : Procs)
+    OS << P << '\n';
+  return OS.str();
+}

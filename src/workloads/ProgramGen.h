@@ -1,0 +1,187 @@
+//===- workloads/ProgramGen.h - Workload generator toolkit ------*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The building blocks the suite generators compose. Each "group"
+/// emitter plants one constant-flow idiom with an exactly-known number
+/// of countable variable uses, and each idiom is visible to a known
+/// subset of analyzer configurations:
+///
+///   litDirect        literal actual -> leaf callee uses
+///                    (all interprocedural configs; not intra-only)
+///   localConstHost   local constant used in one procedure
+///                    (every config, the intra-only floor)
+///   globalAcrossCall global constant used after a call to a non-leaf
+///                    (all MOD-aware configs incl. intra-only; dies
+///                    without MOD)
+///   globalImplicit   global constant consumed by a callee, behind a
+///                    preceding non-leaf call (needs gcp + MOD: not
+///                    literal, not no-MOD, not intra-only)
+///   passChain        formal forwarded through a call chain
+///                    (pass-through/polynomial only)
+///   rjfCallerUse     out-parameter set by a leaf callee, used by caller
+///                    (return-JF configs incl. no-MOD)
+///   rjfForwarded     out-parameter forwarded to another callee
+///                    (return-JF configs with gcp; not literal)
+///   deadBranchExposed constant reaching a callee only after DCE removes
+///                    a conflicting definition (complete propagation)
+///   polyShapedArg    polynomial jump function over unknown inputs
+///                    (exercises machinery, counts nowhere)
+///
+/// Filler emitters add realistic bulk (loops, array traffic, READ-driven
+/// control flow) that is provably constant-free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_WORKLOADS_PROGRAMGEN_H
+#define IPCP_WORKLOADS_PROGRAMGEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipcp {
+
+/// Accumulates globals, procedures, and a main body, then renders one
+/// MiniFort program. All names are generated fresh, so emitters compose
+/// without collisions.
+class ProgramGen {
+public:
+  explicit ProgramGen(std::string Name) : Name(std::move(Name)) {}
+
+  /// Renders the complete program text.
+  std::string render() const;
+
+  /// Pads every subsequently-emitted group procedure with constant-free
+  /// lines up to roughly \p Lines lines, so the generated programs match
+  /// the paper's Table 1 lines-per-procedure profile. Padding never adds
+  /// calls or constants, so the substitution counts are unaffected.
+  void setMinProcLines(int Lines) { MinProcLines = Lines; }
+
+  //===--------------------------------------------------------------------===//
+  // Group emitters (see file comment for config visibility)
+  //===--------------------------------------------------------------------===//
+
+  /// G1: main calls a leaf procedure with literal \p Val; the callee uses
+  /// its formal \p Uses times before doing anything else.
+  void litDirect(int64_t Val, int Uses);
+
+  /// G2: a host procedure (called once, no arguments) assigns \p Val to a
+  /// local and uses it \p Uses times. No calls intervene.
+  void localConstHost(int64_t Val, int Uses);
+
+  /// G2 variant: the local constant and its uses sit directly in main.
+  void localConstInMain(int64_t Val, int Uses);
+
+  /// G3: a global is set to \p Val, a *non-leaf* helper is called, then
+  /// the global is used \p Uses times in the same procedure.
+  void globalAcrossCall(int64_t Val, int Uses);
+
+  /// G4: main sets a global to \p Val, calls a non-leaf spacer, then
+  /// calls a consumer that uses the global \p Uses times.
+  void globalImplicit(int64_t Val, int Uses);
+
+  /// G4 variant: the assignment immediately precedes the consumer call
+  /// (no spacer), so the constant survives even worst-case kill
+  /// assumptions — visible to every gcp-based configuration including
+  /// no-MOD, but not to literal or intra-only.
+  void globalImplicitDirect(int64_t Val, int Uses);
+
+  /// G5: main passes literal \p Val down a chain of \p Depth procedures
+  /// (each forwarding its formal); the innermost uses it \p UsesInner
+  /// times. Depth >= 2. The intermediate procedures do not use the value,
+  /// so only the pass-through/polynomial kinds see these uses.
+  void passChain(int64_t Val, int Depth, int UsesInner);
+
+  /// G5 variant: the chain is fed from a global assigned in main with a
+  /// non-leaf spacer call in between, so the whole chain dies without
+  /// MOD information and the literal kind never sees the chain.
+  void passChainGlobal(int64_t Val, int Depth, int UsesInner);
+
+  /// G6a: a leaf setter assigns \p Val to an out-parameter; the caller
+  /// uses the variable \p Uses times after the call.
+  void rjfCallerUse(int64_t Val, int Uses);
+
+  /// G6b: as G6a, but the variable is then forwarded to a consumer that
+  /// uses it \p Uses times.
+  void rjfForwarded(int64_t Val, int Uses);
+
+  /// G6g: a leaf initializer assigns \p Val to a global; main then calls
+  /// one consumer "phase" per entry of \p PhaseUses, each using the
+  /// global that many times before doing non-leaf helper work. The
+  /// "ocean" idiom — dies without return jump functions, and without MOD
+  /// only the first phase survives.
+  void rjfGlobalInit(int64_t Val, const std::vector<int> &PhaseUses);
+
+  /// G7: a constant \p Val reaches a consumer (\p Uses uses) only after
+  /// dead-code elimination removes a conflicting READ guarded by an
+  /// always-false test. Counts only under complete propagation (plus one
+  /// argument use in the producer under every seeded config).
+  void deadBranchExposed(int64_t Val, int Uses);
+
+  /// G8: a call whose argument is a polynomial of unknowable values;
+  /// builds a polynomial jump function that evaluates to bottom.
+  void polyShapedArg();
+
+  //===--------------------------------------------------------------------===//
+  // Filler (never contributes constants)
+  //===--------------------------------------------------------------------===//
+
+  /// A procedure of roughly \p Lines lines doing READ-driven array and
+  /// loop work, called once from main.
+  void fillerProc(int Lines);
+
+  /// READ-driven loop nest directly in main, roughly \p Lines lines.
+  void fillerInMain(int Lines);
+
+  /// A deeper call chain of filler procedures (adds call-graph depth).
+  void fillerChain(int Depth, int LinesEach);
+
+  //===--------------------------------------------------------------------===//
+  // Low-level access (for bespoke program shapes)
+  //===--------------------------------------------------------------------===//
+
+  std::string fresh(const std::string &Base) {
+    return Base + "_" + std::to_string(++Counter);
+  }
+  void addGlobalLine(const std::string &Line) {
+    GlobalLines.push_back(Line);
+  }
+  void addProc(const std::string &Text) { Procs.push_back(Text); }
+  void addMainDecl(const std::string &Decl) { MainDecls.push_back(Decl); }
+  void addMainStmt(const std::string &Stmt) { MainBody.push_back(Stmt); }
+
+  /// Emits \p Uses "print <Var> * k" statements into \p Out (each is one
+  /// countable use when Var is constant).
+  static void emitUses(std::vector<std::string> &Out, const std::string &Var,
+                       int Uses, const std::string &Indent = "  ");
+
+private:
+  /// A non-leaf spacer procedure (its call kills everything under
+  /// worst-case assumptions and nothing under MOD). Created on demand,
+  /// shared per program.
+  const std::string &spacerProc();
+
+  /// Appends a finished procedure, padding it to MinProcLines first.
+  void addGroupProc(const std::string &Name,
+                    const std::string &FormalList,
+                    std::vector<std::string> Decls,
+                    std::vector<std::string> Stmts,
+                    bool PadBeforeTrailingCall = false);
+
+  int MinProcLines = 0;
+  std::string Name;
+  std::vector<std::string> GlobalLines;
+  std::vector<std::string> Procs;
+  std::vector<std::string> MainDecls;
+  std::vector<std::string> MainBody;
+  std::string Spacer;
+  int Counter = 0;
+};
+
+} // namespace ipcp
+
+#endif // IPCP_WORKLOADS_PROGRAMGEN_H

@@ -1,0 +1,38 @@
+//===- workloads/Programs.h - Per-program generators (internal) -*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal: one factory per suite program. Each factory composes the
+/// ProgramGen idioms with the knob values derived in DESIGN.md §4 so the
+/// program reproduces its row of the paper's Tables 2 and 3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_WORKLOADS_PROGRAMS_H
+#define IPCP_WORKLOADS_PROGRAMS_H
+
+#include "workloads/Suite.h"
+
+namespace ipcp {
+namespace workloads {
+
+WorkloadProgram makeAdm();
+WorkloadProgram makeDoduc();
+WorkloadProgram makeFpppp();
+WorkloadProgram makeLinpackd();
+WorkloadProgram makeMatrix300();
+WorkloadProgram makeMdg();
+WorkloadProgram makeOcean();
+WorkloadProgram makeQcd();
+WorkloadProgram makeSimple();
+WorkloadProgram makeSnasa7();
+WorkloadProgram makeSpec77();
+WorkloadProgram makeTrfd();
+
+} // namespace workloads
+} // namespace ipcp
+
+#endif // IPCP_WORKLOADS_PROGRAMS_H

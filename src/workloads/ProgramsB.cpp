@@ -1,0 +1,121 @@
+//===- workloads/ProgramsB.cpp - matrix300, mdg, ocean, qcd ---------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/ProgramGen.h"
+#include "workloads/Programs.h"
+
+using namespace ipcp;
+using namespace ipcp::workloads;
+
+template <typename EmitFn>
+static void spread(int Total, int Chunk, int64_t BaseVal, EmitFn Emit) {
+  int64_t Val = BaseVal;
+  while (Total > 0) {
+    int N = Total < Chunk ? Total : Chunk;
+    Emit(N, Val);
+    Total -= N;
+    Val += 3;
+  }
+}
+
+// matrix300: a large pass-through-only component (138 vs 122 intra) —
+// the matrix dimension forwarded through the call chain — plus heavy
+// gcp-found globals (122 vs 71 literal).
+//   a=1, b=1, c=68, d=51, one literal chain (depth 2) with 16 inner uses.
+WorkloadProgram workloads::makeMatrix300() {
+  ProgramGen G("matrix300");
+  G.setMinProcLines(14);
+  G.litDirect(300, 1);
+  G.localConstInMain(300, 1);
+  spread(68, 10, 300, [&](int N, int64_t V) { G.globalAcrossCall(V, N); });
+  spread(51, 9, 64, [&](int N, int64_t V) { G.globalImplicit(V, N); });
+  G.passChain(300, 2, 16);
+  G.polyShapedArg();
+  G.fillerProc(50);
+  G.fillerInMain(12);
+  WorkloadProgram P;
+  P.Name = "matrix300";
+  P.Source = G.render();
+  P.Paper = {138, 138, 122, 71, 138, 138, 18, 138, 69};
+  P.PaperTable1 = {-1, -1, -1, -1};
+  return P;
+}
+
+// mdg: nearly flat across the kinds (41/41/40/31) with a one-constant
+// return-jump-function effect and a one-edge pass-through separation.
+//   b=30, d=7, rjfGlobalInit [1], global chain (depth 3, 0 inner uses).
+WorkloadProgram workloads::makeMdg() {
+  ProgramGen G("mdg");
+  G.setMinProcLines(16);
+  G.localConstInMain(3, 5);
+  spread(25, 9, 27, [&](int N, int64_t V) { G.localConstHost(V, N); });
+  spread(7, 7, 125, [&](int N, int64_t V) { G.globalImplicit(V, N); });
+  G.rjfGlobalInit(298, {1});
+  G.passChainGlobal(216, 3, 0);
+  G.polyShapedArg();
+  G.fillerProc(90);
+  G.fillerChain(3, 35);
+  G.fillerInMain(18);
+  WorkloadProgram P;
+  P.Name = "mdg";
+  P.Source = G.render();
+  P.Paper = {41, 41, 40, 31, 40, 40, 31, 41, 31};
+  P.PaperTable1 = {-1, -1, -1, -1};
+  return P;
+}
+
+// ocean: the return-jump-function showcase. A leaf initialization
+// routine assigns constants to many globals; phase routines called from
+// a flat main consume them (194 with return JFs, 62 without, literal
+// sees only 57). Complete propagation exposes more uses behind a debug
+// branch (204).
+//   a=1, b=56, d=3, rjfGlobalInit phases [21,29,30,27,25] (U=132),
+//   deadBranchExposed(11 uses; the folded guard gives back one).
+WorkloadProgram workloads::makeOcean() {
+  ProgramGen G("ocean");
+  G.setMinProcLines(30);
+  G.litDirect(360, 1);
+  G.localConstInMain(128, 8);
+  spread(48, 8, 60, [&](int N, int64_t V) { G.localConstHost(V, N); });
+  G.globalImplicit(512, 3);
+  G.rjfGlobalInit(100, {21, 29, 30, 27, 25});
+  G.deadBranchExposed(44, 11);
+  G.polyShapedArg();
+  G.fillerProc(200);
+  G.fillerProc(120);
+  G.fillerProc(130);
+  G.fillerChain(4, 60);
+  G.fillerChain(3, 55);
+  G.fillerInMain(70);
+  WorkloadProgram P;
+  P.Name = "ocean";
+  P.Source = G.render();
+  P.Paper = {194, 194, 194, 57, 62, 62, 79, 204, 56};
+  P.PaperTable1 = {1728, -1, -1, -1};
+  return P;
+}
+
+// qcd: essentially everything is already visible to the literal kind
+// (180 across the board); intraprocedural propagation nearly ties (179).
+//   a=1, b=168, c=11.
+WorkloadProgram workloads::makeQcd() {
+  ProgramGen G("qcd");
+  G.setMinProcLines(14);
+  G.litDirect(4, 1);
+  G.localConstInMain(16, 10);
+  spread(158, 11, 8, [&](int N, int64_t V) { G.localConstHost(V, N); });
+  spread(11, 6, 73, [&](int N, int64_t V) { G.globalAcrossCall(V, N); });
+  G.polyShapedArg();
+  G.fillerProc(75);
+  G.fillerChain(2, 35);
+  G.fillerInMain(20);
+  WorkloadProgram P;
+  P.Name = "qcd";
+  P.Source = G.render();
+  P.Paper = {180, 180, 180, 180, 180, 180, 169, 180, 179};
+  P.PaperTable1 = {-1, -1, -1, -1};
+  return P;
+}

@@ -1,0 +1,119 @@
+//===- workloads/ProgramsC.cpp - simple, snasa7, spec77, trfd -------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/ProgramGen.h"
+#include "workloads/Programs.h"
+
+using namespace ipcp;
+using namespace ipcp::workloads;
+
+template <typename EmitFn>
+static void spread(int Total, int Chunk, int64_t BaseVal, EmitFn Emit) {
+  int64_t Val = BaseVal;
+  while (Total > 0) {
+    int N = Total < Chunk ? Total : Chunk;
+    Emit(N, Val);
+    Total -= N;
+    Val += 3;
+  }
+}
+
+// simple: almost every constant crosses a call boundary through globals,
+// so removing MOD obliterates the result (183 -> 2); one large routine
+// dominates the line count (the paper notes the skew).
+//   b=2, c=170, d=3, two global chains (depth 2, 2 inner uses each).
+WorkloadProgram workloads::makeSimple() {
+  ProgramGen G("simple");
+  G.setMinProcLines(10);
+  G.localConstInMain(1024, 2);
+  spread(170, 12, 30, [&](int N, int64_t V) { G.globalAcrossCall(V, N); });
+  G.globalImplicit(7, 3);
+  G.passChainGlobal(2048, 2, 2);
+  G.passChainGlobal(4096, 2, 2);
+  G.polyShapedArg();
+  G.fillerProc(430); // The dominant routine.
+  G.fillerInMain(18);
+  WorkloadProgram P;
+  P.Name = "simple";
+  P.Source = G.render();
+  P.Paper = {183, 183, 179, 174, 183, 183, 2, 183, 174};
+  P.PaperTable1 = {805, -1, -1, -1};
+  return P;
+}
+
+// snasa7: big intraprocedural base (254) plus many globals consumed one
+// call away; about half of those survive without MOD because the
+// defining assignment immediately precedes the consuming call.
+//   b=254, d=33 (spacered), dd=49 (direct).
+WorkloadProgram workloads::makeSnasa7() {
+  ProgramGen G("snasa7");
+  G.setMinProcLines(16);
+  G.localConstInMain(7, 14);
+  spread(240, 15, 50, [&](int N, int64_t V) { G.localConstHost(V, N); });
+  spread(33, 11, 250, [&](int N, int64_t V) { G.globalImplicit(V, N); });
+  spread(49, 10, 610, [&](int N, int64_t V) {
+    G.globalImplicitDirect(V, N);
+  });
+  G.polyShapedArg();
+  G.fillerProc(70);
+  G.fillerInMain(20);
+  WorkloadProgram P;
+  P.Name = "snasa7";
+  P.Source = G.render();
+  P.Paper = {336, 336, 336, 254, 336, 336, 303, 336, 254};
+  P.PaperTable1 = {696, -1, -1, -1};
+  return P;
+}
+
+// spec77: the largest program (65 procedures in the paper); a mixed
+// profile with a small complete-propagation payoff (137 -> 141).
+//   a=21, b=34, c=49, d=11, dd=20, deadBranchExposed(5).
+WorkloadProgram workloads::makeSpec77() {
+  ProgramGen G("spec77");
+  G.setMinProcLines(30);
+  spread(21, 5, 77, [&](int N, int64_t V) { G.litDirect(V, N); });
+  G.localConstInMain(12, 6);
+  spread(28, 6, 360, [&](int N, int64_t V) { G.localConstHost(V, N); });
+  spread(49, 8, 144, [&](int N, int64_t V) { G.globalAcrossCall(V, N); });
+  spread(11, 7, 365, [&](int N, int64_t V) { G.globalImplicit(V, N); });
+  spread(20, 7, 720, [&](int N, int64_t V) {
+    G.globalImplicitDirect(V, N);
+  });
+  G.deadBranchExposed(19, 5);
+  G.polyShapedArg();
+  for (int I = 0; I < 36; ++I)
+    G.fillerProc(24 + (I % 6) * 8);
+  G.fillerChain(4, 45);
+  G.fillerChain(3, 38);
+  G.fillerInMain(40);
+  WorkloadProgram P;
+  P.Name = "spec77";
+  P.Source = G.render();
+  P.Paper = {137, 137, 137, 104, 137, 137, 76, 141, 83};
+  P.PaperTable1 = {2904, 65, 45, 31};
+  return P;
+}
+
+// trfd: the smallest member (8 procedures in the paper); a handful of
+// constants, every kind finds all of them.
+//   a=1, b=9, c=6.
+WorkloadProgram workloads::makeTrfd() {
+  ProgramGen G("trfd");
+  G.setMinProcLines(40);
+  G.litDirect(40, 1);
+  G.localConstInMain(10, 4);
+  G.localConstHost(35, 5);
+  G.globalAcrossCall(70, 6);
+  G.polyShapedArg();
+  G.fillerProc(80);
+  G.fillerInMain(30);
+  WorkloadProgram P;
+  P.Name = "trfd";
+  P.Source = G.render();
+  P.Paper = {16, 16, 16, 16, 16, 16, 10, 16, 15};
+  P.PaperTable1 = {401, 8, 50, 40};
+  return P;
+}

@@ -1,0 +1,219 @@
+//===- workloads/RandomProgram.cpp - Seeded random programs ---------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/RandomProgram.h"
+
+#include <sstream>
+#include <vector>
+
+using namespace ipcp;
+
+namespace {
+
+/// Tiny deterministic PRNG (xorshift64*); independent of the C++ library
+/// so generated programs are stable across platforms.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed ? Seed : 0x9e3779b97f4a7c15) {}
+
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545F4914F6CDD1D;
+  }
+
+  /// Uniform in [0, Bound).
+  int below(int Bound) {
+    return Bound <= 1 ? 0 : static_cast<int>(next() % uint64_t(Bound));
+  }
+
+  bool chance(int Percent) { return below(100) < Percent; }
+
+private:
+  uint64_t State;
+};
+
+/// Emits one procedure's statements.
+class ProcEmitter {
+public:
+  ProcEmitter(Rng &R, const RandomSpec &Spec, int ProcIdx,
+              const std::vector<int> &FormalCounts,
+              const std::vector<std::string> &Globals)
+      : R(R), Spec(Spec), ProcIdx(ProcIdx), FormalCounts(FormalCounts),
+        Globals(Globals) {
+    int NumFormals = ProcIdx < 0 ? 0 : FormalCounts[ProcIdx];
+    for (int I = 0; I != NumFormals; ++I)
+      Scalars.push_back("p" + std::to_string(I));
+    int NumLocals = 2 + R.below(3);
+    for (int I = 0; I != NumLocals; ++I) {
+      Locals.push_back("v" + std::to_string(I));
+      Scalars.push_back(Locals.back());
+    }
+    for (const std::string &G : Globals)
+      Scalars.push_back(G);
+  }
+
+  std::string emit() {
+    std::ostringstream OS;
+    OS << "proc " << (ProcIdx < 0 ? std::string("main")
+                                  : "w" + std::to_string(ProcIdx))
+       << "(";
+    for (int I = 0; ProcIdx >= 0 && I != FormalCounts[ProcIdx]; ++I)
+      OS << (I ? ", " : "") << "p" << I;
+    OS << ")\n";
+    OS << "  integer ";
+    for (size_t I = 0; I != Locals.size(); ++I)
+      OS << (I ? ", " : "") << Locals[I];
+    OS << "\n";
+    // Locals get defined before anything reads them.
+    for (const std::string &L : Locals)
+      OS << "  " << L << " = " << (R.below(40) - 10) << "\n";
+    int N = 2 + R.below(Spec.MaxStmtsPerProc);
+    for (int I = 0; I != N; ++I)
+      statement(OS, 1, /*AllowLoops=*/true);
+    OS << "end\n";
+    return OS.str();
+  }
+
+private:
+  std::string var() { return Scalars[R.below(int(Scalars.size()))]; }
+  std::string local() { return Locals[R.below(int(Locals.size()))]; }
+
+  std::string expr(int Depth) {
+    if (Depth <= 0 || R.chance(35))
+      return R.chance(50) ? std::to_string(R.below(20)) : var();
+    static const char *Ops[] = {"+", "-", "*", "/", "%"};
+    std::string L = expr(Depth - 1);
+    std::string Rhs = expr(Depth - 1);
+    return "(" + L + " " + Ops[R.below(5)] + " " + Rhs + ")";
+  }
+
+  std::string cond() {
+    static const char *Rel[] = {"==", "!=", "<", "<=", ">", ">="};
+    return expr(1) + " " + Rel[R.below(6)] + " " + expr(1);
+  }
+
+  void indent(std::ostringstream &OS, int Level) {
+    for (int I = 0; I != Level; ++I)
+      OS << "  ";
+  }
+
+  void statement(std::ostringstream &OS, int Level, bool AllowLoops) {
+    int Kind = R.below(100);
+    if (Kind < 35) {
+      indent(OS, Level);
+      OS << var() << " = " << expr(Spec.MaxExprDepth) << "\n";
+      return;
+    }
+    if (Kind < 50) {
+      indent(OS, Level);
+      OS << "print " << expr(2) << "\n";
+      return;
+    }
+    if (Kind < 58) {
+      indent(OS, Level);
+      OS << "read " << local() << "\n";
+      return;
+    }
+    if (Kind < 75) {
+      // A call: main calls anything; workers call strictly later workers
+      // (DAG), or themselves when recursion is allowed.
+      int Lo = ProcIdx < 0 ? 0 : ProcIdx + 1;
+      if (Lo >= int(FormalCounts.size())) {
+        if (!(Spec.AllowRecursion && ProcIdx >= 0)) {
+          indent(OS, Level);
+          OS << "print " << expr(1) << "\n";
+          return;
+        }
+      }
+      int Callee = Spec.AllowRecursion && ProcIdx >= 0 && R.chance(20)
+                       ? ProcIdx
+                       : (Lo < int(FormalCounts.size())
+                              ? Lo + R.below(int(FormalCounts.size()) - Lo)
+                              : -1);
+      if (Callee < 0) {
+        indent(OS, Level);
+        OS << "print 0\n";
+        return;
+      }
+      indent(OS, Level);
+      OS << "call w" << Callee << "(";
+      for (int A = 0; A != FormalCounts[Callee]; ++A) {
+        if (A)
+          OS << ", ";
+        int Pick = R.below(3);
+        if (Pick == 0)
+          OS << R.below(30);
+        else if (Pick == 1)
+          OS << var();
+        else
+          OS << expr(1);
+      }
+      OS << ")\n";
+      return;
+    }
+    if (Kind < 85 && AllowLoops) {
+      indent(OS, Level);
+      std::string Iv = local();
+      OS << "do " << Iv << " = 1, " << expr(1) << "\n";
+      statement(OS, Level + 1, /*AllowLoops=*/false);
+      indent(OS, Level);
+      OS << "end do\n";
+      return;
+    }
+    // Branch.
+    indent(OS, Level);
+    OS << "if (" << cond() << ") then\n";
+    statement(OS, Level + 1, AllowLoops);
+    if (R.chance(50)) {
+      indent(OS, Level);
+      OS << "else\n";
+      statement(OS, Level + 1, AllowLoops);
+    }
+    indent(OS, Level);
+    OS << "end if\n";
+  }
+
+  Rng &R;
+  const RandomSpec &Spec;
+  int ProcIdx; ///< -1 for main.
+  const std::vector<int> &FormalCounts;
+  const std::vector<std::string> &Globals;
+  std::vector<std::string> Scalars;
+  std::vector<std::string> Locals;
+};
+
+} // namespace
+
+std::string ipcp::generateRandomProgram(const RandomSpec &Spec) {
+  Rng R(Spec.Seed);
+  std::ostringstream OS;
+  OS << "program random" << Spec.Seed << "\n";
+  std::vector<std::string> Globals;
+  for (int I = 0; I != Spec.Globals; ++I) {
+    Globals.push_back("g" + std::to_string(I));
+    OS << "global " << Globals.back();
+    if (I == 0)
+      OS << " = " << R.below(100);
+    OS << "\n";
+  }
+  OS << "\n";
+
+  std::vector<int> FormalCounts;
+  for (int I = 0; I != Spec.Procs; ++I)
+    FormalCounts.push_back(R.below(4));
+
+  {
+    ProcEmitter Main(R, Spec, -1, FormalCounts, Globals);
+    OS << Main.emit() << "\n";
+  }
+  for (int I = 0; I != Spec.Procs; ++I) {
+    ProcEmitter P(R, Spec, I, FormalCounts, Globals);
+    OS << P.emit() << "\n";
+  }
+  return OS.str();
+}

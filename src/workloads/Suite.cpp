@@ -1,0 +1,86 @@
+//===- workloads/Suite.cpp - The benchmark program suite ------------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Suite.h"
+
+#include "workloads/Programs.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace ipcp;
+
+const std::vector<WorkloadProgram> &ipcp::benchmarkSuite() {
+  static const std::vector<WorkloadProgram> Suite = [] {
+    std::vector<WorkloadProgram> S;
+    S.push_back(workloads::makeAdm());
+    S.push_back(workloads::makeDoduc());
+    S.push_back(workloads::makeFpppp());
+    S.push_back(workloads::makeLinpackd());
+    S.push_back(workloads::makeMatrix300());
+    S.push_back(workloads::makeMdg());
+    S.push_back(workloads::makeOcean());
+    S.push_back(workloads::makeQcd());
+    S.push_back(workloads::makeSimple());
+    S.push_back(workloads::makeSnasa7());
+    S.push_back(workloads::makeSpec77());
+    S.push_back(workloads::makeTrfd());
+    return S;
+  }();
+  return Suite;
+}
+
+ProgramCharacteristics
+ipcp::measureCharacteristics(const std::string &Source) {
+  ProgramCharacteristics C;
+  std::vector<unsigned> ProcLines;
+  bool InProc = false;
+  unsigned CurProcLines = 0;
+
+  std::istringstream In(Source);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    // Strip comments, then decide blankness (the paper's line counts
+    // "exclude comments and blank lines").
+    size_t Bang = Line.find('!');
+    std::string Code = Bang == std::string::npos ? Line
+                                                 : Line.substr(0, Bang);
+    size_t First = Code.find_first_not_of(" \t\r");
+    if (First == std::string::npos)
+      continue;
+    ++C.Lines;
+
+    std::string Trimmed = Code.substr(First);
+    if (Trimmed.rfind("proc ", 0) == 0) {
+      InProc = true;
+      CurProcLines = 1;
+      continue;
+    }
+    if (InProc) {
+      ++CurProcLines;
+      if (Trimmed == "end") {
+        ProcLines.push_back(CurProcLines);
+        InProc = false;
+      }
+    }
+  }
+
+  C.Procs = static_cast<unsigned>(ProcLines.size());
+  if (!ProcLines.empty()) {
+    unsigned Total = 0;
+    for (unsigned N : ProcLines)
+      Total += N;
+    C.MeanLinesPerProc = double(Total) / double(ProcLines.size());
+    std::sort(ProcLines.begin(), ProcLines.end());
+    size_t Mid = ProcLines.size() / 2;
+    C.MedianLinesPerProc =
+        ProcLines.size() % 2 ? double(ProcLines[Mid])
+                             : (double(ProcLines[Mid - 1]) +
+                                double(ProcLines[Mid])) /
+                                   2.0;
+  }
+  return C;
+}

@@ -1,0 +1,74 @@
+//===- workloads/Suite.h - The benchmark program suite ----------*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 12 MiniFort programs standing in for the paper's SPEC/PERFECT
+/// FORTRAN suite (adm, doduc, fpppp, linpackd, matrix300, mdg, ocean,
+/// qcd, simple, snasa7, spec77, trfd). Each program is generated
+/// deterministically from the constant-flow idioms that produced its row
+/// in the paper's Tables 2 and 3; DESIGN.md §2 documents the
+/// substitution. The paper's reported numbers ride along for the
+/// benches' paper-vs-measured output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_WORKLOADS_SUITE_H
+#define IPCP_WORKLOADS_SUITE_H
+
+#include <string>
+#include <vector>
+
+namespace ipcp {
+
+/// The paper's measured values for one program (Tables 2 and 3).
+/// -1 marks a value the OCR of the paper lost.
+struct PaperNumbers {
+  int Polynomial;       ///< Table 2, polynomial + return JFs.
+  int PassThrough;      ///< Table 2, pass-through + return JFs.
+  int IntraConst;       ///< Table 2, intraprocedural + return JFs.
+  int Literal;          ///< Table 2, literal + return JFs.
+  int PolynomialNoRjf;  ///< Table 2, polynomial, no return JFs.
+  int PassThroughNoRjf; ///< Table 2, pass-through, no return JFs.
+  int PolyNoMod;        ///< Table 3, polynomial without MOD.
+  int Complete;         ///< Table 3, complete propagation.
+  int IntraOnly;        ///< Table 3, intraprocedural propagation.
+};
+
+/// Paper Table 1 characteristics (what the OCR preserved; -1 = lost).
+struct PaperCharacteristics {
+  int Lines;
+  int Procs;
+  int MeanLinesPerProc;
+  int MedianLinesPerProc;
+};
+
+/// One suite member.
+struct WorkloadProgram {
+  std::string Name;
+  std::string Source;
+  PaperNumbers Paper;
+  PaperCharacteristics PaperTable1;
+};
+
+/// Returns the suite, generated once and cached. Order matches the
+/// paper's tables.
+const std::vector<WorkloadProgram> &benchmarkSuite();
+
+/// Measured characteristics of a MiniFort source (Table 1 analogue).
+/// Lines exclude comments and blanks, like the paper's counts.
+struct ProgramCharacteristics {
+  unsigned Lines = 0;
+  unsigned Procs = 0;
+  double MeanLinesPerProc = 0.0;
+  double MedianLinesPerProc = 0.0;
+};
+
+/// Computes characteristics by scanning \p Source textually.
+ProgramCharacteristics measureCharacteristics(const std::string &Source);
+
+} // namespace ipcp
+
+#endif // IPCP_WORKLOADS_SUITE_H

@@ -1,0 +1,82 @@
+//===- workloads/Synthetic.cpp - Scalable synthetic programs --------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Synthetic.h"
+
+#include <sstream>
+
+using namespace ipcp;
+
+/// Builds a polynomial expression of the formals "a" and "b" with
+/// \p Depth operator layers, e.g. "((a * 2 + b) * 2 + a)".
+static std::string polyExpr(int Depth, int Seed) {
+  std::string E = Seed % 2 ? "a" : "b";
+  for (int D = 0; D < Depth; ++D) {
+    const char *Other = (Seed + D) % 2 ? "b" : "a";
+    E = "(" + E + " * 2 + " + Other + " - " +
+        std::to_string((Seed + D) % 5) + ")";
+  }
+  return E;
+}
+
+std::string ipcp::generateSynthetic(const SyntheticSpec &Spec) {
+  std::ostringstream OS;
+  OS << "program synthetic\n";
+  OS << "global gtotal\n\n";
+
+  OS << "proc main()\n";
+  OS << "  gtotal = 1\n";
+  // Several roots so the call-graph frontier is wide from the start.
+  for (int R = 0; R < Spec.Procs && R < 4; ++R)
+    OS << "  call w_" << R << "(" << R * 10 + 1 << ", " << R * 10 + 2
+       << ", " << R * 10 + 3 << ")\n";
+  OS << "end\n\n";
+
+  for (int I = 0; I < Spec.Procs; ++I) {
+    OS << "proc w_" << I << "(a, b, c)\n";
+    OS << "  integer t, k\n";
+    // Uses of the formals (countable when constants arrive).
+    OS << "  print a + b\n";
+    OS << "  print c * 2\n";
+    // Constant-free filler.
+    OS << "  read t\n";
+    OS << "  k = t\n";
+    for (int L = 0; L < Spec.FillerLines; L += 3) {
+      OS << "  do k = 1, t\n";
+      OS << "    t = t - 1\n";
+      OS << "  end do\n";
+    }
+    // Calls to later procedures only: the call graph is a dense DAG.
+    for (int J = 1; J <= Spec.CallsPerProc; ++J) {
+      int Callee = I + J;
+      if (Callee >= Spec.Procs)
+        break;
+      OS << "  call w_" << Callee << "(";
+      int NArgs = Spec.ArgsPerCall < 3 ? Spec.ArgsPerCall : 3;
+      for (int A = 0; A < NArgs; ++A) {
+        if (A)
+          OS << ", ";
+        switch (A % 3) {
+        case 0: // Literal argument.
+          OS << (I * 7 + J);
+          break;
+        case 1: // Pass-through argument.
+          OS << (J % 2 ? "a" : "b");
+          break;
+        case 2: // Polynomial argument.
+          OS << polyExpr(Spec.PolyDepth, I + J);
+          break;
+        }
+      }
+      // Pad missing formals (every worker takes exactly three).
+      for (int A = NArgs; A < 3; ++A)
+        OS << (A ? ", " : "") << 0;
+      OS << ")\n";
+    }
+    OS << "end\n\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,43 @@
+//===- workloads/Synthetic.h - Scalable synthetic programs ------*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, size-parameterized MiniFort programs for the timing
+/// and scaling benches (the §3.1.5 cost study and the solver ablation).
+/// Unlike the fixed suite, these scale the number of procedures, call
+/// sites, and expression depth independently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_WORKLOADS_SYNTHETIC_H
+#define IPCP_WORKLOADS_SYNTHETIC_H
+
+#include <string>
+
+namespace ipcp {
+
+/// Parameters of one synthetic program.
+struct SyntheticSpec {
+  /// Number of worker procedures (beyond main).
+  int Procs = 16;
+  /// Call sites per procedure (each calls this many later procedures,
+  /// wrapping around, so the call graph is a dense DAG).
+  int CallsPerProc = 3;
+  /// Arguments per call: a mix of literals, pass-through formals, and
+  /// polynomial expressions of formals.
+  int ArgsPerCall = 3;
+  /// Lines of constant-free filler per procedure.
+  int FillerLines = 10;
+  /// Depth of the polynomial argument expressions.
+  int PolyDepth = 2;
+};
+
+/// Generates the program deterministically from \p Spec.
+std::string generateSynthetic(const SyntheticSpec &Spec);
+
+} // namespace ipcp
+
+#endif // IPCP_WORKLOADS_SYNTHETIC_H

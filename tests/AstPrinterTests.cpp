@@ -1,0 +1,96 @@
+//===- tests/AstPrinterTests.cpp - lang/AstPrinter unit tests -------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AstPrinter.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipcp;
+using namespace ipcp::test;
+
+TEST(AstPrinter, PrintsDeclarations) {
+  auto Ctx = parseOk("program p\nglobal n = 4\narray a(8)\nproc main()\n"
+                     "  integer i, j\n  array w(2)\nend\n");
+  AstPrinter Printer;
+  std::string Out = Printer.programToString(Ctx->program());
+  EXPECT_NE(Out.find("program p"), std::string::npos);
+  EXPECT_NE(Out.find("global n = 4"), std::string::npos);
+  EXPECT_NE(Out.find("array a(8)"), std::string::npos);
+  EXPECT_NE(Out.find("integer i, j"), std::string::npos);
+  EXPECT_NE(Out.find("array w(2)"), std::string::npos);
+}
+
+TEST(AstPrinter, PrintedOutputReparses) {
+  auto Ctx = parseOk(R"(global n
+proc main()
+  integer i
+  n = 2
+  do i = 1, 10, 2
+    if (i % 2 == 0 and n > 1) then
+      print i
+    else
+      call f(i, -n)
+    end if
+  end do
+  while (n < 100)
+    n = n * n
+  end while
+end
+proc f(a, b)
+  print a - b - 1
+end
+)");
+  AstPrinter Printer;
+  std::string Printed = Printer.programToString(Ctx->program());
+  auto Ctx2 = parseOk(Printed); // Must be syntactically valid.
+  EXPECT_EQ(Printer.programToString(Ctx2->program()), Printed);
+}
+
+TEST(AstPrinter, SubstitutionRewritesUses) {
+  auto Ctx = parseOk("proc main()\n  integer x\n  x = 1\n  print x\nend\n");
+  // Find the VarRef use inside the print.
+  const auto *Print = cast<PrintStmt>(Ctx->program().Procs[0]->Body[1]);
+  const auto *Use = cast<VarRefExpr>(Print->value());
+
+  SubstitutionMap Map;
+  Map[Use->id()] = 42;
+  AstPrinter Printer(&Map);
+  std::string Out = Printer.programToString(Ctx->program());
+  EXPECT_NE(Out.find("print 42"), std::string::npos);
+  // The assignment target is a definition and must keep its name.
+  EXPECT_NE(Out.find("x = 1"), std::string::npos);
+}
+
+TEST(AstPrinter, SubstitutionLeavesOtherUsesAlone) {
+  auto Ctx = parseOk(
+      "proc main()\n  integer x\n  x = 1\n  print x + x\nend\n");
+  const auto *Print = cast<PrintStmt>(Ctx->program().Procs[0]->Body[1]);
+  const auto *Sum = cast<BinaryExpr>(Print->value());
+  SubstitutionMap Map;
+  Map[Sum->lhs()->id()] = 7;
+  AstPrinter Printer(&Map);
+  std::string Out = Printer.programToString(Ctx->program());
+  EXPECT_NE(Out.find("print 7 + x"), std::string::npos);
+}
+
+TEST(AstPrinter, ParenthesizesOnlyWhenNeeded) {
+  auto Ctx = parseOk(
+      "proc main()\n  integer x\n  x = (1 + 2) * (3 - 4)\nend\n");
+  const auto *Assign = cast<AssignStmt>(Ctx->program().Procs[0]->Body[0]);
+  AstPrinter Printer;
+  EXPECT_EQ(Printer.exprToString(Assign->value()),
+            "(1 + 2) * (3 - 4)");
+}
+
+TEST(AstPrinter, RightOperandOfSubParenthesized) {
+  auto Ctx = parseOk(
+      "proc main()\n  integer x\n  x = 1 - (2 - 3)\nend\n");
+  const auto *Assign = cast<AssignStmt>(Ctx->program().Procs[0]->Body[0]);
+  AstPrinter Printer;
+  EXPECT_EQ(Printer.exprToString(Assign->value()), "1 - (2 - 3)");
+}

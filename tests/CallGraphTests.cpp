@@ -1,0 +1,157 @@
+//===- tests/CallGraphTests.cpp - analysis/CallGraph unit tests -----------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipcp;
+using namespace ipcp::test;
+
+TEST(CallGraph, EdgesPerCallSite) {
+  FullAnalysis A = analyze(R"(proc main()
+  call f()
+  call f()
+  call g()
+end
+proc f()
+  call g()
+end
+proc g()
+end
+)");
+  EXPECT_EQ(A.CG->numCallSites(), 4u);
+  EXPECT_EQ(A.CG->callSitesIn(A.proc("main")).size(), 3u);
+  EXPECT_EQ(A.CG->callSitesOf(A.proc("f")).size(), 2u);
+  EXPECT_EQ(A.CG->callSitesOf(A.proc("g")).size(), 2u);
+}
+
+TEST(CallGraph, CallSitesAnchorRealInstructions) {
+  FullAnalysis A = analyze("proc main()\n  call f()\nend\nproc f()\nend\n");
+  for (const CallSite &S : A.CG->callSitesIn(A.proc("main"))) {
+    const Instr &In =
+        A.M.function(S.Caller).block(S.Block).Instrs[S.InstrIdx];
+    EXPECT_EQ(In.Op, Opcode::Call);
+    EXPECT_EQ(In.Callee, S.Callee);
+  }
+}
+
+TEST(CallGraph, Reachability) {
+  FullAnalysis A = analyze(R"(proc main()
+  call used()
+end
+proc used()
+end
+proc dead()
+  call deadtoo()
+end
+proc deadtoo()
+end
+)");
+  EXPECT_TRUE(A.CG->isReachable(A.proc("main")));
+  EXPECT_TRUE(A.CG->isReachable(A.proc("used")));
+  EXPECT_FALSE(A.CG->isReachable(A.proc("dead")));
+  EXPECT_FALSE(A.CG->isReachable(A.proc("deadtoo")));
+}
+
+TEST(CallGraph, BottomUpOrderPutsCalleesFirst) {
+  FullAnalysis A = analyze(R"(proc main()
+  call mid()
+end
+proc mid()
+  call leaf()
+end
+proc leaf()
+end
+)");
+  const auto &Order = A.CG->bottomUpOrder();
+  auto pos = [&](const std::string &Name) {
+    ProcId P = A.proc(Name);
+    return std::find(Order.begin(), Order.end(), P) - Order.begin();
+  };
+  EXPECT_LT(pos("leaf"), pos("mid"));
+  EXPECT_LT(pos("mid"), pos("main"));
+}
+
+TEST(CallGraph, TopDownIsReverseOfBottomUp) {
+  FullAnalysis A = analyze(R"(proc main()
+  call a()
+  call b()
+end
+proc a()
+  call b()
+end
+proc b()
+end
+)");
+  auto Up = A.CG->bottomUpOrder();
+  auto Down = A.CG->topDownOrder();
+  std::reverse(Down.begin(), Down.end());
+  EXPECT_EQ(Up, Down);
+}
+
+TEST(CallGraph, OrdersCoverExactlyReachableProcs) {
+  FullAnalysis A = analyze(R"(proc main()
+  call a()
+end
+proc a()
+end
+proc orphan()
+end
+)");
+  EXPECT_EQ(A.CG->bottomUpOrder().size(), 2u);
+  for (ProcId P : A.CG->bottomUpOrder())
+    EXPECT_TRUE(A.CG->isReachable(P));
+}
+
+TEST(CallGraph, DetectsSelfRecursion) {
+  FullAnalysis A = analyze(R"(proc main()
+  call fact(5)
+end
+proc fact(n)
+  if (n > 1) then
+    call fact(n - 1)
+  end if
+end
+)");
+  EXPECT_TRUE(A.CG->isRecursive(A.proc("fact")));
+  EXPECT_FALSE(A.CG->isRecursive(A.proc("main")));
+}
+
+TEST(CallGraph, DetectsMutualRecursion) {
+  FullAnalysis A = analyze(R"(proc main()
+  call even(4)
+end
+proc even(n)
+  if (n > 0) then
+    call odd(n - 1)
+  end if
+end
+proc odd(n)
+  if (n > 0) then
+    call even(n - 1)
+  end if
+end
+)");
+  EXPECT_TRUE(A.CG->isRecursive(A.proc("even")));
+  EXPECT_TRUE(A.CG->isRecursive(A.proc("odd")));
+  EXPECT_EQ(A.CG->sccId(A.proc("even")), A.CG->sccId(A.proc("odd")));
+  EXPECT_NE(A.CG->sccId(A.proc("main")), A.CG->sccId(A.proc("even")));
+}
+
+TEST(CallGraph, NonRecursiveProcsGetDistinctSccs) {
+  FullAnalysis A = analyze(
+      "proc main()\n  call f()\nend\nproc f()\nend\n");
+  EXPECT_NE(A.CG->sccId(A.proc("main")), A.CG->sccId(A.proc("f")));
+  EXPECT_FALSE(A.CG->isRecursive(A.proc("main")));
+}
+
+TEST(CallGraph, EntryIsRecorded) {
+  FullAnalysis A = analyze("proc main()\nend\n");
+  EXPECT_EQ(A.CG->entry(), A.proc("main"));
+}

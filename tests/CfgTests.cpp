@@ -1,0 +1,250 @@
+//===- tests/CfgTests.cpp - ir/CfgBuilder unit tests ----------------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CfgBuilder.h"
+#include "ir/IrPrinter.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipcp;
+using namespace ipcp::test;
+
+namespace {
+
+/// Counts instructions of \p Op in \p F.
+unsigned countOps(const Function &F, Opcode Op) {
+  unsigned N = 0;
+  for (BlockId B = 0; B != F.numBlocks(); ++B)
+    for (const Instr &In : F.block(B).Instrs)
+      N += In.Op == Op;
+  return N;
+}
+
+} // namespace
+
+TEST(Cfg, StraightLineIsTwoBlocks) {
+  FullAnalysis A = analyze(
+      "proc main()\n  integer x\n  x = 1\n  print x\nend\n");
+  const Function &F = A.function("main");
+  // Entry block + exit block.
+  EXPECT_EQ(F.numBlocks(), 2u);
+  EXPECT_EQ(F.block(F.exitBlock()).Instrs.back().Op, Opcode::Ret);
+}
+
+TEST(Cfg, SingleExitBlock) {
+  FullAnalysis A = analyze(R"(proc main()
+  integer x
+  x = 1
+  if (x > 0) then
+    return
+  end if
+  print x
+end
+)");
+  const Function &F = A.function("main");
+  unsigned Rets = countOps(F, Opcode::Ret);
+  EXPECT_EQ(Rets, 1u);
+}
+
+TEST(Cfg, IfProducesDiamond) {
+  FullAnalysis A = analyze(R"(proc main()
+  integer x
+  x = 1
+  if (x > 0) then
+    x = 2
+  else
+    x = 3
+  end if
+  print x
+end
+)");
+  const Function &F = A.function("main");
+  EXPECT_EQ(countOps(F, Opcode::Branch), 1u);
+  // entry, then, else, join, exit.
+  EXPECT_EQ(F.numBlocks(), 5u);
+}
+
+TEST(Cfg, BranchHasTwoSuccessors) {
+  FullAnalysis A = analyze("proc main()\n  integer x\n  x = 0\n  if (x) "
+                           "then\n    x = 1\n  end if\nend\n");
+  const Function &F = A.function("main");
+  for (BlockId B = 0; B != F.numBlocks(); ++B)
+    for (const Instr &In : F.block(B).Instrs)
+      if (In.Op == Opcode::Branch)
+        EXPECT_EQ(F.block(B).Succs.size(), 2u);
+}
+
+TEST(Cfg, WhileProducesLoop) {
+  FullAnalysis A = analyze(R"(proc main()
+  integer x
+  x = 10
+  while (x > 0)
+    x = x - 1
+  end while
+end
+)");
+  const Function &F = A.function("main");
+  // Some block must have a successor with a smaller id (the back edge).
+  bool HasBackEdge = false;
+  for (BlockId B = 0; B != F.numBlocks(); ++B)
+    for (BlockId S : F.block(B).Succs)
+      HasBackEdge |= S <= B;
+  EXPECT_TRUE(HasBackEdge);
+}
+
+TEST(Cfg, DoLoopCapturesBounds) {
+  FullAnalysis A = analyze(R"(proc main()
+  integer i, n
+  n = 10
+  do i = 1, n
+    n = 0
+  end do
+end
+)");
+  const Function &F = A.function("main");
+  // The header comparison must read a temporary (captured bound), not
+  // the variable n directly.
+  bool FoundCapturedCompare = false;
+  for (BlockId B = 0; B != F.numBlocks(); ++B)
+    for (const Instr &In : F.block(B).Instrs)
+      if (In.Op == Opcode::Binary && In.BinOp == BinaryOp::CmpLe)
+        FoundCapturedCompare |= In.Src2.isTemp();
+  EXPECT_TRUE(FoundCapturedCompare);
+}
+
+TEST(Cfg, NegativeConstStepComparesDownward) {
+  FullAnalysis A = analyze("proc main()\n  integer i\n  do i = 10, 1, -1\n"
+                           "  end do\nend\n");
+  const Function &F = A.function("main");
+  EXPECT_EQ(countOps(F, Opcode::Binary), 2u); // compare + increment
+  bool FoundGe = false;
+  for (BlockId B = 0; B != F.numBlocks(); ++B)
+    for (const Instr &In : F.block(B).Instrs)
+      if (In.Op == Opcode::Binary && In.BinOp == BinaryOp::CmpGe)
+        FoundGe = true;
+  EXPECT_TRUE(FoundGe);
+}
+
+TEST(Cfg, LiteralCallArgumentsStayConstOperands) {
+  FullAnalysis A = analyze(
+      "proc main()\n  call f(3, 1 + 2)\nend\nproc f(a, b)\nend\n");
+  const Function &F = A.function("main");
+  bool Checked = false;
+  for (BlockId B = 0; B != F.numBlocks(); ++B)
+    for (const Instr &In : F.block(B).Instrs)
+      if (In.Op == Opcode::Call) {
+        ASSERT_EQ(In.Args.size(), 2u);
+        EXPECT_TRUE(In.Args[0].isConst()); // Literal stays literal.
+        EXPECT_TRUE(In.Args[1].isTemp());  // Expression via temp.
+        Checked = true;
+      }
+  EXPECT_TRUE(Checked);
+}
+
+TEST(Cfg, VariableUsesCarrySourceExprIds) {
+  FullAnalysis A = analyze(
+      "proc main()\n  integer x\n  x = 1\n  print x + 2\nend\n");
+  const Function &F = A.function("main");
+  unsigned TaggedUses = 0;
+  for (BlockId B = 0; B != F.numBlocks(); ++B)
+    for (const Instr &In : F.block(B).Instrs)
+      In.forEachUse([&](const Operand &Op) {
+        if (Op.isVar() && Op.SourceExpr != 0)
+          ++TaggedUses;
+      });
+  // Exactly one source-level use of x.
+  EXPECT_EQ(TaggedUses, 1u);
+}
+
+TEST(Cfg, AssignmentTargetIsNotAUse) {
+  FullAnalysis A = analyze(
+      "proc main()\n  integer x\n  x = 5\nend\n");
+  const Function &F = A.function("main");
+  for (BlockId B = 0; B != F.numBlocks(); ++B)
+    for (const Instr &In : F.block(B).Instrs)
+      if (In.Op == Opcode::Copy && In.Dst.isVar())
+        EXPECT_EQ(In.Dst.SourceExpr, 0u);
+}
+
+TEST(Cfg, GlobalInitializersPrologueOnlyInMain) {
+  FullAnalysis A = analyze("global n = 9\nproc main()\n  call f()\nend\n"
+                           "proc f()\n  print n\nend\n");
+  const Function &Main = A.function("main");
+  const Instr &First = Main.block(0).Instrs.front();
+  EXPECT_EQ(First.Op, Opcode::Copy);
+  EXPECT_TRUE(First.Dst.isVar());
+  EXPECT_TRUE(First.Src1.isConst());
+  EXPECT_EQ(First.Src1.ConstValue, 9);
+
+  const Function &F = A.function("f");
+  EXPECT_EQ(countOps(F, Opcode::Copy), 0u);
+}
+
+TEST(Cfg, UnreachableCodeAfterReturnIsPruned) {
+  FullAnalysis A = analyze(
+      "proc main()\n  integer x\n  return\n  x = 1\n  print x\nend\n");
+  const Function &F = A.function("main");
+  // The x=1 / print x block is unreachable and removed: only the entry
+  // (with the jump) and the exit remain.
+  EXPECT_EQ(countOps(F, Opcode::Copy), 0u);
+  EXPECT_EQ(countOps(F, Opcode::Print), 0u);
+}
+
+TEST(Cfg, ArrayLoadAndStore) {
+  FullAnalysis A = analyze("array a(4)\nproc main()\n  integer i\n  i = "
+                           "1\n  a(i) = a(i) + 1\nend\n");
+  const Function &F = A.function("main");
+  EXPECT_EQ(countOps(F, Opcode::Load), 1u);
+  EXPECT_EQ(countOps(F, Opcode::Store), 1u);
+}
+
+TEST(Cfg, ReadAndPrintLower) {
+  FullAnalysis A = analyze(
+      "proc main()\n  integer x\n  read x\n  print x\nend\n");
+  const Function &F = A.function("main");
+  EXPECT_EQ(countOps(F, Opcode::Read), 1u);
+  EXPECT_EQ(countOps(F, Opcode::Print), 1u);
+}
+
+TEST(Cfg, PredsMatchSuccs) {
+  FullAnalysis A = analyze(R"(proc main()
+  integer x
+  x = 5
+  while (x > 0)
+    if (x % 2 == 0) then
+      x = x / 2
+    else
+      x = x - 1
+    end if
+  end while
+end
+)");
+  const Function &F = A.function("main");
+  for (BlockId B = 0; B != F.numBlocks(); ++B) {
+    for (BlockId S : F.block(B).Succs) {
+      const auto &Preds = F.block(S).Preds;
+      EXPECT_NE(std::find(Preds.begin(), Preds.end(), B), Preds.end())
+          << "edge " << B << "->" << S << " missing from preds";
+    }
+    for (BlockId P : F.block(B).Preds) {
+      const auto &Succs = F.block(P).Succs;
+      EXPECT_NE(std::find(Succs.begin(), Succs.end(), B), Succs.end());
+    }
+  }
+}
+
+TEST(Cfg, PrinterMentionsEveryBlock) {
+  FullAnalysis A = analyze(
+      "proc main()\n  integer x\n  x = 1\n  if (x) then\n    print 1\n  "
+      "end if\nend\n");
+  const Function &F = A.function("main");
+  std::string Out = functionToString(F, A.Symbols);
+  for (BlockId B = 0; B != F.numBlocks(); ++B)
+    EXPECT_NE(Out.find("bb" + std::to_string(B) + ":"),
+              std::string::npos);
+}

@@ -1,0 +1,218 @@
+//===- tests/DeadCodeElimTests.cpp - analysis/DeadCodeElim tests ----------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DeadCodeElim.h"
+
+#include "lang/AstPrinter.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipcp;
+using namespace ipcp::test;
+
+namespace {
+
+/// Finds the first statement of kind \p K in \p Stmts (recursively).
+const Stmt *findStmt(const std::vector<Stmt *> &Stmts, StmtKind K) {
+  for (const Stmt *S : Stmts) {
+    if (S->kind() == K)
+      return S;
+    if (const auto *I = dyn_cast<IfStmt>(S)) {
+      if (const Stmt *Found = findStmt(I->thenBody(), K))
+        return Found;
+      if (const Stmt *Found = findStmt(I->elseBody(), K))
+        return Found;
+    } else if (const auto *W = dyn_cast<WhileStmt>(S)) {
+      if (const Stmt *Found = findStmt(W->body(), K))
+        return Found;
+    } else if (const auto *D = dyn_cast<DoLoopStmt>(S)) {
+      if (const Stmt *Found = findStmt(D->body(), K))
+        return Found;
+    }
+  }
+  return nullptr;
+}
+
+std::string printed(AstContext &Ctx) {
+  AstPrinter Printer;
+  return Printer.programToString(Ctx.program());
+}
+
+} // namespace
+
+TEST(DeadCodeElim, FoldsIfToThenArm) {
+  auto Ctx = parseOk(R"(proc main()
+  integer x
+  x = 1
+  if (x == 1) then
+    print 10
+  else
+    print 20
+  end if
+end
+)");
+  const Stmt *If = findStmt(Ctx->program().Procs[0]->Body, StmtKind::If);
+  DeadCodeElim::Decisions D{{If->id(), true}};
+  EXPECT_EQ(DeadCodeElim::run(*Ctx, D), 1u);
+  std::string Out = printed(*Ctx);
+  EXPECT_NE(Out.find("print 10"), std::string::npos);
+  EXPECT_EQ(Out.find("print 20"), std::string::npos);
+  EXPECT_EQ(Out.find("if ("), std::string::npos);
+}
+
+TEST(DeadCodeElim, FoldsIfToElseArm) {
+  auto Ctx = parseOk(R"(proc main()
+  integer x
+  x = 2
+  if (x == 1) then
+    print 10
+  else
+    print 20
+  end if
+end
+)");
+  const Stmt *If = findStmt(Ctx->program().Procs[0]->Body, StmtKind::If);
+  DeadCodeElim::Decisions D{{If->id(), false}};
+  DeadCodeElim::run(*Ctx, D);
+  std::string Out = printed(*Ctx);
+  EXPECT_EQ(Out.find("print 10"), std::string::npos);
+  EXPECT_NE(Out.find("print 20"), std::string::npos);
+}
+
+TEST(DeadCodeElim, FalseIfWithoutElseVanishes) {
+  auto Ctx = parseOk(R"(proc main()
+  integer x
+  x = 2
+  if (x == 1) then
+    print 10
+  end if
+  print 99
+end
+)");
+  const Stmt *If = findStmt(Ctx->program().Procs[0]->Body, StmtKind::If);
+  DeadCodeElim::Decisions D{{If->id(), false}};
+  DeadCodeElim::run(*Ctx, D);
+  std::string Out = printed(*Ctx);
+  EXPECT_EQ(Out.find("print 10"), std::string::npos);
+  EXPECT_NE(Out.find("print 99"), std::string::npos);
+}
+
+TEST(DeadCodeElim, RemovesFalseWhile) {
+  auto Ctx = parseOk(R"(proc main()
+  integer x
+  x = 0
+  while (x > 0)
+    print 1
+  end while
+  print 2
+end
+)");
+  const Stmt *W =
+      findStmt(Ctx->program().Procs[0]->Body, StmtKind::While);
+  DeadCodeElim::Decisions D{{W->id(), false}};
+  EXPECT_EQ(DeadCodeElim::run(*Ctx, D), 1u);
+  std::string Out = printed(*Ctx);
+  EXPECT_EQ(Out.find("while"), std::string::npos);
+  EXPECT_NE(Out.find("print 2"), std::string::npos);
+}
+
+TEST(DeadCodeElim, KeepsTrueWhile) {
+  auto Ctx = parseOk(R"(proc main()
+  integer x
+  x = 1
+  while (x > 0)
+    x = x - 1
+  end while
+end
+)");
+  const Stmt *W =
+      findStmt(Ctx->program().Procs[0]->Body, StmtKind::While);
+  DeadCodeElim::Decisions D{{W->id(), true}};
+  EXPECT_EQ(DeadCodeElim::run(*Ctx, D), 0u);
+  EXPECT_NE(printed(*Ctx).find("while"), std::string::npos);
+}
+
+TEST(DeadCodeElim, ZeroTripDoKeepsInduction) {
+  auto Ctx = parseOk(R"(proc main()
+  integer i
+  do i = 5, 1
+    print i
+  end do
+  print i
+end
+)");
+  const Stmt *Loop =
+      findStmt(Ctx->program().Procs[0]->Body, StmtKind::DoLoop);
+  DeadCodeElim::Decisions D{{Loop->id(), false}};
+  EXPECT_EQ(DeadCodeElim::run(*Ctx, D), 1u);
+  std::string Out = printed(*Ctx);
+  EXPECT_EQ(Out.find("do i"), std::string::npos);
+  // The induction variable still receives its initial value.
+  EXPECT_NE(Out.find("i = 5"), std::string::npos);
+}
+
+TEST(DeadCodeElim, FoldsNestedBranches) {
+  auto Ctx = parseOk(R"(proc main()
+  integer a, b
+  a = 1
+  b = 0
+  if (a == 1) then
+    if (b == 1) then
+      print 1
+    else
+      print 2
+    end if
+  end if
+end
+)");
+  const auto &Body = Ctx->program().Procs[0]->Body;
+  const Stmt *Outer = findStmt(Body, StmtKind::If);
+  const auto *OuterIf = cast<IfStmt>(Outer);
+  const Stmt *Inner = findStmt(OuterIf->thenBody(), StmtKind::If);
+  DeadCodeElim::Decisions D{{Outer->id(), true}, {Inner->id(), false}};
+  EXPECT_EQ(DeadCodeElim::run(*Ctx, D), 2u);
+  std::string Out = printed(*Ctx);
+  EXPECT_EQ(Out.find("print 1"), std::string::npos);
+  EXPECT_NE(Out.find("print 2"), std::string::npos);
+  EXPECT_EQ(Out.find("if"), std::string::npos);
+}
+
+TEST(DeadCodeElim, UntouchedWithoutDecisions) {
+  auto Ctx = parseOk(R"(proc main()
+  integer x
+  read x
+  if (x == 1) then
+    print 1
+  end if
+end
+)");
+  std::string Before = printed(*Ctx);
+  DeadCodeElim::Decisions D;
+  EXPECT_EQ(DeadCodeElim::run(*Ctx, D), 0u);
+  EXPECT_EQ(printed(*Ctx), Before);
+}
+
+TEST(DeadCodeElim, ResultStillParses) {
+  auto Ctx = parseOk(R"(proc main()
+  integer x
+  x = 1
+  if (x == 1) then
+    while (x > 5)
+      print 1
+    end while
+  else
+    print 2
+  end if
+end
+)");
+  const Stmt *If = findStmt(Ctx->program().Procs[0]->Body, StmtKind::If);
+  const Stmt *W = findStmt(cast<IfStmt>(If)->thenBody(), StmtKind::While);
+  DeadCodeElim::Decisions D{{If->id(), true}, {W->id(), false}};
+  DeadCodeElim::run(*Ctx, D);
+  parseOk(printed(*Ctx)); // Must remain valid MiniFort.
+}

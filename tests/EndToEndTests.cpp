@@ -1,0 +1,260 @@
+//===- tests/EndToEndTests.cpp - Whole-analyzer scenarios -----------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+// Integration scenarios exercising the full stack the way the paper's
+// examples and discussion describe.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ipcp/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipcp;
+
+namespace {
+
+PipelineResult run(const std::string &Source,
+                   PipelineOptions Opts = PipelineOptions()) {
+  PipelineResult R = runPipeline(Source, Opts);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return R;
+}
+
+/// CONSTANTS(p) as a printable set for matching.
+std::string constantsOf(const PipelineResult &R, const std::string &Proc) {
+  for (size_t P = 0; P != R.ProcNames.size(); ++P) {
+    if (R.ProcNames[P] != Proc)
+      continue;
+    std::string Out;
+    for (const auto &[Name, Value] : R.Constants[P])
+      Out += Name + "=" + std::to_string(Value) + ";";
+    return Out;
+  }
+  return "<no such proc>";
+}
+
+} // namespace
+
+TEST(EndToEnd, ConstantsFlowDownACallPyramid) {
+  PipelineResult R = run(R"(global base
+proc main()
+  base = 100
+  call level1(2)
+end
+proc level1(k)
+  call level2(k * 3)
+end
+proc level2(m)
+  call level3(m + base)
+end
+proc level3(n)
+  print n
+end
+)");
+  EXPECT_EQ(constantsOf(R, "level1"), "base=100;k=2;");
+  EXPECT_EQ(constantsOf(R, "level2"), "base=100;m=6;");
+  EXPECT_EQ(constantsOf(R, "level3"), "base=100;n=106;");
+}
+
+TEST(EndToEnd, MeetAcrossSitesKillsOnlyConflicts) {
+  PipelineResult R = run(R"(proc main()
+  call work(1, 10)
+  call work(2, 10)
+end
+proc work(a, b)
+  print a + b
+end
+)");
+  // a conflicts (1 vs 2); b agrees.
+  EXPECT_EQ(constantsOf(R, "work"), "b=10;");
+}
+
+TEST(EndToEnd, ReturnJumpFunctionChain) {
+  // Two levels of out-parameters: init sets n, wrapper forwards it.
+  PipelineResult R = run(R"(proc main()
+  integer n
+  call init(n)
+  call use(n)
+end
+proc init(o)
+  integer t
+  t = 5
+  o = t * 4
+end
+proc use(p)
+  print p
+end
+)");
+  EXPECT_EQ(constantsOf(R, "use"), "p=20;");
+}
+
+TEST(EndToEnd, OceanStyleInitializationRoutine) {
+  const char *Source = R"(global nx, ny, nz
+proc main()
+  call init()
+  call phase1()
+  call phase2()
+end
+proc init()
+  nx = 64
+  ny = 32
+  nz = 16
+end
+proc phase1()
+  print nx + ny
+end
+proc phase2()
+  print ny * nz
+end
+)";
+  PipelineResult WithRjf = run(Source);
+  EXPECT_EQ(constantsOf(WithRjf, "phase2"), "nx=64;ny=32;nz=16;");
+
+  PipelineOptions NoRjf;
+  NoRjf.UseReturnJumpFunctions = false;
+  PipelineResult Without = run(Source, NoRjf);
+  EXPECT_EQ(constantsOf(Without, "phase2"), "");
+  EXPECT_GT(WithRjf.SubstitutedConstants,
+            3 * Without.SubstitutedConstants);
+}
+
+TEST(EndToEnd, ModMattersAcrossInnocentCalls) {
+  const char *Source = R"(global n
+proc main()
+  n = 8
+  call logit()
+  call use()
+end
+proc logit()
+  integer t
+  read t
+  print t
+  call logleaf()
+end
+proc logleaf()
+  print 0
+end
+proc use()
+  print n
+end
+)";
+  PipelineResult WithMod = run(Source);
+  PipelineOptions NoModOpts;
+  NoModOpts.UseMod = false;
+  PipelineResult NoMod = run(Source, NoModOpts);
+  EXPECT_GT(WithMod.SubstitutedConstants, NoMod.SubstitutedConstants);
+}
+
+TEST(EndToEnd, GuardedDebugCodeNeedsCompletePropagation) {
+  const char *Source = R"(global verbose
+proc main()
+  verbose = 0
+  call solve()
+end
+proc solve()
+  integer steps
+  steps = 40
+  if (verbose == 1) then
+    read steps
+  end if
+  call iterate(steps)
+end
+proc iterate(n)
+  print n
+end
+)";
+  PipelineResult Plain = run(Source);
+  EXPECT_EQ(constantsOf(Plain, "iterate"), "verbose=0;");
+
+  PipelineOptions CompleteOpts;
+  CompleteOpts.CompletePropagation = true;
+  PipelineResult Complete = run(Source, CompleteOpts);
+  EXPECT_EQ(constantsOf(Complete, "iterate"), "verbose=0;n=40;");
+}
+
+TEST(EndToEnd, LoopBoundBecomesKnown) {
+  PipelineOptions Opts;
+  Opts.EmitTransformedSource = true;
+  PipelineResult R = run(R"(global limit
+proc main()
+  limit = 16
+  call kernel()
+end
+proc kernel()
+  integer i
+  do i = 1, limit
+    print i
+  end do
+end
+)",
+                         Opts);
+  EXPECT_NE(R.TransformedSource.find("do i = 1, 16"), std::string::npos);
+}
+
+TEST(EndToEnd, ValuesReadFromFileNeverBecomeConstant) {
+  // Paper §2: "values read from a file may be combined to form a
+  // constant that propagates through the program" — the analyzer must
+  // not claim them.
+  PipelineResult R = run(R"(global cfg
+proc main()
+  read cfg
+  call use(cfg)
+end
+proc use(x)
+  print x
+end
+)");
+  EXPECT_EQ(constantsOf(R, "use"), "");
+  EXPECT_EQ(R.SubstitutedConstants, 0u);
+}
+
+TEST(EndToEnd, ExpressionActualsShieldCallerVariables) {
+  // Passing v+0 creates a by-value temporary: set cannot change v.
+  PipelineResult R = run(R"(proc main()
+  integer v
+  v = 3
+  call set(v + 0)
+  print v
+end
+proc set(o)
+  o = 99
+end
+)");
+  // v stays 3 at the print: one substitution there plus the use in v+0.
+  EXPECT_EQ(R.SubstitutedConstants, 2u);
+}
+
+TEST(EndToEnd, RecursiveHelperKeepsInvariantParameters) {
+  PipelineResult R = run(R"(proc main()
+  call fill(1, 8)
+end
+proc fill(i, size)
+  if (i < size) then
+    call fill(i + 1, size)
+  end if
+end
+)");
+  EXPECT_EQ(constantsOf(R, "fill"), "size=8;");
+}
+
+TEST(EndToEnd, TransformedSourceReanalyzesToAtLeastAsMany) {
+  const char *Source = R"(global n
+proc main()
+  n = 4
+  call f(n)
+end
+proc f(x)
+  print x + n
+end
+)";
+  PipelineOptions Opts;
+  Opts.EmitTransformedSource = true;
+  PipelineResult First = run(Source, Opts);
+  PipelineResult Second = run(First.TransformedSource, Opts);
+  EXPECT_GE(Second.SubstitutedConstants, 0u);
+  // And substitution is idempotent from the second round on.
+  PipelineResult Third = run(Second.TransformedSource, Opts);
+  EXPECT_EQ(Third.SubstitutedConstants, Second.SubstitutedConstants);
+}

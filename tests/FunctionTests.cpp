@@ -1,0 +1,206 @@
+//===- tests/FunctionTests.cpp - ir/Function + operator semantics ---------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipcp;
+using namespace ipcp::test;
+
+//===----------------------------------------------------------------------===//
+// MiniFort operator semantics (the constant-folding ground truth).
+//===----------------------------------------------------------------------===//
+
+TEST(EvalBinaryOp, Arithmetic) {
+  int64_t R = 0;
+  EXPECT_TRUE(evalBinaryOp(BinaryOp::Add, 7, 5, R));
+  EXPECT_EQ(R, 12);
+  EXPECT_TRUE(evalBinaryOp(BinaryOp::Sub, 7, 5, R));
+  EXPECT_EQ(R, 2);
+  EXPECT_TRUE(evalBinaryOp(BinaryOp::Mul, -3, 5, R));
+  EXPECT_EQ(R, -15);
+  EXPECT_TRUE(evalBinaryOp(BinaryOp::Div, 17, 5, R));
+  EXPECT_EQ(R, 3); // Truncating.
+  EXPECT_TRUE(evalBinaryOp(BinaryOp::Div, -17, 5, R));
+  EXPECT_EQ(R, -3); // Truncation toward zero.
+  EXPECT_TRUE(evalBinaryOp(BinaryOp::Mod, 17, 5, R));
+  EXPECT_EQ(R, 2);
+}
+
+TEST(EvalBinaryOp, DivisionByZeroRejected) {
+  int64_t R = 99;
+  EXPECT_FALSE(evalBinaryOp(BinaryOp::Div, 1, 0, R));
+  EXPECT_FALSE(evalBinaryOp(BinaryOp::Mod, 1, 0, R));
+  EXPECT_EQ(R, 99); // Untouched on failure.
+}
+
+TEST(EvalBinaryOp, RelationalYieldZeroOne) {
+  int64_t R;
+  EXPECT_TRUE(evalBinaryOp(BinaryOp::CmpEq, 4, 4, R));
+  EXPECT_EQ(R, 1);
+  EXPECT_TRUE(evalBinaryOp(BinaryOp::CmpNe, 4, 4, R));
+  EXPECT_EQ(R, 0);
+  EXPECT_TRUE(evalBinaryOp(BinaryOp::CmpLt, 3, 4, R));
+  EXPECT_EQ(R, 1);
+  EXPECT_TRUE(evalBinaryOp(BinaryOp::CmpLe, 4, 4, R));
+  EXPECT_EQ(R, 1);
+  EXPECT_TRUE(evalBinaryOp(BinaryOp::CmpGt, 3, 4, R));
+  EXPECT_EQ(R, 0);
+  EXPECT_TRUE(evalBinaryOp(BinaryOp::CmpGe, 4, 4, R));
+  EXPECT_EQ(R, 1);
+}
+
+TEST(EvalBinaryOp, LogicalTreatNonzeroAsTrue) {
+  int64_t R;
+  EXPECT_TRUE(evalBinaryOp(BinaryOp::LogicalAnd, -7, 2, R));
+  EXPECT_EQ(R, 1);
+  EXPECT_TRUE(evalBinaryOp(BinaryOp::LogicalAnd, 0, 2, R));
+  EXPECT_EQ(R, 0);
+  EXPECT_TRUE(evalBinaryOp(BinaryOp::LogicalOr, 0, 0, R));
+  EXPECT_EQ(R, 0);
+  EXPECT_TRUE(evalBinaryOp(BinaryOp::LogicalOr, 0, 9, R));
+  EXPECT_EQ(R, 1);
+}
+
+TEST(EvalUnaryOp, NegAndNot) {
+  EXPECT_EQ(evalUnaryOp(UnaryOp::Neg, 5), -5);
+  EXPECT_EQ(evalUnaryOp(UnaryOp::Neg, -5), 5);
+  EXPECT_EQ(evalUnaryOp(UnaryOp::LogicalNot, 0), 1);
+  EXPECT_EQ(evalUnaryOp(UnaryOp::LogicalNot, 7), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Operand helpers.
+//===----------------------------------------------------------------------===//
+
+TEST(Operand, FactoriesAndPredicates) {
+  Operand C = Operand::makeConst(-4);
+  EXPECT_TRUE(C.isConst());
+  EXPECT_EQ(C.ConstValue, -4);
+  Operand V = Operand::makeVar(3, 17);
+  EXPECT_TRUE(V.isVar());
+  EXPECT_EQ(V.Sym, 3u);
+  EXPECT_EQ(V.SourceExpr, 17u);
+  Operand T = Operand::makeTemp(9);
+  EXPECT_TRUE(T.isTemp());
+  EXPECT_EQ(T.Temp, 9u);
+  EXPECT_TRUE(Operand().isNone());
+}
+
+TEST(Instr, ForEachUseVisitsSlotsInOrder) {
+  Instr In;
+  In.Op = Opcode::Binary;
+  In.Src1 = Operand::makeConst(1);
+  In.Src2 = Operand::makeConst(2);
+  std::vector<int64_t> Seen;
+  In.forEachUse([&](const Operand &Op) { Seen.push_back(Op.ConstValue); });
+  EXPECT_EQ(Seen, (std::vector<int64_t>{1, 2}));
+
+  Instr Call;
+  Call.Op = Opcode::Call;
+  Call.Args = {Operand::makeConst(10), Operand::makeConst(20),
+               Operand::makeConst(30)};
+  Seen.clear();
+  Call.forEachUse([&](const Operand &Op) { Seen.push_back(Op.ConstValue); });
+  EXPECT_EQ(Seen, (std::vector<int64_t>{10, 20, 30}));
+}
+
+TEST(Instr, DefOnlyForValueProducers) {
+  Instr Copy;
+  Copy.Op = Opcode::Copy;
+  Copy.Dst = Operand::makeTemp(0);
+  EXPECT_NE(Copy.def(), nullptr);
+
+  Instr Store;
+  Store.Op = Opcode::Store;
+  EXPECT_EQ(Store.def(), nullptr);
+  Instr Print;
+  Print.Op = Opcode::Print;
+  EXPECT_EQ(Print.def(), nullptr);
+  Instr Call;
+  Call.Op = Opcode::Call;
+  EXPECT_EQ(Call.def(), nullptr); // Kills live in the SSA overlay.
+}
+
+//===----------------------------------------------------------------------===//
+// Function-level graph utilities over real lowered code.
+//===----------------------------------------------------------------------===//
+
+TEST(Function, RpoVisitsEachReachableBlockOnce) {
+  FullAnalysis A = analyze(R"(proc main()
+  integer x
+  x = 4
+  while (x > 0)
+    if (x % 2 == 0) then
+      x = x / 2
+    else
+      x = x - 1
+    end if
+  end while
+end
+)");
+  const Function &F = A.function("main");
+  auto Rpo = F.reversePostOrder();
+  std::vector<unsigned> Seen(F.numBlocks(), 0);
+  for (BlockId B : Rpo)
+    ++Seen[B];
+  for (BlockId B = 0; B != F.numBlocks(); ++B)
+    EXPECT_EQ(Seen[B], 1u) << "bb" << B;
+  EXPECT_EQ(Rpo.front(), F.entry());
+}
+
+TEST(Function, RpoOrdersForwardEdgesForward) {
+  FullAnalysis A = analyze(R"(proc main()
+  integer x
+  read x
+  if (x > 0) then
+    x = 1
+  else
+    x = 2
+  end if
+  print x
+end
+)");
+  const Function &F = A.function("main");
+  auto Rpo = F.reversePostOrder();
+  std::vector<uint32_t> Num(F.numBlocks(), 0);
+  for (uint32_t I = 0; I != Rpo.size(); ++I)
+    Num[Rpo[I]] = I;
+  // Acyclic function: every edge goes forward in RPO.
+  for (BlockId B = 0; B != F.numBlocks(); ++B)
+    for (BlockId S : F.block(B).Succs)
+      EXPECT_LT(Num[B], Num[S]);
+}
+
+TEST(Function, InstrAndTempCountsAreConsistent) {
+  FullAnalysis A = analyze(R"(proc main()
+  integer x
+  x = 1 + 2 * 3
+  print x + 4
+end
+)");
+  const Function &F = A.function("main");
+  EXPECT_GT(F.numInstrs(), 0u);
+  EXPECT_GE(F.numTemps(), 3u); // 2*3, 1+_, x+4.
+}
+
+TEST(Function, ExitBlockAlwaysExists) {
+  // Even when every path loops forever.
+  FullAnalysis A = analyze(R"(proc main()
+  integer x
+  x = 0
+  while (x == 0)
+    x = 0
+  end while
+end
+)");
+  const Function &F = A.function("main");
+  ASSERT_NE(F.exitBlock(), InvalidBlock);
+  EXPECT_EQ(F.block(F.exitBlock()).Instrs.back().Op, Opcode::Ret);
+}

@@ -1,0 +1,172 @@
+//===- tests/FuzzTests.cpp - Seeded random-program property tests ---------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+// Structural invariants of the analyzer, checked over a sweep of
+// deterministic random programs: the jump-function hierarchy is
+// monotone, options never flip the wrong way, both solver strategies
+// agree, and every source-to-source transform yields a valid program
+// with consistent analysis results.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ipcp/Cloning.h"
+#include "ipcp/Inliner.h"
+#include "ipcp/Pipeline.h"
+#include "lang/Parser.h"
+#include "workloads/RandomProgram.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipcp;
+
+namespace {
+
+std::string programFor(uint64_t Seed, bool Recursion = false) {
+  RandomSpec Spec;
+  Spec.Seed = Seed;
+  Spec.Procs = 5 + int(Seed % 4);
+  Spec.Globals = 2 + int(Seed % 3);
+  Spec.AllowRecursion = Recursion;
+  return generateRandomProgram(Spec);
+}
+
+unsigned countFor(const std::string &Source, const PipelineOptions &Opts) {
+  PipelineResult R = runPipeline(Source, Opts);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return R.SubstitutedConstants;
+}
+
+PipelineOptions withKind(JumpFunctionKind Kind) {
+  PipelineOptions Opts;
+  Opts.Kind = Kind;
+  return Opts;
+}
+
+} // namespace
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzTest, GeneratedProgramIsValid) {
+  DiagnosticEngine Diags;
+  auto Ctx = parseProgram(programFor(GetParam()), Diags);
+  if (!Diags.hasErrors())
+    Sema::run(*Ctx, Diags);
+  EXPECT_FALSE(Diags.hasErrors())
+      << Diags.str() << "\n" << programFor(GetParam());
+}
+
+TEST_P(FuzzTest, KindHierarchyMonotone) {
+  std::string Source = programFor(GetParam());
+  unsigned Lit = countFor(Source, withKind(JumpFunctionKind::Literal));
+  unsigned Intra =
+      countFor(Source, withKind(JumpFunctionKind::IntraConst));
+  unsigned Pass =
+      countFor(Source, withKind(JumpFunctionKind::PassThrough));
+  unsigned Poly =
+      countFor(Source, withKind(JumpFunctionKind::Polynomial));
+  EXPECT_LE(Lit, Intra) << Source;
+  EXPECT_LE(Intra, Pass) << Source;
+  EXPECT_LE(Pass, Poly) << Source;
+}
+
+TEST_P(FuzzTest, OptionsNeverFlipTheWrongWay) {
+  std::string Source = programFor(GetParam());
+  unsigned Poly = countFor(Source, PipelineOptions());
+
+  PipelineOptions NoRjf;
+  NoRjf.UseReturnJumpFunctions = false;
+  EXPECT_LE(countFor(Source, NoRjf), Poly);
+
+  PipelineOptions NoMod;
+  NoMod.UseMod = false;
+  EXPECT_LE(countFor(Source, NoMod), Poly);
+
+  PipelineOptions Intra;
+  Intra.IntraproceduralOnly = true;
+  EXPECT_LE(countFor(Source, Intra), Poly);
+
+  PipelineOptions Gated;
+  Gated.UseGatedSsa = true;
+  EXPECT_GE(countFor(Source, Gated), Poly);
+}
+
+TEST_P(FuzzTest, SolverStrategiesAgree) {
+  std::string Source = programFor(GetParam());
+  PipelineOptions Worklist;
+  PipelineOptions RoundRobin;
+  RoundRobin.Strategy = SolverStrategy::RoundRobin;
+  PipelineOptions Binding;
+  Binding.Strategy = SolverStrategy::BindingGraph;
+  unsigned Base = countFor(Source, Worklist);
+  EXPECT_EQ(Base, countFor(Source, RoundRobin));
+  EXPECT_EQ(Base, countFor(Source, Binding));
+}
+
+TEST_P(FuzzTest, IteratedSubstitutionTerminates) {
+  // Each substitution round replaces at least one variable use with a
+  // literal, so the total variable-use count strictly decreases while
+  // any round finds something: iterating must reach a fixed point with
+  // zero remaining substitutions.
+  std::string Source = programFor(GetParam());
+  PipelineOptions Opts;
+  Opts.EmitTransformedSource = true;
+  bool ReachedFixpoint = false;
+  for (int Round = 0; Round < 40; ++Round) {
+    PipelineResult R = runPipeline(Source, Opts);
+    ASSERT_TRUE(R.Ok) << R.Error << "\n" << Source;
+    if (R.SubstitutedConstants == 0) {
+      ReachedFixpoint = true;
+      break;
+    }
+    Source = R.TransformedSource;
+  }
+  EXPECT_TRUE(ReachedFixpoint);
+}
+
+TEST_P(FuzzTest, CompletePropagationTerminates) {
+  // Complete propagation counts substitutions on the DCE'd program, so
+  // its totals are not comparable to the plain run once code has been
+  // folded: removing a dead call can unreach an entire procedure and its
+  // counted constants (on the paper's suite this never outweighed the
+  // gains; on adversarial random programs it can). The stable properties
+  // are termination and exact agreement when nothing folds.
+  std::string Source = programFor(GetParam());
+  unsigned Poly = countFor(Source, PipelineOptions());
+  PipelineOptions Complete;
+  Complete.CompletePropagation = true;
+  PipelineResult R = runPipeline(Source, Complete);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_LE(R.DceRounds, 8u) << Source;
+  if (R.FoldedBranches == 0)
+    EXPECT_EQ(R.SubstitutedConstants, Poly) << Source;
+}
+
+TEST_P(FuzzTest, InlinerOutputIsValidAndAnalyzable) {
+  std::string Source = programFor(GetParam());
+  DiagnosticEngine Diags;
+  auto Ctx = parseProgram(Source, Diags);
+  SymbolTable Symbols = Sema::run(*Ctx, Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  InlineResult R = inlineProgram(*Ctx, Symbols);
+  PipelineResult Analyzed = runPipeline(R.Source, PipelineOptions());
+  EXPECT_TRUE(Analyzed.Ok) << Analyzed.Error << "\n" << R.Source;
+}
+
+TEST_P(FuzzTest, CloningOutputIsValidAndNeverLoses) {
+  std::string Source = programFor(GetParam());
+  CloneResult R = cloneForConstants(Source);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  unsigned Before = countFor(Source, PipelineOptions());
+  unsigned After = countFor(R.Source, PipelineOptions());
+  EXPECT_GE(After, Before) << R.Source;
+}
+
+TEST_P(FuzzTest, RecursiveProgramsAnalyzeSafely) {
+  std::string Source = programFor(GetParam(), /*Recursion=*/true);
+  PipelineResult R = runPipeline(Source, PipelineOptions());
+  EXPECT_TRUE(R.Ok) << R.Error << "\n" << Source;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         ::testing::Range<uint64_t>(1, 25));

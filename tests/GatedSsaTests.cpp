@@ -1,0 +1,259 @@
+//===- tests/GatedSsaTests.cpp - Gated SSA extension tests ----------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+// Tests for the paper's §4.2 suggested improvement: jump functions over
+// gated single-assignment form.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ipcp/JumpFunctionBuilder.h"
+#include "ipcp/Pipeline.h"
+
+#include "TestHelpers.h"
+#include "workloads/Suite.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipcp;
+using namespace ipcp::test;
+
+//===----------------------------------------------------------------------===//
+// VnContext gamma nodes.
+//===----------------------------------------------------------------------===//
+
+TEST(GatedVn, GammaFoldsConstantPredicate) {
+  VnContext Ctx;
+  const VnExpr *T = Ctx.getConst(1);
+  const VnExpr *F = Ctx.getConst(2);
+  EXPECT_EQ(Ctx.getGamma(Ctx.getConst(1), T, F), T);
+  EXPECT_EQ(Ctx.getGamma(Ctx.getConst(0), T, F), F);
+}
+
+TEST(GatedVn, GammaFoldsEqualArms) {
+  VnContext Ctx;
+  const VnExpr *V = Ctx.getConst(9);
+  EXPECT_EQ(Ctx.getGamma(Ctx.getParam(1), V, V), V);
+}
+
+TEST(GatedVn, GammaIsHashConsed) {
+  VnContext Ctx;
+  const VnExpr *C = Ctx.getParam(1);
+  const VnExpr *A = Ctx.getConst(1), *B = Ctx.getConst(2);
+  EXPECT_EQ(Ctx.getGamma(C, A, B), Ctx.getGamma(C, A, B));
+  EXPECT_NE(Ctx.getGamma(C, A, B), Ctx.getGamma(C, B, A));
+}
+
+TEST(GatedVn, GatedParamClassification) {
+  VnContext Ctx;
+  const VnExpr *Cond = Ctx.getBinary(BinaryOp::CmpEq, Ctx.getParam(1),
+                                     Ctx.getConst(1));
+  const VnExpr *WithOpaqueArm =
+      Ctx.getGamma(Cond, Ctx.makeOpaque(), Ctx.getConst(8));
+  EXPECT_FALSE(isParamExpr(WithOpaqueArm));
+  EXPECT_TRUE(isGatedParamExpr(WithOpaqueArm));
+
+  // An opaque *predicate* defeats even the gated form.
+  const VnExpr *OpaqueCond =
+      Ctx.getGamma(Ctx.makeOpaque(), Ctx.getConst(1), Ctx.getConst(8));
+  EXPECT_FALSE(isGatedParamExpr(OpaqueCond));
+}
+
+TEST(GatedVn, SupportIncludesPredicate) {
+  VnContext Ctx;
+  const VnExpr *G = Ctx.getGamma(Ctx.getParam(3), Ctx.getParam(4),
+                                 Ctx.getConst(0));
+  std::vector<SymbolId> Support;
+  collectSupport(G, Support);
+  EXPECT_EQ(Support.size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Gated JfExpr evaluation.
+//===----------------------------------------------------------------------===//
+
+TEST(GatedJf, SelectsArmByPredicate) {
+  VnContext Ctx;
+  const VnExpr *Cond = Ctx.getBinary(BinaryOp::CmpEq, Ctx.getParam(1),
+                                     Ctx.getConst(1));
+  const VnExpr *G = Ctx.getGamma(Cond, Ctx.makeOpaque(), Ctx.getConst(8));
+  JumpFunction J = JumpFunction::classify(JumpFunctionKind::Polynomial, G,
+                                          false, /*AllowGated=*/true);
+  ASSERT_EQ(J.form(), JumpFunction::Form::Poly);
+
+  auto EnvZero = [](SymbolId) { return LatticeValue::constant(0); };
+  LatticeValue V = J.eval(EnvZero); // Predicate false -> 8.
+  ASSERT_TRUE(V.isConst());
+  EXPECT_EQ(V.value(), 8);
+
+  auto EnvOne = [](SymbolId) { return LatticeValue::constant(1); };
+  EXPECT_TRUE(J.eval(EnvOne).isBottom()); // Selects the unknown arm.
+
+  auto EnvBottom = [](SymbolId) { return LatticeValue::bottom(); };
+  EXPECT_TRUE(J.eval(EnvBottom).isBottom()); // Predicate unknown.
+
+  auto EnvTop = [](SymbolId) { return LatticeValue::top(); };
+  EXPECT_TRUE(J.eval(EnvTop).isTop());
+}
+
+TEST(GatedJf, UnknownPredicateMeetsArms) {
+  VnContext Ctx;
+  // Both arms are the same constant reached differently: gamma folds...
+  // so build arms that differ structurally but evaluate equal.
+  const VnExpr *G = Ctx.getGamma(
+      Ctx.getParam(1),
+      Ctx.getBinary(BinaryOp::Add, Ctx.getParam(2), Ctx.getConst(1)),
+      Ctx.getBinary(BinaryOp::Add, Ctx.getParam(2), Ctx.getConst(1)));
+  // Equal arms folded away; use distinct arms over the same param.
+  const VnExpr *G2 = Ctx.getGamma(
+      Ctx.getParam(1),
+      Ctx.getBinary(BinaryOp::Mul, Ctx.getParam(2), Ctx.getConst(2)),
+      Ctx.getBinary(BinaryOp::Add, Ctx.getParam(2), Ctx.getParam(2)));
+  (void)G;
+  JumpFunction J = JumpFunction::classify(JumpFunctionKind::Polynomial,
+                                          G2, false, true);
+  ASSERT_EQ(J.form(), JumpFunction::Form::Poly);
+  // p1 unknown, p2 = 3: both arms evaluate to 6 -> the meet is 6.
+  auto Env = [](SymbolId S) {
+    return S == 1 ? LatticeValue::bottom() : LatticeValue::constant(3);
+  };
+  LatticeValue V = J.eval(Env);
+  ASSERT_TRUE(V.isConst());
+  EXPECT_EQ(V.value(), 6);
+}
+
+TEST(GatedJf, CloneAndRendering) {
+  FullAnalysis A = analyze("global n\nproc main()\n  n = 1\nend\n");
+  VnContext Ctx;
+  const VnExpr *G =
+      Ctx.getGamma(Ctx.getParam(A.symbol("n")), Ctx.makeOpaque(),
+                   Ctx.getConst(8));
+  JumpFunction J = JumpFunction::classify(JumpFunctionKind::Polynomial, G,
+                                          false, true);
+  JumpFunction K = J.clone();
+  EXPECT_EQ(K.str(A.Symbols), "poly(gamma(n, ?, 8))");
+  auto Env = [](SymbolId) { return LatticeValue::constant(0); };
+  EXPECT_EQ(K.eval(Env).value(), 8);
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-pipeline behaviour.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+unsigned countFor(const std::string &Source, const PipelineOptions &Opts) {
+  PipelineResult R = runPipeline(Source, Opts);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return R.SubstitutedConstants;
+}
+
+} // namespace
+
+TEST(GatedPipeline, SkipsDeadDefinitionWithoutDce) {
+  // The ocean mechanism: GSA sees through the dead conflicting READ.
+  const char *Source = R"(proc main()
+  call produce(0)
+end
+proc produce(flag)
+  integer v
+  v = 8
+  if (flag == 1) then
+    read v
+  end if
+  call consume(v)
+end
+proc consume(p)
+  print p
+  print p * 2
+end
+)";
+  PipelineOptions Plain;
+  PipelineOptions Gated;
+  Gated.UseGatedSsa = true;
+  unsigned Before = countFor(Source, Plain);
+  unsigned After = countFor(Source, Gated);
+  EXPECT_EQ(After, Before + 2); // The two uses in consume.
+}
+
+TEST(GatedPipeline, GammaPropagatesPerCallSite) {
+  // Different flag values at different sites select different arms.
+  const char *Source = R"(proc main()
+  call pick(1)
+end
+proc pick(flag)
+  integer v
+  if (flag == 1) then
+    v = 10
+  else
+    v = 20
+  end if
+  call sink(v)
+end
+proc sink(p)
+  print p
+end
+)";
+  PipelineOptions Gated;
+  Gated.UseGatedSsa = true;
+  PipelineResult R = runPipeline(Source, Gated);
+  ASSERT_TRUE(R.Ok);
+  // sink's p is the selected 10.
+  bool Found = false;
+  for (size_t P = 0; P != R.ProcNames.size(); ++P)
+    for (const auto &[Name, Value] : R.Constants[P])
+      if (R.ProcNames[P] == "sink" && Name == "p") {
+        EXPECT_EQ(Value, 10);
+        Found = true;
+      }
+  EXPECT_TRUE(Found);
+}
+
+TEST(GatedPipeline, LoopPhisStayOpaque) {
+  // Mu functions (loop-carried values) are not gated: still bottom.
+  const char *Source = R"(proc main()
+  call count(3)
+end
+proc count(n)
+  integer i, s
+  s = 0
+  do i = 1, n
+    s = s + 1
+  end do
+  call sink(s)
+end
+proc sink(p)
+  print p
+end
+)";
+  PipelineOptions Gated;
+  Gated.UseGatedSsa = true;
+  PipelineResult R = runPipeline(Source, Gated);
+  ASSERT_TRUE(R.Ok);
+  for (size_t P = 0; P != R.ProcNames.size(); ++P)
+    if (R.ProcNames[P] == "sink")
+      for (const auto &[Name, Value] : R.Constants[P])
+        EXPECT_NE(Name, "p");
+}
+
+class GatedSuiteTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GatedSuiteTest, GsaSubsumesCompletePropagation) {
+  // Paper §4.2: gated jump functions achieve complete-propagation
+  // results without iterating. (They may exceed it by the guard uses
+  // that DCE deletes outright.)
+  const WorkloadProgram &W = benchmarkSuite()[GetParam()];
+  PipelineOptions Complete;
+  Complete.CompletePropagation = true;
+  PipelineOptions Gated;
+  Gated.UseGatedSsa = true;
+  EXPECT_GE(countFor(W.Source, Gated), countFor(W.Source, Complete));
+  EXPECT_GE(countFor(W.Source, Gated),
+            countFor(W.Source, PipelineOptions()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, GatedSuiteTest, ::testing::Range<size_t>(0, 12),
+    [](const ::testing::TestParamInfo<size_t> &Info) {
+      return benchmarkSuite()[Info.param].Name;
+    });

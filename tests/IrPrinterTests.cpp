@@ -1,0 +1,122 @@
+//===- tests/IrPrinterTests.cpp - ir/IrPrinter unit tests -----------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IrPrinter.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipcp;
+using namespace ipcp::test;
+
+TEST(IrPrinter, OperandRendering) {
+  FullAnalysis A = analyze("global n\nproc main()\n  n = 1\nend\n");
+  EXPECT_EQ(operandToString(Operand::makeConst(42), A.Symbols), "42");
+  EXPECT_EQ(operandToString(Operand::makeConst(-3), A.Symbols), "-3");
+  EXPECT_EQ(operandToString(Operand::makeVar(A.symbol("n")), A.Symbols),
+            "n");
+  EXPECT_EQ(operandToString(Operand::makeTemp(7), A.Symbols), "t7");
+  EXPECT_EQ(operandToString(Operand(), A.Symbols), "<none>");
+}
+
+TEST(IrPrinter, FunctionDumpShowsInstructions) {
+  FullAnalysis A = analyze(R"(array buf(8)
+proc main()
+  integer x, i
+  x = 2 + 3
+  buf(1) = x
+  x = buf(1)
+  read i
+  print x
+  if (x > 0) then
+    call f(x)
+  end if
+end
+proc f(p)
+end
+)");
+  std::string Out = functionToString(A.function("main"), A.Symbols);
+  EXPECT_NE(Out.find("func main"), std::string::npos);
+  EXPECT_NE(Out.find("= 2 + 3"), std::string::npos);
+  EXPECT_NE(Out.find("buf["), std::string::npos);
+  EXPECT_NE(Out.find("= read"), std::string::npos);
+  EXPECT_NE(Out.find("print"), std::string::npos);
+  EXPECT_NE(Out.find("br "), std::string::npos);
+  EXPECT_NE(Out.find("call @"), std::string::npos);
+  EXPECT_NE(Out.find("ret"), std::string::npos);
+  EXPECT_NE(Out.find("preds:"), std::string::npos);
+}
+
+TEST(IrPrinter, SsaDumpShowsVersionsAndPhis) {
+  FullAnalysis A = analyze(R"(proc main()
+  integer x, c
+  read c
+  x = 1
+  if (c) then
+    x = 2
+  end if
+  print x
+end
+)");
+  const Function &F = A.function("main");
+  DominatorTree DT(F);
+  SsaForm Ssa(F, A.Symbols, DT, makeKillOracle(A.Symbols, A.MRI.get()));
+  std::string Out = ssaToString(Ssa, A.Symbols);
+  EXPECT_NE(Out.find("[ssa]"), std::string::npos);
+  EXPECT_NE(Out.find("entry:"), std::string::npos);
+  EXPECT_NE(Out.find("= phi"), std::string::npos);
+  EXPECT_NE(Out.find("exit:"), std::string::npos);
+  // Versioned names look like "x.<id>".
+  EXPECT_NE(Out.find("x."), std::string::npos);
+}
+
+TEST(IrPrinter, SsaDumpShowsCallKills) {
+  FullAnalysis A = analyze(R"(proc main()
+  integer v
+  call set(v)
+  print v
+end
+proc set(o)
+  o = 1
+end
+)");
+  const Function &F = A.function("main");
+  DominatorTree DT(F);
+  SsaForm Ssa(F, A.Symbols, DT, makeKillOracle(A.Symbols, A.MRI.get()));
+  std::string Out = ssaToString(Ssa, A.Symbols);
+  EXPECT_NE(Out.find("kill: v."), std::string::npos);
+}
+
+TEST(IrPrinter, EveryOpcodeHasASpelling) {
+  // A rendering smoke test over a program exercising each opcode.
+  FullAnalysis A = analyze(R"(array a(4)
+proc main()
+  integer x, i
+  x = -1
+  x = x + 1
+  a(1) = x
+  x = a(1)
+  read x
+  print x
+  while (x > 0)
+    x = x - 1
+  end while
+  do i = 1, 3
+    print i
+  end do
+  call f()
+  return
+end
+proc f()
+end
+)");
+  for (const auto &F : A.M.Functions) {
+    std::string Out = functionToString(*F, A.Symbols);
+    EXPECT_EQ(Out.find("<bad>"), std::string::npos);
+    EXPECT_EQ(Out.find("<none>"), std::string::npos);
+  }
+}

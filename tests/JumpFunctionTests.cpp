@@ -1,0 +1,223 @@
+//===- tests/JumpFunctionTests.cpp - ipcp/JumpFunction unit tests ---------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ipcp/JumpFunction.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipcp;
+using namespace ipcp::test;
+
+namespace {
+
+/// Environment mapping symbol 1 -> 10, symbol 2 -> bottom, rest top.
+LatticeValue testEnv(SymbolId Sym) {
+  if (Sym == 1)
+    return LatticeValue::constant(10);
+  if (Sym == 2)
+    return LatticeValue::bottom();
+  return LatticeValue::top();
+}
+
+} // namespace
+
+TEST(JumpFunction, BottomEvaluatesToBottom) {
+  JumpFunction J = JumpFunction::bottom();
+  EXPECT_TRUE(J.isBottom());
+  EXPECT_TRUE(J.eval(testEnv).isBottom());
+  EXPECT_TRUE(J.support().empty());
+}
+
+TEST(JumpFunction, ConstIgnoresEnvironment) {
+  JumpFunction J = JumpFunction::constant(99);
+  EXPECT_TRUE(J.isConst());
+  EXPECT_EQ(J.constValue(), 99);
+  LatticeValue V = J.eval(testEnv);
+  ASSERT_TRUE(V.isConst());
+  EXPECT_EQ(V.value(), 99);
+  EXPECT_TRUE(J.support().empty());
+}
+
+TEST(JumpFunction, PassThroughReadsEnvironment) {
+  JumpFunction J = JumpFunction::passThrough(1);
+  EXPECT_EQ(J.support(), std::vector<SymbolId>{1});
+  LatticeValue V = J.eval(testEnv);
+  ASSERT_TRUE(V.isConst());
+  EXPECT_EQ(V.value(), 10);
+  EXPECT_TRUE(JumpFunction::passThrough(2).eval(testEnv).isBottom());
+  EXPECT_TRUE(JumpFunction::passThrough(3).eval(testEnv).isTop());
+}
+
+TEST(JumpFunction, PolynomialEvaluation) {
+  VnContext Ctx;
+  // (p1 * 2) + 5 with p1 = 10 -> 25.
+  const VnExpr *E = Ctx.getBinary(
+      BinaryOp::Add,
+      Ctx.getBinary(BinaryOp::Mul, Ctx.getParam(1), Ctx.getConst(2)),
+      Ctx.getConst(5));
+  JumpFunction J = JumpFunction::polynomial(JfExpr::fromVn(E));
+  EXPECT_EQ(J.support(), std::vector<SymbolId>{1});
+  LatticeValue V = J.eval(testEnv);
+  ASSERT_TRUE(V.isConst());
+  EXPECT_EQ(V.value(), 25);
+}
+
+TEST(JumpFunction, PolynomialWithBottomInputIsBottom) {
+  VnContext Ctx;
+  const VnExpr *E =
+      Ctx.getBinary(BinaryOp::Add, Ctx.getParam(1), Ctx.getParam(2));
+  JumpFunction J = JumpFunction::polynomial(JfExpr::fromVn(E));
+  EXPECT_TRUE(J.eval(testEnv).isBottom());
+  EXPECT_EQ(J.support().size(), 2u);
+}
+
+TEST(JumpFunction, PolynomialWithTopInputIsTop) {
+  VnContext Ctx;
+  const VnExpr *E =
+      Ctx.getBinary(BinaryOp::Add, Ctx.getParam(1), Ctx.getParam(3));
+  JumpFunction J = JumpFunction::polynomial(JfExpr::fromVn(E));
+  EXPECT_TRUE(J.eval(testEnv).isTop());
+}
+
+TEST(JumpFunction, PolynomialDivisionByZeroAtEvalIsBottom) {
+  VnContext Ctx;
+  // p1 / (p1 - 10): with p1 = 10 the divisor is zero.
+  const VnExpr *E = Ctx.getBinary(
+      BinaryOp::Div, Ctx.getParam(1),
+      Ctx.getBinary(BinaryOp::Sub, Ctx.getParam(1), Ctx.getConst(10)));
+  JumpFunction J = JumpFunction::polynomial(JfExpr::fromVn(E));
+  EXPECT_TRUE(J.eval(testEnv).isBottom());
+}
+
+TEST(JumpFunction, UnaryInPolynomial) {
+  VnContext Ctx;
+  const VnExpr *E = Ctx.getUnary(
+      UnaryOp::Neg, Ctx.getBinary(BinaryOp::Add, Ctx.getParam(1),
+                                  Ctx.getConst(1)));
+  JumpFunction J = JumpFunction::polynomial(JfExpr::fromVn(E));
+  LatticeValue V = J.eval(testEnv);
+  ASSERT_TRUE(V.isConst());
+  EXPECT_EQ(V.value(), -11);
+}
+
+TEST(JumpFunction, CloneIsIndependentAndEqual) {
+  VnContext Ctx;
+  const VnExpr *E =
+      Ctx.getBinary(BinaryOp::Mul, Ctx.getParam(1), Ctx.getConst(3));
+  JumpFunction J = JumpFunction::polynomial(JfExpr::fromVn(E));
+  JumpFunction K = J.clone();
+  EXPECT_EQ(K.form(), JumpFunction::Form::Poly);
+  EXPECT_EQ(K.eval(testEnv).value(), 30);
+  EXPECT_EQ(K.support(), J.support());
+}
+
+//===----------------------------------------------------------------------===//
+// classify(): the kind hierarchy of §3.1.
+//===----------------------------------------------------------------------===//
+
+TEST(JumpFunctionClassify, LiteralOnlyAcceptsLiteralOperands) {
+  VnContext Ctx;
+  const VnExpr *C = Ctx.getConst(5);
+  JumpFunction FromLiteral =
+      JumpFunction::classify(JumpFunctionKind::Literal, C, true);
+  EXPECT_TRUE(FromLiteral.isConst());
+  // A constant-folded expression is not a literal at the call site.
+  JumpFunction FromFolded =
+      JumpFunction::classify(JumpFunctionKind::Literal, C, false);
+  EXPECT_TRUE(FromFolded.isBottom());
+}
+
+TEST(JumpFunctionClassify, IntraConstUsesGcp) {
+  VnContext Ctx;
+  const VnExpr *C = Ctx.getConst(5);
+  EXPECT_TRUE(JumpFunction::classify(JumpFunctionKind::IntraConst, C,
+                                     false)
+                  .isConst());
+  // But a pass-through parameter is beyond it.
+  EXPECT_TRUE(JumpFunction::classify(JumpFunctionKind::IntraConst,
+                                     Ctx.getParam(1), false)
+                  .isBottom());
+}
+
+TEST(JumpFunctionClassify, PassThroughRecognizesParams) {
+  VnContext Ctx;
+  JumpFunction J = JumpFunction::classify(JumpFunctionKind::PassThrough,
+                                          Ctx.getParam(4), false);
+  EXPECT_EQ(J.form(), JumpFunction::Form::PassThrough);
+  EXPECT_EQ(J.support(), std::vector<SymbolId>{4});
+  // But a polynomial is beyond it.
+  const VnExpr *Poly =
+      Ctx.getBinary(BinaryOp::Add, Ctx.getParam(4), Ctx.getConst(1));
+  EXPECT_TRUE(JumpFunction::classify(JumpFunctionKind::PassThrough, Poly,
+                                     false)
+                  .isBottom());
+}
+
+TEST(JumpFunctionClassify, PolynomialAcceptsParamExprs) {
+  VnContext Ctx;
+  const VnExpr *Poly =
+      Ctx.getBinary(BinaryOp::Add, Ctx.getParam(4), Ctx.getConst(1));
+  JumpFunction J =
+      JumpFunction::classify(JumpFunctionKind::Polynomial, Poly, false);
+  EXPECT_EQ(J.form(), JumpFunction::Form::Poly);
+  // Opaque anywhere defeats it.
+  const VnExpr *Mixed =
+      Ctx.getBinary(BinaryOp::Add, Ctx.getParam(4), Ctx.makeOpaque());
+  EXPECT_TRUE(JumpFunction::classify(JumpFunctionKind::Polynomial, Mixed,
+                                     false)
+                  .isBottom());
+}
+
+TEST(JumpFunctionClassify, HierarchyIsMonotone) {
+  // Whatever a weaker kind transmits, every stronger kind transmits too
+  // (paper §3.1: each class subsumes the previous).
+  VnContext Ctx;
+  std::vector<const VnExpr *> Exprs = {
+      Ctx.getConst(3), Ctx.getParam(1),
+      Ctx.getBinary(BinaryOp::Mul, Ctx.getParam(1), Ctx.getConst(2)),
+      Ctx.makeOpaque()};
+  std::vector<JumpFunctionKind> Kinds = {
+      JumpFunctionKind::Literal, JumpFunctionKind::IntraConst,
+      JumpFunctionKind::PassThrough, JumpFunctionKind::Polynomial};
+  for (const VnExpr *E : Exprs) {
+    bool PrevTransmits = false;
+    for (JumpFunctionKind Kind : Kinds) {
+      bool Transmits =
+          !JumpFunction::classify(Kind, E, false).isBottom();
+      EXPECT_TRUE(Transmits || !PrevTransmits)
+          << "kind hierarchy regressed";
+      PrevTransmits = Transmits;
+    }
+  }
+}
+
+TEST(JumpFunction, Rendering) {
+  FullAnalysis A = analyze("global n\nproc main()\n  n = 1\nend\n");
+  VnContext Ctx;
+  EXPECT_EQ(JumpFunction::bottom().str(A.Symbols), "_|_");
+  EXPECT_EQ(JumpFunction::constant(5).str(A.Symbols), "5");
+  EXPECT_EQ(JumpFunction::passThrough(A.symbol("n")).str(A.Symbols),
+            "passthrough(n)");
+  const VnExpr *E = Ctx.getBinary(BinaryOp::Add,
+                                  Ctx.getParam(A.symbol("n")),
+                                  Ctx.getConst(1));
+  // Commutative operands are canonicalized by creation order.
+  EXPECT_EQ(JumpFunction::polynomial(JfExpr::fromVn(E)).str(A.Symbols),
+            "poly((1 + n))");
+}
+
+TEST(JumpFunctionKindNames, MatchThePaper) {
+  EXPECT_STREQ(jumpFunctionKindName(JumpFunctionKind::Literal),
+               "literal");
+  EXPECT_STREQ(jumpFunctionKindName(JumpFunctionKind::IntraConst),
+               "intraprocedural");
+  EXPECT_STREQ(jumpFunctionKindName(JumpFunctionKind::PassThrough),
+               "pass-through");
+  EXPECT_STREQ(jumpFunctionKindName(JumpFunctionKind::Polynomial),
+               "polynomial");
+}

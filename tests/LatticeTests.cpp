@@ -1,0 +1,141 @@
+//===- tests/LatticeTests.cpp - ipcp/Lattice unit + property tests --------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+// Figure 1 of the paper defines the lattice; these tests pin the meet
+// rules and verify the algebraic laws with a parameterized sweep.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ipcp/Lattice.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipcp;
+
+TEST(Lattice, DefaultIsTop) {
+  EXPECT_TRUE(LatticeValue().isTop());
+  EXPECT_EQ(LatticeValue(), LatticeValue::top());
+}
+
+TEST(Lattice, Constructors) {
+  EXPECT_TRUE(LatticeValue::bottom().isBottom());
+  LatticeValue C = LatticeValue::constant(-7);
+  ASSERT_TRUE(C.isConst());
+  EXPECT_EQ(C.value(), -7);
+}
+
+TEST(Lattice, MeetTableFromFigure1) {
+  LatticeValue T = LatticeValue::top();
+  LatticeValue B = LatticeValue::bottom();
+  LatticeValue C3 = LatticeValue::constant(3);
+  LatticeValue C7 = LatticeValue::constant(7);
+
+  // T ^ any = any.
+  EXPECT_EQ(T.meet(T), T);
+  EXPECT_EQ(T.meet(C3), C3);
+  EXPECT_EQ(T.meet(B), B);
+  // _|_ ^ any = _|_.
+  EXPECT_EQ(B.meet(T), B);
+  EXPECT_EQ(B.meet(C3), B);
+  EXPECT_EQ(B.meet(B), B);
+  // ci ^ cj.
+  EXPECT_EQ(C3.meet(C3), C3);
+  EXPECT_EQ(C3.meet(C7), B);
+}
+
+TEST(Lattice, Equality) {
+  EXPECT_EQ(LatticeValue::constant(4), LatticeValue::constant(4));
+  EXPECT_NE(LatticeValue::constant(4), LatticeValue::constant(5));
+  EXPECT_NE(LatticeValue::constant(4), LatticeValue::bottom());
+  EXPECT_NE(LatticeValue::top(), LatticeValue::bottom());
+}
+
+TEST(Lattice, Rendering) {
+  EXPECT_EQ(LatticeValue::top().str(), "T");
+  EXPECT_EQ(LatticeValue::bottom().str(), "_|_");
+  EXPECT_EQ(LatticeValue::constant(12).str(), "12");
+}
+
+TEST(Lattice, BoundedDepth) {
+  // "the value associated with some formal parameter x can be lowered at
+  // most twice" (paper §2).
+  LatticeValue V = LatticeValue::top();
+  unsigned Lowerings = 0;
+  for (const LatticeValue &Next :
+       {LatticeValue::constant(1), LatticeValue::constant(1),
+        LatticeValue::constant(2), LatticeValue::bottom(),
+        LatticeValue::constant(3), LatticeValue::top()}) {
+    LatticeValue Met = V.meet(Next);
+    if (Met != V)
+      ++Lowerings;
+    V = Met;
+  }
+  EXPECT_LE(Lowerings, 2u);
+  EXPECT_TRUE(V.isBottom());
+}
+
+//===----------------------------------------------------------------------===//
+// Property sweep: meet is a commutative, associative, idempotent
+// lower-bound operator over a representative element set.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<LatticeValue> elements() {
+  return {LatticeValue::top(),        LatticeValue::bottom(),
+          LatticeValue::constant(-1), LatticeValue::constant(0),
+          LatticeValue::constant(1),  LatticeValue::constant(7)};
+}
+
+/// x <= y in lattice order (bottom lowest).
+bool lessOrEqual(const LatticeValue &X, const LatticeValue &Y) {
+  return X.meet(Y) == X;
+}
+
+} // namespace
+
+class LatticePairTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LatticePairTest, MeetIsCommutative) {
+  auto Elems = elements();
+  const LatticeValue &A = Elems[std::get<0>(GetParam())];
+  const LatticeValue &B = Elems[std::get<1>(GetParam())];
+  EXPECT_EQ(A.meet(B), B.meet(A));
+}
+
+TEST_P(LatticePairTest, MeetIsLowerBound) {
+  auto Elems = elements();
+  const LatticeValue &A = Elems[std::get<0>(GetParam())];
+  const LatticeValue &B = Elems[std::get<1>(GetParam())];
+  LatticeValue M = A.meet(B);
+  EXPECT_TRUE(lessOrEqual(M, A));
+  EXPECT_TRUE(lessOrEqual(M, B));
+}
+
+TEST_P(LatticePairTest, MeetWithSelfIsIdempotent) {
+  auto Elems = elements();
+  const LatticeValue &A = Elems[std::get<0>(GetParam())];
+  EXPECT_EQ(A.meet(A), A);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, LatticePairTest,
+    ::testing::Combine(::testing::Range(0, 6), ::testing::Range(0, 6)));
+
+class LatticeTripleTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(LatticeTripleTest, MeetIsAssociative) {
+  auto Elems = elements();
+  const LatticeValue &A = Elems[std::get<0>(GetParam())];
+  const LatticeValue &B = Elems[std::get<1>(GetParam())];
+  const LatticeValue &C = Elems[std::get<2>(GetParam())];
+  EXPECT_EQ(A.meet(B).meet(C), A.meet(B.meet(C)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTriples, LatticeTripleTest,
+    ::testing::Combine(::testing::Range(0, 6), ::testing::Range(0, 6),
+                       ::testing::Range(0, 6)));

@@ -1,0 +1,158 @@
+//===- tests/LexerTests.cpp - lang/Lexer unit tests -----------------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipcp;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Lexer L(Source, Diags);
+  std::vector<Token> Tokens = L.lexAll();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Tokens;
+}
+
+std::vector<TokenKind> kinds(const std::string &Source) {
+  std::vector<TokenKind> Out;
+  for (const Token &T : lex(Source))
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+} // namespace
+
+TEST(Lexer, EmptyInput) {
+  auto K = kinds("");
+  ASSERT_EQ(K.size(), 1u);
+  EXPECT_EQ(K[0], TokenKind::Eof);
+}
+
+TEST(Lexer, BlankLinesProduceNoTokens) {
+  auto K = kinds("\n\n   \n\t\n");
+  ASSERT_EQ(K.size(), 1u);
+  EXPECT_EQ(K[0], TokenKind::Eof);
+}
+
+TEST(Lexer, IdentifiersAndNewline) {
+  auto K = kinds("abc def");
+  EXPECT_EQ(K, (std::vector<TokenKind>{TokenKind::Identifier,
+                                       TokenKind::Identifier,
+                                       TokenKind::Newline,
+                                       TokenKind::Eof}));
+}
+
+TEST(Lexer, IdentifierText) {
+  auto Tokens = lex("hello_1 _x");
+  EXPECT_EQ(Tokens[0].Text, "hello_1");
+  EXPECT_EQ(Tokens[1].Text, "_x");
+}
+
+TEST(Lexer, Keywords) {
+  auto K = kinds("proc if then elseif else end do while call print read "
+                 "return global array integer and or not program");
+  std::vector<TokenKind> Expected = {
+      TokenKind::KwProc,    TokenKind::KwIf,      TokenKind::KwThen,
+      TokenKind::KwElseif,  TokenKind::KwElse,    TokenKind::KwEnd,
+      TokenKind::KwDo,      TokenKind::KwWhile,   TokenKind::KwCall,
+      TokenKind::KwPrint,   TokenKind::KwRead,    TokenKind::KwReturn,
+      TokenKind::KwGlobal,  TokenKind::KwArray,   TokenKind::KwInteger,
+      TokenKind::KwAnd,     TokenKind::KwOr,      TokenKind::KwNot,
+      TokenKind::KwProgram, TokenKind::Newline,   TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, KeywordsAreCaseSensitive) {
+  auto Tokens = lex("IF If");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Identifier);
+}
+
+TEST(Lexer, IntegerLiterals) {
+  auto Tokens = lex("0 42 123456789");
+  EXPECT_EQ(Tokens[0].IntValue, 0);
+  EXPECT_EQ(Tokens[1].IntValue, 42);
+  EXPECT_EQ(Tokens[2].IntValue, 123456789);
+}
+
+TEST(Lexer, IntegerOverflowDiagnosed) {
+  DiagnosticEngine Diags;
+  Lexer L("99999999999999999999999999", Diags);
+  Token T = L.next();
+  EXPECT_EQ(T.Kind, TokenKind::IntLiteral);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, Operators) {
+  auto K = kinds("+ - * / % ( ) , = == != < <= > >=");
+  std::vector<TokenKind> Expected = {
+      TokenKind::Plus,      TokenKind::Minus,   TokenKind::Star,
+      TokenKind::Slash,     TokenKind::Percent, TokenKind::LParen,
+      TokenKind::RParen,    TokenKind::Comma,   TokenKind::Assign,
+      TokenKind::EqEq,      TokenKind::NotEq,   TokenKind::Less,
+      TokenKind::LessEq,    TokenKind::Greater, TokenKind::GreaterEq,
+      TokenKind::Newline,   TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, CommentsRunToEndOfLine) {
+  auto K = kinds("a ! this is a comment == != call\nb");
+  EXPECT_EQ(K, (std::vector<TokenKind>{TokenKind::Identifier,
+                                       TokenKind::Newline,
+                                       TokenKind::Identifier,
+                                       TokenKind::Newline,
+                                       TokenKind::Eof}));
+}
+
+TEST(Lexer, CommentOnlyLineIsInvisible) {
+  auto K = kinds("! nothing here\n! nor here\n");
+  ASSERT_EQ(K.size(), 1u);
+  EXPECT_EQ(K[0], TokenKind::Eof);
+}
+
+TEST(Lexer, NotEqualVersusComment) {
+  // "!=" is the operator; "! =" starts a comment.
+  auto K1 = kinds("a != b");
+  EXPECT_EQ(K1[1], TokenKind::NotEq);
+  auto K2 = kinds("a ! = b");
+  EXPECT_EQ(K2, (std::vector<TokenKind>{TokenKind::Identifier,
+                                        TokenKind::Newline,
+                                        TokenKind::Eof}));
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  auto Tokens = lex("a\n  bb\n");
+  EXPECT_EQ(Tokens[0].Loc, SourceLoc(1, 1));
+  // Tokens[1] is the newline ending line 1.
+  EXPECT_EQ(Tokens[2].Loc, SourceLoc(2, 3));
+}
+
+TEST(Lexer, InvalidCharacterDiagnosed) {
+  DiagnosticEngine Diags;
+  Lexer L("a # b", Diags);
+  L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.str().find("unexpected character"), std::string::npos);
+}
+
+TEST(Lexer, MissingTrailingNewlineStillTerminates) {
+  auto K = kinds("x = 1");
+  EXPECT_EQ(K.back(), TokenKind::Eof);
+  EXPECT_EQ(K[K.size() - 2], TokenKind::Newline);
+}
+
+TEST(Lexer, CarriageReturnsIgnored) {
+  auto K = kinds("a\r\nb\r\n");
+  EXPECT_EQ(K, (std::vector<TokenKind>{TokenKind::Identifier,
+                                       TokenKind::Newline,
+                                       TokenKind::Identifier,
+                                       TokenKind::Newline,
+                                       TokenKind::Eof}));
+}

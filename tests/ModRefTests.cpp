@@ -1,0 +1,243 @@
+//===- tests/ModRefTests.cpp - analysis/ModRef unit tests -----------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ModRef.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipcp;
+using namespace ipcp::test;
+
+TEST(ModRef, DirectModOfFormal) {
+  FullAnalysis A = analyze(R"(proc main()
+  integer x
+  call set(x)
+end
+proc set(o)
+  o = 5
+end
+)");
+  ProcId Set = A.proc("set");
+  EXPECT_TRUE(A.MRI->mods(Set, A.symbolIn("set", "o")));
+}
+
+TEST(ModRef, ReadModifiesItsTarget) {
+  FullAnalysis A = analyze(R"(global g
+proc main()
+  call input()
+  print g
+end
+proc input()
+  read g
+end
+)");
+  EXPECT_TRUE(A.MRI->mods(A.proc("input"), A.symbol("g")));
+}
+
+TEST(ModRef, PureUseIsRefNotMod) {
+  FullAnalysis A = analyze(R"(global g
+proc main()
+  g = 1
+  call show()
+end
+proc show()
+  print g
+end
+)");
+  ProcId Show = A.proc("show");
+  SymbolId G = A.symbol("g");
+  EXPECT_FALSE(A.MRI->mods(Show, G));
+  EXPECT_TRUE(A.MRI->refs(Show, G));
+}
+
+TEST(ModRef, LocalsNeverInSummaries) {
+  FullAnalysis A = analyze(R"(proc main()
+  integer t
+  t = 1
+  print t
+end
+)");
+  ProcId Main = A.proc("main");
+  EXPECT_FALSE(A.MRI->mods(Main, A.symbolIn("main", "t")));
+}
+
+TEST(ModRef, TransitiveThroughFormalBinding) {
+  FullAnalysis A = analyze(R"(global g
+proc main()
+  g = 1
+  call outer()
+end
+proc outer()
+  call setg()
+end
+proc setg()
+  g = 2
+end
+)");
+  // outer transitively modifies g through setg.
+  EXPECT_TRUE(A.MRI->mods(A.proc("outer"), A.symbol("g")));
+}
+
+TEST(ModRef, FormalEffectMapsThroughActual) {
+  FullAnalysis A = analyze(R"(proc main()
+  integer v
+  call wrap(v)
+end
+proc wrap(a)
+  call set(a)
+end
+proc set(o)
+  o = 1
+end
+)");
+  // wrap's formal a is modified because it is passed to set.
+  EXPECT_TRUE(A.MRI->mods(A.proc("wrap"), A.symbolIn("wrap", "a")));
+}
+
+TEST(ModRef, ExpressionActualsDoNotPropagateMod) {
+  FullAnalysis A = analyze(R"(proc main()
+  integer v
+  v = 3
+  call wrap(v)
+end
+proc wrap(a)
+  call set(a + 0)
+end
+proc set(o)
+  o = 1
+end
+)");
+  // The callee modifies a temporary, not wrap's formal.
+  EXPECT_FALSE(A.MRI->mods(A.proc("wrap"), A.symbolIn("wrap", "a")));
+}
+
+TEST(ModRef, ArraysTracked) {
+  FullAnalysis A = analyze(R"(array buf(8)
+proc main()
+  call fill()
+  call dump()
+end
+proc fill()
+  buf(1) = 2
+end
+proc dump()
+  print buf(1)
+end
+)");
+  SymbolId Buf = A.symbol("buf");
+  EXPECT_TRUE(A.MRI->mods(A.proc("fill"), Buf));
+  EXPECT_FALSE(A.MRI->mods(A.proc("dump"), Buf));
+  EXPECT_TRUE(A.MRI->refs(A.proc("dump"), Buf));
+  // And transitively into main.
+  EXPECT_TRUE(A.MRI->mods(A.proc("main"), Buf));
+}
+
+TEST(ModRef, RecursionConverges) {
+  FullAnalysis A = analyze(R"(global g
+proc main()
+  call ping(3)
+end
+proc ping(n)
+  if (n > 0) then
+    call pong(n - 1)
+  end if
+end
+proc pong(n)
+  g = n
+  if (n > 0) then
+    call ping(n - 1)
+  end if
+end
+)");
+  EXPECT_TRUE(A.MRI->mods(A.proc("pong"), A.symbol("g")));
+  EXPECT_TRUE(A.MRI->mods(A.proc("ping"), A.symbol("g")));
+}
+
+TEST(ModRef, KillSetWithModOnlyKillsModified) {
+  FullAnalysis A = analyze(R"(global g
+proc main()
+  integer x, y
+  x = 1
+  y = 2
+  g = 3
+  call partial(x, y)
+end
+proc partial(a, b)
+  a = 7
+  print b
+end
+)");
+  const Function &Main = A.function("main");
+  for (BlockId B = 0; B != Main.numBlocks(); ++B)
+    for (const Instr &In : Main.block(B).Instrs) {
+      if (In.Op != Opcode::Call)
+        continue;
+      auto Kills = computeCallKills(Main, In, A.Symbols, A.MRI.get());
+      // Only x (bound to modified a) is killed; y and g survive.
+      ASSERT_EQ(Kills.size(), 1u);
+      EXPECT_EQ(Kills[0], A.symbolIn("main", "x"));
+    }
+}
+
+TEST(ModRef, KillSetWorstCaseKillsAll) {
+  FullAnalysis A = analyze(R"(global g
+proc main()
+  integer x
+  x = 1
+  call pure(x)
+end
+proc pure(a)
+  print a
+end
+)");
+  const Function &Main = A.function("main");
+  for (BlockId B = 0; B != Main.numBlocks(); ++B)
+    for (const Instr &In : Main.block(B).Instrs) {
+      if (In.Op != Opcode::Call)
+        continue;
+      auto Kills = computeCallKills(Main, In, A.Symbols, nullptr);
+      EXPECT_EQ(Kills.size(), 2u); // x (by-ref) and g (global).
+    }
+}
+
+TEST(ModRef, KillSetDeduplicatesRepeatedActual) {
+  FullAnalysis A = analyze(R"(proc main()
+  integer x
+  x = 1
+  call two(x, x)
+end
+proc two(a, b)
+  a = 2
+  b = 3
+end
+)");
+  const Function &Main = A.function("main");
+  for (BlockId B = 0; B != Main.numBlocks(); ++B)
+    for (const Instr &In : Main.block(B).Instrs) {
+      if (In.Op != Opcode::Call)
+        continue;
+      auto Kills = computeCallKills(Main, In, A.Symbols, A.MRI.get());
+      EXPECT_EQ(Kills.size(), 1u);
+    }
+}
+
+TEST(ModRef, ConstantActualsAreNeverKilled) {
+  FullAnalysis A = analyze(R"(proc main()
+  call set(5 + 1)
+end
+proc set(o)
+  o = 1
+end
+)");
+  const Function &Main = A.function("main");
+  for (BlockId B = 0; B != Main.numBlocks(); ++B)
+    for (const Instr &In : Main.block(B).Instrs)
+      if (In.Op == Opcode::Call)
+        EXPECT_TRUE(
+            computeCallKills(Main, In, A.Symbols, A.MRI.get()).empty());
+}

@@ -1,0 +1,292 @@
+//===- tests/SccpTests.cpp - analysis/Sccp unit tests ---------------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Sccp.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipcp;
+using namespace ipcp::test;
+
+namespace {
+
+struct SccpBundle {
+  FullAnalysis A;
+  std::unique_ptr<DominatorTree> DT;
+  std::unique_ptr<SsaForm> Ssa;
+  std::unique_ptr<Sccp> Analysis;
+};
+
+SccpBundle runSccp(const std::string &Source, const std::string &Proc,
+                   const SccpSeeds *Seeds = nullptr,
+                   const SccpKillFn *KillFn = nullptr) {
+  SccpBundle B;
+  B.A = analyze(Source);
+  const Function &F = B.A.function(Proc);
+  B.DT = std::make_unique<DominatorTree>(F);
+  B.Ssa = std::make_unique<SsaForm>(
+      F, B.A.Symbols, *B.DT, makeKillOracle(B.A.Symbols, B.A.MRI.get()));
+  B.Analysis = std::make_unique<Sccp>(*B.Ssa, B.A.Symbols, Seeds, KillFn);
+  return B;
+}
+
+/// Lattice value of the sole Print's operand in \p Proc.
+LatticeValue printValue(const SccpBundle &B, const std::string &Proc) {
+  const Function &F = B.A.function(Proc);
+  for (BlockId Blk = 0; Blk != F.numBlocks(); ++Blk) {
+    const auto &Instrs = F.block(Blk).Instrs;
+    for (uint32_t I = 0; I != Instrs.size(); ++I)
+      if (Instrs[I].Op == Opcode::Print)
+        return B.Analysis->operandValue(Blk, I, 0);
+  }
+  ADD_FAILURE() << "no print in " << Proc;
+  return LatticeValue::bottom();
+}
+
+} // namespace
+
+TEST(Sccp, FoldsStraightLineArithmetic) {
+  SccpBundle B = runSccp(R"(proc main()
+  integer x, y
+  x = 6
+  y = x * 7
+  print y
+end
+)",
+                         "main");
+  LatticeValue V = printValue(B, "main");
+  ASSERT_TRUE(V.isConst());
+  EXPECT_EQ(V.value(), 42);
+}
+
+TEST(Sccp, ReadIsBottom) {
+  SccpBundle B = runSccp(
+      "proc main()\n  integer x\n  read x\n  print x\nend\n", "main");
+  EXPECT_TRUE(printValue(B, "main").isBottom());
+}
+
+TEST(Sccp, DivisionByZeroIsBottom) {
+  SccpBundle B = runSccp(
+      "proc main()\n  integer x\n  x = 1 / 0\n  print x\nend\n", "main");
+  EXPECT_TRUE(printValue(B, "main").isBottom());
+}
+
+TEST(Sccp, ConstantBranchPrunesDeadArm) {
+  SccpBundle B = runSccp(R"(proc main()
+  integer x, f
+  f = 0
+  x = 1
+  if (f == 1) then
+    x = 2
+  end if
+  print x
+end
+)",
+                         "main");
+  // The then-arm is unexecutable, so the phi sees only x=1.
+  LatticeValue V = printValue(B, "main");
+  ASSERT_TRUE(V.isConst());
+  EXPECT_EQ(V.value(), 1);
+  // Some block (the then-arm) must be unexecutable.
+  const Function &F = B.A.function("main");
+  unsigned Dead = 0;
+  for (BlockId Blk = 0; Blk != F.numBlocks(); ++Blk)
+    Dead += !B.Analysis->blockExecutable(Blk);
+  EXPECT_EQ(Dead, 1u);
+}
+
+TEST(Sccp, UnknownBranchKeepsBothArms) {
+  SccpBundle B = runSccp(R"(proc main()
+  integer x, f
+  read f
+  if (f == 1) then
+    x = 2
+  else
+    x = 3
+  end if
+  print x
+end
+)",
+                         "main");
+  EXPECT_TRUE(printValue(B, "main").isBottom());
+  const Function &F = B.A.function("main");
+  for (BlockId Blk = 0; Blk != F.numBlocks(); ++Blk)
+    EXPECT_TRUE(B.Analysis->blockExecutable(Blk));
+}
+
+TEST(Sccp, AgreeingArmsStayConstant) {
+  SccpBundle B = runSccp(R"(proc main()
+  integer x, f
+  read f
+  if (f == 1) then
+    x = 5
+  else
+    x = 5
+  end if
+  print x
+end
+)",
+                         "main");
+  LatticeValue V = printValue(B, "main");
+  ASSERT_TRUE(V.isConst());
+  EXPECT_EQ(V.value(), 5);
+}
+
+TEST(Sccp, LoopCarriedVariableIsBottom) {
+  SccpBundle B = runSccp(R"(proc main()
+  integer i, n
+  read n
+  do i = 1, n
+    print i
+  end do
+end
+)",
+                         "main");
+  EXPECT_TRUE(printValue(B, "main").isBottom());
+}
+
+TEST(Sccp, ZeroTripLoopBodyUnexecutable) {
+  SccpBundle B = runSccp(R"(proc main()
+  integer i
+  do i = 5, 1
+    print i
+  end do
+  print i
+end
+)",
+                         "main");
+  // The body never executes; i keeps its initial value 5 at the final
+  // print. (Two prints: the one in the body is unexecutable.)
+  const Function &F = B.A.function("main");
+  bool SawFinal = false;
+  for (BlockId Blk = 0; Blk != F.numBlocks(); ++Blk) {
+    const auto &Instrs = F.block(Blk).Instrs;
+    for (uint32_t I = 0; I != Instrs.size(); ++I) {
+      if (Instrs[I].Op != Opcode::Print ||
+          !B.Analysis->blockExecutable(Blk))
+        continue;
+      LatticeValue V = B.Analysis->operandValue(Blk, I, 0);
+      ASSERT_TRUE(V.isConst());
+      EXPECT_EQ(V.value(), 5);
+      SawFinal = true;
+    }
+  }
+  EXPECT_TRUE(SawFinal);
+}
+
+TEST(Sccp, FormalsDefaultToBottom) {
+  SccpBundle B = runSccp(
+      "proc main()\n  call f(1)\nend\nproc f(x)\n  print x\nend\n", "f");
+  EXPECT_TRUE(printValue(B, "f").isBottom());
+}
+
+TEST(Sccp, SeededFormalBecomesConstant) {
+  FullAnalysis A = analyze(
+      "proc main()\n  call f(1)\nend\nproc f(x)\n  print x + 1\nend\n");
+  const Function &F = A.function("f");
+  DominatorTree DT(F);
+  SsaForm Ssa(F, A.Symbols, DT, makeKillOracle(A.Symbols, A.MRI.get()));
+  SccpSeeds Seeds;
+  Seeds.emplace(A.symbolIn("f", "x"), LatticeValue::constant(10));
+  Sccp Analysis(Ssa, A.Symbols, &Seeds, nullptr);
+  for (BlockId Blk = 0; Blk != F.numBlocks(); ++Blk) {
+    const auto &Instrs = F.block(Blk).Instrs;
+    for (uint32_t I = 0; I != Instrs.size(); ++I)
+      if (Instrs[I].Op == Opcode::Print) {
+        LatticeValue V = Analysis.operandValue(Blk, I, 0);
+        ASSERT_TRUE(V.isConst());
+        EXPECT_EQ(V.value(), 11);
+      }
+  }
+}
+
+TEST(Sccp, SeedsNeverApplyToLocals) {
+  FullAnalysis A = analyze(
+      "proc main()\n  integer x\n  print x\nend\n");
+  const Function &F = A.function("main");
+  DominatorTree DT(F);
+  SsaForm Ssa(F, A.Symbols, DT, makeKillOracle(A.Symbols, A.MRI.get()));
+  SccpSeeds Seeds;
+  Seeds.emplace(A.symbolIn("main", "x"), LatticeValue::constant(1));
+  Sccp Analysis(Ssa, A.Symbols, &Seeds, nullptr);
+  for (BlockId Blk = 0; Blk != F.numBlocks(); ++Blk) {
+    const auto &Instrs = F.block(Blk).Instrs;
+    for (uint32_t I = 0; I != Instrs.size(); ++I)
+      if (Instrs[I].Op == Opcode::Print)
+        EXPECT_TRUE(Analysis.operandValue(Blk, I, 0).isBottom());
+  }
+}
+
+TEST(Sccp, CallKillsAreBottomWithoutKillFn) {
+  SccpBundle B = runSccp(R"(global g
+proc main()
+  g = 1
+  call setg()
+  print g
+end
+proc setg()
+  g = 2
+end
+)",
+                         "main");
+  EXPECT_TRUE(printValue(B, "main").isBottom());
+}
+
+TEST(Sccp, KillFnSuppliesPostCallValue) {
+  SccpKillFn KillFn = [](const Instr &, SymbolId,
+                         const SccpCallValues &) {
+    return LatticeValue::constant(2);
+  };
+  SccpBundle B = runSccp(R"(global g
+proc main()
+  g = 1
+  call setg()
+  print g
+end
+proc setg()
+  g = 2
+end
+)",
+                         "main", nullptr, &KillFn);
+  LatticeValue V = printValue(B, "main");
+  ASSERT_TRUE(V.isConst());
+  EXPECT_EQ(V.value(), 2);
+}
+
+TEST(Sccp, ConstantBranchesReported) {
+  SccpBundle B = runSccp(R"(proc main()
+  integer f, x
+  f = 0
+  read x
+  if (f == 1) then
+    print 1
+  end if
+  if (x == 1) then
+    print 2
+  end if
+end
+)",
+                         "main");
+  auto Branches = B.Analysis->constantBranches();
+  // Exactly the f-branch is constant (false); the x-branch is unknown.
+  ASSERT_EQ(Branches.size(), 1u);
+  EXPECT_FALSE(Branches[0].second);
+}
+
+TEST(Sccp, LogicalOperatorsFold) {
+  SccpBundle B = runSccp(R"(proc main()
+  integer a
+  a = 3
+  print (a > 1 and a < 5) or not a == 3
+end
+)",
+                         "main");
+  LatticeValue V = printValue(B, "main");
+  ASSERT_TRUE(V.isConst());
+  EXPECT_EQ(V.value(), 1);
+}

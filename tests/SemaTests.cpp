@@ -1,0 +1,145 @@
+//===- tests/SemaTests.cpp - lang/Sema unit tests -------------------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipcp;
+using namespace ipcp::test;
+
+TEST(Sema, ResolvesGlobalsFormalsLocals) {
+  FullAnalysis A = analyze(R"(global g
+proc main()
+  integer l
+  g = 1
+  l = g
+  call f(l)
+end
+proc f(x)
+  print x + g
+end
+)");
+  SymbolId G = A.symbol("g");
+  EXPECT_EQ(A.Symbols.symbol(G).Kind, SymbolKind::Global);
+  SymbolId X = A.symbolIn("f", "x");
+  EXPECT_EQ(A.Symbols.symbol(X).Kind, SymbolKind::Formal);
+  EXPECT_EQ(A.Symbols.symbol(X).Owner, A.proc("f"));
+  EXPECT_EQ(A.Symbols.symbol(X).FormalIndex, 0u);
+  SymbolId L = A.symbolIn("main", "l");
+  EXPECT_EQ(A.Symbols.symbol(L).Kind, SymbolKind::Local);
+}
+
+TEST(Sema, FormalIndicesFollowParameterOrder) {
+  FullAnalysis A = analyze(
+      "proc main()\n  call f(1, 2, 3)\nend\nproc f(a, b, c)\nend\n");
+  const auto &Formals = A.Symbols.formals(A.proc("f"));
+  ASSERT_EQ(Formals.size(), 3u);
+  EXPECT_EQ(A.Symbols.symbol(Formals[0]).Name, "a");
+  EXPECT_EQ(A.Symbols.symbol(Formals[1]).Name, "b");
+  EXPECT_EQ(A.Symbols.symbol(Formals[2]).Name, "c");
+  EXPECT_EQ(A.Symbols.symbol(Formals[2]).FormalIndex, 2u);
+}
+
+TEST(Sema, InterproceduralParamsAreFormalsThenGlobals) {
+  FullAnalysis A = analyze("global g1, g2\nproc main()\n  call f(1)\nend\n"
+                           "proc f(x)\nend\n");
+  auto Params = A.Symbols.interproceduralParams(A.proc("f"));
+  ASSERT_EQ(Params.size(), 3u);
+  EXPECT_EQ(A.Symbols.symbol(Params[0]).Name, "x");
+  EXPECT_EQ(A.Symbols.symbol(Params[1]).Name, "g1");
+  EXPECT_EQ(A.Symbols.symbol(Params[2]).Name, "g2");
+}
+
+TEST(Sema, GlobalInitializerRecorded) {
+  FullAnalysis A = analyze("global n = 7\nproc main()\n  print n\nend\n");
+  EXPECT_EQ(A.Symbols.symbol(A.symbol("n")).GlobalInit, 7);
+}
+
+TEST(Sema, ErrorUndeclaredVariable) {
+  std::string Diags = diagnose("proc main()\n  x = 1\nend\n");
+  EXPECT_NE(Diags.find("use of undeclared name 'x'"), std::string::npos);
+}
+
+TEST(Sema, ErrorDuplicateGlobal) {
+  std::string Diags =
+      diagnose("global a\nglobal a\nproc main()\nend\n");
+  EXPECT_NE(Diags.find("duplicate global"), std::string::npos);
+}
+
+TEST(Sema, ErrorDuplicateLocal) {
+  std::string Diags =
+      diagnose("proc main()\n  integer a, a\nend\n");
+  EXPECT_NE(Diags.find("duplicate declaration"), std::string::npos);
+}
+
+TEST(Sema, ErrorFormalLocalClash) {
+  std::string Diags =
+      diagnose("proc main()\n  call f(1)\nend\nproc f(x)\n  integer "
+               "x\nend\n");
+  EXPECT_NE(Diags.find("duplicate declaration"), std::string::npos);
+}
+
+TEST(Sema, ErrorShadowingGlobal) {
+  std::string Diags =
+      diagnose("global n\nproc main()\n  integer n\nend\n");
+  EXPECT_NE(Diags.find("shadows a global"), std::string::npos);
+}
+
+TEST(Sema, ErrorDuplicateProcedure) {
+  std::string Diags =
+      diagnose("proc main()\nend\nproc f()\nend\nproc f()\nend\n");
+  EXPECT_NE(Diags.find("duplicate procedure"), std::string::npos);
+}
+
+TEST(Sema, ErrorUnknownCallee) {
+  std::string Diags = diagnose("proc main()\n  call nope()\nend\n");
+  EXPECT_NE(Diags.find("unknown procedure"), std::string::npos);
+}
+
+TEST(Sema, ErrorArityMismatch) {
+  std::string Diags = diagnose(
+      "proc main()\n  call f(1)\nend\nproc f(a, b)\nend\n");
+  EXPECT_NE(Diags.find("passes 1 arguments; expected 2"),
+            std::string::npos);
+}
+
+TEST(Sema, ErrorScalarSubscripted) {
+  std::string Diags = diagnose(
+      "proc main()\n  integer x\n  x = 1\n  print x(2)\nend\n");
+  EXPECT_NE(Diags.find("cannot subscript"), std::string::npos);
+}
+
+TEST(Sema, ErrorArrayWithoutSubscript) {
+  std::string Diags =
+      diagnose("array a(4)\nproc main()\n  print a\nend\n");
+  EXPECT_NE(Diags.find("subscript required"), std::string::npos);
+}
+
+TEST(Sema, ErrorMissingMain) {
+  std::string Diags = diagnose("proc helper()\nend\n");
+  EXPECT_NE(Diags.find("no 'main'"), std::string::npos);
+}
+
+TEST(Sema, ErrorMainWithParameters) {
+  std::string Diags = diagnose("proc main(x)\nend\n");
+  EXPECT_NE(Diags.find("must take no parameters"), std::string::npos);
+}
+
+TEST(Sema, ErrorNonPositiveArraySize) {
+  std::string Diags =
+      diagnose("array a(0)\nproc main()\n  a(1) = 2\nend\n");
+  EXPECT_NE(Diags.find("array size must be positive"), std::string::npos);
+}
+
+TEST(Sema, LocalsOfDifferentProcsDoNotClash) {
+  FullAnalysis A = analyze("proc main()\n  integer t\n  t = 1\n  call "
+                           "f()\nend\nproc f()\n  integer t\n  t = "
+                           "2\nend\n");
+  SymbolId TMain = A.symbolIn("main", "t");
+  SymbolId TF = A.symbolIn("f", "t");
+  EXPECT_NE(TMain, TF);
+}

@@ -1,0 +1,280 @@
+//===- tests/SsaTests.cpp - ir/Ssa unit tests -----------------------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Ssa.h"
+
+#include "TestHelpers.h"
+#include "workloads/Suite.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipcp;
+using namespace ipcp::test;
+
+namespace {
+
+struct SsaBundle {
+  FullAnalysis A;
+  std::unique_ptr<DominatorTree> DT;
+  std::unique_ptr<SsaForm> Ssa;
+};
+
+SsaBundle buildSsa(const std::string &Source, const std::string &Proc,
+                   bool WithMod = true) {
+  SsaBundle B;
+  B.A = analyze(Source);
+  const Function &F = B.A.function(Proc);
+  B.DT = std::make_unique<DominatorTree>(F);
+  B.Ssa = std::make_unique<SsaForm>(
+      F, B.A.Symbols, *B.DT,
+      makeKillOracle(B.A.Symbols, WithMod ? B.A.MRI.get() : nullptr));
+  return B;
+}
+
+} // namespace
+
+TEST(Ssa, EveryVisibleScalarHasAnEntryDef) {
+  SsaBundle B = buildSsa("global g\nproc main()\n  integer a, b\n  a = "
+                         "1\n  b = a\n  g = b\nend\n",
+                         "main");
+  // a, b, g all have entry defs.
+  EXPECT_EQ(B.Ssa->entryDefs().size(), 3u);
+  for (auto [Sym, Id] : B.Ssa->entryDefs())
+    EXPECT_EQ(B.Ssa->def(Id).Kind, SsaDefKind::Entry);
+}
+
+TEST(Ssa, StraightLineHasNoPhis) {
+  SsaBundle B = buildSsa(
+      "proc main()\n  integer x\n  x = 1\n  x = x + 1\nend\n", "main");
+  EXPECT_EQ(B.Ssa->numPhis(), 0u);
+}
+
+TEST(Ssa, DiamondRedefinitionPlacesOnePhi) {
+  SsaBundle B = buildSsa(R"(proc main()
+  integer x, c
+  c = 0
+  x = 1
+  if (c) then
+    x = 2
+  end if
+  print x
+end
+)",
+                         "main");
+  // x needs a phi at the join; c does not (single def).
+  unsigned PhisForX = 0, OtherPhis = 0;
+  const Function &F = B.A.function("main");
+  SymbolId X = B.A.symbolIn("main", "x");
+  for (BlockId Blk = 0; Blk != F.numBlocks(); ++Blk)
+    for (const Phi &P : B.Ssa->phis(Blk))
+      (P.Sym == X ? PhisForX : OtherPhis) += 1;
+  EXPECT_EQ(PhisForX, 1u);
+  EXPECT_EQ(OtherPhis, 0u);
+}
+
+TEST(Ssa, LoopVariableGetsHeaderPhi) {
+  SsaBundle B = buildSsa(R"(proc main()
+  integer i, s
+  s = 0
+  do i = 1, 10
+    s = s + i
+  end do
+  print s
+end
+)",
+                         "main");
+  SymbolId I = B.A.symbolIn("main", "i");
+  SymbolId S = B.A.symbolIn("main", "s");
+  const Function &F = B.A.function("main");
+  bool PhiForI = false, PhiForS = false;
+  for (BlockId Blk = 0; Blk != F.numBlocks(); ++Blk)
+    for (const Phi &P : B.Ssa->phis(Blk)) {
+      PhiForI |= P.Sym == I;
+      PhiForS |= P.Sym == S;
+      // Incoming slots are fully populated.
+      EXPECT_EQ(P.Incoming.size(), F.block(Blk).Preds.size());
+      for (SsaId In : P.Incoming)
+        EXPECT_NE(In, InvalidSsa);
+    }
+  EXPECT_TRUE(PhiForI);
+  EXPECT_TRUE(PhiForS);
+}
+
+TEST(Ssa, CallKillsCreateDefsWithMod) {
+  SsaBundle B = buildSsa(R"(global g
+proc main()
+  integer x
+  g = 1
+  x = 2
+  call touch(x)
+  print g + x
+end
+proc touch(p)
+  p = 99
+end
+)",
+                         "main");
+  const Function &F = B.A.function("main");
+  SymbolId X = B.A.symbolIn("main", "x");
+  bool FoundKill = false;
+  for (BlockId Blk = 0; Blk != F.numBlocks(); ++Blk)
+    for (uint32_t I = 0; I != F.block(Blk).Instrs.size(); ++I) {
+      if (F.block(Blk).Instrs[I].Op != Opcode::Call)
+        continue;
+      const auto &Info = B.Ssa->instrInfo(Blk, I);
+      // touch modifies its formal, so x is killed; g is not modified.
+      ASSERT_EQ(Info.Kills.size(), 1u);
+      EXPECT_EQ(Info.Kills[0].first, X);
+      EXPECT_EQ(B.Ssa->def(Info.Kills[0].second).Kind,
+                SsaDefKind::CallKill);
+      FoundKill = true;
+    }
+  EXPECT_TRUE(FoundKill);
+}
+
+TEST(Ssa, WorstCaseKillsEverythingByRefAndGlobal) {
+  SsaBundle B = buildSsa(R"(global g
+proc main()
+  integer x
+  g = 1
+  x = 2
+  call noop(x)
+  print g + x
+end
+proc noop(p)
+end
+)",
+                         "main", /*WithMod=*/false);
+  const Function &F = B.A.function("main");
+  for (BlockId Blk = 0; Blk != F.numBlocks(); ++Blk)
+    for (uint32_t I = 0; I != F.block(Blk).Instrs.size(); ++I)
+      if (F.block(Blk).Instrs[I].Op == Opcode::Call)
+        EXPECT_EQ(B.Ssa->instrInfo(Blk, I).Kills.size(), 2u); // x and g
+}
+
+TEST(Ssa, CallRecordsGlobalEnvironment) {
+  SsaBundle B = buildSsa(R"(global g1, g2
+proc main()
+  g1 = 5
+  call f()
+end
+proc f()
+  print g1
+end
+)",
+                         "main");
+  const Function &F = B.A.function("main");
+  for (BlockId Blk = 0; Blk != F.numBlocks(); ++Blk)
+    for (uint32_t I = 0; I != F.block(Blk).Instrs.size(); ++I)
+      if (F.block(Blk).Instrs[I].Op == Opcode::Call)
+        EXPECT_EQ(B.Ssa->instrInfo(Blk, I).GlobalEnv.size(), 2u);
+}
+
+TEST(Ssa, ExitEnvironmentCoversFormalsAndGlobals) {
+  SsaBundle B = buildSsa(R"(global g
+proc main()
+  call f(1, 2)
+end
+proc f(a, b)
+  a = b + 1
+end
+)",
+                         "f");
+  ASSERT_TRUE(B.Ssa->hasExitEnv());
+  // Exit symbols: a, b, g.
+  EXPECT_EQ(B.Ssa->exitSymbols().size(), 3u);
+  EXPECT_EQ(B.Ssa->exitEnv().size(), 3u);
+}
+
+TEST(Ssa, WhileTrueLoopStillHasStaticExitEnv) {
+  // Every MiniFort loop has a static exit edge, so the exit block is
+  // always CFG-reachable even when the condition is constant-true; only
+  // SCCP discovers the dynamic unreachability.
+  SsaBundle B = buildSsa(R"(proc main()
+  integer x
+  x = 1
+  while (1 > 0)
+    x = x + 1
+  end while
+  print x
+end
+)",
+                         "main");
+  EXPECT_TRUE(B.Ssa->hasExitEnv());
+}
+
+TEST(Ssa, UseListsAreConsistent) {
+  SsaBundle B = buildSsa(R"(proc main()
+  integer x, y
+  x = 1
+  y = x + x
+  print y
+end
+)",
+                         "main");
+  // Every use recorded in a use list must point back at the value.
+  for (SsaId Id = 0; Id != B.Ssa->numValues(); ++Id) {
+    for (const SsaUse &Use : B.Ssa->usesOf(Id)) {
+      if (Use.Kind == SsaUse::InstrUse) {
+        const auto &Info = B.Ssa->instrInfo(Use.Block, Use.Index);
+        EXPECT_EQ(Info.UseSsa.at(Use.Slot), Id);
+      } else {
+        const Phi &P = B.Ssa->phis(Use.Block).at(Use.Index);
+        EXPECT_EQ(P.Incoming.at(Use.Slot), Id);
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Property checks over the suite: defs dominate uses, every function.
+//===----------------------------------------------------------------------===//
+
+class SsaSuiteTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SsaSuiteTest, DefsDominateUses) {
+  const WorkloadProgram &W = benchmarkSuite()[GetParam()];
+  FullAnalysis A = analyze(W.Source);
+  for (const auto &FPtr : A.M.Functions) {
+    const Function &F = *FPtr;
+    DominatorTree DT(F);
+    SsaForm Ssa(F, A.Symbols, DT, makeKillOracle(A.Symbols, A.MRI.get()));
+
+    for (BlockId B = 0; B != F.numBlocks(); ++B) {
+      if (!DT.isReachable(B))
+        continue;
+      const auto &Instrs = F.block(B).Instrs;
+      for (uint32_t I = 0; I != Instrs.size(); ++I) {
+        for (SsaId Use : Ssa.instrInfo(B, I).UseSsa) {
+          if (Use == InvalidSsa)
+            continue;
+          const SsaDef &D = Ssa.def(Use);
+          ASSERT_TRUE(DT.isReachable(D.Block));
+          EXPECT_TRUE(DT.dominates(D.Block, B))
+              << F.name() << " bb" << B << " uses value defined in bb"
+              << D.Block;
+        }
+      }
+      // Phi incoming values must be defined in blocks dominating the
+      // corresponding predecessor.
+      for (const Phi &P : Ssa.phis(B)) {
+        for (uint32_t S = 0; S != P.Incoming.size(); ++S) {
+          BlockId Pred = F.block(B).Preds[S];
+          if (!DT.isReachable(Pred))
+            continue;
+          const SsaDef &D = Ssa.def(P.Incoming[S]);
+          EXPECT_TRUE(DT.dominates(D.Block, Pred));
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, SsaSuiteTest, ::testing::Range<size_t>(0, 12),
+    [](const ::testing::TestParamInfo<size_t> &Info) {
+      return benchmarkSuite()[Info.param].Name;
+    });

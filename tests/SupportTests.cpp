@@ -1,0 +1,106 @@
+//===- tests/SupportTests.cpp - support/ unit tests -----------------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Casting.h"
+#include "support/Diagnostics.h"
+#include "support/SourceLoc.h"
+#include "support/TablePrinter.h"
+
+#include "lang/Ast.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipcp;
+
+TEST(SourceLoc, DefaultIsInvalid) {
+  SourceLoc Loc;
+  EXPECT_FALSE(Loc.isValid());
+}
+
+TEST(SourceLoc, ValidAndString) {
+  SourceLoc Loc(3, 14);
+  EXPECT_TRUE(Loc.isValid());
+  EXPECT_EQ(Loc.str(), "3:14");
+}
+
+TEST(SourceLoc, Equality) {
+  EXPECT_EQ(SourceLoc(1, 2), SourceLoc(1, 2));
+  EXPECT_NE(SourceLoc(1, 2), SourceLoc(1, 3));
+  EXPECT_NE(SourceLoc(1, 2), SourceLoc(2, 2));
+}
+
+TEST(Diagnostics, CountsErrorsOnly) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.warning(SourceLoc(1, 1), "w");
+  Diags.note(SourceLoc(1, 2), "n");
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.error(SourceLoc(2, 1), "e");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 1u);
+  EXPECT_EQ(Diags.diagnostics().size(), 3u);
+}
+
+TEST(Diagnostics, Rendering) {
+  DiagnosticEngine Diags;
+  Diags.error(SourceLoc(4, 7), "bad thing");
+  Diags.warning(SourceLoc(5, 1), "iffy thing");
+  std::string Text = Diags.str();
+  EXPECT_NE(Text.find("4:7: error: bad thing"), std::string::npos);
+  EXPECT_NE(Text.find("5:1: warning: iffy thing"), std::string::npos);
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter T;
+  T.addHeader({"name", "n"});
+  T.addRow({"a", "1"});
+  T.addRow({"long", "12345"});
+  std::string Out = T.str();
+  // The header separator and the padded value column must be present.
+  EXPECT_NE(Out.find("-----"), std::string::npos);
+  EXPECT_NE(Out.find("    1"), std::string::npos);
+  EXPECT_NE(Out.find("12345"), std::string::npos);
+}
+
+TEST(TablePrinter, HandlesShortRows) {
+  TablePrinter T;
+  T.addHeader({"a", "b", "c"});
+  T.addRow({"x"});
+  std::string Out = T.str();
+  EXPECT_NE(Out.find('x'), std::string::npos);
+}
+
+TEST(TablePrinter, EmptyPrintsNothing) {
+  TablePrinter T;
+  EXPECT_EQ(T.str(), "");
+}
+
+TEST(Casting, IsaAndCast) {
+  AstContext Ctx;
+  Expr *E = Ctx.createExpr<IntLitExpr>(SourceLoc(1, 1), int64_t(42));
+  EXPECT_TRUE(isa<IntLitExpr>(E));
+  EXPECT_FALSE(isa<VarRefExpr>(E));
+  EXPECT_EQ(cast<IntLitExpr>(E)->value(), 42);
+  EXPECT_EQ(dyn_cast<VarRefExpr>(E), nullptr);
+  EXPECT_NE(dyn_cast<IntLitExpr>(E), nullptr);
+}
+
+TEST(Casting, ConstPointers) {
+  AstContext Ctx;
+  const Expr *E =
+      Ctx.createExpr<VarRefExpr>(SourceLoc(1, 1), std::string("x"));
+  EXPECT_TRUE(isa<VarRefExpr>(E));
+  EXPECT_EQ(cast<VarRefExpr>(E)->name(), "x");
+  EXPECT_EQ(dyn_cast<BinaryExpr>(E), nullptr);
+}
+
+TEST(AstContext, AssignsUniqueIds) {
+  AstContext Ctx;
+  Expr *A = Ctx.createExpr<IntLitExpr>(SourceLoc(1, 1), int64_t(1));
+  Expr *B = Ctx.createExpr<IntLitExpr>(SourceLoc(1, 2), int64_t(2));
+  EXPECT_NE(A->id(), B->id());
+  EXPECT_NE(A->id(), 0u);
+}

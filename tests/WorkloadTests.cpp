@@ -1,0 +1,174 @@
+//===- tests/WorkloadTests.cpp - workloads/ suite tests -------------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+// The headline check lives here: every generated program must reproduce
+// its row of the paper's Tables 2 and 3 exactly, configuration by
+// configuration.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Suite.h"
+#include "workloads/Synthetic.h"
+
+#include "ipcp/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipcp;
+
+namespace {
+
+unsigned countFor(const std::string &Source, const PipelineOptions &Opts) {
+  PipelineResult R = runPipeline(Source, Opts);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return R.SubstitutedConstants;
+}
+
+} // namespace
+
+TEST(WorkloadSuite, HasTwelvePrograms) {
+  ASSERT_EQ(benchmarkSuite().size(), 12u);
+  EXPECT_EQ(benchmarkSuite().front().Name, "adm");
+  EXPECT_EQ(benchmarkSuite().back().Name, "trfd");
+}
+
+TEST(WorkloadSuite, CharacteristicsAreSane) {
+  for (const WorkloadProgram &P : benchmarkSuite()) {
+    ProgramCharacteristics C = measureCharacteristics(P.Source);
+    EXPECT_GT(C.Lines, 100u) << P.Name;
+    EXPECT_GE(C.Procs, 8u) << P.Name;
+    EXPECT_GT(C.MeanLinesPerProc, 1.0) << P.Name;
+    EXPECT_GT(C.MedianLinesPerProc, 1.0) << P.Name;
+  }
+}
+
+TEST(WorkloadSuite, PaperProcCountsMatchWhereKnown) {
+  for (const WorkloadProgram &P : benchmarkSuite()) {
+    if (P.PaperTable1.Procs < 0)
+      continue;
+    ProgramCharacteristics C = measureCharacteristics(P.Source);
+    EXPECT_EQ(C.Procs, unsigned(P.PaperTable1.Procs)) << P.Name;
+  }
+}
+
+TEST(MeasureCharacteristics, IgnoresCommentsAndBlanks) {
+  ProgramCharacteristics C = measureCharacteristics(
+      "! header\n\nproc main()\n  ! comment line\n  print 1\n\nend\n");
+  EXPECT_EQ(C.Lines, 3u);
+  EXPECT_EQ(C.Procs, 1u);
+  EXPECT_EQ(C.MeanLinesPerProc, 3.0);
+}
+
+TEST(MeasureCharacteristics, MedianOfTwoProcs) {
+  ProgramCharacteristics C = measureCharacteristics(
+      "proc main()\nend\nproc f(a)\n  print a\n  print a\nend\n");
+  EXPECT_EQ(C.Procs, 2u);
+  EXPECT_EQ(C.MedianLinesPerProc, 3.0); // (2 + 4) / 2.
+}
+
+TEST(Synthetic, GeneratesValidProgramsAcrossSizes) {
+  for (int Procs : {4, 16, 64}) {
+    SyntheticSpec Spec;
+    Spec.Procs = Procs;
+    PipelineResult R =
+        runPipeline(generateSynthetic(Spec), PipelineOptions());
+    EXPECT_TRUE(R.Ok) << R.Error;
+  }
+}
+
+TEST(Synthetic, FindsConstantsThroughItsCallDag) {
+  SyntheticSpec Spec;
+  Spec.Procs = 12;
+  PipelineResult R =
+      runPipeline(generateSynthetic(Spec), PipelineOptions());
+  ASSERT_TRUE(R.Ok);
+  EXPECT_GT(R.SubstitutedConstants, 0u);
+}
+
+TEST(Synthetic, DeterministicForEqualSpecs) {
+  SyntheticSpec Spec;
+  Spec.Procs = 10;
+  EXPECT_EQ(generateSynthetic(Spec), generateSynthetic(Spec));
+}
+
+//===----------------------------------------------------------------------===//
+// Paper-exact reproduction, one test per (program, configuration).
+//===----------------------------------------------------------------------===//
+
+class PaperNumbersTest : public ::testing::TestWithParam<size_t> {
+protected:
+  const WorkloadProgram &program() const {
+    return benchmarkSuite()[GetParam()];
+  }
+};
+
+TEST_P(PaperNumbersTest, Table2PolynomialWithRjf) {
+  PipelineOptions Opts;
+  Opts.Kind = JumpFunctionKind::Polynomial;
+  EXPECT_EQ(countFor(program().Source, Opts),
+            unsigned(program().Paper.Polynomial));
+}
+
+TEST_P(PaperNumbersTest, Table2PassThroughWithRjf) {
+  PipelineOptions Opts;
+  Opts.Kind = JumpFunctionKind::PassThrough;
+  EXPECT_EQ(countFor(program().Source, Opts),
+            unsigned(program().Paper.PassThrough));
+}
+
+TEST_P(PaperNumbersTest, Table2IntraConstWithRjf) {
+  PipelineOptions Opts;
+  Opts.Kind = JumpFunctionKind::IntraConst;
+  EXPECT_EQ(countFor(program().Source, Opts),
+            unsigned(program().Paper.IntraConst));
+}
+
+TEST_P(PaperNumbersTest, Table2LiteralWithRjf) {
+  PipelineOptions Opts;
+  Opts.Kind = JumpFunctionKind::Literal;
+  EXPECT_EQ(countFor(program().Source, Opts),
+            unsigned(program().Paper.Literal));
+}
+
+TEST_P(PaperNumbersTest, Table2PolynomialNoRjf) {
+  PipelineOptions Opts;
+  Opts.UseReturnJumpFunctions = false;
+  EXPECT_EQ(countFor(program().Source, Opts),
+            unsigned(program().Paper.PolynomialNoRjf));
+}
+
+TEST_P(PaperNumbersTest, Table2PassThroughNoRjf) {
+  PipelineOptions Opts;
+  Opts.Kind = JumpFunctionKind::PassThrough;
+  Opts.UseReturnJumpFunctions = false;
+  EXPECT_EQ(countFor(program().Source, Opts),
+            unsigned(program().Paper.PassThroughNoRjf));
+}
+
+TEST_P(PaperNumbersTest, Table3PolynomialWithoutMod) {
+  PipelineOptions Opts;
+  Opts.UseMod = false;
+  EXPECT_EQ(countFor(program().Source, Opts),
+            unsigned(program().Paper.PolyNoMod));
+}
+
+TEST_P(PaperNumbersTest, Table3CompletePropagation) {
+  PipelineOptions Opts;
+  Opts.CompletePropagation = true;
+  EXPECT_EQ(countFor(program().Source, Opts),
+            unsigned(program().Paper.Complete));
+}
+
+TEST_P(PaperNumbersTest, Table3IntraproceduralPropagation) {
+  PipelineOptions Opts;
+  Opts.IntraproceduralOnly = true;
+  EXPECT_EQ(countFor(program().Source, Opts),
+            unsigned(program().Paper.IntraOnly));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, PaperNumbersTest, ::testing::Range<size_t>(0, 12),
+    [](const ::testing::TestParamInfo<size_t> &Info) {
+      return benchmarkSuite()[Info.param].Name;
+    });

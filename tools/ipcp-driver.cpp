@@ -1,0 +1,330 @@
+//===- tools/ipcp-driver.cpp - Command-line front end ---------------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ipcp-driver: run the analyzer over a MiniFort file.
+///
+///   ipcp-driver [options] file.mf
+///     --jf=<literal|intra|pass|poly>  forward jump function (default poly)
+///     --no-rjf                        disable return jump functions
+///     --no-mod                        drop interprocedural MOD information
+///     --complete                      iterate with dead-code elimination
+///     --intra-only                    purely intraprocedural propagation
+///     --round-robin                   naive solver (default: worklist)
+///     --emit-source                   print the transformed source
+///     --quiet                         print only the substitution count
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+#include "ipcp/Cloning.h"
+#include "ipcp/Inliner.h"
+#include "ipcp/Pipeline.h"
+#include "ir/CfgBuilder.h"
+#include "ir/Dominators.h"
+#include "ir/IrPrinter.h"
+#include "lang/Parser.h"
+#include "workloads/Suite.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+using namespace ipcp;
+
+static void printUsage() {
+  std::cerr
+      << "usage: ipcp-driver [options] <file.mf | --suite=<name>>\n"
+         "  --jf=<literal|intra|pass|poly>  forward jump function kind\n"
+         "  --no-rjf       disable return jump functions\n"
+         "  --no-mod       drop interprocedural MOD information\n"
+         "  --complete     iterate with dead-code elimination\n"
+         "  --gsa          gated-SSA jump functions (no DCE iteration)\n"
+         "  --intra-only   purely intraprocedural propagation\n"
+         "  --round-robin  naive fixpoint strategy\n"
+         "  --binding-graph  binding multi-graph fixpoint strategy\n"
+         "  --emit-source  print the transformed source\n"
+         "  --quiet        print only the substitution count\n"
+         "  --suite=<name> analyze a built-in suite program (e.g. ocean)\n"
+         "  --dump-ir      print the lowered CFG of every procedure\n"
+         "  --dump-ssa     print the SSA form of every procedure\n"
+         "  --dump-jf      print every call site's jump functions\n"
+         "  --constants-out=<file>  write the CONSTANTS sets to a file\n"
+         "  --stats        print jump function and solver statistics\n"
+         "  --inline       print the procedure-integrated program and exit\n"
+         "  --clone        print the constant-cloned program and exit\n";
+}
+
+int main(int argc, char **argv) {
+  PipelineOptions Opts;
+  std::string Path;
+  std::string SuiteName;
+  std::string ConstantsOut;
+  bool EmitSource = false;
+  bool Quiet = false;
+  bool DumpIr = false;
+  bool DumpSsa = false;
+  bool DumpJf = false;
+  bool DoInline = false;
+  bool DoClone = false;
+  bool Stats = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--jf=", 0) == 0) {
+      std::string Kind = Arg.substr(5);
+      if (Kind == "literal")
+        Opts.Kind = JumpFunctionKind::Literal;
+      else if (Kind == "intra")
+        Opts.Kind = JumpFunctionKind::IntraConst;
+      else if (Kind == "pass")
+        Opts.Kind = JumpFunctionKind::PassThrough;
+      else if (Kind == "poly")
+        Opts.Kind = JumpFunctionKind::Polynomial;
+      else {
+        std::cerr << "error: unknown jump function kind '" << Kind << "'\n";
+        return 1;
+      }
+    } else if (Arg == "--no-rjf") {
+      Opts.UseReturnJumpFunctions = false;
+    } else if (Arg == "--no-mod") {
+      Opts.UseMod = false;
+    } else if (Arg == "--complete") {
+      Opts.CompletePropagation = true;
+    } else if (Arg == "--gsa") {
+      Opts.UseGatedSsa = true;
+    } else if (Arg == "--intra-only") {
+      Opts.IntraproceduralOnly = true;
+    } else if (Arg == "--round-robin") {
+      Opts.Strategy = SolverStrategy::RoundRobin;
+    } else if (Arg == "--binding-graph") {
+      Opts.Strategy = SolverStrategy::BindingGraph;
+    } else if (Arg == "--emit-source") {
+      EmitSource = true;
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (Arg == "--dump-ir") {
+      DumpIr = true;
+    } else if (Arg == "--dump-ssa") {
+      DumpSsa = true;
+    } else if (Arg == "--dump-jf") {
+      DumpJf = true;
+    } else if (Arg.rfind("--constants-out=", 0) == 0) {
+      ConstantsOut = Arg.substr(16);
+    } else if (Arg == "--inline") {
+      DoInline = true;
+    } else if (Arg == "--clone") {
+      DoClone = true;
+    } else if (Arg.rfind("--suite=", 0) == 0) {
+      SuiteName = Arg.substr(8);
+    } else if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::cerr << "error: unknown option '" << Arg << "'\n";
+      printUsage();
+      return 1;
+    } else {
+      Path = Arg;
+    }
+  }
+
+  std::string Source;
+  if (!SuiteName.empty()) {
+    for (const WorkloadProgram &P : benchmarkSuite())
+      if (P.Name == SuiteName)
+        Source = P.Source;
+    if (Source.empty()) {
+      std::cerr << "error: no suite program named '" << SuiteName << "'\n";
+      return 1;
+    }
+  } else if (!Path.empty()) {
+    std::ifstream In(Path);
+    if (!In) {
+      std::cerr << "error: cannot open '" << Path << "'\n";
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Source = Buf.str();
+  } else {
+    printUsage();
+    return 1;
+  }
+
+  if (DoInline || DoClone) {
+    if (DoInline) {
+      DiagnosticEngine Diags;
+      auto Ctx = parseProgram(Source, Diags);
+      SymbolTable Symbols = Sema::run(*Ctx, Diags);
+      if (Diags.hasErrors()) {
+        Diags.print(std::cerr);
+        return 1;
+      }
+      InlineResult R = inlineProgram(*Ctx, Symbols);
+      std::cout << R.Source;
+      std::cerr << "! inlined " << R.InlinedCalls << " calls ("
+                << R.SkippedRecursive << " recursive, "
+                << R.SkippedHasReturn << " early-return, "
+                << R.SkippedBudget << " budget kept)\n";
+      return 0;
+    }
+    CloneResult R = cloneForConstants(Source);
+    if (!R.Ok) {
+      std::cerr << R.Error;
+      return 1;
+    }
+    std::cout << R.Source;
+    std::cerr << "! created " << R.ClonesCreated << " clones in "
+              << R.Rounds << " rounds\n";
+    return 0;
+  }
+
+  if (DumpIr || DumpSsa || DumpJf) {
+    DiagnosticEngine Diags;
+    auto Ctx = parseProgram(Source, Diags);
+    SymbolTable Symbols = Sema::run(*Ctx, Diags);
+    if (Diags.hasErrors()) {
+      Diags.print(std::cerr);
+      return 1;
+    }
+    Module M = buildModule(Ctx->program(), Symbols);
+    CallGraph CG(M, *Ctx->program().entryProc());
+    ModRefInfo MRI(M, Symbols, CG);
+    for (const auto &F : M.Functions) {
+      if (DumpIr)
+        printFunction(*F, Symbols, std::cout);
+      if (DumpSsa) {
+        DominatorTree DT(*F);
+        SsaForm Ssa(*F, Symbols, DT, makeKillOracle(Symbols, &MRI));
+        printSsa(Ssa, Symbols, std::cout);
+      }
+    }
+    if (DumpJf) {
+      JumpFunctionOptions JfOpts;
+      JfOpts.Kind = Opts.Kind;
+      JfOpts.UseReturnJumpFunctions = Opts.UseReturnJumpFunctions;
+      JfOpts.UseMod = Opts.UseMod;
+      JfOpts.UseGatedSsa = Opts.UseGatedSsa;
+      ProgramJumpFunctions Jfs =
+          buildJumpFunctions(M, Symbols, CG, &MRI, JfOpts);
+      for (ProcId P = 0; P != CG.numProcs(); ++P) {
+        const auto &Sites = CG.callSitesIn(P);
+        for (size_t I = 0; I != Sites.size(); ++I) {
+          const auto &Site = Jfs.PerSite[P][I];
+          std::cout << Ctx->program().Procs[P]->name() << " -> "
+                    << Ctx->program().Procs[Sites[I].Callee]->name()
+                    << ":";
+          const auto &Formals = Symbols.formals(Sites[I].Callee);
+          for (size_t A = 0; A != Site.Args.size(); ++A)
+            std::cout << ' ' << Symbols.symbol(Formals[A]).Name << "="
+                      << Site.Args[A].str(Symbols);
+          const auto &Globals = Symbols.globalScalars();
+          for (size_t G = 0; G != Site.Globals.size(); ++G)
+            if (!Site.Globals[G].isBottom())
+              std::cout << ' ' << Symbols.symbol(Globals[G]).Name << "="
+                        << Site.Globals[G].str(Symbols);
+          std::cout << '\n';
+        }
+        for (const auto &[Sym, Rjf] : Jfs.ReturnJfs[P])
+          if (!Rjf.isBottom())
+            std::cout << "return " << Ctx->program().Procs[P]->name()
+                      << "." << Symbols.symbol(Sym).Name << " = "
+                      << Rjf.str(Symbols) << '\n';
+      }
+    }
+    return 0;
+  }
+
+  Opts.EmitTransformedSource = EmitSource;
+  PipelineResult Result = runPipeline(Source, Opts);
+  if (!Result.Ok) {
+    std::cerr << Result.Error;
+    return 1;
+  }
+
+  // "The CONSTANTS sets are written to a single file" (paper §4.1).
+  if (!ConstantsOut.empty()) {
+    std::ofstream Out(ConstantsOut);
+    if (!Out) {
+      std::cerr << "error: cannot write '" << ConstantsOut << "'\n";
+      return 1;
+    }
+    for (size_t P = 0; P != Result.Constants.size(); ++P) {
+      Out << Result.ProcNames[P];
+      for (const auto &[Name, Value] : Result.Constants[P])
+        Out << ' ' << Name << '=' << Value;
+      Out << '\n';
+    }
+  }
+
+  if (Quiet) {
+    std::cout << Result.SubstitutedConstants << '\n';
+    return 0;
+  }
+
+  std::cout << "jump function: " << jumpFunctionKindName(Opts.Kind)
+            << (Opts.UseReturnJumpFunctions ? ", return JFs" : "")
+            << (Opts.UseMod ? ", MOD" : ", no MOD")
+            << (Opts.CompletePropagation ? ", complete" : "")
+            << (Opts.UseGatedSsa ? ", gated SSA" : "")
+            << (Opts.IntraproceduralOnly ? " [intraprocedural only]" : "")
+            << "\n";
+  std::cout << "constants substituted: " << Result.SubstitutedConstants
+            << "\n";
+  if (Opts.CompletePropagation)
+    std::cout << "dead-code rounds: " << Result.DceRounds << " (folded "
+              << Result.FoldedBranches << " branches)\n";
+
+  if (Stats) {
+    const JumpFunctionStats &S = Result.JfStats;
+    std::cout << "stats:\n"
+              << "  forward jump functions: " << S.NumForward << " ("
+              << S.NumForwardConst << " const, "
+              << S.NumForwardPassThrough << " pass-through, "
+              << S.NumForwardPoly << " polynomial, "
+              << S.NumForwardBottom << " bottom)\n"
+              << "  avg polynomial support: " << S.avgPolySupport()
+              << " (max " << S.MaxPolySupport << ")\n"
+              << "  return jump functions: " << S.NumReturn << " ("
+              << S.NumReturnConst << " const, " << S.NumReturnPoly
+              << " polynomial, " << S.NumReturnBottom << " bottom)\n"
+              << "  solver: " << Result.SolverProcVisits << " visits, "
+              << Result.SolverJfEvaluations << " evaluations, "
+              << Result.SolverCellLowerings << " cell lowerings\n"
+              << "  constant prints: " << Result.ConstantPrints << "\n"
+              << "  known-but-irrelevant globals (Metzger-Stroud): "
+              << Result.KnownButIrrelevant << "\n";
+  }
+
+  for (size_t P = 0; P != Result.Constants.size(); ++P) {
+    if (Result.Constants[P].empty())
+      continue;
+    std::cout << "CONSTANTS(" << Result.ProcNames[P] << ") = {";
+    bool First = true;
+    for (const auto &[Name, Value] : Result.Constants[P]) {
+      if (!First)
+        std::cout << ", ";
+      First = false;
+      std::cout << "(" << Name << ", " << Value << ")";
+    }
+    std::cout << "}\n";
+  }
+  if (!Result.NeverCalled.empty()) {
+    std::cout << "never invoked:";
+    for (const std::string &Name : Result.NeverCalled)
+      std::cout << ' ' << Name;
+    std::cout << '\n';
+  }
+
+  if (EmitSource)
+    std::cout << "---- transformed source ----\n"
+              << Result.TransformedSource;
+  return 0;
+}
