@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gsa.dir/ablation_gsa.cpp.o"
+  "CMakeFiles/ablation_gsa.dir/ablation_gsa.cpp.o.d"
+  "ablation_gsa"
+  "ablation_gsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

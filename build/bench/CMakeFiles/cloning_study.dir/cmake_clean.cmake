@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloning_study.dir/cloning_study.cpp.o"
+  "CMakeFiles/cloning_study.dir/cloning_study.cpp.o.d"
+  "cloning_study"
+  "cloning_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloning_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

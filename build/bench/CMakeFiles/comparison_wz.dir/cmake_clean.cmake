@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comparison_wz.dir/comparison_wz.cpp.o"
+  "CMakeFiles/comparison_wz.dir/comparison_wz.cpp.o.d"
+  "comparison_wz"
+  "comparison_wz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comparison_wz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_lattice.dir/figure1_lattice.cpp.o"
+  "CMakeFiles/figure1_lattice.dir/figure1_lattice.cpp.o.d"
+  "figure1_lattice"
+  "figure1_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

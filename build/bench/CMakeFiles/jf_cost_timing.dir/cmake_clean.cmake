@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jf_cost_timing.dir/jf_cost_timing.cpp.o"
+  "CMakeFiles/jf_cost_timing.dir/jf_cost_timing.cpp.o.d"
+  "jf_cost_timing"
+  "jf_cost_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jf_cost_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

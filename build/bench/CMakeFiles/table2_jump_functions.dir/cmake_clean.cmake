@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_jump_functions.dir/table2_jump_functions.cpp.o"
+  "CMakeFiles/table2_jump_functions.dir/table2_jump_functions.cpp.o.d"
+  "table2_jump_functions"
+  "table2_jump_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_jump_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

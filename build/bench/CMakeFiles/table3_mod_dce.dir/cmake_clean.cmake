@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_mod_dce.dir/table3_mod_dce.cpp.o"
+  "CMakeFiles/table3_mod_dce.dir/table3_mod_dce.cpp.o.d"
+  "table3_mod_dce"
+  "table3_mod_dce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_mod_dce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloning_advisor.dir/cloning_advisor.cpp.o"
+  "CMakeFiles/cloning_advisor.dir/cloning_advisor.cpp.o.d"
+  "cloning_advisor"
+  "cloning_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloning_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

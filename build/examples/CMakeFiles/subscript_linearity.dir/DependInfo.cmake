@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/subscript_linearity.cpp" "examples/CMakeFiles/subscript_linearity.dir/subscript_linearity.cpp.o" "gcc" "examples/CMakeFiles/subscript_linearity.dir/subscript_linearity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ipcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipcp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipcp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipcp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipcp_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipcp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

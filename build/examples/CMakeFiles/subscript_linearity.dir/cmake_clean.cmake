@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subscript_linearity.dir/subscript_linearity.cpp.o"
+  "CMakeFiles/subscript_linearity.dir/subscript_linearity.cpp.o.d"
+  "subscript_linearity"
+  "subscript_linearity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subscript_linearity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whole_program_optimizer.dir/whole_program_optimizer.cpp.o"
+  "CMakeFiles/whole_program_optimizer.dir/whole_program_optimizer.cpp.o.d"
+  "whole_program_optimizer"
+  "whole_program_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whole_program_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

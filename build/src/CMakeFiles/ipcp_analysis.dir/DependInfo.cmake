@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/CallGraph.cpp" "src/CMakeFiles/ipcp_analysis.dir/analysis/CallGraph.cpp.o" "gcc" "src/CMakeFiles/ipcp_analysis.dir/analysis/CallGraph.cpp.o.d"
+  "/root/repo/src/analysis/DeadCodeElim.cpp" "src/CMakeFiles/ipcp_analysis.dir/analysis/DeadCodeElim.cpp.o" "gcc" "src/CMakeFiles/ipcp_analysis.dir/analysis/DeadCodeElim.cpp.o.d"
+  "/root/repo/src/analysis/ModRef.cpp" "src/CMakeFiles/ipcp_analysis.dir/analysis/ModRef.cpp.o" "gcc" "src/CMakeFiles/ipcp_analysis.dir/analysis/ModRef.cpp.o.d"
+  "/root/repo/src/analysis/Sccp.cpp" "src/CMakeFiles/ipcp_analysis.dir/analysis/Sccp.cpp.o" "gcc" "src/CMakeFiles/ipcp_analysis.dir/analysis/Sccp.cpp.o.d"
+  "/root/repo/src/analysis/ValueNumbering.cpp" "src/CMakeFiles/ipcp_analysis.dir/analysis/ValueNumbering.cpp.o" "gcc" "src/CMakeFiles/ipcp_analysis.dir/analysis/ValueNumbering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ipcp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipcp_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipcp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

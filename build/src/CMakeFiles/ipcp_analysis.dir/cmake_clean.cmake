@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipcp_analysis.dir/analysis/CallGraph.cpp.o"
+  "CMakeFiles/ipcp_analysis.dir/analysis/CallGraph.cpp.o.d"
+  "CMakeFiles/ipcp_analysis.dir/analysis/DeadCodeElim.cpp.o"
+  "CMakeFiles/ipcp_analysis.dir/analysis/DeadCodeElim.cpp.o.d"
+  "CMakeFiles/ipcp_analysis.dir/analysis/ModRef.cpp.o"
+  "CMakeFiles/ipcp_analysis.dir/analysis/ModRef.cpp.o.d"
+  "CMakeFiles/ipcp_analysis.dir/analysis/Sccp.cpp.o"
+  "CMakeFiles/ipcp_analysis.dir/analysis/Sccp.cpp.o.d"
+  "CMakeFiles/ipcp_analysis.dir/analysis/ValueNumbering.cpp.o"
+  "CMakeFiles/ipcp_analysis.dir/analysis/ValueNumbering.cpp.o.d"
+  "libipcp_analysis.a"
+  "libipcp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipcp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ipcp/Cloning.cpp" "src/CMakeFiles/ipcp_core.dir/ipcp/Cloning.cpp.o" "gcc" "src/CMakeFiles/ipcp_core.dir/ipcp/Cloning.cpp.o.d"
+  "/root/repo/src/ipcp/Inliner.cpp" "src/CMakeFiles/ipcp_core.dir/ipcp/Inliner.cpp.o" "gcc" "src/CMakeFiles/ipcp_core.dir/ipcp/Inliner.cpp.o.d"
+  "/root/repo/src/ipcp/JumpFunction.cpp" "src/CMakeFiles/ipcp_core.dir/ipcp/JumpFunction.cpp.o" "gcc" "src/CMakeFiles/ipcp_core.dir/ipcp/JumpFunction.cpp.o.d"
+  "/root/repo/src/ipcp/JumpFunctionBuilder.cpp" "src/CMakeFiles/ipcp_core.dir/ipcp/JumpFunctionBuilder.cpp.o" "gcc" "src/CMakeFiles/ipcp_core.dir/ipcp/JumpFunctionBuilder.cpp.o.d"
+  "/root/repo/src/ipcp/Pipeline.cpp" "src/CMakeFiles/ipcp_core.dir/ipcp/Pipeline.cpp.o" "gcc" "src/CMakeFiles/ipcp_core.dir/ipcp/Pipeline.cpp.o.d"
+  "/root/repo/src/ipcp/Solver.cpp" "src/CMakeFiles/ipcp_core.dir/ipcp/Solver.cpp.o" "gcc" "src/CMakeFiles/ipcp_core.dir/ipcp/Solver.cpp.o.d"
+  "/root/repo/src/ipcp/Substitution.cpp" "src/CMakeFiles/ipcp_core.dir/ipcp/Substitution.cpp.o" "gcc" "src/CMakeFiles/ipcp_core.dir/ipcp/Substitution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ipcp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipcp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipcp_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipcp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

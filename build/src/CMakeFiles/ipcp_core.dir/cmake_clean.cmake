@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipcp_core.dir/ipcp/Cloning.cpp.o"
+  "CMakeFiles/ipcp_core.dir/ipcp/Cloning.cpp.o.d"
+  "CMakeFiles/ipcp_core.dir/ipcp/Inliner.cpp.o"
+  "CMakeFiles/ipcp_core.dir/ipcp/Inliner.cpp.o.d"
+  "CMakeFiles/ipcp_core.dir/ipcp/JumpFunction.cpp.o"
+  "CMakeFiles/ipcp_core.dir/ipcp/JumpFunction.cpp.o.d"
+  "CMakeFiles/ipcp_core.dir/ipcp/JumpFunctionBuilder.cpp.o"
+  "CMakeFiles/ipcp_core.dir/ipcp/JumpFunctionBuilder.cpp.o.d"
+  "CMakeFiles/ipcp_core.dir/ipcp/Pipeline.cpp.o"
+  "CMakeFiles/ipcp_core.dir/ipcp/Pipeline.cpp.o.d"
+  "CMakeFiles/ipcp_core.dir/ipcp/Solver.cpp.o"
+  "CMakeFiles/ipcp_core.dir/ipcp/Solver.cpp.o.d"
+  "CMakeFiles/ipcp_core.dir/ipcp/Substitution.cpp.o"
+  "CMakeFiles/ipcp_core.dir/ipcp/Substitution.cpp.o.d"
+  "libipcp_core.a"
+  "libipcp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipcp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/CfgBuilder.cpp" "src/CMakeFiles/ipcp_ir.dir/ir/CfgBuilder.cpp.o" "gcc" "src/CMakeFiles/ipcp_ir.dir/ir/CfgBuilder.cpp.o.d"
+  "/root/repo/src/ir/Dominators.cpp" "src/CMakeFiles/ipcp_ir.dir/ir/Dominators.cpp.o" "gcc" "src/CMakeFiles/ipcp_ir.dir/ir/Dominators.cpp.o.d"
+  "/root/repo/src/ir/Function.cpp" "src/CMakeFiles/ipcp_ir.dir/ir/Function.cpp.o" "gcc" "src/CMakeFiles/ipcp_ir.dir/ir/Function.cpp.o.d"
+  "/root/repo/src/ir/Instr.cpp" "src/CMakeFiles/ipcp_ir.dir/ir/Instr.cpp.o" "gcc" "src/CMakeFiles/ipcp_ir.dir/ir/Instr.cpp.o.d"
+  "/root/repo/src/ir/IrPrinter.cpp" "src/CMakeFiles/ipcp_ir.dir/ir/IrPrinter.cpp.o" "gcc" "src/CMakeFiles/ipcp_ir.dir/ir/IrPrinter.cpp.o.d"
+  "/root/repo/src/ir/Ssa.cpp" "src/CMakeFiles/ipcp_ir.dir/ir/Ssa.cpp.o" "gcc" "src/CMakeFiles/ipcp_ir.dir/ir/Ssa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ipcp_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipcp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

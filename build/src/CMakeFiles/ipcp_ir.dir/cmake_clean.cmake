@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipcp_ir.dir/ir/CfgBuilder.cpp.o"
+  "CMakeFiles/ipcp_ir.dir/ir/CfgBuilder.cpp.o.d"
+  "CMakeFiles/ipcp_ir.dir/ir/Dominators.cpp.o"
+  "CMakeFiles/ipcp_ir.dir/ir/Dominators.cpp.o.d"
+  "CMakeFiles/ipcp_ir.dir/ir/Function.cpp.o"
+  "CMakeFiles/ipcp_ir.dir/ir/Function.cpp.o.d"
+  "CMakeFiles/ipcp_ir.dir/ir/Instr.cpp.o"
+  "CMakeFiles/ipcp_ir.dir/ir/Instr.cpp.o.d"
+  "CMakeFiles/ipcp_ir.dir/ir/IrPrinter.cpp.o"
+  "CMakeFiles/ipcp_ir.dir/ir/IrPrinter.cpp.o.d"
+  "CMakeFiles/ipcp_ir.dir/ir/Ssa.cpp.o"
+  "CMakeFiles/ipcp_ir.dir/ir/Ssa.cpp.o.d"
+  "libipcp_ir.a"
+  "libipcp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipcp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipcp_lang.dir/lang/Ast.cpp.o"
+  "CMakeFiles/ipcp_lang.dir/lang/Ast.cpp.o.d"
+  "CMakeFiles/ipcp_lang.dir/lang/AstClone.cpp.o"
+  "CMakeFiles/ipcp_lang.dir/lang/AstClone.cpp.o.d"
+  "CMakeFiles/ipcp_lang.dir/lang/AstPrinter.cpp.o"
+  "CMakeFiles/ipcp_lang.dir/lang/AstPrinter.cpp.o.d"
+  "CMakeFiles/ipcp_lang.dir/lang/Lexer.cpp.o"
+  "CMakeFiles/ipcp_lang.dir/lang/Lexer.cpp.o.d"
+  "CMakeFiles/ipcp_lang.dir/lang/Parser.cpp.o"
+  "CMakeFiles/ipcp_lang.dir/lang/Parser.cpp.o.d"
+  "CMakeFiles/ipcp_lang.dir/lang/Sema.cpp.o"
+  "CMakeFiles/ipcp_lang.dir/lang/Sema.cpp.o.d"
+  "libipcp_lang.a"
+  "libipcp_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipcp_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

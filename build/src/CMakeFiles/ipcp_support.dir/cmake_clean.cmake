@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipcp_support.dir/support/Diagnostics.cpp.o"
+  "CMakeFiles/ipcp_support.dir/support/Diagnostics.cpp.o.d"
+  "CMakeFiles/ipcp_support.dir/support/TablePrinter.cpp.o"
+  "CMakeFiles/ipcp_support.dir/support/TablePrinter.cpp.o.d"
+  "libipcp_support.a"
+  "libipcp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipcp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

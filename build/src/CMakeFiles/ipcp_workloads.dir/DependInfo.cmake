@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/ProgramGen.cpp" "src/CMakeFiles/ipcp_workloads.dir/workloads/ProgramGen.cpp.o" "gcc" "src/CMakeFiles/ipcp_workloads.dir/workloads/ProgramGen.cpp.o.d"
+  "/root/repo/src/workloads/ProgramsA.cpp" "src/CMakeFiles/ipcp_workloads.dir/workloads/ProgramsA.cpp.o" "gcc" "src/CMakeFiles/ipcp_workloads.dir/workloads/ProgramsA.cpp.o.d"
+  "/root/repo/src/workloads/ProgramsB.cpp" "src/CMakeFiles/ipcp_workloads.dir/workloads/ProgramsB.cpp.o" "gcc" "src/CMakeFiles/ipcp_workloads.dir/workloads/ProgramsB.cpp.o.d"
+  "/root/repo/src/workloads/ProgramsC.cpp" "src/CMakeFiles/ipcp_workloads.dir/workloads/ProgramsC.cpp.o" "gcc" "src/CMakeFiles/ipcp_workloads.dir/workloads/ProgramsC.cpp.o.d"
+  "/root/repo/src/workloads/RandomProgram.cpp" "src/CMakeFiles/ipcp_workloads.dir/workloads/RandomProgram.cpp.o" "gcc" "src/CMakeFiles/ipcp_workloads.dir/workloads/RandomProgram.cpp.o.d"
+  "/root/repo/src/workloads/Suite.cpp" "src/CMakeFiles/ipcp_workloads.dir/workloads/Suite.cpp.o" "gcc" "src/CMakeFiles/ipcp_workloads.dir/workloads/Suite.cpp.o.d"
+  "/root/repo/src/workloads/Synthetic.cpp" "src/CMakeFiles/ipcp_workloads.dir/workloads/Synthetic.cpp.o" "gcc" "src/CMakeFiles/ipcp_workloads.dir/workloads/Synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ipcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipcp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipcp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipcp_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipcp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

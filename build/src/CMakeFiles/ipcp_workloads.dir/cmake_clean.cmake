@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipcp_workloads.dir/workloads/ProgramGen.cpp.o"
+  "CMakeFiles/ipcp_workloads.dir/workloads/ProgramGen.cpp.o.d"
+  "CMakeFiles/ipcp_workloads.dir/workloads/ProgramsA.cpp.o"
+  "CMakeFiles/ipcp_workloads.dir/workloads/ProgramsA.cpp.o.d"
+  "CMakeFiles/ipcp_workloads.dir/workloads/ProgramsB.cpp.o"
+  "CMakeFiles/ipcp_workloads.dir/workloads/ProgramsB.cpp.o.d"
+  "CMakeFiles/ipcp_workloads.dir/workloads/ProgramsC.cpp.o"
+  "CMakeFiles/ipcp_workloads.dir/workloads/ProgramsC.cpp.o.d"
+  "CMakeFiles/ipcp_workloads.dir/workloads/RandomProgram.cpp.o"
+  "CMakeFiles/ipcp_workloads.dir/workloads/RandomProgram.cpp.o.d"
+  "CMakeFiles/ipcp_workloads.dir/workloads/Suite.cpp.o"
+  "CMakeFiles/ipcp_workloads.dir/workloads/Suite.cpp.o.d"
+  "CMakeFiles/ipcp_workloads.dir/workloads/Synthetic.cpp.o"
+  "CMakeFiles/ipcp_workloads.dir/workloads/Synthetic.cpp.o.d"
+  "libipcp_workloads.a"
+  "libipcp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipcp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

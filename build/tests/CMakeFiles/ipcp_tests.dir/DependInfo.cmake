@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AstPrinterTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/AstPrinterTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/AstPrinterTests.cpp.o.d"
+  "/root/repo/tests/CallGraphTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/CallGraphTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/CallGraphTests.cpp.o.d"
+  "/root/repo/tests/CfgTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/CfgTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/CfgTests.cpp.o.d"
+  "/root/repo/tests/CloningTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/CloningTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/CloningTests.cpp.o.d"
+  "/root/repo/tests/DeadCodeElimTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/DeadCodeElimTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/DeadCodeElimTests.cpp.o.d"
+  "/root/repo/tests/DominatorTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/DominatorTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/DominatorTests.cpp.o.d"
+  "/root/repo/tests/EdgeCaseTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/EdgeCaseTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/EdgeCaseTests.cpp.o.d"
+  "/root/repo/tests/EndToEndTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/EndToEndTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/EndToEndTests.cpp.o.d"
+  "/root/repo/tests/FunctionTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/FunctionTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/FunctionTests.cpp.o.d"
+  "/root/repo/tests/FuzzTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/FuzzTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/FuzzTests.cpp.o.d"
+  "/root/repo/tests/GatedSsaTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/GatedSsaTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/GatedSsaTests.cpp.o.d"
+  "/root/repo/tests/InlinerTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/InlinerTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/InlinerTests.cpp.o.d"
+  "/root/repo/tests/IrPrinterTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/IrPrinterTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/IrPrinterTests.cpp.o.d"
+  "/root/repo/tests/JumpFunctionBuilderTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/JumpFunctionBuilderTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/JumpFunctionBuilderTests.cpp.o.d"
+  "/root/repo/tests/JumpFunctionTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/JumpFunctionTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/JumpFunctionTests.cpp.o.d"
+  "/root/repo/tests/LatticeTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/LatticeTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/LatticeTests.cpp.o.d"
+  "/root/repo/tests/LexerTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/LexerTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/LexerTests.cpp.o.d"
+  "/root/repo/tests/ModRefTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/ModRefTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/ModRefTests.cpp.o.d"
+  "/root/repo/tests/ParserTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/ParserTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/ParserTests.cpp.o.d"
+  "/root/repo/tests/PipelineTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/PipelineTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/PipelineTests.cpp.o.d"
+  "/root/repo/tests/ProgramGenTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/ProgramGenTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/ProgramGenTests.cpp.o.d"
+  "/root/repo/tests/SccpTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/SccpTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/SccpTests.cpp.o.d"
+  "/root/repo/tests/SemaTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/SemaTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/SemaTests.cpp.o.d"
+  "/root/repo/tests/SolverTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/SolverTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/SolverTests.cpp.o.d"
+  "/root/repo/tests/SsaTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/SsaTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/SsaTests.cpp.o.d"
+  "/root/repo/tests/SubstitutionTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/SubstitutionTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/SubstitutionTests.cpp.o.d"
+  "/root/repo/tests/SupportTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/SupportTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/SupportTests.cpp.o.d"
+  "/root/repo/tests/ValueNumberingTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/ValueNumberingTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/ValueNumberingTests.cpp.o.d"
+  "/root/repo/tests/WorkloadTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/WorkloadTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/WorkloadTests.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ipcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipcp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipcp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipcp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipcp_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipcp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipcp-driver.dir/ipcp-driver.cpp.o"
+  "CMakeFiles/ipcp-driver.dir/ipcp-driver.cpp.o.d"
+  "ipcp-driver"
+  "ipcp-driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipcp-driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

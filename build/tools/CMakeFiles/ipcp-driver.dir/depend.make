@@ -1,0 +1,2 @@
+# Empty dependencies file for ipcp-driver.
+# This may be replaced when dependencies are built.
