@@ -1,0 +1,147 @@
+//===- bench/parallel_speedup.cpp - Serial vs parallel wall clock ---------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reports the wall-clock speedup of the parallel execution layer at two
+/// granularities:
+///
+///   1. A single pipeline run on a large synthetic program, Threads=1 vs
+///      Threads=4, with the per-phase breakdown from PipelineResult's
+///      PhaseTimings (the fixpoint solve stays serial by design, so its
+///      column should be flat while jump functions / substitution drop).
+///   2. The batched suite runner over (12 programs x 9 configs), jobs
+///      1 vs 2 vs 4 vs 8.
+///
+/// Speedup numbers are reported, not asserted — they depend on the host.
+/// Determinism IS asserted: the exit code is nonzero if any parallel run
+/// disagrees with its serial twin.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ipcp/Pipeline.h"
+#include "support/TablePrinter.h"
+#include "support/ThreadPool.h"
+#include "workloads/Suite.h"
+#include "workloads/SuiteRunner.h"
+#include "workloads/Synthetic.h"
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+using namespace ipcp;
+
+namespace {
+
+std::string ms(double V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1f", V);
+  return Buf;
+}
+
+std::string ratio(double Serial, double Parallel) {
+  if (Parallel <= 0.0)
+    return "-";
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.2fx", Serial / Parallel);
+  return Buf;
+}
+
+bool sameResult(const PipelineResult &A, const PipelineResult &B) {
+  return A.Ok == B.Ok && A.SubstitutedConstants == B.SubstitutedConstants &&
+         A.ConstantPrints == B.ConstantPrints &&
+         A.PerProcSubstituted == B.PerProcSubstituted &&
+         A.Constants == B.Constants && A.NeverCalled == B.NeverCalled &&
+         A.SolverProcVisits == B.SolverProcVisits &&
+         A.SolverJfEvaluations == B.SolverJfEvaluations &&
+         A.SolverCellLowerings == B.SolverCellLowerings;
+}
+
+} // namespace
+
+int main() {
+  bool Deterministic = true;
+  std::cout << "Parallel execution layer: serial vs parallel wall clock\n";
+  std::cout << "(hardware threads reported: " << ThreadPool::hardwareThreads()
+            << ")\n\n";
+
+  // ---- Single-pipeline phase breakdown on a large synthetic program ----
+  SyntheticSpec Spec;
+  Spec.Procs = 160;
+  Spec.CallsPerProc = 4;
+  Spec.FillerLines = 30;
+  std::string Source = generateSynthetic(Spec);
+
+  PipelineOptions Serial;
+  Serial.Threads = 1;
+  PipelineResult RS = runPipeline(Source, Serial);
+
+  PipelineOptions Par = Serial;
+  Par.Threads = 4;
+  PipelineResult RP = runPipeline(Source, Par);
+
+  if (!RS.Ok || !RP.Ok) {
+    std::cerr << "pipeline failed: " << (RS.Ok ? RP.Error : RS.Error);
+    return 1;
+  }
+  if (!sameResult(RS, RP)) {
+    std::cerr << "FAIL: parallel pipeline diverged from serial\n";
+    Deterministic = false;
+  }
+
+  std::cout << "Pipeline phases on synthetic(" << Spec.Procs
+            << " procs), Threads=1 vs Threads=4:\n";
+  TablePrinter Phases;
+  Phases.addHeader({"Phase", "Serial ms", "4 threads ms", "Speedup"});
+  const PhaseTimings &TS = RS.Timings;
+  const PhaseTimings &TP = RP.Timings;
+  Phases.addRow({"frontend", ms(TS.FrontendMs), ms(TP.FrontendMs),
+                 ratio(TS.FrontendMs, TP.FrontendMs)});
+  Phases.addRow({"lower+modref", ms(TS.LowerMs), ms(TP.LowerMs),
+                 ratio(TS.LowerMs, TP.LowerMs)});
+  Phases.addRow({"jump functions", ms(TS.JumpFunctionsMs),
+                 ms(TP.JumpFunctionsMs),
+                 ratio(TS.JumpFunctionsMs, TP.JumpFunctionsMs)});
+  Phases.addRow({"solve (serial by design)", ms(TS.SolveMs), ms(TP.SolveMs),
+                 ratio(TS.SolveMs, TP.SolveMs)});
+  Phases.addRow({"substitution", ms(TS.SubstituteMs), ms(TP.SubstituteMs),
+                 ratio(TS.SubstituteMs, TP.SubstituteMs)});
+  Phases.addRow({"total", ms(TS.TotalMs), ms(TP.TotalMs),
+                 ratio(TS.TotalMs, TP.TotalMs)});
+  std::cout << Phases.str() << '\n';
+
+  // ---- Batched suite runner across job counts ----
+  auto Configs = allConfigs();
+  std::cout << "Suite runner, " << benchmarkSuite().size() << " programs x "
+            << Configs.size() << " configs:\n";
+  TablePrinter Batch;
+  Batch.addHeader({"Jobs", "Wall ms", "Cell-sum ms", "Speedup vs jobs=1"});
+
+  SuiteRunResult Base = runSuite(benchmarkSuite(), Configs, 1);
+  Batch.addRow({"1", ms(Base.WallMs), ms(Base.CellMs), "1.00x"});
+  for (unsigned Jobs : {2u, 4u, 8u}) {
+    SuiteRunResult R = runSuite(benchmarkSuite(), Configs, Jobs);
+    for (size_t I = 0; I != R.Cells.size(); ++I) {
+      const SuiteCell &A = Base.Cells[I], &B = R.Cells[I];
+      if (A.Ok != B.Ok || A.SubstitutedConstants != B.SubstitutedConstants ||
+          A.ConstantPrints != B.ConstantPrints) {
+        std::cerr << "FAIL: jobs=" << Jobs << " diverged on " << B.Program
+                  << '/' << B.Config << '\n';
+        Deterministic = false;
+      }
+    }
+    Batch.addRow({std::to_string(Jobs), ms(R.WallMs), ms(R.CellMs),
+                  ratio(Base.WallMs, R.WallMs)});
+  }
+  std::cout << Batch.str() << '\n';
+
+  if (!Deterministic) {
+    std::cout << "DETERMINISM: FAIL\n";
+    return 1;
+  }
+  std::cout << "DETERMINISM: OK (all parallel runs identical to serial)\n";
+  return 0;
+}

@@ -7,6 +7,7 @@
 #include "ipcp/JumpFunctionBuilder.h"
 
 #include "ir/Dominators.h"
+#include "support/ThreadPool.h"
 
 #include <cassert>
 
@@ -129,11 +130,209 @@ SccpKillFn ipcp::makeSccpKillFn(const ProgramJumpFunctions &Jfs,
   };
 }
 
+std::vector<std::vector<size_t>>
+ipcp::callAdjacencyWaves(const CallGraph &CG,
+                         const std::vector<ProcId> &Order) {
+  std::vector<uint32_t> Pos(CG.numProcs(), UINT32_MAX);
+  for (size_t I = 0; I != Order.size(); ++I)
+    Pos[Order[I]] = static_cast<uint32_t>(I);
+
+  std::vector<uint32_t> Wave(CG.numProcs(), 0);
+  std::vector<std::vector<size_t>> Waves;
+  for (size_t I = 0; I != Order.size(); ++I) {
+    ProcId P = Order[I];
+    uint32_t W = 0;
+    // Both call directions constrain: a pos-earlier callee must be fully
+    // built before P runs; a pos-earlier caller must have finished its
+    // read-as-absent lookup of P before P starts writing.
+    auto Consider = [&](ProcId Q) {
+      if (Q == P || Pos[Q] == UINT32_MAX || Pos[Q] >= I)
+        return;
+      W = std::max(W, Wave[Q] + 1);
+    };
+    for (const CallSite &S : CG.callSitesIn(P))
+      Consider(S.Callee);
+    for (const CallSite &S : CG.callSitesOf(P))
+      Consider(S.Caller);
+    Wave[P] = W;
+    if (W >= Waves.size())
+      Waves.resize(W + 1);
+    Waves[W].push_back(I);
+  }
+  return Waves;
+}
+
+namespace {
+
+/// Shared read-only inputs of the per-procedure builders.
+struct BuildContext {
+  const Module &M;
+  const SymbolTable &Symbols;
+  const CallGraph &CG;
+  const ModRefInfo *MRI;
+  const JumpFunctionOptions &Opts;
+  const SsaForm::KillOracle &KillOracle;
+  const KillValueFn *VnKillFnPtr;
+  ProgramJumpFunctions &Jfs;
+};
+
+/// Stage 1 for one procedure: fills Jfs.ReturnJfs[P]. Reads only the
+/// ReturnJfs of call-adjacent procedures (via VnKillFnPtr), which wave
+/// scheduling keeps race-free. Returns the stat deltas.
+JumpFunctionStats buildReturnJfsForProc(const BuildContext &BC, ProcId P) {
+  JumpFunctionStats Stats;
+  const Function &F = BC.M.function(P);
+  DominatorTree DT(F);
+  SsaForm Ssa(F, BC.Symbols, DT, BC.KillOracle);
+  VnContext Ctx;
+  ValueNumbering VN(Ssa, BC.Symbols, Ctx, BC.VnKillFnPtr,
+                    BC.Opts.UseGatedSsa ? &DT : nullptr);
+
+  auto &Out = BC.Jfs.ReturnJfs[P];
+  const auto &ExitSyms = Ssa.exitSymbols();
+  for (uint32_t I = 0, E = static_cast<uint32_t>(ExitSyms.size()); I != E;
+       ++I) {
+    SymbolId Sym = ExitSyms[I];
+    // With MOD: only modified symbols need an RJF (unmodified ones
+    // are never killed). Without MOD: everything may be killed, so
+    // every exit symbol gets one (identity RJFs recover pass-through
+    // values at worst-case kills).
+    if (BC.MRI && !BC.MRI->mods(P, Sym))
+      continue;
+    JumpFunction Rjf;
+    if (Ssa.hasExitEnv()) {
+      const VnExpr *Exit = VN.exprOf(Ssa.exitEnv()[I]);
+      Rjf = JumpFunction::classify(JumpFunctionKind::Polynomial, Exit,
+                                   /*IsLiteralOperand=*/false,
+                                   BC.Opts.UseGatedSsa);
+    }
+    ++Stats.NumReturn;
+    switch (Rjf.form()) {
+    case JumpFunction::Form::Const:
+      ++Stats.NumReturnConst;
+      break;
+    case JumpFunction::Form::Bottom:
+      ++Stats.NumReturnBottom;
+      break;
+    default:
+      ++Stats.NumReturnPoly;
+      break;
+    }
+    Out.emplace(Sym, std::move(Rjf));
+  }
+  return Stats;
+}
+
+/// Stage 2 for one procedure: fills Jfs.PerSite[P]. Reads only the fully
+/// built ReturnJfs, so every procedure is independent. Returns the stat
+/// deltas.
+JumpFunctionStats buildForwardJfsForProc(const BuildContext &BC, ProcId P) {
+  JumpFunctionStats Stats;
+  const Function &F = BC.M.function(P);
+
+  // The literal kind needs no intraprocedural analysis at all — "a
+  // textual scan of the call sites provides all the required
+  // information" (§3.1.5) — so it skips SSA and value numbering
+  // entirely; every other kind pays for them.
+  bool LiteralOnly = BC.Opts.Kind == JumpFunctionKind::Literal;
+  std::optional<DominatorTree> DT;
+  std::optional<SsaForm> Ssa;
+  std::optional<VnContext> Ctx;
+  std::optional<ValueNumbering> VN;
+  if (!LiteralOnly) {
+    DT.emplace(F);
+    Ssa.emplace(F, BC.Symbols, *DT, BC.KillOracle);
+    Ctx.emplace();
+    VN.emplace(*Ssa, BC.Symbols, *Ctx, BC.VnKillFnPtr,
+               BC.Opts.UseGatedSsa ? &*DT : nullptr);
+  }
+
+  auto recordStats = [&](const JumpFunction &J) {
+    ++Stats.NumForward;
+    switch (J.form()) {
+    case JumpFunction::Form::Const:
+      ++Stats.NumForwardConst;
+      break;
+    case JumpFunction::Form::PassThrough:
+      ++Stats.NumForwardPassThrough;
+      break;
+    case JumpFunction::Form::Poly:
+      ++Stats.NumForwardPoly;
+      Stats.TotalPolySupport += J.support().size();
+      Stats.MaxPolySupport =
+          std::max(Stats.MaxPolySupport, J.support().size());
+      break;
+    case JumpFunction::Form::Bottom:
+      ++Stats.NumForwardBottom;
+      break;
+    }
+  };
+
+  auto &Sites = BC.Jfs.PerSite[P];
+  for (const CallSite &S : BC.CG.callSitesIn(P)) {
+    const Instr &Call = F.block(S.Block).Instrs[S.InstrIdx];
+    CallSiteJumpFunctions SiteJfs;
+
+    const auto &Formals = BC.Symbols.formals(S.Callee);
+    for (uint32_t I = 0, E = static_cast<uint32_t>(Formals.size()); I != E;
+         ++I) {
+      JumpFunction J;
+      if (I < Call.Args.size()) {
+        if (LiteralOnly) {
+          if (Call.Args[I].isConst())
+            J = JumpFunction::constant(Call.Args[I].ConstValue);
+        } else {
+          const VnExpr *ArgExpr = VN->exprOfOperand(S.Block, S.InstrIdx, I);
+          J = JumpFunction::classify(BC.Opts.Kind, ArgExpr,
+                                     Call.Args[I].isConst(),
+                                     BC.Opts.UseGatedSsa);
+        }
+      }
+      recordStats(J);
+      SiteJfs.Args.push_back(std::move(J));
+    }
+
+    const auto &Globals = BC.Symbols.globalScalars();
+    for (uint32_t GI = 0, GE = static_cast<uint32_t>(Globals.size());
+         GI != GE; ++GI) {
+      JumpFunction J; // Literal: globals are never literal -> bottom.
+      if (!LiteralOnly) {
+        const InstrSsaInfo &Info = Ssa->instrInfo(S.Block, S.InstrIdx);
+        J = JumpFunction::classify(BC.Opts.Kind, VN->exprOf(Info.GlobalEnv[GI]),
+                                   /*IsLiteralOperand=*/false,
+                                   BC.Opts.UseGatedSsa);
+      }
+      recordStats(J);
+      SiteJfs.Globals.push_back(std::move(J));
+    }
+
+    Sites.push_back(std::move(SiteJfs));
+  }
+  return Stats;
+}
+
+void foldStats(JumpFunctionStats &Into, const JumpFunctionStats &S) {
+  Into.NumForward += S.NumForward;
+  Into.NumForwardConst += S.NumForwardConst;
+  Into.NumForwardPassThrough += S.NumForwardPassThrough;
+  Into.NumForwardPoly += S.NumForwardPoly;
+  Into.NumForwardBottom += S.NumForwardBottom;
+  Into.TotalPolySupport += S.TotalPolySupport;
+  Into.MaxPolySupport = std::max(Into.MaxPolySupport, S.MaxPolySupport);
+  Into.NumReturn += S.NumReturn;
+  Into.NumReturnConst += S.NumReturnConst;
+  Into.NumReturnPoly += S.NumReturnPoly;
+  Into.NumReturnBottom += S.NumReturnBottom;
+}
+
+} // namespace
+
 ProgramJumpFunctions ipcp::buildJumpFunctions(const Module &M,
                                               const SymbolTable &Symbols,
                                               const CallGraph &CG,
                                               const ModRefInfo *MRI,
-                                              const JumpFunctionOptions &Opts) {
+                                              const JumpFunctionOptions &Opts,
+                                              ThreadPool *Pool) {
   assert((Opts.UseMod == (MRI != nullptr)) &&
          "MOD info must be supplied exactly when UseMod is set");
 
@@ -152,135 +351,43 @@ ProgramJumpFunctions ipcp::buildJumpFunctions(const Module &M,
   KillValueFn VnKillFn = makeVnKillFn(Jfs, Symbols);
   const KillValueFn *VnKillFnPtr = UseRjf ? &VnKillFn : nullptr;
 
+  BuildContext BC{M, Symbols, CG, MRI, Opts, KillOracle, VnKillFnPtr, Jfs};
+
   // Stage 1: return jump functions, bottom-up so callee RJFs are ready
   // when a caller's value numbering wants them. Within a recursive SCC
   // the not-yet-built callee RJFs simply read as bottom (conservative).
+  // In parallel mode, call-adjacent procedures run in separate ordered
+  // waves so each procedure observes exactly the serial schedule's view
+  // of its neighbours' RJF maps.
   if (UseRjf) {
-    for (ProcId P : CG.bottomUpOrder()) {
-      const Function &F = M.function(P);
-      DominatorTree DT(F);
-      SsaForm Ssa(F, Symbols, DT, KillOracle);
-      VnContext Ctx;
-      ValueNumbering VN(Ssa, Symbols, Ctx, VnKillFnPtr,
-                        Opts.UseGatedSsa ? &DT : nullptr);
-
-      auto &Out = Jfs.ReturnJfs[P];
-      const auto &ExitSyms = Ssa.exitSymbols();
-      for (uint32_t I = 0, E = static_cast<uint32_t>(ExitSyms.size());
-           I != E; ++I) {
-        SymbolId Sym = ExitSyms[I];
-        // With MOD: only modified symbols need an RJF (unmodified ones
-        // are never killed). Without MOD: everything may be killed, so
-        // every exit symbol gets one (identity RJFs recover pass-through
-        // values at worst-case kills).
-        if (MRI && !MRI->mods(P, Sym))
-          continue;
-        JumpFunction Rjf;
-        if (Ssa.hasExitEnv()) {
-          const VnExpr *Exit = VN.exprOf(Ssa.exitEnv()[I]);
-          Rjf = JumpFunction::classify(JumpFunctionKind::Polynomial, Exit,
-                                       /*IsLiteralOperand=*/false,
-                                       Opts.UseGatedSsa);
-        }
-        ++Jfs.Stats.NumReturn;
-        switch (Rjf.form()) {
-        case JumpFunction::Form::Const:
-          ++Jfs.Stats.NumReturnConst;
-          break;
-        case JumpFunction::Form::Bottom:
-          ++Jfs.Stats.NumReturnBottom;
-          break;
-        default:
-          ++Jfs.Stats.NumReturnPoly;
-          break;
-        }
-        Out.emplace(Sym, std::move(Rjf));
-      }
+    const auto &Order = CG.bottomUpOrder();
+    std::vector<JumpFunctionStats> PerProc(Order.size());
+    auto BuildAt = [&](size_t I) {
+      PerProc[I] = buildReturnJfsForProc(BC, Order[I]);
+    };
+    if (!Pool) {
+      for (size_t I = 0; I != Order.size(); ++I)
+        BuildAt(I);
+    } else {
+      for (const auto &WaveIdx : callAdjacencyWaves(CG, Order))
+        parallelFor(Pool, WaveIdx.size(),
+                    [&](size_t I) { BuildAt(WaveIdx[I]); });
     }
+    for (const JumpFunctionStats &S : PerProc)
+      foldStats(Jfs.Stats, S);
   }
 
   // Stage 2: forward jump functions for every call site of every
-  // reachable procedure. The literal kind needs no intraprocedural
-  // analysis at all — "a textual scan of the call sites provides all the
-  // required information" (§3.1.5) — so it skips SSA and value numbering
-  // entirely; every other kind pays for them.
-  bool LiteralOnly = Opts.Kind == JumpFunctionKind::Literal;
-  for (ProcId P : CG.topDownOrder()) {
-    const Function &F = M.function(P);
-    std::optional<DominatorTree> DT;
-    std::optional<SsaForm> Ssa;
-    std::optional<VnContext> Ctx;
-    std::optional<ValueNumbering> VN;
-    if (!LiteralOnly) {
-      DT.emplace(F);
-      Ssa.emplace(F, Symbols, *DT, KillOracle);
-      Ctx.emplace();
-      VN.emplace(*Ssa, Symbols, *Ctx, VnKillFnPtr,
-                 Opts.UseGatedSsa ? &*DT : nullptr);
-    }
-
-    auto recordStats = [&](const JumpFunction &J) {
-      ++Jfs.Stats.NumForward;
-      switch (J.form()) {
-      case JumpFunction::Form::Const:
-        ++Jfs.Stats.NumForwardConst;
-        break;
-      case JumpFunction::Form::PassThrough:
-        ++Jfs.Stats.NumForwardPassThrough;
-        break;
-      case JumpFunction::Form::Poly:
-        ++Jfs.Stats.NumForwardPoly;
-        Jfs.Stats.TotalPolySupport += J.support().size();
-        Jfs.Stats.MaxPolySupport =
-            std::max(Jfs.Stats.MaxPolySupport, J.support().size());
-        break;
-      case JumpFunction::Form::Bottom:
-        ++Jfs.Stats.NumForwardBottom;
-        break;
-      }
-    };
-
-    auto &Sites = Jfs.PerSite[P];
-    for (const CallSite &S : CG.callSitesIn(P)) {
-      const Instr &Call = F.block(S.Block).Instrs[S.InstrIdx];
-      CallSiteJumpFunctions SiteJfs;
-
-      const auto &Formals = Symbols.formals(S.Callee);
-      for (uint32_t I = 0, E = static_cast<uint32_t>(Formals.size());
-           I != E; ++I) {
-        JumpFunction J;
-        if (I < Call.Args.size()) {
-          if (LiteralOnly) {
-            if (Call.Args[I].isConst())
-              J = JumpFunction::constant(Call.Args[I].ConstValue);
-          } else {
-            const VnExpr *ArgExpr =
-                VN->exprOfOperand(S.Block, S.InstrIdx, I);
-            J = JumpFunction::classify(Opts.Kind, ArgExpr,
-                                       Call.Args[I].isConst(),
-                                       Opts.UseGatedSsa);
-          }
-        }
-        recordStats(J);
-        SiteJfs.Args.push_back(std::move(J));
-      }
-
-      const auto &Globals = Symbols.globalScalars();
-      for (uint32_t GI = 0, GE = static_cast<uint32_t>(Globals.size());
-           GI != GE; ++GI) {
-        JumpFunction J; // Literal: globals are never literal -> bottom.
-        if (!LiteralOnly) {
-          const InstrSsaInfo &Info = Ssa->instrInfo(S.Block, S.InstrIdx);
-          J = JumpFunction::classify(Opts.Kind, VN->exprOf(Info.GlobalEnv[GI]),
-                                     /*IsLiteralOperand=*/false,
-                                     Opts.UseGatedSsa);
-        }
-        recordStats(J);
-        SiteJfs.Globals.push_back(std::move(J));
-      }
-
-      Sites.push_back(std::move(SiteJfs));
-    }
+  // reachable procedure. The RJFs are now read-only, so every procedure
+  // is independent: one flat parallelFor.
+  {
+    const auto &Order = CG.topDownOrder();
+    std::vector<JumpFunctionStats> PerProc(Order.size());
+    parallelFor(Pool, Order.size(), [&](size_t I) {
+      PerProc[I] = buildForwardJfsForProc(BC, Order[I]);
+    });
+    for (const JumpFunctionStats &S : PerProc)
+      foldStats(Jfs.Stats, S);
   }
 
   return Jfs;

@@ -39,6 +39,10 @@
 #include <vector>
 
 namespace ipcp {
+class ThreadPool;
+}
+
+namespace ipcp {
 
 /// Configuration of one jump-function generation run.
 struct JumpFunctionOptions {
@@ -116,11 +120,35 @@ public:
 };
 
 /// Runs stages 1 and 2. \p MRI must be non-null iff Opts.UseMod.
+///
+/// With a non-null \p Pool the per-procedure work (SSA, value numbering,
+/// classification) runs across the pool's workers; the result is
+/// bit-identical to the serial run. Stage 1's bottom-up dependency —
+/// value numbering reads the return jump functions of callees built
+/// earlier in CallGraph::bottomUpOrder(), and reads not-yet-built ones
+/// as absent — is preserved by scheduling call-adjacent procedures into
+/// ordered waves (see callAdjacencyWaves); stage 2 has no cross-procedure
+/// dependency at all. Statistics are accumulated per procedure and folded
+/// in the serial order.
 ProgramJumpFunctions buildJumpFunctions(const Module &M,
                                         const SymbolTable &Symbols,
                                         const CallGraph &CG,
                                         const ModRefInfo *MRI,
-                                        const JumpFunctionOptions &Opts);
+                                        const JumpFunctionOptions &Opts,
+                                        ThreadPool *Pool = nullptr);
+
+/// Partitions \p Order (a serial processing order over procedures) into
+/// waves such that running each wave's members concurrently, with a
+/// barrier between waves, observes exactly the serial schedule's
+/// cross-procedure reads: for every call edge between two procedures, the
+/// one later in \p Order lands in a strictly later wave, so the earlier
+/// one's output is either fully built (earlier wave) or untouched (later
+/// wave) whenever an adjacent procedure looks at it. Procedures not
+/// call-adjacent carry no constraint and pack into early waves. Returned
+/// waves hold indices into \p Order; concatenated they are a permutation
+/// of it. Exposed for testing.
+std::vector<std::vector<size_t>>
+callAdjacencyWaves(const CallGraph &CG, const std::vector<ProcId> &Order);
 
 /// Kill-value callback for ValueNumbering: evaluates the callee's return
 /// jump function with the intraprocedural constants flowing into the

@@ -9,10 +9,28 @@
 #include "ir/CfgBuilder.h"
 #include "lang/AstPrinter.h"
 #include "lang/Parser.h"
+#include "support/ThreadPool.h"
 
 #include <cassert>
+#include <chrono>
+#include <memory>
 
 using namespace ipcp;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Milliseconds elapsed since \p Start; advances Start to now so callers
+/// can chain phase measurements.
+double lapMs(Clock::time_point &Start) {
+  Clock::time_point Now = Clock::now();
+  double Ms = std::chrono::duration<double, std::milli>(Now - Start).count();
+  Start = Now;
+  return Ms;
+}
+
+} // namespace
 
 PipelineResult ipcp::runPipelineOnAst(AstContext &Ctx,
                                       const SymbolTable &Symbols,
@@ -24,6 +42,14 @@ PipelineResult ipcp::runPipelineOnAst(AstContext &Ctx,
     Result.Error = "program has no 'main' procedure";
     return Result;
   }
+
+  Clock::time_point RunStart = Clock::now();
+
+  // The pool outlives the complete-propagation rounds, so its workers
+  // are spawned once per pipeline run.
+  std::unique_ptr<ThreadPool> Pool;
+  if (Opts.Threads != 1)
+    Pool = std::make_unique<ThreadPool>(Opts.Threads);
 
   for (const auto &P : Prog.Procs)
     Result.ProcNames.push_back(P->name());
@@ -37,12 +63,15 @@ PipelineResult ipcp::runPipelineOnAst(AstContext &Ctx,
   for (unsigned Round = 0;; ++Round) {
     assert(Round < 16 && "complete propagation failed to converge");
 
+    Clock::time_point Phase = Clock::now();
+
     Module M = buildModule(Prog, Symbols);
     CallGraph CG(M, *Entry);
 
     std::optional<ModRefInfo> MRI;
     if (Opts.UseMod)
       MRI.emplace(M, Symbols, CG);
+    Result.Timings.LowerMs += lapMs(Phase);
 
     ProgramJumpFunctions Jfs;
     SolveResult Solve;
@@ -54,14 +83,17 @@ PipelineResult ipcp::runPipelineOnAst(AstContext &Ctx,
       JfOpts.UseMod = Opts.UseMod;
       JfOpts.UseGatedSsa = Opts.UseGatedSsa;
       Jfs = buildJumpFunctions(M, Symbols, CG, MRI ? &*MRI : nullptr,
-                               JfOpts);
+                               JfOpts, Pool.get());
+      Result.Timings.JumpFunctionsMs += lapMs(Phase);
       Solve = solveConstants(Symbols, CG, Jfs, Opts.Strategy);
+      Result.Timings.SolveMs += lapMs(Phase);
       UseRjfInSccp = Opts.UseReturnJumpFunctions;
     }
 
     SubstitutionResult Subs = countSubstitutions(
         M, Symbols, CG, Opts.IntraproceduralOnly ? nullptr : &Solve,
-        MRI ? &*MRI : nullptr, UseRjfInSccp ? &Jfs : nullptr);
+        MRI ? &*MRI : nullptr, UseRjfInSccp ? &Jfs : nullptr, Pool.get());
+    Result.Timings.SubstituteMs += lapMs(Phase);
 
     bool FinalRound = true;
     if (Opts.CompletePropagation && !Subs.Branches.empty()) {
@@ -109,12 +141,16 @@ PipelineResult ipcp::runPipelineOnAst(AstContext &Ctx,
       Result.TransformedSource = Printer.programToString(Prog);
     }
     Result.Substitutions = std::move(Subs.Map);
+    Result.Timings.TotalMs +=
+        std::chrono::duration<double, std::milli>(Clock::now() - RunStart)
+            .count();
     return Result;
   }
 }
 
 PipelineResult ipcp::runPipeline(std::string_view Source,
                                  const PipelineOptions &Opts) {
+  Clock::time_point Start = Clock::now();
   DiagnosticEngine Diags;
   auto Ctx = parseProgram(Source, Diags);
   SymbolTable Symbols;
@@ -125,5 +161,9 @@ PipelineResult ipcp::runPipeline(std::string_view Source,
     Result.Error = Diags.str();
     return Result;
   }
-  return runPipelineOnAst(*Ctx, Symbols, Opts);
+  double FrontendMs = lapMs(Start);
+  PipelineResult Result = runPipelineOnAst(*Ctx, Symbols, Opts);
+  Result.Timings.FrontendMs = FrontendMs;
+  Result.Timings.TotalMs += FrontendMs;
+  return Result;
 }

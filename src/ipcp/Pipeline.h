@@ -53,6 +53,24 @@ struct PipelineOptions {
   SolverStrategy Strategy = SolverStrategy::Worklist;
   /// Also render the transformed source with constants substituted.
   bool EmitTransformedSource = false;
+  /// Worker threads for the per-procedure phases (SSA, value numbering,
+  /// jump-function generation, substitution counting). 1 = serial; 0 =
+  /// one per hardware thread. The interprocedural solver's fixpoint
+  /// always runs serially, and results are bit-identical at any count
+  /// (see README "Threading model").
+  unsigned Threads = 1;
+};
+
+/// Wall-clock cost of each pipeline phase, in milliseconds. Accumulated
+/// across complete-propagation rounds. The only PipelineResult fields
+/// that legitimately vary between reruns or thread counts.
+struct PhaseTimings {
+  double FrontendMs = 0;      ///< Parse + sema (runPipeline entry only).
+  double LowerMs = 0;         ///< CFG lowering + call graph + MOD/REF.
+  double JumpFunctionsMs = 0; ///< Stages 1 and 2 (parallelizable).
+  double SolveMs = 0;         ///< Interprocedural fixpoint (serial).
+  double SubstituteMs = 0;    ///< Seeded SCCP + counting (parallelizable).
+  double TotalMs = 0;         ///< Everything, including DCE and printing.
 };
 
 /// Everything one run reports.
@@ -97,6 +115,11 @@ struct PipelineResult {
 
   /// Transformed source (only when EmitTransformedSource).
   std::string TransformedSource;
+
+  /// Per-phase wall-clock timings. Excluded from determinism
+  /// comparisons — every other field is bit-identical across thread
+  /// counts and solver strategies.
+  PhaseTimings Timings;
 };
 
 /// Parses, checks, and analyzes \p Source under \p Opts.

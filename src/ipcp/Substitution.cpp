@@ -8,18 +8,93 @@
 
 #include "analysis/Sccp.h"
 #include "ir/Dominators.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
 
 using namespace ipcp;
 
+namespace {
+
+/// One procedure's share of the substitution pass.
+struct ProcSubstitutions {
+  unsigned Count = 0;
+  unsigned ConstantPrints = 0;
+  SubstitutionMap Map;
+  DeadCodeElim::Decisions Branches;
+};
+
+ProcSubstitutions countProc(const Module &M, const SymbolTable &Symbols,
+                            const SolveResult *Solve,
+                            const SsaForm::KillOracle &KillOracle,
+                            const SccpKillFn *KillFnPtr, ProcId P) {
+  ProcSubstitutions Out;
+  const Function &F = M.function(P);
+  DominatorTree DT(F);
+  SsaForm Ssa(F, Symbols, DT, KillOracle);
+
+  // Seed the entry lattice with this procedure's CONSTANTS set.
+  SccpSeeds Seeds;
+  if (Solve)
+    for (const auto &[Sym, V] : Solve->Val.at(P))
+      Seeds.emplace(Sym, V);
+
+  Sccp Analysis(Ssa, Symbols, Solve ? &Seeds : nullptr, KillFnPtr);
+
+  for (BlockId B = 0, BE = static_cast<BlockId>(F.numBlocks()); B != BE;
+       ++B) {
+    if (!Analysis.blockExecutable(B))
+      continue;
+    const auto &Instrs = F.block(B).Instrs;
+    for (uint32_t I = 0, IE = static_cast<uint32_t>(Instrs.size());
+         I != IE; ++I) {
+      const Instr &In = Instrs[I];
+      const InstrSsaInfo &Info = Ssa.instrInfo(B, I);
+
+      // A by-reference actual the callee may modify must stay a
+      // variable.
+      auto unsubstitutable = [&](const Operand &Op) {
+        if (In.Op != Opcode::Call || !Op.isVar())
+          return false;
+        for (const auto &[Killed, Def] : Info.Kills)
+          if (Killed == Op.Sym)
+            return true;
+        return false;
+      };
+
+      if (In.Op == Opcode::Print &&
+          Analysis.operandValue(B, I, 0).isConst())
+        ++Out.ConstantPrints;
+
+      uint32_t Slot = 0;
+      In.forEachUse([&](const Operand &Op) {
+        uint32_t S = Slot++;
+        if (!Op.isVar() || Op.SourceExpr == 0 || unsubstitutable(Op))
+          return;
+        LatticeValue V = Analysis.value(Info.UseSsa[S]);
+        if (!V.isConst())
+          return;
+        ++Out.Count;
+        Out.Map.emplace(Op.SourceExpr, V.value());
+      });
+    }
+  }
+
+  for (auto [StmtId, Taken] : Analysis.constantBranches())
+    Out.Branches.emplace(StmtId, Taken);
+  return Out;
+}
+
+} // namespace
+
 SubstitutionResult ipcp::countSubstitutions(const Module &M,
                                             const SymbolTable &Symbols,
                                             const CallGraph &CG,
                                             const SolveResult *Solve,
                                             const ModRefInfo *MRI,
-                                            const ProgramJumpFunctions *Jfs) {
+                                            const ProgramJumpFunctions *Jfs,
+                                            ThreadPool *Pool) {
   SubstitutionResult Result;
   Result.PerProc.assign(M.Functions.size(), 0);
 
@@ -31,61 +106,24 @@ SubstitutionResult ipcp::countSubstitutions(const Module &M,
     KillFnPtr = &KillFn;
   }
 
-  for (ProcId P : CG.topDownOrder()) {
-    const Function &F = M.function(P);
-    DominatorTree DT(F);
-    SsaForm Ssa(F, Symbols, DT, KillOracle);
+  // Fan the procedures out (each reads only immutable state and writes
+  // its own slot), then merge serially in the fixed top-down order. The
+  // merged maps are keyed by program-unique expression/statement ids, so
+  // the merge is disjoint and the result identical to the serial pass.
+  const auto &Order = CG.topDownOrder();
+  std::vector<ProcSubstitutions> PerProc(Order.size());
+  parallelFor(Pool, Order.size(), [&](size_t I) {
+    PerProc[I] =
+        countProc(M, Symbols, Solve, KillOracle, KillFnPtr, Order[I]);
+  });
 
-    // Seed the entry lattice with this procedure's CONSTANTS set.
-    SccpSeeds Seeds;
-    if (Solve)
-      for (const auto &[Sym, V] : Solve->Val.at(P))
-        Seeds.emplace(Sym, V);
-
-    Sccp Analysis(Ssa, Symbols, Solve ? &Seeds : nullptr, KillFnPtr);
-
-    for (BlockId B = 0, BE = static_cast<BlockId>(F.numBlocks()); B != BE;
-         ++B) {
-      if (!Analysis.blockExecutable(B))
-        continue;
-      const auto &Instrs = F.block(B).Instrs;
-      for (uint32_t I = 0, IE = static_cast<uint32_t>(Instrs.size());
-           I != IE; ++I) {
-        const Instr &In = Instrs[I];
-        const InstrSsaInfo &Info = Ssa.instrInfo(B, I);
-
-        // A by-reference actual the callee may modify must stay a
-        // variable.
-        auto unsubstitutable = [&](const Operand &Op) {
-          if (In.Op != Opcode::Call || !Op.isVar())
-            return false;
-          for (const auto &[Killed, Def] : Info.Kills)
-            if (Killed == Op.Sym)
-              return true;
-          return false;
-        };
-
-        if (In.Op == Opcode::Print &&
-            Analysis.operandValue(B, I, 0).isConst())
-          ++Result.ConstantPrints;
-
-        uint32_t Slot = 0;
-        In.forEachUse([&](const Operand &Op) {
-          uint32_t S = Slot++;
-          if (!Op.isVar() || Op.SourceExpr == 0 || unsubstitutable(Op))
-            return;
-          LatticeValue V = Analysis.value(Info.UseSsa[S]);
-          if (!V.isConst())
-            return;
-          ++Result.Total;
-          ++Result.PerProc[P];
-          Result.Map.emplace(Op.SourceExpr, V.value());
-        });
-      }
-    }
-
-    for (auto [StmtId, Taken] : Analysis.constantBranches())
-      Result.Branches.emplace(StmtId, Taken);
+  for (size_t I = 0; I != Order.size(); ++I) {
+    ProcSubstitutions &PS = PerProc[I];
+    Result.Total += PS.Count;
+    Result.PerProc[Order[I]] = PS.Count;
+    Result.ConstantPrints += PS.ConstantPrints;
+    Result.Map.insert(PS.Map.begin(), PS.Map.end());
+    Result.Branches.insert(PS.Branches.begin(), PS.Branches.end());
   }
 
   return Result;

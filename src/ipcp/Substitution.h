@@ -59,12 +59,19 @@ struct SubstitutionResult {
 /// purely intraprocedural baseline (all entries BOTTOM). \p MRI controls
 /// call kill sets (null = worst case). \p Jfs supplies return jump
 /// functions for call-kill recovery; pass null to disable them.
+///
+/// Each procedure's SCCP run is independent (it reads only the immutable
+/// module and the frozen CONSTANTS sets), so with a non-null \p Pool the
+/// procedures fan out across the workers; per-procedure partial results
+/// are merged on the calling thread in the serial order, making the
+/// outcome bit-identical to the serial run.
 SubstitutionResult countSubstitutions(const Module &M,
                                       const SymbolTable &Symbols,
                                       const CallGraph &CG,
                                       const SolveResult *Solve,
                                       const ModRefInfo *MRI,
-                                      const ProgramJumpFunctions *Jfs);
+                                      const ProgramJumpFunctions *Jfs,
+                                      ThreadPool *Pool = nullptr);
 
 } // namespace ipcp
 

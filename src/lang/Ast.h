@@ -457,7 +457,7 @@ public:
     auto Node = std::make_unique<T>(Loc, NextExprId++,
                                     std::forward<Args>(Rest)...);
     T *Raw = Node.get();
-    Exprs.push_back(std::move(Node));
+    Exprs.emplace_back(Node.release(), deleterFor<T>());
     return Raw;
   }
 
@@ -467,7 +467,7 @@ public:
     auto Node = std::make_unique<T>(Loc, NextStmtId++,
                                     std::forward<Args>(Rest)...);
     T *Raw = Node.get();
-    Stmts.push_back(std::move(Node));
+    Stmts.emplace_back(Node.release(), deleterFor<T>());
     return Raw;
   }
 
@@ -478,9 +478,18 @@ public:
   const Program &program() const { return Prog; }
 
 private:
+  // Nodes are kind-tagged, not virtual, so each one is stored with a
+  // deleter for its concrete type — deleting through the base pointer
+  // would be undefined behavior.
+  using NodePtr = std::unique_ptr<void, void (*)(void *)>;
+
+  template <typename T> static void (*deleterFor())(void *) {
+    return [](void *P) { delete static_cast<T *>(P); };
+  }
+
   Program Prog;
-  std::vector<std::unique_ptr<Expr>> Exprs;
-  std::vector<std::unique_ptr<Stmt>> Stmts;
+  std::vector<NodePtr> Exprs;
+  std::vector<NodePtr> Stmts;
   ExprId NextExprId = 1;
   StmtId NextStmtId = 1;
 };

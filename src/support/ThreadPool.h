@@ -1,0 +1,83 @@
+//===- support/ThreadPool.h - Reusable worker-thread pool -------*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool plus a parallelFor helper, used by the
+/// per-procedure analysis phases (jump-function generation, substitution
+/// counting) and the batched suite runner. The design constraint is
+/// determinism: callers hand parallelFor an index space where every index
+/// writes only its own result slot, so the output is bit-identical to a
+/// serial loop regardless of worker count or scheduling. Anything
+/// order-sensitive (stats folding, map merging, the solver fixpoint)
+/// stays on the calling thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_SUPPORT_THREADPOOL_H
+#define IPCP_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ipcp {
+
+/// A fixed pool of worker threads consuming a shared task queue.
+///
+/// Tasks must not throw: an escaping exception would terminate the
+/// process. One thread orchestrates the pool at a time (post/wait are
+/// mutually thread-safe, but wait() waits for *all* posted tasks, so
+/// concurrent orchestrators would observe each other's work).
+class ThreadPool {
+public:
+  /// Spawns \p Threads workers; 0 means one per hardware thread.
+  explicit ThreadPool(unsigned Threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueues \p Task to run on some worker.
+  void post(std::function<void()> Task);
+
+  /// Blocks until every posted task has finished.
+  void wait();
+
+  /// std::thread::hardware_concurrency, but never 0.
+  static unsigned hardwareThreads();
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::queue<std::function<void()>> Queue;
+  std::mutex Mutex;
+  std::condition_variable WorkReady;
+  std::condition_variable AllDone;
+  size_t Outstanding = 0; ///< Queued + currently running tasks.
+  bool Stopping = false;
+};
+
+/// Runs Fn(I) for every I in [0, N).
+///
+/// With a null \p Pool the loop runs serially on the calling thread;
+/// otherwise indices are claimed dynamically by the workers and the
+/// calling thread together, and the call returns once all N indices have
+/// completed. Fn must be safe to invoke concurrently and must write only
+/// per-index state; under that contract the result is identical to the
+/// serial loop for any worker count.
+void parallelFor(ThreadPool *Pool, size_t N,
+                 const std::function<void(size_t)> &Fn);
+
+} // namespace ipcp
+
+#endif // IPCP_SUPPORT_THREADPOOL_H

@@ -1,0 +1,116 @@
+//===- workloads/SuiteRunner.cpp - Batched multi-config suite runs --------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/SuiteRunner.h"
+
+#include "support/ThreadPool.h"
+
+#include <chrono>
+
+using namespace ipcp;
+
+namespace {
+
+SuiteConfig makeConfig(std::string Name,
+                       JumpFunctionKind Kind = JumpFunctionKind::Polynomial,
+                       bool Rjf = true, bool Mod = true) {
+  SuiteConfig C;
+  C.Name = std::move(Name);
+  C.Opts.Kind = Kind;
+  C.Opts.UseReturnJumpFunctions = Rjf;
+  C.Opts.UseMod = Mod;
+  return C;
+}
+
+} // namespace
+
+std::vector<SuiteConfig> ipcp::table2Configs() {
+  return {
+      makeConfig("poly", JumpFunctionKind::Polynomial),
+      makeConfig("pass", JumpFunctionKind::PassThrough),
+      makeConfig("intra", JumpFunctionKind::IntraConst),
+      makeConfig("literal", JumpFunctionKind::Literal),
+      makeConfig("poly-norjf", JumpFunctionKind::Polynomial, /*Rjf=*/false),
+      makeConfig("pass-norjf", JumpFunctionKind::PassThrough, /*Rjf=*/false),
+  };
+}
+
+std::vector<SuiteConfig> ipcp::table3Configs() {
+  std::vector<SuiteConfig> Configs;
+  Configs.push_back(makeConfig("poly-nomod", JumpFunctionKind::Polynomial,
+                               /*Rjf=*/true, /*Mod=*/false));
+  SuiteConfig Complete = makeConfig("complete");
+  Complete.Opts.CompletePropagation = true;
+  Configs.push_back(std::move(Complete));
+  SuiteConfig IntraOnly = makeConfig("intra-only");
+  IntraOnly.Opts.IntraproceduralOnly = true;
+  Configs.push_back(std::move(IntraOnly));
+  return Configs;
+}
+
+std::vector<SuiteConfig> ipcp::allConfigs() {
+  std::vector<SuiteConfig> Configs = table2Configs();
+  for (SuiteConfig &C : table3Configs())
+    Configs.push_back(std::move(C));
+  return Configs;
+}
+
+std::vector<SuiteConfig> ipcp::configsByName(const std::string &Name) {
+  if (Name == "all")
+    return allConfigs();
+  if (Name == "table2")
+    return table2Configs();
+  if (Name == "table3")
+    return table3Configs();
+  return {};
+}
+
+SuiteRunResult ipcp::runSuite(const std::vector<WorkloadProgram> &Programs,
+                              const std::vector<SuiteConfig> &Configs,
+                              unsigned Jobs, unsigned ThreadsPerRun) {
+  using Clock = std::chrono::steady_clock;
+
+  SuiteRunResult Result;
+  Result.NumPrograms = Programs.size();
+  Result.NumConfigs = Configs.size();
+  Result.Cells.resize(Programs.size() * Configs.size());
+
+  // Complete propagation mutates the analyzed AST, so every cell
+  // re-parses from source inside runPipeline: cells share nothing and
+  // can fan out freely.
+  std::unique_ptr<ThreadPool> Pool;
+  if (Jobs != 1)
+    Pool = std::make_unique<ThreadPool>(Jobs);
+
+  Clock::time_point BatchStart = Clock::now();
+  parallelFor(Pool.get(), Result.Cells.size(), [&](size_t I) {
+    size_t P = I / Configs.size();
+    size_t C = I % Configs.size();
+    SuiteCell &Cell = Result.Cells[I];
+    Cell.Program = Programs[P].Name;
+    Cell.Config = Configs[C].Name;
+
+    PipelineOptions Opts = Configs[C].Opts;
+    Opts.Threads = ThreadsPerRun;
+    Clock::time_point CellStart = Clock::now();
+    PipelineResult R = runPipeline(Programs[P].Source, Opts);
+    Cell.Millis = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                            CellStart)
+                      .count();
+    Cell.Ok = R.Ok;
+    Cell.SubstitutedConstants = R.SubstitutedConstants;
+    Cell.ConstantPrints = R.ConstantPrints;
+  });
+  Result.WallMs =
+      std::chrono::duration<double, std::milli>(Clock::now() - BatchStart)
+          .count();
+
+  for (const SuiteCell &Cell : Result.Cells) {
+    Result.CellMs += Cell.Millis;
+    Result.TotalSubstituted += Cell.SubstitutedConstants;
+  }
+  return Result;
+}

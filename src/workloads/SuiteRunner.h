@@ -1,0 +1,87 @@
+//===- workloads/SuiteRunner.h - Batched multi-config suite runs *- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs the analyzer over a whole suite of programs under many
+/// configurations at once — every column of the paper's Tables 2 and 3
+/// as one batch — fanning the independent (program × configuration)
+/// pipeline runs across a thread pool. Each cell writes only its own
+/// result slot, so the aggregated output is deterministic for any job
+/// count; the per-cell and batch wall-clock numbers feed the
+/// serial-vs-parallel speedup benches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_WORKLOADS_SUITERUNNER_H
+#define IPCP_WORKLOADS_SUITERUNNER_H
+
+#include "ipcp/Pipeline.h"
+#include "workloads/Suite.h"
+
+#include <string>
+#include <vector>
+
+namespace ipcp {
+
+/// One named analyzer configuration (a table column).
+struct SuiteConfig {
+  std::string Name;
+  PipelineOptions Opts;
+};
+
+/// The six Table 2 columns: {poly, pass, intra, literal} with return
+/// jump functions, plus {poly, pass} without (UseMod on throughout).
+std::vector<SuiteConfig> table2Configs();
+
+/// The Table 3 columns beyond Table 2's default: polynomial without
+/// MOD, complete propagation, and intraprocedural-only.
+std::vector<SuiteConfig> table3Configs();
+
+/// Table 2 and Table 3 columns concatenated (nine distinct configs).
+std::vector<SuiteConfig> allConfigs();
+
+/// Looks up a config set by name: "all", "table2", or "table3".
+/// Returns an empty vector for unknown names.
+std::vector<SuiteConfig> configsByName(const std::string &Name);
+
+/// One (program × configuration) outcome.
+struct SuiteCell {
+  std::string Program;
+  std::string Config;
+  bool Ok = false;
+  unsigned SubstitutedConstants = 0;
+  unsigned ConstantPrints = 0;
+  double Millis = 0; ///< This cell's own wall clock.
+};
+
+/// The aggregated batch.
+struct SuiteRunResult {
+  /// Program-major: Cells[p * NumConfigs + c]. Deterministic for any
+  /// job count.
+  std::vector<SuiteCell> Cells;
+  size_t NumPrograms = 0;
+  size_t NumConfigs = 0;
+  double WallMs = 0;  ///< Wall clock of the whole batch.
+  double CellMs = 0;  ///< Sum of per-cell times (~ serial cost).
+  unsigned TotalSubstituted = 0;
+
+  const SuiteCell &cell(size_t Program, size_t Config) const {
+    return Cells.at(Program * NumConfigs + Config);
+  }
+};
+
+/// Runs every program under every config. \p Jobs is the number of
+/// worker threads fanning out whole pipeline runs (1 = serial, 0 = one
+/// per hardware thread); \p ThreadsPerRun is forwarded to
+/// PipelineOptions::Threads of each run (keep it 1 when Jobs > 1 —
+/// batch-level fan-out already saturates the cores).
+SuiteRunResult runSuite(const std::vector<WorkloadProgram> &Programs,
+                        const std::vector<SuiteConfig> &Configs,
+                        unsigned Jobs = 1, unsigned ThreadsPerRun = 1);
+
+} // namespace ipcp
+
+#endif // IPCP_WORKLOADS_SUITERUNNER_H

@@ -80,6 +80,134 @@ end
   EXPECT_EQ(R.NeverCalled[0], "orphan");
 }
 
+TEST(Pipeline, NeverCalledIsTransitiveAndKeepsNoConstants) {
+  // An orphan's callees are unreachable too, even though they have call
+  // sites; reachable procedures still report their constants.
+  PipelineResult R = runPipeline(R"(proc main()
+  call f(7)
+end
+proc f(x)
+  print x
+end
+proc orphan()
+  call helper(3)
+end
+proc helper(y)
+  print y
+end
+)",
+                                 PipelineOptions());
+  ASSERT_TRUE(R.Ok);
+  // ProcId order == source order.
+  ASSERT_EQ(R.NeverCalled, (std::vector<std::string>{"orphan", "helper"}));
+  for (size_t P = 0; P != R.Constants.size(); ++P)
+    if (R.ProcNames[P] == "orphan" || R.ProcNames[P] == "helper") {
+      EXPECT_TRUE(R.Constants[P].empty()) << R.ProcNames[P];
+      EXPECT_EQ(R.PerProcSubstituted[P], 0u) << R.ProcNames[P];
+    }
+  // helper's VAL cells stayed TOP, so its literal actual never counted.
+  EXPECT_EQ(R.SubstitutedConstants, 1u);
+}
+
+TEST(Pipeline, NeverCalledIsNotReportedIntraOnly) {
+  // The intraprocedural baseline skips the interprocedural phases, so it
+  // makes no reachability claims at all.
+  PipelineOptions Intra;
+  Intra.IntraproceduralOnly = true;
+  PipelineResult R = runPipeline(R"(proc main()
+end
+proc orphan()
+end
+)",
+                                 Intra);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_TRUE(R.NeverCalled.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Solver effort counters (SolverProcVisits / SolverJfEvaluations /
+// SolverCellLowerings) — exact on a program small enough to trace by
+// hand, structural on the suite.
+//===----------------------------------------------------------------------===//
+
+TEST(Pipeline, EffortCountersExactForTinyProgram) {
+  // One call site, one interprocedural cell (f's formal x), no globals.
+  const char *Source = R"(proc main()
+  call f(5)
+end
+proc f(x)
+  print x
+end
+)";
+
+  // Worklist: pops main (evaluates the one jf, lowers x TOP->5), then
+  // pops the initially-queued f (no call sites). Two visits, one
+  // evaluation, one lowering.
+  PipelineResult Worklist = runPipeline(Source, PipelineOptions());
+  ASSERT_TRUE(Worklist.Ok);
+  EXPECT_EQ(Worklist.SolverProcVisits, 2u);
+  EXPECT_EQ(Worklist.SolverJfEvaluations, 1u);
+  EXPECT_EQ(Worklist.SolverCellLowerings, 1u);
+
+  // Round-robin: one full sweep that changes something, one that
+  // confirms the fixpoint. Twice the visits and evaluations, same
+  // lowerings.
+  PipelineOptions RR;
+  RR.Strategy = SolverStrategy::RoundRobin;
+  PipelineResult RoundRobin = runPipeline(Source, RR);
+  ASSERT_TRUE(RoundRobin.Ok);
+  EXPECT_EQ(RoundRobin.SolverProcVisits, 4u);
+  EXPECT_EQ(RoundRobin.SolverJfEvaluations, 2u);
+  EXPECT_EQ(RoundRobin.SolverCellLowerings, 1u);
+
+  // Binding graph: one cell, one edge, evaluated once; ProcVisits
+  // reports the cell count.
+  PipelineOptions BG;
+  BG.Strategy = SolverStrategy::BindingGraph;
+  PipelineResult Binding = runPipeline(Source, BG);
+  ASSERT_TRUE(Binding.Ok);
+  EXPECT_EQ(Binding.SolverProcVisits, 1u);
+  EXPECT_EQ(Binding.SolverJfEvaluations, 1u);
+  EXPECT_EQ(Binding.SolverCellLowerings, 1u);
+}
+
+TEST(Pipeline, EffortCountersZeroIntraOnly) {
+  PipelineOptions Intra;
+  Intra.IntraproceduralOnly = true;
+  PipelineResult R = runPipeline("proc main()\n  call f(5)\nend\n"
+                                 "proc f(x)\n  print x\nend\n",
+                                 Intra);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.SolverProcVisits, 0u);
+  EXPECT_EQ(R.SolverJfEvaluations, 0u);
+  EXPECT_EQ(R.SolverCellLowerings, 0u);
+}
+
+TEST(Pipeline, EffortCountersStructuralOnSuite) {
+  const WorkloadProgram &W = benchmarkSuite()[2]; // fpppp
+  PipelineResult R = runPipeline(W.Source, PipelineOptions());
+  ASSERT_TRUE(R.Ok);
+  // Every reachable procedure is visited at least once.
+  size_t Reachable = R.ProcNames.size() - R.NeverCalled.size();
+  EXPECT_GE(R.SolverProcVisits, Reachable);
+  EXPECT_GT(R.SolverJfEvaluations, 0u);
+  EXPECT_GT(R.SolverCellLowerings, 0u);
+  // The shallow lattice: every constant cell cost at least one lowering,
+  // and no cell can lower more than twice.
+  size_t ConstantCells = 0;
+  for (const auto &Cells : R.Constants)
+    ConstantCells += Cells.size();
+  EXPECT_GE(R.SolverCellLowerings, ConstantCells);
+
+  // The worklist never evaluates more jump functions than a full
+  // round-robin convergence on the same program.
+  PipelineOptions RR;
+  RR.Strategy = SolverStrategy::RoundRobin;
+  PipelineResult RoundRobin = runPipeline(W.Source, RR);
+  ASSERT_TRUE(RoundRobin.Ok);
+  EXPECT_LE(R.SolverJfEvaluations, RoundRobin.SolverJfEvaluations);
+}
+
 TEST(Pipeline, TransformedSourceSubstitutesConstants) {
   PipelineOptions Opts;
   Opts.EmitTransformedSource = true;

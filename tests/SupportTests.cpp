@@ -8,10 +8,15 @@
 #include "support/Diagnostics.h"
 #include "support/SourceLoc.h"
 #include "support/TablePrinter.h"
+#include "support/ThreadPool.h"
 
 #include "lang/Ast.h"
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
 
 using namespace ipcp;
 
@@ -103,4 +108,81 @@ TEST(AstContext, AssignsUniqueIds) {
   Expr *B = Ctx.createExpr<IntLitExpr>(SourceLoc(1, 2), int64_t(2));
   EXPECT_NE(A->id(), B->id());
   EXPECT_NE(A->id(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(ipcp::ThreadPool::hardwareThreads(), 1u);
+}
+
+TEST(ThreadPool, PostAndWaitRunsEveryTask) {
+  ipcp::ThreadPool Pool(4);
+  EXPECT_EQ(Pool.size(), 4u);
+  std::atomic<int> Count{0};
+  for (int I = 0; I != 100; ++I)
+    Pool.post([&Count] { Count.fetch_add(1, std::memory_order_relaxed); });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  // wait() is a barrier, not a shutdown: the pool accepts work again
+  // afterwards (the pipeline reuses one pool across rounds and phases).
+  ipcp::ThreadPool Pool(2);
+  std::atomic<int> Count{0};
+  for (int Batch = 0; Batch != 3; ++Batch) {
+    for (int I = 0; I != 10; ++I)
+      Pool.post([&Count] { Count.fetch_add(1, std::memory_order_relaxed); });
+    Pool.wait();
+    EXPECT_EQ(Count.load(), (Batch + 1) * 10);
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ipcp::ThreadPool Pool(4);
+  constexpr size_t N = 1000;
+  std::vector<std::atomic<int>> Hits(N);
+  ipcp::parallelFor(&Pool, N, [&Hits](size_t I) {
+    Hits[I].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t I = 0; I != N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPool, ParallelForSerialWhenPoolIsNull) {
+  // The determinism contract's degenerate case: no pool means the
+  // calling thread runs 0..N-1 in order.
+  std::vector<size_t> Seen;
+  ipcp::parallelFor(nullptr, 5,
+                    [&Seen](size_t I) { Seen.push_back(I); });
+  EXPECT_EQ(Seen, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ParallelForHandlesEmptyAndTinyRanges) {
+  ipcp::ThreadPool Pool(8);
+  int Calls = 0;
+  ipcp::parallelFor(&Pool, 0, [&Calls](size_t) { ++Calls; });
+  EXPECT_EQ(Calls, 0);
+  // More workers than items must not invent extra indices.
+  std::atomic<int> One{0};
+  ipcp::parallelFor(&Pool, 1, [&One](size_t I) {
+    EXPECT_EQ(I, 0u);
+    One.fetch_add(1);
+  });
+  EXPECT_EQ(One.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForSlotWritesAreRaceFree) {
+  // The usage pattern every parallel phase relies on: index I writes
+  // only slot I, so the fold after the join sees a deterministic value.
+  ipcp::ThreadPool Pool(4);
+  constexpr size_t N = 512;
+  std::vector<long> Slots(N, -1);
+  ipcp::parallelFor(&Pool, N,
+                    [&Slots](size_t I) { Slots[I] = long(I) * 3; });
+  long Sum = std::accumulate(Slots.begin(), Slots.end(), 0L);
+  EXPECT_EQ(Sum, 3L * (N * (N - 1) / 2));
 }

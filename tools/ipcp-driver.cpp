@@ -27,9 +27,14 @@
 #include "ir/Dominators.h"
 #include "ir/IrPrinter.h"
 #include "lang/Parser.h"
+#include "support/TablePrinter.h"
+#include "support/ThreadPool.h"
 #include "workloads/Suite.h"
+#include "workloads/SuiteRunner.h"
 
+#include <cstdlib>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -50,6 +55,11 @@ static void printUsage() {
          "  --emit-source  print the transformed source\n"
          "  --quiet        print only the substitution count\n"
          "  --suite=<name> analyze a built-in suite program (e.g. ocean)\n"
+         "  --threads=<n>  worker threads inside one analysis (0 = all cores)\n"
+         "  --time         print per-phase wall-clock timings\n"
+         "  --configs=<all|table2|table3>  batch: run the whole built-in\n"
+         "                 suite under every named configuration\n"
+         "  --jobs=<n>     batch workers for --configs (0 = all cores)\n"
          "  --dump-ir      print the lowered CFG of every procedure\n"
          "  --dump-ssa     print the SSA form of every procedure\n"
          "  --dump-jf      print every call site's jump functions\n"
@@ -57,6 +67,25 @@ static void printUsage() {
          "  --stats        print jump function and solver statistics\n"
          "  --inline       print the procedure-integrated program and exit\n"
          "  --clone        print the constant-cloned program and exit\n";
+}
+
+// Parses a worker-count flag value: digits only, capped well below any
+// plausible core count (0 means "all cores").
+static bool parseCount(const std::string &Value, const char *Flag,
+                       unsigned &Out) {
+  if (Value.empty() ||
+      Value.find_first_not_of("0123456789") != std::string::npos) {
+    std::cerr << "error: " << Flag << " expects a non-negative integer, got '"
+              << Value << "'\n";
+    return false;
+  }
+  unsigned long N = std::strtoul(Value.c_str(), nullptr, 10);
+  if (N > 1024) {
+    std::cerr << "error: " << Flag << "=" << Value << " is out of range\n";
+    return false;
+  }
+  Out = static_cast<unsigned>(N);
+  return true;
 }
 
 int main(int argc, char **argv) {
@@ -72,6 +101,9 @@ int main(int argc, char **argv) {
   bool DoInline = false;
   bool DoClone = false;
   bool Stats = false;
+  bool Time = false;
+  unsigned Jobs = 1;
+  std::string ConfigSet;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -109,6 +141,16 @@ int main(int argc, char **argv) {
       Quiet = true;
     } else if (Arg == "--stats") {
       Stats = true;
+    } else if (Arg == "--time") {
+      Time = true;
+    } else if (Arg.rfind("--threads=", 0) == 0) {
+      if (!parseCount(Arg.substr(10), "--threads", Opts.Threads))
+        return 1;
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      if (!parseCount(Arg.substr(7), "--jobs", Jobs))
+        return 1;
+    } else if (Arg.rfind("--configs=", 0) == 0) {
+      ConfigSet = Arg.substr(10);
     } else if (Arg == "--dump-ir") {
       DumpIr = true;
     } else if (Arg == "--dump-ssa") {
@@ -133,6 +175,53 @@ int main(int argc, char **argv) {
     } else {
       Path = Arg;
     }
+  }
+
+  // Batch mode: the whole built-in suite under a named config set,
+  // (program x config) runs fanned out across --jobs workers.
+  if (!ConfigSet.empty()) {
+    std::vector<SuiteConfig> Configs = configsByName(ConfigSet);
+    if (Configs.empty()) {
+      std::cerr << "error: unknown config set '" << ConfigSet
+                << "' (expected all, table2, or table3)\n";
+      return 1;
+    }
+    SuiteRunResult Batch =
+        runSuite(benchmarkSuite(), Configs, Jobs, Opts.Threads);
+
+    TablePrinter Table;
+    std::vector<std::string> Header = {"Program"};
+    for (const SuiteConfig &C : Configs)
+      Header.push_back(C.Name);
+    Table.addHeader(Header);
+    bool AllOk = true;
+    for (size_t P = 0; P != Batch.NumPrograms; ++P) {
+      std::vector<std::string> Row = {Batch.cell(P, 0).Program};
+      for (size_t C = 0; C != Batch.NumConfigs; ++C) {
+        const SuiteCell &Cell = Batch.cell(P, C);
+        AllOk = AllOk && Cell.Ok;
+        Row.push_back(Cell.Ok
+                          ? std::to_string(Cell.SubstitutedConstants)
+                          : std::string("ERR"));
+      }
+      Table.addRow(Row);
+    }
+    Table.print(std::cout);
+    std::cout << "\ncells: " << Batch.Cells.size() << " ("
+              << Batch.NumPrograms << " programs x " << Batch.NumConfigs
+              << " configs), total substituted: " << Batch.TotalSubstituted
+              << "\n";
+    // Cell-time sum over wall measures overlap achieved, not true
+    // speedup (cell times at jobs>1 include descheduled time); compare
+    // wall clocks across --jobs values for that — see
+    // bench/parallel_speedup.
+    std::cout << std::fixed << std::setprecision(1) << "wall: "
+              << Batch.WallMs << " ms, cell-time sum: " << Batch.CellMs
+              << " ms, jobs: " << (Jobs ? Jobs : ThreadPool::hardwareThreads())
+              << ", overlap: "
+              << (Batch.WallMs > 0 ? Batch.CellMs / Batch.WallMs : 0.0)
+              << "x\n";
+    return AllOk ? 0 : 1;
   }
 
   std::string Source;
@@ -267,6 +356,19 @@ int main(int argc, char **argv) {
   if (Quiet) {
     std::cout << Result.SubstitutedConstants << '\n';
     return 0;
+  }
+
+  if (Time) {
+    const PhaseTimings &T = Result.Timings;
+    std::cout << std::fixed << std::setprecision(2) << "timings (ms):"
+              << " frontend " << T.FrontendMs << ", lower " << T.LowerMs
+              << ", jump functions " << T.JumpFunctionsMs << ", solve "
+              << T.SolveMs << ", substitute " << T.SubstituteMs
+              << ", total " << T.TotalMs << " (threads "
+              << (Opts.Threads ? Opts.Threads
+                               : ThreadPool::hardwareThreads())
+              << ")\n"
+              << std::defaultfloat;
   }
 
   std::cout << "jump function: " << jumpFunctionKindName(Opts.Kind)
