@@ -6,11 +6,35 @@
 
 #include "analysis/DeadCodeElim.h"
 
+#include "lang/AstClone.h"
 #include "support/Casting.h"
 
 using namespace ipcp;
 
 namespace {
+
+/// Whether evaluating \p E can trap at runtime (divide/modulo by zero,
+/// array index out of bounds). The analyzer proves the loop never
+/// *iterates* from lo/hi alone; a trapping step expression would still
+/// be evaluated once before the trip test, so the fold must keep it.
+bool mayTrap(const Expr *E) {
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+  case ExprKind::VarRef:
+    return false;
+  case ExprKind::ArrayRef:
+    return true;
+  case ExprKind::Unary:
+    return mayTrap(cast<UnaryExpr>(E)->operand());
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    if (B->op() == BinaryOp::Div || B->op() == BinaryOp::Mod)
+      return true;
+    return mayTrap(B->lhs()) || mayTrap(B->rhs());
+  }
+  }
+  return true;
+}
 
 class Rewriter {
 public:
@@ -59,11 +83,19 @@ private:
     case StmtKind::DoLoop: {
       auto *D = cast<DoLoopStmt>(S);
       if (auto It = Decisions.find(D->id());
-          It != Decisions.end() && !It->second) {
+          It != Decisions.end() && !It->second &&
+          !(D->step() && mayTrap(D->step()))) {
         // Zero-trip loop: only the loop-variable initialization remains.
+        // The trip test's operands (lo, hi) were proven constant, so
+        // dropping their evaluation is trap-free; the step expression is
+        // outside that proof, so a possibly-trapping step blocks the
+        // fold (guard above). The var and lo nodes are cloned — reusing
+        // them would alias the retained DoLoopStmt's children, and later
+        // passes (printing, a second DCE round) walk both trees.
         ++Folded;
-        Out.push_back(Ctx.createStmt<AssignStmt>(D->loc(), D->var(),
-                                                 D->lo()));
+        Out.push_back(Ctx.createStmt<AssignStmt>(
+            D->loc(), cloneVarRefResolved(Ctx, D->var()),
+            cloneExprResolved(Ctx, D->lo())));
         return;
       }
       D->setBody(rewriteList(D->body()));

@@ -29,8 +29,9 @@ LatticeValue SccpCallValues::global(SymbolId G) const {
 }
 
 Sccp::Sccp(const SsaForm &Ssa, const SymbolTable &Symbols,
-           const SccpSeeds *Seeds, const SccpKillFn *KillFn)
-    : Ssa(Ssa), Symbols(Symbols), KillFn(KillFn) {
+           const SccpSeeds *Seeds, const SccpKillFn *KillFn,
+           const std::vector<uint8_t> *Unstable)
+    : Ssa(Ssa), Symbols(Symbols), KillFn(KillFn), Unstable(Unstable) {
   const Function &F = Ssa.function();
   Values.assign(Ssa.numValues(), LatticeValue::top());
   ExecBlock.assign(F.numBlocks(), 0);
@@ -40,14 +41,16 @@ Sccp::Sccp(const SsaForm &Ssa, const SymbolTable &Symbols,
 
   // Seed entry values. Formals and globals default to BOTTOM (arbitrary
   // caller) unless the seed map says otherwise; locals are uninitialized
-  // and also BOTTOM.
+  // and also BOTTOM. Unstable symbols stay BOTTOM even when seeded: the
+  // entry value is only trustworthy until the first store through an
+  // aliased name, which the def chains below cannot witness.
   for (auto [Sym, Id] : Ssa.entryDefs()) {
     LatticeValue V = LatticeValue::bottom();
     if (Seeds) {
       if (auto It = Seeds->find(Sym); It != Seeds->end())
         V = It->second;
     }
-    if (!Symbols.symbol(Sym).isInterproceduralParam())
+    if (!Symbols.symbol(Sym).isInterproceduralParam() || isUnstable(Sym))
       V = LatticeValue::bottom();
     Values[Id] = V;
   }
@@ -122,6 +125,10 @@ void Sccp::visitBlock(BlockId B) {
 
 void Sccp::visitPhi(BlockId B, uint32_t PhiIdx) {
   const Phi &P = Ssa.phis(B)[PhiIdx];
+  if (isUnstable(P.Sym)) {
+    setValue(P.Def, LatticeValue::bottom());
+    return;
+  }
   const auto &Preds = Ssa.function().block(B).Preds;
   LatticeValue Merged = LatticeValue::top();
   for (uint32_t I = 0, E = static_cast<uint32_t>(P.Incoming.size()); I != E;
@@ -165,6 +172,15 @@ void Sccp::visitInstr(BlockId B, uint32_t InstrIdx) {
     return operandValueImpl(In, Info, Slot);
   };
 
+  // A value computed into an unstable symbol is immediately unreliable:
+  // the next store through an aliased name rewrites it invisibly. Only
+  // Copy/Unary/Binary/Load/Read carry a DefSsa, so returning here never
+  // skips control-flow handling.
+  if (Info.DefSsa != InvalidSsa && isUnstable(Ssa.def(Info.DefSsa).Sym)) {
+    setValue(Info.DefSsa, LatticeValue::bottom());
+    return;
+  }
+
   switch (In.Op) {
   case Opcode::Copy:
     setValue(Info.DefSsa, use(0));
@@ -199,8 +215,9 @@ void Sccp::visitInstr(BlockId B, uint32_t InstrIdx) {
   case Opcode::Call: {
     SccpCallValues CallVals(*this, B, InstrIdx);
     for (auto [Killed, Def] : Info.Kills) {
-      LatticeValue V = KillFn && *KillFn ? (*KillFn)(In, Killed, CallVals)
-                                         : LatticeValue::bottom();
+      LatticeValue V = KillFn && *KillFn && !isUnstable(Killed)
+                           ? (*KillFn)(In, Killed, CallVals)
+                           : LatticeValue::bottom();
       setValue(Def, V);
     }
     break;

@@ -62,9 +62,15 @@ using SccpSeeds = std::unordered_map<SymbolId, LatticeValue>;
 /// One SCCP run over one procedure.
 class Sccp {
 public:
-  /// Runs to fixpoint. \p Seeds and \p KillFn may be null.
+  /// Runs to fixpoint. \p Seeds and \p KillFn may be null. \p Unstable,
+  /// when non-null, is a SymbolId-indexed mask of symbols involved in a
+  /// modified by-reference alias pair (see analysis/RefAlias.h); every
+  /// definition of such a symbol — entry value included — is forced to
+  /// BOTTOM, since a store through the aliased name changes it without a
+  /// definition the SSA form can see.
   Sccp(const SsaForm &Ssa, const SymbolTable &Symbols,
-       const SccpSeeds *Seeds, const SccpKillFn *KillFn);
+       const SccpSeeds *Seeds, const SccpKillFn *KillFn,
+       const std::vector<uint8_t> *Unstable = nullptr);
 
   const SsaForm &ssa() const { return Ssa; }
   const SymbolTable &symbols() const { return Symbols; }
@@ -106,9 +112,15 @@ private:
                                 uint32_t Slot) const;
   bool edgeIntoExecutable(BlockId Pred, BlockId Succ) const;
 
+  /// True if \p Sym is in a modified by-reference alias pair.
+  bool isUnstable(SymbolId Sym) const {
+    return Unstable && Sym != InvalidSymbol && (*Unstable)[Sym];
+  }
+
   const SsaForm &Ssa;
   const SymbolTable &Symbols;
   const SccpKillFn *KillFn;
+  const std::vector<uint8_t> *Unstable;
 
   std::vector<LatticeValue> Values;
   std::vector<uint8_t> ExecBlock;

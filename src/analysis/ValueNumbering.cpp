@@ -357,17 +357,25 @@ bool mapPredsToArms(const Function &F, const DominatorTree &DT, BlockId B,
 ValueNumbering::ValueNumbering(const SsaForm &Ssa,
                                const SymbolTable &Symbols, VnContext &Ctx,
                                const KillValueFn *KillFn,
-                               const DominatorTree *GatedDT)
+                               const DominatorTree *GatedDT,
+                               const std::vector<uint8_t> *Unstable)
     : Ssa(Ssa), Symbols(Symbols), Ctx(Ctx) {
   ExprOf.assign(Ssa.numValues(), nullptr);
   const Function &F = Ssa.function();
 
+  auto unstable = [&](SymbolId Sym) {
+    return Unstable && Sym != InvalidSymbol && (*Unstable)[Sym];
+  };
+
   // Entry values: formals and globals are Params; uninitialized locals
-  // are unknowable.
+  // are unknowable, as are symbols in a modified by-reference alias pair
+  // (their entry value is only the location's value until the first
+  // store through the other name).
   for (auto [Sym, Id] : Ssa.entryDefs()) {
     const Symbol &S = Symbols.symbol(Sym);
-    ExprOf[Id] = S.isInterproceduralParam() ? Ctx.getParam(Sym)
-                                            : Ctx.makeOpaque();
+    ExprOf[Id] = S.isInterproceduralParam() && !unstable(Sym)
+                     ? Ctx.getParam(Sym)
+                     : Ctx.makeOpaque();
   }
 
   auto operandExpr = [&](const Operand &Op, SsaId Use) -> const VnExpr * {
@@ -410,6 +418,10 @@ ValueNumbering::ValueNumbering(const SsaForm &Ssa,
     // Phis: available-and-equal inputs collapse; anything else is opaque
     // (pessimistic value numbering), or a Gamma in gated mode.
     for (const Phi &P : Ssa.phis(B)) {
+      if (unstable(P.Sym)) {
+        ExprOf[P.Def] = Ctx.makeOpaque();
+        continue;
+      }
       const VnExpr *Merged = nullptr;
       bool Known = true;
       for (SsaId In : P.Incoming) {
@@ -454,6 +466,14 @@ ValueNumbering::ValueNumbering(const SsaForm &Ssa,
         ++Slot;
       });
 
+      // A value stored into an unstable symbol is unreliable the moment
+      // it lands: the next store through an aliased name rewrites it.
+      if (Info.DefSsa != InvalidSsa &&
+          unstable(Ssa.def(Info.DefSsa).Sym)) {
+        ExprOf[Info.DefSsa] = Ctx.makeOpaque();
+        continue;
+      }
+
       switch (In.Op) {
       case Opcode::Copy:
         ExprOf[Info.DefSsa] = Ops[0];
@@ -472,7 +492,7 @@ ValueNumbering::ValueNumbering(const SsaForm &Ssa,
         CallSiteValues Values(*this, B, I);
         for (auto [Killed, Def] : Info.Kills) {
           std::optional<int64_t> C;
-          if (KillFn && *KillFn)
+          if (KillFn && *KillFn && !unstable(Killed))
             C = (*KillFn)(In, Killed, Values);
           ExprOf[Def] = C ? Ctx.getConst(*C) : Ctx.makeOpaque();
         }

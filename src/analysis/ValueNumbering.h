@@ -169,10 +169,15 @@ public:
   /// Numbers every SSA value of \p Ssa. \p KillFn may be null. With a
   /// non-null \p GatedDT the numbering is *gated*: a two-way join phi
   /// whose controlling branch predicate is a parameter expression
-  /// becomes a Gamma instead of an Opaque (paper §4.2).
+  /// becomes a Gamma instead of an Opaque (paper §4.2). \p Unstable, when
+  /// non-null, is a SymbolId-indexed mask of symbols in a modified
+  /// by-reference alias pair (analysis/RefAlias.h); every definition of
+  /// such a symbol, the entry value included, becomes Opaque because a
+  /// store through the aliased name changes it without a visible def.
   ValueNumbering(const SsaForm &Ssa, const SymbolTable &Symbols,
                  VnContext &Ctx, const KillValueFn *KillFn,
-                 const DominatorTree *GatedDT = nullptr);
+                 const DominatorTree *GatedDT = nullptr,
+                 const std::vector<uint8_t> *Unstable = nullptr);
 
   const SsaForm &ssa() const { return Ssa; }
   const SymbolTable &symbols() const { return Symbols; }

@@ -1,0 +1,93 @@
+//===- exec/Oracle.h - Translation-validation oracle ------------*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ground-truth checking for the analyzer and its transforms, in the
+/// spirit of value-context validation (Padhye & Khedker) and the GVN
+/// correctness-checking tradition: execute the program and its
+/// transformed versions on the same READ input stream and require
+/// identical observable behavior, and replay the analyzed program
+/// checking every claim the analysis made against the values actually
+/// observed.
+///
+/// Concretely, validateTranslation():
+///
+///  1. runs the original program as parsed (the reference trace);
+///  2. re-runs the analyzed AST (mutated by DCE under complete
+///     propagation) with hooks asserting that every substituted use
+///     carries exactly its claimed constant and that every CONSTANTS(p)
+///     entry holds on every observed entry to p, and compares its trace
+///     to the reference;
+///  3. reparses the EmitTransformedSource output and compares its trace;
+///  4. optionally applies the same trace check to the procedure
+///     integrator (Inliner) and the cloning transform.
+///
+/// Traces must agree exactly — same PRINT values, same termination
+/// status — unless a run hit a resource limit (step or call-depth
+/// budget), in which case the truncated trace must be a prefix of the
+/// other (resource limits are budget artifacts, not semantics).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_EXEC_ORACLE_H
+#define IPCP_EXEC_ORACLE_H
+
+#include "exec/Interpreter.h"
+#include "ipcp/Pipeline.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ipcp {
+
+/// Parameters of one validation.
+struct OracleOptions {
+  /// The analyzer configuration under validation.
+  PipelineOptions Pipeline;
+  /// Resource bounds applied to every run.
+  RunLimits Limits;
+  /// READ streams to execute under; every check runs once per seed.
+  std::vector<uint64_t> ReadSeeds = {1, 2};
+  /// Validate the reparsed EmitTransformedSource output (step 3).
+  bool CheckTransformedSource = true;
+  /// Validate the procedure integrator's output (step 4).
+  bool CheckInliner = false;
+  /// Validate the cloning transform's output (step 4). Note: cloning
+  /// runs its own analyzer internally; this is the costliest check.
+  bool CheckCloning = false;
+};
+
+/// Outcome of one validation.
+struct OracleResult {
+  /// True when every executed check passed.
+  bool Ok = false;
+  /// Failure descriptions (empty when Ok). At most a handful are kept.
+  std::string Error;
+
+  unsigned RunsExecuted = 0;
+  unsigned TraceComparisons = 0;
+  /// Observed evaluations of substituted uses checked against their
+  /// claimed constants.
+  unsigned SubstitutedUseChecks = 0;
+  /// Observed procedure entries checked against CONSTANTS(p) entries.
+  unsigned EntryConstantChecks = 0;
+
+  /// Trace/status disagreements between the reference and a transform.
+  unsigned TraceDivergences = 0;
+  /// Substituted-use or CONSTANTS(p) values contradicted by execution.
+  unsigned ConstantMismatches = 0;
+};
+
+/// Validates \p Source under \p Opts. Returns Ok=false with a diagnostic
+/// in Error if the source does not parse, the pipeline fails, a
+/// transformed program does not reparse, or any executed check fails.
+OracleResult validateTranslation(std::string_view Source,
+                                 const OracleOptions &Opts);
+
+} // namespace ipcp
+
+#endif // IPCP_EXEC_ORACLE_H

@@ -210,8 +210,13 @@ std::vector<Stmt *> Inliner::cloneStmts(ProcId Host,
         ++Result.SkippedHasReturn;
       else
         ++Result.SkippedBudget;
-      Out.push_back(Work.createStmt<CallStmt>(C->loc(), C->calleeName(),
-                                              std::move(Args)));
+      auto *Kept = Work.createStmt<CallStmt>(C->loc(), C->calleeName(),
+                                             std::move(Args));
+      // The clone must stay resolved: an integrated body containing a
+      // skipped call is itself spliced into callers, and that second
+      // cloneStmts pass indexes Recursive/Integrated by callee() again.
+      Kept->setCallee(C->callee());
+      Out.push_back(Kept);
       ++ClonedStmts;
       continue;
     }

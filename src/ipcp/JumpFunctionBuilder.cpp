@@ -173,7 +173,12 @@ struct BuildContext {
   const JumpFunctionOptions &Opts;
   const SsaForm::KillOracle &KillOracle;
   const KillValueFn *VnKillFnPtr;
+  const RefAliasInfo *Aliases;
   ProgramJumpFunctions &Jfs;
+
+  const std::vector<uint8_t> *unstableMask(ProcId P) const {
+    return Aliases ? &Aliases->unstableMask(P) : nullptr;
+  }
 };
 
 /// Stage 1 for one procedure: fills Jfs.ReturnJfs[P]. Reads only the
@@ -186,7 +191,8 @@ JumpFunctionStats buildReturnJfsForProc(const BuildContext &BC, ProcId P) {
   SsaForm Ssa(F, BC.Symbols, DT, BC.KillOracle);
   VnContext Ctx;
   ValueNumbering VN(Ssa, BC.Symbols, Ctx, BC.VnKillFnPtr,
-                    BC.Opts.UseGatedSsa ? &DT : nullptr);
+                    BC.Opts.UseGatedSsa ? &DT : nullptr,
+                    BC.unstableMask(P));
 
   auto &Out = BC.Jfs.ReturnJfs[P];
   const auto &ExitSyms = Ssa.exitSymbols();
@@ -244,7 +250,7 @@ JumpFunctionStats buildForwardJfsForProc(const BuildContext &BC, ProcId P) {
     Ssa.emplace(F, BC.Symbols, *DT, BC.KillOracle);
     Ctx.emplace();
     VN.emplace(*Ssa, BC.Symbols, *Ctx, BC.VnKillFnPtr,
-               BC.Opts.UseGatedSsa ? &*DT : nullptr);
+               BC.Opts.UseGatedSsa ? &*DT : nullptr, BC.unstableMask(P));
   }
 
   auto recordStats = [&](const JumpFunction &J) {
@@ -332,6 +338,7 @@ ProgramJumpFunctions ipcp::buildJumpFunctions(const Module &M,
                                               const CallGraph &CG,
                                               const ModRefInfo *MRI,
                                               const JumpFunctionOptions &Opts,
+                                              const RefAliasInfo *Aliases,
                                               ThreadPool *Pool) {
   assert((Opts.UseMod == (MRI != nullptr)) &&
          "MOD info must be supplied exactly when UseMod is set");
@@ -351,7 +358,8 @@ ProgramJumpFunctions ipcp::buildJumpFunctions(const Module &M,
   KillValueFn VnKillFn = makeVnKillFn(Jfs, Symbols);
   const KillValueFn *VnKillFnPtr = UseRjf ? &VnKillFn : nullptr;
 
-  BuildContext BC{M, Symbols, CG, MRI, Opts, KillOracle, VnKillFnPtr, Jfs};
+  BuildContext BC{M,    Symbols,     CG,      MRI, Opts,
+                  KillOracle, VnKillFnPtr, Aliases, Jfs};
 
   // Stage 1: return jump functions, bottom-up so callee RJFs are ready
   // when a caller's value numbering wants them. Within a recursive SCC

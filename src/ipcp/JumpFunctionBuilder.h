@@ -31,6 +31,7 @@
 
 #include "analysis/CallGraph.h"
 #include "analysis/ModRef.h"
+#include "analysis/RefAlias.h"
 #include "analysis/Sccp.h"
 #include "ipcp/JumpFunction.h"
 
@@ -130,11 +131,17 @@ public:
 /// ordered waves (see callAdjacencyWaves); stage 2 has no cross-procedure
 /// dependency at all. Statistics are accumulated per procedure and folded
 /// in the serial order.
+/// \p Aliases supplies by-reference alias pairs (analysis/RefAlias.h);
+/// the value numbering treats symbols it marks unstable as Opaque, so no
+/// jump function transmits a value that an aliased store could rewrite.
+/// Null means "no aliasing", only sound for programs that never pass a
+/// modified variable by reference.
 ProgramJumpFunctions buildJumpFunctions(const Module &M,
                                         const SymbolTable &Symbols,
                                         const CallGraph &CG,
                                         const ModRefInfo *MRI,
                                         const JumpFunctionOptions &Opts,
+                                        const RefAliasInfo *Aliases = nullptr,
                                         ThreadPool *Pool = nullptr);
 
 /// Partitions \p Order (a serial processing order over procedures) into

@@ -11,9 +11,9 @@
 #include "lang/Parser.h"
 #include "support/ThreadPool.h"
 
-#include <cassert>
 #include <chrono>
 #include <memory>
+#include <string>
 
 using namespace ipcp;
 
@@ -58,10 +58,19 @@ PipelineResult ipcp::runPipelineOnAst(AstContext &Ctx,
 
   // Complete propagation iterates the whole analysis; each round resets
   // every CONSTANTS cell to TOP and starts over on the DCE'd program
-  // (paper §4.2). The bound of 16 is a safety net; the paper observed —
-  // and our tests assert — convergence after a single DCE round.
+  // (paper §4.2). The bound is a safety net against a non-converging
+  // propagate/DCE cycle; it must be a real runtime check (not an
+  // assert) so a Release build reports the failure instead of looping
+  // forever. The paper observed — and our tests assert — convergence
+  // after a single DCE round.
   for (unsigned Round = 0;; ++Round) {
-    assert(Round < 16 && "complete propagation failed to converge");
+    if (Round > Opts.MaxDceRounds) {
+      Result.Ok = false;
+      Result.Error = "complete propagation failed to converge within " +
+                     std::to_string(Opts.MaxDceRounds) +
+                     " dead-code elimination rounds";
+      return Result;
+    }
 
     Clock::time_point Phase = Clock::now();
 
@@ -71,6 +80,12 @@ PipelineResult ipcp::runPipelineOnAst(AstContext &Ctx,
     std::optional<ModRefInfo> MRI;
     if (Opts.UseMod)
       MRI.emplace(M, Symbols, CG);
+    // By-reference aliasing is soundness, not a configuration: every
+    // per-procedure analysis below must know which formals may share a
+    // location with a modified global or sibling formal.
+    RefAliasInfo Aliases(M, Symbols, MRI ? &*MRI : nullptr);
+    Result.AliasPairs = Aliases.numAliasPairs();
+    Result.AliasUnstableSymbols = Aliases.numUnstable();
     Result.Timings.LowerMs += lapMs(Phase);
 
     ProgramJumpFunctions Jfs;
@@ -83,7 +98,7 @@ PipelineResult ipcp::runPipelineOnAst(AstContext &Ctx,
       JfOpts.UseMod = Opts.UseMod;
       JfOpts.UseGatedSsa = Opts.UseGatedSsa;
       Jfs = buildJumpFunctions(M, Symbols, CG, MRI ? &*MRI : nullptr,
-                               JfOpts, Pool.get());
+                               JfOpts, &Aliases, Pool.get());
       Result.Timings.JumpFunctionsMs += lapMs(Phase);
       Solve = solveConstants(Symbols, CG, Jfs, Opts.Strategy);
       Result.Timings.SolveMs += lapMs(Phase);
@@ -92,7 +107,8 @@ PipelineResult ipcp::runPipelineOnAst(AstContext &Ctx,
 
     SubstitutionResult Subs = countSubstitutions(
         M, Symbols, CG, Opts.IntraproceduralOnly ? nullptr : &Solve,
-        MRI ? &*MRI : nullptr, UseRjfInSccp ? &Jfs : nullptr, Pool.get());
+        MRI ? &*MRI : nullptr, UseRjfInSccp ? &Jfs : nullptr, &Aliases,
+        Pool.get());
     Result.Timings.SubstituteMs += lapMs(Phase);
 
     bool FinalRound = true;

@@ -49,6 +49,12 @@ struct PipelineOptions {
   /// Build jump functions over gated SSA (paper §4.2); an alternative to
   /// CompletePropagation that needs no iteration.
   bool UseGatedSsa = false;
+  /// Convergence bound for CompletePropagation: the maximum number of
+  /// propagate/DCE rounds before the pipeline gives up with Result.Error
+  /// set (a real runtime check, not an assertion — it must hold in
+  /// Release builds too). The paper observed convergence after a single
+  /// round; the default is a generous safety net.
+  unsigned MaxDceRounds = 16;
   /// Fixpoint strategy for the interprocedural solver.
   SolverStrategy Strategy = SolverStrategy::Worklist;
   /// Also render the transformed source with constants substituted.
@@ -107,6 +113,12 @@ struct PipelineResult {
   unsigned SolverProcVisits = 0;
   unsigned SolverJfEvaluations = 0;
   unsigned SolverCellLowerings = 0;
+
+  /// By-reference aliasing (analysis/RefAlias.h): distinct may-alias
+  /// pairs found, and (procedure, symbol) entries the analyses had to
+  /// treat as unknowable because an aliased store could rewrite them.
+  size_t AliasPairs = 0;
+  size_t AliasUnstableSymbols = 0;
 
   /// VarRefExpr id -> proven constant, for every substituted use. Keyed
   /// on the analyzed AST, so only meaningful to callers that hold it

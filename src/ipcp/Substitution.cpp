@@ -28,7 +28,8 @@ struct ProcSubstitutions {
 ProcSubstitutions countProc(const Module &M, const SymbolTable &Symbols,
                             const SolveResult *Solve,
                             const SsaForm::KillOracle &KillOracle,
-                            const SccpKillFn *KillFnPtr, ProcId P) {
+                            const SccpKillFn *KillFnPtr,
+                            const RefAliasInfo *Aliases, ProcId P) {
   ProcSubstitutions Out;
   const Function &F = M.function(P);
   DominatorTree DT(F);
@@ -40,7 +41,8 @@ ProcSubstitutions countProc(const Module &M, const SymbolTable &Symbols,
     for (const auto &[Sym, V] : Solve->Val.at(P))
       Seeds.emplace(Sym, V);
 
-  Sccp Analysis(Ssa, Symbols, Solve ? &Seeds : nullptr, KillFnPtr);
+  Sccp Analysis(Ssa, Symbols, Solve ? &Seeds : nullptr, KillFnPtr,
+                Aliases ? &Aliases->unstableMask(P) : nullptr);
 
   for (BlockId B = 0, BE = static_cast<BlockId>(F.numBlocks()); B != BE;
        ++B) {
@@ -94,6 +96,7 @@ SubstitutionResult ipcp::countSubstitutions(const Module &M,
                                             const SolveResult *Solve,
                                             const ModRefInfo *MRI,
                                             const ProgramJumpFunctions *Jfs,
+                                            const RefAliasInfo *Aliases,
                                             ThreadPool *Pool) {
   SubstitutionResult Result;
   Result.PerProc.assign(M.Functions.size(), 0);
@@ -113,8 +116,8 @@ SubstitutionResult ipcp::countSubstitutions(const Module &M,
   const auto &Order = CG.topDownOrder();
   std::vector<ProcSubstitutions> PerProc(Order.size());
   parallelFor(Pool, Order.size(), [&](size_t I) {
-    PerProc[I] =
-        countProc(M, Symbols, Solve, KillOracle, KillFnPtr, Order[I]);
+    PerProc[I] = countProc(M, Symbols, Solve, KillOracle, KillFnPtr,
+                           Aliases, Order[I]);
   });
 
   for (size_t I = 0; I != Order.size(); ++I) {

@@ -28,6 +28,7 @@
 #include "analysis/CallGraph.h"
 #include "analysis/DeadCodeElim.h"
 #include "analysis/ModRef.h"
+#include "analysis/RefAlias.h"
 #include "ipcp/JumpFunctionBuilder.h"
 #include "ipcp/Solver.h"
 #include "lang/AstPrinter.h"
@@ -59,6 +60,9 @@ struct SubstitutionResult {
 /// purely intraprocedural baseline (all entries BOTTOM). \p MRI controls
 /// call kill sets (null = worst case). \p Jfs supplies return jump
 /// functions for call-kill recovery; pass null to disable them.
+/// \p Aliases supplies by-reference alias pairs; symbols it marks
+/// unstable propagate as BOTTOM (null = no aliasing, only sound for
+/// programs that never pass a modified variable by reference).
 ///
 /// Each procedure's SCCP run is independent (it reads only the immutable
 /// module and the frozen CONSTANTS sets), so with a non-null \p Pool the
@@ -71,6 +75,7 @@ SubstitutionResult countSubstitutions(const Module &M,
                                       const SolveResult *Solve,
                                       const ModRefInfo *MRI,
                                       const ProgramJumpFunctions *Jfs,
+                                      const RefAliasInfo *Aliases = nullptr,
                                       ThreadPool *Pool = nullptr);
 
 } // namespace ipcp

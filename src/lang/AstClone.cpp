@@ -51,6 +51,43 @@ Expr *ipcp::cloneExpr(AstContext &Ctx, const Expr *E,
   return nullptr;
 }
 
+VarRefExpr *ipcp::cloneVarRefResolved(AstContext &Ctx,
+                                      const VarRefExpr *V) {
+  VarRefExpr *Clone = Ctx.createExpr<VarRefExpr>(V->loc(), V->name());
+  Clone->setSymbol(V->symbol());
+  return Clone;
+}
+
+Expr *ipcp::cloneExprResolved(AstContext &Ctx, const Expr *E) {
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    return Ctx.createExpr<IntLitExpr>(E->loc(),
+                                      cast<IntLitExpr>(E)->value());
+  case ExprKind::VarRef:
+    return cloneVarRefResolved(Ctx, cast<VarRefExpr>(E));
+  case ExprKind::ArrayRef: {
+    const auto *A = cast<ArrayRefExpr>(E);
+    auto *Clone = Ctx.createExpr<ArrayRefExpr>(
+        A->loc(), A->name(), cloneExprResolved(Ctx, A->index()));
+    Clone->setSymbol(A->symbol());
+    return Clone;
+  }
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    return Ctx.createExpr<UnaryExpr>(
+        U->loc(), U->op(), cloneExprResolved(Ctx, U->operand()));
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    return Ctx.createExpr<BinaryExpr>(B->loc(), B->op(),
+                                      cloneExprResolved(Ctx, B->lhs()),
+                                      cloneExprResolved(Ctx, B->rhs()));
+  }
+  }
+  assert(false && "unknown expression kind");
+  return nullptr;
+}
+
 Stmt *ipcp::cloneStmt(AstContext &Ctx, const Stmt *S,
                       const NameSubst &Subst) {
   switch (S->kind()) {

@@ -44,6 +44,15 @@ std::vector<Stmt *> cloneStmts(AstContext &Ctx,
                                const std::vector<Stmt *> &Stmts,
                                const NameSubst &Subst);
 
+/// Clones \p E verbatim (no renaming) and copies the resolved symbol
+/// bindings onto the fresh nodes, so consumers that rewrite an
+/// already-checked AST in place (e.g. dead-code elimination) get
+/// alias-free trees without re-running Sema.
+Expr *cloneExprResolved(AstContext &Ctx, const Expr *E);
+
+/// Clones \p V (keeping it a VarRefExpr) with its resolved symbol.
+VarRefExpr *cloneVarRefResolved(AstContext &Ctx, const VarRefExpr *V);
+
 } // namespace ipcp
 
 #endif // IPCP_LANG_ASTCLONE_H

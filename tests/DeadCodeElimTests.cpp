@@ -156,6 +156,101 @@ end
   EXPECT_NE(Out.find("i = 5"), std::string::npos);
 }
 
+TEST(DeadCodeElim, ZeroTripDoFoldClonesNodes) {
+  // Regression: the fold used to reuse the loop's var and lo nodes in
+  // the replacement assignment, aliasing the live tree with the
+  // detached DoLoopStmt. The nodes must be fresh clones that keep
+  // their resolved symbols (complete propagation re-lowers the folded
+  // AST without re-running Sema).
+  auto A = analyze(R"(proc main()
+  integer i, k
+  k = 3
+  do i = k + 2, 1
+    print i
+  end do
+  print i
+end
+)");
+  auto &Ctx = *A.Ctx;
+  const auto *Loop = cast<DoLoopStmt>(
+      findStmt(Ctx.program().Procs[0]->Body, StmtKind::DoLoop));
+  const VarRefExpr *LoopVar = Loop->var();
+  const Expr *LoopLo = Loop->lo();
+  ASSERT_NE(LoopVar->symbol(), UINT32_MAX) << "Sema must have resolved";
+
+  DeadCodeElim::Decisions D{{Loop->id(), false}};
+  EXPECT_EQ(DeadCodeElim::run(Ctx, D), 1u);
+
+  const auto *Assign = cast<AssignStmt>(
+      findStmt(Ctx.program().Procs[0]->Body, StmtKind::Assign));
+  ASSERT_NE(Assign, nullptr);
+  // The first assign in the body is 'k = 3'; find the folded one by
+  // its target symbol.
+  const AssignStmt *FoldedAssign = nullptr;
+  for (const Stmt *S : Ctx.program().Procs[0]->Body)
+    if (const auto *AS = dyn_cast<AssignStmt>(S))
+      if (const auto *T = dyn_cast<VarRefExpr>(AS->target()))
+        if (T->symbol() == LoopVar->symbol())
+          FoldedAssign = AS;
+  ASSERT_NE(FoldedAssign, nullptr);
+  EXPECT_NE(FoldedAssign->target(), static_cast<const Expr *>(LoopVar))
+      << "target must be a clone, not the loop's own var node";
+  EXPECT_NE(FoldedAssign->value(), LoopLo)
+      << "value must be a clone, not the loop's own lo node";
+  // The clones carry the resolved symbols, and fresh ids.
+  EXPECT_EQ(cast<VarRefExpr>(FoldedAssign->target())->symbol(),
+            LoopVar->symbol());
+  EXPECT_NE(FoldedAssign->target()->id(), LoopVar->id());
+
+  // The folded AST must survive re-printing and a second DCE pass —
+  // the operations complete propagation performs each round.
+  std::string Out = printed(Ctx);
+  EXPECT_EQ(Out.find("do i"), std::string::npos);
+  parseOk(Out);
+  DeadCodeElim::Decisions None;
+  EXPECT_EQ(DeadCodeElim::run(Ctx, None), 0u);
+  EXPECT_EQ(printed(Ctx), Out);
+}
+
+TEST(DeadCodeElim, ZeroTripDoFoldBlockedByTrappingStep) {
+  // The trip test's lo/hi were proven constant by the analysis, but
+  // the step expression is outside that proof: it is evaluated once
+  // at loop entry and may trap, so a potentially trapping step blocks
+  // the fold.
+  auto Ctx = parseOk(R"(proc main()
+  integer i, z
+  do i = 10, 2, 1 / z
+    print i
+  end do
+  print i
+end
+)");
+  const Stmt *Loop =
+      findStmt(Ctx->program().Procs[0]->Body, StmtKind::DoLoop);
+  DeadCodeElim::Decisions D{{Loop->id(), false}};
+  EXPECT_EQ(DeadCodeElim::run(*Ctx, D), 0u);
+  EXPECT_NE(printed(*Ctx).find("do i"), std::string::npos)
+      << "loop with trapping step must be retained";
+}
+
+TEST(DeadCodeElim, ZeroTripDoFoldAllowedForSafeStep) {
+  // A step built only from literals, variables, +, -, * cannot trap;
+  // the fold proceeds.
+  auto Ctx = parseOk(R"(proc main()
+  integer i, s
+  do i = 10, 2, s + 1
+    print i
+  end do
+  print i
+end
+)");
+  const Stmt *Loop =
+      findStmt(Ctx->program().Procs[0]->Body, StmtKind::DoLoop);
+  DeadCodeElim::Decisions D{{Loop->id(), false}};
+  EXPECT_EQ(DeadCodeElim::run(*Ctx, D), 1u);
+  EXPECT_EQ(printed(*Ctx).find("do i"), std::string::npos);
+}
+
 TEST(DeadCodeElim, FoldsNestedBranches) {
   auto Ctx = parseOk(R"(proc main()
   integer a, b

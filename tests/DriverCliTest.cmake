@@ -1,0 +1,87 @@
+# Driver CLI contract test, run via `cmake -P` (see tests/CMakeLists.txt).
+# Bad inputs must produce a diagnostic and a nonzero exit instead of
+# silently analyzing an empty program; --run/--validate must work.
+
+if(NOT DEFINED DRIVER OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "DRIVER and WORK_DIR must be defined")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(GOOD_MF "${WORK_DIR}/good.mf")
+file(WRITE "${GOOD_MF}" "proc main()
+  integer i
+  do i = 1, 3
+    print i * 10
+  end do
+end
+")
+
+set(FAILURES "")
+
+function(expect_run NAME EXPECT_RC EXPECT_STDERR)
+  execute_process(COMMAND ${DRIVER} ${ARGN}
+                  RESULT_VARIABLE RC
+                  OUTPUT_VARIABLE OUT
+                  ERROR_VARIABLE ERR)
+  if(EXPECT_RC STREQUAL "zero" AND NOT RC EQUAL 0)
+    set(FAILURES "${FAILURES}\n${NAME}: expected success, got rc=${RC}: ${ERR}" PARENT_SCOPE)
+    return()
+  endif()
+  if(EXPECT_RC STREQUAL "nonzero" AND RC EQUAL 0)
+    set(FAILURES "${FAILURES}\n${NAME}: expected failure, got rc=0" PARENT_SCOPE)
+    return()
+  endif()
+  if(NOT EXPECT_STDERR STREQUAL "" AND NOT ERR MATCHES "${EXPECT_STDERR}")
+    set(FAILURES "${FAILURES}\n${NAME}: stderr '${ERR}' does not match '${EXPECT_STDERR}'" PARENT_SCOPE)
+    return()
+  endif()
+  set(LAST_STDOUT "${OUT}" PARENT_SCOPE)
+endfunction()
+
+# Missing input file: diagnostic + nonzero, not an empty-program run.
+expect_run(missing_file nonzero "no such file"
+           "${WORK_DIR}/does-not-exist.mf")
+
+# A directory as input: an ifstream would silently read nothing.
+expect_run(directory_input nonzero "not a regular file" "${WORK_DIR}")
+
+# Unwritable --constants-out: diagnostic + nonzero.
+expect_run(bad_constants_out nonzero "cannot write"
+           "--constants-out=${WORK_DIR}/no-such-dir/c.txt" "${GOOD_MF}")
+
+# Unknown options still fail loudly.
+expect_run(unknown_option nonzero "unknown option" "--bogus" "${GOOD_MF}")
+
+# --run executes the program and prints its trace.
+expect_run(run_trace zero "ok" "--run" "${GOOD_MF}")
+if(NOT LAST_STDOUT MATCHES "10\n20\n30")
+  set(FAILURES "${FAILURES}\nrun_trace: unexpected trace '${LAST_STDOUT}'")
+endif()
+
+# --run reports traps with a nonzero exit.
+set(TRAP_MF "${WORK_DIR}/trap.mf")
+file(WRITE "${TRAP_MF}" "proc main()
+  integer z
+  print 1 / z
+end
+")
+expect_run(run_trap nonzero "divide-by-zero" "--run" "${TRAP_MF}")
+
+# --validate passes on a well-behaved program, under DCE too.
+expect_run(validate zero "" "--validate" "${GOOD_MF}")
+if(NOT LAST_STDOUT MATCHES "validation passed")
+  set(FAILURES "${FAILURES}\nvalidate: unexpected output '${LAST_STDOUT}'")
+endif()
+expect_run(validate_complete zero "" "--validate" "--complete" "${GOOD_MF}")
+
+# A good --constants-out write still succeeds.
+expect_run(constants_out zero ""
+           "--constants-out=${WORK_DIR}/constants.txt" "${GOOD_MF}")
+if(NOT EXISTS "${WORK_DIR}/constants.txt")
+  set(FAILURES "${FAILURES}\nconstants_out: file not written")
+endif()
+
+if(NOT FAILURES STREQUAL "")
+  message(FATAL_ERROR "driver CLI test failures:${FAILURES}")
+endif()
+message(STATUS "driver CLI test passed")

@@ -9,6 +9,10 @@
 
 #include "ipcp/Pipeline.h"
 
+#include "workloads/Suite.h"
+
+#include "TestHelpers.h"
+
 #include <gtest/gtest.h>
 
 using namespace ipcp;
@@ -258,3 +262,44 @@ end
   PipelineResult Third = run(Second.TransformedSource, Opts);
   EXPECT_EQ(Third.SubstitutedConstants, Second.SubstitutedConstants);
 }
+
+class EndToEndSuiteTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EndToEndSuiteTest, TransformedSourceRoundTrips) {
+  // For every benchmark program: the emitted transformed source must
+  // reparse and recheck cleanly, and re-analyzing it must find no MORE
+  // substitutions than the original — every substituted use became a
+  // literal, so the pool of substitutable uses can only shrink.
+  const WorkloadProgram &W = benchmarkSuite()[GetParam()];
+  PipelineOptions Opts;
+  Opts.EmitTransformedSource = true;
+  PipelineResult First = runPipeline(W.Source, Opts);
+  ASSERT_TRUE(First.Ok) << First.Error;
+
+  EXPECT_EQ(test::diagnose(First.TransformedSource), "")
+      << "transformed source must reparse and recheck cleanly";
+
+  PipelineResult Second = runPipeline(First.TransformedSource, Opts);
+  ASSERT_TRUE(Second.Ok) << Second.Error;
+  EXPECT_LE(Second.SubstitutedConstants, First.SubstitutedConstants);
+}
+
+TEST_P(EndToEndSuiteTest, TransformedSourceRoundTripsUnderComplete) {
+  const WorkloadProgram &W = benchmarkSuite()[GetParam()];
+  PipelineOptions Opts;
+  Opts.EmitTransformedSource = true;
+  Opts.CompletePropagation = true;
+  PipelineResult First = runPipeline(W.Source, Opts);
+  ASSERT_TRUE(First.Ok) << First.Error;
+  EXPECT_EQ(test::diagnose(First.TransformedSource), "")
+      << "transformed source must reparse and recheck cleanly";
+  PipelineResult Second = runPipeline(First.TransformedSource, Opts);
+  ASSERT_TRUE(Second.Ok) << Second.Error;
+  EXPECT_LE(Second.SubstitutedConstants, First.SubstitutedConstants);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, EndToEndSuiteTest, ::testing::Range<size_t>(0, 12),
+    [](const ::testing::TestParamInfo<size_t> &Info) {
+      return benchmarkSuite()[Info.param].Name;
+    });

@@ -249,6 +249,35 @@ end
       << Integrated.TransformedSource;
 }
 
+TEST(Inliner, SkippedCallInsideIntegratedBodyStaysResolved) {
+  // A recursive callee is kept (not integrated), but the procedure
+  // containing that kept call is itself integrated into main. Cloning
+  // the kept CallStmt must preserve its resolved callee: the second
+  // splice pass indexes its bookkeeping by callee id, and an unresolved
+  // clone used to index it with the invalid sentinel (out-of-range
+  // crash on oracle fuzz seed 22).
+  const char *Source = R"(proc main()
+  call a(3)
+end
+proc a(x)
+  call r(x)
+end
+proc r(n)
+  if (n > 0) then
+    print n
+    call r(n - 1)
+  end if
+end
+)";
+  InlineResult R = inlineSource(Source);
+  EXPECT_EQ(R.InlinedCalls, 1u); // a into main; r stays.
+  DiagnosticEngine Diags;
+  auto Ctx = parseProgram(R.Source, Diags);
+  Sema::run(*Ctx, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str() << "\n" << R.Source;
+  EXPECT_NE(R.Source.find("call r"), std::string::npos) << R.Source;
+}
+
 TEST(Inliner, DoubleInliningOfSameCalleeGetsDistinctNames) {
   const char *Source = R"(proc main()
   call f(1)

@@ -1,0 +1,513 @@
+//===- tests/InterpreterTests.cpp - Reference interpreter tests -----------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pins the execution semantics documented in docs/LANGUAGE.md: the
+/// interpreter is normative, so every rule the analyzer relies on (DO
+/// trip counts, post-loop values, trap behavior, by-reference binding)
+/// gets a direct test here.
+///
+//===----------------------------------------------------------------------===//
+
+#include "exec/Interpreter.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipcp;
+using namespace ipcp::test;
+
+namespace {
+
+/// Parses, checks, and runs \p Source under \p Opts.
+RunResult runProgram(const std::string &Source,
+                     const RunOptions &Opts = RunOptions()) {
+  DiagnosticEngine Diags;
+  auto Ctx = parseProgram(Source, Diags);
+  SymbolTable Symbols;
+  if (!Diags.hasErrors())
+    Symbols = Sema::run(*Ctx, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  Interpreter Interp(Ctx->program(), Symbols);
+  return Interp.run(Opts);
+}
+
+TEST(InterpreterTest, PrintAndArithmetic) {
+  RunResult R = runProgram("proc main()\n"
+                           "  print 2 + 3 * 4\n"
+                           "  print (2 + 3) * 4\n"
+                           "  print 7 / 2\n"
+                           "  print 7 % 2\n"
+                           "  print -7 / 2\n"
+                           "end\n");
+  EXPECT_EQ(R.Status, RunStatus::Ok);
+  EXPECT_EQ(R.Prints, (std::vector<int64_t>{14, 20, 3, 1, -3}));
+}
+
+TEST(InterpreterTest, ComparisonAndLogicalOperators) {
+  RunResult R = runProgram("proc main()\n"
+                           "  print 1 < 2\n"
+                           "  print 2 <= 2\n"
+                           "  print 3 == 4\n"
+                           "  print 3 != 4\n"
+                           "  print (1 < 2) and (2 < 1)\n"
+                           "  print (1 < 2) or (2 < 1)\n"
+                           "  print not (1 < 2)\n"
+                           "end\n");
+  EXPECT_EQ(R.Status, RunStatus::Ok);
+  EXPECT_EQ(R.Prints, (std::vector<int64_t>{1, 1, 0, 1, 0, 1, 0}));
+}
+
+TEST(InterpreterTest, UninitializedVariablesReadZero) {
+  RunResult R = runProgram("global g\n"
+                           "proc main()\n"
+                           "  integer x\n"
+                           "  array a(4)\n"
+                           "  print x\n"
+                           "  print g\n"
+                           "  print a(2)\n"
+                           "end\n");
+  EXPECT_EQ(R.Status, RunStatus::Ok);
+  EXPECT_EQ(R.Prints, (std::vector<int64_t>{0, 0, 0}));
+}
+
+TEST(InterpreterTest, GlobalInitializersApply) {
+  RunResult R = runProgram("global g = 42\n"
+                           "proc main()\n"
+                           "  print g\n"
+                           "end\n");
+  EXPECT_EQ(R.Status, RunStatus::Ok);
+  EXPECT_EQ(R.Prints, (std::vector<int64_t>{42}));
+}
+
+TEST(InterpreterTest, DoLoopTripCountAndPostLoopValue) {
+  // After 'do i = 1, 3' the loop variable holds the first failing
+  // value, 4 — the CFG lowering's semantics.
+  RunResult R = runProgram("proc main()\n"
+                           "  integer i\n"
+                           "  do i = 1, 3\n"
+                           "    print i\n"
+                           "  end do\n"
+                           "  print i\n"
+                           "end\n");
+  EXPECT_EQ(R.Status, RunStatus::Ok);
+  EXPECT_EQ(R.Prints, (std::vector<int64_t>{1, 2, 3, 4}));
+}
+
+TEST(InterpreterTest, DoLoopZeroTripLeavesVarAtLo) {
+  RunResult R = runProgram("proc main()\n"
+                           "  integer i\n"
+                           "  do i = 10, 2\n"
+                           "    print i\n"
+                           "  end do\n"
+                           "  print i\n"
+                           "end\n");
+  EXPECT_EQ(R.Status, RunStatus::Ok);
+  EXPECT_EQ(R.Prints, (std::vector<int64_t>{10}));
+}
+
+TEST(InterpreterTest, DoLoopNegativeConstantStepDescends) {
+  // A syntactically negative step flips the trip test direction.
+  RunResult R = runProgram("proc main()\n"
+                           "  integer i\n"
+                           "  do i = 3, 1, -1\n"
+                           "    print i\n"
+                           "  end do\n"
+                           "end\n");
+  EXPECT_EQ(R.Status, RunStatus::Ok);
+  EXPECT_EQ(R.Prints, (std::vector<int64_t>{3, 2, 1}));
+}
+
+TEST(InterpreterTest, DoLoopNonConstantNegativeStepIsAscendingTest) {
+  // The lowering decides the comparison direction from the step's
+  // *syntactic* constancy only: a negative step hidden behind a
+  // variable keeps the ascending test, so 'i <= hi' fails... never,
+  // and the loop counts down until the step budget stops it. Here
+  // lo > hi so the ascending test fails immediately: zero trips.
+  RunResult R = runProgram("proc main()\n"
+                           "  integer i, s\n"
+                           "  s = 0 - 1\n"
+                           "  do i = 3, 1, s\n"
+                           "    print i\n"
+                           "  end do\n"
+                           "  print i\n"
+                           "end\n");
+  EXPECT_EQ(R.Status, RunStatus::Ok);
+  EXPECT_EQ(R.Prints, (std::vector<int64_t>{3}));
+}
+
+TEST(InterpreterTest, DoLoopCapturesBoundsOnce) {
+  // hi and step are evaluated once on entry; changing them in the
+  // body does not affect the iteration.
+  RunResult R = runProgram("global h = 3\n"
+                           "proc main()\n"
+                           "  integer i\n"
+                           "  do i = 1, h\n"
+                           "    h = 100\n"
+                           "    print i\n"
+                           "  end do\n"
+                           "end\n");
+  EXPECT_EQ(R.Status, RunStatus::Ok);
+  EXPECT_EQ(R.Prints, (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(InterpreterTest, WhileLoop) {
+  RunResult R = runProgram("proc main()\n"
+                           "  integer n\n"
+                           "  n = 3\n"
+                           "  while (n > 0)\n"
+                           "    print n\n"
+                           "    n = n - 1\n"
+                           "  end while\n"
+                           "end\n");
+  EXPECT_EQ(R.Status, RunStatus::Ok);
+  EXPECT_EQ(R.Prints, (std::vector<int64_t>{3, 2, 1}));
+}
+
+TEST(InterpreterTest, IfElseifElse) {
+  RunResult R = runProgram("proc classify(x)\n"
+                           "  if (x < 0) then\n"
+                           "    print 0 - 1\n"
+                           "  elseif (x == 0) then\n"
+                           "    print 0\n"
+                           "  else\n"
+                           "    print 1\n"
+                           "  end if\n"
+                           "end\n"
+                           "proc main()\n"
+                           "  call classify(0 - 5)\n"
+                           "  call classify(0)\n"
+                           "  call classify(5)\n"
+                           "end\n");
+  EXPECT_EQ(R.Status, RunStatus::Ok);
+  EXPECT_EQ(R.Prints, (std::vector<int64_t>{-1, 0, 1}));
+}
+
+TEST(InterpreterTest, ByReferenceScalarActual) {
+  // A plain scalar actual binds by reference: the callee's writes are
+  // visible in the caller.
+  RunResult R = runProgram("proc bump(x)\n"
+                           "  x = x + 1\n"
+                           "end\n"
+                           "proc main()\n"
+                           "  integer v\n"
+                           "  v = 10\n"
+                           "  call bump(v)\n"
+                           "  print v\n"
+                           "end\n");
+  EXPECT_EQ(R.Status, RunStatus::Ok);
+  EXPECT_EQ(R.Prints, (std::vector<int64_t>{11}));
+}
+
+TEST(InterpreterTest, ExpressionActualIsByValue) {
+  // An expression actual (even '(v)') is a temporary; callee writes
+  // do not propagate back.
+  RunResult R = runProgram("proc bump(x)\n"
+                           "  x = x + 1\n"
+                           "end\n"
+                           "proc main()\n"
+                           "  integer v\n"
+                           "  v = 10\n"
+                           "  call bump(v + 0)\n"
+                           "  print v\n"
+                           "end\n");
+  EXPECT_EQ(R.Status, RunStatus::Ok);
+  EXPECT_EQ(R.Prints, (std::vector<int64_t>{10}));
+}
+
+TEST(InterpreterTest, ReturnExitsProcedureOnly) {
+  RunResult R = runProgram("proc p()\n"
+                           "  print 1\n"
+                           "  return\n"
+                           "  print 2\n"
+                           "end\n"
+                           "proc main()\n"
+                           "  call p()\n"
+                           "  print 3\n"
+                           "end\n");
+  EXPECT_EQ(R.Status, RunStatus::Ok);
+  EXPECT_EQ(R.Prints, (std::vector<int64_t>{1, 3}));
+}
+
+TEST(InterpreterTest, ArrayAssignAndRead) {
+  RunResult R = runProgram("array g(8)\n"
+                           "proc main()\n"
+                           "  integer i\n"
+                           "  array l(4)\n"
+                           "  do i = 1, 4\n"
+                           "    l(i) = i * i\n"
+                           "  end do\n"
+                           "  g(8) = l(2) + l(3)\n"
+                           "  print g(8)\n"
+                           "end\n");
+  EXPECT_EQ(R.Status, RunStatus::Ok);
+  EXPECT_EQ(R.Prints, (std::vector<int64_t>{13}));
+}
+
+TEST(InterpreterTest, DivideByZeroTraps) {
+  RunResult R = runProgram("proc main()\n"
+                           "  integer z\n"
+                           "  print 1\n"
+                           "  print 5 / z\n"
+                           "  print 2\n"
+                           "end\n");
+  EXPECT_EQ(R.Status, RunStatus::DivideByZero);
+  EXPECT_EQ(R.Prints, (std::vector<int64_t>{1}));
+  EXPECT_TRUE(R.TrapLoc.isValid());
+}
+
+TEST(InterpreterTest, ModuloByZeroTraps) {
+  RunResult R = runProgram("proc main()\n"
+                           "  integer z\n"
+                           "  print 5 % z\n"
+                           "end\n");
+  EXPECT_EQ(R.Status, RunStatus::DivideByZero);
+}
+
+TEST(InterpreterTest, ArrayBoundsTrap) {
+  RunResult R = runProgram("proc main()\n"
+                           "  array a(4)\n"
+                           "  integer i\n"
+                           "  i = 5\n"
+                           "  print a(i)\n"
+                           "end\n");
+  EXPECT_EQ(R.Status, RunStatus::ArrayBounds);
+  // Index 0 also traps: arrays are 1-based.
+  RunResult R0 = runProgram("proc main()\n"
+                            "  array a(4)\n"
+                            "  integer i\n"
+                            "  a(i) = 1\n"
+                            "end\n");
+  EXPECT_EQ(R0.Status, RunStatus::ArrayBounds);
+}
+
+TEST(InterpreterTest, SignedOverflowWraps) {
+  // Arithmetic is wrapping two's complement — no UB, no trap.
+  RunResult R = runProgram("proc main()\n"
+                           "  integer big, i\n"
+                           "  big = 1\n"
+                           "  do i = 1, 63\n"
+                           "    big = big * 2\n"
+                           "  end do\n"
+                           "  print big\n"
+                           "  print big - 1\n"
+                           "  print (0 - big) / (0 - 1)\n"
+                           "end\n");
+  EXPECT_EQ(R.Status, RunStatus::Ok);
+  ASSERT_EQ(R.Prints.size(), 3u);
+  EXPECT_EQ(R.Prints[0], INT64_MIN);
+  EXPECT_EQ(R.Prints[1], INT64_MAX);
+  // INT64_MIN / -1 wraps to INT64_MIN rather than trapping.
+  EXPECT_EQ(R.Prints[2], INT64_MIN);
+}
+
+TEST(InterpreterTest, StepLimitStopsInfiniteLoop) {
+  RunOptions Opts;
+  Opts.Limits.MaxSteps = 1000;
+  RunResult R = runProgram("proc main()\n"
+                           "  while (1 == 1)\n"
+                           "    print 7\n"
+                           "  end while\n"
+                           "end\n",
+                           Opts);
+  EXPECT_EQ(R.Status, RunStatus::StepLimit);
+  EXPECT_TRUE(isResourceLimit(R.Status));
+  EXPECT_GT(R.Prints.size(), 0u);
+  EXPECT_LE(R.Steps, 1000u);
+}
+
+TEST(InterpreterTest, CallDepthLimitStopsRecursion) {
+  RunOptions Opts;
+  Opts.Limits.MaxCallDepth = 20;
+  RunResult R = runProgram("proc down(n)\n"
+                           "  print n\n"
+                           "  call down(n + 1)\n"
+                           "end\n"
+                           "proc main()\n"
+                           "  call down(1)\n"
+                           "end\n",
+                           Opts);
+  EXPECT_EQ(R.Status, RunStatus::CallDepthLimit);
+  EXPECT_TRUE(isResourceLimit(R.Status));
+  // main is depth 1; 'down' occupies depths 2..20.
+  EXPECT_EQ(R.Prints.size(), 19u);
+}
+
+TEST(InterpreterTest, BoundedRecursionCompletes) {
+  RunResult R = runProgram("proc fact(n, out)\n"
+                           "  integer sub\n"
+                           "  if (n <= 1) then\n"
+                           "    out = 1\n"
+                           "  else\n"
+                           "    call fact(n - 1, sub)\n"
+                           "    out = n * sub\n"
+                           "  end if\n"
+                           "end\n"
+                           "proc main()\n"
+                           "  integer r\n"
+                           "  call fact(6, r)\n"
+                           "  print r\n"
+                           "end\n");
+  EXPECT_EQ(R.Status, RunStatus::Ok);
+  EXPECT_EQ(R.Prints, (std::vector<int64_t>{720}));
+}
+
+TEST(InterpreterTest, ReadStreamIsSeededAndPositional) {
+  const std::string Source = "proc main()\n"
+                             "  integer a, b, c\n"
+                             "  read a\n"
+                             "  read b\n"
+                             "  read c\n"
+                             "  print a\n"
+                             "  print b\n"
+                             "  print c\n"
+                             "end\n";
+  RunOptions S1;
+  S1.ReadSeed = 1;
+  RunResult R1 = runProgram(Source, S1);
+  RunResult R1Again = runProgram(Source, S1);
+  EXPECT_EQ(R1.Prints, R1Again.Prints);
+  EXPECT_EQ(R1.ReadsConsumed, 3u);
+  for (size_t I = 0; I != 3; ++I)
+    EXPECT_EQ(R1.Prints[I], readStreamValue(1, I));
+
+  RunOptions S2;
+  S2.ReadSeed = 2;
+  RunResult R2 = runProgram(Source, S2);
+  EXPECT_NE(R1.Prints, R2.Prints) << "seeds should change the stream";
+}
+
+TEST(InterpreterTest, ReadStreamValuesCoverZeroAndNegatives) {
+  bool SawZero = false, SawNegative = false, SawPositive = false;
+  for (uint64_t I = 0; I != 500; ++I) {
+    int64_t V = readStreamValue(7, I);
+    EXPECT_GE(V, -8);
+    EXPECT_LE(V, 32);
+    SawZero = SawZero || V == 0;
+    SawNegative = SawNegative || V < 0;
+    SawPositive = SawPositive || V > 0;
+  }
+  EXPECT_TRUE(SawZero);
+  EXPECT_TRUE(SawNegative);
+  EXPECT_TRUE(SawPositive);
+}
+
+TEST(InterpreterTest, GlobalsSharedAcrossProcedures) {
+  RunResult R = runProgram("global counter\n"
+                           "proc tick()\n"
+                           "  counter = counter + 1\n"
+                           "end\n"
+                           "proc main()\n"
+                           "  call tick()\n"
+                           "  call tick()\n"
+                           "  call tick()\n"
+                           "  print counter\n"
+                           "end\n");
+  EXPECT_EQ(R.Status, RunStatus::Ok);
+  EXPECT_EQ(R.Prints, (std::vector<int64_t>{3}));
+}
+
+TEST(InterpreterTest, LocalsAreFreshPerActivation) {
+  RunResult R = runProgram("proc p(depth)\n"
+                           "  integer l\n"
+                           "  l = depth\n"
+                           "  if (depth < 3) then\n"
+                           "    call p(depth + 1)\n"
+                           "  end if\n"
+                           "  print l\n"
+                           "end\n"
+                           "proc main()\n"
+                           "  call p(1)\n"
+                           "end\n");
+  EXPECT_EQ(R.Status, RunStatus::Ok);
+  EXPECT_EQ(R.Prints, (std::vector<int64_t>{3, 2, 1}));
+}
+
+TEST(InterpreterTest, OnVarUseHookReportsReads) {
+  auto Ctx = parseOk("proc main()\n"
+                     "  integer x\n"
+                     "  x = 5\n"
+                     "  print x + x\n"
+                     "end\n");
+  DiagnosticEngine Diags;
+  SymbolTable Symbols = Sema::run(*Ctx, Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  Interpreter Interp(Ctx->program(), Symbols);
+  unsigned Uses = 0;
+  ExecHooks Hooks;
+  Hooks.OnVarUse = [&](ExprId, int64_t V) {
+    ++Uses;
+    EXPECT_EQ(V, 5);
+  };
+  RunResult R = Interp.run(RunOptions(), &Hooks);
+  EXPECT_EQ(R.Status, RunStatus::Ok);
+  // 'x' is read twice in the print; the assignment target is a def,
+  // not a use.
+  EXPECT_EQ(Uses, 2u);
+}
+
+TEST(InterpreterTest, OnProcEntryHookSeesBoundFormals) {
+  auto Ctx = parseOk("global g = 9\n"
+                     "proc p(a, b)\n"
+                     "  print a\n"
+                     "end\n"
+                     "proc main()\n"
+                     "  call p(3, 4)\n"
+                     "end\n");
+  DiagnosticEngine Diags;
+  SymbolTable Symbols = Sema::run(*Ctx, Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  Interpreter Interp(Ctx->program(), Symbols);
+  auto PId = Ctx->program().findProc("p");
+  ASSERT_TRUE(PId.has_value());
+  unsigned Entries = 0;
+  ExecHooks Hooks;
+  Hooks.OnProcEntry =
+      [&](ProcId Pid,
+          const std::function<const int64_t *(SymbolId)> &Lookup) {
+        if (Pid != *PId)
+          return;
+        ++Entries;
+        const auto &Formals = Symbols.formals(Pid);
+        ASSERT_EQ(Formals.size(), 2u);
+        const int64_t *A = Lookup(Formals[0]);
+        const int64_t *B = Lookup(Formals[1]);
+        ASSERT_NE(A, nullptr);
+        ASSERT_NE(B, nullptr);
+        EXPECT_EQ(*A, 3);
+        EXPECT_EQ(*B, 4);
+        for (SymbolId G : Symbols.globalScalars()) {
+          const int64_t *Cell = Lookup(G);
+          ASSERT_NE(Cell, nullptr);
+          EXPECT_EQ(*Cell, 9);
+        }
+      };
+  RunResult R = Interp.run(RunOptions(), &Hooks);
+  EXPECT_EQ(R.Status, RunStatus::Ok);
+  EXPECT_EQ(Entries, 1u);
+}
+
+TEST(InterpreterTest, RunnerIsReusableAndDeterministic) {
+  auto Ctx = parseOk("proc main()\n"
+                     "  integer x\n"
+                     "  read x\n"
+                     "  print x * x\n"
+                     "end\n");
+  DiagnosticEngine Diags;
+  SymbolTable Symbols = Sema::run(*Ctx, Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  Interpreter Interp(Ctx->program(), Symbols);
+  RunOptions Opts;
+  Opts.ReadSeed = 11;
+  RunResult A = Interp.run(Opts);
+  RunResult B = Interp.run(Opts);
+  EXPECT_EQ(A.Prints, B.Prints);
+  EXPECT_EQ(A.Steps, B.Steps);
+  EXPECT_EQ(A.Status, B.Status);
+}
+
+} // namespace

@@ -370,3 +370,58 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<size_t> &Info) {
       return benchmarkSuite()[Info.param].Name;
     });
+
+namespace {
+
+// Needs two DCE rounds: folding main's dead call site is what makes
+// p's formal constant, exposing p's dead branch on the next round.
+const char *TwoRoundSource = R"(proc q(m)
+  print m
+end
+proc p(k)
+  if (k != 5) then
+    call q(1)
+  end if
+  call q(3)
+  print k
+end
+proc main()
+  if (0 == 1) then
+    call p(99)
+  end if
+  call p(5)
+end
+)";
+
+} // namespace
+
+TEST(PipelineConvergence, MultiRoundProgramConverges) {
+  PipelineOptions Opts;
+  Opts.CompletePropagation = true;
+  PipelineResult R = runPipeline(TwoRoundSource, Opts);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.DceRounds, 2u);
+  EXPECT_EQ(R.FoldedBranches, 2u);
+}
+
+TEST(PipelineConvergence, BoundIsARealRuntimeCheck) {
+  // Regression: the convergence bound used to be an assert, which a
+  // Release build strips — a non-converging propagate/DCE cycle would
+  // loop forever. It must be a real check that fails the pipeline.
+  PipelineOptions Opts;
+  Opts.CompletePropagation = true;
+  Opts.MaxDceRounds = 1;
+  PipelineResult R = runPipeline(TwoRoundSource, Opts);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("failed to converge"), std::string::npos)
+      << R.Error;
+}
+
+TEST(PipelineConvergence, ExactBoundSuffices) {
+  PipelineOptions Opts;
+  Opts.CompletePropagation = true;
+  Opts.MaxDceRounds = 2;
+  PipelineResult R = runPipeline(TwoRoundSource, Opts);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.DceRounds, 2u);
+}

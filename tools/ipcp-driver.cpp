@@ -20,6 +20,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/CallGraph.h"
+#include "exec/Interpreter.h"
+#include "exec/Oracle.h"
 #include "ipcp/Cloning.h"
 #include "ipcp/Inliner.h"
 #include "ipcp/Pipeline.h"
@@ -33,6 +35,7 @@
 #include "workloads/SuiteRunner.h"
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -66,7 +69,13 @@ static void printUsage() {
          "  --constants-out=<file>  write the CONSTANTS sets to a file\n"
          "  --stats        print jump function and solver statistics\n"
          "  --inline       print the procedure-integrated program and exit\n"
-         "  --clone        print the constant-cloned program and exit\n";
+         "  --clone        print the constant-cloned program and exit\n"
+         "  --run          execute the program with the reference\n"
+         "                 interpreter and print its PRINT trace\n"
+         "  --validate     run the translation-validation oracle over the\n"
+         "                 program under the selected analyzer options\n"
+         "  --read-seed=<n>  READ input stream seed for --run/--validate\n"
+         "  --max-steps=<n>  interpreter step budget for --run/--validate\n";
 }
 
 // Parses a worker-count flag value: digits only, capped well below any
@@ -88,6 +97,19 @@ static bool parseCount(const std::string &Value, const char *Flag,
   return true;
 }
 
+// Parses an unbounded non-negative integer flag value (seeds, budgets).
+static bool parseU64(const std::string &Value, const char *Flag,
+                     uint64_t &Out) {
+  if (Value.empty() ||
+      Value.find_first_not_of("0123456789") != std::string::npos) {
+    std::cerr << "error: " << Flag << " expects a non-negative integer, got '"
+              << Value << "'\n";
+    return false;
+  }
+  Out = std::strtoull(Value.c_str(), nullptr, 10);
+  return true;
+}
+
 int main(int argc, char **argv) {
   PipelineOptions Opts;
   std::string Path;
@@ -100,6 +122,10 @@ int main(int argc, char **argv) {
   bool DumpJf = false;
   bool DoInline = false;
   bool DoClone = false;
+  bool DoRun = false;
+  bool DoValidate = false;
+  uint64_t ReadSeed = 1;
+  uint64_t MaxSteps = RunLimits().MaxSteps;
   bool Stats = false;
   bool Time = false;
   unsigned Jobs = 1;
@@ -163,6 +189,16 @@ int main(int argc, char **argv) {
       DoInline = true;
     } else if (Arg == "--clone") {
       DoClone = true;
+    } else if (Arg == "--run") {
+      DoRun = true;
+    } else if (Arg == "--validate") {
+      DoValidate = true;
+    } else if (Arg.rfind("--read-seed=", 0) == 0) {
+      if (!parseU64(Arg.substr(12), "--read-seed", ReadSeed))
+        return 1;
+    } else if (Arg.rfind("--max-steps=", 0) == 0) {
+      if (!parseU64(Arg.substr(12), "--max-steps", MaxSteps))
+        return 1;
     } else if (Arg.rfind("--suite=", 0) == 0) {
       SuiteName = Arg.substr(8);
     } else if (Arg == "--help" || Arg == "-h") {
@@ -234,6 +270,18 @@ int main(int argc, char **argv) {
       return 1;
     }
   } else if (!Path.empty()) {
+    // An ifstream opens a directory without error and then reads nothing,
+    // which would silently analyze an empty program — check the path
+    // first, and check the stream again after draining it.
+    std::error_code Ec;
+    if (!std::filesystem::exists(Path, Ec)) {
+      std::cerr << "error: no such file '" << Path << "'\n";
+      return 1;
+    }
+    if (!std::filesystem::is_regular_file(Path, Ec)) {
+      std::cerr << "error: '" << Path << "' is not a regular file\n";
+      return 1;
+    }
     std::ifstream In(Path);
     if (!In) {
       std::cerr << "error: cannot open '" << Path << "'\n";
@@ -241,10 +289,54 @@ int main(int argc, char **argv) {
     }
     std::ostringstream Buf;
     Buf << In.rdbuf();
+    if (In.bad()) {
+      std::cerr << "error: failed reading '" << Path << "'\n";
+      return 1;
+    }
     Source = Buf.str();
   } else {
     printUsage();
     return 1;
+  }
+
+  if (DoRun) {
+    DiagnosticEngine Diags;
+    auto Ctx = parseProgram(Source, Diags);
+    SymbolTable Symbols;
+    if (!Diags.hasErrors())
+      Symbols = Sema::run(*Ctx, Diags);
+    if (Diags.hasErrors()) {
+      Diags.print(std::cerr);
+      return 1;
+    }
+    Interpreter Interp(Ctx->program(), Symbols);
+    RunOptions RO;
+    RO.ReadSeed = ReadSeed;
+    RO.Limits.MaxSteps = MaxSteps;
+    RunResult R = Interp.run(RO);
+    for (int64_t V : R.Prints)
+      std::cout << V << '\n';
+    std::cerr << "! " << R.str() << '\n';
+    return R.Status == RunStatus::Ok ? 0 : 1;
+  }
+
+  if (DoValidate) {
+    OracleOptions OOpts;
+    OOpts.Pipeline = Opts;
+    OOpts.Limits.MaxSteps = MaxSteps;
+    OOpts.ReadSeeds = {ReadSeed, ReadSeed + 1, ReadSeed + 2};
+    OOpts.CheckInliner = true;
+    OOpts.CheckCloning = true;
+    OracleResult R = validateTranslation(Source, OOpts);
+    if (!R.Ok) {
+      std::cerr << "validation FAILED:\n" << R.Error << '\n';
+      return 1;
+    }
+    std::cout << "validation passed: " << R.RunsExecuted << " runs, "
+              << R.TraceComparisons << " trace comparisons, "
+              << R.SubstitutedUseChecks << " substituted-use checks, "
+              << R.EntryConstantChecks << " entry-constant checks\n";
+    return 0;
   }
 
   if (DoInline || DoClone) {
@@ -350,6 +442,11 @@ int main(int argc, char **argv) {
       for (const auto &[Name, Value] : Result.Constants[P])
         Out << ' ' << Name << '=' << Value;
       Out << '\n';
+    }
+    Out.flush();
+    if (!Out) {
+      std::cerr << "error: failed writing '" << ConstantsOut << "'\n";
+      return 1;
     }
   }
 

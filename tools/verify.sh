@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+#===- tools/verify.sh - Full verification sweep --------------------------===//
+#
+# Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+#
+# Builds the 'default' and 'asan' CMake presets and runs, under each:
+#   * the tier-1 test suite (everything except the oracle label), and
+#   * the seeded translation-validation fuzz (`ctest -L check-oracle`).
+#
+# Usage: tools/verify.sh [--quick]
+#   --quick   default preset only (skip the sanitizer rebuild)
+#
+#===----------------------------------------------------------------------===//
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PRESETS=(default asan)
+if [[ "${1:-}" == "--quick" ]]; then
+  PRESETS=(default)
+fi
+
+JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+for preset in "${PRESETS[@]}"; do
+  case "$preset" in
+    default) builddir=build ;;
+    asan)    builddir=build-asan ;;
+    *)       echo "unknown preset $preset" >&2; exit 1 ;;
+  esac
+
+  echo "==== [$preset] configure + build ===="
+  cmake --preset "$preset" >/dev/null
+  cmake --build "$builddir" -j "$JOBS"
+
+  echo "==== [$preset] tier-1 tests ===="
+  ctest --test-dir "$builddir" -LE check-oracle --output-on-failure -j "$JOBS"
+
+  echo "==== [$preset] oracle fuzz (check-oracle) ===="
+  ctest --test-dir "$builddir" -L check-oracle --output-on-failure -j "$JOBS"
+done
+
+echo "==== verify: all presets green ===="
