@@ -1,0 +1,262 @@
+//===- bench/incremental_speedup.cpp - Cold vs warm suite batches ---------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures what the incremental analysis sessions buy on the paper's
+/// own workload: the full (12 programs x 9 configs) suite batch, run
+///
+///   cold — SuiteSharing::PerCell: every cell re-parses its program and
+///          rebuilds every analysis artifact from source, the pre-session
+///          behavior;
+///   warm — SuiteSharing::Shared: one frontend and one AnalysisSession
+///          per program, cells sharing lowered IR, SSA, value numberings,
+///          and jump-function bases.
+///
+/// Correctness is asserted, not reported: every cell's Ok /
+/// SubstitutedConstants / ConstantPrints must be identical between the
+/// two modes (the cold-vs-warm fingerprint tests check the full result;
+/// this guards the bench's own numbers). Timing gates:
+///
+///   default    warm wall must be >= 2x faster than cold (best of
+///              --iters runs each);
+///   --smoke    one iteration, warm <= cold — the cheap CI guard
+///              (ctest -L check-bench).
+///
+/// Results are also written as machine-readable JSON (--json=PATH,
+/// default BENCH_suite.json): wall and per-phase milliseconds for both
+/// modes, session cache hit rates, and solver memo totals. See
+/// EXPERIMENTS.md "Incremental sessions & caching" for how to read it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Suite.h"
+#include "workloads/SuiteRunner.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace ipcp;
+
+namespace {
+
+/// Per-phase milliseconds summed over a batch's cells.
+struct PhaseSums {
+  double LowerMs = 0, JumpFunctionsMs = 0, SolveMs = 0, SubstituteMs = 0;
+  double FrontendMs = 0; ///< Per-cell (cold) or shared pass (warm).
+};
+
+PhaseSums sumPhases(const SuiteRunResult &R) {
+  PhaseSums S;
+  for (const SuiteCell &Cell : R.Cells) {
+    S.FrontendMs += Cell.Timings.FrontendMs;
+    S.LowerMs += Cell.Timings.LowerMs;
+    S.JumpFunctionsMs += Cell.Timings.JumpFunctionsMs;
+    S.SolveMs += Cell.Timings.SolveMs;
+    S.SubstituteMs += Cell.Timings.SubstituteMs;
+  }
+  S.FrontendMs += R.FrontendMs; // Zero for cold batches.
+  return S;
+}
+
+/// Cells the two modes must agree on; returns the number that do.
+size_t identicalCells(const SuiteRunResult &Cold, const SuiteRunResult &Warm,
+                      bool &AllIdentical) {
+  size_t Same = 0;
+  for (size_t I = 0; I != Cold.Cells.size(); ++I) {
+    const SuiteCell &A = Cold.Cells[I], &B = Warm.Cells[I];
+    if (A.Ok == B.Ok && A.SubstitutedConstants == B.SubstitutedConstants &&
+        A.ConstantPrints == B.ConstantPrints) {
+      ++Same;
+      continue;
+    }
+    AllIdentical = false;
+    std::cerr << "FAIL: warm diverged from cold on " << A.Program << '/'
+              << A.Config << ": substituted " << A.SubstitutedConstants
+              << " vs " << B.SubstitutedConstants << ", prints "
+              << A.ConstantPrints << " vs " << B.ConstantPrints << '\n';
+  }
+  return Same;
+}
+
+double rate(uint64_t Reused, uint64_t Built) {
+  uint64_t Total = Reused + Built;
+  return Total ? double(Reused) / double(Total) : 0.0;
+}
+
+void emitPhases(std::ofstream &Out, const char *Key, double WallMs,
+                double CellMs, const PhaseSums &S) {
+  char Buf[512];
+  std::snprintf(Buf, sizeof(Buf),
+                "  \"%s\": {\"wall_ms\": %.3f, \"cell_sum_ms\": %.3f, "
+                "\"frontend_ms\": %.3f, \"lower_ms\": %.3f, "
+                "\"jump_functions_ms\": %.3f, \"solve_ms\": %.3f, "
+                "\"substitute_ms\": %.3f}",
+                Key, WallMs, CellMs, S.FrontendMs, S.LowerMs,
+                S.JumpFunctionsMs, S.SolveMs, S.SubstituteMs);
+  Out << Buf;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  std::string JsonPath = "BENCH_suite.json";
+  unsigned Iters = 3;
+  unsigned Jobs = 1;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--smoke")
+      Smoke = true;
+    else if (Arg.rfind("--json=", 0) == 0)
+      JsonPath = Arg.substr(7);
+    else if (Arg.rfind("--iters=", 0) == 0)
+      Iters = static_cast<unsigned>(std::strtoul(Arg.c_str() + 8, nullptr, 10));
+    else if (Arg.rfind("--jobs=", 0) == 0)
+      Jobs = static_cast<unsigned>(std::strtoul(Arg.c_str() + 7, nullptr, 10));
+    else {
+      std::cerr << "usage: incremental_speedup [--smoke] [--json=PATH] "
+                   "[--iters=N] [--jobs=N]\n";
+      return 1;
+    }
+  }
+  if (Smoke) {
+    Iters = 1;
+    Jobs = 1;
+  }
+  if (Iters == 0)
+    Iters = 1;
+
+  const std::vector<WorkloadProgram> Programs = benchmarkSuite();
+  const std::vector<SuiteConfig> Configs = allConfigs();
+  std::cout << "Incremental sessions: cold (per-cell) vs warm (shared) "
+               "suite batch\n"
+            << Programs.size() << " programs x " << Configs.size()
+            << " configs, jobs=" << Jobs << ", iters=" << Iters
+            << (Smoke ? " (smoke)" : "") << "\n\n";
+
+  // Best-of-N keeps scheduler noise out of the gate; the first cold run
+  // also serves as the warm-up for both modes.
+  SuiteRunResult Cold, Warm;
+  double ColdMs = 0, WarmMs = 0;
+  for (unsigned I = 0; I != Iters; ++I) {
+    SuiteRunResult C =
+        runSuite(Programs, Configs, Jobs, 1, SuiteSharing::PerCell);
+    SuiteRunResult W =
+        runSuite(Programs, Configs, Jobs, 1, SuiteSharing::Shared);
+    if (I == 0 || C.WallMs < ColdMs) {
+      ColdMs = C.WallMs;
+      Cold = std::move(C);
+    }
+    if (I == 0 || W.WallMs < WarmMs) {
+      WarmMs = W.WallMs;
+      Warm = std::move(W);
+    }
+  }
+
+  bool AllIdentical = true;
+  size_t Same = identicalCells(Cold, Warm, AllIdentical);
+  double Speedup = WarmMs > 0 ? ColdMs / WarmMs : 0.0;
+  PhaseSums ColdPhases = sumPhases(Cold);
+  PhaseSums WarmPhases = sumPhases(Warm);
+  const SessionStats &S = Warm.Cache;
+  uint64_t MemoHits = 0, MemoMisses = 0;
+  for (const SuiteCell &Cell : Warm.Cells) {
+    MemoHits += Cell.SolverMemoHits;
+    MemoMisses += Cell.SolverMemoMisses;
+  }
+
+  std::printf("cold: %8.2f ms wall (frontend %.2f, lower %.2f, jf %.2f, "
+              "solve %.2f, substitute %.2f)\n",
+              ColdMs, ColdPhases.FrontendMs, ColdPhases.LowerMs,
+              ColdPhases.JumpFunctionsMs, ColdPhases.SolveMs,
+              ColdPhases.SubstituteMs);
+  std::printf("warm: %8.2f ms wall (frontend %.2f, lower %.2f, jf %.2f, "
+              "solve %.2f, substitute %.2f)\n",
+              WarmMs, WarmPhases.FrontendMs, WarmPhases.LowerMs,
+              WarmPhases.JumpFunctionsMs, WarmPhases.SolveMs,
+              WarmPhases.SubstituteMs);
+  std::printf("speedup: %.2fx, identical cells: %zu/%zu\n", Speedup, Same,
+              Cold.Cells.size());
+  std::printf("caches: ssa %.0f%% reused (%llu/%llu), vn %.0f%% reused "
+              "(%llu/%llu), jf bases %.0f%% reused (%llu/%llu)\n",
+              100 * rate(S.SsaReused, S.SsaBuilt),
+              (unsigned long long)S.SsaReused,
+              (unsigned long long)(S.SsaReused + S.SsaBuilt),
+              100 * rate(S.VnReused, S.VnBuilt),
+              (unsigned long long)S.VnReused,
+              (unsigned long long)(S.VnReused + S.VnBuilt),
+              100 * rate(S.JfBasesReused, S.JfBasesBuilt),
+              (unsigned long long)S.JfBasesReused,
+              (unsigned long long)(S.JfBasesReused + S.JfBasesBuilt));
+  std::printf("solver memo: %llu hits / %llu misses\n",
+              (unsigned long long)MemoHits, (unsigned long long)MemoMisses);
+
+  std::ofstream Json(JsonPath);
+  if (!Json) {
+    std::cerr << "error: cannot write '" << JsonPath << "'\n";
+    return 1;
+  }
+  char Buf[512];
+  Json << "{\n";
+  Json << "  \"programs\": " << Programs.size()
+       << ", \"configs\": " << Configs.size() << ", \"jobs\": " << Jobs
+       << ", \"iters\": " << Iters
+       << ", \"smoke\": " << (Smoke ? "true" : "false") << ",\n";
+  emitPhases(Json, "cold", ColdMs, Cold.CellMs, ColdPhases);
+  Json << ",\n";
+  emitPhases(Json, "warm", WarmMs, Warm.CellMs, WarmPhases);
+  Json << ",\n";
+  std::snprintf(Buf, sizeof(Buf), "  \"speedup\": %.3f,\n", Speedup);
+  Json << Buf;
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "  \"cache\": {\"procs_lowered\": %llu, \"procs_relowered\": %llu, "
+      "\"ssa_built\": %llu, \"ssa_reused\": %llu, \"ssa_hit_rate\": %.3f, "
+      "\"vn_built\": %llu, \"vn_reused\": %llu, \"vn_hit_rate\": %.3f, "
+      "\"jf_bases_built\": %llu, \"jf_bases_reused\": %llu, "
+      "\"jf_base_hit_rate\": %.3f},\n",
+      (unsigned long long)S.ProcsLowered, (unsigned long long)S.ProcsRelowered,
+      (unsigned long long)S.SsaBuilt, (unsigned long long)S.SsaReused,
+      rate(S.SsaReused, S.SsaBuilt), (unsigned long long)S.VnBuilt,
+      (unsigned long long)S.VnReused, rate(S.VnReused, S.VnBuilt),
+      (unsigned long long)S.JfBasesBuilt, (unsigned long long)S.JfBasesReused,
+      rate(S.JfBasesReused, S.JfBasesBuilt));
+  Json << Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "  \"solver_memo\": {\"hits\": %llu, \"misses\": %llu},\n",
+                (unsigned long long)MemoHits, (unsigned long long)MemoMisses);
+  Json << Buf;
+  Json << "  \"identical_cells\": " << Same << ", \"total_cells\": "
+       << Cold.Cells.size() << "\n}\n";
+  Json.flush();
+  if (!Json) {
+    std::cerr << "error: failed writing '" << JsonPath << "'\n";
+    return 1;
+  }
+  std::cout << "wrote " << JsonPath << "\n";
+
+  if (!AllIdentical) {
+    std::cout << "RESULT: FAIL (warm results diverged from cold)\n";
+    return 1;
+  }
+  if (Smoke) {
+    if (WarmMs > ColdMs) {
+      std::cout << "RESULT: FAIL (warm " << WarmMs << " ms slower than cold "
+                << ColdMs << " ms)\n";
+      return 1;
+    }
+  } else if (Speedup < 2.0) {
+    std::cout << "RESULT: FAIL (speedup " << Speedup << "x below the 2x "
+              << "gate)\n";
+    return 1;
+  }
+  std::cout << "RESULT: OK\n";
+  return 0;
+}

@@ -115,11 +115,19 @@ private:
 
 } // namespace
 
-unsigned DeadCodeElim::run(AstContext &Ctx,
-                           const Decisions &Decisions) {
+unsigned DeadCodeElim::run(AstContext &Ctx, const Decisions &Decisions,
+                           std::vector<ProcId> *DirtyProcs) {
   Rewriter R(Ctx, Decisions);
   Program &Prog = Ctx.program();
-  for (auto &P : Prog.Procs)
-    P->Body = R.rewriteList(P->Body);
+  // A procedure is dirty iff a fold fired inside it: with zero folds the
+  // rewrite returns the statement list unchanged (every non-folded case
+  // pushes the original node back).
+  for (ProcId P = 0, E = static_cast<ProcId>(Prog.Procs.size()); P != E;
+       ++P) {
+    unsigned Before = R.folded();
+    Prog.Procs[P]->Body = R.rewriteList(Prog.Procs[P]->Body);
+    if (DirtyProcs && R.folded() != Before)
+      DirtyProcs->push_back(P);
+  }
   return R.folded();
 }

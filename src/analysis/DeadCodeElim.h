@@ -21,6 +21,7 @@
 #include "lang/Ast.h"
 
 #include <unordered_map>
+#include <vector>
 
 namespace ipcp {
 
@@ -38,7 +39,14 @@ public:
   ///    replaced by the loop-variable initialization it still performs.
   /// Known-true loop conditions are left alone (the loop body still
   /// executes). Returns the number of statements folded.
-  static unsigned run(AstContext &Ctx, const Decisions &Decisions);
+  ///
+  /// With a non-null \p DirtyProcs, appends (in ProcId order) the ids of
+  /// the procedures whose bodies the pass structurally changed — i.e.
+  /// folded at least one statement in. A procedure outside this set has
+  /// the exact same statement tree as before the call, so incremental
+  /// callers (AnalysisSession) can keep its lowered IR.
+  static unsigned run(AstContext &Ctx, const Decisions &Decisions,
+                      std::vector<ProcId> *DirtyProcs = nullptr);
 };
 
 } // namespace ipcp

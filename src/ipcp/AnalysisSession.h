@@ -1,0 +1,216 @@
+//===- ipcp/AnalysisSession.h - Incremental per-program caches --*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An AnalysisSession owns every analysis artifact derivable from one
+/// checked program — lowered IR, call graph, MOD/REF and alias
+/// summaries, per-procedure SSA and value numberings, and the
+/// configuration-independent "base" of a jump-function build — and hands
+/// them out memoized, so that
+///
+///   * the nine suite configurations of one program share one frontend,
+///     one Module, and one SSA/VN per (procedure, UseMod) instead of
+///     rebuilding them per cell (Tables 2/3 rerun the same programs);
+///   * complete-propagation rounds re-lower only the procedures the
+///     dead-code eliminator actually mutated (its dirty-set), via
+///     invalidate();
+///   * the expensive stage-1 value numberings (Pai: GVN dominates the
+///     analysis cost) are reused by stage 2 and by later configurations
+///     whenever provably identical to a fresh build.
+///
+/// The cache-validity reasoning, enforced by the cold-vs-warm
+/// fingerprint tests:
+///
+///   * SSA depends on (Function, SymbolTable, kill oracle); the oracle
+///     depends only on whether MOD summaries are in use, so slots are
+///     keyed (ProcId, UseMod).
+///   * A jump-function base — stage-1 return jump functions plus the
+///     value numberings built along the way — depends on
+///     (UseMod, UseReturnJumpFunctions, UseGatedSsa) but NOT on the
+///     forward jump-function kind, which only classifies stage-2 output.
+///   * A stage-1 value numbering equals a stage-2 rebuild only for
+///     non-recursive procedures (bottom-up order guarantees their
+///     callees' return jump functions were complete); recursive ones are
+///     rebuilt per configuration (JumpFunctionBuilder enforces this).
+///   * invalidate() keeps only the lowered Functions of clean
+///     procedures: a mutated body can change MOD sets, and through them
+///     the kill sets — hence SSA — of every caller, so everything
+///     downstream of lowering is dropped wholesale.
+///
+/// Read accessors are thread-safe (the shared-suite runner analyzes one
+/// session from many cells concurrently); invalidate() and ast() require
+/// exclusive use, which the complete-propagation loop — the only mutator
+/// — provides by running on a private clone of the program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_IPCP_ANALYSISSESSION_H
+#define IPCP_IPCP_ANALYSISSESSION_H
+
+#include "analysis/CallGraph.h"
+#include "analysis/ModRef.h"
+#include "analysis/RefAlias.h"
+#include "analysis/ValueNumbering.h"
+#include "ipcp/JumpFunctionBuilder.h"
+#include "ir/Dominators.h"
+#include "ir/Function.h"
+#include "ir/Ssa.h"
+#include "lang/Ast.h"
+#include "lang/Sema.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace ipcp {
+
+/// Snapshot of a session's cache-effectiveness counters (plain values;
+/// the live counters are atomics). Feeds BENCH_suite.json and the cache
+/// tests.
+struct SessionStats {
+  uint64_t ProcsLowered = 0;   ///< buildFunction calls (initial + re-lowers).
+  uint64_t ProcsRelowered = 0; ///< Subset rebuilt after an invalidate().
+  uint64_t SsaBuilt = 0;       ///< SSA bundles constructed.
+  uint64_t SsaReused = 0;      ///< ssa() calls served from the cache.
+  uint64_t VnBuilt = 0;        ///< Value numberings constructed.
+  uint64_t VnReused = 0;       ///< Stage-2 uses of a cached numbering.
+  uint64_t JfBasesBuilt = 0;   ///< Jump-function bases constructed.
+  uint64_t JfBasesReused = 0;  ///< jfBase() calls served from the cache.
+};
+
+/// Memoizing home of every analysis artifact of one checked program.
+class AnalysisSession {
+public:
+  /// The session keeps references to both arguments; they must outlive
+  /// it, and \p Ctx must already be checked by Sema against \p Symbols.
+  AnalysisSession(AstContext &Ctx, const SymbolTable &Symbols);
+  ~AnalysisSession();
+
+  AnalysisSession(const AnalysisSession &) = delete;
+  AnalysisSession &operator=(const AnalysisSession &) = delete;
+
+  /// The analyzed program. Mutating it (DCE) requires exclusive use and
+  /// a matching invalidate() before the next analysis read.
+  AstContext &ast() { return Ctx; }
+  const SymbolTable &symbols() const { return Symbols; }
+
+  /// The lowered Module, rebuilding only procedures with no current
+  /// Function (initially: all; after invalidate(Dirty): Dirty only).
+  const Module &module();
+
+  /// The call graph of module() (built on demand).
+  const CallGraph &callGraph();
+
+  /// MOD/REF summaries, or null when \p UseMod is false — matching the
+  /// "MRI present iff UseMod" contract of the analysis passes.
+  const ModRefInfo *modRef(bool UseMod);
+
+  /// By-reference alias summaries under the given MOD setting.
+  const RefAliasInfo &refAlias(bool UseMod);
+
+  /// The call kill oracle under the given MOD setting.
+  const SsaForm::KillOracle &killOracle(bool UseMod);
+
+  /// Dominator tree + SSA of one procedure (SSA retains references to
+  /// both the Function and the tree it was built over).
+  struct SsaBundle {
+    DominatorTree DT;
+    SsaForm Ssa;
+    SsaBundle(const Function &F, const SymbolTable &Symbols,
+              const SsaForm::KillOracle &Kills)
+        : DT(F), Ssa(F, Symbols, DT, Kills) {}
+  };
+
+  /// The SSA bundle of \p P under the given MOD setting, built on first
+  /// use.
+  const SsaBundle &ssa(ProcId P, bool UseMod);
+
+  /// A cached value numbering and the arena backing its expressions.
+  struct VnBundle {
+    VnContext Ctx;
+    std::optional<ValueNumbering> VN;
+  };
+
+  /// The configuration-independent base of a jump-function build: the
+  /// stage-1 return jump functions (Skeleton.ReturnJfs, with stage-1
+  /// stats in Skeleton.Stats) and the per-procedure value numberings
+  /// whose reuse is provably sound (null entries must be rebuilt).
+  struct JfBase {
+    ProgramJumpFunctions Skeleton;
+    std::vector<std::unique_ptr<VnBundle>> Vn;
+  };
+
+  /// The base keyed by (UseMod, UseReturnJumpFunctions, UseGatedSsa) of
+  /// \p Opts, running \p Build under the cache lock on first use.
+  const JfBase &jfBase(const JumpFunctionOptions &Opts,
+                       const std::function<void(JfBase &)> &Build);
+
+  /// Drops every artifact invalidated by a structural change to the
+  /// procedures in \p Dirty (typically DeadCodeElim's dirty-set): their
+  /// lowered Functions, plus all derived analyses of every procedure
+  /// (see file comment). Requires exclusive use of the session.
+  void invalidate(const std::vector<ProcId> &Dirty);
+
+  /// Snapshot of the cache counters.
+  SessionStats stats() const;
+
+  /// Live counters, bumped by the session and by JumpFunctionBuilder's
+  /// cached stage 2.
+  struct Counters {
+    std::atomic<uint64_t> ProcsLowered{0};
+    std::atomic<uint64_t> ProcsRelowered{0};
+    std::atomic<uint64_t> SsaBuilt{0};
+    std::atomic<uint64_t> SsaReused{0};
+    std::atomic<uint64_t> VnBuilt{0};
+    std::atomic<uint64_t> VnReused{0};
+    std::atomic<uint64_t> JfBasesBuilt{0};
+    std::atomic<uint64_t> JfBasesReused{0};
+  };
+  Counters &counters() { return C; }
+
+private:
+  /// Callers hold CoreMutex.
+  const Module &moduleLocked();
+  const ModRefInfo *modRefLocked(bool UseMod);
+  const SsaForm::KillOracle &killOracleLocked(bool UseMod);
+
+  AstContext &Ctx;
+  const SymbolTable &Symbols;
+  const size_t NumProcs;
+
+  /// Guards the module and the whole-program summaries below.
+  std::mutex CoreMutex;
+  Module Mod;
+  bool AllLowered = false;
+  bool EverInvalidated = false;
+  std::optional<CallGraph> CG;
+  bool MriBuilt = false;
+  std::optional<ModRefInfo> Mri;
+  std::optional<RefAliasInfo> Aliases[2];    // [UseMod]
+  std::optional<SsaForm::KillOracle> Oracles[2]; // [UseMod]
+
+  /// Per-(procedure, UseMod) SSA slots; each has its own lock so
+  /// concurrent cells build distinct procedures in parallel.
+  struct SsaSlot {
+    std::mutex M;
+    std::unique_ptr<SsaBundle> B;
+  };
+  std::unique_ptr<SsaSlot[]> SsaSlots;
+
+  /// Jump-function bases keyed (UseMod << 2) | (UseRjf << 1) | Gated.
+  std::mutex JfMutex;
+  std::unique_ptr<JfBase> JfBases[8];
+
+  Counters C;
+};
+
+} // namespace ipcp
+
+#endif // IPCP_IPCP_ANALYSISSESSION_H

@@ -6,6 +6,7 @@
 
 #include "ipcp/JumpFunctionBuilder.h"
 
+#include "ipcp/AnalysisSession.h"
 #include "ir/Dominators.h"
 #include "support/ThreadPool.h"
 
@@ -175,24 +176,56 @@ struct BuildContext {
   const KillValueFn *VnKillFnPtr;
   const RefAliasInfo *Aliases;
   ProgramJumpFunctions &Jfs;
+  AnalysisSession *Session;
 
   const std::vector<uint8_t> *unstableMask(ProcId P) const {
     return Aliases ? &Aliases->unstableMask(P) : nullptr;
   }
 };
 
+/// Dominator tree + SSA of one procedure: the session's cached bundle,
+/// or a locally built pair kept alive by the out-params.
+struct SsaView {
+  const DominatorTree *DT;
+  const SsaForm *Ssa;
+};
+
+SsaView getSsa(const BuildContext &BC, ProcId P,
+               std::optional<DominatorTree> &LocalDT,
+               std::optional<SsaForm> &LocalSsa) {
+  if (BC.Session) {
+    const AnalysisSession::SsaBundle &B =
+        BC.Session->ssa(P, BC.Opts.UseMod);
+    return {&B.DT, &B.Ssa};
+  }
+  const Function &F = BC.M.function(P);
+  LocalDT.emplace(F);
+  LocalSsa.emplace(F, BC.Symbols, *LocalDT, BC.KillOracle);
+  return {&*LocalDT, &*LocalSsa};
+}
+
 /// Stage 1 for one procedure: fills Jfs.ReturnJfs[P]. Reads only the
 /// ReturnJfs of call-adjacent procedures (via VnKillFnPtr), which wave
-/// scheduling keeps race-free. Returns the stat deltas.
-JumpFunctionStats buildReturnJfsForProc(const BuildContext &BC, ProcId P) {
+/// scheduling keeps race-free. Returns the stat deltas. With a non-null
+/// \p CacheInto the value numbering is constructed inside it (and kept
+/// for stage-2 reuse) instead of on the stack.
+JumpFunctionStats buildReturnJfsForProc(const BuildContext &BC, ProcId P,
+                                        AnalysisSession::VnBundle *CacheInto) {
   JumpFunctionStats Stats;
-  const Function &F = BC.M.function(P);
-  DominatorTree DT(F);
-  SsaForm Ssa(F, BC.Symbols, DT, BC.KillOracle);
-  VnContext Ctx;
-  ValueNumbering VN(Ssa, BC.Symbols, Ctx, BC.VnKillFnPtr,
-                    BC.Opts.UseGatedSsa ? &DT : nullptr,
-                    BC.unstableMask(P));
+  std::optional<DominatorTree> LocalDT;
+  std::optional<SsaForm> LocalSsa;
+  SsaView View = getSsa(BC, P, LocalDT, LocalSsa);
+  const SsaForm &Ssa = *View.Ssa;
+  std::optional<VnContext> LocalCtx;
+  std::optional<ValueNumbering> LocalVN;
+  auto &VnSlot = CacheInto ? CacheInto->VN : LocalVN;
+  VnSlot.emplace(Ssa, BC.Symbols,
+                 CacheInto ? CacheInto->Ctx : LocalCtx.emplace(),
+                 BC.VnKillFnPtr, BC.Opts.UseGatedSsa ? View.DT : nullptr,
+                 BC.unstableMask(P));
+  const ValueNumbering &VN = *VnSlot;
+  if (BC.Session)
+    BC.Session->counters().VnBuilt.fetch_add(1, std::memory_order_relaxed);
 
   auto &Out = BC.Jfs.ReturnJfs[P];
   const auto &ExitSyms = Ssa.exitSymbols();
@@ -231,8 +264,11 @@ JumpFunctionStats buildReturnJfsForProc(const BuildContext &BC, ProcId P) {
 
 /// Stage 2 for one procedure: fills Jfs.PerSite[P]. Reads only the fully
 /// built ReturnJfs, so every procedure is independent. Returns the stat
-/// deltas.
-JumpFunctionStats buildForwardJfsForProc(const BuildContext &BC, ProcId P) {
+/// deltas. \p CachedVN, when non-null, is a numbering from the session's
+/// jump-function base that is provably identical to a fresh build (see
+/// buildJumpFunctions); null means build one locally.
+JumpFunctionStats buildForwardJfsForProc(const BuildContext &BC, ProcId P,
+                                         const ValueNumbering *CachedVN) {
   JumpFunctionStats Stats;
   const Function &F = BC.M.function(P);
 
@@ -241,16 +277,31 @@ JumpFunctionStats buildForwardJfsForProc(const BuildContext &BC, ProcId P) {
   // information" (§3.1.5) — so it skips SSA and value numbering
   // entirely; every other kind pays for them.
   bool LiteralOnly = BC.Opts.Kind == JumpFunctionKind::Literal;
-  std::optional<DominatorTree> DT;
-  std::optional<SsaForm> Ssa;
+  std::optional<DominatorTree> LocalDT;
+  std::optional<SsaForm> LocalSsa;
   std::optional<VnContext> Ctx;
-  std::optional<ValueNumbering> VN;
+  std::optional<ValueNumbering> LocalVN;
+  const SsaForm *Ssa = nullptr;
+  const ValueNumbering *VN = nullptr;
   if (!LiteralOnly) {
-    DT.emplace(F);
-    Ssa.emplace(F, BC.Symbols, *DT, BC.KillOracle);
-    Ctx.emplace();
-    VN.emplace(*Ssa, BC.Symbols, *Ctx, BC.VnKillFnPtr,
-               BC.Opts.UseGatedSsa ? &*DT : nullptr, BC.unstableMask(P));
+    if (CachedVN) {
+      VN = CachedVN;
+      Ssa = &CachedVN->ssa();
+      if (BC.Session)
+        BC.Session->counters().VnReused.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    } else {
+      SsaView View = getSsa(BC, P, LocalDT, LocalSsa);
+      Ssa = View.Ssa;
+      Ctx.emplace();
+      LocalVN.emplace(*Ssa, BC.Symbols, *Ctx, BC.VnKillFnPtr,
+                      BC.Opts.UseGatedSsa ? View.DT : nullptr,
+                      BC.unstableMask(P));
+      VN = &*LocalVN;
+      if (BC.Session)
+        BC.Session->counters().VnBuilt.fetch_add(1,
+                                                 std::memory_order_relaxed);
+    }
   }
 
   auto recordStats = [&](const JumpFunction &J) {
@@ -317,6 +368,84 @@ JumpFunctionStats buildForwardJfsForProc(const BuildContext &BC, ProcId P) {
   return Stats;
 }
 
+void foldStats(JumpFunctionStats &Into, const JumpFunctionStats &S);
+
+/// Runs stage 1 over \p Order, either serially or in call-adjacency
+/// waves over \p Pool, folding the per-procedure stat deltas in serial
+/// order. \p CacheFor(P) returns the bundle to construct P's value
+/// numbering into (null = stack-local).
+template <typename CacheForFn>
+void runStage1(const BuildContext &BC, ThreadPool *Pool,
+               JumpFunctionStats &Into, CacheForFn CacheFor) {
+  const auto &Order = BC.CG.bottomUpOrder();
+  std::vector<JumpFunctionStats> PerProc(Order.size());
+  auto BuildAt = [&](size_t I) {
+    ProcId P = Order[I];
+    PerProc[I] = buildReturnJfsForProc(BC, P, CacheFor(P));
+  };
+  if (!Pool) {
+    for (size_t I = 0; I != Order.size(); ++I)
+      BuildAt(I);
+  } else {
+    for (const auto &WaveIdx : callAdjacencyWaves(BC.CG, Order))
+      parallelFor(Pool, WaveIdx.size(),
+                  [&](size_t I) { BuildAt(WaveIdx[I]); });
+  }
+  for (const JumpFunctionStats &S : PerProc)
+    foldStats(Into, S);
+}
+
+/// Builds the configuration-independent base shared by every
+/// jump-function build with the same (UseMod, UseRjf, UseGatedSsa): the
+/// stage-1 return jump functions, and one value numbering per procedure
+/// wherever a later stage-2 rebuild would provably reproduce it — every
+/// non-recursive procedure when return jump functions are on (bottom-up
+/// order guarantees its callees' RJFs were complete when its numbering
+/// ran), and every procedure when they are off (the numbering then has
+/// no RJF input at all).
+void buildJfBase(AnalysisSession::JfBase &B, const Module &M,
+                 const SymbolTable &Symbols, const CallGraph &CG,
+                 const ModRefInfo *MRI, const JumpFunctionOptions &Opts,
+                 const RefAliasInfo *Aliases, ThreadPool *Pool,
+                 AnalysisSession *Session) {
+  B.Skeleton.Options = Opts;
+  B.Skeleton.PerSite.resize(M.Functions.size());
+  B.Skeleton.ReturnJfs.resize(M.Functions.size());
+  B.Vn.resize(M.Functions.size());
+
+  const SsaForm::KillOracle &KillOracle = Session->killOracle(Opts.UseMod);
+  KillValueFn VnKillFn = makeVnKillFn(B.Skeleton, Symbols);
+  const KillValueFn *VnKillFnPtr =
+      Opts.UseReturnJumpFunctions ? &VnKillFn : nullptr;
+  BuildContext BC{M,          Symbols, CG,      MRI,        Opts, KillOracle,
+                  VnKillFnPtr, Aliases, B.Skeleton, Session};
+
+  if (Opts.UseReturnJumpFunctions) {
+    runStage1(BC, Pool, B.Skeleton.Stats,
+              [&](ProcId P) -> AnalysisSession::VnBundle * {
+                if (CG.isRecursive(P))
+                  return nullptr;
+                B.Vn[P] = std::make_unique<AnalysisSession::VnBundle>();
+                return B.Vn[P].get();
+              });
+    return;
+  }
+
+  // No stage 1: cache a kill-free numbering per reachable procedure so
+  // every configuration sharing this base skips the rebuild.
+  const auto &Order = CG.topDownOrder();
+  parallelFor(Pool, Order.size(), [&](size_t I) {
+    ProcId P = Order[I];
+    auto Bundle = std::make_unique<AnalysisSession::VnBundle>();
+    const AnalysisSession::SsaBundle &SB = Session->ssa(P, Opts.UseMod);
+    Bundle->VN.emplace(SB.Ssa, Symbols, Bundle->Ctx, nullptr,
+                       Opts.UseGatedSsa ? &SB.DT : nullptr,
+                       BC.unstableMask(P));
+    Session->counters().VnBuilt.fetch_add(1, std::memory_order_relaxed);
+    B.Vn[P] = std::move(Bundle);
+  });
+}
+
 void foldStats(JumpFunctionStats &Into, const JumpFunctionStats &S) {
   Into.NumForward += S.NumForward;
   Into.NumForwardConst += S.NumForwardConst;
@@ -339,7 +468,8 @@ ProgramJumpFunctions ipcp::buildJumpFunctions(const Module &M,
                                               const ModRefInfo *MRI,
                                               const JumpFunctionOptions &Opts,
                                               const RefAliasInfo *Aliases,
-                                              ThreadPool *Pool) {
+                                              ThreadPool *Pool,
+                                              AnalysisSession *Session) {
   assert((Opts.UseMod == (MRI != nullptr)) &&
          "MOD info must be supplied exactly when UseMod is set");
 
@@ -354,45 +484,59 @@ ProgramJumpFunctions ipcp::buildJumpFunctions(const Module &M,
   // is how the paper's "without MOD" column still benefits from them.
   bool UseRjf = Opts.UseReturnJumpFunctions;
 
-  SsaForm::KillOracle KillOracle = makeKillOracle(Symbols, MRI);
+  // With a session, stage 1 lives in the shared base: build it once per
+  // (UseMod, UseRjf, UseGatedSsa), then copy the skeleton's return jump
+  // functions (JumpFunction is move-only, so clone) and stage-1 stats
+  // into this configuration's result.
+  const AnalysisSession::JfBase *Base = nullptr;
+  if (Session) {
+    Base = &Session->jfBase(Opts, [&](AnalysisSession::JfBase &B) {
+      buildJfBase(B, M, Symbols, CG, MRI, Opts, Aliases, Pool, Session);
+    });
+    for (size_t P = 0, E = Base->Skeleton.ReturnJfs.size(); P != E; ++P)
+      for (const auto &[Sym, J] : Base->Skeleton.ReturnJfs[P])
+        Jfs.ReturnJfs[P].emplace(Sym, J.clone());
+    foldStats(Jfs.Stats, Base->Skeleton.Stats);
+  }
+
+  SsaForm::KillOracle LocalOracle;
+  const SsaForm::KillOracle *KillOracle;
+  if (Session) {
+    KillOracle = &Session->killOracle(Opts.UseMod);
+  } else {
+    LocalOracle = makeKillOracle(Symbols, MRI);
+    KillOracle = &LocalOracle;
+  }
   KillValueFn VnKillFn = makeVnKillFn(Jfs, Symbols);
   const KillValueFn *VnKillFnPtr = UseRjf ? &VnKillFn : nullptr;
 
-  BuildContext BC{M,    Symbols,     CG,      MRI, Opts,
-                  KillOracle, VnKillFnPtr, Aliases, Jfs};
+  BuildContext BC{M,           Symbols, CG,  MRI,    Opts,
+                  *KillOracle, VnKillFnPtr, Aliases, Jfs, Session};
 
   // Stage 1: return jump functions, bottom-up so callee RJFs are ready
   // when a caller's value numbering wants them. Within a recursive SCC
   // the not-yet-built callee RJFs simply read as bottom (conservative).
   // In parallel mode, call-adjacent procedures run in separate ordered
   // waves so each procedure observes exactly the serial schedule's view
-  // of its neighbours' RJF maps.
-  if (UseRjf) {
-    const auto &Order = CG.bottomUpOrder();
-    std::vector<JumpFunctionStats> PerProc(Order.size());
-    auto BuildAt = [&](size_t I) {
-      PerProc[I] = buildReturnJfsForProc(BC, Order[I]);
-    };
-    if (!Pool) {
-      for (size_t I = 0; I != Order.size(); ++I)
-        BuildAt(I);
-    } else {
-      for (const auto &WaveIdx : callAdjacencyWaves(CG, Order))
-        parallelFor(Pool, WaveIdx.size(),
-                    [&](size_t I) { BuildAt(WaveIdx[I]); });
-    }
-    for (const JumpFunctionStats &S : PerProc)
-      foldStats(Jfs.Stats, S);
-  }
+  // of its neighbours' RJF maps. (With a session, the base above already
+  // ran this.)
+  if (UseRjf && !Session)
+    runStage1(BC, Pool, Jfs.Stats,
+              [](ProcId) -> AnalysisSession::VnBundle * { return nullptr; });
 
   // Stage 2: forward jump functions for every call site of every
   // reachable procedure. The RJFs are now read-only, so every procedure
-  // is independent: one flat parallelFor.
+  // is independent: one flat parallelFor. Cached base numberings stand in
+  // for a fresh build wherever the base proved them identical.
   {
     const auto &Order = CG.topDownOrder();
     std::vector<JumpFunctionStats> PerProc(Order.size());
     parallelFor(Pool, Order.size(), [&](size_t I) {
-      PerProc[I] = buildForwardJfsForProc(BC, Order[I]);
+      ProcId P = Order[I];
+      const ValueNumbering *Cached = nullptr;
+      if (Base && P < Base->Vn.size() && Base->Vn[P] && Base->Vn[P]->VN)
+        Cached = &*Base->Vn[P]->VN;
+      PerProc[I] = buildForwardJfsForProc(BC, P, Cached);
     });
     for (const JumpFunctionStats &S : PerProc)
       foldStats(Jfs.Stats, S);

@@ -40,6 +40,7 @@
 #include <vector>
 
 namespace ipcp {
+class AnalysisSession;
 class ThreadPool;
 }
 
@@ -136,13 +137,24 @@ public:
 /// jump function transmits a value that an aliased store could rewrite.
 /// Null means "no aliasing", only sound for programs that never pass a
 /// modified variable by reference.
+///
+/// With a non-null \p Session the builder memoizes everything that does
+/// not depend on the forward jump-function Kind: SSA comes from the
+/// session's per-procedure cache, and the stage-1 return jump functions
+/// plus the value numberings built along the way are computed once per
+/// (UseMod, UseReturnJumpFunctions, UseGatedSsa) and reused by every
+/// later configuration — stage 2 only rebuilds the numbering of
+/// recursive procedures, whose stage-1 numbering saw an incomplete view
+/// of their SCC's return jump functions. The result is byte-identical to
+/// the session-less build.
 ProgramJumpFunctions buildJumpFunctions(const Module &M,
                                         const SymbolTable &Symbols,
                                         const CallGraph &CG,
                                         const ModRefInfo *MRI,
                                         const JumpFunctionOptions &Opts,
                                         const RefAliasInfo *Aliases = nullptr,
-                                        ThreadPool *Pool = nullptr);
+                                        ThreadPool *Pool = nullptr,
+                                        AnalysisSession *Session = nullptr);
 
 /// Partitions \p Order (a serial processing order over procedures) into
 /// waves such that running each wave's members concurrently, with a

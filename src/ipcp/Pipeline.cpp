@@ -6,6 +6,7 @@
 
 #include "ipcp/Pipeline.h"
 
+#include "ipcp/AnalysisSession.h"
 #include "ir/CfgBuilder.h"
 #include "lang/AstPrinter.h"
 #include "lang/Parser.h"
@@ -32,13 +33,13 @@ double lapMs(Clock::time_point &Start) {
 
 } // namespace
 
-PipelineResult ipcp::runPipelineOnAst(AstContext &Ctx,
-                                      const SymbolTable &Symbols,
-                                      const PipelineOptions &Opts) {
+PipelineResult ipcp::runPipelineOnSession(AnalysisSession &Session,
+                                          const PipelineOptions &Opts) {
   PipelineResult Result;
+  AstContext &Ctx = Session.ast();
+  const SymbolTable &Symbols = Session.symbols();
   const Program &Prog = Ctx.program();
-  auto Entry = Prog.entryProc();
-  if (!Entry) {
+  if (!Prog.entryProc()) {
     Result.Error = "program has no 'main' procedure";
     return Result;
   }
@@ -46,10 +47,14 @@ PipelineResult ipcp::runPipelineOnAst(AstContext &Ctx,
   Clock::time_point RunStart = Clock::now();
 
   // The pool outlives the complete-propagation rounds, so its workers
-  // are spawned once per pipeline run.
-  std::unique_ptr<ThreadPool> Pool;
-  if (Opts.Threads != 1)
-    Pool = std::make_unique<ThreadPool>(Opts.Threads);
+  // are spawned once per pipeline run — or not at all when the caller
+  // injects a shared one.
+  std::unique_ptr<ThreadPool> OwnedPool;
+  ThreadPool *Pool = Opts.Pool;
+  if (!Pool && Opts.Threads != 1) {
+    OwnedPool = std::make_unique<ThreadPool>(Opts.Threads);
+    Pool = OwnedPool.get();
+  }
 
   for (const auto &P : Prog.Procs)
     Result.ProcNames.push_back(P->name());
@@ -74,16 +79,14 @@ PipelineResult ipcp::runPipelineOnAst(AstContext &Ctx,
 
     Clock::time_point Phase = Clock::now();
 
-    Module M = buildModule(Prog, Symbols);
-    CallGraph CG(M, *Entry);
+    const Module &M = Session.module();
+    const CallGraph &CG = Session.callGraph();
 
-    std::optional<ModRefInfo> MRI;
-    if (Opts.UseMod)
-      MRI.emplace(M, Symbols, CG);
+    const ModRefInfo *MRI = Session.modRef(Opts.UseMod);
     // By-reference aliasing is soundness, not a configuration: every
     // per-procedure analysis below must know which formals may share a
     // location with a modified global or sibling formal.
-    RefAliasInfo Aliases(M, Symbols, MRI ? &*MRI : nullptr);
+    const RefAliasInfo &Aliases = Session.refAlias(Opts.UseMod);
     Result.AliasPairs = Aliases.numAliasPairs();
     Result.AliasUnstableSymbols = Aliases.numUnstable();
     Result.Timings.LowerMs += lapMs(Phase);
@@ -97,8 +100,8 @@ PipelineResult ipcp::runPipelineOnAst(AstContext &Ctx,
       JfOpts.UseReturnJumpFunctions = Opts.UseReturnJumpFunctions;
       JfOpts.UseMod = Opts.UseMod;
       JfOpts.UseGatedSsa = Opts.UseGatedSsa;
-      Jfs = buildJumpFunctions(M, Symbols, CG, MRI ? &*MRI : nullptr,
-                               JfOpts, &Aliases, Pool.get());
+      Jfs = buildJumpFunctions(M, Symbols, CG, MRI, JfOpts, &Aliases, Pool,
+                               &Session);
       Result.Timings.JumpFunctionsMs += lapMs(Phase);
       Solve = solveConstants(Symbols, CG, Jfs, Opts.Strategy);
       Result.Timings.SolveMs += lapMs(Phase);
@@ -106,18 +109,21 @@ PipelineResult ipcp::runPipelineOnAst(AstContext &Ctx,
     }
 
     SubstitutionResult Subs = countSubstitutions(
-        M, Symbols, CG, Opts.IntraproceduralOnly ? nullptr : &Solve,
-        MRI ? &*MRI : nullptr, UseRjfInSccp ? &Jfs : nullptr, &Aliases,
-        Pool.get());
+        M, Symbols, CG, Opts.IntraproceduralOnly ? nullptr : &Solve, MRI,
+        UseRjfInSccp ? &Jfs : nullptr, &Aliases, Pool, &Session);
     Result.Timings.SubstituteMs += lapMs(Phase);
 
     bool FinalRound = true;
     if (Opts.CompletePropagation && !Subs.Branches.empty()) {
-      unsigned Folded = DeadCodeElim::run(Ctx, Subs.Branches);
+      std::vector<ProcId> Dirty;
+      unsigned Folded = DeadCodeElim::run(Ctx, Subs.Branches, &Dirty);
       if (Folded != 0) {
         Result.FoldedBranches += Folded;
         ++Result.DceRounds;
         FinalRound = false;
+        // Only the procedures DCE mutated are re-lowered next round; the
+        // session drops everything derived from them.
+        Session.invalidate(Dirty);
       }
     }
     if (!FinalRound)
@@ -132,6 +138,8 @@ PipelineResult ipcp::runPipelineOnAst(AstContext &Ctx,
     Result.SolverProcVisits = Solve.ProcVisits;
     Result.SolverJfEvaluations = Solve.JfEvaluations;
     Result.SolverCellLowerings = Solve.CellLowerings;
+    Result.SolverMemoHits = Solve.MemoHits;
+    Result.SolverMemoMisses = Solve.MemoMisses;
 
     if (!Opts.IntraproceduralOnly) {
       for (ProcId P = 0, E = static_cast<ProcId>(Prog.Procs.size()); P != E;
@@ -162,6 +170,13 @@ PipelineResult ipcp::runPipelineOnAst(AstContext &Ctx,
             .count();
     return Result;
   }
+}
+
+PipelineResult ipcp::runPipelineOnAst(AstContext &Ctx,
+                                      const SymbolTable &Symbols,
+                                      const PipelineOptions &Opts) {
+  AnalysisSession Session(Ctx, Symbols);
+  return runPipelineOnSession(Session, Opts);
 }
 
 PipelineResult ipcp::runPipeline(std::string_view Source,

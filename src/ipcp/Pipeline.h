@@ -30,6 +30,8 @@
 #include <vector>
 
 namespace ipcp {
+class AnalysisSession;
+class ThreadPool;
 
 /// One analyzer configuration.
 struct PipelineOptions {
@@ -65,6 +67,11 @@ struct PipelineOptions {
   /// always runs serially, and results are bit-identical at any count
   /// (see README "Threading model").
   unsigned Threads = 1;
+  /// Externally owned worker pool. When set, the pipeline fans out over
+  /// this pool instead of spawning its own and Threads is ignored — the
+  /// suite runner injects one shared pool so N cells don't create N
+  /// pools (hardware oversubscription). Must outlive the run.
+  ThreadPool *Pool = nullptr;
 };
 
 /// Wall-clock cost of each pipeline phase, in milliseconds. Accumulated
@@ -113,6 +120,12 @@ struct PipelineResult {
   unsigned SolverProcVisits = 0;
   unsigned SolverJfEvaluations = 0;
   unsigned SolverCellLowerings = 0;
+  /// Value-context memo effectiveness (see SolveResult::MemoHits):
+  /// procedure visits served by replaying recorded evaluations.
+  /// SolverJfEvaluations includes the replayed ones, so it stays the
+  /// comparable effort metric with or without memoization.
+  unsigned SolverMemoHits = 0;
+  unsigned SolverMemoMisses = 0;
 
   /// By-reference aliasing (analysis/RefAlias.h): distinct may-alias
   /// pairs found, and (procedure, symbol) entries the analyses had to
@@ -140,8 +153,22 @@ PipelineResult runPipeline(std::string_view Source,
 
 /// Runs the analysis phases over an already-checked program. Mutates the
 /// AST when Opts.CompletePropagation. Exposed for the driver and tests.
+/// Constructs a fresh AnalysisSession internally; use
+/// runPipelineOnSession to share caches across configurations.
 PipelineResult runPipelineOnAst(AstContext &Ctx, const SymbolTable &Symbols,
                                 const PipelineOptions &Opts);
+
+/// Runs the analysis phases against a (possibly shared, possibly warm)
+/// AnalysisSession. Lowered IR, call graph, MOD/REF, SSA, and the
+/// configuration-independent jump-function base come from the session's
+/// caches; the result is byte-identical to a cold runPipelineOnAst
+/// (timings excepted). Configurations that never mutate the AST
+/// (!CompletePropagation) may share one session concurrently; complete
+/// propagation mutates the session's AST and invalidates its caches, so
+/// it requires a session no other run is using (the suite runner gives
+/// it a private clone of the program).
+PipelineResult runPipelineOnSession(AnalysisSession &Session,
+                                    const PipelineOptions &Opts);
 
 } // namespace ipcp
 

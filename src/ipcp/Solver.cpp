@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
 #include <unordered_map>
 
 using namespace ipcp;
@@ -53,10 +54,18 @@ public:
     // the (uninitialized) globals.
     for (auto &[Sym, V] : Result.Val[CG.entry()])
       V = LatticeValue::bottom();
+    Memo.resize(CG.numProcs());
   }
 
   /// Evaluates all call sites of \p Caller. Returns the callees whose
   /// VAL changed.
+  ///
+  /// Value-context memo: a full visit evaluates every site jump function
+  /// of Caller, and those evaluations depend only on the caller-side
+  /// cells in the functions' supports. Revisits under an already-seen
+  /// support context replay the recorded values; the meets into the
+  /// callees still run (they are idempotent and preserve the worklist
+  /// dynamics bit for bit).
   std::vector<ProcId> processProc(ProcId Caller) {
     ++Result.ProcVisits;
     std::vector<ProcId> Changed;
@@ -72,14 +81,46 @@ public:
       return It->second;
     };
 
+    ProcMemo &M = Memo[Caller];
+    const std::vector<LatticeValue> *Replay = nullptr;
+    std::vector<LatticeValue> Fresh;
+    std::vector<int64_t> Key;
+    if (!Sites.empty()) {
+      if (!M.KeyReady)
+        buildMemoKey(M, SiteJfs);
+      Key.reserve(M.KeySyms.size() * 2);
+      for (SymbolId Sym : M.KeySyms) {
+        LatticeValue V = Env(Sym);
+        Key.push_back(V.isTop() ? 0 : V.isConst() ? 2 : 1);
+        Key.push_back(V.isConst() ? V.value() : 0);
+      }
+      auto It = M.Table.find(Key);
+      if (It != M.Table.end()) {
+        ++Result.MemoHits;
+        Result.JfEvaluations +=
+            static_cast<unsigned>(It->second.size());
+        Replay = &It->second;
+      } else {
+        ++Result.MemoMisses;
+        Fresh.reserve(M.NumSiteJfs);
+      }
+    }
+    size_t ReplayIdx = 0;
+
     for (uint32_t SI = 0, SE = static_cast<uint32_t>(Sites.size()); SI != SE;
          ++SI) {
       ProcId Callee = Sites[SI].Callee;
       bool CalleeChanged = false;
 
       auto meetInto = [&](SymbolId Sym, const JumpFunction &J) {
-        ++Result.JfEvaluations;
-        LatticeValue V = J.eval(Env);
+        LatticeValue V;
+        if (Replay) {
+          V = (*Replay)[ReplayIdx++];
+        } else {
+          ++Result.JfEvaluations;
+          V = J.eval(Env);
+          Fresh.push_back(V);
+        }
         auto It = Result.Val[Callee].find(Sym);
         assert(It != Result.Val[Callee].end());
         LatticeValue New = It->second.meet(V);
@@ -102,6 +143,8 @@ public:
       if (CalleeChanged)
         Changed.push_back(Callee);
     }
+    if (!Sites.empty() && !Replay)
+      M.Table.emplace(std::move(Key), std::move(Fresh));
     return Changed;
   }
 
@@ -111,6 +154,41 @@ public:
   const CallGraph &CG;
   const ProgramJumpFunctions &Jfs;
   SolveResult Result;
+
+private:
+  /// Per-procedure value-context table. The key projects the caller's
+  /// VAL onto KeySyms — the union of the supports of all its site jump
+  /// functions — because those are the only cells the evaluations can
+  /// read. Two ints per symbol: a tag (0 TOP / 1 BOTTOM / 2 constant)
+  /// and the constant value (0 otherwise).
+  struct ProcMemo {
+    bool KeyReady = false;
+    std::vector<SymbolId> KeySyms;
+    size_t NumSiteJfs = 0;
+    std::map<std::vector<int64_t>, std::vector<LatticeValue>> Table;
+  };
+  std::vector<ProcMemo> Memo;
+
+  static void
+  buildMemoKey(ProcMemo &M,
+               const std::vector<CallSiteJumpFunctions> &SiteJfs) {
+    for (const auto &Site : SiteJfs) {
+      for (const JumpFunction &J : Site.Args) {
+        ++M.NumSiteJfs;
+        for (SymbolId Sym : J.support())
+          M.KeySyms.push_back(Sym);
+      }
+      for (const JumpFunction &J : Site.Globals) {
+        ++M.NumSiteJfs;
+        for (SymbolId Sym : J.support())
+          M.KeySyms.push_back(Sym);
+      }
+    }
+    std::sort(M.KeySyms.begin(), M.KeySyms.end());
+    M.KeySyms.erase(std::unique(M.KeySyms.begin(), M.KeySyms.end()),
+                    M.KeySyms.end());
+    M.KeyReady = true;
+  }
 };
 
 } // namespace

@@ -63,6 +63,17 @@ struct SolveResult {
   unsigned ProcVisits = 0;      ///< Procedure-level worklist pops/sweeps.
   unsigned JfEvaluations = 0;   ///< Individual jump-function evaluations.
   unsigned CellLowerings = 0;   ///< VAL cell changes (≤ 2 per cell).
+
+  /// Value-context memoization (after Padhye & Khedker): revisits of a
+  /// procedure whose jump functions' support cells all hold the values of
+  /// an earlier visit replay the recorded evaluations instead of
+  /// re-evaluating. JfEvaluations still counts replayed evaluations — it
+  /// is the paper's effort metric and stays identical with or without the
+  /// memo — so MemoHits * (site JFs of the procedure) of them were free.
+  /// Worklist/RoundRobin only; the binding-graph strategy is already
+  /// edge-granular and bypasses the memo (both counters stay 0).
+  unsigned MemoHits = 0;
+  unsigned MemoMisses = 0;
 };
 
 /// Runs the interprocedural propagation.

@@ -7,11 +7,13 @@
 #include "ipcp/Substitution.h"
 
 #include "analysis/Sccp.h"
+#include "ipcp/AnalysisSession.h"
 #include "ir/Dominators.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 
 using namespace ipcp;
 
@@ -29,11 +31,17 @@ ProcSubstitutions countProc(const Module &M, const SymbolTable &Symbols,
                             const SolveResult *Solve,
                             const SsaForm::KillOracle &KillOracle,
                             const SccpKillFn *KillFnPtr,
-                            const RefAliasInfo *Aliases, ProcId P) {
+                            const RefAliasInfo *Aliases, ProcId P,
+                            const SsaForm *CachedSsa) {
   ProcSubstitutions Out;
   const Function &F = M.function(P);
-  DominatorTree DT(F);
-  SsaForm Ssa(F, Symbols, DT, KillOracle);
+  std::optional<DominatorTree> LocalDT;
+  std::optional<SsaForm> LocalSsa;
+  if (!CachedSsa) {
+    LocalDT.emplace(F);
+    LocalSsa.emplace(F, Symbols, *LocalDT, KillOracle);
+  }
+  const SsaForm &Ssa = CachedSsa ? *CachedSsa : *LocalSsa;
 
   // Seed the entry lattice with this procedure's CONSTANTS set.
   SccpSeeds Seeds;
@@ -97,7 +105,8 @@ SubstitutionResult ipcp::countSubstitutions(const Module &M,
                                             const ModRefInfo *MRI,
                                             const ProgramJumpFunctions *Jfs,
                                             const RefAliasInfo *Aliases,
-                                            ThreadPool *Pool) {
+                                            ThreadPool *Pool,
+                                            AnalysisSession *Session) {
   SubstitutionResult Result;
   Result.PerProc.assign(M.Functions.size(), 0);
 
@@ -116,8 +125,10 @@ SubstitutionResult ipcp::countSubstitutions(const Module &M,
   const auto &Order = CG.topDownOrder();
   std::vector<ProcSubstitutions> PerProc(Order.size());
   parallelFor(Pool, Order.size(), [&](size_t I) {
+    const SsaForm *CachedSsa =
+        Session ? &Session->ssa(Order[I], MRI != nullptr).Ssa : nullptr;
     PerProc[I] = countProc(M, Symbols, Solve, KillOracle, KillFnPtr,
-                           Aliases, Order[I]);
+                           Aliases, Order[I], CachedSsa);
   });
 
   for (size_t I = 0; I != Order.size(); ++I) {

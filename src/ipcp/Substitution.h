@@ -36,6 +36,7 @@
 #include <vector>
 
 namespace ipcp {
+class AnalysisSession;
 
 /// Outcome of the substitution pass over one program.
 struct SubstitutionResult {
@@ -69,6 +70,11 @@ struct SubstitutionResult {
 /// procedures fan out across the workers; per-procedure partial results
 /// are merged on the calling thread in the serial order, making the
 /// outcome bit-identical to the serial run.
+///
+/// With a non-null \p Session each procedure's dominator tree and SSA
+/// form come from the session's per-procedure cache (keyed by MOD
+/// presence, which the kill oracle depends on) instead of being rebuilt;
+/// the result is byte-identical either way.
 SubstitutionResult countSubstitutions(const Module &M,
                                       const SymbolTable &Symbols,
                                       const CallGraph &CG,
@@ -76,7 +82,8 @@ SubstitutionResult countSubstitutions(const Module &M,
                                       const ModRefInfo *MRI,
                                       const ProgramJumpFunctions *Jfs,
                                       const RefAliasInfo *Aliases = nullptr,
-                                      ThreadPool *Pool = nullptr);
+                                      ThreadPool *Pool = nullptr,
+                                      AnalysisSession *Session = nullptr);
 
 } // namespace ipcp
 

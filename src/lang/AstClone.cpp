@@ -148,3 +148,84 @@ std::vector<Stmt *> ipcp::cloneStmts(AstContext &Ctx,
     Out.push_back(cloneStmt(Ctx, S, Subst));
   return Out;
 }
+
+Stmt *ipcp::cloneStmtResolved(AstContext &Ctx, const Stmt *S) {
+  switch (S->kind()) {
+  case StmtKind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    return Ctx.createStmt<AssignStmt>(A->loc(),
+                                      cloneExprResolved(Ctx, A->target()),
+                                      cloneExprResolved(Ctx, A->value()));
+  }
+  case StmtKind::Call: {
+    const auto *C = cast<CallStmt>(S);
+    std::vector<Expr *> Args;
+    for (const Expr *Arg : C->args())
+      Args.push_back(cloneExprResolved(Ctx, Arg));
+    auto *Clone = Ctx.createStmt<CallStmt>(C->loc(), C->calleeName(),
+                                           std::move(Args));
+    Clone->setCallee(C->callee());
+    return Clone;
+  }
+  case StmtKind::If: {
+    const auto *I = cast<IfStmt>(S);
+    return Ctx.createStmt<IfStmt>(I->loc(),
+                                  cloneExprResolved(Ctx, I->cond()),
+                                  cloneStmtsResolved(Ctx, I->thenBody()),
+                                  cloneStmtsResolved(Ctx, I->elseBody()));
+  }
+  case StmtKind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    return Ctx.createStmt<WhileStmt>(W->loc(),
+                                     cloneExprResolved(Ctx, W->cond()),
+                                     cloneStmtsResolved(Ctx, W->body()));
+  }
+  case StmtKind::DoLoop: {
+    const auto *D = cast<DoLoopStmt>(S);
+    return Ctx.createStmt<DoLoopStmt>(
+        D->loc(), cloneVarRefResolved(Ctx, D->var()),
+        cloneExprResolved(Ctx, D->lo()), cloneExprResolved(Ctx, D->hi()),
+        D->step() ? cloneExprResolved(Ctx, D->step()) : nullptr,
+        cloneStmtsResolved(Ctx, D->body()));
+  }
+  case StmtKind::Print:
+    return Ctx.createStmt<PrintStmt>(
+        S->loc(), cloneExprResolved(Ctx, cast<PrintStmt>(S)->value()));
+  case StmtKind::Read:
+    return Ctx.createStmt<ReadStmt>(
+        S->loc(), cloneVarRefResolved(Ctx, cast<ReadStmt>(S)->target()));
+  case StmtKind::Return:
+    return Ctx.createStmt<ReturnStmt>(S->loc());
+  }
+  assert(false && "unknown statement kind");
+  return nullptr;
+}
+
+std::vector<Stmt *>
+ipcp::cloneStmtsResolved(AstContext &Ctx, const std::vector<Stmt *> &Stmts) {
+  std::vector<Stmt *> Out;
+  Out.reserve(Stmts.size());
+  for (const Stmt *S : Stmts)
+    Out.push_back(cloneStmtResolved(Ctx, S));
+  return Out;
+}
+
+std::unique_ptr<AstContext> ipcp::cloneProgramResolved(const AstContext &Src) {
+  auto Dst = std::make_unique<AstContext>();
+  const Program &From = Src.program();
+  Program &To = Dst->program();
+  To.Name = From.Name;
+  To.Globals = From.Globals;
+  To.GlobalArrays = From.GlobalArrays;
+  To.Procs.reserve(From.Procs.size());
+  for (const auto &P : From.Procs) {
+    auto Clone = std::make_unique<Proc>(P->loc(), P->name(), P->formals());
+    Clone->Locals = P->Locals;
+    Clone->LocalArrays = P->LocalArrays;
+    Clone->FormalSymbols = P->FormalSymbols;
+    Clone->LocalSymbols = P->LocalSymbols;
+    Clone->Body = cloneStmtsResolved(*Dst, P->Body);
+    To.Procs.push_back(std::move(Clone));
+  }
+  return Dst;
+}

@@ -11,12 +11,19 @@
 
 using namespace ipcp;
 
+static std::atomic<uint64_t> PoolsCreated{0};
+
 unsigned ThreadPool::hardwareThreads() {
   unsigned N = std::thread::hardware_concurrency();
   return N ? N : 1;
 }
 
+uint64_t ThreadPool::poolsCreated() {
+  return PoolsCreated.load(std::memory_order_relaxed);
+}
+
 ThreadPool::ThreadPool(unsigned Threads) {
+  PoolsCreated.fetch_add(1, std::memory_order_relaxed);
   if (Threads == 0)
     Threads = hardwareThreads();
   Workers.reserve(Threads);

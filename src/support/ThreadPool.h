@@ -21,6 +21,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -54,6 +55,12 @@ public:
 
   /// std::thread::hardware_concurrency, but never 0.
   static unsigned hardwareThreads();
+
+  /// Process-lifetime count of ThreadPool constructions. The
+  /// oversubscription regression tests assert that a nested orchestration
+  /// (suite fan-out over multi-threaded pipeline runs) does not spawn a
+  /// pool per inner run.
+  static uint64_t poolsCreated();
 
 private:
   void workerLoop();

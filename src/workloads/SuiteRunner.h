@@ -18,6 +18,7 @@
 #ifndef IPCP_WORKLOADS_SUITERUNNER_H
 #define IPCP_WORKLOADS_SUITERUNNER_H
 
+#include "ipcp/AnalysisSession.h"
 #include "ipcp/Pipeline.h"
 #include "workloads/Suite.h"
 
@@ -55,6 +56,12 @@ struct SuiteCell {
   unsigned SubstitutedConstants = 0;
   unsigned ConstantPrints = 0;
   double Millis = 0; ///< This cell's own wall clock.
+  /// Per-phase breakdown of this cell's run (FrontendMs is zero for
+  /// shared-frontend cells; see SuiteRunResult::FrontendMs).
+  PhaseTimings Timings;
+  /// Solver value-context memo counters of this cell's run.
+  unsigned SolverMemoHits = 0;
+  unsigned SolverMemoMisses = 0;
 };
 
 /// The aggregated batch.
@@ -67,20 +74,45 @@ struct SuiteRunResult {
   double WallMs = 0;  ///< Wall clock of the whole batch.
   double CellMs = 0;  ///< Sum of per-cell times (~ serial cost).
   unsigned TotalSubstituted = 0;
+  /// Shared mode only: wall clock of the one-per-program parse+sema
+  /// phase (per-cell frontend cost is zero there).
+  double FrontendMs = 0;
+  /// Shared mode only: cache counters summed over the per-program
+  /// sessions (the private clones complete-propagation cells analyze
+  /// are not included).
+  SessionStats Cache;
 
   const SuiteCell &cell(size_t Program, size_t Config) const {
     return Cells.at(Program * NumConfigs + Config);
   }
 };
 
+/// How much analysis state the batch's cells share.
+enum class SuiteSharing : uint8_t {
+  /// Every cell re-parses its program from source and analyzes it cold —
+  /// the baseline the incremental_speedup bench measures against.
+  PerCell,
+  /// One frontend pass and one AnalysisSession per program; the
+  /// program's cells share the session's lowered IR, SSA, and
+  /// jump-function bases. Complete-propagation cells, which mutate the
+  /// AST, analyze a private resolved clone of the checked program
+  /// instead (lang/AstClone.h) — never the shared snapshot. Results are
+  /// byte-identical to PerCell.
+  Shared,
+};
+
 /// Runs every program under every config. \p Jobs is the number of
 /// worker threads fanning out whole pipeline runs (1 = serial, 0 = one
 /// per hardware thread); \p ThreadsPerRun is forwarded to
-/// PipelineOptions::Threads of each run (keep it 1 when Jobs > 1 —
-/// batch-level fan-out already saturates the cores).
+/// PipelineOptions::Threads of each run. When Jobs != 1 the per-cell
+/// thread count is clamped to 1 — batch-level fan-out already saturates
+/// the cores, and nesting pools would oversubscribe them; when Jobs == 1
+/// all cells share a single injected pool (PipelineOptions::Pool), so
+/// the batch creates at most one pool either way.
 SuiteRunResult runSuite(const std::vector<WorkloadProgram> &Programs,
                         const std::vector<SuiteConfig> &Configs,
-                        unsigned Jobs = 1, unsigned ThreadsPerRun = 1);
+                        unsigned Jobs = 1, unsigned ThreadsPerRun = 1,
+                        SuiteSharing Sharing = SuiteSharing::Shared);
 
 } // namespace ipcp
 

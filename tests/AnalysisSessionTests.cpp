@@ -1,0 +1,278 @@
+//===- tests/AnalysisSessionTests.cpp - ipcp/AnalysisSession tests --------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The incremental-session safety net: a warm (cached) analysis must be
+/// byte-identical to a cold one for every configuration, on every suite
+/// program and a sweep of random ones; DCE's dirty-set must re-lower
+/// only the procedures it mutated; the solver memo must actually fire;
+/// and the suite runner must create exactly one thread pool however its
+/// two fan-out levels are configured.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ipcp/AnalysisSession.h"
+
+#include "analysis/DeadCodeElim.h"
+#include "ipcp/Pipeline.h"
+#include "ipcp/Solver.h"
+#include "ipcp/Substitution.h"
+#include "lang/AstClone.h"
+#include "support/ThreadPool.h"
+#include "workloads/RandomProgram.h"
+#include "workloads/Suite.h"
+#include "workloads/SuiteRunner.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace ipcp;
+using namespace ipcp::test;
+
+namespace {
+
+/// Serializes everything a PipelineResult reports except timings and
+/// AST-id-keyed data. Complete-propagation cells analyze a resolved
+/// clone in warm mode, whose expressions carry fresh ids, so the
+/// fingerprint uses the sorted substituted *values* plus the transformed
+/// source (which is id-free) rather than the Substitutions keys.
+std::string fingerprint(const PipelineResult &R) {
+  std::ostringstream Out;
+  Out << R.Ok << '|' << R.Error << '|' << R.SubstitutedConstants << '|'
+      << R.ConstantPrints << '|' << R.KnownButIrrelevant << '|'
+      << R.DceRounds << '|' << R.FoldedBranches << '|' << R.AliasPairs
+      << '|' << R.AliasUnstableSymbols << '\n';
+  for (unsigned N : R.PerProcSubstituted)
+    Out << N << ' ';
+  Out << '\n';
+  for (const std::string &N : R.ProcNames)
+    Out << N << ' ';
+  Out << '\n';
+  for (const auto &Proc : R.Constants) {
+    for (const auto &[Name, Value] : Proc)
+      Out << Name << '=' << Value << ' ';
+    Out << ';';
+  }
+  Out << '\n';
+  for (const std::string &N : R.NeverCalled)
+    Out << N << ' ';
+  Out << '\n';
+  const JumpFunctionStats &S = R.JfStats;
+  Out << S.NumForward << ' ' << S.NumForwardConst << ' '
+      << S.NumForwardPassThrough << ' ' << S.NumForwardPoly << ' '
+      << S.NumForwardBottom << ' ' << S.TotalPolySupport << ' '
+      << S.MaxPolySupport << ' ' << S.NumReturn << ' ' << S.NumReturnConst
+      << ' ' << S.NumReturnPoly << ' ' << S.NumReturnBottom << '\n';
+  Out << R.SolverProcVisits << ' ' << R.SolverJfEvaluations << ' '
+      << R.SolverCellLowerings << ' ' << R.SolverMemoHits << ' '
+      << R.SolverMemoMisses << '\n';
+  std::vector<int64_t> Values;
+  for (const auto &[Id, Value] : R.Substitutions)
+    Values.push_back(Value);
+  std::sort(Values.begin(), Values.end());
+  for (int64_t V : Values)
+    Out << V << ' ';
+  Out << '\n' << R.TransformedSource;
+  return Out.str();
+}
+
+/// One program's shared frontend + session, mirroring the suite runner's
+/// Shared mode.
+struct WarmProgram {
+  std::unique_ptr<AstContext> Ctx;
+  SymbolTable Symbols;
+  std::unique_ptr<AnalysisSession> Session;
+};
+
+WarmProgram warmUp(const std::string &Source) {
+  WarmProgram W;
+  DiagnosticEngine Diags;
+  W.Ctx = parseProgram(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  W.Symbols = Sema::run(*W.Ctx, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  W.Session = std::make_unique<AnalysisSession>(*W.Ctx, W.Symbols);
+  return W;
+}
+
+PipelineResult warmRun(WarmProgram &W, PipelineOptions Opts) {
+  if (Opts.CompletePropagation) {
+    auto Clone = cloneProgramResolved(*W.Ctx);
+    AnalysisSession Private(*Clone, W.Symbols);
+    return runPipelineOnSession(Private, Opts);
+  }
+  return runPipelineOnSession(*W.Session, Opts);
+}
+
+/// Runs every config cold (fresh parse + fresh session per run) and warm
+/// (one shared session, configs in sequence so later ones hit the
+/// caches) and compares fingerprints.
+void expectColdEqualsWarm(const std::string &Source,
+                          const std::string &Label) {
+  WarmProgram W = warmUp(Source);
+  for (const SuiteConfig &C : allConfigs()) {
+    PipelineOptions Opts = C.Opts;
+    Opts.EmitTransformedSource = true;
+    PipelineResult Cold = runPipeline(Source, Opts);
+    PipelineResult Warm = warmRun(W, Opts);
+    EXPECT_EQ(fingerprint(Cold), fingerprint(Warm))
+        << Label << " diverged under config " << C.Name;
+  }
+}
+
+} // namespace
+
+TEST(AnalysisSession, ColdVsWarmFingerprintsOnSuitePrograms) {
+  for (const WorkloadProgram &P : benchmarkSuite())
+    expectColdEqualsWarm(P.Source, P.Name);
+}
+
+TEST(AnalysisSession, ColdVsWarmFingerprintsOnRandomPrograms) {
+  for (uint64_t Seed = 1; Seed <= 30; ++Seed) {
+    RandomSpec Spec;
+    Spec.Seed = Seed;
+    Spec.AllowRecursion = Seed % 3 == 0; // Exercise the recursive-proc
+                                         // stage-2 rebuild path too.
+    expectColdEqualsWarm(generateRandomProgram(Spec),
+                         "random seed " + std::to_string(Seed));
+  }
+}
+
+TEST(AnalysisSession, DceDirtySetRelowersOnlyMutatedProcs) {
+  // Only 'produce' contains a branch the seeded SCCP can fold (flag is
+  // the constant 0); 'main', 'consume', and 'clean' must stay cached
+  // across the invalidation.
+  const char *Source = R"(proc main()
+  call produce(0)
+  call clean(3)
+end
+proc produce(flag)
+  integer v
+  v = 8
+  if (flag == 1) then
+    read v
+  end if
+  call consume(v)
+end
+proc consume(p)
+  print p
+end
+proc clean(q)
+  print q
+end
+)";
+  DiagnosticEngine Diags;
+  auto Ctx = parseProgram(Source, Diags);
+  SymbolTable Symbols = Sema::run(*Ctx, Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+  ProcId Produce = *Ctx->program().findProc("produce");
+
+  AnalysisSession Session(*Ctx, Symbols);
+  const Module &M = Session.module();
+  EXPECT_EQ(Session.stats().ProcsLowered, 4u);
+  EXPECT_EQ(Session.stats().ProcsRelowered, 0u);
+
+  const CallGraph &CG = Session.callGraph();
+  const ModRefInfo *MRI = Session.modRef(true);
+  const RefAliasInfo &Aliases = Session.refAlias(true);
+  JumpFunctionOptions JfOpts;
+  ProgramJumpFunctions Jfs = buildJumpFunctions(
+      M, Symbols, CG, MRI, JfOpts, &Aliases, nullptr, &Session);
+  SolveResult Solve = solveConstants(Symbols, CG, Jfs);
+  SubstitutionResult Subs =
+      countSubstitutions(M, Symbols, CG, &Solve, MRI, &Jfs, &Aliases,
+                         nullptr, &Session);
+  ASSERT_FALSE(Subs.Branches.empty());
+
+  std::vector<ProcId> Dirty;
+  unsigned Folded = DeadCodeElim::run(*Ctx, Subs.Branches, &Dirty);
+  EXPECT_GE(Folded, 1u);
+  EXPECT_EQ(Dirty, (std::vector<ProcId>{Produce}));
+
+  Session.invalidate(Dirty);
+  Session.module();
+  EXPECT_EQ(Session.stats().ProcsLowered, 5u);
+  EXPECT_EQ(Session.stats().ProcsRelowered, 1u);
+}
+
+TEST(AnalysisSession, SolverMemoHitsOnRevisits) {
+  // Round-robin sweeps until a whole pass changes nothing, so its final
+  // sweep revisits every procedure under an already-seen value context —
+  // the memo must serve those replays, and the results must match the
+  // worklist strategy exactly.
+  const WorkloadProgram &W = benchmarkSuite().front();
+  PipelineOptions RoundRobin;
+  RoundRobin.Strategy = SolverStrategy::RoundRobin;
+  PipelineResult R = runPipeline(W.Source, RoundRobin);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_GT(R.SolverMemoHits, 0u);
+  EXPECT_GT(R.SolverMemoMisses, 0u);
+
+  PipelineResult Base = runPipeline(W.Source, PipelineOptions());
+  ASSERT_TRUE(Base.Ok) << Base.Error;
+  EXPECT_EQ(R.SubstitutedConstants, Base.SubstitutedConstants);
+  EXPECT_EQ(R.ConstantPrints, Base.ConstantPrints);
+  EXPECT_EQ(R.SolverCellLowerings, Base.SolverCellLowerings);
+}
+
+TEST(AnalysisSession, BatchFanoutCreatesExactlyOnePool) {
+  // Jobs != 1 clamps per-cell threads to 1: the requested ThreadsPerRun=8
+  // must NOT spawn nested pools under the batch pool.
+  std::vector<WorkloadProgram> Programs(benchmarkSuite().begin(),
+                                        benchmarkSuite().begin() + 2);
+  std::vector<SuiteConfig> Configs = table3Configs();
+  uint64_t Before = ThreadPool::poolsCreated();
+  SuiteRunResult R = runSuite(Programs, Configs, /*Jobs=*/4,
+                              /*ThreadsPerRun=*/8);
+  EXPECT_EQ(ThreadPool::poolsCreated() - Before, 1u);
+  for (const SuiteCell &Cell : R.Cells)
+    EXPECT_TRUE(Cell.Ok);
+
+  // Jobs == 1 with per-cell threads: one pool, shared by every cell.
+  Before = ThreadPool::poolsCreated();
+  runSuite(Programs, Configs, /*Jobs=*/1, /*ThreadsPerRun=*/4);
+  EXPECT_EQ(ThreadPool::poolsCreated() - Before, 1u);
+}
+
+TEST(AnalysisSession, InjectedPoolSuppressesPoolCreation) {
+  const WorkloadProgram &W = benchmarkSuite().front();
+  PipelineOptions Serial;
+  Serial.EmitTransformedSource = true;
+  PipelineResult Base = runPipeline(W.Source, Serial);
+
+  ThreadPool Shared(4);
+  uint64_t Before = ThreadPool::poolsCreated();
+  PipelineOptions Injected = Serial;
+  Injected.Threads = 8; // Ignored: the injected pool wins.
+  Injected.Pool = &Shared;
+  PipelineResult R = runPipeline(W.Source, Injected);
+  EXPECT_EQ(ThreadPool::poolsCreated() - Before, 0u);
+  EXPECT_EQ(fingerprint(R), fingerprint(Base));
+}
+
+TEST(AnalysisSession, SharedSuitePlumbsTimingsAndCacheStats) {
+  SuiteRunResult R = runSuite(benchmarkSuite(), allConfigs(), /*Jobs=*/1,
+                              /*ThreadsPerRun=*/1, SuiteSharing::Shared);
+  ASSERT_EQ(R.Cells.size(), R.NumPrograms * R.NumConfigs);
+  for (const SuiteCell &Cell : R.Cells) {
+    EXPECT_TRUE(Cell.Ok) << Cell.Program << '/' << Cell.Config;
+    EXPECT_GT(Cell.Timings.TotalMs, 0.0)
+        << Cell.Program << '/' << Cell.Config;
+  }
+  EXPECT_GT(R.FrontendMs, 0.0);
+  // Four Table 2 kinds share each (UseMod, UseRjf, Gated) base, and both
+  // stage 2 and the substitution pass read the cached SSA.
+  EXPECT_GT(R.Cache.JfBasesReused, 0u);
+  EXPECT_GT(R.Cache.SsaReused, 0u);
+  EXPECT_GT(R.Cache.VnReused, 0u);
+  EXPECT_EQ(R.Cache.ProcsRelowered, 0u); // Complete cells use clones.
+}

@@ -63,6 +63,8 @@ static void printUsage() {
          "  --configs=<all|table2|table3>  batch: run the whole built-in\n"
          "                 suite under every named configuration\n"
          "  --jobs=<n>     batch workers for --configs (0 = all cores)\n"
+         "  --sharing=<shared|percell>  batch: share one frontend and\n"
+         "                 analysis session per program (default shared)\n"
          "  --dump-ir      print the lowered CFG of every procedure\n"
          "  --dump-ssa     print the SSA form of every procedure\n"
          "  --dump-jf      print every call site's jump functions\n"
@@ -130,6 +132,7 @@ int main(int argc, char **argv) {
   bool Time = false;
   unsigned Jobs = 1;
   std::string ConfigSet;
+  SuiteSharing Sharing = SuiteSharing::Shared;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -177,6 +180,17 @@ int main(int argc, char **argv) {
         return 1;
     } else if (Arg.rfind("--configs=", 0) == 0) {
       ConfigSet = Arg.substr(10);
+    } else if (Arg.rfind("--sharing=", 0) == 0) {
+      std::string Mode = Arg.substr(10);
+      if (Mode == "shared")
+        Sharing = SuiteSharing::Shared;
+      else if (Mode == "percell")
+        Sharing = SuiteSharing::PerCell;
+      else {
+        std::cerr << "error: --sharing expects shared or percell, got '"
+                  << Mode << "'\n";
+        return 1;
+      }
     } else if (Arg == "--dump-ir") {
       DumpIr = true;
     } else if (Arg == "--dump-ssa") {
@@ -223,7 +237,7 @@ int main(int argc, char **argv) {
       return 1;
     }
     SuiteRunResult Batch =
-        runSuite(benchmarkSuite(), Configs, Jobs, Opts.Threads);
+        runSuite(benchmarkSuite(), Configs, Jobs, Opts.Threads, Sharing);
 
     TablePrinter Table;
     std::vector<std::string> Header = {"Program"};
@@ -257,6 +271,35 @@ int main(int argc, char **argv) {
               << ", overlap: "
               << (Batch.WallMs > 0 ? Batch.CellMs / Batch.WallMs : 0.0)
               << "x\n";
+    if (Time) {
+      std::cout << std::fixed << std::setprecision(2)
+                << "per-cell phase timings (ms):\n";
+      for (const SuiteCell &Cell : Batch.Cells) {
+        const PhaseTimings &T = Cell.Timings;
+        std::cout << "  " << Cell.Program << "/" << Cell.Config
+                  << ": lower " << T.LowerMs << ", jf "
+                  << T.JumpFunctionsMs << ", solve " << T.SolveMs
+                  << ", substitute " << T.SubstituteMs << ", total "
+                  << T.TotalMs;
+        if (Cell.SolverMemoHits || Cell.SolverMemoMisses)
+          std::cout << " (memo " << Cell.SolverMemoHits << "/"
+                    << Cell.SolverMemoHits + Cell.SolverMemoMisses << ")";
+        std::cout << "\n";
+      }
+      if (Sharing == SuiteSharing::Shared) {
+        const SessionStats &S = Batch.Cache;
+        std::cout << "shared frontend: " << Batch.FrontendMs
+                  << " ms for " << Batch.NumPrograms << " programs\n"
+                  << "session caches: lowered " << S.ProcsLowered
+                  << " procs (" << S.ProcsRelowered
+                  << " re-lowered), ssa " << S.SsaBuilt << " built/"
+                  << S.SsaReused << " reused, vn " << S.VnBuilt
+                  << " built/" << S.VnReused << " reused, jf bases "
+                  << S.JfBasesBuilt << " built/" << S.JfBasesReused
+                  << " reused\n";
+      }
+      std::cout << std::defaultfloat;
+    }
     return AllOk ? 0 : 1;
   }
 
@@ -496,7 +539,9 @@ int main(int argc, char **argv) {
               << " polynomial, " << S.NumReturnBottom << " bottom)\n"
               << "  solver: " << Result.SolverProcVisits << " visits, "
               << Result.SolverJfEvaluations << " evaluations, "
-              << Result.SolverCellLowerings << " cell lowerings\n"
+              << Result.SolverCellLowerings << " cell lowerings, memo "
+              << Result.SolverMemoHits << " hits / "
+              << Result.SolverMemoMisses << " misses\n"
               << "  constant prints: " << Result.ConstantPrints << "\n"
               << "  known-but-irrelevant globals (Metzger-Stroud): "
               << Result.KnownButIrrelevant << "\n";

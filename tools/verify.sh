@@ -4,8 +4,9 @@
 # Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
 #
 # Builds the 'default' and 'asan' CMake presets and runs, under each:
-#   * the tier-1 test suite (everything except the oracle label), and
-#   * the seeded translation-validation fuzz (`ctest -L check-oracle`).
+#   * the tier-1 test suite (everything except the oracle/bench labels),
+#   * the seeded translation-validation fuzz (`ctest -L check-oracle`), and
+#   * the cold-vs-warm suite bench in smoke mode (`ctest -L check-bench`).
 #
 # Usage: tools/verify.sh [--quick]
 #   --quick   default preset only (skip the sanitizer rebuild)
@@ -34,10 +35,14 @@ for preset in "${PRESETS[@]}"; do
   cmake --build "$builddir" -j "$JOBS"
 
   echo "==== [$preset] tier-1 tests ===="
-  ctest --test-dir "$builddir" -LE check-oracle --output-on-failure -j "$JOBS"
+  ctest --test-dir "$builddir" -LE "check-oracle|check-bench" \
+        --output-on-failure -j "$JOBS"
 
   echo "==== [$preset] oracle fuzz (check-oracle) ===="
   ctest --test-dir "$builddir" -L check-oracle --output-on-failure -j "$JOBS"
+
+  echo "==== [$preset] incremental-suite smoke (check-bench) ===="
+  ctest --test-dir "$builddir" -L check-bench --output-on-failure
 done
 
 echo "==== verify: all presets green ===="
