@@ -1,0 +1,115 @@
+//===- fuzz/Corpus.cpp - On-disk fuzz corpus ------------------------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Corpus.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+using namespace ipcp;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::string_view Magic = "! ipcp-fuzz corpus";
+
+/// Returns the value of a "! key: value" metadata line, or nullopt.
+std::optional<std::string_view> metaValue(std::string_view Line,
+                                          std::string_view Key) {
+  if (Line.substr(0, 2) != "! ")
+    return std::nullopt;
+  Line.remove_prefix(2);
+  if (Line.substr(0, Key.size()) != Key)
+    return std::nullopt;
+  Line.remove_prefix(Key.size());
+  if (Line.substr(0, 2) != ": ")
+    return std::nullopt;
+  return Line.substr(2);
+}
+
+} // namespace
+
+std::string ipcp::serializeCorpusEntry(const CorpusEntry &Entry) {
+  std::ostringstream OS;
+  OS << Magic << "\n";
+  OS << "! origin-seed: " << Entry.OriginSeed << "\n";
+  if (!Entry.Trail.empty())
+    OS << "! trail: " << Entry.Trail << "\n";
+  if (!Entry.Failure.empty())
+    OS << "! failure: " << Entry.Failure << "\n";
+  OS << Entry.Source;
+  if (!Entry.Source.empty() && Entry.Source.back() != '\n')
+    OS << "\n";
+  return OS.str();
+}
+
+CorpusEntry ipcp::parseCorpusEntry(std::string_view Text, std::string Name) {
+  CorpusEntry Entry;
+  Entry.Name = std::move(Name);
+  size_t Pos = 0;
+  bool SawMagic = false;
+  while (Pos < Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    std::string_view Line = Text.substr(
+        Pos, Eol == std::string_view::npos ? std::string_view::npos
+                                           : Eol - Pos);
+    size_t Next = Eol == std::string_view::npos ? Text.size() : Eol + 1;
+    if (!SawMagic) {
+      if (Line != Magic)
+        break; // Bare program with no header.
+      SawMagic = true;
+      Pos = Next;
+      continue;
+    }
+    if (auto V = metaValue(Line, "origin-seed")) {
+      Entry.OriginSeed = std::strtoull(std::string(*V).c_str(), nullptr, 10);
+    } else if (auto T = metaValue(Line, "trail")) {
+      Entry.Trail = std::string(*T);
+    } else if (auto F = metaValue(Line, "failure")) {
+      Entry.Failure = std::string(*F);
+    } else {
+      break; // First non-metadata line starts the program.
+    }
+    Pos = Next;
+  }
+  Entry.Source = std::string(Text.substr(Pos));
+  return Entry;
+}
+
+std::vector<CorpusEntry> ipcp::loadCorpusDir(const std::string &Dir) {
+  std::vector<CorpusEntry> Entries;
+  std::error_code Ec;
+  if (!fs::is_directory(Dir, Ec))
+    return Entries;
+  std::vector<fs::path> Files;
+  for (const auto &DirEnt : fs::directory_iterator(Dir, Ec))
+    if (DirEnt.path().extension() == ".mf")
+      Files.push_back(DirEnt.path());
+  std::sort(Files.begin(), Files.end());
+  for (const fs::path &File : Files) {
+    std::ifstream In(File);
+    if (!In)
+      continue;
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Entries.push_back(parseCorpusEntry(Buf.str(), File.stem().string()));
+  }
+  return Entries;
+}
+
+bool ipcp::saveCorpusEntry(const std::string &Dir, const CorpusEntry &Entry) {
+  std::error_code Ec;
+  fs::create_directories(Dir, Ec);
+  std::ofstream Out(fs::path(Dir) / (Entry.Name + ".mf"));
+  if (!Out)
+    return false;
+  Out << serializeCorpusEntry(Entry);
+  return bool(Out);
+}

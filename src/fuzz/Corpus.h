@@ -1,0 +1,65 @@
+//===- fuzz/Corpus.h - On-disk fuzz corpus ----------------------*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fuzzer's corpus: MiniFort programs stored as plain `.mf` files
+/// with a metadata header of `!` comment lines, so every entry is
+/// directly loadable by the driver, the tests, and a text editor. The
+/// metadata records provenance — the origin seed and the mutation trail
+/// that produced the entry — which, with the deterministic PRNG chain
+/// (fuzz/FuzzRng.h), makes any entry reproducible from scratch. The
+/// curated regression corpus under tests/corpus/ uses the same format;
+/// check-fuzz replays it on every run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_FUZZ_CORPUS_H
+#define IPCP_FUZZ_CORPUS_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ipcp {
+
+/// One corpus entry.
+struct CorpusEntry {
+  /// File stem (no directory, no extension).
+  std::string Name;
+  /// The program text, without the metadata header.
+  std::string Source;
+  /// Master seed of the campaign that produced the entry (0 = unknown /
+  /// hand-written).
+  uint64_t OriginSeed = 0;
+  /// Comma-separated mutation trail from the campaign's seed program to
+  /// this entry (empty for unmutated seed programs).
+  std::string Trail;
+  /// For reduced reproducers: the failure kind the entry originally
+  /// triggered (empty for coverage-retained entries). A replayed corpus
+  /// must be green — the field documents what regression it guards.
+  std::string Failure;
+};
+
+/// Renders \p Entry in the on-disk format (header + source).
+std::string serializeCorpusEntry(const CorpusEntry &Entry);
+
+/// Parses the on-disk format; \p Name becomes the entry name. Text
+/// without a metadata header is accepted as a bare program.
+CorpusEntry parseCorpusEntry(std::string_view Text, std::string Name);
+
+/// Loads every `.mf` file under \p Dir, sorted by name so corpus order —
+/// and therefore every downstream decision — is deterministic. Returns
+/// an empty vector when the directory does not exist.
+std::vector<CorpusEntry> loadCorpusDir(const std::string &Dir);
+
+/// Writes \p Entry to `Dir/<Name>.mf`, creating \p Dir if needed.
+/// Returns false on I/O failure.
+bool saveCorpusEntry(const std::string &Dir, const CorpusEntry &Entry);
+
+} // namespace ipcp
+
+#endif // IPCP_FUZZ_CORPUS_H

@@ -1,0 +1,59 @@
+//===- fuzz/FuzzRng.h - Deterministic PRNG chains ---------------*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fuzzer's only randomness source: a splitmix64 generator with
+/// explicit derivation. Every fuzz campaign is a pure function of its
+/// master seed — iteration k derives its own child generator, each
+/// mutation derives one from that, and the derivation path is what
+/// corpus metadata records — so any corpus entry replays byte-identically
+/// with no wall-clock or global RNG state involved (independent of the
+/// C++ library, like workloads/RandomProgram's generator).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_FUZZ_FUZZRNG_H
+#define IPCP_FUZZ_FUZZRNG_H
+
+#include <cstdint>
+
+namespace ipcp {
+
+class FuzzRng {
+public:
+  explicit FuzzRng(uint64_t Seed) : State(Seed ? Seed : 0x9e3779b97f4a7c15) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111eb;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform in [0, Bound).
+  int below(int Bound) {
+    return Bound <= 1 ? 0 : static_cast<int>(next() % uint64_t(Bound));
+  }
+
+  bool chance(int Percent) { return below(100) < Percent; }
+
+  /// An independent child generator for stream \p Stream; deriving never
+  /// advances this generator, so sibling streams can't perturb each
+  /// other (the property the replay guarantee rests on).
+  FuzzRng derive(uint64_t Stream) const {
+    FuzzRng Child(State ^ (0x94d049bb133111eb * (Stream + 1)));
+    Child.next();
+    return Child;
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace ipcp
+
+#endif // IPCP_FUZZ_FUZZRNG_H

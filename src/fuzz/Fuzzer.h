@@ -1,0 +1,130 @@
+//===- fuzz/Fuzzer.h - Coverage-guided fuzzing loop -------------*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coverage-guided fuzzing loop, libFuzzer-shaped but with the
+/// analyzer's *behavior* as the coverage signal: each candidate program
+/// is analyzed under six pipeline configurations with a FuzzFeedback
+/// sink attached, and a mutant joins the corpus only when its feature
+/// bitmap (lattice transitions per jump-function form, solver memo
+/// traffic, alias pairs, DCE rounds, inliner/cloning decisions, ...)
+/// lights bits the accumulated corpus never has. Candidates are also
+/// *checked* — config-hierarchy invariants, solver-strategy agreement,
+/// and the translation-validation oracle — and failures are reduced to
+/// minimal reproducers (fuzz/Reducer.h) and reported.
+///
+/// Everything is deterministic from FuzzOptions::Seed (given the same
+/// starting corpus and no wall-clock budget): the PRNG chain derives one
+/// child per iteration, corpus order is by name, and no decision reads a
+/// clock except the optional TimeBudgetSec cutoff.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_FUZZ_FUZZER_H
+#define IPCP_FUZZ_FUZZER_H
+
+#include "fuzz/Corpus.h"
+#include "ipcp/Pipeline.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ipcp {
+class FuzzFeedback;
+
+/// One analyzer configuration under test, with a stable display name.
+struct FuzzConfig {
+  std::string Name;
+  PipelineOptions Pipeline;
+};
+
+/// The six configurations every candidate runs under: the four
+/// jump-function kinds' extremes, complete propagation, the
+/// intraprocedural baseline, and gated SSA.
+const std::vector<FuzzConfig> &fuzzConfigs();
+
+/// Parameters of one campaign.
+struct FuzzOptions {
+  /// Master seed; the whole campaign derives from it.
+  uint64_t Seed = 1;
+  /// Mutant evaluations to attempt (the loop bound).
+  unsigned Runs = 200;
+  /// Optional wall-clock cutoff in seconds (0 = none). A campaign under
+  /// a time budget is *not* deterministic — use Runs for replayable
+  /// campaigns.
+  double TimeBudgetSec = 0;
+  /// Directory to load the starting corpus from and save retained
+  /// entries / reduced reproducers into (empty = in-memory only).
+  std::string CorpusDir;
+  /// Reduce failing programs before reporting them.
+  bool Reduce = true;
+  /// Predicate-check budget per reduction.
+  unsigned ReduceMaxChecks = 150;
+  /// Random seed programs generated to prime the corpus (in addition to
+  /// anything loaded from CorpusDir).
+  unsigned SeedPrograms = 6;
+  /// Interpreter step budget per oracle execution.
+  uint64_t MaxSteps = 30000;
+  /// Also exercise the inliner and the cloning transform (records their
+  /// decision features and validates them on the first config). The
+  /// costliest part of an evaluation.
+  bool CheckTransforms = true;
+  /// Progress log (null = silent).
+  std::ostream *Log = nullptr;
+};
+
+/// One check failure, reduced when reduction is enabled.
+struct FuzzFailure {
+  /// "pipeline-error", "hierarchy-violation", "strategy-disagreement",
+  /// "oracle-mismatch", or "transform-error".
+  std::string Kind;
+  /// Which configuration (or comparison) tripped.
+  std::string Config;
+  /// Human-readable detail.
+  std::string Detail;
+  /// The reproducer (reduced when reduction ran).
+  std::string Source;
+  /// Mutation trail from its corpus parent.
+  std::string Trail;
+  /// Iteration that found it (0 for corpus replay failures).
+  unsigned Iteration = 0;
+};
+
+/// Campaign outcome.
+struct FuzzResult {
+  unsigned Iterations = 0;
+  /// Mutation attempts that produced no valid mutant.
+  unsigned MutantsInvalid = 0;
+  /// Mutants whose feature bitmaps lit novel bits and joined the corpus.
+  unsigned MutantsRetained = 0;
+  /// Final corpus size (loaded + seeded + retained).
+  size_t CorpusSize = 0;
+  /// Final accumulated feature-bit count.
+  size_t FeatureBits = 0;
+  /// Accumulated bit count after each retention event, in order; by
+  /// construction strictly increasing (retention requires novelty).
+  std::vector<size_t> FeatureBitsTimeline;
+  std::vector<FuzzFailure> Failures;
+};
+
+/// Analyzes \p Source under every fuzz configuration, recording behavior
+/// features into \p FB and running the cross-config checks and the
+/// oracle. Returns the first failure, or nullopt when all checks pass.
+/// This is the fuzzer's whole evaluation of one program; the corpus
+/// replay test calls it directly.
+std::optional<FuzzFailure> evaluateProgram(const std::string &Source,
+                                           FuzzFeedback &FB,
+                                           const FuzzOptions &Opts);
+
+/// Runs one campaign.
+FuzzResult runFuzzer(const FuzzOptions &Opts);
+
+} // namespace ipcp
+
+#endif // IPCP_FUZZ_FUZZER_H

@@ -1,0 +1,61 @@
+//===- fuzz/Mutator.h - MiniFort program mutation ---------------*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fuzzer's mutation engine: structured edits over parsed MiniFort
+/// ASTs, aimed at the analyzer's decision points rather than at syntax.
+/// Each mutator targets a specific behavior: splicing calls reshapes the
+/// call graph and jump-function meets, aliasing two actuals or passing a
+/// global bare drives the RefAlias machinery, perturbing DO bounds flips
+/// loop-analyzability, self-calls exercise recursion handling, and
+/// clone-and-rename grows call-site partitions. Mutants are validated
+/// (parse + sema) before they are returned, so consumers only ever see
+/// programs the analyzer accepts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_FUZZ_MUTATOR_H
+#define IPCP_FUZZ_MUTATOR_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ipcp {
+
+/// Parameters of one mutation attempt.
+struct MutationOptions {
+  /// Seed of the mutation's private PRNG chain; the same (source, seed)
+  /// pair always yields the same mutant.
+  uint64_t Seed = 1;
+  /// How many candidate edits to try before giving up. An edit can fail
+  /// validation (e.g. a dropped statement leaves a body empty) or
+  /// produce text identical to the input; both count as one attempt.
+  int Attempts = 12;
+};
+
+/// Outcome of one mutation.
+struct MutationResult {
+  bool Ok = false;
+  /// The mutated program, canonically printed. Only set when Ok.
+  std::string Source;
+  /// Machine-readable description of the applied edit, e.g.
+  /// "splice-call(w2@w0)"; corpus metadata accumulates these into the
+  /// mutation trail.
+  std::string Trail;
+  /// Why no mutant was produced (when !Ok).
+  std::string Error;
+};
+
+/// Applies one randomized semantic edit to \p Source. The input must be
+/// a valid MiniFort program; the result (when Ok) is too, and its text
+/// differs from the canonical print of the input.
+MutationResult mutateProgram(std::string_view Source,
+                             const MutationOptions &Opts);
+
+} // namespace ipcp
+
+#endif // IPCP_FUZZ_MUTATOR_H

@@ -1,0 +1,62 @@
+//===- fuzz/Reducer.h - Failing-program reduction ---------------*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Delta-debugging for MiniFort reproducers: given a program and a
+/// predicate that recognizes "still exhibits the failure", shrink the
+/// program while keeping the predicate true. Reduction is hierarchical —
+/// whole procedures (with their call sites) first, then statements (with
+/// loop/branch body hoisting), then formals (with the matching actual at
+/// every call site), arguments, and declarations — iterated to a fixed
+/// point. Every candidate is parse- and sema-checked before the
+/// predicate sees it, so predicates only ever judge valid programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_FUZZ_REDUCER_H
+#define IPCP_FUZZ_REDUCER_H
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace ipcp {
+
+/// Judges one candidate: true when the candidate still exhibits the
+/// failure being reduced. Candidates are always valid MiniFort.
+using ReducePredicate = std::function<bool(const std::string &Source)>;
+
+/// Limits for one reduction.
+struct ReduceOptions {
+  /// Predicate-invocation budget. The predicate typically re-runs the
+  /// analyzer (and often the execution oracle), so it dominates cost;
+  /// reduction stops — keeping the best program so far — when spent.
+  unsigned MaxChecks = 400;
+};
+
+/// Outcome of one reduction.
+struct ReduceResult {
+  /// The smallest failing program found (canonically printed). When the
+  /// input itself does not satisfy the predicate this is the canonical
+  /// input and Reduced is false.
+  std::string Source;
+  /// True when the predicate held on the input (reduction ran).
+  bool Reduced = false;
+  unsigned ChecksRun = 0;
+  /// Candidates that kept the failure and were adopted.
+  unsigned StepsAccepted = 0;
+  size_t OriginalBytes = 0;
+  size_t ReducedBytes = 0;
+};
+
+/// Shrinks \p Source while \p StillFails holds.
+ReduceResult reduceProgram(std::string_view Source,
+                           const ReducePredicate &StillFails,
+                           const ReduceOptions &Opts = ReduceOptions());
+
+} // namespace ipcp
+
+#endif // IPCP_FUZZ_REDUCER_H

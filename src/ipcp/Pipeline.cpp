@@ -10,6 +10,7 @@
 #include "ir/CfgBuilder.h"
 #include "lang/AstPrinter.h"
 #include "lang/Parser.h"
+#include "support/FuzzFeedback.h"
 #include "support/ThreadPool.h"
 
 #include <chrono>
@@ -29,6 +30,35 @@ double lapMs(Clock::time_point &Start) {
   double Ms = std::chrono::duration<double, std::milli>(Now - Start).count();
   Start = Now;
   return Ms;
+}
+
+/// Feeds the run-level counters of a finished pipeline run into the
+/// coverage sink (the per-lowering features were recorded live by the
+/// solver). Timings are deliberately excluded: they are the one
+/// nondeterministic part of a result.
+void recordRunFeatures(FuzzFeedback *FB, const PipelineResult &R) {
+  if (!FB)
+    return;
+  FB->hit(FuzzFeature::SolverProcVisits, R.SolverProcVisits);
+  FB->hit(FuzzFeature::SolverJfEvaluations, R.SolverJfEvaluations);
+  FB->hit(FuzzFeature::SolverCellLowerings, R.SolverCellLowerings);
+  FB->hit(FuzzFeature::SolverMemoHits, R.SolverMemoHits);
+  FB->hit(FuzzFeature::SolverMemoMisses, R.SolverMemoMisses);
+  FB->hit(FuzzFeature::AliasPairs, R.AliasPairs);
+  FB->hit(FuzzFeature::AliasUnstableSymbols, R.AliasUnstableSymbols);
+  FB->hit(FuzzFeature::DceRounds, R.DceRounds);
+  FB->hit(FuzzFeature::FoldedBranches, R.FoldedBranches);
+  FB->hit(FuzzFeature::JfForwardConst, R.JfStats.NumForwardConst);
+  FB->hit(FuzzFeature::JfForwardPassThrough,
+          R.JfStats.NumForwardPassThrough);
+  FB->hit(FuzzFeature::JfForwardPoly, R.JfStats.NumForwardPoly);
+  FB->hit(FuzzFeature::JfForwardBottom, R.JfStats.NumForwardBottom);
+  FB->hit(FuzzFeature::JfReturnConst, R.JfStats.NumReturnConst);
+  FB->hit(FuzzFeature::JfReturnPoly, R.JfStats.NumReturnPoly);
+  FB->hit(FuzzFeature::JfMaxPolySupport, R.JfStats.MaxPolySupport);
+  FB->hit(FuzzFeature::SubstitutedConstants, R.SubstitutedConstants);
+  FB->hit(FuzzFeature::KnownButIrrelevant, R.KnownButIrrelevant);
+  FB->hit(FuzzFeature::NeverCalledProcs, R.NeverCalled.size());
 }
 
 } // namespace
@@ -103,7 +133,8 @@ PipelineResult ipcp::runPipelineOnSession(AnalysisSession &Session,
       Jfs = buildJumpFunctions(M, Symbols, CG, MRI, JfOpts, &Aliases, Pool,
                                &Session);
       Result.Timings.JumpFunctionsMs += lapMs(Phase);
-      Solve = solveConstants(Symbols, CG, Jfs, Opts.Strategy);
+      Solve =
+          solveConstants(Symbols, CG, Jfs, Opts.Strategy, Opts.Feedback);
       Result.Timings.SolveMs += lapMs(Phase);
       UseRjfInSccp = Opts.UseReturnJumpFunctions;
     }
@@ -165,6 +196,7 @@ PipelineResult ipcp::runPipelineOnSession(AnalysisSession &Session,
       Result.TransformedSource = Printer.programToString(Prog);
     }
     Result.Substitutions = std::move(Subs.Map);
+    recordRunFeatures(Opts.Feedback, Result);
     Result.Timings.TotalMs +=
         std::chrono::duration<double, std::milli>(Clock::now() - RunStart)
             .count();

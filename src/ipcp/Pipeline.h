@@ -31,6 +31,7 @@
 
 namespace ipcp {
 class AnalysisSession;
+class FuzzFeedback;
 class ThreadPool;
 
 /// One analyzer configuration.
@@ -72,6 +73,13 @@ struct PipelineOptions {
   /// suite runner injects one shared pool so N cells don't create N
   /// pools (hardware oversubscription). Must outlive the run.
   ThreadPool *Pool = nullptr;
+  /// Optional analyzer-behavior coverage sink (support/FuzzFeedback.h).
+  /// The solver records per-lowering features into it and the pipeline
+  /// adds its run-level counters; the coverage-guided fuzzer uses the
+  /// resulting bitmap for corpus retention. Never changes any result.
+  /// Must outlive the run. Only meaningful for serial runs (the sink is
+  /// not thread-safe; the phases that record are serial anyway).
+  FuzzFeedback *Feedback = nullptr;
 };
 
 /// Wall-clock cost of each pipeline phase, in milliseconds. Accumulated

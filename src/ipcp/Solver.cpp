@@ -6,6 +6,8 @@
 
 #include "ipcp/Solver.h"
 
+#include "support/FuzzFeedback.h"
+
 #include <algorithm>
 #include <cassert>
 #include <map>
@@ -40,12 +42,24 @@ size_t SolveResult::numConstantCells() const {
 
 namespace {
 
+/// Records one VAL-cell lowering with the jump function that caused it
+/// (no-op without a feedback sink). Shared by both solver formulations
+/// so the coverage signal is strategy-independent.
+void recordLowering(FuzzFeedback *FB, const JumpFunction &J,
+                    const LatticeValue &New) {
+  if (!FB)
+    return;
+  FB->hit(FuzzFeature::LatticeLoweringByJfForm,
+          static_cast<uint64_t>(J.form()));
+  FB->hit(FuzzFeature::LatticeLoweringState, New.isConst() ? 0 : 1);
+}
+
 /// Shared state of one propagation run.
 class Propagation {
 public:
   Propagation(const SymbolTable &Symbols, const CallGraph &CG,
-              const ProgramJumpFunctions &Jfs)
-      : Symbols(Symbols), CG(CG), Jfs(Jfs) {
+              const ProgramJumpFunctions &Jfs, FuzzFeedback *Feedback)
+      : Symbols(Symbols), CG(CG), Jfs(Jfs), Feedback(Feedback) {
     Result.Val.resize(CG.numProcs());
     for (ProcId P = 0, E = static_cast<ProcId>(CG.numProcs()); P != E; ++P)
       for (SymbolId Sym : Symbols.interproceduralParams(P))
@@ -128,6 +142,7 @@ public:
           It->second = New;
           ++Result.CellLowerings;
           CalleeChanged = true;
+          recordLowering(Feedback, J, New);
         }
       };
 
@@ -153,6 +168,7 @@ public:
   const SymbolTable &Symbols;
   const CallGraph &CG;
   const ProgramJumpFunctions &Jfs;
+  FuzzFeedback *Feedback;
   SolveResult Result;
 
 private:
@@ -203,8 +219,10 @@ namespace {
 class BindingGraphSolver {
 public:
   BindingGraphSolver(const SymbolTable &Symbols, const CallGraph &CG,
-                     const ProgramJumpFunctions &Jfs, SolveResult &Result)
-      : Symbols(Symbols), CG(CG), Jfs(Jfs), Result(Result) {
+                     const ProgramJumpFunctions &Jfs, SolveResult &Result,
+                     FuzzFeedback *Feedback)
+      : Symbols(Symbols), CG(CG), Jfs(Jfs), Result(Result),
+        Feedback(Feedback) {
     buildCells();
     buildEdges();
   }
@@ -300,6 +318,7 @@ private:
       return;
     It->second = New;
     ++Result.CellLowerings;
+    recordLowering(Feedback, *Ed.Jf, New);
     for (uint32_t User : UsersOf[Ed.Target])
       scheduleEdge(User);
   }
@@ -308,6 +327,7 @@ private:
   const CallGraph &CG;
   const ProgramJumpFunctions &Jfs;
   SolveResult &Result;
+  FuzzFeedback *Feedback;
   std::vector<Cell> Cells;
   std::unordered_map<uint64_t, uint32_t> CellIdx;
   std::vector<Edge> Edges;
@@ -321,11 +341,12 @@ private:
 SolveResult ipcp::solveConstants(const SymbolTable &Symbols,
                                  const CallGraph &CG,
                                  const ProgramJumpFunctions &Jfs,
-                                 SolverStrategy Strategy) {
-  Propagation Prop(Symbols, CG, Jfs);
+                                 SolverStrategy Strategy,
+                                 FuzzFeedback *Feedback) {
+  Propagation Prop(Symbols, CG, Jfs, Feedback);
 
   if (Strategy == SolverStrategy::BindingGraph) {
-    BindingGraphSolver Solver(Symbols, CG, Jfs, Prop.Result);
+    BindingGraphSolver Solver(Symbols, CG, Jfs, Prop.Result, Feedback);
     Solver.run();
     return Prop.take();
   }

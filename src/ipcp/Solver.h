@@ -28,6 +28,7 @@
 #include <vector>
 
 namespace ipcp {
+class FuzzFeedback;
 
 /// Fixpoint strategy.
 enum class SolverStrategy : uint8_t {
@@ -81,9 +82,15 @@ struct SolveResult {
 /// Initial information: every cell starts at TOP except the entry
 /// procedure, whose formals (none, for 'main') and globals start at
 /// BOTTOM — globals are uninitialized until the entry prologue runs.
+///
+/// A non-null \p Feedback receives one coverage feature per VAL-cell
+/// lowering, tagged with the form of the jump function that caused it
+/// and the cell's new lattice state (the coverage-guided fuzzer's
+/// cheapest behavior signal). Recording never changes the propagation.
 SolveResult solveConstants(const SymbolTable &Symbols, const CallGraph &CG,
                            const ProgramJumpFunctions &Jfs,
-                           SolverStrategy Strategy = SolverStrategy::Worklist);
+                           SolverStrategy Strategy = SolverStrategy::Worklist,
+                           FuzzFeedback *Feedback = nullptr);
 
 } // namespace ipcp
 

@@ -1,0 +1,71 @@
+//===- support/FuzzFeedback.cpp - Analyzer-behavior coverage map ----------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FuzzFeedback.h"
+
+using namespace ipcp;
+
+namespace {
+
+/// Values below 8 map to themselves (categorical features like a
+/// JumpFunction::Form stay distinct); larger ones to 8 + floor(log2):
+/// the libFuzzer counter bucketing, where a counter lights a new bit
+/// only when it crosses a power of two.
+uint32_t bucket(uint64_t V) {
+  if (V < 8)
+    return static_cast<uint32_t>(V);
+  uint32_t B = 0;
+  while (V) {
+    ++B;
+    V >>= 1;
+  }
+  return 8 + B;
+}
+
+/// splitmix64 finalizer; a well-mixed stateless hash.
+uint64_t mix(uint64_t X) {
+  X += 0x9e3779b97f4a7c15;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111eb;
+  return X ^ (X >> 31);
+}
+
+} // namespace
+
+void FuzzFeedback::hit(FuzzFeature Id, uint64_t Value) {
+  uint64_t H =
+      mix((uint64_t(Id) << 32) | bucket(Value)) % uint64_t(MapBits);
+  Words[H / 64] |= uint64_t(1) << (H % 64);
+}
+
+size_t FuzzFeedback::countBits() const {
+  size_t N = 0;
+  for (uint64_t W : Words)
+    N += static_cast<size_t>(__builtin_popcountll(W));
+  return N;
+}
+
+bool FuzzFeedback::mergeNovel(const FuzzFeedback &Other) {
+  bool Novel = false;
+  for (size_t I = 0; I != Words.size(); ++I) {
+    if (Other.Words[I] & ~Words[I])
+      Novel = true;
+    Words[I] |= Other.Words[I];
+  }
+  return Novel;
+}
+
+bool FuzzFeedback::wouldAddNovel(const FuzzFeedback &Other) const {
+  for (size_t I = 0; I != Words.size(); ++I)
+    if (Other.Words[I] & ~Words[I])
+      return true;
+  return false;
+}
+
+void FuzzFeedback::clear() {
+  for (uint64_t &W : Words)
+    W = 0;
+}

@@ -1,0 +1,110 @@
+//===- support/FuzzFeedback.h - Analyzer-behavior coverage map --*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A libFuzzer-style feature bitmap over cheap analyzer-behavior
+/// observations. The analysis phases (Solver, Pipeline) record discrete
+/// features — "a VAL cell was lowered by a pass-through jump function",
+/// "the memo table hit ~2^k times", "DCE ran k rounds" — through an
+/// optional FuzzFeedback hook; the coverage-guided fuzzer keeps a mutant
+/// in its corpus exactly when the mutant's run lights feature bits the
+/// accumulated global map has never seen.
+///
+/// Features are (id, value) pairs; the value is bucketed into its
+/// floor(log2) so counters contribute a bounded number of bits, and the
+/// pair is hashed into a fixed-size bitmap. The map is deliberately in
+/// the lowest layer (support/) so both the analyzer and the fuzz harness
+/// can use it without a dependency cycle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_SUPPORT_FUZZFEEDBACK_H
+#define IPCP_SUPPORT_FUZZFEEDBACK_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ipcp {
+
+/// Stable identifiers of the analyzer-behavior features. Values are part
+/// of the corpus format only insofar as reordering them changes which
+/// mutants a re-run retains — append, don't renumber.
+enum class FuzzFeature : uint32_t {
+  /// A VAL cell was lowered by a jump function of the given form
+  /// (Solver). The value is the JumpFunction::Form; one extra bucket per
+  /// form records the new lattice state (constant vs BOTTOM).
+  LatticeLoweringByJfForm = 1,
+  /// The lowered cell's new state: value 0 = constant, 1 = BOTTOM.
+  LatticeLoweringState = 2,
+  /// Solver effort counters, log2-bucketed (Pipeline).
+  SolverProcVisits = 3,
+  SolverJfEvaluations = 4,
+  SolverCellLowerings = 5,
+  SolverMemoHits = 6,
+  SolverMemoMisses = 7,
+  /// By-reference aliasing shape counters (Pipeline).
+  AliasPairs = 8,
+  AliasUnstableSymbols = 9,
+  /// Complete-propagation dynamics (Pipeline).
+  DceRounds = 10,
+  FoldedBranches = 11,
+  /// Jump-function population histogram (Pipeline), value = count.
+  JfForwardConst = 12,
+  JfForwardPassThrough = 13,
+  JfForwardPoly = 14,
+  JfForwardBottom = 15,
+  JfReturnConst = 16,
+  JfReturnPoly = 17,
+  JfMaxPolySupport = 18,
+  /// Results shape (Pipeline).
+  SubstitutedConstants = 19,
+  KnownButIrrelevant = 20,
+  NeverCalledProcs = 21,
+  /// Transform decisions (recorded by the fuzz harness).
+  InlinedCalls = 22,
+  InlineSkippedRecursive = 23,
+  InlineSkippedHasReturn = 24,
+  ClonesCreated = 25,
+  CloneRounds = 26,
+};
+
+/// Fixed-size feature bitmap plus hit recording. Not thread-safe; one
+/// instance per (serial) pipeline run.
+class FuzzFeedback {
+public:
+  /// 2^16 bits; small enough to copy freely, large enough that the
+  /// couple of hundred features a run can produce rarely collide.
+  static constexpr size_t MapBits = 1u << 16;
+
+  FuzzFeedback() : Words(MapBits / 64, 0) {}
+
+  /// Records feature \p Id observed with \p Value. Values below 8 keep
+  /// their identity (categorical features stay distinct); larger ones
+  /// are log2-bucketed so each counter contributes at most ~70 distinct
+  /// bits over its whole range.
+  void hit(FuzzFeature Id, uint64_t Value);
+
+  /// Number of set bits.
+  size_t countBits() const;
+
+  /// ORs \p Other into this map. Returns true iff \p Other contained at
+  /// least one bit this map did not (the libFuzzer retention test).
+  bool mergeNovel(const FuzzFeedback &Other);
+
+  /// True iff \p Other has at least one bit not in this map, without
+  /// modifying either.
+  bool wouldAddNovel(const FuzzFeedback &Other) const;
+
+  void clear();
+
+private:
+  std::vector<uint64_t> Words;
+};
+
+} // namespace ipcp
+
+#endif // IPCP_SUPPORT_FUZZFEEDBACK_H

@@ -42,7 +42,8 @@ class ProcEmitter {
 public:
   ProcEmitter(Rng &R, const RandomSpec &Spec, int ProcIdx,
               const std::vector<int> &FormalCounts,
-              const std::vector<std::string> &Globals)
+              const std::vector<std::string> &Globals,
+              const std::vector<std::pair<std::string, int>> &GlobalArrays)
       : R(R), Spec(Spec), ProcIdx(ProcIdx), FormalCounts(FormalCounts),
         Globals(Globals) {
     int NumFormals = ProcIdx < 0 ? 0 : FormalCounts[ProcIdx];
@@ -55,6 +56,12 @@ public:
     }
     for (const std::string &G : Globals)
       Scalars.push_back(G);
+    for (const auto &[Name, Size] : GlobalArrays)
+      Arrays.push_back({Name, Size});
+    if (Spec.AllowArrays && R.chance(30)) {
+      LocalArraySize = 4 + R.below(8);
+      Arrays.push_back({"la", LocalArraySize});
+    }
   }
 
   std::string emit() {
@@ -69,6 +76,8 @@ public:
     for (size_t I = 0; I != Locals.size(); ++I)
       OS << (I ? ", " : "") << Locals[I];
     OS << "\n";
+    if (LocalArraySize > 0)
+      OS << "  array la(" << LocalArraySize << ")\n";
     // Locals get defined before anything reads them.
     for (const std::string &L : Locals)
       OS << "  " << L << " = " << (R.below(40) - 10) << "\n";
@@ -82,10 +91,24 @@ public:
 private:
   std::string var() { return Scalars[R.below(int(Scalars.size()))]; }
   std::string local() { return Locals[R.below(int(Locals.size()))]; }
+  std::string global() { return Globals[R.below(int(Globals.size()))]; }
+
+  /// An element reference into a declared array, usually with an
+  /// in-bounds literal index (a variable index may trap; that's
+  /// observable behavior, just not the common case).
+  std::string arrayElem() {
+    const auto &[Name, Size] = Arrays[R.below(int(Arrays.size()))];
+    std::string Index = R.chance(70) ? std::to_string(1 + R.below(Size))
+                                     : var();
+    return Name + "(" + Index + ")";
+  }
 
   std::string expr(int Depth) {
-    if (Depth <= 0 || R.chance(35))
+    if (Depth <= 0 || R.chance(35)) {
+      if (!Arrays.empty() && R.chance(12))
+        return arrayElem();
       return R.chance(50) ? std::to_string(R.below(20)) : var();
+    }
     static const char *Ops[] = {"+", "-", "*", "/", "%"};
     std::string L = expr(Depth - 1);
     std::string Rhs = expr(Depth - 1);
@@ -104,22 +127,28 @@ private:
 
   void statement(std::ostringstream &OS, int Level, bool AllowLoops) {
     int Kind = R.below(100);
-    if (Kind < 35) {
+    if (Kind < 33) {
       indent(OS, Level);
-      OS << var() << " = " << expr(Spec.MaxExprDepth) << "\n";
+      std::string Target = !Arrays.empty() && R.chance(18) ? arrayElem()
+                                                           : var();
+      OS << Target << " = " << expr(Spec.MaxExprDepth) << "\n";
       return;
     }
-    if (Kind < 50) {
+    if (Kind < 47) {
       indent(OS, Level);
       OS << "print " << expr(2) << "\n";
       return;
     }
-    if (Kind < 58) {
+    if (Kind < 56) {
+      // READ is the canonical BOTTOM source; letting it hit globals and
+      // by-reference formals (not just locals) pushes unknowns through
+      // every binding class.
       indent(OS, Level);
-      OS << "read " << local() << "\n";
+      OS << "read "
+         << (Spec.ReadAnyScalar && R.chance(40) ? var() : local()) << "\n";
       return;
     }
-    if (Kind < 75) {
+    if (Kind < 72) {
       // A call: main calls anything; workers call strictly later workers
       // (DAG), or themselves when recursion is allowed.
       int Lo = ProcIdx < 0 ? 0 : ProcIdx + 1;
@@ -140,23 +169,26 @@ private:
         OS << "print 0\n";
         return;
       }
-      indent(OS, Level);
-      OS << "call w" << Callee << "(";
-      for (int A = 0; A != FormalCounts[Callee]; ++A) {
-        if (A)
-          OS << ", ";
-        int Pick = R.below(3);
-        if (Pick == 0)
-          OS << R.below(30);
-        else if (Pick == 1)
-          OS << var();
-        else
-          OS << expr(1);
-      }
-      OS << ")\n";
+      call(OS, Level, Callee);
       return;
     }
-    if (Kind < 85 && AllowLoops) {
+    if (Kind < 79 && AllowLoops && Spec.AllowWhile) {
+      // A bounded pre-tested loop: the counter is initialized before the
+      // loop and incremented inside it, so unless the body overwrites the
+      // counter the loop terminates on its own.
+      indent(OS, Level);
+      std::string Iv = local();
+      OS << Iv << " = 0\n";
+      indent(OS, Level);
+      OS << "while (" << Iv << " < " << (1 + R.below(4)) << ")\n";
+      statement(OS, Level + 1, /*AllowLoops=*/false);
+      indent(OS, Level + 1);
+      OS << Iv << " = " << Iv << " + 1\n";
+      indent(OS, Level);
+      OS << "end while\n";
+      return;
+    }
+    if (Kind < 86 && AllowLoops) {
       indent(OS, Level);
       std::string Iv = local();
       OS << "do " << Iv << " = 1, " << expr(1) << "\n";
@@ -178,6 +210,43 @@ private:
     OS << "end if\n";
   }
 
+  /// Emits one call to \p Callee. With AllowAliasingCalls the actuals
+  /// sometimes take the two shapes that create by-reference alias pairs:
+  /// the same variable bound to two formals, and a global passed bare.
+  void call(std::ostringstream &OS, int Level, int Callee) {
+    int NumArgs = FormalCounts[Callee];
+    std::vector<std::string> Args;
+    for (int A = 0; A != NumArgs; ++A) {
+      int Pick = R.below(3);
+      if (Pick == 0)
+        Args.push_back(std::to_string(R.below(30)));
+      else if (Pick == 1)
+        Args.push_back(var());
+      else
+        Args.push_back(expr(1));
+    }
+    if (Spec.AllowAliasingCalls && NumArgs >= 1) {
+      int Shape = R.below(100);
+      if (Shape < 14 && NumArgs >= 2) {
+        // Same variable into two reference formals.
+        std::string V = var();
+        int First = R.below(NumArgs);
+        int Second = (First + 1 + R.below(NumArgs - 1)) % NumArgs;
+        Args[First] = V;
+        Args[Second] = V;
+      } else if (Shape < 30 && !Globals.empty()) {
+        // A global bound by reference; it aliases the formal wherever
+        // the callee (transitively) modifies either name.
+        Args[R.below(NumArgs)] = global();
+      }
+    }
+    indent(OS, Level);
+    OS << "call w" << Callee << "(";
+    for (int A = 0; A != NumArgs; ++A)
+      OS << (A ? ", " : "") << Args[A];
+    OS << ")\n";
+  }
+
   Rng &R;
   const RandomSpec &Spec;
   int ProcIdx; ///< -1 for main.
@@ -185,6 +254,9 @@ private:
   const std::vector<std::string> &Globals;
   std::vector<std::string> Scalars;
   std::vector<std::string> Locals;
+  /// Arrays visible here: the global arrays plus "la" when declared.
+  std::vector<std::pair<std::string, int>> Arrays;
+  int LocalArraySize = 0;
 };
 
 } // namespace
@@ -201,6 +273,11 @@ std::string ipcp::generateRandomProgram(const RandomSpec &Spec) {
       OS << " = " << R.below(100);
     OS << "\n";
   }
+  std::vector<std::pair<std::string, int>> GlobalArrays;
+  if (Spec.AllowArrays) {
+    GlobalArrays.push_back({"ga", 6 + R.below(10)});
+    OS << "array ga(" << GlobalArrays.back().second << ")\n";
+  }
   OS << "\n";
 
   std::vector<int> FormalCounts;
@@ -208,11 +285,11 @@ std::string ipcp::generateRandomProgram(const RandomSpec &Spec) {
     FormalCounts.push_back(R.below(4));
 
   {
-    ProcEmitter Main(R, Spec, -1, FormalCounts, Globals);
+    ProcEmitter Main(R, Spec, -1, FormalCounts, Globals, GlobalArrays);
     OS << Main.emit() << "\n";
   }
   for (int I = 0; I != Spec.Procs; ++I) {
-    ProcEmitter P(R, Spec, I, FormalCounts, Globals);
+    ProcEmitter P(R, Spec, I, FormalCounts, Globals, GlobalArrays);
     OS << P.emit() << "\n";
   }
   return OS.str();

@@ -30,6 +30,23 @@ struct RandomSpec {
   int MaxStmtsPerProc = 10;///< Top-level statements per body.
   int MaxExprDepth = 3;    ///< Operator nesting in expressions.
   bool AllowRecursion = false; ///< Permit self-calls (guarded).
+  /// Emit bounded pre-tested WHILE loops (counter initialized before the
+  /// loop, incremented inside, so the common case terminates without
+  /// leaning on the interpreter's step budget).
+  bool AllowWhile = true;
+  /// Declare arrays (one global, occasional locals) and emit element
+  /// reads and writes. Indices are usually in-bounds literals; a
+  /// variable index occasionally traps, which the oracle treats as
+  /// observable behavior like any other.
+  bool AllowArrays = true;
+  /// Let READ target any visible scalar — globals and by-reference
+  /// formals, not just locals — so BOTTOM enters through every binding
+  /// class.
+  bool ReadAnyScalar = true;
+  /// Deliberately emit the aliasing call shapes (the same variable bound
+  /// to two reference formals; a global passed bare into a formal) that
+  /// exercise the RefAlias unstable-symbol machinery.
+  bool AllowAliasingCalls = true;
 };
 
 /// Generates the program deterministically from \p Spec.

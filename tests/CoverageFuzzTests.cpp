@@ -1,0 +1,214 @@
+//===- tests/CoverageFuzzTests.cpp - Coverage-guided fuzzer tests ---------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+// The check-fuzz suite: determinism of the mutation and campaign PRNG
+// chains, coverage-driven corpus retention, reducer effectiveness on an
+// injected bug, replay of the curated regression corpus under
+// tests/corpus/, and a bounded clean campaign across all six analyzer
+// configurations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+#include "fuzz/Mutator.h"
+#include "fuzz/Reducer.h"
+#include "ipcp/Pipeline.h"
+#include "support/FuzzFeedback.h"
+#include "workloads/RandomProgram.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipcp;
+
+#ifndef IPCP_TEST_CORPUS_DIR
+#define IPCP_TEST_CORPUS_DIR "tests/corpus"
+#endif
+
+namespace {
+
+std::string seedProgram(uint64_t Seed) {
+  RandomSpec Spec;
+  Spec.Seed = Seed;
+  Spec.Procs = 5;
+  Spec.Globals = 3;
+  return generateRandomProgram(Spec);
+}
+
+FuzzOptions quickOptions() {
+  FuzzOptions Opts;
+  Opts.Seed = 11;
+  Opts.Runs = 25;
+  Opts.SeedPrograms = 3;
+  Opts.CheckTransforms = false; // The costly part; covered by CleanCampaign.
+  Opts.MaxSteps = 20000;
+  return Opts;
+}
+
+} // namespace
+
+TEST(FuzzFeedback, HookRecordsFeaturesDeterministically) {
+  std::string Source = seedProgram(3);
+  FuzzFeedback A;
+  PipelineOptions Opts;
+  Opts.Feedback = &A;
+  ASSERT_TRUE(runPipeline(Source, Opts).Ok);
+  EXPECT_GT(A.countBits(), 0u);
+
+  // Same program, same config: the identical feature set.
+  FuzzFeedback B;
+  Opts.Feedback = &B;
+  ASSERT_TRUE(runPipeline(Source, Opts).Ok);
+  EXPECT_EQ(A.countBits(), B.countBits());
+  EXPECT_FALSE(A.wouldAddNovel(B));
+  EXPECT_FALSE(B.wouldAddNovel(A));
+
+  // A different configuration behaves differently somewhere.
+  FuzzFeedback C;
+  PipelineOptions Literal;
+  Literal.Kind = JumpFunctionKind::Literal;
+  Literal.Feedback = &C;
+  ASSERT_TRUE(runPipeline(Source, Literal).Ok);
+  EXPECT_TRUE(A.wouldAddNovel(C) || C.countBits() != A.countBits());
+
+  A.clear();
+  EXPECT_EQ(A.countBits(), 0u);
+  EXPECT_TRUE(A.wouldAddNovel(B));
+}
+
+TEST(FuzzMutator, SameSeedSameMutant) {
+  std::string Source = seedProgram(5);
+  for (uint64_t Seed = 1; Seed != 9; ++Seed) {
+    MutationOptions Opts;
+    Opts.Seed = Seed;
+    MutationResult First = mutateProgram(Source, Opts);
+    MutationResult Second = mutateProgram(Source, Opts);
+    EXPECT_EQ(First.Ok, Second.Ok);
+    EXPECT_EQ(First.Source, Second.Source);
+    EXPECT_EQ(First.Trail, Second.Trail);
+    if (First.Ok) {
+      EXPECT_FALSE(First.Trail.empty());
+      PipelineResult R = runPipeline(First.Source, PipelineOptions());
+      EXPECT_TRUE(R.Ok) << R.Error << "\n" << First.Source;
+    }
+  }
+}
+
+TEST(FuzzMutator, ProducesMutantsOnTypicalPrograms) {
+  // Across a seed sweep, mutation overwhelmingly succeeds; a rare
+  // give-up (all attempts invalid) is tolerated but must be rare.
+  unsigned Produced = 0;
+  for (uint64_t Seed = 1; Seed != 13; ++Seed) {
+    MutationOptions Opts;
+    Opts.Seed = 100 + Seed;
+    if (mutateProgram(seedProgram(Seed), Opts).Ok)
+      ++Produced;
+  }
+  EXPECT_GE(Produced, 10u);
+}
+
+TEST(FuzzCampaign, DeterministicFromSeed) {
+  FuzzOptions Opts = quickOptions();
+  FuzzResult First = runFuzzer(Opts);
+  FuzzResult Second = runFuzzer(Opts);
+  EXPECT_EQ(First.Iterations, Second.Iterations);
+  EXPECT_EQ(First.MutantsInvalid, Second.MutantsInvalid);
+  EXPECT_EQ(First.MutantsRetained, Second.MutantsRetained);
+  EXPECT_EQ(First.CorpusSize, Second.CorpusSize);
+  EXPECT_EQ(First.FeatureBits, Second.FeatureBits);
+  EXPECT_EQ(First.FeatureBitsTimeline, Second.FeatureBitsTimeline);
+  EXPECT_EQ(First.Failures.size(), Second.Failures.size());
+}
+
+TEST(FuzzCampaign, CoverageRetentionGrowsFeatureBits) {
+  // The acceptance criterion for the coverage map: over a bounded run
+  // the corpus feature-bit count strictly grows — retention events
+  // happen, and each one lights bits the corpus never had.
+  FuzzOptions Opts = quickOptions();
+  Opts.Runs = 60;
+  FuzzResult R = runFuzzer(Opts);
+  ASSERT_GE(R.FeatureBitsTimeline.size(), 2u)
+      << "expected at least two retention events in " << Opts.Runs
+      << " runs";
+  for (size_t I = 1; I != R.FeatureBitsTimeline.size(); ++I)
+    EXPECT_GT(R.FeatureBitsTimeline[I], R.FeatureBitsTimeline[I - 1]);
+  EXPECT_EQ(R.FeatureBits, R.FeatureBitsTimeline.back());
+  EXPECT_GT(R.MutantsRetained, 0u);
+}
+
+TEST(FuzzReducer, ShrinksInjectedBugPreservingFailure) {
+  // Plant a detectable "bug": a sink procedure that provably receives
+  // the literal 41, buried inside a large random program. The predicate
+  // is "the analyzer still proves CONSTANTS(sink) contains q0=41";
+  // reduction must shrink the program far below its original size while
+  // keeping that property.
+  RandomSpec Spec;
+  Spec.Seed = 17;
+  Spec.Procs = 8;
+  Spec.Globals = 4;
+  Spec.MaxStmtsPerProc = 12;
+  std::string Source = generateRandomProgram(Spec);
+  Source += "\nproc sink(q0)\n  print q0\nend\n";
+  size_t MainEnd = Source.find("\nend");
+  ASSERT_NE(MainEnd, std::string::npos);
+  Source.insert(MainEnd, "\n  call sink(41)");
+
+  auto StillFails = [](const std::string &Candidate) {
+    PipelineResult R = runPipeline(Candidate, PipelineOptions());
+    if (!R.Ok)
+      return false;
+    for (size_t P = 0; P != R.ProcNames.size(); ++P)
+      if (R.ProcNames[P] == "sink")
+        for (const auto &Entry : R.Constants[P])
+          if (Entry.first == "q0" && Entry.second == 41)
+            return true;
+    return false;
+  };
+  ASSERT_TRUE(StillFails(Source));
+
+  ReduceOptions Opts;
+  Opts.MaxChecks = 300;
+  ReduceResult R = reduceProgram(Source, StillFails, Opts);
+  EXPECT_TRUE(R.Reduced);
+  EXPECT_TRUE(StillFails(R.Source)) << R.Source;
+  // The essence is ~6 lines (main + call + sink); anything under 200
+  // bytes means reduction stripped the random program around it.
+  EXPECT_LT(R.ReducedBytes, 200u) << R.Source;
+  EXPECT_LT(R.ReducedBytes, R.OriginalBytes / 4) << R.Source;
+}
+
+TEST(FuzzCorpus, CheckedInRegressionsReplayGreen) {
+  std::vector<CorpusEntry> Entries = loadCorpusDir(IPCP_TEST_CORPUS_DIR);
+  ASSERT_FALSE(Entries.empty())
+      << "no corpus entries under " << IPCP_TEST_CORPUS_DIR;
+  FuzzOptions Opts;
+  Opts.MaxSteps = 30000;
+  for (const CorpusEntry &Entry : Entries) {
+    FuzzFeedback FB;
+    std::optional<FuzzFailure> Fail =
+        evaluateProgram(Entry.Source, FB, Opts);
+    EXPECT_FALSE(Fail.has_value())
+        << Entry.Name << ": " << (Fail ? Fail->Kind : "") << " "
+        << (Fail ? Fail->Detail : "") << "\n"
+        << Entry.Source;
+    EXPECT_GT(FB.countBits(), 0u) << Entry.Name;
+  }
+}
+
+TEST(FuzzCampaign, BoundedBudgetAllConfigsClean) {
+  // The full evaluation — all six configurations, cross-config checks,
+  // transforms, and the execution oracle — over a small budget must
+  // find nothing: the analyzer has no known bugs, so any failure here
+  // is a regression (and comes with a reduced reproducer).
+  ASSERT_EQ(fuzzConfigs().size(), 6u);
+  FuzzOptions Opts;
+  Opts.Seed = 23;
+  Opts.Runs = 30;
+  Opts.SeedPrograms = 4;
+  Opts.CheckTransforms = true;
+  FuzzResult R = runFuzzer(Opts);
+  for (const FuzzFailure &F : R.Failures)
+    ADD_FAILURE() << F.Kind << " (" << F.Config << "): " << F.Detail
+                  << "\n" << F.Source;
+  EXPECT_EQ(R.Iterations, Opts.Runs);
+}

@@ -43,6 +43,41 @@ PipelineOptions withKind(JumpFunctionKind Kind) {
   return Opts;
 }
 
+// The sound form of the jump-function hierarchy: every CONSTANTS(p)
+// entry the weaker configuration proves must also be proven — with the
+// same value — by the stronger one. Substituted *counts* are not
+// monotone: knowing more constants can fold a branch and unreach
+// substitutable uses, so a stronger configuration can report a smaller
+// count (the coverage fuzzer found concrete counterexamples; the richer
+// program generator reproduces one at seed 9).
+testing::AssertionResult constantsSubset(const std::string &Source,
+                                         const PipelineOptions &WeakOpts,
+                                         const PipelineOptions &StrongOpts) {
+  PipelineResult Weak = runPipeline(Source, WeakOpts);
+  PipelineResult Strong = runPipeline(Source, StrongOpts);
+  if (!Weak.Ok || !Strong.Ok)
+    return testing::AssertionFailure()
+           << (Weak.Ok ? Strong.Error : Weak.Error);
+  for (size_t P = 0; P != Weak.ProcNames.size(); ++P)
+    for (const auto &Entry : Weak.Constants[P]) {
+      bool Found = false;
+      for (size_t Q = 0; Q != Strong.ProcNames.size() && !Found; ++Q)
+        if (Strong.ProcNames[Q] == Weak.ProcNames[P])
+          for (const auto &Have : Strong.Constants[Q])
+            if (Have == Entry) {
+              Found = true;
+              break;
+            }
+      if (!Found)
+        return testing::AssertionFailure()
+               << "CONSTANTS(" << Weak.ProcNames[P] << ") entry "
+               << Entry.first << "=" << Entry.second
+               << " proven by the weaker config only\n"
+               << Source;
+    }
+  return testing::AssertionSuccess();
+}
+
 } // namespace
 
 class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
@@ -58,37 +93,59 @@ TEST_P(FuzzTest, GeneratedProgramIsValid) {
 
 TEST_P(FuzzTest, KindHierarchyMonotone) {
   std::string Source = programFor(GetParam());
-  unsigned Lit = countFor(Source, withKind(JumpFunctionKind::Literal));
-  unsigned Intra =
-      countFor(Source, withKind(JumpFunctionKind::IntraConst));
-  unsigned Pass =
-      countFor(Source, withKind(JumpFunctionKind::PassThrough));
-  unsigned Poly =
-      countFor(Source, withKind(JumpFunctionKind::Polynomial));
-  EXPECT_LE(Lit, Intra) << Source;
-  EXPECT_LE(Intra, Pass) << Source;
-  EXPECT_LE(Pass, Poly) << Source;
+  EXPECT_TRUE(constantsSubset(Source,
+                              withKind(JumpFunctionKind::Literal),
+                              withKind(JumpFunctionKind::IntraConst)));
+  EXPECT_TRUE(constantsSubset(Source,
+                              withKind(JumpFunctionKind::IntraConst),
+                              withKind(JumpFunctionKind::PassThrough)));
+  EXPECT_TRUE(constantsSubset(Source,
+                              withKind(JumpFunctionKind::PassThrough),
+                              withKind(JumpFunctionKind::Polynomial)));
 }
 
 TEST_P(FuzzTest, OptionsNeverFlipTheWrongWay) {
   std::string Source = programFor(GetParam());
-  unsigned Poly = countFor(Source, PipelineOptions());
 
   PipelineOptions NoRjf;
   NoRjf.UseReturnJumpFunctions = false;
-  EXPECT_LE(countFor(Source, NoRjf), Poly);
+  EXPECT_TRUE(constantsSubset(Source, NoRjf, PipelineOptions()));
 
   PipelineOptions NoMod;
   NoMod.UseMod = false;
-  EXPECT_LE(countFor(Source, NoMod), Poly);
-
-  PipelineOptions Intra;
-  Intra.IntraproceduralOnly = true;
-  EXPECT_LE(countFor(Source, Intra), Poly);
+  EXPECT_TRUE(constantsSubset(Source, NoMod, PipelineOptions()));
 
   PipelineOptions Gated;
   Gated.UseGatedSsa = true;
-  EXPECT_GE(countFor(Source, Gated), Poly);
+  EXPECT_TRUE(constantsSubset(Source, PipelineOptions(), Gated));
+
+  // The intraprocedural baseline proves no entry constants at all.
+  PipelineOptions Intra;
+  Intra.IntraproceduralOnly = true;
+  PipelineResult R = runPipeline(Source, Intra);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  for (const auto &PerProc : R.Constants)
+    EXPECT_TRUE(PerProc.empty());
+}
+
+TEST(FuzzSweep, AliasingCallShapesAppear) {
+  // The generator's aliasing knob must actually produce the shapes the
+  // RefAlias analysis exists for: across the sweep, some programs have
+  // may-alias pairs (same variable into two reference formals, or a
+  // modified global passed bare), and some of those force unstable
+  // symbols.
+  unsigned WithPairs = 0;
+  unsigned WithUnstable = 0;
+  for (uint64_t Seed = 1; Seed != 25; ++Seed) {
+    PipelineResult R = runPipeline(programFor(Seed), PipelineOptions());
+    ASSERT_TRUE(R.Ok) << R.Error;
+    if (R.AliasPairs > 0)
+      ++WithPairs;
+    if (R.AliasUnstableSymbols > 0)
+      ++WithUnstable;
+  }
+  EXPECT_GT(WithPairs, 0u);
+  EXPECT_GT(WithUnstable, 0u);
 }
 
 TEST_P(FuzzTest, SolverStrategiesAgree) {

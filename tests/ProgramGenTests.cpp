@@ -13,8 +13,11 @@
 #include "workloads/ProgramGen.h"
 
 #include "ipcp/Pipeline.h"
+#include "lang/Parser.h"
+#include "workloads/RandomProgram.h"
 
 #include <gtest/gtest.h>
+#include <sstream>
 
 using namespace ipcp;
 
@@ -212,6 +215,125 @@ TEST(ProgramGenIdioms, PaddingNeverAddsCounts) {
   ConfigCounts WithPadding = measure(Padded);
 
   EXPECT_EQ(Unpadded, WithPadding) << WithPadding;
+}
+
+//===----------------------------------------------------------------------===//
+// RandomProgram grammar-coverage knobs
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string knobProgram(uint64_t Seed, bool While, bool Arrays,
+                        bool ReadAny, bool Alias) {
+  RandomSpec Spec;
+  Spec.Seed = Seed;
+  Spec.AllowWhile = While;
+  Spec.AllowArrays = Arrays;
+  Spec.ReadAnyScalar = ReadAny;
+  Spec.AllowAliasingCalls = Alias;
+  return generateRandomProgram(Spec);
+}
+
+bool parsesAndChecks(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto Ctx = parseProgram(Source, Diags);
+  if (!Diags.hasErrors())
+    Sema::run(*Ctx, Diags);
+  return !Diags.hasErrors();
+}
+
+/// True when some "read <var>" line targets a non-local (globals are
+/// g*, formals p*; locals are v*).
+bool readsNonLocal(const std::string &Source) {
+  std::istringstream In(Source);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    size_t At = Line.find("read ");
+    if (At == std::string::npos)
+      continue;
+    char First = Line[At + 5];
+    if (First == 'g' || First == 'p')
+      return true;
+  }
+  return false;
+}
+
+constexpr uint64_t SweepEnd = 31; // Seeds 1..30.
+
+} // namespace
+
+TEST(RandomProgramKnobs, WhileLoopsAppearExactlyWhenEnabled) {
+  bool Seen = false;
+  for (uint64_t S = 1; S != SweepEnd; ++S) {
+    Seen |= knobProgram(S, true, true, true, true).find("while (") !=
+            std::string::npos;
+    EXPECT_EQ(knobProgram(S, false, true, true, true).find("while ("),
+              std::string::npos);
+  }
+  EXPECT_TRUE(Seen);
+}
+
+TEST(RandomProgramKnobs, ArraysAppearExactlyWhenEnabled) {
+  bool SawDecl = false;
+  bool SawWrite = false;
+  for (uint64_t S = 1; S != SweepEnd; ++S) {
+    std::string On = knobProgram(S, true, true, true, true);
+    SawDecl |= On.find("array ") != std::string::npos;
+    // An element assignment: "ga(" or "la(" at the start of a statement
+    // followed by " = " further down the line.
+    std::istringstream In(On);
+    std::string Line;
+    while (std::getline(In, Line)) {
+      size_t At = Line.find_first_not_of(' ');
+      if (At == std::string::npos)
+        continue;
+      if ((Line.compare(At, 3, "ga(") == 0 ||
+           Line.compare(At, 3, "la(") == 0) &&
+          Line.find(" = ", At) != std::string::npos)
+        SawWrite = true;
+    }
+    EXPECT_EQ(knobProgram(S, true, false, true, true).find("array "),
+              std::string::npos);
+  }
+  EXPECT_TRUE(SawDecl);
+  EXPECT_TRUE(SawWrite);
+}
+
+TEST(RandomProgramKnobs, ReadTargetsNonLocalsOnlyWhenEnabled) {
+  bool Seen = false;
+  for (uint64_t S = 1; S != SweepEnd; ++S) {
+    Seen |= readsNonLocal(knobProgram(S, true, true, true, true));
+    EXPECT_FALSE(readsNonLocal(knobProgram(S, true, true, false, true)));
+  }
+  EXPECT_TRUE(Seen);
+}
+
+TEST(RandomProgramKnobs, AliasingShapesRaiseAliasPairs) {
+  // The deliberate aliasing shapes must produce strictly more may-alias
+  // pairs across the sweep than the accidental background rate.
+  size_t PairsOn = 0;
+  size_t PairsOff = 0;
+  for (uint64_t S = 1; S != SweepEnd; ++S) {
+    PipelineResult On =
+        runPipeline(knobProgram(S, true, true, true, true), {});
+    PipelineResult Off =
+        runPipeline(knobProgram(S, true, true, true, false), {});
+    ASSERT_TRUE(On.Ok && Off.Ok);
+    PairsOn += On.AliasPairs;
+    PairsOff += Off.AliasPairs;
+  }
+  EXPECT_GT(PairsOn, PairsOff);
+}
+
+TEST(RandomProgramKnobs, AllKnobCombinationsStayValid) {
+  for (int Mask = 0; Mask != 16; ++Mask)
+    for (uint64_t S = 1; S != 9; ++S) {
+      std::string Source = knobProgram(S, Mask & 1, Mask & 2, Mask & 4,
+                                       Mask & 8);
+      EXPECT_TRUE(parsesAndChecks(Source)) << Source;
+      PipelineResult R = runPipeline(Source, PipelineOptions());
+      EXPECT_TRUE(R.Ok) << R.Error << "\n" << Source;
+    }
 }
 
 TEST(ProgramGenIdioms, IdiomsComposeAdditively) {

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+#===- tools/coverage-report.sh - gcov line-coverage summary --------------===//
+#
+# Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+#
+# Aggregates the .gcda data an IPCP_COVERAGE=ON build leaves behind into
+# a per-file and total line-coverage summary for src/, using plain gcov
+# (gcovr/lcov are deliberately not required). Typical use:
+#
+#   cmake --preset cov && cmake --build build-cov -j "$(nproc)"
+#   ctest --test-dir build-cov -L check-fuzz
+#   tools/coverage-report.sh build-cov
+#
+# Usage: tools/coverage-report.sh [builddir]   (default: build-cov)
+#
+#===----------------------------------------------------------------------===//
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILDDIR="${1:-build-cov}"
+if [[ ! -d "$BUILDDIR" ]]; then
+  echo "error: build directory '$BUILDDIR' does not exist" >&2
+  echo "  (configure with: cmake --preset cov)" >&2
+  exit 1
+fi
+if ! command -v gcov >/dev/null; then
+  echo "error: gcov not found on PATH" >&2
+  exit 1
+fi
+
+# Absolute paths: gcov runs from a scratch dir below and must still
+# find each .gcda (and the .gcno beside it).
+BUILDDIR=$(readlink -f "$BUILDDIR")
+GCDA=$(find "$BUILDDIR/src" -name '*.gcda' 2>/dev/null || true)
+if [[ -z "$GCDA" ]]; then
+  echo "no .gcda data under $BUILDDIR/src — run the instrumented tests first" >&2
+  echo "  (e.g. ctest --test-dir $BUILDDIR -L check-fuzz)" >&2
+  exit 1
+fi
+
+# gcov -i emits per-source .gcov.json.gz summaries (gcc 9+); run it out
+# of a scratch dir so the droppings never land in the tree, then tally
+# executable vs executed lines per src/ file — a line hit in any
+# translation unit counts as covered.
+SCRATCH=$(mktemp -d)
+trap 'rm -rf "$SCRATCH"' EXIT
+
+echo "$GCDA" | (cd "$SCRATCH" && xargs gcov -i -p >/dev/null 2>&1 || true)
+
+find "$SCRATCH" -name '*.gcov.json.gz' -print0 |
+python3 -c '
+import gzip, json, sys
+
+total, covered = {}, {}
+for path in sys.stdin.buffer.read().split(b"\0"):
+    if not path:
+        continue
+    with gzip.open(path) as fh:
+        data = json.load(fh)
+    for unit in data.get("files", []):
+        name = unit["file"]
+        at = name.find("/src/")
+        if at < 0 and not name.startswith("src/"):
+            continue
+        name = "src/" + name[at + 5:] if at >= 0 else name
+        seen = total.setdefault(name, set())
+        hit = covered.setdefault(name, set())
+        for line in unit.get("lines", []):
+            seen.add(line["line_number"])
+            if line["count"] > 0:
+                hit.add(line["line_number"])
+
+t = c = 0
+for name in sorted(total):
+    n, h = len(total[name]), len(covered[name])
+    if n == 0:
+        continue
+    t += n
+    c += h
+    print(f"{100 * h / n:7.2f}%  {h:5}/{n:<5}  {name}")
+if t:
+    print(f"line coverage: {100 * c / t:.2f}% ({c} of {t} lines in src/)")
+else:
+    print("no source lines found")
+'

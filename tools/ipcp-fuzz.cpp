@@ -1,0 +1,150 @@
+//===- tools/ipcp-fuzz.cpp - Coverage-guided fuzzer front end -------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ipcp-fuzz: run a coverage-guided fuzzing campaign against the
+/// analyzer, or replay corpus entries.
+///
+///   ipcp-fuzz [options]
+///     --seed=<n>          master seed (default 1)
+///     --runs=<n>          mutant evaluations (default 200)
+///     --time-budget=<s>   wall-clock cutoff in seconds (0 = none;
+///                         campaigns under a cutoff are not replayable)
+///     --corpus-dir=<dir>  load the starting corpus from / save retained
+///                         entries and reduced reproducers into <dir>
+///     --no-reduce         report failures unreduced
+///     --seed-programs=<n> generated seed programs (default 6)
+///     --max-steps=<n>     interpreter budget per oracle run
+///     --no-transforms     skip the inliner/cloning checks
+///     --replay=<file.mf>  evaluate one corpus entry and exit
+///     --quiet             only print failures and the final summary
+///
+/// Exits 0 when every evaluation passed, 1 when any check failed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+#include "support/FuzzFeedback.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+using namespace ipcp;
+
+static void printUsage() {
+  std::cerr << "usage: ipcp-fuzz [options]\n"
+               "  --seed=<n>          master seed (default 1)\n"
+               "  --runs=<n>          mutant evaluations (default 200)\n"
+               "  --time-budget=<s>   wall-clock cutoff in seconds\n"
+               "  --corpus-dir=<dir>  on-disk corpus to load and extend\n"
+               "  --no-reduce         report failures unreduced\n"
+               "  --seed-programs=<n> generated seed programs (default 6)\n"
+               "  --max-steps=<n>     interpreter budget per oracle run\n"
+               "  --no-transforms     skip inliner/cloning checks\n"
+               "  --replay=<file.mf>  evaluate one corpus entry and exit\n"
+               "  --quiet             only failures and the summary\n";
+}
+
+static bool parseU64(const std::string &Value, const char *Flag,
+                     uint64_t &Out) {
+  if (Value.empty() ||
+      Value.find_first_not_of("0123456789") != std::string::npos) {
+    std::cerr << "error: " << Flag
+              << " expects a non-negative integer, got '" << Value << "'\n";
+    return false;
+  }
+  Out = std::strtoull(Value.c_str(), nullptr, 10);
+  return true;
+}
+
+static void printFailure(const FuzzFailure &F) {
+  std::cout << "FAILURE kind=" << F.Kind << " config=" << F.Config
+            << " iter=" << F.Iteration << "\n  " << F.Detail << "\n";
+  if (!F.Trail.empty())
+    std::cout << "  trail: " << F.Trail << "\n";
+  std::cout << "--- reproducer ---\n" << F.Source << "------------------\n";
+}
+
+int main(int argc, char **argv) {
+  FuzzOptions Opts;
+  std::string ReplayPath;
+  bool Quiet = false;
+  for (int I = 1; I != argc; ++I) {
+    std::string Arg = argv[I];
+    auto Value = [&](const std::string &Prefix) {
+      return Arg.substr(Prefix.size());
+    };
+    uint64_t N = 0;
+    if (Arg.rfind("--seed=", 0) == 0) {
+      if (!parseU64(Value("--seed="), "--seed", Opts.Seed))
+        return 2;
+    } else if (Arg.rfind("--runs=", 0) == 0) {
+      if (!parseU64(Value("--runs="), "--runs", N))
+        return 2;
+      Opts.Runs = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--time-budget=", 0) == 0) {
+      if (!parseU64(Value("--time-budget="), "--time-budget", N))
+        return 2;
+      Opts.TimeBudgetSec = double(N);
+    } else if (Arg.rfind("--corpus-dir=", 0) == 0) {
+      Opts.CorpusDir = Value("--corpus-dir=");
+    } else if (Arg == "--no-reduce") {
+      Opts.Reduce = false;
+    } else if (Arg.rfind("--seed-programs=", 0) == 0) {
+      if (!parseU64(Value("--seed-programs="), "--seed-programs", N))
+        return 2;
+      Opts.SeedPrograms = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--max-steps=", 0) == 0) {
+      if (!parseU64(Value("--max-steps="), "--max-steps", Opts.MaxSteps))
+        return 2;
+    } else if (Arg == "--no-transforms") {
+      Opts.CheckTransforms = false;
+    } else if (Arg.rfind("--replay=", 0) == 0) {
+      ReplayPath = Value("--replay=");
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else {
+      printUsage();
+      return 2;
+    }
+  }
+
+  if (!ReplayPath.empty()) {
+    std::ifstream In(ReplayPath);
+    if (!In) {
+      std::cerr << "error: cannot open " << ReplayPath << "\n";
+      return 2;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    CorpusEntry Entry = parseCorpusEntry(Buf.str(), ReplayPath);
+    FuzzFeedback FB;
+    if (std::optional<FuzzFailure> Fail =
+            evaluateProgram(Entry.Source, FB, Opts)) {
+      printFailure(*Fail);
+      return 1;
+    }
+    std::cout << "replay OK: " << ReplayPath << " (" << FB.countBits()
+              << " feature bits)\n";
+    return 0;
+  }
+
+  if (!Quiet)
+    Opts.Log = &std::cout;
+  FuzzResult Result = runFuzzer(Opts);
+  for (const FuzzFailure &F : Result.Failures)
+    printFailure(F);
+  std::cout << "fuzz summary: iterations=" << Result.Iterations
+            << " invalid=" << Result.MutantsInvalid
+            << " retained=" << Result.MutantsRetained
+            << " corpus=" << Result.CorpusSize
+            << " feature-bits=" << Result.FeatureBits
+            << " failures=" << Result.Failures.size() << "\n";
+  return Result.Failures.empty() ? 0 : 1;
+}

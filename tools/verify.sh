@@ -4,12 +4,19 @@
 # Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
 #
 # Builds the 'default' and 'asan' CMake presets and runs, under each:
-#   * the tier-1 test suite (everything except the oracle/bench labels),
-#   * the seeded translation-validation fuzz (`ctest -L check-oracle`), and
+#   * the tier-1 test suite (everything except the oracle/bench/fuzz labels),
+#   * the seeded translation-validation fuzz (`ctest -L check-oracle`),
+#   * the coverage-guided fuzzer suite (`ctest -L check-fuzz`: a bounded
+#     campaign plus the tests/corpus/ regression replay), and
 #   * the cold-vs-warm suite bench in smoke mode (`ctest -L check-bench`).
 #
+# When gcov is available, finishes with a small instrumented (cov
+# preset) check-fuzz run and prints the line-coverage summary the
+# campaign achieves over src/ (tools/coverage-report.sh).
+#
 # Usage: tools/verify.sh [--quick]
-#   --quick   default preset only (skip the sanitizer rebuild)
+#   --quick   default preset only (skip the sanitizer rebuild and the
+#             coverage pass)
 #
 #===----------------------------------------------------------------------===//
 
@@ -35,14 +42,25 @@ for preset in "${PRESETS[@]}"; do
   cmake --build "$builddir" -j "$JOBS"
 
   echo "==== [$preset] tier-1 tests ===="
-  ctest --test-dir "$builddir" -LE "check-oracle|check-bench" \
+  ctest --test-dir "$builddir" -LE "check-oracle|check-bench|check-fuzz" \
         --output-on-failure -j "$JOBS"
 
   echo "==== [$preset] oracle fuzz (check-oracle) ===="
   ctest --test-dir "$builddir" -L check-oracle --output-on-failure -j "$JOBS"
 
+  echo "==== [$preset] coverage fuzz (check-fuzz) ===="
+  ctest --test-dir "$builddir" -L check-fuzz --output-on-failure -j "$JOBS"
+
   echo "==== [$preset] incremental-suite smoke (check-bench) ===="
   ctest --test-dir "$builddir" -L check-bench --output-on-failure
 done
+
+if [[ "${1:-}" != "--quick" ]] && command -v gcov >/dev/null; then
+  echo "==== [cov] instrumented check-fuzz + line-coverage summary ===="
+  cmake --preset cov >/dev/null
+  cmake --build build-cov -j "$JOBS"
+  ctest --test-dir build-cov -L check-fuzz --output-on-failure -j "$JOBS"
+  tools/coverage-report.sh build-cov | tail -n 5
+fi
 
 echo "==== verify: all presets green ===="
