@@ -1,0 +1,288 @@
+//===- bench/serve_throughput.cpp - Analysis server load generator --------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Closed-loop load generator for the analysis server: N client threads
+/// each issue a stream of analyze-source requests against an in-process
+/// Server (the server core is what's being measured; the TCP pump adds
+/// a syscall per line and nothing else). Two workloads run back to
+/// back:
+///
+///   0%-repeat  — every request is a never-seen source (a unique
+///                trailing comment changes the content hash without
+///                changing the analysis), so every request pays the
+///                full frontend + pipeline;
+///   90%-repeat — 90% of requests are the same hot (source, config)
+///                and are served from the session cache's reply map.
+///
+/// Gates (both modes):
+///   - the hot request's output is byte-identical to what a one-shot
+///     local pipeline renders (the ipcp-driver output contract);
+///   - the 90%-repeat workload achieves >= 2x the 0%-repeat
+///     throughput — the cache earning its keep under load.
+///
+/// Reports throughput (req/s), p50/p95 latency, and cache hit rates;
+/// writes machine-readable JSON (--json=PATH, default BENCH_serve.json).
+/// --smoke shrinks the request count for the check-bench CI guard.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ipcp/Pipeline.h"
+#include "serve/Json.h"
+#include "serve/Protocol.h"
+#include "serve/Render.h"
+#include "serve/Server.h"
+#include "workloads/Suite.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ipcp;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct WorkloadResult {
+  double WallMs = 0;
+  double ThroughputRps = 0;
+  double P50Ms = 0;
+  double P95Ms = 0;
+  uint64_t Requests = 0;
+  uint64_t ReplyHits = 0;
+  uint64_t Misses = 0;
+  bool AllOk = true;
+  bool OutputsMatch = true;
+};
+
+std::string analyzeLine(const std::string &Id, const std::string &Source) {
+  return "{\"id\":\"" + Id +
+         "\",\"method\":\"analyze-source\",\"params\":{\"source\":" +
+         JsonValue(Source).dump() + "}}";
+}
+
+double percentile(std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0;
+  size_t Idx = static_cast<size_t>(P * double(Sorted.size() - 1));
+  return Sorted[Idx];
+}
+
+/// Runs one closed-loop workload: \p Clients threads, \p PerClient
+/// requests each, \p RepeatPercent of which are the shared hot request.
+WorkloadResult runWorkload(unsigned Clients, unsigned PerClient,
+                           unsigned RepeatPercent, unsigned Workers,
+                           const std::string &BaseSource,
+                           const std::string &ExpectedOutput) {
+  Server S({Workers, /*QueueLimit=*/4096, /*CacheCapacity=*/16});
+
+  WorkloadResult R;
+  std::vector<std::vector<double>> Latencies(Clients);
+  std::vector<std::thread> Threads;
+  std::vector<char> ClientOk(Clients, 1);
+  std::vector<char> ClientMatch(Clients, 1);
+
+  Clock::time_point Start = Clock::now();
+  for (unsigned C = 0; C != Clients; ++C) {
+    Threads.emplace_back([&, C] {
+      // Deterministic per-client request mix.
+      std::mt19937 Rng(0x5eed + C);
+      std::uniform_int_distribution<unsigned> Dist(0, 99);
+      for (unsigned I = 0; I != PerClient; ++I) {
+        bool Hot = Dist(Rng) < RepeatPercent;
+        std::string Source = BaseSource;
+        if (!Hot)
+          Source += "! variant " + std::to_string(C) + "." +
+                    std::to_string(I) + "\n";
+        std::string Line =
+            analyzeLine(std::to_string(C) + "." + std::to_string(I), Source);
+
+        Clock::time_point T0 = Clock::now();
+        std::string Reply = S.handle(Line);
+        Latencies[C].push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() - T0)
+                .count());
+
+        std::string Err;
+        std::optional<JsonValue> V = parseJson(Reply, Err);
+        if (!V || !V->boolOr("ok", false)) {
+          ClientOk[C] = 0;
+          continue;
+        }
+        const JsonValue *Result = V->find("result");
+        if (!Result || Result->strOr("output", "") != ExpectedOutput)
+          ClientMatch[C] = 0;
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  R.WallMs =
+      std::chrono::duration<double, std::milli>(Clock::now() - Start).count();
+
+  std::vector<double> All;
+  for (const auto &L : Latencies)
+    All.insert(All.end(), L.begin(), L.end());
+  std::sort(All.begin(), All.end());
+  R.Requests = All.size();
+  R.ThroughputRps = R.WallMs > 0 ? 1000.0 * double(R.Requests) / R.WallMs : 0;
+  R.P50Ms = percentile(All, 0.50);
+  R.P95Ms = percentile(All, 0.95);
+  for (unsigned C = 0; C != Clients; ++C) {
+    R.AllOk = R.AllOk && ClientOk[C];
+    R.OutputsMatch = R.OutputsMatch && ClientMatch[C];
+  }
+
+  JsonValue Stats = S.statsJson();
+  if (const JsonValue *Cache = Stats.find("cache")) {
+    R.ReplyHits = static_cast<uint64_t>(Cache->intOr("reply_hits", 0));
+    R.Misses = static_cast<uint64_t>(Cache->intOr("misses", 0));
+  }
+  S.shutdown();
+  return R;
+}
+
+void printWorkload(const char *Name, const WorkloadResult &R) {
+  std::printf("%-12s %7.1f req/s  p50 %7.3f ms  p95 %7.3f ms  "
+              "(%llu requests, %llu reply hits, %llu misses)\n",
+              Name, R.ThroughputRps, R.P50Ms, R.P95Ms,
+              (unsigned long long)R.Requests,
+              (unsigned long long)R.ReplyHits,
+              (unsigned long long)R.Misses);
+}
+
+void emitWorkload(std::ofstream &Out, const char *Key,
+                  const WorkloadResult &R) {
+  char Buf[512];
+  std::snprintf(Buf, sizeof(Buf),
+                "  \"%s\": {\"throughput_rps\": %.2f, \"p50_ms\": %.4f, "
+                "\"p95_ms\": %.4f, \"wall_ms\": %.2f, \"requests\": %llu, "
+                "\"reply_hits\": %llu, \"misses\": %llu}",
+                Key, R.ThroughputRps, R.P50Ms, R.P95Ms, R.WallMs,
+                (unsigned long long)R.Requests,
+                (unsigned long long)R.ReplyHits,
+                (unsigned long long)R.Misses);
+  Out << Buf;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  std::string JsonPath = "BENCH_serve.json";
+  unsigned Clients = 4;
+  unsigned PerClient = 200;
+  unsigned Workers = 4;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--smoke")
+      Smoke = true;
+    else if (Arg.rfind("--json=", 0) == 0)
+      JsonPath = Arg.substr(7);
+    else if (Arg.rfind("--clients=", 0) == 0)
+      Clients = static_cast<unsigned>(
+          std::strtoul(Arg.c_str() + 10, nullptr, 10));
+    else if (Arg.rfind("--requests=", 0) == 0)
+      PerClient = static_cast<unsigned>(
+          std::strtoul(Arg.c_str() + 11, nullptr, 10));
+    else if (Arg.rfind("--workers=", 0) == 0)
+      Workers = static_cast<unsigned>(
+          std::strtoul(Arg.c_str() + 10, nullptr, 10));
+    else {
+      std::cerr << "usage: serve_throughput [--smoke] [--json=PATH] "
+                   "[--clients=N] [--requests=N] [--workers=N]\n";
+      return 1;
+    }
+  }
+  if (Smoke) {
+    Clients = 2;
+    PerClient = 40;
+    Workers = 2;
+  }
+  if (Clients == 0 || PerClient == 0)
+    return 1;
+
+  // The hot request analyzes a mid-sized suite program; its expected
+  // output is what one-shot local analysis renders (the ipcp-driver
+  // contract both modes are gated against).
+  std::string BaseSource;
+  for (const WorkloadProgram &W : benchmarkSuite())
+    if (W.Name == "ocean")
+      BaseSource = W.Source;
+  if (BaseSource.empty()) {
+    std::cerr << "FAIL: suite program 'ocean' missing\n";
+    return 1;
+  }
+  PipelineOptions Opts;
+  PipelineResult Local = runPipeline(BaseSource, Opts);
+  if (!Local.Ok) {
+    std::cerr << "FAIL: local pipeline failed: " << Local.Error << '\n';
+    return 1;
+  }
+  std::string ExpectedHot = renderAnalysisReport(Opts, Local, ReportOptions());
+
+  std::cout << "Analysis server throughput: " << Clients << " clients x "
+            << PerClient << " requests, " << Workers << " workers"
+            << (Smoke ? " (smoke)" : "") << "\n\n";
+
+  // Cold variants append unique comments, so their reports differ from
+  // the hot one only via... nothing — comments don't change analysis.
+  // Every reply, hot or cold, must render the same bytes.
+  WorkloadResult Cold =
+      runWorkload(Clients, PerClient, 0, Workers, BaseSource, ExpectedHot);
+  WorkloadResult Hot =
+      runWorkload(Clients, PerClient, 90, Workers, BaseSource, ExpectedHot);
+
+  printWorkload("0%-repeat", Cold);
+  printWorkload("90%-repeat", Hot);
+  double Speedup =
+      Cold.ThroughputRps > 0 ? Hot.ThroughputRps / Cold.ThroughputRps : 0;
+  std::printf("speedup: %.2fx (90%%-repeat over 0%%-repeat)\n", Speedup);
+
+  std::ofstream Out(JsonPath);
+  if (Out) {
+    Out << "{\n";
+    emitWorkload(Out, "repeat0", Cold);
+    Out << ",\n";
+    emitWorkload(Out, "repeat90", Hot);
+    char Buf[128];
+    std::snprintf(Buf, sizeof(Buf), ",\n  \"speedup\": %.3f,\n", Speedup);
+    Out << Buf << "  \"clients\": " << Clients
+        << ",\n  \"requests_per_client\": " << PerClient
+        << ",\n  \"workers\": " << Workers << ",\n  \"smoke\": "
+        << (Smoke ? "true" : "false") << "\n}\n";
+    std::cout << "wrote " << JsonPath << '\n';
+  }
+
+  bool Ok = true;
+  if (!Cold.AllOk || !Hot.AllOk) {
+    std::cerr << "FAIL: some requests were not answered ok\n";
+    Ok = false;
+  }
+  if (!Cold.OutputsMatch || !Hot.OutputsMatch) {
+    std::cerr << "FAIL: a reply's output diverged from the local "
+                 "ipcp-driver rendering\n";
+    Ok = false;
+  }
+  if (Hot.ReplyHits == 0) {
+    std::cerr << "FAIL: the 90%-repeat workload never hit the reply cache\n";
+    Ok = false;
+  }
+  if (Speedup < 2.0) {
+    std::cerr << "FAIL: 90%-repeat throughput is only " << Speedup
+              << "x the 0%-repeat workload (gate: >= 2x)\n";
+    Ok = false;
+  }
+  return Ok ? 0 : 1;
+}

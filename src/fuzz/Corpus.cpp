@@ -50,11 +50,19 @@ std::string ipcp::serializeCorpusEntry(const CorpusEntry &Entry) {
   return OS.str();
 }
 
-CorpusEntry ipcp::parseCorpusEntry(std::string_view Text, std::string Name) {
+CorpusEntry ipcp::parseCorpusEntry(std::string_view Text, std::string Name,
+                                   std::string *Diag) {
   CorpusEntry Entry;
   Entry.Name = std::move(Name);
+  auto Report = [&](std::string Msg) {
+    if (Diag && Diag->empty())
+      *Diag = std::move(Msg);
+  };
   size_t Pos = 0;
   bool SawMagic = false;
+  bool SawSeed = false;
+  bool SawTrail = false;
+  bool SawFailure = false;
   while (Pos < Text.size()) {
     size_t Eol = Text.find('\n', Pos);
     std::string_view Line = Text.substr(
@@ -62,28 +70,52 @@ CorpusEntry ipcp::parseCorpusEntry(std::string_view Text, std::string Name) {
                                            : Eol - Pos);
     size_t Next = Eol == std::string_view::npos ? Text.size() : Eol + 1;
     if (!SawMagic) {
-      if (Line != Magic)
+      if (Line != Magic) {
+        // A line that starts like the magic but isn't it is a mangled
+        // header, not a program that happens to open with a comment.
+        if (Line.substr(0, 6) == "! ipcp")
+          Report("garbled magic line '" + std::string(Line) + "'");
         break; // Bare program with no header.
+      }
       SawMagic = true;
       Pos = Next;
       continue;
     }
     if (auto V = metaValue(Line, "origin-seed")) {
-      Entry.OriginSeed = std::strtoull(std::string(*V).c_str(), nullptr, 10);
+      if (SawSeed)
+        Report("duplicate origin-seed line");
+      else if (V->empty() ||
+               V->find_first_not_of("0123456789") != std::string_view::npos)
+        Report("garbled origin-seed '" + std::string(*V) + "'");
+      else
+        Entry.OriginSeed = std::strtoull(std::string(*V).c_str(), nullptr, 10);
+      SawSeed = true;
     } else if (auto T = metaValue(Line, "trail")) {
+      if (SawTrail)
+        Report("duplicate trail line");
       Entry.Trail = std::string(*T);
+      SawTrail = true;
     } else if (auto F = metaValue(Line, "failure")) {
+      if (SawFailure)
+        Report("duplicate failure line");
       Entry.Failure = std::string(*F);
+      SawFailure = true;
     } else {
       break; // First non-metadata line starts the program.
     }
     Pos = Next;
   }
   Entry.Source = std::string(Text.substr(Pos));
+  if (SawMagic && !SawSeed)
+    Report("truncated header: no origin-seed line");
+  if (SawMagic &&
+      Entry.Source.find_first_not_of(" \t\r\n") == std::string::npos)
+    Report("truncated entry: no program after metadata header");
   return Entry;
 }
 
-std::vector<CorpusEntry> ipcp::loadCorpusDir(const std::string &Dir) {
+std::vector<CorpusEntry> ipcp::loadCorpusDir(const std::string &Dir,
+                                             std::vector<std::string> *Diags) {
   std::vector<CorpusEntry> Entries;
   std::error_code Ec;
   if (!fs::is_directory(Dir, Ec))
@@ -95,11 +127,22 @@ std::vector<CorpusEntry> ipcp::loadCorpusDir(const std::string &Dir) {
   std::sort(Files.begin(), Files.end());
   for (const fs::path &File : Files) {
     std::ifstream In(File);
-    if (!In)
+    if (!In) {
+      if (Diags)
+        Diags->push_back(File.filename().string() + ": cannot read");
       continue;
+    }
     std::ostringstream Buf;
     Buf << In.rdbuf();
-    Entries.push_back(parseCorpusEntry(Buf.str(), File.stem().string()));
+    std::string Diag;
+    CorpusEntry Entry =
+        parseCorpusEntry(Buf.str(), File.stem().string(), &Diag);
+    if (!Diag.empty()) {
+      if (Diags)
+        Diags->push_back(File.filename().string() + ": " + Diag);
+      continue; // Never replay a mangled entry.
+    }
+    Entries.push_back(std::move(Entry));
   }
   return Entries;
 }

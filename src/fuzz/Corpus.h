@@ -48,13 +48,24 @@ struct CorpusEntry {
 std::string serializeCorpusEntry(const CorpusEntry &Entry);
 
 /// Parses the on-disk format; \p Name becomes the entry name. Text
-/// without a metadata header is accepted as a bare program.
-CorpusEntry parseCorpusEntry(std::string_view Text, std::string Name);
+/// without a metadata header is accepted as a bare program. When the
+/// header is present but truncated or garbled (mangled magic line,
+/// non-numeric or duplicate metadata, no program after the header) and
+/// \p Diag is non-null, *Diag gets a one-line description and the
+/// returned entry carries whatever could still be salvaged — callers
+/// replaying untrusted files should skip entries with a diagnostic
+/// rather than feed them to the evaluator.
+CorpusEntry parseCorpusEntry(std::string_view Text, std::string Name,
+                             std::string *Diag = nullptr);
 
 /// Loads every `.mf` file under \p Dir, sorted by name so corpus order —
 /// and therefore every downstream decision — is deterministic. Returns
-/// an empty vector when the directory does not exist.
-std::vector<CorpusEntry> loadCorpusDir(const std::string &Dir);
+/// an empty vector when the directory does not exist. Files with a
+/// truncated or garbled metadata header are skipped, never loaded; if
+/// \p Diags is non-null each skip appends a "<file>: <reason>" line.
+std::vector<CorpusEntry> loadCorpusDir(const std::string &Dir,
+                                       std::vector<std::string> *Diags =
+                                           nullptr);
 
 /// Writes \p Entry to `Dir/<Name>.mf`, creating \p Dir if needed.
 /// Returns false on I/O failure.

@@ -226,7 +226,12 @@ public:
       : Opts(Opts), Start(std::chrono::steady_clock::now()) {}
 
   FuzzResult run() {
-    std::vector<CorpusEntry> Corpus = loadCorpusDir(Opts.CorpusDir);
+    std::vector<std::string> CorpusDiags;
+    std::vector<CorpusEntry> Corpus =
+        loadCorpusDir(Opts.CorpusDir, &CorpusDiags);
+    if (Opts.Log)
+      for (const std::string &D : CorpusDiags)
+        *Opts.Log << "SKIP corpus " << D << "\n";
     FuzzRng Master(Opts.Seed);
     for (unsigned I = 0; I != Opts.SeedPrograms; ++I)
       Corpus.push_back(seedEntry(Master, I));

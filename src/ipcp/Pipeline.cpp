@@ -10,6 +10,7 @@
 #include "ir/CfgBuilder.h"
 #include "lang/AstPrinter.h"
 #include "lang/Parser.h"
+#include "support/Cancellation.h"
 #include "support/FuzzFeedback.h"
 #include "support/ThreadPool.h"
 
@@ -98,6 +99,15 @@ PipelineResult ipcp::runPipelineOnSession(AnalysisSession &Session,
   // assert) so a Release build reports the failure instead of looping
   // forever. The paper observed — and our tests assert — convergence
   // after a single DCE round.
+  // Abandons a deadline-expired run. One lambda so every phase-boundary
+  // poll reports identically.
+  auto Abandon = [&Result] {
+    Result.Ok = false;
+    Result.Cancelled = true;
+    Result.Error = "analysis cancelled (deadline expired)";
+    return Result;
+  };
+
   for (unsigned Round = 0;; ++Round) {
     if (Round > Opts.MaxDceRounds) {
       Result.Ok = false;
@@ -106,6 +116,8 @@ PipelineResult ipcp::runPipelineOnSession(AnalysisSession &Session,
                      " dead-code elimination rounds";
       return Result;
     }
+    if (isCancelled(Opts.Cancel))
+      return Abandon();
 
     Clock::time_point Phase = Clock::now();
 
@@ -133,11 +145,17 @@ PipelineResult ipcp::runPipelineOnSession(AnalysisSession &Session,
       Jfs = buildJumpFunctions(M, Symbols, CG, MRI, JfOpts, &Aliases, Pool,
                                &Session);
       Result.Timings.JumpFunctionsMs += lapMs(Phase);
-      Solve =
-          solveConstants(Symbols, CG, Jfs, Opts.Strategy, Opts.Feedback);
+      if (isCancelled(Opts.Cancel))
+        return Abandon();
+      Solve = solveConstants(Symbols, CG, Jfs, Opts.Strategy, Opts.Feedback,
+                             Opts.Cancel);
       Result.Timings.SolveMs += lapMs(Phase);
+      if (Solve.Cancelled)
+        return Abandon();
       UseRjfInSccp = Opts.UseReturnJumpFunctions;
     }
+    if (isCancelled(Opts.Cancel))
+      return Abandon();
 
     SubstitutionResult Subs = countSubstitutions(
         M, Symbols, CG, Opts.IntraproceduralOnly ? nullptr : &Solve, MRI,

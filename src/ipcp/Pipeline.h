@@ -31,6 +31,7 @@
 
 namespace ipcp {
 class AnalysisSession;
+class CancelToken;
 class FuzzFeedback;
 class ThreadPool;
 
@@ -80,6 +81,12 @@ struct PipelineOptions {
   /// Must outlive the run. Only meaningful for serial runs (the sink is
   /// not thread-safe; the phases that record are serial anyway).
   FuzzFeedback *Feedback = nullptr;
+  /// Optional cooperative cancellation (support/Cancellation.h). Polled
+  /// at every phase boundary, at every complete-propagation round, and
+  /// inside the solver's fixpoint loops; an expired token abandons the
+  /// run with Result.Cancelled set (the analysis server's per-request
+  /// deadline machinery). Must outlive the run.
+  const CancelToken *Cancel = nullptr;
 };
 
 /// Wall-clock cost of each pipeline phase, in milliseconds. Accumulated
@@ -99,6 +106,10 @@ struct PipelineResult {
   bool Ok = false;
   /// Diagnostics text when !Ok.
   std::string Error;
+  /// True when the run was abandoned because PipelineOptions::Cancel
+  /// expired (deadline or explicit cancel). Ok is false and every other
+  /// field is partial/meaningless.
+  bool Cancelled = false;
 
   /// The paper's headline metric: constants substituted into the code.
   unsigned SubstitutedConstants = 0;

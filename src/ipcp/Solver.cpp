@@ -6,6 +6,7 @@
 
 #include "ipcp/Solver.h"
 
+#include "support/Cancellation.h"
 #include "support/FuzzFeedback.h"
 
 #include <algorithm>
@@ -52,6 +53,17 @@ void recordLowering(FuzzFeedback *FB, const JumpFunction &J,
   FB->hit(FuzzFeature::LatticeLoweringByJfForm,
           static_cast<uint64_t>(J.form()));
   FB->hit(FuzzFeature::LatticeLoweringState, New.isConst() ? 0 : 1);
+}
+
+/// Rate-limited cancellation poll: reads the deadline clock only every
+/// \p Stride calls so the fixpoint loops stay cheap. Stride is a power
+/// of two; Tick is caller-owned loop state.
+bool pollCancel(const CancelToken *Cancel, unsigned &Tick, unsigned Stride) {
+  if (!Cancel)
+    return false;
+  if ((++Tick & (Stride - 1)) != 0)
+    return false;
+  return Cancel->expired();
 }
 
 /// Shared state of one propagation run.
@@ -220,9 +232,9 @@ class BindingGraphSolver {
 public:
   BindingGraphSolver(const SymbolTable &Symbols, const CallGraph &CG,
                      const ProgramJumpFunctions &Jfs, SolveResult &Result,
-                     FuzzFeedback *Feedback)
+                     FuzzFeedback *Feedback, const CancelToken *Cancel)
       : Symbols(Symbols), CG(CG), Jfs(Jfs), Result(Result),
-        Feedback(Feedback) {
+        Feedback(Feedback), Cancel(Cancel) {
     buildCells();
     buildEdges();
   }
@@ -232,7 +244,12 @@ public:
     // re-evaluations happen.
     for (uint32_t E = 0; E != Edges.size(); ++E)
       scheduleEdge(E);
+    unsigned Tick = 0;
     while (!Work.empty()) {
+      if (pollCancel(Cancel, Tick, 256)) {
+        Result.Cancelled = true;
+        return;
+      }
       uint32_t E = Work.back();
       Work.pop_back();
       InWork[E] = 0;
@@ -328,6 +345,7 @@ private:
   const ProgramJumpFunctions &Jfs;
   SolveResult &Result;
   FuzzFeedback *Feedback;
+  const CancelToken *Cancel;
   std::vector<Cell> Cells;
   std::unordered_map<uint64_t, uint32_t> CellIdx;
   std::vector<Edge> Edges;
@@ -342,11 +360,14 @@ SolveResult ipcp::solveConstants(const SymbolTable &Symbols,
                                  const CallGraph &CG,
                                  const ProgramJumpFunctions &Jfs,
                                  SolverStrategy Strategy,
-                                 FuzzFeedback *Feedback) {
+                                 FuzzFeedback *Feedback,
+                                 const CancelToken *Cancel) {
   Propagation Prop(Symbols, CG, Jfs, Feedback);
+  unsigned Tick = 0;
 
   if (Strategy == SolverStrategy::BindingGraph) {
-    BindingGraphSolver Solver(Symbols, CG, Jfs, Prop.Result, Feedback);
+    BindingGraphSolver Solver(Symbols, CG, Jfs, Prop.Result, Feedback,
+                              Cancel);
     Solver.run();
     return Prop.take();
   }
@@ -369,6 +390,10 @@ SolveResult ipcp::solveConstants(const SymbolTable &Symbols,
          It != End; ++It)
       push(*It); // Reversed: the stack pops entry first.
     while (!Work.empty()) {
+      if (pollCancel(Cancel, Tick, 64)) {
+        Prop.Result.Cancelled = true;
+        break;
+      }
       ProcId P = Work.back();
       Work.pop_back();
       InWork[P] = 0;
@@ -382,8 +407,13 @@ SolveResult ipcp::solveConstants(const SymbolTable &Symbols,
     while (AnyChange) {
       AnyChange = false;
       unsigned Before = Prop.Result.CellLowerings;
-      for (ProcId P : CG.topDownOrder())
+      for (ProcId P : CG.topDownOrder()) {
+        if (pollCancel(Cancel, Tick, 64)) {
+          Prop.Result.Cancelled = true;
+          return Prop.take();
+        }
         Prop.processProc(P);
+      }
       AnyChange = Prop.Result.CellLowerings != Before;
     }
   }

@@ -28,6 +28,7 @@
 #include <vector>
 
 namespace ipcp {
+class CancelToken;
 class FuzzFeedback;
 
 /// Fixpoint strategy.
@@ -75,6 +76,11 @@ struct SolveResult {
   /// edge-granular and bypasses the memo (both counters stay 0).
   unsigned MemoHits = 0;
   unsigned MemoMisses = 0;
+
+  /// True when the run was abandoned through a CancelToken (the server's
+  /// deadline machinery). Val and the counters are partial; callers must
+  /// not use them.
+  bool Cancelled = false;
 };
 
 /// Runs the interprocedural propagation.
@@ -87,10 +93,15 @@ struct SolveResult {
 /// lowering, tagged with the form of the jump function that caused it
 /// and the cell's new lattice state (the coverage-guided fuzzer's
 /// cheapest behavior signal). Recording never changes the propagation.
+///
+/// A non-null \p Cancel is polled periodically (rate-limited, so the
+/// deadline clock read stays off the per-evaluation path); when it
+/// expires the solve stops where it is and returns Cancelled=true.
 SolveResult solveConstants(const SymbolTable &Symbols, const CallGraph &CG,
                            const ProgramJumpFunctions &Jfs,
                            SolverStrategy Strategy = SolverStrategy::Worklist,
-                           FuzzFeedback *Feedback = nullptr);
+                           FuzzFeedback *Feedback = nullptr,
+                           const CancelToken *Cancel = nullptr);
 
 } // namespace ipcp
 

@@ -1,0 +1,114 @@
+//===- serve/Client.cpp - Client for a running ipcp-serve -----------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace ipcp;
+
+ServeClient::~ServeClient() { close(); }
+
+void ServeClient::close() {
+  if (Fd >= 0)
+    ::close(Fd);
+  Fd = -1;
+  Buffer.clear();
+}
+
+bool ServeClient::connect(const std::string &Url, std::string &Error) {
+  close();
+
+  std::string Host = "127.0.0.1";
+  std::string PortStr = Url;
+  if (size_t Colon = Url.rfind(':'); Colon != std::string::npos) {
+    Host = Url.substr(0, Colon);
+    PortStr = Url.substr(Colon + 1);
+  }
+  if (Host == "localhost")
+    Host = "127.0.0.1";
+
+  int Port = 0;
+  for (char C : PortStr) {
+    if (C < '0' || C > '9') {
+      Error = "bad port in server url '" + Url + "'";
+      return false;
+    }
+    Port = Port * 10 + (C - '0');
+  }
+  if (Port <= 0 || Port > 65535) {
+    Error = "bad port in server url '" + Url + "'";
+    return false;
+  }
+
+  sockaddr_in Addr = {};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    Error = "unsupported host '" + Host + "' (loopback addresses only)";
+    return false;
+  }
+
+  Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = "socket() failed";
+    return false;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Error = "cannot connect to " + Host + ":" + PortStr +
+            " (is ipcp-serve running?)";
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool ServeClient::call(const std::string &RequestLine, std::string &ReplyLine,
+                       std::string &Error) {
+  if (Fd < 0) {
+    Error = "not connected";
+    return false;
+  }
+
+  std::string Out = RequestLine;
+  Out += '\n';
+  size_t Off = 0;
+  while (Off < Out.size()) {
+    ssize_t N = ::send(Fd, Out.data() + Off, Out.size() - Off,
+#ifdef MSG_NOSIGNAL
+                       MSG_NOSIGNAL
+#else
+                       0
+#endif
+    );
+    if (N <= 0) {
+      Error = "send failed (server hung up?)";
+      close();
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+
+  char Chunk[4096];
+  size_t Nl;
+  while ((Nl = Buffer.find('\n')) == std::string::npos) {
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N <= 0) {
+      Error = "connection closed before reply";
+      close();
+      return false;
+    }
+    Buffer.append(Chunk, static_cast<size_t>(N));
+  }
+  ReplyLine = Buffer.substr(0, Nl);
+  Buffer.erase(0, Nl + 1);
+  if (!ReplyLine.empty() && ReplyLine.back() == '\r')
+    ReplyLine.pop_back();
+  return true;
+}

@@ -1,0 +1,428 @@
+//===- serve/Json.cpp - Minimal JSON values for the wire protocol ---------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+using namespace ipcp;
+
+const JsonValue *JsonValue::find(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  auto It = ObjectV.find(Key);
+  return It == ObjectV.end() ? nullptr : &It->second;
+}
+
+JsonValue &JsonValue::set(const std::string &Key, JsonValue V) {
+  if (K == Kind::Null)
+    K = Kind::Object;
+  ObjectV[Key] = std::move(V);
+  return *this;
+}
+
+JsonValue &JsonValue::push(JsonValue V) {
+  if (K == Kind::Null)
+    K = Kind::Array;
+  ArrayV.push_back(std::move(V));
+  return *this;
+}
+
+std::string JsonValue::strOr(const std::string &Key,
+                             const std::string &Dflt) const {
+  const JsonValue *V = find(Key);
+  return V && V->isString() ? V->str() : Dflt;
+}
+
+int64_t JsonValue::intOr(const std::string &Key, int64_t Dflt) const {
+  const JsonValue *V = find(Key);
+  return V && V->isInt() ? V->integer() : Dflt;
+}
+
+bool JsonValue::boolOr(const std::string &Key, bool Dflt) const {
+  const JsonValue *V = find(Key);
+  return V && V->isBool() ? V->boolean() : Dflt;
+}
+
+namespace {
+
+void dumpString(const std::string &S, std::string &Out) {
+  Out += '"';
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  Out += '"';
+}
+
+void dumpValue(const JsonValue &V, std::string &Out) {
+  switch (V.kind()) {
+  case JsonValue::Kind::Null:
+    Out += "null";
+    break;
+  case JsonValue::Kind::Bool:
+    Out += V.boolean() ? "true" : "false";
+    break;
+  case JsonValue::Kind::Int:
+    Out += std::to_string(V.integer());
+    break;
+  case JsonValue::Kind::Double: {
+    // %.17g round-trips doubles; fall back to null for non-finite
+    // values, which JSON cannot represent.
+    double D = V.number();
+    if (!std::isfinite(D)) {
+      Out += "null";
+      break;
+    }
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+    Out += Buf;
+    break;
+  }
+  case JsonValue::Kind::String:
+    dumpString(V.str(), Out);
+    break;
+  case JsonValue::Kind::Array: {
+    Out += '[';
+    bool First = true;
+    for (const JsonValue &E : V.elements()) {
+      if (!First)
+        Out += ',';
+      First = false;
+      dumpValue(E, Out);
+    }
+    Out += ']';
+    break;
+  }
+  case JsonValue::Kind::Object: {
+    Out += '{';
+    bool First = true;
+    for (const auto &[Key, Member] : V.members()) {
+      if (!First)
+        Out += ',';
+      First = false;
+      dumpString(Key, Out);
+      Out += ':';
+      dumpValue(Member, Out);
+    }
+    Out += '}';
+    break;
+  }
+  }
+}
+
+/// Strict single-pass parser. Every failure path sets Error once with a
+/// byte offset, so a malformed request line is diagnosable from the
+/// reply alone.
+class Parser {
+public:
+  Parser(std::string_view Text, std::string &Error)
+      : Text(Text), Error(Error) {}
+
+  std::optional<JsonValue> run() {
+    skipWs();
+    JsonValue V;
+    if (!parseValue(V, /*Depth=*/0))
+      return std::nullopt;
+    skipWs();
+    if (Pos != Text.size()) {
+      fail("trailing garbage after JSON value");
+      return std::nullopt;
+    }
+    return V;
+  }
+
+private:
+  static constexpr unsigned MaxDepth = 64;
+
+  bool fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = Msg + " at byte " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C, const char *What) {
+    if (Pos >= Text.size() || Text[Pos] != C)
+      return fail(std::string("expected ") + What);
+    ++Pos;
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out, unsigned Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    switch (Text[Pos]) {
+    case '{':
+      return parseObject(Out, Depth);
+    case '[':
+      return parseArray(Out, Depth);
+    case '"': {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = JsonValue(std::move(S));
+      return true;
+    }
+    case 't':
+      if (Text.substr(Pos, 4) == "true") {
+        Pos += 4;
+        Out = JsonValue(true);
+        return true;
+      }
+      return fail("bad literal");
+    case 'f':
+      if (Text.substr(Pos, 5) == "false") {
+        Pos += 5;
+        Out = JsonValue(false);
+        return true;
+      }
+      return fail("bad literal");
+    case 'n':
+      if (Text.substr(Pos, 4) == "null") {
+        Pos += 4;
+        Out = JsonValue();
+        return true;
+      }
+      return fail("bad literal");
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseObject(JsonValue &Out, unsigned Depth) {
+    ++Pos; // '{'
+    Out = JsonValue::object();
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (!consume(':', "':'"))
+        return false;
+      skipWs();
+      JsonValue Member;
+      if (!parseValue(Member, Depth + 1))
+        return false;
+      Out.set(Key, std::move(Member));
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      return consume('}', "'}' or ','");
+    }
+  }
+
+  bool parseArray(JsonValue &Out, unsigned Depth) {
+    ++Pos; // '['
+    Out = JsonValue::array();
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      JsonValue Element;
+      if (!parseValue(Element, Depth + 1))
+        return false;
+      Out.push(std::move(Element));
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      return consume(']', "']' or ','");
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    if (Pos >= Text.size() || Text[Pos] != '"')
+      return fail("expected string");
+    ++Pos;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("raw control character in string");
+      if (C != '\\') {
+        Out += C;
+        ++Pos;
+        continue;
+      }
+      // Escape sequence.
+      if (++Pos >= Text.size())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I != 4; ++I) {
+          char H = Text[Pos + I];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= unsigned(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= unsigned(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= unsigned(H - 'A' + 10);
+          else
+            return fail("bad \\u escape");
+        }
+        Pos += 4;
+        // UTF-8 encode the BMP code point; surrogate pairs are not
+        // reassembled (the protocol carries MiniFort source and counter
+        // names, all ASCII) but still produce valid bytes per half.
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size() && std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    bool Integral = true;
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      Integral = false;
+      ++Pos;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      Integral = false;
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    std::string_view Num = Text.substr(Start, Pos - Start);
+    if (Num.empty() || Num == "-")
+      return fail("expected value");
+    if (Integral) {
+      int64_t I = 0;
+      auto [P, Ec] = std::from_chars(Num.data(), Num.data() + Num.size(), I);
+      if (Ec == std::errc() && P == Num.data() + Num.size()) {
+        Out = JsonValue(I);
+        return true;
+      }
+      // Out-of-range integer: fall through to double.
+    }
+    double D = 0;
+    auto [P, Ec] = std::from_chars(Num.data(), Num.data() + Num.size(), D);
+    if (Ec != std::errc() || P != Num.data() + Num.size())
+      return fail("bad number");
+    Out = JsonValue(D);
+    return true;
+  }
+
+  std::string_view Text;
+  std::string &Error;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+std::string JsonValue::dump() const {
+  std::string Out;
+  dumpValue(*this, Out);
+  return Out;
+}
+
+std::optional<JsonValue> ipcp::parseJson(std::string_view Text,
+                                         std::string &Error) {
+  Error.clear();
+  return Parser(Text, Error).run();
+}

@@ -1,0 +1,120 @@
+//===- serve/Json.h - Minimal JSON values for the wire protocol -*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The smallest JSON layer the line protocol needs: a value type, a
+/// strict recursive-descent parser, and a serializer. No external
+/// dependency — the toolchain constraint rules out picking one up — and
+/// no clever zero-copy tricks: requests are one line and replies are
+/// built once.
+///
+/// Robustness contract (the server's, really): parseJson never throws
+/// and never aborts on malformed input; it returns nullopt and a
+/// diagnostic so a garbage line becomes a structured `malformed` reply,
+/// not a dead process. Depth is bounded to keep adversarial nesting from
+/// overflowing the stack.
+///
+/// Numbers are kept as int64 when the text is integral (lattice
+/// constants, counters — everything this protocol carries) and as double
+/// otherwise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_SERVE_JSON_H
+#define IPCP_SERVE_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ipcp {
+
+/// One JSON value. Objects keep their keys sorted (std::map) so
+/// serialization is canonical — handy for golden tests and for hashing.
+class JsonValue {
+public:
+  enum class Kind : uint8_t { Null, Bool, Int, Double, String, Array, Object };
+
+  JsonValue() : K(Kind::Null) {}
+  JsonValue(bool B) : K(Kind::Bool), BoolV(B) {}
+  JsonValue(int64_t I) : K(Kind::Int), IntV(I) {}
+  JsonValue(int I) : K(Kind::Int), IntV(I) {}
+  JsonValue(unsigned I) : K(Kind::Int), IntV(I) {}
+  JsonValue(uint64_t I) : K(Kind::Int), IntV(static_cast<int64_t>(I)) {}
+  JsonValue(double D) : K(Kind::Double), DoubleV(D) {}
+  JsonValue(std::string S) : K(Kind::String), StringV(std::move(S)) {}
+  JsonValue(const char *S) : K(Kind::String), StringV(S) {}
+
+  static JsonValue object() {
+    JsonValue V;
+    V.K = Kind::Object;
+    return V;
+  }
+  static JsonValue array() {
+    JsonValue V;
+    V.K = Kind::Array;
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isString() const { return K == Kind::String; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isBool() const { return K == Kind::Bool; }
+
+  bool boolean() const { return BoolV; }
+  int64_t integer() const { return IntV; }
+  /// Numeric value of an Int or Double.
+  double number() const { return K == Kind::Int ? double(IntV) : DoubleV; }
+  const std::string &str() const { return StringV; }
+
+  std::vector<JsonValue> &elements() { return ArrayV; }
+  const std::vector<JsonValue> &elements() const { return ArrayV; }
+  std::map<std::string, JsonValue> &members() { return ObjectV; }
+  const std::map<std::string, JsonValue> &members() const { return ObjectV; }
+
+  /// Object member by key, or null when absent / not an object.
+  const JsonValue *find(const std::string &Key) const;
+
+  /// Sets an object member (the value becomes an object if null).
+  JsonValue &set(const std::string &Key, JsonValue V);
+
+  /// Appends an array element (the value becomes an array if null).
+  JsonValue &push(JsonValue V);
+
+  /// Typed member access with defaults — the request-decoding idiom.
+  std::string strOr(const std::string &Key, const std::string &Dflt) const;
+  int64_t intOr(const std::string &Key, int64_t Dflt) const;
+  bool boolOr(const std::string &Key, bool Dflt) const;
+
+  /// Serializes without insignificant whitespace (one request/reply per
+  /// line; the serializer never emits '\n').
+  std::string dump() const;
+
+private:
+  Kind K;
+  bool BoolV = false;
+  int64_t IntV = 0;
+  double DoubleV = 0;
+  std::string StringV;
+  std::vector<JsonValue> ArrayV;
+  std::map<std::string, JsonValue> ObjectV;
+};
+
+/// Parses one JSON document from \p Text (surrounding whitespace
+/// allowed, trailing garbage rejected). Returns nullopt with a
+/// diagnostic in \p Error on any malformation.
+std::optional<JsonValue> parseJson(std::string_view Text, std::string &Error);
+
+} // namespace ipcp
+
+#endif // IPCP_SERVE_JSON_H

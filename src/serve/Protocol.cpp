@@ -1,0 +1,389 @@
+//===- serve/Protocol.cpp - ipcp-serve wire protocol ----------------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Protocol.h"
+
+using namespace ipcp;
+
+const char *ipcp::serveMethodName(ServeMethod M) {
+  switch (M) {
+  case ServeMethod::AnalyzeSource:
+    return "analyze-source";
+  case ServeMethod::AnalyzeSuiteProgram:
+    return "analyze-suite-program";
+  case ServeMethod::Validate:
+    return "validate";
+  case ServeMethod::FuzzReplay:
+    return "fuzz-replay";
+  case ServeMethod::Stats:
+    return "stats";
+  case ServeMethod::Shutdown:
+    return "shutdown";
+  }
+  return "?";
+}
+
+const char *ipcp::serveErrorKindName(ServeErrorKind K) {
+  switch (K) {
+  case ServeErrorKind::Malformed:
+    return "malformed";
+  case ServeErrorKind::Overloaded:
+    return "overloaded";
+  case ServeErrorKind::Deadline:
+    return "deadline";
+  case ServeErrorKind::ShuttingDown:
+    return "shutting-down";
+  case ServeErrorKind::AnalysisError:
+    return "analysis-error";
+  case ServeErrorKind::Internal:
+    return "internal";
+  }
+  return "?";
+}
+
+namespace {
+
+bool parseMethod(const std::string &Name, ServeMethod &Out) {
+  for (ServeMethod M :
+       {ServeMethod::AnalyzeSource, ServeMethod::AnalyzeSuiteProgram,
+        ServeMethod::Validate, ServeMethod::FuzzReplay, ServeMethod::Stats,
+        ServeMethod::Shutdown})
+    if (Name == serveMethodName(M)) {
+      Out = M;
+      return true;
+    }
+  return false;
+}
+
+const char *kindToken(JumpFunctionKind K) {
+  switch (K) {
+  case JumpFunctionKind::Literal:
+    return "literal";
+  case JumpFunctionKind::IntraConst:
+    return "intra";
+  case JumpFunctionKind::PassThrough:
+    return "pass";
+  case JumpFunctionKind::Polynomial:
+    return "poly";
+  }
+  return "?";
+}
+
+const char *strategyToken(SolverStrategy S) {
+  switch (S) {
+  case SolverStrategy::Worklist:
+    return "worklist";
+  case SolverStrategy::RoundRobin:
+    return "round-robin";
+  case SolverStrategy::BindingGraph:
+    return "binding-graph";
+  }
+  return "?";
+}
+
+/// Decodes the `config` object into PipelineOptions. Unknown members
+/// are rejected: a typo'd field silently analyzing under defaults is
+/// exactly the kind of bug a service protocol must not have.
+bool parseConfig(const JsonValue &Cfg, PipelineOptions &Opts,
+                 std::string &Error) {
+  if (!Cfg.isObject()) {
+    Error = "'config' must be an object";
+    return false;
+  }
+  for (const auto &[Key, V] : Cfg.members()) {
+    if (Key == "jf") {
+      std::string Kind = V.isString() ? V.str() : "";
+      if (Kind == "literal")
+        Opts.Kind = JumpFunctionKind::Literal;
+      else if (Kind == "intra")
+        Opts.Kind = JumpFunctionKind::IntraConst;
+      else if (Kind == "pass")
+        Opts.Kind = JumpFunctionKind::PassThrough;
+      else if (Kind == "poly")
+        Opts.Kind = JumpFunctionKind::Polynomial;
+      else {
+        Error = "config.jf must be literal|intra|pass|poly";
+        return false;
+      }
+    } else if (Key == "strategy") {
+      std::string S = V.isString() ? V.str() : "";
+      if (S == "worklist")
+        Opts.Strategy = SolverStrategy::Worklist;
+      else if (S == "round-robin")
+        Opts.Strategy = SolverStrategy::RoundRobin;
+      else if (S == "binding-graph")
+        Opts.Strategy = SolverStrategy::BindingGraph;
+      else {
+        Error = "config.strategy must be worklist|round-robin|binding-graph";
+        return false;
+      }
+    } else if (Key == "rjf" || Key == "mod" || Key == "complete" ||
+               Key == "gsa" || Key == "intra_only") {
+      if (!V.isBool()) {
+        Error = "config." + Key + " must be a boolean";
+        return false;
+      }
+      bool B = V.boolean();
+      if (Key == "rjf")
+        Opts.UseReturnJumpFunctions = B;
+      else if (Key == "mod")
+        Opts.UseMod = B;
+      else if (Key == "complete")
+        Opts.CompletePropagation = B;
+      else if (Key == "gsa")
+        Opts.UseGatedSsa = B;
+      else
+        Opts.IntraproceduralOnly = B;
+    } else {
+      Error = "unknown config field '" + Key + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool parseReport(const JsonValue &Rep, ReportOptions &Out,
+                 std::string &Error) {
+  if (!Rep.isObject()) {
+    Error = "'report' must be an object";
+    return false;
+  }
+  for (const auto &[Key, V] : Rep.members()) {
+    if (!V.isBool()) {
+      Error = "report." + Key + " must be a boolean";
+      return false;
+    }
+    if (Key == "quiet")
+      Out.Quiet = V.boolean();
+    else if (Key == "stats")
+      Out.Stats = V.boolean();
+    else if (Key == "emit_source")
+      Out.EmitSource = V.boolean();
+    else {
+      Error = "unknown report field '" + Key + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+bool ipcp::parseServeRequest(const std::string &Line, ServeRequest &Out,
+                             std::string &Error) {
+  std::optional<JsonValue> Doc = parseJson(Line, Error);
+  if (!Doc) {
+    Error = "bad JSON: " + Error;
+    return false;
+  }
+  if (!Doc->isObject()) {
+    Error = "request must be a JSON object";
+    return false;
+  }
+  // The id is extracted before any validation so even a bad request's
+  // error reply carries it.
+  Out.Id = Doc->strOr("id", "");
+
+  const JsonValue *Method = Doc->find("method");
+  if (!Method || !Method->isString()) {
+    Error = "missing 'method'";
+    return false;
+  }
+  if (!parseMethod(Method->str(), Out.Method)) {
+    Error = "unknown method '" + Method->str() + "'";
+    return false;
+  }
+
+  const JsonValue *Params = Doc->find("params");
+  JsonValue Empty = JsonValue::object();
+  if (!Params)
+    Params = &Empty;
+  if (!Params->isObject()) {
+    Error = "'params' must be an object";
+    return false;
+  }
+
+  if (const JsonValue *D = Params->find("deadline_ms")) {
+    if (D->kind() != JsonValue::Kind::Int &&
+        D->kind() != JsonValue::Kind::Double) {
+      Error = "params.deadline_ms must be a number";
+      return false;
+    }
+    Out.DeadlineMs = D->number();
+  }
+
+  switch (Out.Method) {
+  case ServeMethod::AnalyzeSource:
+  case ServeMethod::Validate: {
+    const JsonValue *Src = Params->find("source");
+    if (!Src || !Src->isString()) {
+      Error = "missing params.source";
+      return false;
+    }
+    Out.Source = Src->str();
+    break;
+  }
+  case ServeMethod::AnalyzeSuiteProgram: {
+    const JsonValue *Prog = Params->find("program");
+    if (!Prog || !Prog->isString()) {
+      Error = "missing params.program";
+      return false;
+    }
+    Out.SuiteProgram = Prog->str();
+    break;
+  }
+  case ServeMethod::FuzzReplay: {
+    const JsonValue *E = Params->find("entry");
+    if (!E || !E->isString()) {
+      Error = "missing params.entry";
+      return false;
+    }
+    Out.Source = E->str();
+    break;
+  }
+  case ServeMethod::Stats:
+  case ServeMethod::Shutdown:
+    break;
+  }
+
+  if (const JsonValue *Cfg = Params->find("config"))
+    if (!parseConfig(*Cfg, Out.Config, Error))
+      return false;
+  if (const JsonValue *Rep = Params->find("report"))
+    if (!parseReport(*Rep, Out.Report, Error))
+      return false;
+  if (const JsonValue *Seed = Params->find("read_seed")) {
+    if (!Seed->isInt() || Seed->integer() < 0) {
+      Error = "params.read_seed must be a non-negative integer";
+      return false;
+    }
+    Out.ReadSeed = static_cast<uint64_t>(Seed->integer());
+  }
+  if (const JsonValue *Steps = Params->find("max_steps")) {
+    if (!Steps->isInt() || Steps->integer() < 0) {
+      Error = "params.max_steps must be a non-negative integer";
+      return false;
+    }
+    Out.MaxSteps = static_cast<uint64_t>(Steps->integer());
+  }
+  return true;
+}
+
+std::string ipcp::configKey(const PipelineOptions &Opts,
+                            const ReportOptions &R) {
+  std::string Key;
+  Key += "jf=";
+  Key += kindToken(Opts.Kind);
+  Key += " rjf=";
+  Key += Opts.UseReturnJumpFunctions ? '1' : '0';
+  Key += " mod=";
+  Key += Opts.UseMod ? '1' : '0';
+  Key += " complete=";
+  Key += Opts.CompletePropagation ? '1' : '0';
+  Key += " gsa=";
+  Key += Opts.UseGatedSsa ? '1' : '0';
+  Key += " intra=";
+  Key += Opts.IntraproceduralOnly ? '1' : '0';
+  Key += " strategy=";
+  Key += strategyToken(Opts.Strategy);
+  Key += " quiet=";
+  Key += R.Quiet ? '1' : '0';
+  Key += " stats=";
+  Key += R.Stats ? '1' : '0';
+  Key += " emit=";
+  Key += R.EmitSource ? '1' : '0';
+  return Key;
+}
+
+uint64_t ipcp::contentHash(const std::string &Source,
+                           const std::string &CfgKey) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  auto Mix = [&H](const std::string &S) {
+    for (unsigned char C : S) {
+      H ^= C;
+      H *= 0x100000001b3ull;
+    }
+    // Separator byte so ("ab","c") and ("a","bc") differ.
+    H ^= 0xff;
+    H *= 0x100000001b3ull;
+  };
+  Mix(Source);
+  Mix(CfgKey);
+  return H;
+}
+
+std::string ipcp::makeOkReply(const std::string &Id, JsonValue Result) {
+  JsonValue Reply = JsonValue::object();
+  Reply.set("id", Id);
+  Reply.set("ok", JsonValue(true));
+  Reply.set("result", std::move(Result));
+  return Reply.dump();
+}
+
+std::string ipcp::makeErrorReply(const std::string &Id, ServeErrorKind Kind,
+                                 const std::string &Message) {
+  JsonValue Err = JsonValue::object();
+  Err.set("kind", serveErrorKindName(Kind));
+  Err.set("message", Message);
+  JsonValue Reply = JsonValue::object();
+  Reply.set("id", Id);
+  Reply.set("ok", JsonValue(false));
+  Reply.set("error", std::move(Err));
+  return Reply.dump();
+}
+
+std::string ipcp::serializeServeRequest(const ServeRequest &Req) {
+  JsonValue Params = JsonValue::object();
+  switch (Req.Method) {
+  case ServeMethod::AnalyzeSource:
+  case ServeMethod::Validate:
+    Params.set("source", Req.Source);
+    break;
+  case ServeMethod::AnalyzeSuiteProgram:
+    Params.set("program", Req.SuiteProgram);
+    break;
+  case ServeMethod::FuzzReplay:
+    Params.set("entry", Req.Source);
+    break;
+  case ServeMethod::Stats:
+  case ServeMethod::Shutdown:
+    break;
+  }
+
+  bool NeedsConfig = Req.Method == ServeMethod::AnalyzeSource ||
+                     Req.Method == ServeMethod::AnalyzeSuiteProgram ||
+                     Req.Method == ServeMethod::Validate;
+  if (NeedsConfig) {
+    JsonValue Cfg = JsonValue::object();
+    Cfg.set("jf", kindToken(Req.Config.Kind));
+    Cfg.set("rjf", JsonValue(Req.Config.UseReturnJumpFunctions));
+    Cfg.set("mod", JsonValue(Req.Config.UseMod));
+    Cfg.set("complete", JsonValue(Req.Config.CompletePropagation));
+    Cfg.set("gsa", JsonValue(Req.Config.UseGatedSsa));
+    Cfg.set("intra_only", JsonValue(Req.Config.IntraproceduralOnly));
+    Cfg.set("strategy", strategyToken(Req.Config.Strategy));
+    Params.set("config", std::move(Cfg));
+
+    JsonValue Rep = JsonValue::object();
+    Rep.set("quiet", JsonValue(Req.Report.Quiet));
+    Rep.set("stats", JsonValue(Req.Report.Stats));
+    Rep.set("emit_source", JsonValue(Req.Report.EmitSource));
+    Params.set("report", std::move(Rep));
+  }
+  if (Req.DeadlineMs != 0)
+    Params.set("deadline_ms", JsonValue(Req.DeadlineMs));
+  if (Req.Method == ServeMethod::Validate) {
+    Params.set("read_seed", JsonValue(Req.ReadSeed));
+    if (Req.MaxSteps)
+      Params.set("max_steps", JsonValue(Req.MaxSteps));
+  }
+
+  JsonValue Doc = JsonValue::object();
+  Doc.set("id", Req.Id);
+  Doc.set("method", serveMethodName(Req.Method));
+  Doc.set("params", std::move(Params));
+  return Doc.dump();
+}

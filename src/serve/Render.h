@@ -1,0 +1,54 @@
+//===- serve/Render.h - Canonical analysis report text ----------*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a PipelineResult as the exact text ipcp-driver prints for an
+/// analysis run. The driver's local mode and the analysis server's
+/// analyze replies both call this one function, which is what makes
+/// "--via-server output is byte-identical to local output" true by
+/// construction — and testable end to end (ServeTests runs both paths
+/// through the real binary and diffs the bytes).
+///
+/// Timings are deliberately not part of the report: they are the one
+/// nondeterministic field of a result, and a byte-identical contract
+/// cannot include them. The driver prints its --time block separately.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_SERVE_RENDER_H
+#define IPCP_SERVE_RENDER_H
+
+#include "ipcp/Pipeline.h"
+
+#include <string>
+
+namespace ipcp {
+
+/// What the report includes, mirroring the driver's flags.
+struct ReportOptions {
+  /// --quiet: only the substituted-constants count.
+  bool Quiet = false;
+  /// --stats: the jump-function and solver statistics block.
+  bool Stats = false;
+  /// --emit-source: append the transformed source (the PipelineResult
+  /// must have been produced with EmitTransformedSource).
+  bool EmitSource = false;
+};
+
+/// Renders the driver's stdout for a successful analysis of \p Result
+/// under \p Opts (the configuration banner reads the same fields the
+/// driver prints).
+std::string renderAnalysisReport(const PipelineOptions &Opts,
+                                 const PipelineResult &Result,
+                                 const ReportOptions &Report);
+
+/// The "CONSTANTS sets" file body the driver's --constants-out writes
+/// (paper §4.1): one line per procedure.
+std::string renderConstantsFile(const PipelineResult &Result);
+
+} // namespace ipcp
+
+#endif // IPCP_SERVE_RENDER_H

@@ -1,0 +1,164 @@
+//===- serve/Transport.cpp - stdio and TCP line pumps ---------------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Transport.h"
+
+#include "serve/Server.h"
+
+#include <condition_variable>
+#include <istream>
+#include <mutex>
+#include <ostream>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace ipcp;
+
+void ipcp::serveStream(Server &S, std::istream &In, std::ostream &Out) {
+  std::mutex WriteMutex; // Replies land from worker threads; serialize.
+  std::mutex DoneMutex;
+  std::condition_variable DoneCv;
+  size_t Outstanding = 0;
+
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    {
+      std::lock_guard<std::mutex> Lock(DoneMutex);
+      ++Outstanding;
+    }
+    S.submit(Line, [&](std::string Reply) {
+      {
+        std::lock_guard<std::mutex> Lock(WriteMutex);
+        Out << Reply << '\n';
+        Out.flush();
+      }
+      std::lock_guard<std::mutex> Lock(DoneMutex);
+      --Outstanding;
+      DoneCv.notify_all();
+    });
+    if (S.draining())
+      break; // A shutdown request: stop reading, let the tail drain.
+  }
+
+  std::unique_lock<std::mutex> Lock(DoneMutex);
+  DoneCv.wait(Lock, [&] { return Outstanding == 0; });
+}
+
+namespace {
+
+/// Sends all of \p Data, suppressing SIGPIPE (a client that hangs up
+/// mid-reply must not kill the server).
+void sendAll(int Fd, const std::string &Data) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = ::send(Fd, Data.data() + Off, Data.size() - Off,
+#ifdef MSG_NOSIGNAL
+                       MSG_NOSIGNAL
+#else
+                       0
+#endif
+    );
+    if (N <= 0)
+      return;
+    Off += static_cast<size_t>(N);
+  }
+}
+
+/// Serves one connection synchronously: read a line, answer it, repeat
+/// until the client hangs up. Within a connection requests serialize;
+/// across connections the Server interleaves them.
+void serveConnection(int Fd, Server &S) {
+  std::string Buffer;
+  char Chunk[4096];
+  for (;;) {
+    size_t Nl;
+    while ((Nl = Buffer.find('\n')) == std::string::npos) {
+      ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+      if (N <= 0) {
+        ::close(Fd);
+        return;
+      }
+      Buffer.append(Chunk, static_cast<size_t>(N));
+    }
+    std::string Line = Buffer.substr(0, Nl);
+    Buffer.erase(0, Nl + 1);
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    if (Line.empty())
+      continue;
+    sendAll(Fd, S.handle(Line) + "\n");
+  }
+}
+
+} // namespace
+
+TcpListener::~TcpListener() {
+  stop();
+  if (Fd >= 0)
+    ::close(Fd);
+  for (std::thread &T : Conns)
+    if (T.joinable())
+      T.join();
+}
+
+bool TcpListener::listen(uint16_t Port, std::string &Error) {
+  Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = "socket() failed";
+    return false;
+  }
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+
+  sockaddr_in Addr = {};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Error = "bind(127.0.0.1:" + std::to_string(Port) + ") failed";
+    ::close(Fd);
+    Fd = -1;
+    return false;
+  }
+  if (::listen(Fd, 64) < 0) {
+    Error = "listen() failed";
+    ::close(Fd);
+    Fd = -1;
+    return false;
+  }
+
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len) == 0)
+    BoundPort = ntohs(Addr.sin_port);
+  else
+    BoundPort = Port;
+  return true;
+}
+
+void TcpListener::run(Server &S) {
+  while (!Stopping.load(std::memory_order_acquire) && !S.draining()) {
+    pollfd Pfd = {Fd, POLLIN, 0};
+    int N = ::poll(&Pfd, 1, /*timeout_ms=*/200);
+    if (N < 0)
+      break;
+    if (N == 0 || !(Pfd.revents & POLLIN))
+      continue;
+    int Client = ::accept(Fd, nullptr, nullptr);
+    if (Client < 0)
+      continue;
+    Conns.emplace_back([Client, &S] { serveConnection(Client, S); });
+  }
+  for (std::thread &T : Conns)
+    if (T.joinable())
+      T.join();
+  Conns.clear();
+}

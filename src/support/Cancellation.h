@@ -1,0 +1,80 @@
+//===- support/Cancellation.h - Cooperative cancellation --------*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cooperative cancellation token shared between a requester (the
+/// analysis server's deadline machinery, a test) and a long-running
+/// analysis. The analysis phases poll expired() at phase boundaries and
+/// inside the solver's fixpoint loops; the requester either sets the
+/// flag explicitly (cancel()) or arms a wall-clock deadline that every
+/// poll checks. Polling is cheap: the flag is a relaxed atomic load, and
+/// deadline checks are rate-limited by the callers (every N iterations),
+/// not by the token.
+///
+/// A cancelled run abandons its result — the pipeline reports
+/// Cancelled=true and Ok=false — so the token never needs to carry
+/// partial-result semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_SUPPORT_CANCELLATION_H
+#define IPCP_SUPPORT_CANCELLATION_H
+
+#include <atomic>
+#include <chrono>
+
+namespace ipcp {
+
+/// Shared cancel/deadline state. Thread-safe: any thread may cancel()
+/// or arm the deadline before handing the token to the analysis.
+class CancelToken {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+
+  /// Requests cancellation. Irrevocable for this token's lifetime.
+  void cancel() { Flag.store(true, std::memory_order_relaxed); }
+
+  /// Arms a wall-clock deadline; expired() turns true once it passes.
+  void setDeadline(Clock::time_point D) {
+    Deadline = D;
+    HasDeadline.store(true, std::memory_order_release);
+  }
+
+  /// Convenience: a deadline \p Ms milliseconds from now.
+  void setDeadlineAfterMs(double Ms) {
+    setDeadline(Clock::now() +
+                std::chrono::microseconds(static_cast<int64_t>(Ms * 1000)));
+  }
+
+  /// True once the token is cancelled or its deadline has passed. The
+  /// deadline branch reads the clock, so callers in tight loops should
+  /// rate-limit their polls.
+  bool expired() const {
+    if (Flag.load(std::memory_order_relaxed))
+      return true;
+    if (HasDeadline.load(std::memory_order_acquire) &&
+        Clock::now() >= Deadline)
+      return true;
+    return false;
+  }
+
+private:
+  std::atomic<bool> Flag{false};
+  std::atomic<bool> HasDeadline{false};
+  Clock::time_point Deadline{};
+};
+
+/// Polls \p Token (which may be null) — the one-liner the analysis
+/// phases use.
+inline bool isCancelled(const CancelToken *Token) {
+  return Token && Token->expired();
+}
+
+} // namespace ipcp
+
+#endif // IPCP_SUPPORT_CANCELLATION_H

@@ -19,6 +19,9 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+
 using namespace ipcp;
 
 #ifndef IPCP_TEST_CORPUS_DIR
@@ -178,7 +181,11 @@ TEST(FuzzReducer, ShrinksInjectedBugPreservingFailure) {
 }
 
 TEST(FuzzCorpus, CheckedInRegressionsReplayGreen) {
-  std::vector<CorpusEntry> Entries = loadCorpusDir(IPCP_TEST_CORPUS_DIR);
+  std::vector<std::string> Diags;
+  std::vector<CorpusEntry> Entries =
+      loadCorpusDir(IPCP_TEST_CORPUS_DIR, &Diags);
+  for (const std::string &D : Diags)
+    ADD_FAILURE() << "checked-in corpus entry rejected: " << D;
   ASSERT_FALSE(Entries.empty())
       << "no corpus entries under " << IPCP_TEST_CORPUS_DIR;
   FuzzOptions Opts;
@@ -193,6 +200,63 @@ TEST(FuzzCorpus, CheckedInRegressionsReplayGreen) {
         << Entry.Source;
     EXPECT_GT(FB.countBits(), 0u) << Entry.Name;
   }
+}
+
+TEST(FuzzCorpus, MalformedHeadersAreDiagnosedAndSkipped) {
+  // Corruptions a real corpus directory accumulates — truncated writes,
+  // editor mangling — must never crash or poison a replay: each bad
+  // file gets a diagnostic and is skipped; good files still load.
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::path(::testing::TempDir()) / "ipcp_corpus_malformed";
+  fs::remove_all(Dir);
+  fs::create_directories(Dir);
+  auto WriteFile = [&](const char *Name, const std::string &Text) {
+    std::ofstream Out(Dir / Name);
+    Out << Text;
+  };
+  WriteFile("a_truncated_magic.mf", "! ipcp-fuzz corp");
+  WriteFile("b_garbled_seed.mf",
+            "! ipcp-fuzz corpus\n! origin-seed: 12x4\n"
+            "proc main()\n  print 1\nend\n");
+  WriteFile("c_header_only.mf", "! ipcp-fuzz corpus\n! origin-seed: 7\n");
+  WriteFile("d_duplicate_seed.mf",
+            "! ipcp-fuzz corpus\n! origin-seed: 1\n! origin-seed: 2\n"
+            "proc main()\n  print 1\nend\n");
+  WriteFile("e_missing_seed.mf",
+            "! ipcp-fuzz corpus\nproc main()\n  print 1\nend\n");
+  WriteFile("f_good.mf",
+            "! ipcp-fuzz corpus\n! origin-seed: 9\n! trail: arg-const\n"
+            "proc main()\n  print 2\nend\n");
+  WriteFile("g_bare_program.mf", "proc main()\n  print 3\nend\n");
+
+  std::vector<std::string> Diags;
+  std::vector<CorpusEntry> Entries = loadCorpusDir(Dir.string(), &Diags);
+
+  ASSERT_EQ(Entries.size(), 2u);
+  EXPECT_EQ(Entries[0].Name, "f_good");
+  EXPECT_EQ(Entries[0].OriginSeed, 9u);
+  EXPECT_EQ(Entries[0].Trail, "arg-const");
+  EXPECT_EQ(Entries[1].Name, "g_bare_program");
+  EXPECT_EQ(Entries[1].OriginSeed, 0u);
+
+  ASSERT_EQ(Diags.size(), 5u);
+  EXPECT_NE(Diags[0].find("a_truncated_magic.mf"), std::string::npos);
+  EXPECT_NE(Diags[0].find("garbled magic"), std::string::npos);
+  EXPECT_NE(Diags[1].find("garbled origin-seed"), std::string::npos);
+  EXPECT_NE(Diags[2].find("no program after metadata header"),
+            std::string::npos);
+  EXPECT_NE(Diags[3].find("duplicate origin-seed"), std::string::npos);
+  EXPECT_NE(Diags[4].find("no origin-seed line"), std::string::npos);
+
+  // A campaign pointed at the corrupted directory replays only the
+  // survivors and runs to completion.
+  FuzzOptions Opts = quickOptions();
+  Opts.Runs = 5;
+  Opts.CorpusDir = Dir.string();
+  FuzzResult R = runFuzzer(Opts);
+  EXPECT_TRUE(R.Failures.empty());
+
+  fs::remove_all(Dir);
 }
 
 TEST(FuzzCampaign, BoundedBudgetAllConfigsClean) {

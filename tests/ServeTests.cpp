@@ -1,0 +1,593 @@
+//===- tests/ServeTests.cpp - Analysis server tests -----------------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The check-serve suite: protocol goldens, the session cache and
+/// request coalescing, deadline cancellation, overload shedding,
+/// graceful drain, the TCP transport round trip, and the differential
+/// test pinning --server-url output byte-identical to local ipcp-driver
+/// output.
+///
+/// Concurrency-sensitive tests are made deterministic with
+/// Server::TestHookBeforeCompute: the hook parks the leader computation
+/// on a latch while the test arranges followers, queue pressure, or a
+/// drain around it — no sleeps, no races on "did it start yet".
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+#include "serve/Json.h"
+#include "serve/Protocol.h"
+#include "serve/Render.h"
+#include "serve/Server.h"
+#include "serve/Transport.h"
+#include "support/Cancellation.h"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace ipcp;
+
+namespace {
+
+const char *SampleProgram = R"(proc main()
+  call f(5)
+end
+proc f(x)
+  print x
+end
+)";
+
+/// Collects asynchronous replies and lets the test block for a count.
+struct ReplyBin {
+  std::mutex Mutex;
+  std::condition_variable Cv;
+  std::vector<std::string> Replies;
+
+  std::function<void(std::string)> sink() {
+    return [this](std::string R) {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Replies.push_back(std::move(R));
+      Cv.notify_all();
+    };
+  }
+
+  std::vector<std::string> waitFor(size_t N) {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Cv.wait(Lock, [&] { return Replies.size() >= N; });
+    return Replies;
+  }
+};
+
+/// A one-shot gate the test hook parks on.
+struct Gate {
+  std::mutex Mutex;
+  std::condition_variable Cv;
+  bool Open = false;
+  bool Reached = false;
+
+  void waitOpen() {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Reached = true;
+    Cv.notify_all();
+    Cv.wait(Lock, [&] { return Open; });
+  }
+  void waitReached() {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Cv.wait(Lock, [&] { return Reached; });
+  }
+  void open() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Open = true;
+    Cv.notify_all();
+  }
+};
+
+std::string analyzeRequest(const std::string &Id, const std::string &Source,
+                           const std::string &Extra = "") {
+  return "{\"id\":\"" + Id +
+         "\",\"method\":\"analyze-source\",\"params\":{\"source\":" +
+         JsonValue(Source).dump() + Extra + "}}";
+}
+
+JsonValue parsedOk(const std::string &ReplyLine) {
+  std::string Err;
+  std::optional<JsonValue> V = parseJson(ReplyLine, Err);
+  EXPECT_TRUE(V.has_value()) << Err << " in: " << ReplyLine;
+  return V ? *V : JsonValue::object();
+}
+
+std::string errorKind(const JsonValue &Reply) {
+  const JsonValue *E = Reply.find("error");
+  return E ? E->strOr("kind", "") : "";
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Protocol goldens
+//===----------------------------------------------------------------------===//
+
+TEST(ServeProtocol, ReplyGoldens) {
+  JsonValue Payload = JsonValue::object();
+  Payload.set("substituted", JsonValue(12));
+  EXPECT_EQ(makeOkReply("r1", Payload),
+            "{\"id\":\"r1\",\"ok\":true,\"result\":{\"substituted\":12}}");
+  EXPECT_EQ(makeErrorReply("r9", ServeErrorKind::Overloaded,
+                           "queue full (64 pending)"),
+            "{\"error\":{\"kind\":\"overloaded\",\"message\":\"queue full "
+            "(64 pending)\"},\"id\":\"r9\",\"ok\":false}");
+}
+
+TEST(ServeProtocol, RequestGolden) {
+  ServeRequest Req;
+  std::string Err;
+  ASSERT_TRUE(parseServeRequest(
+      "{\"id\":\"a\",\"method\":\"analyze-source\",\"params\":{"
+      "\"source\":\"proc main()\\nend\\n\",\"config\":{\"jf\":\"pass\","
+      "\"rjf\":false,\"complete\":true},\"report\":{\"stats\":true},"
+      "\"deadline_ms\":250}}",
+      Req, Err))
+      << Err;
+  EXPECT_EQ(Req.Id, "a");
+  EXPECT_EQ(Req.Method, ServeMethod::AnalyzeSource);
+  EXPECT_EQ(Req.Source, "proc main()\nend\n");
+  EXPECT_EQ(Req.Config.Kind, JumpFunctionKind::PassThrough);
+  EXPECT_FALSE(Req.Config.UseReturnJumpFunctions);
+  EXPECT_TRUE(Req.Config.CompletePropagation);
+  EXPECT_TRUE(Req.Report.Stats);
+  EXPECT_EQ(Req.DeadlineMs, 250);
+}
+
+TEST(ServeProtocol, SerializeRoundTrips) {
+  ServeRequest Req;
+  Req.Id = "rt";
+  Req.Method = ServeMethod::AnalyzeSource;
+  Req.Source = SampleProgram;
+  Req.Config.Kind = JumpFunctionKind::PassThrough;
+  Req.Config.UseMod = false;
+  Req.Report.Quiet = true;
+  Req.DeadlineMs = 1500;
+
+  ServeRequest Back;
+  std::string Err;
+  ASSERT_TRUE(parseServeRequest(serializeServeRequest(Req), Back, Err)) << Err;
+  EXPECT_EQ(Back.Id, "rt");
+  EXPECT_EQ(Back.Source, Req.Source);
+  EXPECT_EQ(Back.Config.Kind, JumpFunctionKind::PassThrough);
+  EXPECT_FALSE(Back.Config.UseMod);
+  EXPECT_TRUE(Back.Report.Quiet);
+  EXPECT_EQ(Back.DeadlineMs, 1500);
+  EXPECT_EQ(configKey(Back.Config, Back.Report),
+            configKey(Req.Config, Req.Report));
+}
+
+TEST(ServeProtocol, RejectsUnknownFields) {
+  ServeRequest Req;
+  std::string Err;
+  EXPECT_FALSE(parseServeRequest("{\"id\":\"x\",\"method\":\"analyze-source\","
+                                 "\"params\":{\"source\":\"s\","
+                                 "\"config\":{\"jfx\":\"poly\"}}}",
+                                 Req, Err));
+  EXPECT_NE(Err.find("unknown config field 'jfx'"), std::string::npos);
+  EXPECT_EQ(Req.Id, "x") << "id must be salvaged for the error reply";
+}
+
+TEST(ServeProtocol, ContentHashSeparatesFields) {
+  EXPECT_NE(contentHash("ab", "c"), contentHash("a", "bc"));
+  EXPECT_NE(contentHash("x", ""), contentHash("", "x"));
+  EXPECT_EQ(contentHash("src", "cfg"), contentHash("src", "cfg"));
+}
+
+//===----------------------------------------------------------------------===//
+// Malformed requests never hurt the server
+//===----------------------------------------------------------------------===//
+
+TEST(ServeServer, MalformedRequestsGetStructuredReplies) {
+  Server S({.Workers = 1, .QueueLimit = 4, .CacheCapacity = 2});
+  for (const char *Bad :
+       {"not json at all", "[1,2,3]", "{\"id\":\"q\"}",
+        "{\"id\":\"q\",\"method\":\"warp\"}",
+        "{\"id\":\"q\",\"method\":\"analyze-source\",\"params\":{}}"}) {
+    JsonValue Reply = parsedOk(S.handle(Bad));
+    EXPECT_FALSE(Reply.boolOr("ok", true)) << Bad;
+    EXPECT_EQ(errorKind(Reply), "malformed") << Bad;
+  }
+  // The server is still healthy after the abuse.
+  JsonValue Good = parsedOk(S.handle(analyzeRequest("ok", SampleProgram)));
+  EXPECT_TRUE(Good.boolOr("ok", false));
+  JsonValue Stats = parsedOk(S.handle("{\"method\":\"stats\"}"));
+  const JsonValue *Result = Stats.find("result");
+  ASSERT_NE(Result, nullptr);
+  EXPECT_EQ(Result->find("errors")->intOr("malformed", -1), 5);
+}
+
+TEST(ServeServer, FrontendErrorsAreAnalysisErrors) {
+  Server S({.Workers = 1});
+  JsonValue R1 = parsedOk(S.handle(analyzeRequest("b1", "proc main(\nend\n")));
+  EXPECT_EQ(errorKind(R1), "analysis-error");
+  // Repeat: the cached frontend failure answers without reparsing, and
+  // the reply is identical apart from the id.
+  JsonValue R2 = parsedOk(S.handle(analyzeRequest("b1", "proc main(\nend\n")));
+  EXPECT_EQ(errorKind(R2), "analysis-error");
+}
+
+TEST(ServeServer, UnknownSuiteProgramIsAnalysisError) {
+  Server S({.Workers = 1});
+  JsonValue R = parsedOk(
+      S.handle("{\"id\":\"s\",\"method\":\"analyze-suite-program\","
+               "\"params\":{\"program\":\"nonesuch\"}}"));
+  EXPECT_EQ(errorKind(R), "analysis-error");
+}
+
+//===----------------------------------------------------------------------===//
+// Session cache
+//===----------------------------------------------------------------------===//
+
+TEST(ServeServer, RepeatRequestIsServedFromReplyCache) {
+  Server S({.Workers = 1, .CacheCapacity = 4});
+  JsonValue First = parsedOk(S.handle(analyzeRequest("a", SampleProgram)));
+  ASSERT_TRUE(First.boolOr("ok", false));
+  EXPECT_FALSE(First.find("result")->boolOr("cached", true));
+
+  JsonValue Second = parsedOk(S.handle(analyzeRequest("b", SampleProgram)));
+  ASSERT_TRUE(Second.boolOr("ok", false));
+  EXPECT_TRUE(Second.find("result")->boolOr("cached", false));
+  EXPECT_EQ(First.find("result")->strOr("output", "L"),
+            Second.find("result")->strOr("output", "R"));
+
+  JsonValue Stats = parsedOk(S.handle("{\"method\":\"stats\"}"));
+  const JsonValue *Result = Stats.find("result");
+  ASSERT_NE(Result, nullptr);
+  EXPECT_EQ(Result->find("cache")->intOr("reply_hits", -1), 1);
+  EXPECT_EQ(Result->find("cache")->intOr("misses", -1), 1);
+}
+
+TEST(ServeServer, NewConfigOnWarmProgramReusesSession) {
+  Server S({.Workers = 1, .CacheCapacity = 4});
+  ASSERT_TRUE(parsedOk(S.handle(analyzeRequest("a", SampleProgram)))
+                  .boolOr("ok", false));
+  ASSERT_TRUE(
+      parsedOk(S.handle(analyzeRequest("b", SampleProgram,
+                                       ",\"config\":{\"jf\":\"pass\"}")))
+          .boolOr("ok", false));
+  JsonValue Stats = parsedOk(S.handle("{\"method\":\"stats\"}"));
+  const JsonValue *Result = Stats.find("result");
+  ASSERT_NE(Result, nullptr);
+  EXPECT_EQ(Result->find("cache")->intOr("session_hits", -1), 1);
+  EXPECT_EQ(Result->find("cache")->intOr("misses", -1), 1);
+  EXPECT_EQ(Result->find("cache")->intOr("reply_hits", -1), 0);
+}
+
+TEST(ServeServer, LruEvictsLeastRecentProgram) {
+  Server S({.Workers = 1, .CacheCapacity = 2});
+  // Three distinct programs through a capacity-2 cache (a unique
+  // trailing comment changes the content hash, not the analysis).
+  for (const char *Tag : {"a", "b", "c"})
+    ASSERT_TRUE(parsedOk(S.handle(analyzeRequest(
+                             Tag, std::string(SampleProgram) + "! " + Tag +
+                                      "\n")))
+                    .boolOr("ok", false));
+  JsonValue Stats = parsedOk(S.handle("{\"method\":\"stats\"}"));
+  const JsonValue *Result = Stats.find("result");
+  ASSERT_NE(Result, nullptr);
+  EXPECT_EQ(Result->find("cache")->intOr("entries", -1), 2);
+  EXPECT_EQ(Result->find("cache")->intOr("evictions", -1), 1);
+}
+
+TEST(ServeServer, ServedOutputMatchesLocalRender) {
+  Server S({.Workers = 1});
+  std::string Extra = ",\"report\":{\"stats\":true}";
+  JsonValue Reply = parsedOk(S.handle(analyzeRequest("r", SampleProgram,
+                                                     Extra)));
+  ASSERT_TRUE(Reply.boolOr("ok", false));
+
+  PipelineOptions Opts;
+  ReportOptions Report;
+  Report.Stats = true;
+  PipelineResult Local = runPipeline(SampleProgram, Opts);
+  ASSERT_TRUE(Local.Ok);
+  EXPECT_EQ(Reply.find("result")->strOr("output", ""),
+            renderAnalysisReport(Opts, Local, Report));
+}
+
+//===----------------------------------------------------------------------===//
+// Coalescing
+//===----------------------------------------------------------------------===//
+
+TEST(ServeServer, IdenticalInflightRequestsCoalesce) {
+  Server S({.Workers = 2, .QueueLimit = 16});
+  Gate G;
+  S.TestHookBeforeCompute = [&](const ServeRequest &) { G.waitOpen(); };
+
+  ReplyBin Bin;
+  S.submit(analyzeRequest("leader", SampleProgram), Bin.sink());
+  G.waitReached(); // Leader is parked inside compute.
+  for (int I = 0; I != 3; ++I)
+    S.submit(analyzeRequest("follower" + std::to_string(I), SampleProgram),
+             Bin.sink());
+  G.open();
+
+  std::vector<std::string> Replies = Bin.waitFor(4);
+  for (const std::string &Line : Replies) {
+    JsonValue R = parsedOk(Line);
+    EXPECT_TRUE(R.boolOr("ok", false)) << Line;
+  }
+  JsonValue Stats = parsedOk(S.handle("{\"method\":\"stats\"}"));
+  EXPECT_EQ(Stats.find("result")->intOr("coalesced", -1), 3);
+  // One computation: a single cold miss, no reply hits.
+  EXPECT_EQ(Stats.find("result")->find("cache")->intOr("misses", -1), 1);
+  EXPECT_EQ(Stats.find("result")->find("cache")->intOr("reply_hits", -1), 0);
+
+  // All four replies agree apart from the id.
+  for (std::string Line : Replies) {
+    JsonValue R = parsedOk(Line);
+    R.set("id", JsonValue("x"));
+    JsonValue First = parsedOk(Replies[0]);
+    First.set("id", JsonValue("x"));
+    EXPECT_EQ(R.dump(), First.dump());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Deadlines
+//===----------------------------------------------------------------------===//
+
+TEST(ServeCancellation, PipelineHonoursCancelledToken) {
+  CancelToken Token;
+  Token.cancel();
+  PipelineOptions Opts;
+  Opts.Cancel = &Token;
+  PipelineResult R = runPipeline(SampleProgram, Opts);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_TRUE(R.Cancelled);
+}
+
+TEST(ServeCancellation, ExpiredDeadlineTokenReportsExpiry) {
+  CancelToken Token;
+  Token.setDeadlineAfterMs(0.01);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(Token.expired());
+}
+
+TEST(ServeServer, DeadlineExpiryYieldsDeadlineReply) {
+  Server S({.Workers = 1});
+  // Park the doomed request until its 5ms deadline has certainly
+  // expired; the pre-compute deadline check then fires
+  // deterministically. Keyed on the id so the health-check request
+  // after it is not delayed.
+  S.TestHookBeforeCompute = [&](const ServeRequest &Req) {
+    if (Req.Id == "d")
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  };
+  JsonValue R = parsedOk(
+      S.handle(analyzeRequest("d", SampleProgram, ",\"deadline_ms\":5")));
+  EXPECT_FALSE(R.boolOr("ok", true));
+  EXPECT_EQ(errorKind(R), "deadline");
+
+  // The server is healthy afterwards.
+  EXPECT_TRUE(parsedOk(S.handle(analyzeRequest("ok", SampleProgram)))
+                  .boolOr("ok", false));
+  JsonValue Stats = parsedOk(S.handle("{\"method\":\"stats\"}"));
+  EXPECT_EQ(Stats.find("result")->find("errors")->intOr("deadline", -1), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Admission control
+//===----------------------------------------------------------------------===//
+
+TEST(ServeServer, OverloadShedsWithStructuredReply) {
+  Server S({.Workers = 1, .QueueLimit = 2});
+  Gate G;
+  S.TestHookBeforeCompute = [&](const ServeRequest &) { G.waitOpen(); };
+
+  ReplyBin Bin;
+  // Two distinct programs fill the queue (1 computing + 1 queued).
+  S.submit(analyzeRequest("q1", std::string(SampleProgram) + "! q1\n"),
+           Bin.sink());
+  G.waitReached();
+  S.submit(analyzeRequest("q2", std::string(SampleProgram) + "! q2\n"),
+           Bin.sink());
+
+  // The third is shed synchronously.
+  JsonValue Shed = parsedOk(
+      S.handle(analyzeRequest("q3", std::string(SampleProgram) + "! q3\n")));
+  EXPECT_FALSE(Shed.boolOr("ok", true));
+  EXPECT_EQ(errorKind(Shed), "overloaded");
+
+  G.open();
+  for (const std::string &Line : Bin.waitFor(2))
+    EXPECT_TRUE(parsedOk(Line).boolOr("ok", false)) << Line;
+
+  JsonValue Stats = parsedOk(S.handle("{\"method\":\"stats\"}"));
+  EXPECT_EQ(Stats.find("result")->find("errors")->intOr("overloaded", -1), 1);
+  EXPECT_EQ(Stats.find("result")->intOr("queue_high_water", -1), 2);
+  EXPECT_EQ(Stats.find("result")->intOr("pending", -1), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Graceful drain
+//===----------------------------------------------------------------------===//
+
+TEST(ServeServer, ShutdownDrainsInflightAndRejectsNew) {
+  Server S({.Workers = 1, .QueueLimit = 8});
+  Gate G;
+  S.TestHookBeforeCompute = [&](const ServeRequest &) { G.waitOpen(); };
+
+  ReplyBin Bin;
+  S.submit(analyzeRequest("inflight", SampleProgram), Bin.sink());
+  G.waitReached();
+
+  // Begin the drain via the protocol.
+  JsonValue Ack = parsedOk(S.handle("{\"id\":\"down\",\"method\":\"shutdown\"}"));
+  EXPECT_TRUE(Ack.boolOr("ok", false));
+  EXPECT_TRUE(S.draining());
+  EXPECT_EQ(Ack.find("result")->intOr("pending", -1), 1);
+
+  // New compute traffic is refused; stats still answers.
+  JsonValue Refused = parsedOk(S.handle(analyzeRequest("late", SampleProgram)));
+  EXPECT_EQ(errorKind(Refused), "shutting-down");
+  EXPECT_TRUE(parsedOk(S.handle("{\"method\":\"stats\"}")).boolOr("ok", false));
+
+  std::thread Drainer([&] { S.shutdown(); });
+  G.open();
+  Drainer.join();
+
+  // The in-flight request completed successfully during the drain.
+  std::vector<std::string> Replies = Bin.waitFor(1);
+  EXPECT_TRUE(parsedOk(Replies[0]).boolOr("ok", false)) << Replies[0];
+  EXPECT_EQ(S.pending(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Other methods
+//===----------------------------------------------------------------------===//
+
+TEST(ServeServer, ValidateMethodRunsOracle) {
+  Server S({.Workers = 1});
+  JsonValue R = parsedOk(
+      S.handle("{\"id\":\"v\",\"method\":\"validate\",\"params\":{"
+               "\"source\":" +
+               JsonValue(SampleProgram).dump() + ",\"max_steps\":10000}}"));
+  ASSERT_TRUE(R.boolOr("ok", false));
+  EXPECT_TRUE(R.find("result")->boolOr("valid", false));
+  EXPECT_GT(R.find("result")->intOr("runs_executed", 0), 0);
+}
+
+TEST(ServeServer, FuzzReplayMethodEvaluatesEntry) {
+  Server S({.Workers = 1});
+  std::string Entry = "! ipcp-fuzz corpus\n! origin-seed: 1\n";
+  Entry += SampleProgram;
+  JsonValue R = parsedOk(
+      S.handle("{\"id\":\"f\",\"method\":\"fuzz-replay\",\"params\":{"
+               "\"entry\":" +
+               JsonValue(Entry).dump() + "}}"));
+  ASSERT_TRUE(R.boolOr("ok", false));
+  EXPECT_FALSE(R.find("result")->boolOr("failed", true));
+  EXPECT_GT(R.find("result")->intOr("feature_bits", 0), 0);
+}
+
+TEST(ServeServer, FuzzReplayRejectsMangledEntry) {
+  // A truncated/garbled corpus header must come back as a structured
+  // analysis-error, not be silently replayed (or worse, crash).
+  Server S({.Workers = 1});
+  std::string Entry = "! ipcp-fuzz corpus\n! origin-seed: 1x\n";
+  Entry += SampleProgram;
+  JsonValue R = parsedOk(
+      S.handle("{\"id\":\"g\",\"method\":\"fuzz-replay\",\"params\":{"
+               "\"entry\":" +
+               JsonValue(Entry).dump() + "}}"));
+  EXPECT_EQ(errorKind(R), "analysis-error");
+  const JsonValue *Err = R.find("error");
+  ASSERT_NE(Err, nullptr);
+  EXPECT_NE(Err->strOr("message", "").find("garbled origin-seed"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Transports
+//===----------------------------------------------------------------------===//
+
+TEST(ServeTransport, StreamPumpAnswersAndDrains) {
+  Server S({.Workers = 2});
+  std::istringstream In(analyzeRequest("s1", SampleProgram) + "\n" +
+                        analyzeRequest("s2", SampleProgram) + "\n" +
+                        "{\"id\":\"down\",\"method\":\"shutdown\"}\n");
+  std::ostringstream Out;
+  serveStream(S, In, Out);
+
+  size_t Count = 0;
+  std::istringstream Lines(Out.str());
+  std::string Line;
+  while (std::getline(Lines, Line)) {
+    ++Count;
+    parsedOk(Line);
+  }
+  EXPECT_EQ(Count, 3u);
+}
+
+TEST(ServeTransport, TcpRoundTrip) {
+  Server S({.Workers = 2});
+  TcpListener Listener;
+  std::string Error;
+  if (!Listener.listen(0, Error))
+    GTEST_SKIP() << "cannot bind a loopback socket here: " << Error;
+  std::thread Accept([&] { Listener.run(S); });
+
+  ServeClient Client;
+  ASSERT_TRUE(Client.connect("127.0.0.1:" + std::to_string(Listener.port()),
+                             Error))
+      << Error;
+  std::string Reply;
+  ASSERT_TRUE(Client.call(analyzeRequest("t1", SampleProgram), Reply, Error))
+      << Error;
+  EXPECT_TRUE(parsedOk(Reply).boolOr("ok", false));
+  // Same connection, repeat request: served from the reply cache.
+  ASSERT_TRUE(Client.call(analyzeRequest("t2", SampleProgram), Reply, Error))
+      << Error;
+  EXPECT_TRUE(parsedOk(Reply).find("result")->boolOr("cached", false));
+
+  Client.close();
+  Listener.stop();
+  Accept.join();
+  S.shutdown();
+}
+
+//===----------------------------------------------------------------------===//
+// Differential: --server-url output is byte-identical to local mode
+//===----------------------------------------------------------------------===//
+
+#ifdef IPCP_DRIVER_PATH
+namespace {
+
+bool runCommand(const std::string &Cmd, std::string &Out) {
+  FILE *P = popen(Cmd.c_str(), "r");
+  if (!P)
+    return false;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
+    Out.append(Buf, N);
+  return pclose(P) == 0;
+}
+
+} // namespace
+
+TEST(ServeDifferential, DriverServedOutputMatchesLocal) {
+  Server S({.Workers = 2});
+  TcpListener Listener;
+  std::string Error;
+  if (!Listener.listen(0, Error))
+    GTEST_SKIP() << "cannot bind a loopback socket here: " << Error;
+  std::thread Accept([&] { Listener.run(S); });
+  std::string Url = "127.0.0.1:" + std::to_string(Listener.port());
+
+  const std::string Driver = IPCP_DRIVER_PATH;
+  for (const char *Flags :
+       {"--suite=ocean", "--suite=ocean --stats", "--suite=trfd --quiet",
+        "--suite=mdg --jf=pass --no-rjf", "--suite=qcd --emit-source",
+        "--suite=linpackd --complete"}) {
+    std::string Local, Served;
+    ASSERT_TRUE(runCommand(Driver + " " + Flags + " 2>/dev/null", Local))
+        << Flags;
+    ASSERT_TRUE(runCommand(Driver + " " + Flags + " --server-url=" + Url +
+                               " 2>/dev/null",
+                           Served))
+        << Flags;
+    EXPECT_EQ(Local, Served) << "output diverged for: " << Flags;
+  }
+
+  Listener.stop();
+  Accept.join();
+  S.shutdown();
+}
+#endif // IPCP_DRIVER_PATH

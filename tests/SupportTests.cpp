@@ -83,6 +83,44 @@ TEST(TablePrinter, EmptyPrintsNothing) {
   EXPECT_EQ(T.str(), "");
 }
 
+TEST(TablePrinter, WideValuesStretchTheirColumn) {
+  // Counter columns in the serve/fuzz stats tables reach 7+ digits; the
+  // column must widen to the widest cell (header included) and keep the
+  // narrow cells right-aligned underneath it.
+  TablePrinter T;
+  T.addHeader({"metric", "count"});
+  T.addRow({"requests", "12345678"});
+  T.addRow({"errors", "9"});
+  std::string Out = T.str();
+  EXPECT_NE(Out.find("12345678"), std::string::npos);
+  // "9" padded to the 8-char column: seven spaces then the digit.
+  EXPECT_NE(Out.find("       9"), std::string::npos);
+  // Each line ends flush after its last cell — no trailing pad spaces.
+  for (size_t Pos = Out.find('\n'); Pos != std::string::npos;
+       Pos = Out.find('\n', Pos + 1))
+    if (Pos > 0)
+      EXPECT_NE(Out[Pos - 1], ' ') << Out;
+}
+
+TEST(TablePrinter, NegativeDeltasAlignWithSign) {
+  // Delta columns mix signs; the sign is part of the cell and must count
+  // toward the column width so "-1234567" and "42" stay aligned.
+  TablePrinter T;
+  T.addHeader({"bench", "delta"});
+  T.addRow({"warm", "-1234567"});
+  T.addRow({"cold", "42"});
+  std::string Out = T.str();
+  EXPECT_NE(Out.find("-1234567"), std::string::npos);
+  EXPECT_NE(Out.find("      42"), std::string::npos);
+  // Both body rows render to the same width.
+  size_t H = Out.find('\n');
+  size_t Rule = Out.find('\n', H + 1);
+  size_t R1 = Out.find('\n', Rule + 1);
+  size_t R2 = Out.find('\n', R1 + 1);
+  ASSERT_NE(R2, std::string::npos);
+  EXPECT_EQ(R1 - Rule, R2 - R1) << Out;
+}
+
 TEST(Casting, IsaAndCast) {
   AstContext Ctx;
   Expr *E = Ctx.createExpr<IntLitExpr>(SourceLoc(1, 1), int64_t(42));

@@ -29,6 +29,9 @@
 #include "ir/Dominators.h"
 #include "ir/IrPrinter.h"
 #include "lang/Parser.h"
+#include "serve/Client.h"
+#include "serve/Protocol.h"
+#include "serve/Render.h"
 #include "support/TablePrinter.h"
 #include "support/ThreadPool.h"
 #include "workloads/Suite.h"
@@ -77,7 +80,10 @@ static void printUsage() {
          "  --validate     run the translation-validation oracle over the\n"
          "                 program under the selected analyzer options\n"
          "  --read-seed=<n>  READ input stream seed for --run/--validate\n"
-         "  --max-steps=<n>  interpreter step budget for --run/--validate\n";
+         "  --max-steps=<n>  interpreter step budget for --run/--validate\n"
+         "  --server-url=<host:port>  forward the analysis to a running\n"
+         "                 ipcp-serve and print its reply (byte-identical\n"
+         "                 to local mode)\n";
 }
 
 // Parses a worker-count flag value: digits only, capped well below any
@@ -132,6 +138,7 @@ int main(int argc, char **argv) {
   bool Time = false;
   unsigned Jobs = 1;
   std::string ConfigSet;
+  std::string ServerUrl;
   SuiteSharing Sharing = SuiteSharing::Shared;
 
   for (int I = 1; I < argc; ++I) {
@@ -215,6 +222,8 @@ int main(int argc, char **argv) {
         return 1;
     } else if (Arg.rfind("--suite=", 0) == 0) {
       SuiteName = Arg.substr(8);
+    } else if (Arg.rfind("--server-url=", 0) == 0) {
+      ServerUrl = Arg.substr(13);
     } else if (Arg == "--help" || Arg == "-h") {
       printUsage();
       return 0;
@@ -340,6 +349,51 @@ int main(int argc, char **argv) {
   } else {
     printUsage();
     return 1;
+  }
+
+  // Served mode: forward the analysis to a running ipcp-serve and print
+  // its reply. The server renders through the same serve/Render code
+  // this binary uses locally, so stdout is byte-identical to local mode
+  // (the differential test in ServeTests holds us to that).
+  if (!ServerUrl.empty()) {
+    if (DoRun || DoValidate || DoInline || DoClone || DumpIr || DumpSsa ||
+        DumpJf || Time || !ConstantsOut.empty()) {
+      std::cerr << "error: --server-url supports only the analysis report "
+                   "(no --run/--validate/--inline/--clone/--dump-*/--time/"
+                   "--constants-out)\n";
+      return 1;
+    }
+    ServeRequest Req;
+    Req.Id = "cli";
+    Req.Method = ServeMethod::AnalyzeSource;
+    Req.Config = Opts;
+    Req.Report.Quiet = Quiet;
+    Req.Report.Stats = Stats;
+    Req.Report.EmitSource = EmitSource;
+    Req.Source = Source;
+
+    ServeClient Client;
+    std::string Error, ReplyLine;
+    if (!Client.connect(ServerUrl, Error) ||
+        !Client.call(serializeServeRequest(Req), ReplyLine, Error)) {
+      std::cerr << "error: " << Error << '\n';
+      return 1;
+    }
+    std::optional<JsonValue> Reply = parseJson(ReplyLine, Error);
+    if (!Reply || !Reply->isObject()) {
+      std::cerr << "error: unparseable server reply: " << Error << '\n';
+      return 1;
+    }
+    if (!Reply->boolOr("ok", false)) {
+      const JsonValue *E = Reply->find("error");
+      std::cerr << (E ? E->strOr("message", "server error")
+                      : std::string("server error"));
+      std::cerr << '\n';
+      return 1;
+    }
+    const JsonValue *Result = Reply->find("result");
+    std::cout << (Result ? Result->strOr("output", "") : std::string());
+    return 0;
   }
 
   if (DoRun) {
@@ -480,12 +534,7 @@ int main(int argc, char **argv) {
       std::cerr << "error: cannot write '" << ConstantsOut << "'\n";
       return 1;
     }
-    for (size_t P = 0; P != Result.Constants.size(); ++P) {
-      Out << Result.ProcNames[P];
-      for (const auto &[Name, Value] : Result.Constants[P])
-        Out << ' ' << Name << '=' << Value;
-      Out << '\n';
-    }
+    Out << renderConstantsFile(Result);
     Out.flush();
     if (!Out) {
       std::cerr << "error: failed writing '" << ConstantsOut << "'\n";
@@ -493,8 +542,13 @@ int main(int argc, char **argv) {
     }
   }
 
+  ReportOptions Report;
+  Report.Quiet = Quiet;
+  Report.Stats = Stats;
+  Report.EmitSource = EmitSource;
+
   if (Quiet) {
-    std::cout << Result.SubstitutedConstants << '\n';
+    std::cout << renderAnalysisReport(Opts, Result, Report);
     return 0;
   }
 
@@ -511,64 +565,6 @@ int main(int argc, char **argv) {
               << std::defaultfloat;
   }
 
-  std::cout << "jump function: " << jumpFunctionKindName(Opts.Kind)
-            << (Opts.UseReturnJumpFunctions ? ", return JFs" : "")
-            << (Opts.UseMod ? ", MOD" : ", no MOD")
-            << (Opts.CompletePropagation ? ", complete" : "")
-            << (Opts.UseGatedSsa ? ", gated SSA" : "")
-            << (Opts.IntraproceduralOnly ? " [intraprocedural only]" : "")
-            << "\n";
-  std::cout << "constants substituted: " << Result.SubstitutedConstants
-            << "\n";
-  if (Opts.CompletePropagation)
-    std::cout << "dead-code rounds: " << Result.DceRounds << " (folded "
-              << Result.FoldedBranches << " branches)\n";
-
-  if (Stats) {
-    const JumpFunctionStats &S = Result.JfStats;
-    std::cout << "stats:\n"
-              << "  forward jump functions: " << S.NumForward << " ("
-              << S.NumForwardConst << " const, "
-              << S.NumForwardPassThrough << " pass-through, "
-              << S.NumForwardPoly << " polynomial, "
-              << S.NumForwardBottom << " bottom)\n"
-              << "  avg polynomial support: " << S.avgPolySupport()
-              << " (max " << S.MaxPolySupport << ")\n"
-              << "  return jump functions: " << S.NumReturn << " ("
-              << S.NumReturnConst << " const, " << S.NumReturnPoly
-              << " polynomial, " << S.NumReturnBottom << " bottom)\n"
-              << "  solver: " << Result.SolverProcVisits << " visits, "
-              << Result.SolverJfEvaluations << " evaluations, "
-              << Result.SolverCellLowerings << " cell lowerings, memo "
-              << Result.SolverMemoHits << " hits / "
-              << Result.SolverMemoMisses << " misses\n"
-              << "  constant prints: " << Result.ConstantPrints << "\n"
-              << "  known-but-irrelevant globals (Metzger-Stroud): "
-              << Result.KnownButIrrelevant << "\n";
-  }
-
-  for (size_t P = 0; P != Result.Constants.size(); ++P) {
-    if (Result.Constants[P].empty())
-      continue;
-    std::cout << "CONSTANTS(" << Result.ProcNames[P] << ") = {";
-    bool First = true;
-    for (const auto &[Name, Value] : Result.Constants[P]) {
-      if (!First)
-        std::cout << ", ";
-      First = false;
-      std::cout << "(" << Name << ", " << Value << ")";
-    }
-    std::cout << "}\n";
-  }
-  if (!Result.NeverCalled.empty()) {
-    std::cout << "never invoked:";
-    for (const std::string &Name : Result.NeverCalled)
-      std::cout << ' ' << Name;
-    std::cout << '\n';
-  }
-
-  if (EmitSource)
-    std::cout << "---- transformed source ----\n"
-              << Result.TransformedSource;
+  std::cout << renderAnalysisReport(Opts, Result, Report);
   return 0;
 }

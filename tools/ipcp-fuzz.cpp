@@ -123,7 +123,12 @@ int main(int argc, char **argv) {
     }
     std::ostringstream Buf;
     Buf << In.rdbuf();
-    CorpusEntry Entry = parseCorpusEntry(Buf.str(), ReplayPath);
+    std::string Diag;
+    CorpusEntry Entry = parseCorpusEntry(Buf.str(), ReplayPath, &Diag);
+    if (!Diag.empty()) {
+      std::cerr << "error: " << ReplayPath << ": " << Diag << "\n";
+      return 2;
+    }
     FuzzFeedback FB;
     if (std::optional<FuzzFailure> Fail =
             evaluateProgram(Entry.Source, FB, Opts)) {

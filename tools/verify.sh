@@ -7,16 +7,23 @@
 #   * the tier-1 test suite (everything except the oracle/bench/fuzz labels),
 #   * the seeded translation-validation fuzz (`ctest -L check-oracle`),
 #   * the coverage-guided fuzzer suite (`ctest -L check-fuzz`: a bounded
-#     campaign plus the tests/corpus/ regression replay), and
-#   * the cold-vs-warm suite bench in smoke mode (`ctest -L check-bench`).
+#     campaign plus the tests/corpus/ regression replay),
+#   * the analysis-server suite (`ctest -L check-serve`: protocol goldens,
+#     cache/coalescing, deadlines, shedding, drain, the driver
+#     differential), and
+#   * the bench smokes (`ctest -L check-bench`: cold-vs-warm suite and
+#     server throughput).
 #
 # When gcov is available, finishes with a small instrumented (cov
 # preset) check-fuzz run and prints the line-coverage summary the
 # campaign achieves over src/ (tools/coverage-report.sh).
 #
-# Usage: tools/verify.sh [--quick]
+# Usage: tools/verify.sh [--quick] [--tsan]
 #   --quick   default preset only (skip the sanitizer rebuild and the
 #             coverage pass)
+#   --tsan    also build the 'tsan' preset and run the tier-1 +
+#             check-serve suites under ThreadSanitizer (opt-in: the
+#             TSan rebuild roughly doubles the sweep)
 #
 #===----------------------------------------------------------------------===//
 
@@ -24,9 +31,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PRESETS=(default asan)
-if [[ "${1:-}" == "--quick" ]]; then
-  PRESETS=(default)
-fi
+RUN_TSAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) PRESETS=(default) ;;
+    --tsan)  RUN_TSAN=1 ;;
+    *)       echo "usage: tools/verify.sh [--quick] [--tsan]" >&2; exit 2 ;;
+  esac
+done
 
 JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
 
@@ -42,7 +54,8 @@ for preset in "${PRESETS[@]}"; do
   cmake --build "$builddir" -j "$JOBS"
 
   echo "==== [$preset] tier-1 tests ===="
-  ctest --test-dir "$builddir" -LE "check-oracle|check-bench|check-fuzz" \
+  ctest --test-dir "$builddir" \
+        -LE "check-oracle|check-bench|check-fuzz|check-serve" \
         --output-on-failure -j "$JOBS"
 
   echo "==== [$preset] oracle fuzz (check-oracle) ===="
@@ -51,11 +64,28 @@ for preset in "${PRESETS[@]}"; do
   echo "==== [$preset] coverage fuzz (check-fuzz) ===="
   ctest --test-dir "$builddir" -L check-fuzz --output-on-failure -j "$JOBS"
 
-  echo "==== [$preset] incremental-suite smoke (check-bench) ===="
+  echo "==== [$preset] analysis server (check-serve) ===="
+  ctest --test-dir "$builddir" -L check-serve --output-on-failure -j "$JOBS"
+
+  echo "==== [$preset] bench smokes (check-bench) ===="
   ctest --test-dir "$builddir" -L check-bench --output-on-failure
 done
 
-if [[ "${1:-}" != "--quick" ]] && command -v gcov >/dev/null; then
+if [[ "$RUN_TSAN" == "1" ]]; then
+  echo "==== [tsan] configure + build ===="
+  cmake --preset tsan >/dev/null
+  cmake --build build-tsan -j "$JOBS"
+
+  echo "==== [tsan] tier-1 tests ===="
+  ctest --test-dir build-tsan \
+        -LE "check-oracle|check-bench|check-fuzz|check-serve" \
+        --output-on-failure -j "$JOBS"
+
+  echo "==== [tsan] analysis server (check-serve) ===="
+  ctest --test-dir build-tsan -L check-serve --output-on-failure -j "$JOBS"
+fi
+
+if [[ "${PRESETS[*]}" != "default" ]] && command -v gcov >/dev/null; then
   echo "==== [cov] instrumented check-fuzz + line-coverage summary ===="
   cmake --preset cov >/dev/null
   cmake --build build-cov -j "$JOBS"
