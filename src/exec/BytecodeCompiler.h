@@ -1,0 +1,35 @@
+//===- exec/BytecodeCompiler.h - AST -> bytecode lowering -------*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles a Sema-checked MiniFort program into the stack bytecode of
+/// exec/Bytecode.h. The lowering is a direct syntax-directed walk that
+/// preserves the AST interpreter's observable semantics instruction by
+/// instruction: evaluation order, step accounting (one tick per
+/// statement plus one per loop iteration), trap locations, hook firing
+/// positions, and the DO-loop comparison direction fixed from the
+/// step's *syntactic* constancy. tests/VmTests.cpp and the check-vm
+/// differential wall hold the compiled code to that contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_EXEC_BYTECODECOMPILER_H
+#define IPCP_EXEC_BYTECODECOMPILER_H
+
+#include "exec/Bytecode.h"
+#include "lang/Ast.h"
+#include "lang/Sema.h"
+
+namespace ipcp {
+
+/// Compiles \p Prog into executable bytecode. \p Prog must be
+/// Sema-checked against \p Symbols (every VarRef bound, every call
+/// resolved, an entry procedure present).
+CodeProgram compileProgram(const Program &Prog, const SymbolTable &Symbols);
+
+} // namespace ipcp
+
+#endif // IPCP_EXEC_BYTECODECOMPILER_H

@@ -1,0 +1,42 @@
+//===- exec/ExecEngine.cpp - Execution engine selection -------------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/ExecEngine.h"
+
+#include "exec/BytecodeCompiler.h"
+#include "exec/Vm.h"
+
+using namespace ipcp;
+
+const char *ipcp::execEngineName(ExecEngine E) {
+  return E == ExecEngine::Vm ? "vm" : "ast";
+}
+
+std::optional<ExecEngine> ipcp::parseExecEngineName(std::string_view Name) {
+  if (Name == "vm")
+    return ExecEngine::Vm;
+  if (Name == "ast")
+    return ExecEngine::Ast;
+  return std::nullopt;
+}
+
+ProgramRunner::ProgramRunner(const Program &Prog, const SymbolTable &Symbols,
+                             ExecEngine Engine)
+    : Engine(Engine), Interp(Prog, Symbols) {
+  if (Engine == ExecEngine::Vm) {
+    Code = std::make_unique<CodeProgram>(compileProgram(Prog, Symbols));
+    Machine = std::make_unique<Vm>(*Code);
+  }
+}
+
+ProgramRunner::~ProgramRunner() = default;
+ProgramRunner::ProgramRunner(ProgramRunner &&) noexcept = default;
+
+RunResult ProgramRunner::run(const RunOptions &Opts,
+                             const ExecHooks *Hooks) const {
+  return Engine == ExecEngine::Vm ? Machine->run(Opts, Hooks)
+                                  : Interp.run(Opts, Hooks);
+}

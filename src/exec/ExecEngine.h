@@ -1,0 +1,71 @@
+//===- exec/ExecEngine.h - Execution engine selection -----------*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution-engine selector shared by the oracle, the fuzzer, the
+/// driver (--exec=vm|ast), and the server's fuzz-replay path. Vm is the
+/// default everywhere — the bytecode VM is the hot path — and Ast keeps
+/// the normative AST interpreter one flag away as the differential
+/// reference. ProgramRunner wraps the choice behind one run() call:
+/// construction compiles the program once for the VM engine, so
+/// repeated runs (multi-seed oracle sweeps) amortize the compile.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_EXEC_EXECENGINE_H
+#define IPCP_EXEC_EXECENGINE_H
+
+#include "exec/Interpreter.h"
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+namespace ipcp {
+
+struct CodeProgram;
+class Vm;
+
+/// Which engine executes MiniFort programs.
+enum class ExecEngine : uint8_t {
+  Vm,  ///< Bytecode compiler + VM (exec/Vm.h), the default hot path.
+  Ast, ///< The normative AST interpreter (exec/Interpreter.h).
+};
+
+/// Stable lowercase name ("vm" / "ast").
+const char *execEngineName(ExecEngine E);
+
+/// Parses an engine name; nullopt when \p Name is neither "vm" nor
+/// "ast".
+std::optional<ExecEngine> parseExecEngineName(std::string_view Name);
+
+/// Executes one program through the selected engine. Like the engines
+/// themselves, stateless between runs: run() may be called repeatedly
+/// (with different seeds) and concurrently from multiple threads.
+class ProgramRunner {
+public:
+  /// \p Prog must be Sema-checked against \p Symbols; both must outlive
+  /// the runner. For the Vm engine, compiles the program here.
+  ProgramRunner(const Program &Prog, const SymbolTable &Symbols,
+                ExecEngine Engine = ExecEngine::Vm);
+  ~ProgramRunner();
+  ProgramRunner(ProgramRunner &&) noexcept;
+
+  RunResult run(const RunOptions &Opts,
+                const ExecHooks *Hooks = nullptr) const;
+
+  ExecEngine engine() const { return Engine; }
+
+private:
+  ExecEngine Engine;
+  Interpreter Interp;
+  std::unique_ptr<CodeProgram> Code; ///< Null for the Ast engine.
+  std::unique_ptr<Vm> Machine;       ///< Null for the Ast engine.
+};
+
+} // namespace ipcp
+
+#endif // IPCP_EXEC_EXECENGINE_H

@@ -8,6 +8,7 @@
 
 #include "support/Casting.h"
 
+#include <algorithm>
 #include <cassert>
 #include <deque>
 #include <memory>
@@ -88,21 +89,6 @@ struct TrapSignal {
 /// Statement-level control flow outcome.
 enum class Flow : uint8_t { Normal, Returned };
 
-/// Statically folds an expression the way CFG lowering does: literals
-/// and unary operators over folded operands only (binary expressions are
-/// deliberately not folded — see CfgBuilder). Used to pick the DO-loop
-/// comparison direction, which the lowering fixes from the *syntactic*
-/// constancy of the step.
-std::optional<int64_t> foldStatic(const Expr *E) {
-  if (const auto *L = dyn_cast<IntLitExpr>(E))
-    return L->value();
-  if (const auto *U = dyn_cast<UnaryExpr>(E)) {
-    if (auto V = foldStatic(U->operand()))
-      return U->op() == UnaryOp::Neg ? wrapNeg(*V) : (*V == 0 ? 1 : 0);
-  }
-  return std::nullopt;
-}
-
 /// One run's machine state.
 class Machine {
 public:
@@ -127,6 +113,12 @@ public:
       Res.Status = T.Kind;
       Res.TrapLoc = T.Loc;
     }
+    // Final-state capture (the engine-differential tests compare it).
+    Res.FinalGlobals = std::move(Globals);
+    for (auto &[Sym, Elems] : GlobalArrays)
+      Res.FinalGlobalArrays.emplace_back(Sym, std::move(Elems));
+    std::sort(Res.FinalGlobalArrays.begin(), Res.FinalGlobalArrays.end(),
+              [](const auto &A, const auto &B) { return A.first < B.first; });
     return std::move(Res);
   }
 
@@ -341,7 +333,7 @@ private:
       int64_t Step = D->step() ? eval(D->step()) : 1;
       bool Descending = false;
       if (D->step())
-        if (auto C = foldStatic(D->step()))
+        if (auto C = foldSyntacticConst(D->step()))
           Descending = *C < 0;
       int64_t *Var = scalarCell(D->var()->symbol());
       *Var = Lo;
@@ -387,6 +379,16 @@ private:
 };
 
 } // namespace
+
+std::optional<int64_t> ipcp::foldSyntacticConst(const Expr *E) {
+  if (const auto *L = dyn_cast<IntLitExpr>(E))
+    return L->value();
+  if (const auto *U = dyn_cast<UnaryExpr>(E)) {
+    if (auto V = foldSyntacticConst(U->operand()))
+      return U->op() == UnaryOp::Neg ? wrapNeg(*V) : (*V == 0 ? 1 : 0);
+  }
+  return std::nullopt;
+}
 
 Interpreter::Interpreter(const Program &Prog, const SymbolTable &Symbols)
     : Prog(Prog), Symbols(Symbols) {}

@@ -30,7 +30,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace ipcp {
@@ -98,6 +100,12 @@ struct RunResult {
   uint64_t ReadsConsumed = 0;
   /// Location of the trap when Status is not Ok.
   SourceLoc TrapLoc;
+  /// Final values of the global scalars, indexed by SymbolId (slots of
+  /// non-global symbols stay 0). Captured at run end, including after a
+  /// trap, so engines can be compared on full final state.
+  std::vector<int64_t> FinalGlobals;
+  /// Final contents of every global array, ordered by SymbolId.
+  std::vector<std::pair<SymbolId, std::vector<int64_t>>> FinalGlobalArrays;
 
   /// Compact one-line summary ("ok, 12 prints, 340 steps").
   std::string str() const;
@@ -120,6 +128,13 @@ private:
   const Program &Prog;
   const SymbolTable &Symbols;
 };
+
+/// Statically folds an expression the way the CFG lowering does:
+/// literals and unary operators over folded operands only (binary
+/// expressions are deliberately not folded — see CfgBuilder). The
+/// interpreter and the bytecode compiler both use it to fix the DO-loop
+/// comparison direction from the step's *syntactic* constancy.
+std::optional<int64_t> foldSyntacticConst(const Expr *E);
 
 /// The value of position \p Index in the READ stream seeded with
 /// \p Seed. Values lie in a small range around zero (including zero and

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <sstream>
 
 using namespace ipcp;
@@ -182,15 +183,25 @@ OracleResult ipcp::validateTranslation(std::string_view Source,
     }
   }
 
-  Interpreter RefInterp(Ref.Ctx->program(), Ref.Symbols);
-  Interpreter AnInterp(AnProg, Analyzed.Symbols);
+  // Runners are built once and reused across seeds: for the VM engine
+  // this compiles each program exactly once per validation.
+  ProgramRunner RefRunner(Ref.Ctx->program(), Ref.Symbols, Opts.Engine);
+  ProgramRunner AnRunner(AnProg, Analyzed.Symbols, Opts.Engine);
+  std::optional<ProgramRunner> TrRunner, InRunner, ClRunner;
+  if (Opts.CheckTransformedSource && Transformed.ok())
+    TrRunner.emplace(Transformed.Ctx->program(), Transformed.Symbols,
+                     Opts.Engine);
+  if (Opts.CheckInliner && Inlined.ok())
+    InRunner.emplace(Inlined.Ctx->program(), Inlined.Symbols, Opts.Engine);
+  if (Opts.CheckCloning && Cloned.ok() && Cloned.Ctx)
+    ClRunner.emplace(Cloned.Ctx->program(), Cloned.Symbols, Opts.Engine);
 
   for (uint64_t Seed : Opts.ReadSeeds) {
     RunOptions RO;
     RO.Limits = Opts.Limits;
     RO.ReadSeed = Seed;
 
-    RunResult RefRun = RefInterp.run(RO);
+    RunResult RefRun = RefRunner.run(RO);
     ++R.RunsExecuted;
 
     auto compare = [&](const char *What, const RunResult &Got) {
@@ -241,30 +252,26 @@ OracleResult ipcp::validateTranslation(std::string_view Source,
               }
             }
           };
-      RunResult AnRun = AnInterp.run(RO, &Hooks);
+      RunResult AnRun = AnRunner.run(RO, &Hooks);
       ++R.RunsExecuted;
       compare("analyzed/DCE'd program trace", AnRun);
     }
 
     // Step 3: the textually substituted source.
-    if (Opts.CheckTransformedSource && Transformed.ok()) {
-      Interpreter TrInterp(Transformed.Ctx->program(),
-                           Transformed.Symbols);
-      RunResult TrRun = TrInterp.run(RO);
+    if (TrRunner) {
+      RunResult TrRun = TrRunner->run(RO);
       ++R.RunsExecuted;
       compare("transformed-source trace", TrRun);
     }
 
     // Step 4: the inliner and cloning transforms.
-    if (Opts.CheckInliner && Inlined.ok()) {
-      Interpreter InInterp(Inlined.Ctx->program(), Inlined.Symbols);
-      RunResult InRun = InInterp.run(RO);
+    if (InRunner) {
+      RunResult InRun = InRunner->run(RO);
       ++R.RunsExecuted;
       compare("inlined program trace", InRun);
     }
-    if (Opts.CheckCloning && Cloned.ok() && Cloned.Ctx) {
-      Interpreter ClInterp(Cloned.Ctx->program(), Cloned.Symbols);
-      RunResult ClRun = ClInterp.run(RO);
+    if (ClRunner) {
+      RunResult ClRun = ClRunner->run(RO);
       ++R.RunsExecuted;
       compare("cloned program trace", ClRun);
     }

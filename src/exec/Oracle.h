@@ -35,6 +35,7 @@
 #ifndef IPCP_EXEC_ORACLE_H
 #define IPCP_EXEC_ORACLE_H
 
+#include "exec/ExecEngine.h"
 #include "exec/Interpreter.h"
 #include "ipcp/Pipeline.h"
 
@@ -50,6 +51,11 @@ struct OracleOptions {
   PipelineOptions Pipeline;
   /// Resource bounds applied to every run.
   RunLimits Limits;
+  /// Which engine executes the runs. The bytecode VM is the hot-path
+  /// default; the AST interpreter remains available as the differential
+  /// reference (the check-vm tests pin oracle results identical under
+  /// both).
+  ExecEngine Engine = ExecEngine::Vm;
   /// READ streams to execute under; every check runs once per seed.
   std::vector<uint64_t> ReadSeeds = {1, 2};
   /// Validate the reparsed EmitTransformedSource output (step 3).

@@ -1,0 +1,438 @@
+//===- exec/Vm.cpp - MiniFort bytecode virtual machine --------------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Vm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+
+using namespace ipcp;
+
+namespace {
+
+// Wrapping two's-complement arithmetic, same as the interpreter's
+// (computed in unsigned space so the VM is UB-free under UBSan).
+int64_t wrapAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+int64_t wrapSub(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                              static_cast<uint64_t>(B));
+}
+int64_t wrapMul(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                              static_cast<uint64_t>(B));
+}
+int64_t wrapNeg(int64_t A) {
+  return static_cast<int64_t>(0 - static_cast<uint64_t>(A));
+}
+
+/// One activation. Reused across calls at the same depth; a depth's
+/// Slots buffer is only resized while no deeper frame exists (frames
+/// are strictly LIFO), so by-reference cells handed down to callees
+/// stay stable.
+struct Frame {
+  std::vector<int64_t> Slots;
+  std::vector<int64_t *> Refs;
+  const CodeObject *RetCode = nullptr;
+  uint32_t RetIp = 0;
+};
+
+struct Arg {
+  int64_t Value;
+  int64_t *Cell; ///< Null for by-value actuals.
+};
+
+/// Per-thread run state, reused across runs so the fuzzer/oracle hot
+/// path (many short runs over small programs) pays no per-run heap
+/// allocation: the vectors keep their capacity between runs and are
+/// re-sized (never re-created) at the top of run(). Every buffer is
+/// fully re-initialized before use, so reuse is invisible to program
+/// semantics; each thread owns its own scratch, so concurrent run()
+/// calls stay safe.
+struct VmScratch {
+  std::vector<int64_t> Globals;
+  std::vector<int64_t> GlobalArr;
+  std::vector<int64_t> Stack;
+  std::vector<Frame> Frames;
+  std::vector<Arg> Args;
+  bool InUse = false; ///< Guards against re-entrant runs from hooks.
+};
+
+} // namespace
+
+RunResult Vm::run(const RunOptions &Opts, const ExecHooks *Hooks) const {
+  RunResult Res;
+
+  // Grab the thread's scratch buffers; if a hook re-entered run() on
+  // this thread (the scratch is mid-run), fall back to fresh local
+  // buffers for the nested run.
+  static thread_local VmScratch Tls;
+  VmScratch Local;
+  VmScratch &Scr = Tls.InUse ? Local : Tls;
+  struct ScratchGuard {
+    bool &Flag;
+    explicit ScratchGuard(bool &F) : Flag(F) { Flag = true; }
+    ~ScratchGuard() { Flag = false; }
+  } Guard(Scr.InUse);
+
+  // Program state. The global/stack buffers are sized once per run and
+  // never resized afterwards, so the raw data pointers below stay
+  // valid. Stale stack contents are fine: every slot is written before
+  // it is read.
+  Scr.Globals.assign(CP.GlobalSyms.size(), 0);
+  for (const auto &[Slot, V] : CP.GlobalInits)
+    Scr.Globals[Slot] = V;
+  Scr.GlobalArr.assign(CP.GlobalArraySlots, 0);
+  Scr.Stack.resize(CP.MaxStack);
+  Scr.Args.clear();
+  int64_t *const GV = Scr.Globals.data();
+  int64_t *const GA = Scr.GlobalArr.data();
+  std::vector<int64_t> &Globals = Scr.Globals;
+  std::vector<int64_t> &GlobalArr = Scr.GlobalArr;
+  std::vector<int64_t> &Stack = Scr.Stack;
+  std::vector<Frame> &Frames = Scr.Frames;
+  std::vector<Arg> &Args = Scr.Args;
+
+  const uint64_t MaxSteps = Opts.Limits.MaxSteps;
+  const unsigned MaxDepth = Opts.Limits.MaxCallDepth;
+  uint64_t Steps = 0;
+  uint64_t Reads = 0;
+  size_t Depth = 0;
+  const bool UseHook = Hooks && Hooks->OnVarUse;
+  const bool EntryHook = Hooks && Hooks->OnProcEntry;
+
+  auto capture = [&] {
+    Res.Steps = Steps;
+    Res.ReadsConsumed = Reads;
+    Res.FinalGlobals.assign(CP.NumSymbols, 0);
+    for (size_t I = 0; I != CP.GlobalSyms.size(); ++I)
+      Res.FinalGlobals[CP.GlobalSyms[I]] = Globals[I];
+    for (const GlobalArrayInfo &AI : CP.GlobalArrays)
+      Res.FinalGlobalArrays.emplace_back(
+          AI.Symbol,
+          std::vector<int64_t>(GlobalArr.begin() + AI.Offset,
+                               GlobalArr.begin() + AI.Offset +
+                                   static_cast<size_t>(AI.Size)));
+    std::sort(Res.FinalGlobalArrays.begin(), Res.FinalGlobalArrays.end(),
+              [](const auto &A, const auto &B) { return A.first < B.first; });
+  };
+
+  auto pushFrame = [&](const CodeObject &CO) -> Frame & {
+    if (Frames.size() <= Depth)
+      Frames.emplace_back();
+    Frame &F = Frames[Depth];
+    ++Depth;
+    F.Slots.resize(CO.FrameSlots);
+    // Locals and local arrays are zero per activation; the by-value
+    // temp slots [0, NumFormals) are either bound or dead.
+    std::fill(F.Slots.begin() + CO.NumFormals, F.Slots.end(), 0);
+    F.Refs.resize(CO.NumFormals);
+    return F;
+  };
+
+  auto fireProcEntry = [&](ProcId P, const CodeObject &CO, Frame &F) {
+    // Mirrors the interpreter's lookup: global scalars first, then
+    // formals of the entered procedure, else null.
+    auto Lookup = [&](SymbolId Sym) -> const int64_t * {
+      if (Sym < CP.GlobalSlotOfSymbol.size()) {
+        int32_t S = CP.GlobalSlotOfSymbol[Sym];
+        if (S >= 0)
+          return &GV[S];
+      }
+      for (size_t I = 0; I != CO.FormalSyms.size(); ++I)
+        if (CO.FormalSyms[I] == Sym)
+          return F.Refs[I];
+      return nullptr;
+    };
+    Hooks->OnProcEntry(P, std::function<const int64_t *(SymbolId)>(Lookup));
+  };
+
+  // The entry "call": depth-checked like every invoke(), before any
+  // frame exists, with an invalid call location.
+  if (Depth + 1 > MaxDepth) {
+    Res.Status = RunStatus::CallDepthLimit;
+    capture();
+    return Res;
+  }
+  const CodeObject *CO = &CP.Procs[CP.Entry];
+  {
+    Frame &F = pushFrame(*CO);
+    // The entry procedure receives no actuals; any formals it declares
+    // bind to fresh zero cells (the interpreter reads them as
+    // uninitialized-zero locals).
+    for (uint32_t I = 0; I != CO->NumFormals; ++I) {
+      F.Slots[I] = 0;
+      F.Refs[I] = &F.Slots[I];
+    }
+    if (EntryHook)
+      fireProcEntry(CP.Entry, *CO, F);
+  }
+
+  // The dispatch-loop registers, re-cached on every call and return.
+  const Inst *Code = CO->Code.data();
+  const int64_t *Consts = CO->Consts.data();
+  uint32_t Ip = 0;
+  int64_t *Sp = Stack.data();
+  int64_t *FB = Frames[0].Slots.data();
+  int64_t **RF = Frames[0].Refs.data();
+
+  RunStatus Trap = RunStatus::Ok;
+  SourceLoc TrapLoc;
+
+#define IPCP_VM_TRAP(K)                                                        \
+  do {                                                                         \
+    Trap = RunStatus::K;                                                       \
+    TrapLoc = CO->Locs[I.B];                                                   \
+    goto trapped;                                                              \
+  } while (0)
+
+  for (;;) {
+    const Inst &I = *Code++;
+    ++Ip;
+    switch (I.Opcode) {
+    case Op::PushConst:
+      *Sp++ = Consts[I.A];
+      break;
+
+    case Op::LoadGlobal: {
+      int64_t V = GV[I.A];
+      if (UseHook && I.B)
+        Hooks->OnVarUse(I.B, V);
+      *Sp++ = V;
+      break;
+    }
+    case Op::LoadLocal: {
+      int64_t V = FB[I.A];
+      if (UseHook && I.B)
+        Hooks->OnVarUse(I.B, V);
+      *Sp++ = V;
+      break;
+    }
+    case Op::LoadFormal: {
+      int64_t V = *RF[I.A];
+      if (UseHook && I.B)
+        Hooks->OnVarUse(I.B, V);
+      *Sp++ = V;
+      break;
+    }
+
+    case Op::StoreGlobal:
+      GV[I.A] = *--Sp;
+      break;
+    case Op::StoreLocal:
+      FB[I.A] = *--Sp;
+      break;
+    case Op::StoreFormal:
+      *RF[I.A] = *--Sp;
+      break;
+
+    case Op::LoadArrGlobal: {
+      const GlobalArrayInfo &AI = CP.GlobalArrays[I.A];
+      int64_t Idx = Sp[-1];
+      if (Idx < 1 ||
+          static_cast<uint64_t>(Idx) > static_cast<uint64_t>(AI.Size))
+        IPCP_VM_TRAP(ArrayBounds);
+      Sp[-1] = GA[AI.Offset + static_cast<size_t>(Idx) - 1];
+      break;
+    }
+    case Op::LoadArrLocal: {
+      const LocalArrayInfo &AI = CO->LocalArrays[I.A];
+      int64_t Idx = Sp[-1];
+      if (Idx < 1 ||
+          static_cast<uint64_t>(Idx) > static_cast<uint64_t>(AI.Size))
+        IPCP_VM_TRAP(ArrayBounds);
+      Sp[-1] = FB[AI.Offset + static_cast<size_t>(Idx) - 1];
+      break;
+    }
+    case Op::AddrArrGlobal: {
+      const GlobalArrayInfo &AI = CP.GlobalArrays[I.A];
+      int64_t Idx = Sp[-1];
+      if (Idx < 1 ||
+          static_cast<uint64_t>(Idx) > static_cast<uint64_t>(AI.Size))
+        IPCP_VM_TRAP(ArrayBounds);
+      Sp[-1] = static_cast<int64_t>(AI.Offset) + Idx - 1;
+      break;
+    }
+    case Op::AddrArrLocal: {
+      const LocalArrayInfo &AI = CO->LocalArrays[I.A];
+      int64_t Idx = Sp[-1];
+      if (Idx < 1 ||
+          static_cast<uint64_t>(Idx) > static_cast<uint64_t>(AI.Size))
+        IPCP_VM_TRAP(ArrayBounds);
+      Sp[-1] = static_cast<int64_t>(AI.Offset) + Idx - 1;
+      break;
+    }
+    case Op::StoreArrGlobal: {
+      int64_t V = *--Sp;
+      GA[static_cast<size_t>(*--Sp)] = V;
+      break;
+    }
+    case Op::StoreArrLocal: {
+      int64_t V = *--Sp;
+      FB[static_cast<size_t>(*--Sp)] = V;
+      break;
+    }
+
+    case Op::Add:
+      Sp[-2] = wrapAdd(Sp[-2], Sp[-1]);
+      --Sp;
+      break;
+    case Op::Sub:
+      Sp[-2] = wrapSub(Sp[-2], Sp[-1]);
+      --Sp;
+      break;
+    case Op::Mul:
+      Sp[-2] = wrapMul(Sp[-2], Sp[-1]);
+      --Sp;
+      break;
+    case Op::Div: {
+      int64_t R = *--Sp;
+      int64_t L = Sp[-1];
+      if (R == 0)
+        IPCP_VM_TRAP(DivideByZero);
+      Sp[-1] = (L == INT64_MIN && R == -1) ? INT64_MIN : L / R;
+      break;
+    }
+    case Op::Mod: {
+      int64_t R = *--Sp;
+      int64_t L = Sp[-1];
+      if (R == 0)
+        IPCP_VM_TRAP(DivideByZero);
+      Sp[-1] = (L == INT64_MIN && R == -1) ? 0 : L % R;
+      break;
+    }
+    case Op::CmpEq:
+      Sp[-2] = Sp[-2] == Sp[-1];
+      --Sp;
+      break;
+    case Op::CmpNe:
+      Sp[-2] = Sp[-2] != Sp[-1];
+      --Sp;
+      break;
+    case Op::CmpLt:
+      Sp[-2] = Sp[-2] < Sp[-1];
+      --Sp;
+      break;
+    case Op::CmpLe:
+      Sp[-2] = Sp[-2] <= Sp[-1];
+      --Sp;
+      break;
+    case Op::CmpGt:
+      Sp[-2] = Sp[-2] > Sp[-1];
+      --Sp;
+      break;
+    case Op::CmpGe:
+      Sp[-2] = Sp[-2] >= Sp[-1];
+      --Sp;
+      break;
+    case Op::LogAnd:
+      Sp[-2] = (Sp[-2] != 0) && (Sp[-1] != 0);
+      --Sp;
+      break;
+    case Op::LogOr:
+      Sp[-2] = (Sp[-2] != 0) || (Sp[-1] != 0);
+      --Sp;
+      break;
+    case Op::Neg:
+      Sp[-1] = wrapNeg(Sp[-1]);
+      break;
+    case Op::LogNot:
+      Sp[-1] = Sp[-1] == 0 ? 1 : 0;
+      break;
+
+    case Op::Jump:
+      Code += static_cast<int64_t>(I.A) - static_cast<int64_t>(Ip);
+      Ip = I.A;
+      break;
+    case Op::JumpIfZero:
+      if (*--Sp == 0) {
+        Code += static_cast<int64_t>(I.A) - static_cast<int64_t>(Ip);
+        Ip = I.A;
+      }
+      break;
+
+    case Op::Step:
+      if (Steps >= MaxSteps)
+        IPCP_VM_TRAP(StepLimit);
+      ++Steps;
+      break;
+    case Op::Print:
+      Res.Prints.push_back(*--Sp);
+      break;
+    case Op::Read:
+      *Sp++ = readStreamValue(Opts.ReadSeed, Reads++);
+      break;
+
+    case Op::CheckCall:
+      if (Depth + 1 > MaxDepth)
+        IPCP_VM_TRAP(CallDepthLimit);
+      break;
+    case Op::ArgValue:
+      Args.push_back({*--Sp, nullptr});
+      break;
+    case Op::ArgCellGlobal:
+      Args.push_back({0, &GV[I.A]});
+      break;
+    case Op::ArgCellLocal:
+      Args.push_back({0, &FB[I.A]});
+      break;
+    case Op::ArgCellFormal:
+      Args.push_back({0, RF[I.A]});
+      break;
+    case Op::Call: {
+      const CodeObject &Callee = CP.Procs[I.A];
+      assert(Args.size() == Callee.NumFormals && "arity checked by sema");
+      Frame &F = pushFrame(Callee);
+      F.RetCode = CO;
+      F.RetIp = Ip;
+      for (uint32_t J = 0; J != Callee.NumFormals; ++J) {
+        if (Args[J].Cell) {
+          F.Refs[J] = Args[J].Cell;
+        } else {
+          F.Slots[J] = Args[J].Value;
+          F.Refs[J] = &F.Slots[J];
+        }
+      }
+      Args.clear();
+      CO = &Callee;
+      Code = CO->Code.data();
+      Consts = CO->Consts.data();
+      Ip = 0;
+      FB = F.Slots.data();
+      RF = F.Refs.data();
+      if (EntryHook)
+        fireProcEntry(I.A, Callee, F);
+      break;
+    }
+    case Op::Ret: {
+      --Depth;
+      if (Depth == 0)
+        goto done;
+      Frame &F = Frames[Depth]; // The frame being popped.
+      CO = F.RetCode;
+      Code = CO->Code.data() + F.RetIp;
+      Consts = CO->Consts.data();
+      Ip = F.RetIp;
+      Frame &C = Frames[Depth - 1];
+      FB = C.Slots.data();
+      RF = C.Refs.data();
+      break;
+    }
+    }
+  }
+
+#undef IPCP_VM_TRAP
+
+trapped:
+  Res.Status = Trap;
+  Res.TrapLoc = TrapLoc;
+done:
+  capture();
+  return Res;
+}

@@ -207,6 +207,7 @@ ipcp::evaluateProgram(const std::string &Source, FuzzFeedback &FB,
     OracleOptions OO;
     OO.Pipeline = Configs[I].Pipeline;
     OO.Limits.MaxSteps = Opts.MaxSteps;
+    OO.Engine = Opts.Engine;
     OO.CheckInliner = OO.CheckCloning = I == 0 && Opts.CheckTransforms;
     OracleResult R = validateTranslation(Source, OO);
     if (!R.Ok)

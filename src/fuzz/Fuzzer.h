@@ -26,6 +26,7 @@
 #ifndef IPCP_FUZZ_FUZZER_H
 #define IPCP_FUZZ_FUZZER_H
 
+#include "exec/ExecEngine.h"
 #include "fuzz/Corpus.h"
 #include "ipcp/Pipeline.h"
 
@@ -71,6 +72,10 @@ struct FuzzOptions {
   unsigned SeedPrograms = 6;
   /// Interpreter step budget per oracle execution.
   uint64_t MaxSteps = 30000;
+  /// Engine executing the oracle runs. The bytecode VM is the default
+  /// hot path; --exec=ast keeps the AST interpreter available so corpus
+  /// replays and campaigns can be diffed across engines.
+  ExecEngine Engine = ExecEngine::Vm;
   /// Also exercise the inliner and the cloning transform (records their
   /// decision features and validates them on the first config). The
   /// costliest part of an evaluation.

@@ -269,6 +269,15 @@ bool ipcp::parseServeRequest(const std::string &Line, ServeRequest &Out,
     }
     Out.MaxSteps = static_cast<uint64_t>(Steps->integer());
   }
+  if (const JsonValue *Exec = Params->find("exec")) {
+    std::string Name = Exec->isString() ? Exec->str() : "";
+    if (auto E = parseExecEngineName(Name)) {
+      Out.Exec = *E;
+    } else {
+      Error = "params.exec must be vm or ast";
+      return false;
+    }
+  }
   return true;
 }
 
@@ -380,6 +389,12 @@ std::string ipcp::serializeServeRequest(const ServeRequest &Req) {
     if (Req.MaxSteps)
       Params.set("max_steps", JsonValue(Req.MaxSteps));
   }
+  // The VM default is elided so pre-engine-selector request lines stay
+  // byte-identical.
+  if ((Req.Method == ServeMethod::Validate ||
+       Req.Method == ServeMethod::FuzzReplay) &&
+      Req.Exec != ExecEngine::Vm)
+    Params.set("exec", execEngineName(Req.Exec));
 
   JsonValue Doc = JsonValue::object();
   Doc.set("id", Req.Id);

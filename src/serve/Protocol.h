@@ -37,6 +37,7 @@
 #ifndef IPCP_SERVE_PROTOCOL_H
 #define IPCP_SERVE_PROTOCOL_H
 
+#include "exec/ExecEngine.h"
 #include "ipcp/Pipeline.h"
 #include "serve/Json.h"
 #include "serve/Render.h"
@@ -90,6 +91,9 @@ struct ServeRequest {
   /// READ seed / step budget (validate).
   uint64_t ReadSeed = 1;
   uint64_t MaxSteps = 0;
+  /// Execution engine (validate/fuzz-replay): params.exec, "vm" (the
+  /// default) or "ast". Part of the coalescing key.
+  ExecEngine Exec = ExecEngine::Vm;
 };
 
 /// Parses one request line. On failure returns false and fills \p Error

@@ -41,6 +41,8 @@ uint64_t coalesceKey(const ServeRequest &Req) {
   K += std::to_string(Req.ReadSeed);
   K += " steps=";
   K += std::to_string(Req.MaxSteps);
+  K += " exec=";
+  K += execEngineName(Req.Exec);
   return contentHash(Req.Source, K);
 }
 
@@ -251,6 +253,7 @@ void Server::computeValidate(InflightOp &Op) {
   OO.Pipeline = Op.Req.Config;
   OO.Pipeline.Cancel = Op.Cancel.get();
   OO.ReadSeeds = {Op.Req.ReadSeed};
+  OO.Engine = Op.Req.Exec;
   if (Op.Req.MaxSteps)
     OO.Limits.MaxSteps = Op.Req.MaxSteps;
 
@@ -282,6 +285,7 @@ void Server::computeFuzzReplay(InflightOp &Op) {
   }
   FuzzFeedback FB;
   FuzzOptions FO;
+  FO.Engine = Op.Req.Exec;
   if (Op.Req.MaxSteps)
     FO.MaxSteps = Op.Req.MaxSteps;
 

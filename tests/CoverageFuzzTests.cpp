@@ -41,7 +41,7 @@ std::string seedProgram(uint64_t Seed) {
 FuzzOptions quickOptions() {
   FuzzOptions Opts;
   Opts.Seed = 11;
-  Opts.Runs = 25;
+  Opts.Runs = 40; // Raised from 25 with the VM oracle hot path.
   Opts.SeedPrograms = 3;
   Opts.CheckTransforms = false; // The costly part; covered by CleanCampaign.
   Opts.MaxSteps = 20000;
@@ -128,7 +128,7 @@ TEST(FuzzCampaign, CoverageRetentionGrowsFeatureBits) {
   // the corpus feature-bit count strictly grows — retention events
   // happen, and each one lights bits the corpus never had.
   FuzzOptions Opts = quickOptions();
-  Opts.Runs = 60;
+  Opts.Runs = 90; // Raised from 60 with the VM oracle hot path.
   FuzzResult R = runFuzzer(Opts);
   ASSERT_GE(R.FeatureBitsTimeline.size(), 2u)
       << "expected at least two retention events in " << Opts.Runs
@@ -267,8 +267,8 @@ TEST(FuzzCampaign, BoundedBudgetAllConfigsClean) {
   ASSERT_EQ(fuzzConfigs().size(), 6u);
   FuzzOptions Opts;
   Opts.Seed = 23;
-  Opts.Runs = 30;
-  Opts.SeedPrograms = 4;
+  Opts.Runs = 50; // Raised from 30 with the VM oracle hot path.
+  Opts.SeedPrograms = 5;
   Opts.CheckTransforms = true;
   FuzzResult R = runFuzzer(Opts);
   for (const FuzzFailure &F : R.Failures)

@@ -1,0 +1,53 @@
+# Corpus replay engine-parity test, run via `cmake -P` (see
+# tests/CMakeLists.txt). Every curated corpus entry must replay cleanly
+# through the ipcp-fuzz CLI and produce byte-identical stdout under
+# --exec=vm and --exec=ast; a bogus engine name must fail loudly.
+
+if(NOT DEFINED FUZZER OR NOT DEFINED CORPUS_DIR OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "FUZZER, CORPUS_DIR, and WORK_DIR must be defined")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+file(GLOB ENTRIES "${CORPUS_DIR}/*.mf")
+list(SORT ENTRIES)
+list(LENGTH ENTRIES NUM_ENTRIES)
+if(NUM_ENTRIES EQUAL 0)
+  message(FATAL_ERROR "no corpus entries under ${CORPUS_DIR}")
+endif()
+
+set(FAILURES "")
+
+foreach(ENTRY ${ENTRIES})
+  get_filename_component(NAME "${ENTRY}" NAME_WE)
+  execute_process(COMMAND ${FUZZER} "--replay=${ENTRY}" --exec=vm
+                  RESULT_VARIABLE VM_RC
+                  OUTPUT_VARIABLE VM_OUT
+                  ERROR_VARIABLE VM_ERR)
+  execute_process(COMMAND ${FUZZER} "--replay=${ENTRY}" --exec=ast
+                  RESULT_VARIABLE AST_RC
+                  OUTPUT_VARIABLE AST_OUT
+                  ERROR_VARIABLE AST_ERR)
+  if(NOT VM_RC EQUAL 0)
+    set(FAILURES "${FAILURES}\n${NAME}: vm replay rc=${VM_RC}: ${VM_OUT}${VM_ERR}")
+  endif()
+  if(NOT AST_RC EQUAL 0)
+    set(FAILURES "${FAILURES}\n${NAME}: ast replay rc=${AST_RC}: ${AST_OUT}${AST_ERR}")
+  endif()
+  if(NOT VM_OUT STREQUAL AST_OUT)
+    set(FAILURES "${FAILURES}\n${NAME}: engines disagree\n--- vm ---\n${VM_OUT}--- ast ---\n${AST_OUT}")
+  endif()
+endforeach()
+
+# An unknown engine name is a usage error, never a silent default.
+execute_process(COMMAND ${FUZZER} --replay=/dev/null --exec=jit
+                RESULT_VARIABLE BAD_RC
+                OUTPUT_VARIABLE BAD_OUT
+                ERROR_VARIABLE BAD_ERR)
+if(BAD_RC EQUAL 0 OR NOT BAD_ERR MATCHES "--exec expects vm or ast")
+  set(FAILURES "${FAILURES}\nbad_engine: rc=${BAD_RC}, stderr '${BAD_ERR}'")
+endif()
+
+if(NOT FAILURES STREQUAL "")
+  message(FATAL_ERROR "replay parity failures:${FAILURES}")
+endif()
+message(STATUS "replay parity: ${NUM_ENTRIES} corpus entries byte-identical on vm and ast")

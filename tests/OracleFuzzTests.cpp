@@ -82,9 +82,10 @@ TEST_P(OracleFuzzTest, RandomProgramValidatesUnderEveryConfig) {
   validateAllConfigs(generateRandomProgram(Spec));
 }
 
-// 200 fixed program seeds x 16 configurations each.
+// 320 fixed program seeds x 16 configurations each (raised from 200
+// when the bytecode VM took over oracle execution).
 INSTANTIATE_TEST_SUITE_P(Seeds, OracleFuzzTest,
-                         ::testing::Range<uint64_t>(1, 201));
+                         ::testing::Range<uint64_t>(1, 321));
 
 class OracleRecursiveFuzzTest : public ::testing::TestWithParam<uint64_t> {
 };
@@ -97,7 +98,7 @@ TEST_P(OracleRecursiveFuzzTest, RecursiveProgramValidates) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, OracleRecursiveFuzzTest,
-                         ::testing::Range<uint64_t>(1, 33));
+                         ::testing::Range<uint64_t>(1, 49));
 
 class OracleLargeFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
@@ -112,7 +113,7 @@ TEST_P(OracleLargeFuzzTest, LargerProgramValidates) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, OracleLargeFuzzTest,
-                         ::testing::Range<uint64_t>(1, 17));
+                         ::testing::Range<uint64_t>(1, 25));
 
 class OracleSuiteTest : public ::testing::TestWithParam<size_t> {};
 

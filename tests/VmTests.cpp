@@ -1,0 +1,429 @@
+//===- tests/VmTests.cpp - Bytecode compiler and VM unit tests ------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests of the bytecode pipeline (exec/Bytecode.h, exec/Vm.h)
+/// against the normative AST interpreter, on hand-written minimal
+/// programs: every structured trap (divide-by-zero, array bounds, step
+/// limit, call depth) must come out of both engines with the same kind,
+/// location, trace prefix, and final state, and the observation hooks
+/// must fire identically. The broad randomized equivalence wall lives
+/// in VmDifferentialTests.cpp (check-vm label); these are the fast
+/// tier-1 pins.
+///
+//===----------------------------------------------------------------------===//
+
+#include "exec/BytecodeCompiler.h"
+#include "exec/ExecEngine.h"
+#include "exec/Vm.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipcp;
+using namespace ipcp::test;
+
+namespace {
+
+/// Parse + check once, run under both engines.
+struct BothEngines {
+  std::unique_ptr<AstContext> Ctx;
+  SymbolTable Symbols;
+  RunResult Ast;
+  RunResult Vm;
+};
+
+BothEngines runBoth(const std::string &Source,
+                    const RunOptions &Opts = RunOptions(),
+                    const ExecHooks *AstHooks = nullptr,
+                    const ExecHooks *VmHooks = nullptr) {
+  BothEngines B;
+  DiagnosticEngine Diags;
+  B.Ctx = parseProgram(Source, Diags);
+  if (!Diags.hasErrors())
+    B.Symbols = Sema::run(*B.Ctx, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  ProgramRunner AstRun(B.Ctx->program(), B.Symbols, ExecEngine::Ast);
+  ProgramRunner VmRun(B.Ctx->program(), B.Symbols, ExecEngine::Vm);
+  B.Ast = AstRun.run(Opts, AstHooks);
+  B.Vm = VmRun.run(Opts, VmHooks);
+  return B;
+}
+
+/// Full observable-equality check: status, trap location, PRINT trace,
+/// step accounting, READ consumption, and final global/array state.
+void expectIdentical(const BothEngines &B) {
+  EXPECT_EQ(B.Ast.Status, B.Vm.Status)
+      << "ast: " << B.Ast.str() << "\nvm:  " << B.Vm.str();
+  EXPECT_EQ(B.Ast.TrapLoc.str(), B.Vm.TrapLoc.str());
+  EXPECT_EQ(B.Ast.Prints, B.Vm.Prints);
+  EXPECT_EQ(B.Ast.Steps, B.Vm.Steps);
+  EXPECT_EQ(B.Ast.ReadsConsumed, B.Vm.ReadsConsumed);
+  EXPECT_EQ(B.Ast.FinalGlobals, B.Vm.FinalGlobals);
+  EXPECT_EQ(B.Ast.FinalGlobalArrays, B.Vm.FinalGlobalArrays);
+}
+
+TEST(VmTest, PrintArithmeticParity) {
+  BothEngines B = runBoth("proc main()\n"
+                          "  print 2 + 3 * 4\n"
+                          "  print (2 + 3) * 4\n"
+                          "  print 7 / 2\n"
+                          "  print 7 % 2\n"
+                          "  print -7 / 2\n"
+                          "  print (1 < 2) and (2 < 1)\n"
+                          "  print (1 < 2) or (2 < 1)\n"
+                          "  print not (1 < 2)\n"
+                          "end\n");
+  expectIdentical(B);
+  EXPECT_EQ(B.Vm.Status, RunStatus::Ok);
+  EXPECT_EQ(B.Vm.Prints, (std::vector<int64_t>{14, 20, 3, 1, -3, 0, 1, 0}));
+}
+
+TEST(VmTest, TrapParityDivideByZero) {
+  for (const char *Expr : {"10 / (x - x)", "10 % (x - x)"}) {
+    BothEngines B = runBoth(std::string("proc main()\n"
+                                        "  integer x\n"
+                                        "  x = 3\n"
+                                        "  print 1\n"
+                                        "  print ") +
+                            Expr + "\nend\n");
+    expectIdentical(B);
+    EXPECT_EQ(B.Vm.Status, RunStatus::DivideByZero);
+    EXPECT_EQ(B.Vm.Prints, (std::vector<int64_t>{1}));
+    EXPECT_TRUE(B.Vm.TrapLoc.isValid());
+  }
+}
+
+TEST(VmTest, TrapParityArrayBoundsRead) {
+  for (const char *Idx : {"0", "5", "-3"}) {
+    BothEngines B = runBoth(std::string("proc main()\n"
+                                        "  array a(4)\n"
+                                        "  print a(1)\n"
+                                        "  print a(") +
+                            Idx + ")\nend\n");
+    expectIdentical(B);
+    EXPECT_EQ(B.Vm.Status, RunStatus::ArrayBounds);
+  }
+}
+
+TEST(VmTest, TrapParityArrayBoundsWriteGlobalArray) {
+  // The index is evaluated and checked before the value: the PRINT
+  // inside the value expression must not run.
+  BothEngines B = runBoth("array g(3)\n"
+                          "proc main()\n"
+                          "  integer i\n"
+                          "  i = 4\n"
+                          "  g(i) = 1 / 0\n"
+                          "end\n");
+  expectIdentical(B);
+  EXPECT_EQ(B.Vm.Status, RunStatus::ArrayBounds);
+}
+
+TEST(VmTest, TrapParityStepLimit) {
+  RunOptions RO;
+  RO.Limits.MaxSteps = 100;
+  BothEngines B = runBoth("proc main()\n"
+                          "  integer n\n"
+                          "  while (1 == 1)\n"
+                          "    n = n + 1\n"
+                          "    print n\n"
+                          "  end while\n"
+                          "end\n",
+                          RO);
+  expectIdentical(B);
+  EXPECT_EQ(B.Vm.Status, RunStatus::StepLimit);
+  EXPECT_EQ(B.Vm.Steps, 100u);
+}
+
+TEST(VmTest, TrapParityCallDepth) {
+  RunOptions RO;
+  RO.Limits.MaxCallDepth = 20;
+  BothEngines B = runBoth("proc main()\n"
+                          "  call down(1)\n"
+                          "end\n"
+                          "proc down(n)\n"
+                          "  print n\n"
+                          "  call down(n + 1)\n"
+                          "end\n",
+                          RO);
+  expectIdentical(B);
+  EXPECT_EQ(B.Vm.Status, RunStatus::CallDepthLimit);
+  // main is depth 1; 19 activations of down printed.
+  EXPECT_EQ(B.Vm.Prints.size(), 19u);
+}
+
+TEST(VmTest, DepthIsCheckedBeforeArgumentEvaluation) {
+  // The interpreter checks call depth on invoke() entry, before any
+  // actual is evaluated; a trapping argument expression must lose to
+  // the depth trap in both engines.
+  RunOptions RO;
+  RO.Limits.MaxCallDepth = 1;
+  BothEngines B = runBoth("proc main()\n"
+                          "  call p(1 / 0)\n"
+                          "end\n"
+                          "proc p(x)\n"
+                          "  print x\n"
+                          "end\n",
+                          RO);
+  expectIdentical(B);
+  EXPECT_EQ(B.Vm.Status, RunStatus::CallDepthLimit);
+}
+
+TEST(VmTest, ZeroLimitsEdgeCases) {
+  RunOptions NoSteps;
+  NoSteps.Limits.MaxSteps = 0;
+  BothEngines B1 = runBoth("proc main()\n  print 1\nend\n", NoSteps);
+  expectIdentical(B1);
+  EXPECT_EQ(B1.Vm.Status, RunStatus::StepLimit);
+  EXPECT_EQ(B1.Vm.Steps, 0u);
+
+  RunOptions NoDepth;
+  NoDepth.Limits.MaxCallDepth = 0;
+  BothEngines B2 = runBoth("global g = 7\nproc main()\n  print 1\nend\n",
+                           NoDepth);
+  expectIdentical(B2);
+  EXPECT_EQ(B2.Vm.Status, RunStatus::CallDepthLimit);
+  EXPECT_FALSE(B2.Vm.TrapLoc.isValid());
+  // Global initializers applied before the entry depth check are part
+  // of the final state in both engines.
+  EXPECT_EQ(B2.Vm.FinalGlobals, B2.Ast.FinalGlobals);
+}
+
+TEST(VmTest, ByReferenceBindingParity) {
+  BothEngines B = runBoth("global g0\n"
+                          "proc main()\n"
+                          "  integer v0, r\n"
+                          "  v0 = 3\n"
+                          "  call both(v0, v0)\n"
+                          "  print v0\n"
+                          "  call bump(v0 + 0)\n"
+                          "  print v0\n"
+                          "  call gmod(g0)\n"
+                          "  print g0\n"
+                          "  r = 0\n"
+                          "  call chain(r)\n"
+                          "  print r\n"
+                          "end\n"
+                          "proc both(a, b)\n"
+                          "  a = a + 10\n"
+                          "  print b\n"
+                          "end\n"
+                          "proc bump(x)\n"
+                          "  x = x + 100\n"
+                          "end\n"
+                          "proc gmod(p)\n"
+                          "  p = p + 5\n"
+                          "end\n"
+                          "proc chain(y)\n"
+                          "  call gmod(y)\n"
+                          "  call gmod(y)\n"
+                          "end\n");
+  expectIdentical(B);
+  EXPECT_EQ(B.Vm.Status, RunStatus::Ok);
+  // both(v0, v0): writing a is visible through b (one cell, two names);
+  // bump(v0 + 0) binds a by-value temp; chain passes its formal on.
+  EXPECT_EQ(B.Vm.Prints, (std::vector<int64_t>{13, 13, 13, 5, 10}));
+}
+
+TEST(VmTest, DoLoopSemanticsParity) {
+  // Non-constant negative step still compares ascending (syntactic
+  // constancy decides the direction); bounds are captured before the
+  // loop; the body may overwrite the loop variable.
+  BothEngines B = runBoth("proc main()\n"
+                          "  integer i, s, n\n"
+                          "  s = -1\n"
+                          "  do i = 3, 1, s\n"
+                          "    print i\n"
+                          "  end do\n"
+                          "  print i\n"
+                          "  do i = 3, 1, -1\n"
+                          "    print i\n"
+                          "  end do\n"
+                          "  print i\n"
+                          "  n = 3\n"
+                          "  do i = 1, n\n"
+                          "    n = 100\n"
+                          "    print i\n"
+                          "  end do\n"
+                          "  do i = 1, 4, 2\n"
+                          "    print i\n"
+                          "  end do\n"
+                          "  print i\n"
+                          "end\n");
+  expectIdentical(B);
+  EXPECT_EQ(B.Vm.Status, RunStatus::Ok);
+  EXPECT_EQ(B.Vm.Prints,
+            (std::vector<int64_t>{3, 3, 2, 1, 0, 1, 2, 3, 1, 3, 5}));
+}
+
+TEST(VmTest, ReadStreamParity) {
+  for (uint64_t Seed : {0ull, 1ull, 7ull, 123456789ull}) {
+    RunOptions RO;
+    RO.ReadSeed = Seed;
+    BothEngines B = runBoth("proc main()\n"
+                            "  integer a, b, c\n"
+                            "  read a\n"
+                            "  read b\n"
+                            "  read c\n"
+                            "  print a\n"
+                            "  print b\n"
+                            "  print c\n"
+                            "end\n",
+                            RO);
+    expectIdentical(B);
+    EXPECT_EQ(B.Vm.ReadsConsumed, 3u);
+    EXPECT_EQ(B.Vm.Prints[0], readStreamValue(Seed, 0));
+    EXPECT_EQ(B.Vm.Prints[2], readStreamValue(Seed, 2));
+  }
+}
+
+TEST(VmTest, FinalStateParity) {
+  BothEngines B = runBoth("global g = 5\n"
+                          "global h\n"
+                          "array ga(3)\n"
+                          "proc main()\n"
+                          "  integer i\n"
+                          "  array la(2)\n"
+                          "  do i = 1, 3\n"
+                          "    ga(i) = i * 10\n"
+                          "  end do\n"
+                          "  la(1) = 99\n"
+                          "  h = g + la(1)\n"
+                          "end\n");
+  expectIdentical(B);
+  EXPECT_EQ(B.Vm.Status, RunStatus::Ok);
+  ASSERT_EQ(B.Vm.FinalGlobalArrays.size(), 1u);
+  EXPECT_EQ(B.Vm.FinalGlobalArrays[0].second,
+            (std::vector<int64_t>{10, 20, 30}));
+}
+
+TEST(VmTest, HookParityVarUseAndProcEntry) {
+  const std::string Source = "global g = 2\n"
+                             "proc main()\n"
+                             "  integer v\n"
+                             "  v = g + 3\n"
+                             "  call p(v, v * 2)\n"
+                             "end\n"
+                             "proc p(a, b)\n"
+                             "  print a + b + g\n"
+                             "end\n";
+  // Record every OnVarUse (id, value) and, on each OnProcEntry, the
+  // resolved value (or absence) of every symbol in the table.
+  struct Trace {
+    std::vector<std::pair<ExprId, int64_t>> Uses;
+    std::vector<std::pair<ProcId, std::vector<std::pair<bool, int64_t>>>>
+        Entries;
+  };
+  DiagnosticEngine Diags;
+  auto Ctx = parseProgram(Source, Diags);
+  SymbolTable Symbols = Sema::run(*Ctx, Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+
+  auto trace = [&](ExecEngine E) {
+    Trace T;
+    ExecHooks Hooks;
+    Hooks.OnVarUse = [&](ExprId Id, int64_t V) { T.Uses.push_back({Id, V}); };
+    Hooks.OnProcEntry =
+        [&](ProcId P,
+            const std::function<const int64_t *(SymbolId)> &Lookup) {
+          std::vector<std::pair<bool, int64_t>> Cells;
+          for (SymbolId S = 0; S != Symbols.size(); ++S) {
+            const int64_t *Cell = Lookup(S);
+            Cells.push_back({Cell != nullptr, Cell ? *Cell : 0});
+          }
+          T.Entries.push_back({P, std::move(Cells)});
+        };
+    ProgramRunner R(Ctx->program(), Symbols, E);
+    RunResult Res = R.run(RunOptions(), &Hooks);
+    EXPECT_EQ(Res.Status, RunStatus::Ok);
+    return T;
+  };
+
+  Trace Ast = trace(ExecEngine::Ast);
+  Trace Vm = trace(ExecEngine::Vm);
+  EXPECT_EQ(Ast.Uses, Vm.Uses);
+  EXPECT_EQ(Ast.Entries, Vm.Entries);
+  // Sanity: v = g + 3 reads g; call p(v, v*2) reads v twice (the
+  // by-value actual) but NOT the by-reference actual v; p reads a, b, g.
+  EXPECT_EQ(Vm.Uses.size(), 5u);
+  EXPECT_EQ(Vm.Entries.size(), 2u);
+}
+
+TEST(VmTest, DisassemblySmoke) {
+  DiagnosticEngine Diags;
+  auto Ctx = parseProgram("global g = 1\n"
+                          "proc main()\n"
+                          "  integer i\n"
+                          "  do i = 1, 3\n"
+                          "    g = g * 2\n"
+                          "  end do\n"
+                          "  call p(g)\n"
+                          "end\n"
+                          "proc p(x)\n"
+                          "  print x\n"
+                          "end\n",
+                          Diags);
+  SymbolTable Symbols = Sema::run(*Ctx, Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+  CodeProgram CP = compileProgram(Ctx->program(), Symbols);
+
+  ASSERT_EQ(CP.Procs.size(), 2u);
+  EXPECT_EQ(CP.Procs[CP.Entry].Name, "main");
+  EXPECT_FALSE(CP.Procs[CP.Entry].Code.empty());
+  EXPECT_GE(CP.MaxStack, 2u);
+  EXPECT_EQ(CP.GlobalSyms.size(), 1u);
+  ASSERT_EQ(CP.GlobalInits.size(), 1u);
+  EXPECT_EQ(CP.GlobalInits[0].second, 1);
+
+  std::string Dis = CP.str();
+  EXPECT_NE(Dis.find("proc main"), std::string::npos);
+  EXPECT_NE(Dis.find("call"), std::string::npos);
+  EXPECT_NE(Dis.find("step"), std::string::npos);
+
+  // The compiled code runs standalone through a bare Vm too.
+  Vm Machine(CP);
+  RunResult R = Machine.run(RunOptions());
+  EXPECT_EQ(R.Status, RunStatus::Ok);
+  EXPECT_EQ(R.Prints, (std::vector<int64_t>{8}));
+}
+
+TEST(VmTest, LocalArraysFreshPerActivation) {
+  BothEngines B = runBoth("proc main()\n"
+                          "  call p(1)\n"
+                          "  call p(2)\n"
+                          "end\n"
+                          "proc p(n)\n"
+                          "  array a(3)\n"
+                          "  print a(n)\n"
+                          "  a(n) = n\n"
+                          "  print a(n)\n"
+                          "end\n");
+  expectIdentical(B);
+  EXPECT_EQ(B.Vm.Status, RunStatus::Ok);
+  EXPECT_EQ(B.Vm.Prints, (std::vector<int64_t>{0, 1, 0, 2}));
+}
+
+TEST(VmTest, RecursionParity) {
+  BothEngines B = runBoth("proc main()\n"
+                          "  integer r\n"
+                          "  r = 1\n"
+                          "  call fact(6, r)\n"
+                          "  print r\n"
+                          "end\n"
+                          "proc fact(n, acc)\n"
+                          "  if (n <= 1) then\n"
+                          "    return\n"
+                          "  end if\n"
+                          "  acc = acc * n\n"
+                          "  call fact(n - 1, acc)\n"
+                          "end\n");
+  expectIdentical(B);
+  EXPECT_EQ(B.Vm.Status, RunStatus::Ok);
+  EXPECT_EQ(B.Vm.Prints, (std::vector<int64_t>{720}));
+}
+
+} // namespace

@@ -20,6 +20,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/CallGraph.h"
+#include "exec/ExecEngine.h"
 #include "exec/Interpreter.h"
 #include "exec/Oracle.h"
 #include "ipcp/Cloning.h"
@@ -75,12 +76,13 @@ static void printUsage() {
          "  --stats        print jump function and solver statistics\n"
          "  --inline       print the procedure-integrated program and exit\n"
          "  --clone        print the constant-cloned program and exit\n"
-         "  --run          execute the program with the reference\n"
-         "                 interpreter and print its PRINT trace\n"
+         "  --run          execute the program and print its PRINT trace\n"
          "  --validate     run the translation-validation oracle over the\n"
          "                 program under the selected analyzer options\n"
+         "  --exec=<vm|ast>  execution engine for --run/--validate: the\n"
+         "                 bytecode VM (default) or the AST interpreter\n"
          "  --read-seed=<n>  READ input stream seed for --run/--validate\n"
-         "  --max-steps=<n>  interpreter step budget for --run/--validate\n"
+         "  --max-steps=<n>  execution step budget for --run/--validate\n"
          "  --server-url=<host:port>  forward the analysis to a running\n"
          "                 ipcp-serve and print its reply (byte-identical\n"
          "                 to local mode)\n";
@@ -134,6 +136,7 @@ int main(int argc, char **argv) {
   bool DoValidate = false;
   uint64_t ReadSeed = 1;
   uint64_t MaxSteps = RunLimits().MaxSteps;
+  ExecEngine Engine = ExecEngine::Vm;
   bool Stats = false;
   bool Time = false;
   unsigned Jobs = 1;
@@ -214,6 +217,15 @@ int main(int argc, char **argv) {
       DoRun = true;
     } else if (Arg == "--validate") {
       DoValidate = true;
+    } else if (Arg.rfind("--exec=", 0) == 0) {
+      std::string Name = Arg.substr(7);
+      if (auto E = parseExecEngineName(Name)) {
+        Engine = *E;
+      } else {
+        std::cerr << "error: --exec expects vm or ast, got '" << Name
+                  << "'\n";
+        return 1;
+      }
     } else if (Arg.rfind("--read-seed=", 0) == 0) {
       if (!parseU64(Arg.substr(12), "--read-seed", ReadSeed))
         return 1;
@@ -406,11 +418,11 @@ int main(int argc, char **argv) {
       Diags.print(std::cerr);
       return 1;
     }
-    Interpreter Interp(Ctx->program(), Symbols);
+    ProgramRunner Runner(Ctx->program(), Symbols, Engine);
     RunOptions RO;
     RO.ReadSeed = ReadSeed;
     RO.Limits.MaxSteps = MaxSteps;
-    RunResult R = Interp.run(RO);
+    RunResult R = Runner.run(RO);
     for (int64_t V : R.Prints)
       std::cout << V << '\n';
     std::cerr << "! " << R.str() << '\n';
@@ -421,6 +433,7 @@ int main(int argc, char **argv) {
     OracleOptions OOpts;
     OOpts.Pipeline = Opts;
     OOpts.Limits.MaxSteps = MaxSteps;
+    OOpts.Engine = Engine;
     OOpts.ReadSeeds = {ReadSeed, ReadSeed + 1, ReadSeed + 2};
     OOpts.CheckInliner = true;
     OOpts.CheckCloning = true;

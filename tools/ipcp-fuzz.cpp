@@ -18,6 +18,7 @@
 ///     --no-reduce         report failures unreduced
 ///     --seed-programs=<n> generated seed programs (default 6)
 ///     --max-steps=<n>     interpreter budget per oracle run
+///     --exec=<vm|ast>     oracle execution engine (default vm)
 ///     --no-transforms     skip the inliner/cloning checks
 ///     --replay=<file.mf>  evaluate one corpus entry and exit
 ///     --quiet             only print failures and the final summary
@@ -46,6 +47,7 @@ static void printUsage() {
                "  --no-reduce         report failures unreduced\n"
                "  --seed-programs=<n> generated seed programs (default 6)\n"
                "  --max-steps=<n>     interpreter budget per oracle run\n"
+               "  --exec=<vm|ast>     oracle execution engine (default vm)\n"
                "  --no-transforms     skip inliner/cloning checks\n"
                "  --replay=<file.mf>  evaluate one corpus entry and exit\n"
                "  --quiet             only failures and the summary\n";
@@ -103,6 +105,14 @@ int main(int argc, char **argv) {
     } else if (Arg.rfind("--max-steps=", 0) == 0) {
       if (!parseU64(Value("--max-steps="), "--max-steps", Opts.MaxSteps))
         return 2;
+    } else if (Arg.rfind("--exec=", 0) == 0) {
+      if (auto E = parseExecEngineName(Value("--exec="))) {
+        Opts.Engine = *E;
+      } else {
+        std::cerr << "error: --exec expects vm or ast, got '"
+                  << Value("--exec=") << "'\n";
+        return 2;
+      }
     } else if (Arg == "--no-transforms") {
       Opts.CheckTransforms = false;
     } else if (Arg.rfind("--replay=", 0) == 0) {

@@ -4,15 +4,21 @@
 # Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
 #
 # Builds the 'default' and 'asan' CMake presets and runs, under each:
-#   * the tier-1 test suite (everything except the oracle/bench/fuzz labels),
+#   * the tier-1 test suite (everything except the oracle/bench/fuzz/
+#     serve/vm labels),
 #   * the seeded translation-validation fuzz (`ctest -L check-oracle`),
 #   * the coverage-guided fuzzer suite (`ctest -L check-fuzz`: a bounded
 #     campaign plus the tests/corpus/ regression replay),
 #   * the analysis-server suite (`ctest -L check-serve`: protocol goldens,
 #     cache/coalescing, deadlines, shedding, drain, the driver
-#     differential), and
-#   * the bench smokes (`ctest -L check-bench`: cold-vs-warm suite and
-#     server throughput).
+#     differential),
+#   * the engine-differential wall (`ctest -L check-vm`: bytecode VM vs
+#     AST interpreter across the suite, random seeds x configs, corpus,
+#     server replay, and oracle check counts), and
+#   * the bench smokes (`ctest -L check-bench`: cold-vs-warm suite,
+#     server throughput, and the VM-vs-interpreter >=10x gate — the
+#     gate is relaxed under sanitizer presets, which tax the two
+#     engines unevenly).
 #
 # When gcov is available, finishes with a small instrumented (cov
 # preset) check-fuzz run and prints the line-coverage summary the
@@ -21,9 +27,10 @@
 # Usage: tools/verify.sh [--quick] [--tsan]
 #   --quick   default preset only (skip the sanitizer rebuild and the
 #             coverage pass)
-#   --tsan    also build the 'tsan' preset and run the tier-1 +
-#             check-serve suites under ThreadSanitizer (opt-in: the
-#             TSan rebuild roughly doubles the sweep)
+#   --tsan    also build the 'tsan' preset and run the tier-1,
+#             check-serve, and check-vm suites plus the VM bench smoke
+#             under ThreadSanitizer (opt-in: the TSan rebuild roughly
+#             doubles the sweep)
 #
 #===----------------------------------------------------------------------===//
 
@@ -55,7 +62,7 @@ for preset in "${PRESETS[@]}"; do
 
   echo "==== [$preset] tier-1 tests ===="
   ctest --test-dir "$builddir" \
-        -LE "check-oracle|check-bench|check-fuzz|check-serve" \
+        -LE "check-oracle|check-bench|check-fuzz|check-serve|check-vm" \
         --output-on-failure -j "$JOBS"
 
   echo "==== [$preset] oracle fuzz (check-oracle) ===="
@@ -66,6 +73,9 @@ for preset in "${PRESETS[@]}"; do
 
   echo "==== [$preset] analysis server (check-serve) ===="
   ctest --test-dir "$builddir" -L check-serve --output-on-failure -j "$JOBS"
+
+  echo "==== [$preset] engine differential (check-vm) ===="
+  ctest --test-dir "$builddir" -L check-vm --output-on-failure -j "$JOBS"
 
   echo "==== [$preset] bench smokes (check-bench) ===="
   ctest --test-dir "$builddir" -L check-bench --output-on-failure
@@ -78,11 +88,17 @@ if [[ "$RUN_TSAN" == "1" ]]; then
 
   echo "==== [tsan] tier-1 tests ===="
   ctest --test-dir build-tsan \
-        -LE "check-oracle|check-bench|check-fuzz|check-serve" \
+        -LE "check-oracle|check-bench|check-fuzz|check-serve|check-vm" \
         --output-on-failure -j "$JOBS"
 
   echo "==== [tsan] analysis server (check-serve) ===="
   ctest --test-dir build-tsan -L check-serve --output-on-failure -j "$JOBS"
+
+  echo "==== [tsan] engine differential (check-vm) ===="
+  ctest --test-dir build-tsan -L check-vm --output-on-failure -j "$JOBS"
+
+  echo "==== [tsan] vm throughput smoke (relaxed gate) ===="
+  ctest --test-dir build-tsan -R vm_throughput_smoke --output-on-failure
 fi
 
 if [[ "${PRESETS[*]}" != "default" ]] && command -v gcov >/dev/null; then
