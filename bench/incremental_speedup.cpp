@@ -195,8 +195,10 @@ int main(int argc, char **argv) {
               100 * rate(S.JfBasesReused, S.JfBasesBuilt),
               (unsigned long long)S.JfBasesReused,
               (unsigned long long)(S.JfBasesReused + S.JfBasesBuilt));
-  std::printf("solver memo: %llu hits / %llu misses\n",
-              (unsigned long long)MemoHits, (unsigned long long)MemoMisses);
+  double MemoHitRate = rate(MemoHits, MemoMisses);
+  std::printf("solver memo: hit rate %.0f%% (%llu hits / %llu misses)\n",
+              100 * MemoHitRate, (unsigned long long)MemoHits,
+              (unsigned long long)MemoMisses);
 
   std::ofstream Json(JsonPath);
   if (!Json) {
@@ -230,8 +232,10 @@ int main(int argc, char **argv) {
       rate(S.JfBasesReused, S.JfBasesBuilt));
   Json << Buf;
   std::snprintf(Buf, sizeof(Buf),
-                "  \"solver_memo\": {\"hits\": %llu, \"misses\": %llu},\n",
-                (unsigned long long)MemoHits, (unsigned long long)MemoMisses);
+                "  \"solver_memo\": {\"hits\": %llu, \"misses\": %llu, "
+                "\"hit_rate\": %.3f},\n",
+                (unsigned long long)MemoHits, (unsigned long long)MemoMisses,
+                MemoHitRate);
   Json << Buf;
   Json << "  \"identical_cells\": " << Same << ", \"total_cells\": "
        << Cold.Cells.size() << "\n}\n";
@@ -244,6 +248,23 @@ int main(int argc, char **argv) {
 
   if (!AllIdentical) {
     std::cout << "RESULT: FAIL (warm results diverged from cold)\n";
+    return 1;
+  }
+  // The memo can never silently go dead again: the shared batch must
+  // replay a meaningful fraction of its procedure visits. The full run
+  // gates the ROADMAP target; the smoke run still insists on a nonzero
+  // rate (the pre-fix memo sat at exactly 0 hits for three PRs).
+  if (MemoHits + MemoMisses == 0) {
+    std::cout << "RESULT: FAIL (no memo-eligible procedure visits?)\n";
+    return 1;
+  }
+  if (!Smoke && MemoHitRate < 0.3) {
+    std::cout << "RESULT: FAIL (memo hit rate " << MemoHitRate
+              << " below the 0.3 gate)\n";
+    return 1;
+  }
+  if (Smoke && MemoHits == 0) {
+    std::cout << "RESULT: FAIL (memo hit rate 0 on the shared batch)\n";
     return 1;
   }
   if (Smoke) {

@@ -414,6 +414,9 @@ ValueNumbering::ValueNumbering(const SsaForm &Ssa,
   };
 
   std::vector<BlockId> Rpo = F.reversePostOrder();
+  // Operand-expression scratch, reused across instructions (hoisted out
+  // of the inner loop so numbering does not allocate per instruction).
+  std::vector<const VnExpr *> Ops;
   for (BlockId B : Rpo) {
     // Phis: available-and-equal inputs collapse; anything else is opaque
     // (pessimistic value numbering), or a Gamma in gated mode.
@@ -459,7 +462,7 @@ ValueNumbering::ValueNumbering(const SsaForm &Ssa,
       const InstrSsaInfo &Info = Ssa.instrInfo(B, I);
 
       // Gather operand expressions in slot order.
-      std::vector<const VnExpr *> Ops;
+      Ops.clear();
       uint32_t Slot = 0;
       In.forEachUse([&](const Operand &Op) {
         Ops.push_back(operandExpr(Op, Info.UseSsa[Slot]));

@@ -137,6 +137,12 @@ void AnalysisSession::invalidate(const std::vector<ProcId> &Dirty) {
   // Exclusive use: these sections are taken sequentially only to satisfy
   // the mutex API, not to order against concurrent readers (there are
   // none by contract).
+  //
+  // The value-context memo is fingerprint-keyed, so stale groups could
+  // never be *replayed* against the mutated program's (different) jump
+  // functions — clearing reclaims their memory and keeps the table's
+  // lifetime tied to the artifacts it was recorded alongside.
+  VcMemo.clear();
   {
     std::lock_guard<std::mutex> Lock(JfMutex);
     for (auto &Base : JfBases)
@@ -175,5 +181,7 @@ SessionStats AnalysisSession::stats() const {
   S.VnReused = C.VnReused.load(std::memory_order_relaxed);
   S.JfBasesBuilt = C.JfBasesBuilt.load(std::memory_order_relaxed);
   S.JfBasesReused = C.JfBasesReused.load(std::memory_order_relaxed);
+  S.SolverMemoHits = VcMemo.hits();
+  S.SolverMemoMisses = VcMemo.misses();
   return S;
 }

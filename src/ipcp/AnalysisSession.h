@@ -55,6 +55,7 @@
 #include "analysis/RefAlias.h"
 #include "analysis/ValueNumbering.h"
 #include "ipcp/JumpFunctionBuilder.h"
+#include "ipcp/ValueContextMemo.h"
 #include "ir/Dominators.h"
 #include "ir/Function.h"
 #include "ir/Ssa.h"
@@ -83,6 +84,8 @@ struct SessionStats {
   uint64_t VnReused = 0;       ///< Stage-2 uses of a cached numbering.
   uint64_t JfBasesBuilt = 0;   ///< Jump-function bases constructed.
   uint64_t JfBasesReused = 0;  ///< jfBase() calls served from the cache.
+  uint64_t SolverMemoHits = 0;   ///< Value-context memo replays (all solves).
+  uint64_t SolverMemoMisses = 0; ///< Contexts evaluated fresh (all solves).
 };
 
 /// Memoizing home of every analysis artifact of one checked program.
@@ -152,6 +155,13 @@ public:
   const JfBase &jfBase(const JumpFunctionOptions &Opts,
                        const std::function<void(JfBase &)> &Build);
 
+  /// The session-shared value-context memo: every solve over this
+  /// session records and replays jump-function evaluations here, so warm
+  /// suite cells and repeat serve requests (same program, different
+  /// config) reuse each other's contexts. Thread-safe; cleared by
+  /// invalidate().
+  ValueContextMemo &solverMemo() { return VcMemo; }
+
   /// Drops every artifact invalidated by a structural change to the
   /// procedures in \p Dirty (typically DeadCodeElim's dirty-set): their
   /// lowered Functions, plus all derived analyses of every procedure
@@ -207,6 +217,8 @@ private:
   /// Jump-function bases keyed (UseMod << 2) | (UseRjf << 1) | Gated.
   std::mutex JfMutex;
   std::unique_ptr<JfBase> JfBases[8];
+
+  ValueContextMemo VcMemo;
 
   Counters C;
 };

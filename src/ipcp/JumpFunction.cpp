@@ -157,6 +157,46 @@ void JfExpr::collectSupport(std::vector<SymbolId> &Support) const {
   }
 }
 
+void JfExpr::appendFingerprint(std::string &Out) const {
+  switch (Kind) {
+  case Node::Const:
+    Out += 'c';
+    Out += std::to_string(ConstValue);
+    Out += ';';
+    return;
+  case Node::Param:
+    Out += 'p';
+    Out += std::to_string(Param);
+    Out += ';';
+    return;
+  case Node::Unary:
+    Out += 'u';
+    Out += std::to_string(static_cast<unsigned>(UOp));
+    Out += '(';
+    Lhs->appendFingerprint(Out);
+    Out += ')';
+    return;
+  case Node::Binary:
+    Out += 'b';
+    Out += std::to_string(static_cast<unsigned>(BOp));
+    Out += '(';
+    Lhs->appendFingerprint(Out);
+    Rhs->appendFingerprint(Out);
+    Out += ')';
+    return;
+  case Node::Gamma:
+    Out += "g(";
+    Cond->appendFingerprint(Out);
+    Lhs->appendFingerprint(Out);
+    Rhs->appendFingerprint(Out);
+    Out += ')';
+    return;
+  case Node::Unknown:
+    Out += '?';
+    return;
+  }
+}
+
 std::string JfExpr::str(const SymbolTable &Symbols) const {
   switch (Kind) {
   case Node::Const:
@@ -259,6 +299,28 @@ JumpFunction::eval(const std::function<LatticeValue(SymbolId)> &Env) const {
     return Expr->eval(Env);
   }
   return LatticeValue::bottom();
+}
+
+void JumpFunction::appendFingerprint(std::string &Out) const {
+  switch (F) {
+  case Form::Bottom:
+    Out += 'B';
+    return;
+  case Form::Const:
+    Out += 'C';
+    Out += std::to_string(ConstValue);
+    Out += ';';
+    return;
+  case Form::PassThrough:
+    Out += 'P';
+    Out += std::to_string(Pass);
+    Out += ';';
+    return;
+  case Form::Poly:
+    Out += 'Y';
+    Expr->appendFingerprint(Out);
+    return;
+  }
 }
 
 std::string JumpFunction::str(const SymbolTable &Symbols) const {

@@ -80,6 +80,11 @@ public:
   /// Appends the distinct parameters mentioned to \p Support.
   void collectSupport(std::vector<SymbolId> &Support) const;
 
+  /// Appends an exact structural serialization (value-context memo
+  /// grouping key): equal bytes imply equal evaluation under every
+  /// environment.
+  void appendFingerprint(std::string &Out) const;
+
   /// Renders with symbol names.
   std::string str(const SymbolTable &Symbols) const;
 
@@ -137,6 +142,15 @@ public:
   /// calling procedure).
   LatticeValue eval(
       const std::function<LatticeValue(SymbolId)> &Env) const;
+
+  /// Appends an exact structural serialization to \p Out. Two jump
+  /// functions that append equal bytes evaluate identically under every
+  /// environment (form, constant values, support symbol ids, and
+  /// expression structure are all pinned), so the value-context memo
+  /// uses the bytes as its extensional grouping key — sharing tables
+  /// across call sites, procedures, and configurations whose functions
+  /// coincide.
+  void appendFingerprint(std::string &Out) const;
 
   /// Renders for dumps: "7", "passthrough(n)", "poly(n + 1)", "_|_".
   std::string str(const SymbolTable &Symbols) const;

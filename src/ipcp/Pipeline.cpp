@@ -148,7 +148,7 @@ PipelineResult ipcp::runPipelineOnSession(AnalysisSession &Session,
       if (isCancelled(Opts.Cancel))
         return Abandon();
       Solve = solveConstants(Symbols, CG, Jfs, Opts.Strategy, Opts.Feedback,
-                             Opts.Cancel);
+                             Opts.Cancel, &Session.solverMemo());
       Result.Timings.SolveMs += lapMs(Phase);
       if (Solve.Cancelled)
         return Abandon();

@@ -142,9 +142,13 @@ struct PipelineResult {
   /// Value-context memo effectiveness (see SolveResult::MemoHits):
   /// procedure visits served by replaying recorded evaluations.
   /// SolverJfEvaluations includes the replayed ones, so it stays the
-  /// comparable effort metric with or without memoization.
-  unsigned SolverMemoHits = 0;
-  unsigned SolverMemoMisses = 0;
+  /// comparable effort metric with or without memoization. 64-bit and
+  /// warmth-dependent: a warm session's shared memo legitimately hits
+  /// more than a cold run's, so these two fields — alone in a
+  /// PipelineResult besides Timings — are excluded from determinism
+  /// fingerprints and rendered replies.
+  uint64_t SolverMemoHits = 0;
+  uint64_t SolverMemoMisses = 0;
 
   /// By-reference aliasing (analysis/RefAlias.h): distinct may-alias
   /// pairs found, and (procedure, symbol) entries the analyses had to

@@ -6,12 +6,14 @@
 
 #include "ipcp/Solver.h"
 
+#include "ipcp/ValueContextMemo.h"
 #include "support/Cancellation.h"
 #include "support/FuzzFeedback.h"
 
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <optional>
 #include <unordered_map>
 
 using namespace ipcp;
@@ -70,8 +72,9 @@ bool pollCancel(const CancelToken *Cancel, unsigned &Tick, unsigned Stride) {
 class Propagation {
 public:
   Propagation(const SymbolTable &Symbols, const CallGraph &CG,
-              const ProgramJumpFunctions &Jfs, FuzzFeedback *Feedback)
-      : Symbols(Symbols), CG(CG), Jfs(Jfs), Feedback(Feedback) {
+              const ProgramJumpFunctions &Jfs, FuzzFeedback *Feedback,
+              ValueContextMemo &Memo)
+      : Symbols(Symbols), CG(CG), Jfs(Jfs), Feedback(Feedback), Memo(Memo) {
     Result.Val.resize(CG.numProcs());
     for (ProcId P = 0, E = static_cast<ProcId>(CG.numProcs()); P != E; ++P)
       for (SymbolId Sym : Symbols.interproceduralParams(P))
@@ -80,7 +83,7 @@ public:
     // the (uninitialized) globals.
     for (auto &[Sym, V] : Result.Val[CG.entry()])
       V = LatticeValue::bottom();
-    Memo.resize(CG.numProcs());
+    Groups.resize(CG.numProcs(), nullptr);
   }
 
   /// Evaluates all call sites of \p Caller. Returns the callees whose
@@ -88,10 +91,13 @@ public:
   ///
   /// Value-context memo: a full visit evaluates every site jump function
   /// of Caller, and those evaluations depend only on the caller-side
-  /// cells in the functions' supports. Revisits under an already-seen
-  /// support context replay the recorded values; the meets into the
-  /// callees still run (they are idempotent and preserve the worklist
-  /// dynamics bit for bit).
+  /// cells in the functions' supports. The memo groups by the exact
+  /// serialized jump-function list (shared across call sites, procedures,
+  /// configs, and — through AnalysisSession — whole solves) and keys each
+  /// group by the caller's VAL projected onto the supports' union. A
+  /// visit under an already-recorded context replays the recorded values;
+  /// the meets into the callees still run (they are idempotent and
+  /// preserve the worklist dynamics bit for bit).
   std::vector<ProcId> processProc(ProcId Caller) {
     ++Result.ProcVisits;
     std::vector<ProcId> Changed;
@@ -107,28 +113,31 @@ public:
       return It->second;
     };
 
-    ProcMemo &M = Memo[Caller];
+    ValueContextMemo::Group *G = nullptr;
     const std::vector<LatticeValue> *Replay = nullptr;
     std::vector<LatticeValue> Fresh;
     std::vector<int64_t> Key;
     if (!Sites.empty()) {
-      if (!M.KeyReady)
-        buildMemoKey(M, SiteJfs);
-      Key.reserve(M.KeySyms.size() * 2);
-      for (SymbolId Sym : M.KeySyms) {
+      G = Groups[Caller];
+      if (!G)
+        G = Groups[Caller] = &resolveGroup(SiteJfs);
+      Key.reserve(G->KeySyms.size() * 2);
+      for (SymbolId Sym : G->KeySyms) {
         LatticeValue V = Env(Sym);
         Key.push_back(V.isTop() ? 0 : V.isConst() ? 2 : 1);
         Key.push_back(V.isConst() ? V.value() : 0);
       }
-      auto It = M.Table.find(Key);
-      if (It != M.Table.end()) {
+      Replay = G->find(Key);
+      if (Replay) {
+        assert(Replay->size() == G->NumSiteJfs &&
+               "memo group out of sync with its jump-function list");
         ++Result.MemoHits;
-        Result.JfEvaluations +=
-            static_cast<unsigned>(It->second.size());
-        Replay = &It->second;
+        Memo.noteHit();
+        Result.JfEvaluations += static_cast<unsigned>(Replay->size());
       } else {
         ++Result.MemoMisses;
-        Fresh.reserve(M.NumSiteJfs);
+        Memo.noteMiss();
+        Fresh.reserve(G->NumSiteJfs);
       }
     }
     size_t ReplayIdx = 0;
@@ -170,8 +179,8 @@ public:
       if (CalleeChanged)
         Changed.push_back(Callee);
     }
-    if (!Sites.empty() && !Replay)
-      M.Table.emplace(std::move(Key), std::move(Fresh));
+    if (G && !Replay)
+      G->record(std::move(Key), std::move(Fresh));
     return Changed;
   }
 
@@ -181,41 +190,45 @@ public:
   const CallGraph &CG;
   const ProgramJumpFunctions &Jfs;
   FuzzFeedback *Feedback;
+  ValueContextMemo &Memo;
   SolveResult Result;
 
 private:
-  /// Per-procedure value-context table. The key projects the caller's
-  /// VAL onto KeySyms — the union of the supports of all its site jump
-  /// functions — because those are the only cells the evaluations can
-  /// read. Two ints per symbol: a tag (0 TOP / 1 BOTTOM / 2 constant)
-  /// and the constant value (0 otherwise).
-  struct ProcMemo {
-    bool KeyReady = false;
-    std::vector<SymbolId> KeySyms;
-    size_t NumSiteJfs = 0;
-    std::map<std::vector<int64_t>, std::vector<LatticeValue>> Table;
-  };
-  std::vector<ProcMemo> Memo;
+  /// Per-procedure group handle, resolved once per solve. The group —
+  /// keyed by the serialized jump-function list, not the procedure — may
+  /// be shared with other procedures and other solves.
+  std::vector<ValueContextMemo::Group *> Groups;
 
-  static void
-  buildMemoKey(ProcMemo &M,
-               const std::vector<CallSiteJumpFunctions> &SiteJfs) {
+  /// Serializes the flat jump-function list and resolves its group,
+  /// populating KeySyms (sorted support union — the only cells the
+  /// evaluations read, hence the context projection) and NumSiteJfs on
+  /// first creation.
+  ValueContextMemo::Group &
+  resolveGroup(const std::vector<CallSiteJumpFunctions> &SiteJfs) {
+    std::string Fp;
     for (const auto &Site : SiteJfs) {
-      for (const JumpFunction &J : Site.Args) {
-        ++M.NumSiteJfs;
-        for (SymbolId Sym : J.support())
-          M.KeySyms.push_back(Sym);
-      }
-      for (const JumpFunction &J : Site.Globals) {
-        ++M.NumSiteJfs;
-        for (SymbolId Sym : J.support())
-          M.KeySyms.push_back(Sym);
-      }
+      for (const JumpFunction &J : Site.Args)
+        J.appendFingerprint(Fp);
+      for (const JumpFunction &J : Site.Globals)
+        J.appendFingerprint(Fp);
     }
-    std::sort(M.KeySyms.begin(), M.KeySyms.end());
-    M.KeySyms.erase(std::unique(M.KeySyms.begin(), M.KeySyms.end()),
-                    M.KeySyms.end());
-    M.KeyReady = true;
+    return Memo.group(std::move(Fp), [&](ValueContextMemo::Group &G) {
+      for (const auto &Site : SiteJfs) {
+        for (const JumpFunction &J : Site.Args) {
+          ++G.NumSiteJfs;
+          for (SymbolId Sym : J.support())
+            G.KeySyms.push_back(Sym);
+        }
+        for (const JumpFunction &J : Site.Globals) {
+          ++G.NumSiteJfs;
+          for (SymbolId Sym : J.support())
+            G.KeySyms.push_back(Sym);
+        }
+      }
+      std::sort(G.KeySyms.begin(), G.KeySyms.end());
+      G.KeySyms.erase(std::unique(G.KeySyms.begin(), G.KeySyms.end()),
+                      G.KeySyms.end());
+    });
   }
 };
 
@@ -361,8 +374,14 @@ SolveResult ipcp::solveConstants(const SymbolTable &Symbols,
                                  const ProgramJumpFunctions &Jfs,
                                  SolverStrategy Strategy,
                                  FuzzFeedback *Feedback,
-                                 const CancelToken *Cancel) {
-  Propagation Prop(Symbols, CG, Jfs, Feedback);
+                                 const CancelToken *Cancel,
+                                 ValueContextMemo *Memo) {
+  // Callers without a session-owned memo still get within-solve
+  // memoization (recursion, round-robin sweeps) from a private table.
+  std::optional<ValueContextMemo> LocalMemo;
+  if (!Memo)
+    Memo = &LocalMemo.emplace();
+  Propagation Prop(Symbols, CG, Jfs, Feedback, *Memo);
   unsigned Tick = 0;
 
   if (Strategy == SolverStrategy::BindingGraph) {

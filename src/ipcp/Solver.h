@@ -30,6 +30,7 @@
 namespace ipcp {
 class CancelToken;
 class FuzzFeedback;
+class ValueContextMemo;
 
 /// Fixpoint strategy.
 enum class SolverStrategy : uint8_t {
@@ -66,16 +67,21 @@ struct SolveResult {
   unsigned JfEvaluations = 0;   ///< Individual jump-function evaluations.
   unsigned CellLowerings = 0;   ///< VAL cell changes (≤ 2 per cell).
 
-  /// Value-context memoization (after Padhye & Khedker): revisits of a
-  /// procedure whose jump functions' support cells all hold the values of
-  /// an earlier visit replay the recorded evaluations instead of
-  /// re-evaluating. JfEvaluations still counts replayed evaluations — it
-  /// is the paper's effort metric and stays identical with or without the
-  /// memo — so MemoHits * (site JFs of the procedure) of them were free.
-  /// Worklist/RoundRobin only; the binding-graph strategy is already
-  /// edge-granular and bypasses the memo (both counters stay 0).
-  unsigned MemoHits = 0;
-  unsigned MemoMisses = 0;
+  /// Value-context memoization (after Padhye & Khedker): visits of a
+  /// procedure whose jump-function list and projected entry context were
+  /// seen before — by any call site, configuration, or earlier solve
+  /// sharing the same ValueContextMemo — replay the recorded evaluations
+  /// instead of re-evaluating. JfEvaluations still counts replayed
+  /// evaluations — it is the paper's effort metric and stays identical
+  /// with or without the memo — so MemoHits * (site JFs of the
+  /// procedure) of them were free. Worklist/RoundRobin only; the
+  /// binding-graph strategy is already edge-granular and bypasses the
+  /// memo (both counters stay 0). 64-bit: when the memo is shared across
+  /// warm serve sessions these accumulate like SessionCache's counters
+  /// and 32 bits can wrap in a long-lived server. Warmth-dependent by
+  /// design — everything else in a SolveResult is deterministic.
+  uint64_t MemoHits = 0;
+  uint64_t MemoMisses = 0;
 
   /// True when the run was abandoned through a CancelToken (the server's
   /// deadline machinery). Val and the counters are partial; callers must
@@ -97,11 +103,18 @@ struct SolveResult {
 /// A non-null \p Cancel is polled periodically (rate-limited, so the
 /// deadline clock read stays off the per-evaluation path); when it
 /// expires the solve stops where it is and returns Cancelled=true.
+///
+/// A non-null \p Memo shares recorded jump-function evaluations with
+/// every other solve over the same memo (AnalysisSession owns one, so
+/// warm suite cells and repeat serve requests replay instead of
+/// re-evaluating). Null runs with a private memo — identical results,
+/// no cross-solve reuse.
 SolveResult solveConstants(const SymbolTable &Symbols, const CallGraph &CG,
                            const ProgramJumpFunctions &Jfs,
                            SolverStrategy Strategy = SolverStrategy::Worklist,
                            FuzzFeedback *Feedback = nullptr,
-                           const CancelToken *Cancel = nullptr);
+                           const CancelToken *Cancel = nullptr,
+                           ValueContextMemo *Memo = nullptr);
 
 } // namespace ipcp
 

@@ -66,6 +66,10 @@ public:
   BlockId addBlock() {
     auto BB = std::make_unique<BasicBlock>();
     BB->Id = static_cast<BlockId>(Blocks.size());
+    // Typical lowered blocks carry a handful of quads; reserving here
+    // avoids the 1->2->4 regrowth copies on every block the frontend
+    // emits (lowering is on the serve cold path).
+    BB->Instrs.reserve(4);
     Blocks.push_back(std::move(BB));
     return Blocks.back()->Id;
   }

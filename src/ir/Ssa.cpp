@@ -7,7 +7,6 @@
 #include "ir/Ssa.h"
 
 #include <cassert>
-#include <unordered_map>
 
 using namespace ipcp;
 
@@ -38,18 +37,23 @@ public:
   }
 
 private:
-  /// Dense per-function index of each scalar symbol visible here.
+  /// Dense per-function index of each scalar symbol visible here. The
+  /// table is a flat array keyed by SymbolId (symbol ids are dense per
+  /// program); this lookup sits on the renaming inner loop.
   uint32_t scalarIndex(SymbolId Sym) const {
-    auto It = ScalarIdx.find(Sym);
-    assert(It != ScalarIdx.end() && "symbol not visible in this function");
-    return It->second;
+    uint32_t Idx = ScalarIdx[Sym];
+    assert(Idx != UINT32_MAX && "symbol not visible in this function");
+    return Idx;
   }
 
   void collectScalars() {
     ProcId P = F.proc();
+    ScalarIdx.assign(Symbols.size(), UINT32_MAX);
     auto add = [&](SymbolId Id) {
-      if (ScalarIdx.emplace(Id, Scalars.size()).second)
+      if (ScalarIdx[Id] == UINT32_MAX) {
+        ScalarIdx[Id] = static_cast<uint32_t>(Scalars.size());
         Scalars.push_back(Id);
+      }
     };
     for (SymbolId Id : Symbols.formals(P))
       add(Id);
@@ -137,27 +141,32 @@ private:
       Ssa.EntryDefs.push_back({Scalars[SI], Id});
     }
 
-    // Iterative dominator-tree walk.
+    // Iterative dominator-tree walk. The scalar indices pushed per block
+    // live in one shared stack segmented by frame (PushedBase), not in a
+    // per-frame heap vector.
     struct Frame {
       BlockId Block;
       size_t NextChild;
-      std::vector<uint32_t> Pushed; // Scalar indices pushed in this block.
+      size_t PushedBase; // First entry of this frame in PushedStorage.
     };
+    std::vector<uint32_t> PushedStorage;
     std::vector<Frame> Stack;
-    Stack.push_back({F.entry(), 0, {}});
-    processBlock(F.entry(), Stacks, Stack.back().Pushed);
+    Stack.push_back({F.entry(), 0, 0});
+    processBlock(F.entry(), Stacks, PushedStorage);
 
     while (!Stack.empty()) {
       Frame &Top = Stack.back();
       const auto &Kids = DT.children(Top.Block);
       if (Top.NextChild < Kids.size()) {
         BlockId Child = Kids[Top.NextChild++];
-        Stack.push_back({Child, 0, {}});
-        processBlock(Child, Stacks, Stack.back().Pushed);
+        Stack.push_back({Child, 0, PushedStorage.size()});
+        processBlock(Child, Stacks, PushedStorage);
         continue;
       }
-      for (uint32_t SI : Top.Pushed)
-        Stacks[SI].pop_back();
+      while (PushedStorage.size() > Top.PushedBase) {
+        Stacks[PushedStorage.back()].pop_back();
+        PushedStorage.pop_back();
+      }
       Stack.pop_back();
     }
   }
@@ -301,7 +310,7 @@ private:
   const SsaForm::KillOracle &Kills;
 
   std::vector<SymbolId> Scalars;
-  std::unordered_map<SymbolId, uint32_t> ScalarIdx;
+  std::vector<uint32_t> ScalarIdx; // SymbolId -> dense index, UINT32_MAX if absent.
   std::vector<SsaId> TempSsa;
   std::vector<std::vector<std::vector<SymbolId>>> CallKillSets;
 };

@@ -28,6 +28,7 @@
 
 #include "ir/Dominators.h"
 #include "ir/Function.h"
+#include "support/SmallVec.h"
 
 #include <functional>
 #include <vector>
@@ -68,22 +69,33 @@ struct Phi {
   SymbolId Sym;
   SsaId Def = InvalidSsa;
   /// Incoming values, parallel to the block's Preds list.
-  std::vector<SsaId> Incoming;
+  SmallVec<SsaId, 2> Incoming;
 };
 
-/// SSA facts attached to one instruction.
+/// One (killed symbol, fresh SSA value) entry of a call's kill set.
+/// A plain aggregate rather than std::pair so it stays trivially
+/// copyable (std::pair's assignment operator is not trivial).
+struct KillDef {
+  SymbolId Sym;
+  SsaId Def;
+};
+
+/// SSA facts attached to one instruction. The per-instruction arrays use
+/// inline storage: almost every instruction has at most two operands and
+/// joins have at most two predecessors, so the whole overlay builds and
+/// tears down without per-instruction heap traffic.
 struct InstrSsaInfo {
   /// SSA values of the source operands, parallel to Instr::forEachUse
   /// slot order. InvalidSsa for Const operands.
-  std::vector<SsaId> UseSsa;
+  SmallVec<SsaId, 2> UseSsa;
   /// SSA value defined by Dst (InstrDef/TempDef), or InvalidSsa.
   SsaId DefSsa = InvalidSsa;
   /// For calls: the symbols the call may modify, each with the fresh SSA
   /// value it defines (CallKill defs).
-  std::vector<std::pair<SymbolId, SsaId>> Kills;
+  SmallVec<KillDef, 2> Kills;
   /// For calls: SSA values of all global scalars flowing *into* the call,
   /// parallel to SymbolTable::globalScalars().
-  std::vector<SsaId> GlobalEnv;
+  SmallVec<SsaId, 4> GlobalEnv;
 };
 
 /// One SSA use site, for def-use chains.
@@ -144,7 +156,7 @@ public:
   const std::vector<SsaId> &exitEnv() const { return ExitEnv; }
 
   /// All uses of SSA value \p Id (instruction operands and phi inputs).
-  const std::vector<SsaUse> &usesOf(SsaId Id) const { return Uses.at(Id); }
+  const SmallVec<SsaUse, 2> &usesOf(SsaId Id) const { return Uses.at(Id); }
 
   /// Total number of phi nodes (statistics).
   size_t numPhis() const;
@@ -160,7 +172,7 @@ private:
   std::vector<SymbolId> ExitSymbols;
   std::vector<SsaId> ExitEnv;
   bool HasExitEnv = false;
-  std::vector<std::vector<SsaUse>> Uses;
+  std::vector<SmallVec<SsaUse, 2>> Uses;
 };
 
 /// A KillOracle that kills nothing (for functions without calls, or unit

@@ -17,13 +17,16 @@
 #ifndef IPCP_LANG_AST_H
 #define IPCP_LANG_AST_H
 
+#include "support/Arena.h"
 #include "support/Casting.h"
 #include "support/SourceLoc.h"
 
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace ipcp {
@@ -443,32 +446,32 @@ public:
 //===----------------------------------------------------------------------===//
 
 /// Arena that owns every AST node of one program and hands out the
-/// program-unique expression/statement ids.
+/// program-unique expression/statement ids. Nodes live in a bump arena
+/// and are freed wholesale when the context dies; only nodes with
+/// non-trivial destructors (names, child lists) are tracked so their
+/// destructors run — the bulk of a program (literals, operators) needs
+/// no per-node bookkeeping at all.
 class AstContext {
 public:
   AstContext() = default;
   AstContext(const AstContext &) = delete;
   AstContext &operator=(const AstContext &) = delete;
+  ~AstContext() {
+    for (auto It = NonTrivial.rbegin(), E = NonTrivial.rend(); It != E; ++It)
+      It->Dtor(It->Node);
+  }
 
   /// Allocates an expression node of type \p T; the id is assigned
   /// automatically as the first constructor argument after Loc.
   template <typename T, typename... Args>
   T *createExpr(SourceLoc Loc, Args &&...Rest) {
-    auto Node = std::make_unique<T>(Loc, NextExprId++,
-                                    std::forward<Args>(Rest)...);
-    T *Raw = Node.get();
-    Exprs.emplace_back(Node.release(), deleterFor<T>());
-    return Raw;
+    return createNode<T>(Loc, NextExprId++, std::forward<Args>(Rest)...);
   }
 
   /// Allocates a statement node of type \p T.
   template <typename T, typename... Args>
   T *createStmt(SourceLoc Loc, Args &&...Rest) {
-    auto Node = std::make_unique<T>(Loc, NextStmtId++,
-                                    std::forward<Args>(Rest)...);
-    T *Raw = Node.get();
-    Stmts.emplace_back(Node.release(), deleterFor<T>());
-    return Raw;
+    return createNode<T>(Loc, NextStmtId++, std::forward<Args>(Rest)...);
   }
 
   ExprId numExprIds() const { return NextExprId; }
@@ -478,18 +481,26 @@ public:
   const Program &program() const { return Prog; }
 
 private:
-  // Nodes are kind-tagged, not virtual, so each one is stored with a
-  // deleter for its concrete type — deleting through the base pointer
-  // would be undefined behavior.
-  using NodePtr = std::unique_ptr<void, void (*)(void *)>;
-
-  template <typename T> static void (*deleterFor())(void *) {
-    return [](void *P) { delete static_cast<T *>(P); };
+  template <typename T, typename... Args>
+  T *createNode(SourceLoc Loc, uint32_t Id, Args &&...Rest) {
+    T *Raw = new (Arena.allocate(sizeof(T), alignof(T)))
+        T(Loc, Id, std::forward<Args>(Rest)...);
+    // Nodes are kind-tagged, not virtual, so destruction must go through
+    // the concrete type.
+    if constexpr (!std::is_trivially_destructible_v<T>)
+      NonTrivial.push_back(
+          {Raw, [](void *P) { static_cast<T *>(P)->~T(); }});
+    return Raw;
   }
 
+  struct PendingDtor {
+    void *Node;
+    void (*Dtor)(void *);
+  };
+
   Program Prog;
-  std::vector<NodePtr> Exprs;
-  std::vector<NodePtr> Stmts;
+  BumpArena Arena;
+  std::vector<PendingDtor> NonTrivial;
   ExprId NextExprId = 1;
   StmtId NextStmtId = 1;
 };

@@ -177,7 +177,7 @@ private:
             Diags.error(peek().Loc, "expected formal parameter name");
             break;
           }
-          Formals.push_back(advance().Text);
+          Formals.emplace_back(advance().Text);
         } while (match(TokenKind::Comma));
       }
       expect(TokenKind::RParen, "after formal parameters");
@@ -195,7 +195,7 @@ private:
             Diags.error(peek().Loc, "expected local variable name");
             break;
           }
-          P->Locals.push_back(advance().Text);
+          P->Locals.emplace_back(advance().Text);
         } while (match(TokenKind::Comma));
         expectNewline("after local declaration");
         continue;
@@ -267,7 +267,7 @@ private:
 
   Stmt *parseAssign() {
     SourceLoc Loc = peek().Loc;
-    std::string Name = advance().Text;
+    std::string Name(advance().Text);
     Expr *Target = nullptr;
     if (match(TokenKind::LParen)) {
       Expr *Index = parseExpr();
@@ -292,7 +292,7 @@ private:
       syncToNextLine();
       return nullptr;
     }
-    std::string Callee = advance().Text;
+    std::string Callee(advance().Text);
     std::vector<Expr *> Args;
     if (expect(TokenKind::LParen, "after callee name")) {
       if (!check(TokenKind::RParen)) {
@@ -346,7 +346,8 @@ private:
       return nullptr;
     }
     SourceLoc VarLoc = peek().Loc;
-    auto *Var = Ctx->createExpr<VarRefExpr>(VarLoc, advance().Text);
+    auto *Var =
+        Ctx->createExpr<VarRefExpr>(VarLoc, std::string(advance().Text));
     expect(TokenKind::Assign, "after loop variable");
     Expr *Lo = parseExpr();
     expect(TokenKind::Comma, "after loop lower bound");
@@ -393,7 +394,8 @@ private:
       return nullptr;
     }
     SourceLoc VarLoc = peek().Loc;
-    auto *Var = Ctx->createExpr<VarRefExpr>(VarLoc, advance().Text);
+    auto *Var =
+        Ctx->createExpr<VarRefExpr>(VarLoc, std::string(advance().Text));
     expectNewline("after read");
     return Ctx->createStmt<ReadStmt>(Loc, Var);
   }
@@ -512,7 +514,7 @@ private:
       return Ctx->createExpr<IntLitExpr>(Loc, Value);
     }
     if (check(TokenKind::Identifier)) {
-      std::string Name = advance().Text;
+      std::string Name(advance().Text);
       if (match(TokenKind::LParen)) {
         Expr *Index = parseExpr();
         expect(TokenKind::RParen, "after array subscript");

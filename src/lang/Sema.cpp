@@ -7,6 +7,7 @@
 #include "lang/Sema.h"
 
 #include <cassert>
+#include <string_view>
 #include <unordered_map>
 
 using namespace ipcp;
@@ -70,11 +71,13 @@ private:
   }
 
   void declareProcs() {
-    std::unordered_map<std::string, ProcId> ProcNames;
+    // ProcIndex keeps the first occurrence of each name, matching
+    // Program::findProc's first-match semantics; call resolution below
+    // uses it instead of a per-call linear scan.
     for (ProcId P = 0, E = static_cast<ProcId>(Prog.Procs.size()); P != E;
          ++P) {
       Proc &Pr = *Prog.Procs[P];
-      if (!ProcNames.emplace(Pr.name(), P).second)
+      if (!ProcIndex.emplace(Pr.name(), P).second)
         Diags.error(Pr.loc(), "duplicate procedure '" + Pr.name() + "'");
       Table.PerProc.emplace_back();
       declareProcSymbols(P);
@@ -196,7 +199,9 @@ private:
     }
     case StmtKind::Call: {
       auto *C = cast<CallStmt>(S);
-      auto Callee = Prog.findProc(C->calleeName());
+      std::optional<ProcId> Callee;
+      if (auto It = ProcIndex.find(C->calleeName()); It != ProcIndex.end())
+        Callee = It->second;
       if (!Callee) {
         Diags.error(C->loc(),
                     "call to unknown procedure '" + C->calleeName() + "'");
@@ -263,8 +268,11 @@ private:
   Program &Prog;
   DiagnosticEngine &Diags;
   SymbolTable Table;
-  std::unordered_map<std::string, SymbolId> GlobalScope;
-  std::vector<std::unordered_map<std::string, SymbolId>> ProcScopes;
+  // Scope and procedure maps key by views into names the Program owns
+  // (declarations and procedure names), which outlive this walk.
+  std::unordered_map<std::string_view, SymbolId> GlobalScope;
+  std::vector<std::unordered_map<std::string_view, SymbolId>> ProcScopes;
+  std::unordered_map<std::string_view, ProcId> ProcIndex;
 };
 
 } // namespace detail

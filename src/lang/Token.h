@@ -16,7 +16,7 @@
 #include "support/SourceLoc.h"
 
 #include <cstdint>
-#include <string>
+#include <string_view>
 
 namespace ipcp {
 
@@ -69,12 +69,13 @@ enum class TokenKind {
 /// Returns a human-readable spelling of \p Kind for diagnostics.
 const char *tokenKindName(TokenKind Kind);
 
-/// One lexed token. \c Text is populated for identifiers; \c IntValue for
-/// integer literals.
+/// One lexed token. \c Text is populated for identifiers and views into
+/// the source buffer (zero-copy; the buffer must outlive the token);
+/// \c IntValue is populated for integer literals.
 struct Token {
   TokenKind Kind = TokenKind::Eof;
   SourceLoc Loc;
-  std::string Text;
+  std::string_view Text;
   int64_t IntValue = 0;
 
   bool is(TokenKind K) const { return Kind == K; }

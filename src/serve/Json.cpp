@@ -53,8 +53,20 @@ bool JsonValue::boolOr(const std::string &Key, bool Dflt) const {
 namespace {
 
 void dumpString(const std::string &S, std::string &Out) {
+  // Copy maximal runs of unescaped characters in one append; only '"',
+  // '\\', and control bytes break a run. Multi-kilobyte source strings
+  // dominate the analyze-request wire format, so this path is hot.
+  Out.reserve(Out.size() + S.size() + 2);
   Out += '"';
-  for (unsigned char C : S) {
+  const char *P = S.data();
+  const char *E = P + S.size();
+  const char *RunStart = P;
+  for (; P != E; ++P) {
+    unsigned char C = static_cast<unsigned char>(*P);
+    if (C != '"' && C != '\\' && C >= 0x20)
+      continue;
+    Out.append(RunStart, P);
+    RunStart = P + 1;
     switch (C) {
     case '"':
       Out += "\\\"";
@@ -71,16 +83,14 @@ void dumpString(const std::string &S, std::string &Out) {
     case '\t':
       Out += "\\t";
       break;
-    default:
-      if (C < 0x20) {
-        char Buf[8];
-        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
-        Out += Buf;
-      } else {
-        Out += static_cast<char>(C);
-      }
+    default: {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+      Out += Buf;
+    }
     }
   }
+  Out.append(RunStart, E);
   Out += '"';
 }
 
@@ -285,6 +295,19 @@ private:
       return fail("expected string");
     ++Pos;
     while (Pos < Text.size()) {
+      // Bulk-copy the run of plain characters up to the next quote,
+      // backslash, or control byte.
+      size_t RunStart = Pos;
+      while (Pos < Text.size()) {
+        unsigned char C = static_cast<unsigned char>(Text[Pos]);
+        if (C == '"' || C == '\\' || C < 0x20)
+          break;
+        ++Pos;
+      }
+      if (Pos != RunStart)
+        Out.append(Text.data() + RunStart, Pos - RunStart);
+      if (Pos >= Text.size())
+        break;
       char C = Text[Pos];
       if (C == '"') {
         ++Pos;
@@ -292,11 +315,6 @@ private:
       }
       if (static_cast<unsigned char>(C) < 0x20)
         return fail("raw control character in string");
-      if (C != '\\') {
-        Out += C;
-        ++Pos;
-        continue;
-      }
       // Escape sequence.
       if (++Pos >= Text.size())
         return fail("unterminated escape");

@@ -42,11 +42,15 @@ std::string ipcp::renderAnalysisReport(const PipelineOptions &Opts,
        << "  return jump functions: " << S.NumReturn << " ("
        << S.NumReturnConst << " const, " << S.NumReturnPoly
        << " polynomial, " << S.NumReturnBottom << " bottom)\n"
+       // The value-context memo counters are deliberately absent: they
+       // are warmth-dependent (a warm session's shared memo hits more
+       // than a cold run's), and a rendered report must be byte-
+       // identical between local and served, cold and warm. Memo
+       // effectiveness is reported where warmth is the point: the
+       // server's `stats` reply and the driver's suite summary.
        << "  solver: " << Result.SolverProcVisits << " visits, "
        << Result.SolverJfEvaluations << " evaluations, "
-       << Result.SolverCellLowerings << " cell lowerings, memo "
-       << Result.SolverMemoHits << " hits / " << Result.SolverMemoMisses
-       << " misses\n"
+       << Result.SolverCellLowerings << " cell lowerings\n"
        << "  constant prints: " << Result.ConstantPrints << "\n"
        << "  known-but-irrelevant globals (Metzger-Stroud): "
        << Result.KnownButIrrelevant << "\n";

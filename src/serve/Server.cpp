@@ -406,5 +406,17 @@ JsonValue Server::statsJson() const {
   C.set("entries", JsonValue(CS.Entries));
   C.set("capacity", JsonValue(static_cast<uint64_t>(Opts.CacheCapacity)));
   S.set("cache", C);
+
+  // Value-context memo effectiveness across every session this server
+  // has run (resident + evicted). The hit *rate* is the headline — raw
+  // counters alone hid a 0-hit memo for three PRs — with the empty
+  // denominator reported as 0 rather than NaN.
+  JsonValue M = JsonValue::object();
+  M.set("hits", JsonValue(CS.MemoHits));
+  M.set("misses", JsonValue(CS.MemoMisses));
+  uint64_t MemoTotal = CS.MemoHits + CS.MemoMisses;
+  M.set("hit_rate",
+        JsonValue(MemoTotal ? double(CS.MemoHits) / double(MemoTotal) : 0.0));
+  S.set("solver_memo", M);
   return S;
 }

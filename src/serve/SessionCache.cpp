@@ -23,6 +23,7 @@ void SessionCache::Program::ensureFrontend() {
       return;
     }
     Session = std::make_unique<AnalysisSession>(*Ctx, Symbols);
+    SessionReady.store(Session.get(), std::memory_order_release);
   });
 }
 
@@ -32,6 +33,10 @@ SessionCache::SessionCache(size_t Capacity)
 std::shared_ptr<SessionCache::Program>
 SessionCache::acquire(const std::string &Source, bool &WasResident) {
   uint64_t Key = contentHash(Source, "");
+  // Declared before the lock so an evicted Program (a full AST plus
+  // analysis session, milliseconds to tear down) is destroyed *after*
+  // the mutex is released, not while every other worker waits on it.
+  std::shared_ptr<Program> Doomed;
   std::lock_guard<std::mutex> Lock(Mutex);
   auto It = Index.find(Key);
   if (It != Index.end()) {
@@ -59,7 +64,16 @@ SessionCache::acquire(const std::string &Source, bool &WasResident) {
   if (Index.size() > Capacity) {
     uint64_t Victim = Lru.back();
     Lru.pop_back();
-    Index.erase(Victim);
+    auto VictimIt = Index.find(Victim);
+    if (AnalysisSession *S =
+            VictimIt->second.P->SessionReady.load(std::memory_order_acquire)) {
+      RetiredMemoHits.fetch_add(S->solverMemo().hits(),
+                                std::memory_order_relaxed);
+      RetiredMemoMisses.fetch_add(S->solverMemo().misses(),
+                                  std::memory_order_relaxed);
+    }
+    Doomed = std::move(VictimIt->second.P);
+    Index.erase(VictimIt);
     Evictions.fetch_add(1, std::memory_order_relaxed);
   }
   return P;
@@ -87,10 +101,19 @@ SessionCacheStats SessionCache::stats() const {
   S.SessionHits = SessionHits.load(std::memory_order_relaxed);
   S.Misses = Misses.load(std::memory_order_relaxed);
   S.Evictions = Evictions.load(std::memory_order_relaxed);
+  S.MemoHits = RetiredMemoHits.load(std::memory_order_relaxed);
+  S.MemoMisses = RetiredMemoMisses.load(std::memory_order_relaxed);
   {
     auto *Self = const_cast<SessionCache *>(this);
     std::lock_guard<std::mutex> Lock(Self->Mutex);
     S.Entries = Index.size();
+    for (const auto &[Key, Slot] : Self->Index) {
+      if (AnalysisSession *Live =
+              Slot.P->SessionReady.load(std::memory_order_acquire)) {
+        S.MemoHits += Live->solverMemo().hits();
+        S.MemoMisses += Live->solverMemo().misses();
+      }
+    }
   }
   return S;
 }

@@ -52,6 +52,11 @@ struct SessionCacheStats {
   uint64_t Misses = 0;      ///< Never-seen source (cold frontend).
   uint64_t Evictions = 0;   ///< Entries dropped by the LRU bound.
   uint64_t Entries = 0;     ///< Current resident programs.
+  /// Solver value-context memo counters, summed over every resident
+  /// session plus the sessions retired by eviction — the server-lifetime
+  /// view of how often warm sessions replayed recorded evaluations.
+  uint64_t MemoHits = 0;
+  uint64_t MemoMisses = 0;
 };
 
 class SessionCache {
@@ -67,6 +72,12 @@ public:
     std::unique_ptr<AstContext> Ctx;
     SymbolTable Symbols;
     std::unique_ptr<AnalysisSession> Session;
+
+    /// Session.get(), published (release) once ensureFrontend finishes.
+    /// The stats path reads sessions of programs it did not acquire, so
+    /// it must not touch the unique_ptr a concurrent first request may
+    /// still be assigning.
+    std::atomic<AnalysisSession *> SessionReady{nullptr};
 
     /// Finished reply payloads keyed by configKey(). Guarded by
     /// ReplyMutex (concurrent cells may finish different configs).
@@ -117,6 +128,12 @@ private:
   std::atomic<uint64_t> SessionHits{0};
   std::atomic<uint64_t> Misses{0};
   std::atomic<uint64_t> Evictions{0};
+  /// Memo counters of evicted sessions, folded in at eviction time so
+  /// the lifetime totals survive the LRU bound. (An in-flight request on
+  /// an evicted entry may still add a few hits afterwards — stats are a
+  /// snapshot, not an audit.)
+  std::atomic<uint64_t> RetiredMemoHits{0};
+  std::atomic<uint64_t> RetiredMemoMisses{0};
 };
 
 } // namespace ipcp

@@ -1,0 +1,37 @@
+//===- support/Arena.cpp - Chunked bump allocator -------------------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+
+#include <algorithm>
+
+using namespace ipcp;
+
+void *BumpArena::allocateSlow(size_t Size, size_t Align) {
+  // Oversized requests get a dedicated chunk so they never poison the
+  // growth schedule; Cur/End keep pointing into the current normal chunk.
+  size_t Needed = Size + Align;
+  if (Needed > NextChunkSize) {
+    Chunks.push_back(std::make_unique<char[]>(Needed));
+    char *Base = Chunks.back().get();
+    uintptr_t Aligned =
+        (reinterpret_cast<uintptr_t>(Base) + Align - 1) & ~uintptr_t(Align - 1);
+    Allocated += Size;
+    return reinterpret_cast<void *>(Aligned);
+  }
+
+  size_t ChunkSize = NextChunkSize;
+  NextChunkSize = std::min<size_t>(NextChunkSize * 2, size_t(256) << 10);
+  Chunks.push_back(std::make_unique<char[]>(ChunkSize));
+  Cur = Chunks.back().get();
+  End = Cur + ChunkSize;
+
+  uintptr_t Aligned =
+      (reinterpret_cast<uintptr_t>(Cur) + Align - 1) & ~uintptr_t(Align - 1);
+  Cur = reinterpret_cast<char *>(Aligned + Size);
+  Allocated += Size;
+  return reinterpret_cast<void *>(Aligned);
+}

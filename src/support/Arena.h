@@ -1,0 +1,61 @@
+//===- support/Arena.h - Chunked bump allocator -----------------*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A chunked bump allocator for node-sized objects that live exactly as
+/// long as their owning container (AST nodes in an AstContext). Objects
+/// are allocated with two pointer bumps and freed wholesale when the
+/// arena dies; the arena never runs destructors — owners that allocate
+/// non-trivially-destructible objects must track and destroy them
+/// explicitly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_SUPPORT_ARENA_H
+#define IPCP_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ipcp {
+
+/// Bump allocator over geometrically growing chunks.
+class BumpArena {
+public:
+  BumpArena() = default;
+  BumpArena(const BumpArena &) = delete;
+  BumpArena &operator=(const BumpArena &) = delete;
+
+  /// Returns \p Size bytes aligned to \p Align (a power of two no larger
+  /// than alignof(std::max_align_t)).
+  void *allocate(size_t Size, size_t Align) {
+    uintptr_t P = reinterpret_cast<uintptr_t>(Cur);
+    uintptr_t Aligned = (P + Align - 1) & ~uintptr_t(Align - 1);
+    if (Aligned + Size > reinterpret_cast<uintptr_t>(End)) [[unlikely]]
+      return allocateSlow(Size, Align);
+    Cur = reinterpret_cast<char *>(Aligned + Size);
+    Allocated += Size;
+    return reinterpret_cast<void *>(Aligned);
+  }
+
+  /// Total bytes handed out (diagnostics only).
+  size_t bytesAllocated() const { return Allocated; }
+
+private:
+  void *allocateSlow(size_t Size, size_t Align);
+
+  std::vector<std::unique_ptr<char[]>> Chunks;
+  char *Cur = nullptr;
+  char *End = nullptr;
+  size_t NextChunkSize = 4096;
+  size_t Allocated = 0;
+};
+
+} // namespace ipcp
+
+#endif // IPCP_SUPPORT_ARENA_H

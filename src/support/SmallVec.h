@@ -1,0 +1,177 @@
+//===- support/SmallVec.h - Inline-storage vector ---------------*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A vector with inline storage for the first \p N elements, restricted
+/// to trivially copyable element types. The SSA overlay attaches a
+/// handful of tiny arrays (operand values, phi inputs, kill sets) to
+/// every instruction; with std::vector each of those is a separate
+/// heap allocation built once and freed once per analyzed procedure,
+/// and the malloc/free traffic dominates session construction and
+/// teardown on the serve cold path. SmallVec keeps the common short
+/// case (one or two elements) entirely inline and only spills to the
+/// heap beyond \p N.
+///
+/// Deliberately minimal: exactly the operations the SSA structures use
+/// (push_back, assign, indexing, iteration). Not a general-purpose
+/// llvm::SmallVector replacement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_SUPPORT_SMALLVEC_H
+#define IPCP_SUPPORT_SMALLVEC_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+#include <type_traits>
+
+namespace ipcp {
+
+template <typename T, unsigned N> class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec only supports trivially copyable elements");
+  static_assert(N > 0, "inline capacity must be nonzero");
+
+public:
+  SmallVec() : Data(inlineData()) {}
+
+  SmallVec(const SmallVec &Other) : Data(inlineData()) {
+    assignRaw(Other.Data, Other.Count);
+  }
+
+  SmallVec(SmallVec &&Other) noexcept : Data(inlineData()) {
+    if (Other.isHeap()) {
+      Data = Other.Data;
+      Cap = Other.Cap;
+      Count = Other.Count;
+      Other.Data = Other.inlineData();
+      Other.Cap = N;
+      Other.Count = 0;
+    } else {
+      assignRaw(Other.Data, Other.Count);
+    }
+  }
+
+  SmallVec &operator=(const SmallVec &Other) {
+    if (this != &Other)
+      assignRaw(Other.Data, Other.Count);
+    return *this;
+  }
+
+  SmallVec &operator=(SmallVec &&Other) noexcept {
+    if (this == &Other)
+      return *this;
+    if (Other.isHeap()) {
+      if (isHeap())
+        std::free(Data);
+      Data = Other.Data;
+      Cap = Other.Cap;
+      Count = Other.Count;
+      Other.Data = Other.inlineData();
+      Other.Cap = N;
+      Other.Count = 0;
+    } else {
+      assignRaw(Other.Data, Other.Count);
+    }
+    return *this;
+  }
+
+  ~SmallVec() {
+    if (isHeap())
+      std::free(Data);
+  }
+
+  void push_back(const T &V) {
+    if (Count == Cap)
+      grow(Count + 1);
+    Data[Count++] = V;
+  }
+
+  /// Replaces the contents with \p Num copies of \p V.
+  void assign(size_t Num, const T &V) {
+    if (Num > Cap)
+      grow(Num);
+    for (size_t I = 0; I != Num; ++I)
+      Data[I] = V;
+    Count = static_cast<uint32_t>(Num);
+  }
+
+  void clear() { Count = 0; }
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  T &operator[](size_t I) {
+    assert(I < Count && "SmallVec index out of range");
+    return Data[I];
+  }
+  const T &operator[](size_t I) const {
+    assert(I < Count && "SmallVec index out of range");
+    return Data[I];
+  }
+
+  /// Bounds-checked access, matching std::vector::at.
+  const T &at(size_t I) const {
+    if (I >= Count)
+      throw std::out_of_range("SmallVec::at");
+    return Data[I];
+  }
+
+  T &back() {
+    assert(Count && "back() on empty SmallVec");
+    return Data[Count - 1];
+  }
+  const T &back() const {
+    assert(Count && "back() on empty SmallVec");
+    return Data[Count - 1];
+  }
+
+  T *begin() { return Data; }
+  T *end() { return Data + Count; }
+  const T *begin() const { return Data; }
+  const T *end() const { return Data + Count; }
+
+private:
+  T *inlineData() { return reinterpret_cast<T *>(Inline); }
+  const T *inlineData() const { return reinterpret_cast<const T *>(Inline); }
+  bool isHeap() const { return Data != inlineData(); }
+
+  void assignRaw(const T *Src, uint32_t Num) {
+    if (Num > Cap)
+      grow(Num);
+    if (Num)
+      std::memcpy(Data, Src, Num * sizeof(T));
+    Count = Num;
+  }
+
+  void grow(size_t MinCap) {
+    size_t NewCap = Cap * 2;
+    if (NewCap < MinCap)
+      NewCap = MinCap;
+    T *Fresh = static_cast<T *>(std::malloc(NewCap * sizeof(T)));
+    if (!Fresh)
+      throw std::bad_alloc();
+    if (Count)
+      std::memcpy(Fresh, Data, Count * sizeof(T));
+    if (isHeap())
+      std::free(Data);
+    Data = Fresh;
+    Cap = static_cast<uint32_t>(NewCap);
+  }
+
+  T *Data;
+  uint32_t Count = 0;
+  uint32_t Cap = N;
+  alignas(T) char Inline[N * sizeof(T)];
+};
+
+} // namespace ipcp
+
+#endif // IPCP_SUPPORT_SMALLVEC_H

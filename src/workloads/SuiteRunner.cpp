@@ -191,6 +191,8 @@ SuiteRunResult ipcp::runSuite(const std::vector<WorkloadProgram> &Programs,
     Result.Cache.VnReused += S.VnReused;
     Result.Cache.JfBasesBuilt += S.JfBasesBuilt;
     Result.Cache.JfBasesReused += S.JfBasesReused;
+    Result.Cache.SolverMemoHits += S.SolverMemoHits;
+    Result.Cache.SolverMemoMisses += S.SolverMemoMisses;
   }
   return Result;
 }

@@ -59,9 +59,12 @@ struct SuiteCell {
   /// Per-phase breakdown of this cell's run (FrontendMs is zero for
   /// shared-frontend cells; see SuiteRunResult::FrontendMs).
   PhaseTimings Timings;
-  /// Solver value-context memo counters of this cell's run.
-  unsigned SolverMemoHits = 0;
-  unsigned SolverMemoMisses = 0;
+  /// Solver value-context memo counters of this cell's run. 64-bit and
+  /// warmth/interleaving-dependent in Shared mode (cells share one memo,
+  /// so which cell records a context first depends on scheduling) —
+  /// like Timings, never part of determinism comparisons.
+  uint64_t SolverMemoHits = 0;
+  uint64_t SolverMemoMisses = 0;
 };
 
 /// The aggregated batch.

@@ -72,9 +72,12 @@ std::string fingerprint(const PipelineResult &R) {
       << S.NumForwardBottom << ' ' << S.TotalPolySupport << ' '
       << S.MaxPolySupport << ' ' << S.NumReturn << ' ' << S.NumReturnConst
       << ' ' << S.NumReturnPoly << ' ' << S.NumReturnBottom << '\n';
+  // SolverMemoHits/Misses are deliberately excluded alongside Timings:
+  // they measure cache effectiveness, not analysis results, and a warm
+  // session's shared value-context memo legitimately replays more than a
+  // cold run evaluates fresh.
   Out << R.SolverProcVisits << ' ' << R.SolverJfEvaluations << ' '
-      << R.SolverCellLowerings << ' ' << R.SolverMemoHits << ' '
-      << R.SolverMemoMisses << '\n';
+      << R.SolverCellLowerings << '\n';
   std::vector<int64_t> Values;
   for (const auto &[Id, Value] : R.Substitutions)
     Values.push_back(Value);
@@ -222,6 +225,38 @@ TEST(AnalysisSession, SolverMemoHitsOnRevisits) {
   EXPECT_EQ(R.SubstitutedConstants, Base.SubstitutedConstants);
   EXPECT_EQ(R.ConstantPrints, Base.ConstantPrints);
   EXPECT_EQ(R.SolverCellLowerings, Base.SolverCellLowerings);
+}
+
+TEST(AnalysisSession, CrossConfigReplayKeepsFingerprintsByteIdentical) {
+  // Every config that runs on one session shares its value-context memo.
+  // Sweeping all configs once warms the memo with contexts from *other*
+  // configs' solves; sweeping again replays largely out of the memo.
+  // Both sweeps must produce byte-identical fingerprints per config —
+  // memoized contexts may short-circuit work, never change results.
+  for (size_t PI : {size_t(0), benchmarkSuite().size() - 1}) {
+    const WorkloadProgram &P = benchmarkSuite()[PI];
+    WarmProgram W = warmUp(P.Source);
+    std::vector<std::string> FirstSweep;
+    for (const SuiteConfig &C : allConfigs()) {
+      PipelineOptions Opts = C.Opts;
+      Opts.EmitTransformedSource = true;
+      FirstSweep.push_back(fingerprint(warmRun(W, Opts)));
+    }
+    uint64_t MissesAfterFirst = W.Session->solverMemo().misses();
+    EXPECT_GT(MissesAfterFirst, 0u) << P.Name;
+
+    size_t I = 0;
+    for (const SuiteConfig &C : allConfigs()) {
+      PipelineOptions Opts = C.Opts;
+      Opts.EmitTransformedSource = true;
+      EXPECT_EQ(FirstSweep[I++], fingerprint(warmRun(W, Opts)))
+          << P.Name << " replay diverged under config " << C.Name;
+    }
+    // The replay sweep resolves previously-seen contexts from the memo:
+    // hits must have grown, and no new contexts may have been admitted.
+    EXPECT_GT(W.Session->solverMemo().hits(), 0u) << P.Name;
+    EXPECT_EQ(W.Session->solverMemo().misses(), MissesAfterFirst) << P.Name;
+  }
 }
 
 TEST(AnalysisSession, BatchFanoutCreatesExactlyOnePool) {

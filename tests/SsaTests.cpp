@@ -127,8 +127,8 @@ end
       const auto &Info = B.Ssa->instrInfo(Blk, I);
       // touch modifies its formal, so x is killed; g is not modified.
       ASSERT_EQ(Info.Kills.size(), 1u);
-      EXPECT_EQ(Info.Kills[0].first, X);
-      EXPECT_EQ(B.Ssa->def(Info.Kills[0].second).Kind,
+      EXPECT_EQ(Info.Kills[0].Sym, X);
+      EXPECT_EQ(B.Ssa->def(Info.Kills[0].Def).Kind,
                 SsaDefKind::CallKill);
       FoundKill = true;
     }

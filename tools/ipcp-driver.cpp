@@ -292,6 +292,23 @@ int main(int argc, char **argv) {
               << ", overlap: "
               << (Batch.WallMs > 0 ? Batch.CellMs / Batch.WallMs : 0.0)
               << "x\n";
+    if (Stats) {
+      // Hit *rate*, not raw counters: two counters hid a 0-hit memo for
+      // three PRs. Guarded denominator: a batch with no memo-eligible
+      // visits reports 0, not NaN. (The single-run report deliberately
+      // omits memo counters — they are warmth-dependent and that output
+      // must stay byte-identical between local and served runs; see
+      // serve/Render.cpp.)
+      uint64_t Hits = 0, Misses = 0;
+      for (const SuiteCell &Cell : Batch.Cells) {
+        Hits += Cell.SolverMemoHits;
+        Misses += Cell.SolverMemoMisses;
+      }
+      uint64_t Total = Hits + Misses;
+      std::cout << "solver memo: hit rate "
+                << (Total ? 100.0 * double(Hits) / double(Total) : 0.0)
+                << "% (" << Hits << " hits / " << Misses << " misses)\n";
+    }
     if (Time) {
       std::cout << std::fixed << std::setprecision(2)
                 << "per-cell phase timings (ms):\n";
@@ -302,9 +319,12 @@ int main(int argc, char **argv) {
                   << T.JumpFunctionsMs << ", solve " << T.SolveMs
                   << ", substitute " << T.SubstituteMs << ", total "
                   << T.TotalMs;
-        if (Cell.SolverMemoHits || Cell.SolverMemoMisses)
-          std::cout << " (memo " << Cell.SolverMemoHits << "/"
-                    << Cell.SolverMemoHits + Cell.SolverMemoMisses << ")";
+        // Hit *rate*, not raw counters: two counters hid a 0-hit memo
+        // for three PRs. Guard the cells with no memo-eligible visits.
+        if (uint64_t Total = Cell.SolverMemoHits + Cell.SolverMemoMisses)
+          std::cout << " (memo hit rate "
+                    << 100.0 * double(Cell.SolverMemoHits) / double(Total)
+                    << "% of " << Total << ")";
         std::cout << "\n";
       }
       if (Sharing == SuiteSharing::Shared) {
@@ -318,6 +338,14 @@ int main(int argc, char **argv) {
                   << " built/" << S.VnReused << " reused, jf bases "
                   << S.JfBasesBuilt << " built/" << S.JfBasesReused
                   << " reused\n";
+        uint64_t MemoTotal = S.SolverMemoHits + S.SolverMemoMisses;
+        std::cout << "solver memo: hit rate "
+                  << (MemoTotal
+                          ? 100.0 * double(S.SolverMemoHits) /
+                                double(MemoTotal)
+                          : 0.0)
+                  << "% (" << S.SolverMemoHits << " hits / "
+                  << S.SolverMemoMisses << " misses)\n";
       }
       std::cout << std::defaultfloat;
     }

@@ -20,6 +20,12 @@
 #     gate is relaxed under sanitizer presets, which tax the two
 #     engines unevenly).
 #
+# Under the default preset only, also runs the full (non-smoke) memo and
+# cold-path bench gates: the suite bench's >=0.3 solver-memo hit-rate and
+# >=2x warm-speedup gates, and the serve bench's >=2x hot-vs-cold and
+# byte-identity gates. Sanitizer presets skip these — wall-clock gates
+# are meaningless under instrumentation.
+#
 # When gcov is available, finishes with a small instrumented (cov
 # preset) check-fuzz run and prints the line-coverage summary the
 # campaign achieves over src/ (tools/coverage-report.sh).
@@ -29,8 +35,10 @@
 #             coverage pass)
 #   --tsan    also build the 'tsan' preset and run the tier-1,
 #             check-serve, and check-vm suites plus the VM bench smoke
-#             under ThreadSanitizer (opt-in: the TSan rebuild roughly
-#             doubles the sweep)
+#             under ThreadSanitizer, with an explicit pass over the
+#             session-shared solver-memo tests (the value-context memo
+#             is shared state reachable from pool workers) (opt-in: the
+#             TSan rebuild roughly doubles the sweep)
 #
 #===----------------------------------------------------------------------===//
 
@@ -79,6 +87,12 @@ for preset in "${PRESETS[@]}"; do
 
   echo "==== [$preset] bench smokes (check-bench) ===="
   ctest --test-dir "$builddir" -L check-bench --output-on-failure
+
+  if [[ "$preset" == "default" ]]; then
+    echo "==== [default] full memo/cold-path bench gates ===="
+    ./build/bench/incremental_speedup --json=build/BENCH_suite.json
+    ./build/bench/serve_throughput --json=build/BENCH_serve.json
+  fi
 done
 
 if [[ "$RUN_TSAN" == "1" ]]; then
@@ -89,6 +103,10 @@ if [[ "$RUN_TSAN" == "1" ]]; then
   echo "==== [tsan] tier-1 tests ===="
   ctest --test-dir build-tsan \
         -LE "check-oracle|check-bench|check-fuzz|check-serve|check-vm" \
+        --output-on-failure -j "$JOBS"
+
+  echo "==== [tsan] session-shared solver memo ===="
+  ctest --test-dir build-tsan -R 'AnalysisSession\.' --no-tests=error \
         --output-on-failure -j "$JOBS"
 
   echo "==== [tsan] analysis server (check-serve) ===="
