@@ -34,6 +34,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "exec/ExecEngine.h"
+#include "exec/Vm.h"
 #include "lang/Parser.h"
 #include "lang/Sema.h"
 #include "workloads/RandomProgram.h"
@@ -256,8 +257,8 @@ int main(int argc, char **argv) {
   }
 
   std::cout << "VM vs AST interpreter throughput (" << Reps
-            << " reps x 2 read seeds, max_steps 30000"
-            << (Smoke ? ", smoke" : "") << ")\n\n";
+            << " reps x 2 read seeds, max_steps 30000, dispatch: "
+            << vmDispatchMode() << (Smoke ? ", smoke" : "") << ")\n\n";
 
   // The fuzz row is the gated hot path: short runs where per-run
   // setup dominates, repeated enough times for a stable wall clock.
@@ -288,7 +289,8 @@ int main(int argc, char **argv) {
                   "  \"speedup\": %.3f,\n  \"gate\": %.1f,\n",
                   Gated.Vm.runsPerSec(), Gated.Ast.runsPerSec(), Speedup,
                   MinSpeedup);
-    Out << Buf << "  \"max_steps\": 30000,\n  \"reps\": " << Reps
+    Out << Buf << "  \"dispatch\": \"" << vmDispatchMode()
+        << "\",\n  \"max_steps\": 30000,\n  \"reps\": " << Reps
         << ",\n  \"smoke\": " << (Smoke ? "true" : "false") << "\n}\n";
     std::cout << "wrote " << JsonPath << '\n';
   }

@@ -5,8 +5,9 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The bytecode VM: a tight switch-dispatch loop over exec/Bytecode.h
-/// code objects. It is the oracle's and the fuzzer's execution hot
+/// The bytecode VM: a tight dispatch loop (computed goto on GCC/Clang,
+/// portable switch elsewhere — see vmDispatchMode()) over
+/// exec/Bytecode.h code objects. It is the oracle's and the fuzzer's execution hot
 /// path; the AST interpreter (exec/Interpreter.h) remains the normative
 /// semantics, and the VM reproduces its observable behavior exactly —
 /// PRINT trace, READ consumption, step accounting, trap kinds and
@@ -38,6 +39,13 @@
 #include "exec/Interpreter.h"
 
 namespace ipcp {
+
+/// Which dispatch strategy this build of the VM compiled in:
+/// "computed-goto" on compilers with labels-as-values (GCC/Clang),
+/// "switch" otherwise or when built with -DIPCP_VM_SWITCH_DISPATCH=ON.
+/// Both expand identical handler bodies; the bench reports the mode so
+/// throughput numbers are attributable.
+const char *vmDispatchMode();
 
 /// Executes compiled MiniFort programs. Stateless between runs like the
 /// interpreter: run() may be called repeatedly and concurrently from

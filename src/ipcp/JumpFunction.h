@@ -32,6 +32,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace ipcp {
@@ -85,10 +86,22 @@ public:
   /// environment.
   void appendFingerprint(std::string &Out) const;
 
+  /// Reverses appendFingerprint: parses one expression from the front of
+  /// \p Text, consuming exactly the bytes that printed it. Returns null
+  /// with a diagnostic in \p Error on malformed input — unknown node
+  /// tags, out-of-range operators, truncation, or nesting past a fixed
+  /// depth bound. Summary files cross process boundaries, so this parser
+  /// is as defensive as serve/Json's.
+  static std::unique_ptr<JfExpr> parseFingerprint(std::string_view &Text,
+                                                  std::string &Error);
+
   /// Renders with symbol names.
   std::string str(const SymbolTable &Symbols) const;
 
 private:
+  static std::unique_ptr<JfExpr> parseFp(std::string_view &Text,
+                                         std::string &Error, unsigned Depth);
+
   Node Kind = Node::Const;
   int64_t ConstValue = 0;
   SymbolId Param = InvalidSymbol;
@@ -151,6 +164,16 @@ public:
   /// across call sites, procedures, and configurations whose functions
   /// coincide.
   void appendFingerprint(std::string &Out) const;
+
+  /// Reverses appendFingerprint: rebuilds a jump function from the exact
+  /// bytes it prints (the summary files' on-disk encoding — SummaryIO.h).
+  /// All of \p Text must be consumed. The rebuilt function re-derives its
+  /// support through the normal factories, so a successful parse is
+  /// structurally indistinguishable from the original: re-appending its
+  /// fingerprint reproduces \p Text byte-for-byte. Returns false with a
+  /// diagnostic on any malformation; \p Out is untouched then.
+  static bool parseFingerprint(std::string_view Text, JumpFunction &Out,
+                               std::string &Error);
 
   /// Renders for dumps: "7", "passthrough(n)", "poly(n + 1)", "_|_".
   std::string str(const SymbolTable &Symbols) const;

@@ -66,12 +66,28 @@ void recordRunFeatures(FuzzFeedback *FB, const PipelineResult &R) {
 
 PipelineResult ipcp::runPipelineOnSession(AnalysisSession &Session,
                                           const PipelineOptions &Opts) {
+  return runPipelineOnSession(Session, Opts, nullptr);
+}
+
+PipelineResult
+ipcp::runPipelineOnSession(AnalysisSession &Session,
+                           const PipelineOptions &Opts,
+                           const ProgramJumpFunctions *PreloadedJfs) {
   PipelineResult Result;
   AstContext &Ctx = Session.ast();
   const SymbolTable &Symbols = Session.symbols();
   const Program &Prog = Ctx.program();
   if (!Prog.entryProc()) {
     Result.Error = "program has no 'main' procedure";
+    return Result;
+  }
+  if (PreloadedJfs && (Opts.CompletePropagation || Opts.IntraproceduralOnly)) {
+    Result.Error = Opts.CompletePropagation
+                       ? "preloaded jump functions cannot drive complete "
+                         "propagation (its rounds rebuild them from a "
+                         "mutated program)"
+                       : "intraprocedural-only propagation uses no jump "
+                         "functions to preload";
     return Result;
   }
 
@@ -134,21 +150,27 @@ PipelineResult ipcp::runPipelineOnSession(AnalysisSession &Session,
     Result.Timings.LowerMs += lapMs(Phase);
 
     ProgramJumpFunctions Jfs;
+    const ProgramJumpFunctions *ActiveJfs = &Jfs;
     SolveResult Solve;
     bool UseRjfInSccp = false;
     if (!Opts.IntraproceduralOnly) {
-      JumpFunctionOptions JfOpts;
-      JfOpts.Kind = Opts.Kind;
-      JfOpts.UseReturnJumpFunctions = Opts.UseReturnJumpFunctions;
-      JfOpts.UseMod = Opts.UseMod;
-      JfOpts.UseGatedSsa = Opts.UseGatedSsa;
-      Jfs = buildJumpFunctions(M, Symbols, CG, MRI, JfOpts, &Aliases, Pool,
-                               &Session);
+      if (PreloadedJfs) {
+        ActiveJfs = PreloadedJfs;
+      } else {
+        JumpFunctionOptions JfOpts;
+        JfOpts.Kind = Opts.Kind;
+        JfOpts.UseReturnJumpFunctions = Opts.UseReturnJumpFunctions;
+        JfOpts.UseMod = Opts.UseMod;
+        JfOpts.UseGatedSsa = Opts.UseGatedSsa;
+        Jfs = buildJumpFunctions(M, Symbols, CG, MRI, JfOpts, &Aliases, Pool,
+                                 &Session);
+      }
       Result.Timings.JumpFunctionsMs += lapMs(Phase);
       if (isCancelled(Opts.Cancel))
         return Abandon();
-      Solve = solveConstants(Symbols, CG, Jfs, Opts.Strategy, Opts.Feedback,
-                             Opts.Cancel, &Session.solverMemo());
+      Solve = solveConstants(Symbols, CG, *ActiveJfs, Opts.Strategy,
+                             Opts.Feedback, Opts.Cancel,
+                             &Session.solverMemo());
       Result.Timings.SolveMs += lapMs(Phase);
       if (Solve.Cancelled)
         return Abandon();
@@ -159,7 +181,7 @@ PipelineResult ipcp::runPipelineOnSession(AnalysisSession &Session,
 
     SubstitutionResult Subs = countSubstitutions(
         M, Symbols, CG, Opts.IntraproceduralOnly ? nullptr : &Solve, MRI,
-        UseRjfInSccp ? &Jfs : nullptr, &Aliases, Pool, &Session);
+        UseRjfInSccp ? ActiveJfs : nullptr, &Aliases, Pool, &Session);
     Result.Timings.SubstituteMs += lapMs(Phase);
 
     bool FinalRound = true;
@@ -183,7 +205,7 @@ PipelineResult ipcp::runPipelineOnSession(AnalysisSession &Session,
     Result.SubstitutedConstants = Subs.Total;
     Result.ConstantPrints = Subs.ConstantPrints;
     Result.PerProcSubstituted = Subs.PerProc;
-    Result.JfStats = Jfs.Stats;
+    Result.JfStats = ActiveJfs->Stats;
     Result.SolverProcVisits = Solve.ProcVisits;
     Result.SolverJfEvaluations = Solve.JfEvaluations;
     Result.SolverCellLowerings = Solve.CellLowerings;

@@ -1,0 +1,666 @@
+//===- ipcp/SummaryIO.cpp - Serializable jump-function summaries ----------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ipcp/SummaryIO.h"
+
+#include "ipcp/AnalysisSession.h"
+#include "serve/Json.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+
+using namespace ipcp;
+
+uint64_t ipcp::summarySourceHash(std::string_view Source) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (unsigned char C : Source) {
+    H ^= C;
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+bool ipcp::sameJumpFunctionOptions(const JumpFunctionOptions &A,
+                                   const JumpFunctionOptions &B) {
+  return A.Kind == B.Kind &&
+         A.UseReturnJumpFunctions == B.UseReturnJumpFunctions &&
+         A.UseMod == B.UseMod && A.UseGatedSsa == B.UseGatedSsa;
+}
+
+const char *ipcp::jumpFunctionKindToken(JumpFunctionKind K) {
+  switch (K) {
+  case JumpFunctionKind::Literal:
+    return "literal";
+  case JumpFunctionKind::IntraConst:
+    return "intra";
+  case JumpFunctionKind::PassThrough:
+    return "pass";
+  case JumpFunctionKind::Polynomial:
+    return "poly";
+  }
+  return "?";
+}
+
+bool ipcp::parseJumpFunctionKindToken(const std::string &Token,
+                                      JumpFunctionKind &Out) {
+  for (JumpFunctionKind K :
+       {JumpFunctionKind::Literal, JumpFunctionKind::IntraConst,
+        JumpFunctionKind::PassThrough, JumpFunctionKind::Polynomial})
+    if (Token == jumpFunctionKindToken(K)) {
+      Out = K;
+      return true;
+    }
+  return false;
+}
+
+namespace {
+
+const char *kindToken(JumpFunctionKind K) {
+  return jumpFunctionKindToken(K);
+}
+
+bool parseKindToken(const std::string &S, JumpFunctionKind &Out) {
+  return parseJumpFunctionKindToken(S, Out);
+}
+
+std::string hex64(uint64_t V) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+bool parseHex64(const std::string &S, uint64_t &V) {
+  if (S.size() != 16)
+    return false;
+  auto [Ptr, Ec] = std::from_chars(S.data(), S.data() + S.size(), V, 16);
+  return Ec == std::errc() && Ptr == S.data() + S.size();
+}
+
+std::string fingerprintOf(const JumpFunction &J) {
+  std::string Fp;
+  J.appendFingerprint(Fp);
+  return Fp;
+}
+
+void tallyForward(const JumpFunction &J, JumpFunctionStats &S) {
+  ++S.NumForward;
+  switch (J.form()) {
+  case JumpFunction::Form::Bottom:
+    ++S.NumForwardBottom;
+    break;
+  case JumpFunction::Form::Const:
+    ++S.NumForwardConst;
+    break;
+  case JumpFunction::Form::PassThrough:
+    ++S.NumForwardPassThrough;
+    break;
+  case JumpFunction::Form::Poly:
+    ++S.NumForwardPoly;
+    S.TotalPolySupport += J.support().size();
+    S.MaxPolySupport = std::max(S.MaxPolySupport, J.support().size());
+    break;
+  }
+}
+
+JsonValue statsJson(const JumpFunctionStats &S) {
+  JsonValue J = JsonValue::object();
+  J.set("forward", uint64_t(S.NumForward));
+  J.set("forward_const", uint64_t(S.NumForwardConst));
+  J.set("forward_pass", uint64_t(S.NumForwardPassThrough));
+  J.set("forward_poly", uint64_t(S.NumForwardPoly));
+  J.set("forward_bottom", uint64_t(S.NumForwardBottom));
+  J.set("poly_support_total", uint64_t(S.TotalPolySupport));
+  J.set("poly_support_max", uint64_t(S.MaxPolySupport));
+  J.set("returns", uint64_t(S.NumReturn));
+  J.set("return_const", uint64_t(S.NumReturnConst));
+  J.set("return_poly", uint64_t(S.NumReturnPoly));
+  J.set("return_bottom", uint64_t(S.NumReturnBottom));
+  return J;
+}
+
+/// Exact-key-set check: serialization never emits unknown members, so a
+/// loader that meets one is reading a different (or corrupted) schema.
+bool checkKeys(const JsonValue &Obj, std::initializer_list<const char *> Keys,
+               const char *What, std::string &Error) {
+  for (const auto &[K, V] : Obj.members()) {
+    (void)V;
+    if (std::find_if(Keys.begin(), Keys.end(), [&](const char *Want) {
+          return K == Want;
+        }) == Keys.end()) {
+      Error = std::string("unknown ") + What + " field '" + K + "'";
+      return false;
+    }
+  }
+  for (const char *Want : Keys)
+    if (!Obj.find(Want)) {
+      Error = std::string("missing ") + What + " field '" + Want + "'";
+      return false;
+    }
+  return true;
+}
+
+bool parseJf(const JsonValue &V, JumpFunction &Out, const char *What,
+             std::string &Error) {
+  if (!V.isString()) {
+    Error = std::string(What) + " must be a fingerprint string";
+    return false;
+  }
+  std::string FpError;
+  if (!JumpFunction::parseFingerprint(V.str(), Out, FpError)) {
+    Error = std::string("bad ") + What + ": " + FpError;
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+JumpFunctionStats ipcp::summaryStats(const ProgramSummary &S) {
+  JumpFunctionStats Out;
+  for (const ProcSummary &P : S.Procs) {
+    for (const CallSiteJumpFunctions &Site : P.Sites) {
+      for (const JumpFunction &J : Site.Args)
+        tallyForward(J, Out);
+      for (const JumpFunction &J : Site.Globals)
+        tallyForward(J, Out);
+    }
+    for (const auto &[Sym, J] : P.Returns) {
+      (void)Sym;
+      ++Out.NumReturn;
+      switch (J.form()) {
+      case JumpFunction::Form::Const:
+        ++Out.NumReturnConst;
+        break;
+      case JumpFunction::Form::Poly:
+        ++Out.NumReturnPoly;
+        break;
+      case JumpFunction::Form::Bottom:
+        ++Out.NumReturnBottom;
+        break;
+      case JumpFunction::Form::PassThrough:
+        break; // Counted in NumReturn only.
+      }
+    }
+  }
+  return Out;
+}
+
+std::string ipcp::serializeSummary(const ProgramSummary &S) {
+  JsonValue Doc = JsonValue::object();
+  Doc.set("format", "ipcp-jf-summary");
+  Doc.set("version", SummaryFormatVersion);
+  Doc.set("program", S.Program);
+  Doc.set("source_fnv", hex64(S.SourceHash));
+
+  JsonValue Cfg = JsonValue::object();
+  Cfg.set("jf", kindToken(S.Options.Kind));
+  Cfg.set("rjf", JsonValue(S.Options.UseReturnJumpFunctions));
+  Cfg.set("mod", JsonValue(S.Options.UseMod));
+  Cfg.set("gsa", JsonValue(S.Options.UseGatedSsa));
+  Doc.set("config", std::move(Cfg));
+
+  Doc.set("num_procs", uint64_t(S.NumProcs));
+  Doc.set("num_globals", uint64_t(S.NumGlobals));
+
+  JsonValue Procs = JsonValue::array();
+  for (const ProcSummary &P : S.Procs) {
+    JsonValue PJ = JsonValue::object();
+    PJ.set("id", uint64_t(P.Proc));
+    PJ.set("name", P.Name);
+    JsonValue Sites = JsonValue::array();
+    for (const CallSiteJumpFunctions &Site : P.Sites) {
+      JsonValue SJ = JsonValue::object();
+      JsonValue Args = JsonValue::array();
+      for (const JumpFunction &J : Site.Args)
+        Args.push(fingerprintOf(J));
+      JsonValue Globals = JsonValue::array();
+      for (const JumpFunction &J : Site.Globals)
+        Globals.push(fingerprintOf(J));
+      SJ.set("args", std::move(Args));
+      SJ.set("globals", std::move(Globals));
+      Sites.push(std::move(SJ));
+    }
+    PJ.set("sites", std::move(Sites));
+    JsonValue Returns = JsonValue::array();
+    for (const auto &[Sym, J] : P.Returns) {
+      JsonValue Pair = JsonValue::array();
+      Pair.push(uint64_t(Sym));
+      Pair.push(fingerprintOf(J));
+      Returns.push(std::move(Pair));
+    }
+    PJ.set("returns", std::move(Returns));
+    JsonValue Unstable = JsonValue::array();
+    for (SymbolId Sym : P.AliasUnstable)
+      Unstable.push(uint64_t(Sym));
+    PJ.set("alias_unstable", std::move(Unstable));
+    Procs.push(std::move(PJ));
+  }
+  Doc.set("procs", std::move(Procs));
+  Doc.set("stats", statsJson(summaryStats(S)));
+  return Doc.dump();
+}
+
+bool ipcp::parseSummary(std::string_view Text, ProgramSummary &Out,
+                        std::string &Error) {
+  std::optional<JsonValue> Doc = parseJson(Text, Error);
+  if (!Doc) {
+    Error = "summary is not valid JSON: " + Error;
+    return false;
+  }
+  if (!Doc->isObject()) {
+    Error = "summary must be a JSON object";
+    return false;
+  }
+  if (!checkKeys(*Doc,
+                 {"format", "version", "program", "source_fnv", "config",
+                  "num_procs", "num_globals", "procs", "stats"},
+                 "summary", Error))
+    return false;
+
+  const JsonValue *Format = Doc->find("format");
+  if (!Format->isString() || Format->str() != "ipcp-jf-summary") {
+    Error = "not an ipcp jump-function summary (bad 'format')";
+    return false;
+  }
+  const JsonValue *Version = Doc->find("version");
+  if (!Version->isInt() || Version->integer() != SummaryFormatVersion) {
+    Error = "summary format version mismatch (got " +
+            (Version->isInt() ? std::to_string(Version->integer())
+                              : std::string("non-integer")) +
+            ", want " + std::to_string(SummaryFormatVersion) + ")";
+    return false;
+  }
+
+  ProgramSummary S;
+  const JsonValue *Program = Doc->find("program");
+  if (!Program->isString() || Program->str().empty()) {
+    Error = "summary 'program' must be a non-empty string";
+    return false;
+  }
+  S.Program = Program->str();
+
+  const JsonValue *Fnv = Doc->find("source_fnv");
+  if (!Fnv->isString() || !parseHex64(Fnv->str(), S.SourceHash)) {
+    Error = "summary 'source_fnv' must be a 16-digit hex string";
+    return false;
+  }
+
+  const JsonValue *Cfg = Doc->find("config");
+  if (!Cfg->isObject()) {
+    Error = "summary 'config' must be an object";
+    return false;
+  }
+  if (!checkKeys(*Cfg, {"jf", "rjf", "mod", "gsa"}, "config", Error))
+    return false;
+  const JsonValue *Jf = Cfg->find("jf");
+  if (!Jf->isString() || !parseKindToken(Jf->str(), S.Options.Kind)) {
+    Error = "config.jf must be literal|intra|pass|poly";
+    return false;
+  }
+  for (const char *Key : {"rjf", "mod", "gsa"}) {
+    const JsonValue *B = Cfg->find(Key);
+    if (!B->isBool()) {
+      Error = std::string("config.") + Key + " must be a boolean";
+      return false;
+    }
+  }
+  S.Options.UseReturnJumpFunctions = Cfg->find("rjf")->boolean();
+  S.Options.UseMod = Cfg->find("mod")->boolean();
+  S.Options.UseGatedSsa = Cfg->find("gsa")->boolean();
+
+  const JsonValue *NumProcs = Doc->find("num_procs");
+  const JsonValue *NumGlobals = Doc->find("num_globals");
+  if (!NumProcs->isInt() || NumProcs->integer() < 0 || !NumGlobals->isInt() ||
+      NumGlobals->integer() < 0) {
+    Error = "summary proc/global counts must be non-negative integers";
+    return false;
+  }
+  S.NumProcs = size_t(NumProcs->integer());
+  S.NumGlobals = size_t(NumGlobals->integer());
+
+  const JsonValue *Procs = Doc->find("procs");
+  if (!Procs->isArray()) {
+    Error = "summary 'procs' must be an array";
+    return false;
+  }
+  int64_t PrevId = -1;
+  for (const JsonValue &PJ : Procs->elements()) {
+    if (!PJ.isObject()) {
+      Error = "summary procedure entries must be objects";
+      return false;
+    }
+    if (!checkKeys(PJ, {"id", "name", "sites", "returns", "alias_unstable"},
+                   "procedure", Error))
+      return false;
+    ProcSummary P;
+    const JsonValue *Id = PJ.find("id");
+    if (!Id->isInt() || Id->integer() <= PrevId ||
+        Id->integer() >= int64_t(S.NumProcs)) {
+      Error = "procedure ids must be ascending and below num_procs";
+      return false;
+    }
+    PrevId = Id->integer();
+    P.Proc = ProcId(Id->integer());
+    const JsonValue *Name = PJ.find("name");
+    if (!Name->isString() || Name->str().empty()) {
+      Error = "procedure 'name' must be a non-empty string";
+      return false;
+    }
+    P.Name = Name->str();
+
+    const JsonValue *Sites = PJ.find("sites");
+    if (!Sites->isArray()) {
+      Error = "procedure 'sites' must be an array";
+      return false;
+    }
+    for (const JsonValue &SJ : Sites->elements()) {
+      if (!SJ.isObject()) {
+        Error = "call-site entries must be objects";
+        return false;
+      }
+      if (!checkKeys(SJ, {"args", "globals"}, "site", Error))
+        return false;
+      CallSiteJumpFunctions Site;
+      const JsonValue *Args = SJ.find("args");
+      const JsonValue *Globals = SJ.find("globals");
+      if (!Args->isArray() || !Globals->isArray()) {
+        Error = "site 'args'/'globals' must be arrays";
+        return false;
+      }
+      for (const JsonValue &V : Args->elements()) {
+        JumpFunction J;
+        if (!parseJf(V, J, "argument jump function", Error))
+          return false;
+        Site.Args.push_back(std::move(J));
+      }
+      if (Globals->elements().size() != S.NumGlobals) {
+        Error = "site global jump-function count disagrees with num_globals";
+        return false;
+      }
+      for (const JsonValue &V : Globals->elements()) {
+        JumpFunction J;
+        if (!parseJf(V, J, "global jump function", Error))
+          return false;
+        Site.Globals.push_back(std::move(J));
+      }
+      P.Sites.push_back(std::move(Site));
+    }
+
+    const JsonValue *Returns = PJ.find("returns");
+    if (!Returns->isArray()) {
+      Error = "procedure 'returns' must be an array";
+      return false;
+    }
+    int64_t PrevSym = -1;
+    for (const JsonValue &Pair : Returns->elements()) {
+      if (!Pair.isArray() || Pair.elements().size() != 2 ||
+          !Pair.elements()[0].isInt()) {
+        Error = "return entries must be [symbol-id, fingerprint] pairs";
+        return false;
+      }
+      int64_t Sym = Pair.elements()[0].integer();
+      if (Sym <= PrevSym || Sym < 0 || Sym >= int64_t(InvalidSymbol)) {
+        Error = "return symbol ids must be ascending and in range";
+        return false;
+      }
+      PrevSym = Sym;
+      JumpFunction J;
+      if (!parseJf(Pair.elements()[1], J, "return jump function", Error))
+        return false;
+      P.Returns.emplace_back(SymbolId(Sym), std::move(J));
+    }
+
+    const JsonValue *Unstable = PJ.find("alias_unstable");
+    if (!Unstable->isArray()) {
+      Error = "procedure 'alias_unstable' must be an array";
+      return false;
+    }
+    PrevSym = -1;
+    for (const JsonValue &V : Unstable->elements()) {
+      if (!V.isInt() || V.integer() <= PrevSym ||
+          V.integer() >= int64_t(InvalidSymbol)) {
+        Error = "alias_unstable ids must be ascending symbol ids";
+        return false;
+      }
+      PrevSym = V.integer();
+      P.AliasUnstable.push_back(SymbolId(V.integer()));
+    }
+    S.Procs.push_back(std::move(P));
+  }
+
+  // The stats block is a structural checksum: recompute from what we
+  // parsed and require agreement, so content corruption that still
+  // parses (a dropped procedure, a swapped fingerprint file) is caught.
+  const JsonValue *Stats = Doc->find("stats");
+  if (!Stats->isObject()) {
+    Error = "summary 'stats' must be an object";
+    return false;
+  }
+  std::string Expect = statsJson(summaryStats(S)).dump();
+  if (Stats->dump() != Expect) {
+    Error = "summary stats disagree with content (corrupted or hand-edited "
+            "summary)";
+    return false;
+  }
+
+  Out = std::move(S);
+  return true;
+}
+
+ProgramSummary ipcp::makeSummary(std::string ProgramName, uint64_t SourceHash,
+                                 const Module &M, const SymbolTable &Symbols,
+                                 const CallGraph &CG,
+                                 const ProgramJumpFunctions &Jfs,
+                                 const RefAliasInfo *Aliases,
+                                 const std::vector<ProcId> &Procs) {
+  ProgramSummary S;
+  S.Program = std::move(ProgramName);
+  S.SourceHash = SourceHash;
+  S.Options = Jfs.Options;
+  S.NumProcs = CG.numProcs();
+  S.NumGlobals = Symbols.globalScalars().size();
+
+  std::vector<ProcId> Cover = Procs;
+  if (Cover.empty())
+    for (ProcId P = 0; P < S.NumProcs; ++P)
+      Cover.push_back(P);
+  std::sort(Cover.begin(), Cover.end());
+
+  for (ProcId P : Cover) {
+    ProcSummary PS;
+    PS.Proc = P;
+    PS.Name = M.function(P).name();
+    for (const CallSiteJumpFunctions &Site : Jfs.PerSite.at(P)) {
+      CallSiteJumpFunctions Copy;
+      for (const JumpFunction &J : Site.Args)
+        Copy.Args.push_back(J.clone());
+      for (const JumpFunction &J : Site.Globals)
+        Copy.Globals.push_back(J.clone());
+      PS.Sites.push_back(std::move(Copy));
+    }
+    for (const auto &[Sym, J] : Jfs.ReturnJfs.at(P))
+      PS.Returns.emplace_back(Sym, J.clone());
+    std::sort(PS.Returns.begin(), PS.Returns.end(),
+              [](const auto &A, const auto &B) { return A.first < B.first; });
+    if (Aliases) {
+      const std::vector<uint8_t> &Mask = Aliases->unstableMask(P);
+      for (SymbolId Sym = 0; Sym < Mask.size(); ++Sym)
+        if (Mask[Sym])
+          PS.AliasUnstable.push_back(Sym);
+    }
+    S.Procs.push_back(std::move(PS));
+  }
+  return S;
+}
+
+ProgramSummary ipcp::buildSummary(AnalysisSession &Session,
+                                  const JumpFunctionOptions &Opts,
+                                  std::string ProgramName, uint64_t SourceHash,
+                                  ThreadPool *Pool) {
+  const Module &M = Session.module();
+  const CallGraph &CG = Session.callGraph();
+  const ModRefInfo *MRI = Session.modRef(Opts.UseMod);
+  const RefAliasInfo &Aliases = Session.refAlias(Opts.UseMod);
+  ProgramJumpFunctions Jfs =
+      buildJumpFunctions(M, Session.symbols(), CG, MRI, Opts, &Aliases, Pool,
+                         &Session);
+  return makeSummary(std::move(ProgramName), SourceHash, M, Session.symbols(),
+                     CG, Jfs, &Aliases);
+}
+
+bool ipcp::mergeSummaries(std::vector<ProgramSummary> Parts,
+                          ProgramSummary &Out, std::string &Error) {
+  if (Parts.empty()) {
+    Error = "no summary parts to merge";
+    return false;
+  }
+  ProgramSummary Merged;
+  const ProgramSummary &First = Parts.front();
+  Merged.Program = First.Program;
+  Merged.SourceHash = First.SourceHash;
+  Merged.Options = First.Options;
+  Merged.NumProcs = First.NumProcs;
+  Merged.NumGlobals = First.NumGlobals;
+
+  std::vector<int> Owner(Merged.NumProcs, -1);
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    ProgramSummary &Part = Parts[I];
+    if (Part.Program != Merged.Program) {
+      Error = "part " + std::to_string(I) + " summarizes program '" +
+              Part.Program + "', not '" + Merged.Program + "'";
+      return false;
+    }
+    if (Part.SourceHash != Merged.SourceHash) {
+      Error = "part " + std::to_string(I) +
+              " was built from different source text (hash mismatch)";
+      return false;
+    }
+    if (!sameJumpFunctionOptions(Part.Options, Merged.Options)) {
+      Error = "part " + std::to_string(I) +
+              " was built under a different configuration";
+      return false;
+    }
+    if (Part.NumProcs != Merged.NumProcs ||
+        Part.NumGlobals != Merged.NumGlobals) {
+      Error = "part " + std::to_string(I) + " disagrees on program shape";
+      return false;
+    }
+    for (ProcSummary &P : Part.Procs) {
+      if (P.Proc >= Merged.NumProcs) {
+        Error = "part " + std::to_string(I) + " covers out-of-range procedure";
+        return false;
+      }
+      if (Owner[P.Proc] >= 0) {
+        Error = "procedure '" + P.Name + "' (id " + std::to_string(P.Proc) +
+                ") appears in parts " + std::to_string(Owner[P.Proc]) +
+                " and " + std::to_string(I) + " — overlapping partition";
+        return false;
+      }
+      Owner[P.Proc] = int(I);
+      Merged.Procs.push_back(std::move(P));
+    }
+  }
+  for (ProcId P = 0; P < Merged.NumProcs; ++P)
+    if (Owner[P] < 0) {
+      Error = "no part covers procedure id " + std::to_string(P) +
+              " — gapped partition";
+      return false;
+    }
+  std::sort(Merged.Procs.begin(), Merged.Procs.end(),
+            [](const ProcSummary &A, const ProcSummary &B) {
+              return A.Proc < B.Proc;
+            });
+  Out = std::move(Merged);
+  return true;
+}
+
+bool ipcp::reconstituteJumpFunctions(const ProgramSummary &S, const Module &M,
+                                     const SymbolTable &Symbols,
+                                     const CallGraph &CG,
+                                     ProgramJumpFunctions &Out,
+                                     std::string &Error) {
+  if (!S.complete()) {
+    Error = "summary of '" + S.Program + "' is partial (" +
+            std::to_string(S.Procs.size()) + " of " +
+            std::to_string(S.NumProcs) + " procedures); merge before solving";
+    return false;
+  }
+  if (S.NumProcs != CG.numProcs()) {
+    Error = "summary procedure count (" + std::to_string(S.NumProcs) +
+            ") disagrees with the loaded program (" +
+            std::to_string(CG.numProcs()) + ")";
+    return false;
+  }
+  if (S.NumGlobals != Symbols.globalScalars().size()) {
+    Error = "summary global count disagrees with the loaded program";
+    return false;
+  }
+
+  ProgramJumpFunctions Jfs;
+  Jfs.Options = S.Options;
+  Jfs.PerSite.resize(S.NumProcs);
+  Jfs.ReturnJfs.resize(S.NumProcs);
+  for (const ProcSummary &P : S.Procs) {
+    if (M.function(P.Proc).name() != P.Name) {
+      Error = "summary procedure " + std::to_string(P.Proc) + " is named '" +
+              P.Name + "' but the loaded program has '" +
+              M.function(P.Proc).name() + "'";
+      return false;
+    }
+    const std::vector<CallSite> &Sites = CG.callSitesIn(P.Proc);
+    // The builder leaves unreachable procedures' site lists empty; accept
+    // exactly that shape or the full one.
+    if (!P.Sites.empty() && P.Sites.size() != Sites.size()) {
+      Error = "summary call-site count for '" + P.Name +
+              "' disagrees with the loaded program";
+      return false;
+    }
+    if (P.Sites.empty() && !Sites.empty() && CG.isReachable(P.Proc)) {
+      Error = "summary covers reachable procedure '" + P.Name +
+              "' without its call sites";
+      return false;
+    }
+    for (size_t I = 0; I < P.Sites.size(); ++I) {
+      const CallSiteJumpFunctions &Site = P.Sites[I];
+      if (Site.Args.size() != Symbols.formals(Sites[I].Callee).size()) {
+        Error = "summary argument count at a call in '" + P.Name +
+                "' disagrees with the callee's formals";
+        return false;
+      }
+      CallSiteJumpFunctions Copy;
+      for (const JumpFunction &J : Site.Args)
+        Copy.Args.push_back(J.clone());
+      for (const JumpFunction &J : Site.Globals)
+        Copy.Globals.push_back(J.clone());
+      Jfs.PerSite[P.Proc].push_back(std::move(Copy));
+    }
+    for (const auto &[Sym, J] : P.Returns) {
+      if (Sym >= Symbols.size()) {
+        Error = "summary return jump function in '" + P.Name +
+                "' names an out-of-range symbol";
+        return false;
+      }
+      Jfs.ReturnJfs[P.Proc].emplace(Sym, J.clone());
+    }
+  }
+  Jfs.Stats = summaryStats(S);
+  Out = std::move(Jfs);
+  return true;
+}
+
+bool ipcp::solveSummary(const ProgramSummary &S, const Module &M,
+                        const SymbolTable &Symbols, const CallGraph &CG,
+                        SolverStrategy Strategy, SolveResult &Out,
+                        std::string &Error, ValueContextMemo *Memo) {
+  ProgramJumpFunctions Jfs;
+  if (!reconstituteJumpFunctions(S, M, Symbols, CG, Jfs, Error))
+    return false;
+  Out = solveConstants(Symbols, CG, Jfs, Strategy, /*Feedback=*/nullptr,
+                       /*Cancel=*/nullptr, Memo);
+  return true;
+}

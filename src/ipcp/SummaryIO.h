@@ -1,0 +1,172 @@
+//===- ipcp/SummaryIO.h - Serializable jump-function summaries --*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The distributed tier's interchange format: per-procedure jump-function
+/// summaries as versioned, canonical JSON — the analogue of libosuction's
+/// per-TU jump-function files, which cooperating compiler processes write
+/// independently and a merge step folds into one whole-program
+/// propagation. A summary carries, per procedure, the forward jump
+/// functions of every call site, the return jump functions, and the
+/// alias-unstable mask the builder saw; every jump function is stored as
+/// its extensional fingerprint (JumpFunction::appendFingerprint), so
+///
+///   * serialization is deterministic: equal summaries produce equal
+///     bytes (JsonValue keeps object keys sorted, fingerprints are exact
+///     structural encodings, procedures and return entries are sorted);
+///   * a load round-trips byte-identically under the existing
+///     fingerprint machinery — re-fingerprinting a reconstituted jump
+///     function reproduces the stored bytes, so the value-context memo
+///     groups reconstituted functions with freshly built ones.
+///
+/// Robustness contract (summary files cross process boundaries, like the
+/// fuzz corpus and the serve protocol): parseSummary, mergeSummaries and
+/// reconstituteJumpFunctions never abort on malformed input. Truncated
+/// files, version skew, unknown fields, out-of-range ids, fingerprint
+/// garbage, stats that disagree with content, and overlapping or gapped
+/// partitions all produce a diagnostic and a clean failure — a summary is
+/// either loaded exactly or rejected loudly, never silently merged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_IPCP_SUMMARYIO_H
+#define IPCP_IPCP_SUMMARYIO_H
+
+#include "ipcp/JumpFunctionBuilder.h"
+#include "ipcp/Solver.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ipcp {
+class AnalysisSession;
+class ThreadPool;
+
+/// The on-disk format version serializeSummary writes and parseSummary
+/// accepts. Bump on any schema change; loaders reject other versions.
+inline constexpr int SummaryFormatVersion = 1;
+
+/// The summary of one procedure's jump functions.
+struct ProcSummary {
+  ProcId Proc = 0;
+  /// Procedure name — a cheap cross-process guard that the summary and
+  /// the program it is applied to agree on procedure numbering.
+  std::string Name;
+  /// Parallel to CallGraph::callSitesIn(Proc); empty for procedures the
+  /// builder skipped as unreachable.
+  std::vector<CallSiteJumpFunctions> Sites;
+  /// Return jump functions, sorted by callee-side SymbolId.
+  std::vector<std::pair<SymbolId, JumpFunction>> Returns;
+  /// Symbols RefAliasInfo marked unstable in this procedure (ascending):
+  /// the alias mask the jump functions above were built under.
+  std::vector<SymbolId> AliasUnstable;
+
+  ProcSummary() = default;
+  ProcSummary(ProcSummary &&) = default;
+  ProcSummary &operator=(ProcSummary &&) = default;
+};
+
+/// A serializable (possibly partial) jump-function summary of one
+/// program under one builder configuration.
+struct ProgramSummary {
+  std::string Program;
+  /// FNV-1a of the program source; guards against applying a summary to
+  /// a program that merely shares the name.
+  uint64_t SourceHash = 0;
+  JumpFunctionOptions Options;
+  /// Whole-program shape guards: procedure and global-scalar counts.
+  size_t NumProcs = 0;
+  size_t NumGlobals = 0;
+  /// Covered procedures, ascending by ProcId. A partial summary (one
+  /// shard's slice) covers a subset; mergeSummaries assembles full ones.
+  std::vector<ProcSummary> Procs;
+
+  ProgramSummary() = default;
+  ProgramSummary(ProgramSummary &&) = default;
+  ProgramSummary &operator=(ProgramSummary &&) = default;
+
+  /// True when every procedure 0..NumProcs-1 is covered.
+  bool complete() const { return Procs.size() == NumProcs; }
+};
+
+/// Byte-wise FNV-1a of \p Source. Serialized into summary files, so its
+/// values are pinned — do not change the mixing.
+uint64_t summarySourceHash(std::string_view Source);
+
+/// Canonical token of a jump-function kind ("literal", "intra", "pass",
+/// "poly") and its inverse — shared by the summary format and the shard
+/// job files so the two never drift.
+const char *jumpFunctionKindToken(JumpFunctionKind K);
+bool parseJumpFunctionKindToken(const std::string &Token,
+                                JumpFunctionKind &Out);
+
+/// True when the two configurations build identical jump functions.
+bool sameJumpFunctionOptions(const JumpFunctionOptions &A,
+                             const JumpFunctionOptions &B);
+
+/// Statistics recomputed from a summary's content (deterministic in the
+/// content alone; serialized alongside it and checked on load as a
+/// structural checksum). Matches JumpFunctionStats' counting for the
+/// fields derivable from the stored functions.
+JumpFunctionStats summaryStats(const ProgramSummary &S);
+
+/// Serializes to one canonical JSON line (no trailing newline). Equal
+/// summaries produce equal bytes.
+std::string serializeSummary(const ProgramSummary &S);
+
+/// Strict parse + validation of one summary document. Returns false with
+/// a diagnostic on any malformation (see the file comment's contract);
+/// \p Out is unspecified then.
+bool parseSummary(std::string_view Text, ProgramSummary &Out,
+                  std::string &Error);
+
+/// Extracts the summary of \p Procs (empty = every procedure) from a
+/// built ProgramJumpFunctions. \p Aliases may be null (no by-reference
+/// aliasing analyzed — the masks serialize empty).
+ProgramSummary makeSummary(std::string ProgramName, uint64_t SourceHash,
+                           const Module &M, const SymbolTable &Symbols,
+                           const CallGraph &CG,
+                           const ProgramJumpFunctions &Jfs,
+                           const RefAliasInfo *Aliases,
+                           const std::vector<ProcId> &Procs = {});
+
+/// Builds the full summary of one checked program through \p Session's
+/// caches (byte-identical to a cold build; see JumpFunctionBuilder).
+ProgramSummary buildSummary(AnalysisSession &Session,
+                            const JumpFunctionOptions &Opts,
+                            std::string ProgramName, uint64_t SourceHash,
+                            ThreadPool *Pool = nullptr);
+
+/// Merges per-procedure partial summaries into one complete summary.
+/// Every part must agree on program, source hash, configuration, and
+/// shape; the covered procedure sets must neither overlap nor leave a
+/// gap. Any violation fails loudly with a diagnostic naming the part.
+bool mergeSummaries(std::vector<ProgramSummary> Parts, ProgramSummary &Out,
+                    std::string &Error);
+
+/// Reconstitutes a complete summary into solver-ready jump functions,
+/// validating its shape against the program actually loaded: procedure
+/// names, per-procedure call-site counts, per-site argument counts
+/// against the callee's formals, and global counts must all line up.
+bool reconstituteJumpFunctions(const ProgramSummary &S, const Module &M,
+                               const SymbolTable &Symbols,
+                               const CallGraph &CG,
+                               ProgramJumpFunctions &Out, std::string &Error);
+
+/// The loader's end state: reconstitutes \p S and runs the
+/// interprocedural propagation over it — stage 3 from a file instead of
+/// a same-process stage 2. \p Memo may be null.
+bool solveSummary(const ProgramSummary &S, const Module &M,
+                  const SymbolTable &Symbols, const CallGraph &CG,
+                  SolverStrategy Strategy, SolveResult &Out,
+                  std::string &Error, ValueContextMemo *Memo = nullptr);
+
+} // namespace ipcp
+
+#endif // IPCP_IPCP_SUMMARYIO_H

@@ -1,0 +1,55 @@
+//===- serve/Handler.h - Transport-facing request interface -----*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// What a transport needs from whatever answers request lines. Two
+/// implementations exist: Server (computes replies itself) and Router
+/// (forwards to a fleet of backend servers). Transports pump lines into
+/// submit() and write back whatever the completion callback delivers —
+/// they never know which side of the split they are talking to, which is
+/// what lets one ipcp-serve binary be either a backend or a front tier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_SERVE_HANDLER_H
+#define IPCP_SERVE_HANDLER_H
+
+#include <functional>
+#include <future>
+#include <string>
+
+namespace ipcp {
+
+class RequestHandler {
+public:
+  virtual ~RequestHandler() = default;
+
+  /// Parses and answers one request line asynchronously. \p Done is
+  /// invoked exactly once — possibly on the calling thread — with the
+  /// serialized reply line (no trailing newline). \p Done must be
+  /// thread-safe against other replies and must not block.
+  virtual void submit(std::string Line,
+                      std::function<void(std::string)> Done) = 0;
+
+  /// Synchronous submit: blocks until the reply is ready.
+  virtual std::string handle(const std::string &Line) {
+    std::promise<std::string> P;
+    std::future<std::string> F = P.get_future();
+    submit(Line, [&P](std::string Reply) { P.set_value(std::move(Reply)); });
+    return F.get();
+  }
+
+  /// True once a shutdown has begun draining; transports stop reading.
+  virtual bool draining() const = 0;
+
+  /// Begins draining (idempotent) and blocks until every admitted
+  /// request has been answered.
+  virtual void shutdown() = 0;
+};
+
+} // namespace ipcp
+
+#endif // IPCP_SERVE_HANDLER_H

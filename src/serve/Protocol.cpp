@@ -340,6 +340,26 @@ uint64_t ipcp::contentHash(const std::string &Source,
   return H;
 }
 
+uint64_t ipcp::requestContentKey(const ServeRequest &Req) {
+  std::string K = Req.Method == ServeMethod::AnalyzeSource ||
+                          Req.Method == ServeMethod::AnalyzeSuiteProgram
+                      ? "analyze"
+                      : serveMethodName(Req.Method);
+  K += '\n';
+  K += configKey(Req.Config, Req.Report);
+  K += "\nseed=";
+  K += std::to_string(Req.ReadSeed);
+  K += " steps=";
+  K += std::to_string(Req.MaxSteps);
+  K += " exec=";
+  K += execEngineName(Req.Exec);
+  // The server hashes the resolved source (a suite name has already been
+  // replaced by its text); the router sees the unresolved request and
+  // hashes the suite name instead — either way the key is a pure
+  // function of the request's content.
+  return contentHash(Req.Source.empty() ? Req.SuiteProgram : Req.Source, K);
+}
+
 std::string ipcp::makeOkReply(const std::string &Id, JsonValue Result) {
   JsonValue Reply = JsonValue::object();
   Reply.set("id", Id);

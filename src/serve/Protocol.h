@@ -110,6 +110,16 @@ std::string configKey(const PipelineOptions &Opts, const ReportOptions &R);
 /// coalescing key.
 uint64_t contentHash(const std::string &Source, const std::string &CfgKey);
 
+/// The whole request's content key: contentHash over everything that
+/// determines the reply (method class, source or suite-program name,
+/// config, report flags, seeds, engine). The server coalesces identical
+/// in-flight requests on it; the router rendezvous-hashes it across
+/// backends so repeats of the same content land where the caches are
+/// already warm. analyze-source and analyze-suite-program of the same
+/// resolved source text share keys (the server hashes after resolving
+/// the suite name to its source).
+uint64_t requestContentKey(const ServeRequest &Req);
+
 /// Reply builders (each returns one serialized line, no trailing '\n').
 std::string makeOkReply(const std::string &Id, JsonValue Result);
 std::string makeErrorReply(const std::string &Id, ServeErrorKind Kind,

@@ -1,0 +1,408 @@
+//===- serve/Router.cpp - Front-tier shard router for ipcp-serve ----------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Router.h"
+
+#include "serve/Protocol.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <thread>
+
+using namespace ipcp;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// splitmix64 finisher: decorrelates the content key from each backend's
+/// seed so rendezvous weights behave like independent uniform draws —
+/// the property that makes the hashing "consistent": when one backend
+/// dies, only the keys it was winning re-home; every other key keeps its
+/// old backend and its warm caches.
+uint64_t mix64(uint64_t X) {
+  X ^= X >> 33;
+  X *= 0xff51afd7ed558ccdull;
+  X ^= X >> 33;
+  X *= 0xc4ceb9fe1a85ec53ull;
+  X ^= X >> 33;
+  return X;
+}
+
+std::string readWholeFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return {};
+  return std::string((std::istreambuf_iterator<char>(In)),
+                     std::istreambuf_iterator<char>());
+}
+
+} // namespace
+
+Router::Router(RouterOptions O)
+    : Opts(std::move(O)), Pool(Opts.ForwardThreads ? Opts.ForwardThreads : 0) {}
+
+Router::~Router() {
+  shutdown();
+  if (OwnScratch && !Opts.KeepTemps && !ScratchDir.empty()) {
+    std::error_code Ec;
+    fs::remove_all(ScratchDir, Ec);
+  }
+}
+
+bool Router::spawnBackend(Backend &B, size_t Index, std::string &Error) {
+  const std::string Tag = "backend" + std::to_string(Index);
+  const std::string PortFile = ScratchDir + "/" + Tag + ".port";
+  const std::string LogFile = ScratchDir + "/" + Tag + ".log";
+
+  std::string Binary = Opts.ServeBinary;
+  if (Binary.empty())
+    Binary = currentExecutablePath();
+  if (Binary.empty()) {
+    Error = "cannot determine the ipcp-serve binary to spawn";
+    return false;
+  }
+
+  std::vector<std::string> Argv = {
+      Binary,
+      "--no-stdio",
+      "--tcp=0",
+      "--port-file=" + PortFile,
+      "--workers=" + std::to_string(Opts.BackendWorkers),
+      "--cache-capacity=" + std::to_string(Opts.BackendCacheCapacity),
+  };
+  if (!B.Child.spawn(Argv, LogFile, LogFile, Error)) {
+    Error = "spawning " + Tag + ": " + Error;
+    return false;
+  }
+  B.Spawned = true;
+
+  // The child writes its ephemeral port once bound; poll for it. A child
+  // that dies before binding leaves the file absent and we time out with
+  // a pointer at its log.
+  const auto Deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(static_cast<long>(Opts.SpawnWaitMs));
+  for (;;) {
+    std::string Text = readWholeFile(PortFile);
+    while (!Text.empty() && (Text.back() == '\n' || Text.back() == '\r'))
+      Text.pop_back();
+    if (!Text.empty()) {
+      B.Url = "127.0.0.1:" + Text;
+      return true;
+    }
+    if (std::chrono::steady_clock::now() >= Deadline) {
+      Error = Tag + " never wrote its port file (see " + LogFile + ")";
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+bool Router::start(std::string &Error) {
+  if (Started) {
+    Error = "router already started";
+    return false;
+  }
+
+  if (Opts.SpawnBackends > 0) {
+    ScratchDir = Opts.TempDir;
+    if (ScratchDir.empty()) {
+      std::string Template =
+          (fs::temp_directory_path() / "ipcp-router-XXXXXX").string();
+      std::vector<char> Buf(Template.begin(), Template.end());
+      Buf.push_back('\0');
+      if (!mkdtemp(Buf.data())) {
+        Error = "cannot create scratch directory under " +
+                fs::temp_directory_path().string();
+        return false;
+      }
+      ScratchDir = Buf.data();
+      OwnScratch = true;
+    }
+  }
+
+  for (const std::string &Url : Opts.Backends) {
+    auto B = std::make_unique<Backend>();
+    B->Url = Url;
+    Fleet.push_back(std::move(B));
+  }
+  for (unsigned I = 0; I != Opts.SpawnBackends; ++I) {
+    auto B = std::make_unique<Backend>();
+    if (!spawnBackend(*B, Fleet.size(), Error)) {
+      // Reap the half-spawned child and anything already in the fleet
+      // before reporting failure — no zombie may survive a failed start.
+      if (B->Spawned) {
+        B->Child.kill();
+        B->Child.wait();
+      }
+      for (auto &Prev : Fleet)
+        if (Prev->Spawned) {
+          Prev->Child.kill();
+          Prev->Child.wait();
+        }
+      Fleet.clear();
+      return false;
+    }
+    Fleet.push_back(std::move(B));
+  }
+
+  if (Fleet.empty()) {
+    Error = "router has no backends (pass --backend or --spawn-backends)";
+    return false;
+  }
+  // Seed each backend with a hash of its URL and position so two fleet
+  // entries for the same host:port still weigh independently.
+  for (size_t I = 0; I != Fleet.size(); ++I)
+    Fleet[I]->Seed =
+        mix64(contentHash(Fleet[I]->Url, "backend#" + std::to_string(I)));
+  Started = true;
+  return true;
+}
+
+size_t Router::numAlive() const {
+  size_t N = 0;
+  for (const auto &B : Fleet)
+    if (B->Alive.load(std::memory_order_acquire))
+      ++N;
+  return N;
+}
+
+const std::string &Router::backendUrl(size_t I) const {
+  return Fleet.at(I)->Url;
+}
+
+void Router::killBackend(size_t I) {
+  Backend &B = *Fleet.at(I);
+  if (B.Spawned) {
+    std::lock_guard<std::mutex> Lock(B.ChildMutex);
+    B.Child.kill(); // Reaped in shutdown(); Alive stays true on purpose —
+                    // the next forward discovers the death organically.
+  }
+}
+
+Router::Backend *Router::pickBackend(uint64_t Key) {
+  Backend *Best = nullptr;
+  uint64_t BestWeight = 0;
+  for (const auto &B : Fleet) {
+    if (!B->Alive.load(std::memory_order_acquire))
+      continue;
+    uint64_t W = mix64(Key ^ B->Seed);
+    if (!Best || W > BestWeight) {
+      Best = B.get();
+      BestWeight = W;
+    }
+  }
+  return Best;
+}
+
+bool Router::callBackend(Backend &B, const std::string &Line,
+                         std::string &Reply) {
+  std::lock_guard<std::mutex> Lock(B.ConnMutex);
+  std::string Err;
+  if (!B.Conn.connected() && !B.Conn.connect(B.Url, Err))
+    return false;
+  if (!B.Conn.call(Line, Reply, Err)) {
+    B.Conn.close();
+    return false;
+  }
+  return true;
+}
+
+void Router::finish(std::function<void(std::string)> &Done,
+                    std::string Reply) {
+  Done(std::move(Reply));
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (--Pending == 0)
+    DrainedCv.notify_all();
+}
+
+void Router::forward(uint64_t Key, const std::string &Id, std::string Line,
+                     std::function<void(std::string)> Done) {
+  for (;;) {
+    Backend *B = pickBackend(Key);
+    if (!B) {
+      ShedOverloaded.fetch_add(1, std::memory_order_relaxed);
+      finish(Done, makeErrorReply(Id, ServeErrorKind::Overloaded,
+                                  "all " + std::to_string(Fleet.size()) +
+                                      " backends are down"));
+      return;
+    }
+    std::string Reply;
+    if (callBackend(*B, Line, Reply)) {
+      B->Forwarded.fetch_add(1, std::memory_order_relaxed);
+      ForwardedTotal.fetch_add(1, std::memory_order_relaxed);
+      finish(Done, std::move(Reply));
+      return;
+    }
+    // Transport failure: this backend is gone. Mark it dead and rehash
+    // the key over the survivors — the retried request lands wherever
+    // rendezvous now points, and every other key keeps its old home.
+    if (B->Alive.exchange(false, std::memory_order_acq_rel))
+      BackendDeaths.fetch_add(1, std::memory_order_relaxed);
+    B->Failures.fetch_add(1, std::memory_order_relaxed);
+    Retries.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Router::submit(std::string Line, std::function<void(std::string)> Done) {
+  Lines.fetch_add(1, std::memory_order_relaxed);
+
+  ServeRequest Req;
+  std::string Err;
+  if (!parseServeRequest(Line, Req, Err)) {
+    // Answered locally: a malformed line never costs a backend round
+    // trip, and the backend would only echo the same structured error.
+    Malformed.fetch_add(1, std::memory_order_relaxed);
+    Done(makeErrorReply(Req.Id, ServeErrorKind::Malformed, Err));
+    return;
+  }
+
+  if (Req.Method == ServeMethod::Stats) {
+    StatsServed.fetch_add(1, std::memory_order_relaxed);
+    Done(makeOkReply(Req.Id, statsJson()));
+    return;
+  }
+  if (Req.Method == ServeMethod::Shutdown) {
+    // Flip the drain flag and ack; the blocking work (draining forwards,
+    // telling the fleet, reaping children) happens in shutdown(), which
+    // the transport's owner calls once the pumps stop.
+    Draining.store(true, std::memory_order_release);
+    JsonValue P = JsonValue::object();
+    P.set("draining", JsonValue(true));
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      P.set("pending", JsonValue(static_cast<uint64_t>(Pending)));
+    }
+    Done(makeOkReply(Req.Id, P));
+    return;
+  }
+
+  const std::string Id = Req.Id;
+  const uint64_t Key = requestContentKey(Req);
+
+  bool Shed = false;
+  ServeErrorKind ShedKind = ServeErrorKind::Internal;
+  std::string ShedMsg;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Draining.load(std::memory_order_acquire)) {
+      Shed = true;
+      ShedKind = ServeErrorKind::ShuttingDown;
+      ShedMsg = "router is shutting down";
+      ShedShuttingDown.fetch_add(1, std::memory_order_relaxed);
+    } else if (Pending >= Opts.QueueLimit) {
+      Shed = true;
+      ShedKind = ServeErrorKind::Overloaded;
+      ShedMsg = "router queue full (" + std::to_string(Opts.QueueLimit) +
+                " in flight)";
+      ShedOverloaded.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ++Pending;
+      QueueHighWater = std::max(QueueHighWater, Pending);
+    }
+  }
+  if (Shed) {
+    Done(makeErrorReply(Id, ShedKind, ShedMsg));
+    return;
+  }
+  Pool.post(
+      [this, Key, Id, L = std::move(Line), D = std::move(Done)]() mutable {
+        forward(Key, Id, std::move(L), std::move(D));
+      });
+}
+
+void Router::shutdown() {
+  Draining.store(true, std::memory_order_release);
+  if (ShutdownRan.exchange(true))
+    return;
+
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    DrainedCv.wait(Lock, [this] { return Pending == 0; });
+  }
+  Pool.wait();
+
+  // Fleet teardown runs with no router-wide lock held (the PR 7 lesson:
+  // destroying sessions — or here, children and connections — under a
+  // registry lock inverts against whatever those teardowns take).
+  // Forward the shutdown so backends drain their own in-flight work,
+  // then reap the children we spawned; a backend that no longer answers
+  // gets the unceremonious version.
+  for (auto &B : Fleet) {
+    std::string Reply;
+    bool Acked = false;
+    if (B->Alive.load(std::memory_order_acquire))
+      Acked = callBackend(*B,
+                          "{\"id\":\"router-shutdown\",\"method\":\"shutdown\"}",
+                          Reply);
+    {
+      std::lock_guard<std::mutex> Lock(B->ConnMutex);
+      B->Conn.close();
+    }
+    if (B->Spawned) {
+      std::lock_guard<std::mutex> Lock(B->ChildMutex);
+      if (!Acked)
+        B->Child.kill();
+      B->Child.wait();
+    }
+  }
+}
+
+JsonValue Router::statsJson() const {
+  JsonValue S = JsonValue::object();
+  S.set("role", JsonValue("router"));
+  S.set("received", JsonValue(Lines.load(std::memory_order_relaxed)));
+  S.set("forwarded", JsonValue(ForwardedTotal.load(std::memory_order_relaxed)));
+  S.set("retries", JsonValue(Retries.load(std::memory_order_relaxed)));
+  S.set("backend_deaths",
+        JsonValue(BackendDeaths.load(std::memory_order_relaxed)));
+  S.set("malformed", JsonValue(Malformed.load(std::memory_order_relaxed)));
+  S.set("shed_overloaded",
+        JsonValue(ShedOverloaded.load(std::memory_order_relaxed)));
+  S.set("shed_shutting_down",
+        JsonValue(ShedShuttingDown.load(std::memory_order_relaxed)));
+  S.set("stats_served", JsonValue(StatsServed.load(std::memory_order_relaxed)));
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    S.set("pending", JsonValue(static_cast<uint64_t>(Pending)));
+    S.set("queue_high_water",
+          JsonValue(static_cast<uint64_t>(QueueHighWater)));
+  }
+  S.set("queue_limit", JsonValue(static_cast<uint64_t>(Opts.QueueLimit)));
+  S.set("draining", JsonValue(draining()));
+  S.set("backends_alive", JsonValue(static_cast<uint64_t>(numAlive())));
+
+  JsonValue Backends = JsonValue::array();
+  for (const auto &BPtr : Fleet) {
+    Backend &B = *BPtr;
+    JsonValue E = JsonValue::object();
+    E.set("url", JsonValue(B.Url));
+    E.set("spawned", JsonValue(B.Spawned));
+    bool Alive = B.Alive.load(std::memory_order_acquire);
+    E.set("alive", JsonValue(Alive));
+    E.set("forwarded", JsonValue(B.Forwarded.load(std::memory_order_relaxed)));
+    E.set("failures", JsonValue(B.Failures.load(std::memory_order_relaxed)));
+    if (Alive && !draining()) {
+      // Best-effort live snapshot; a failure here is a monitoring miss,
+      // not a death sentence (the forward path owns liveness).
+      std::string Reply;
+      if (callBackend(B, "{\"id\":\"router-stats\",\"method\":\"stats\"}",
+                      Reply)) {
+        std::string PErr;
+        if (std::optional<JsonValue> Parsed = parseJson(Reply, PErr))
+          if (const JsonValue *Result = Parsed->find("result"))
+            E.set("stats", *Result);
+      }
+    }
+    Backends.push(std::move(E));
+  }
+  S.set("backends", Backends);
+  return S;
+}

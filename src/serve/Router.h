@@ -1,0 +1,189 @@
+//===- serve/Router.h - Front-tier shard router for ipcp-serve --*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scale-out tier: a Router is a RequestHandler that owns no
+/// analysis state at all. It parses each request line just far enough to
+/// compute its content key (serve/Protocol.h), rendezvous-hashes the key
+/// across a fixed fleet of backend ipcp-serve processes, and forwards
+/// the line verbatim over the backend's TCP connection — so a reply
+/// through the router is byte-identical to one from the backend itself,
+/// and repeats of the same content land on the backend whose session
+/// cache is already warm (the sharded analogue of the single server's
+/// content-addressed cache).
+///
+/// Failure semantics, mirroring the single server's "never a dead
+/// process" contract:
+///
+///   * A backend whose connection fails mid-forward is marked dead and
+///     the request is rehashed over the survivors and retried — the
+///     client sees one reply, computed elsewhere, never an error caused
+///     by a backend it did not choose.
+///   * When every backend is dead, compute requests get a structured
+///     `overloaded` error reply; the router itself keeps serving (stats
+///     still answers, and operators can read the body count there).
+///   * Malformed lines are answered locally with `malformed` — they
+///     never consume a backend round trip.
+///
+/// Backends either pre-exist (RouterOptions::Backends URLs) or are
+/// spawned by the router itself as ipcp-serve children on ephemeral
+/// ports. shutdown() drains in-flight forwards, then forwards the
+/// shutdown to every backend and reaps spawned children — strictly
+/// after every router lock is released, because tearing down a child
+/// (or a connection) while holding a registry lock is how the session
+/// cache deadlocked in an earlier round of this codebase.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_SERVE_ROUTER_H
+#define IPCP_SERVE_ROUTER_H
+
+#include "serve/Client.h"
+#include "serve/Handler.h"
+#include "serve/Json.h"
+#include "support/Subprocess.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ipcp {
+
+struct RouterOptions {
+  /// URLs ("host:port" or "port") of externally managed backends.
+  std::vector<std::string> Backends;
+  /// Backends to spawn as `ipcp-serve --no-stdio --tcp=0` children (in
+  /// addition to any external ones).
+  unsigned SpawnBackends = 0;
+  /// Binary for spawned backends. Empty = this executable (the router
+  /// and the backend are the same ipcp-serve binary).
+  std::string ServeBinary;
+  /// --workers / --cache-capacity handed to spawned backends.
+  unsigned BackendWorkers = 2;
+  size_t BackendCacheCapacity = 16;
+  /// Forwarding threads: concurrent in-flight backend calls.
+  unsigned ForwardThreads = 4;
+  /// Admission bound on in-flight forwards; beyond it new compute
+  /// requests are shed with `overloaded`.
+  size_t QueueLimit = 256;
+  /// Scratch directory for spawned backends' port and log files. Empty =
+  /// a fresh mkdtemp under TMPDIR, removed on destruction.
+  std::string TempDir;
+  /// Keep the scratch directory for post-mortems.
+  bool KeepTemps = false;
+  /// How long to wait for a spawned backend to write its port file.
+  double SpawnWaitMs = 15000;
+};
+
+class Router : public RequestHandler {
+public:
+  explicit Router(RouterOptions Opts = {});
+  ~Router() override;
+
+  Router(const Router &) = delete;
+  Router &operator=(const Router &) = delete;
+
+  /// Spawns/connects the backend fleet. Returns false with a diagnostic
+  /// when
+  /// no backend could be established (a router with zero backends would
+  /// shed everything). Must be called once, before submit().
+  bool start(std::string &Error);
+
+  void submit(std::string Line, std::function<void(std::string)> Done) override;
+  bool draining() const override {
+    return Draining.load(std::memory_order_acquire);
+  }
+
+  /// Drains in-flight forwards, forwards shutdown to every backend, and
+  /// reaps spawned children. Idempotent.
+  void shutdown() override;
+
+  /// The router's own `stats` payload: forwarding counters plus a
+  /// per-backend block (liveness, forward counts, and — for live
+  /// backends — the backend's own stats reply fetched over the wire).
+  JsonValue statsJson() const;
+
+  size_t numBackends() const { return Fleet.size(); }
+  size_t numAlive() const;
+  /// The URL of backend \p I (spawned backends get theirs at start()).
+  const std::string &backendUrl(size_t I) const;
+
+  /// Test hook: SIGKILL spawned backend \p I without marking it dead —
+  /// the next forward routed to it discovers the death organically and
+  /// exercises the rehash + retry path. No-op for external backends.
+  void killBackend(size_t I);
+
+private:
+  struct Backend {
+    std::string Url;
+    uint64_t Seed = 0; ///< Rendezvous seed (hash of the URL + index).
+    std::atomic<bool> Alive{true};
+    /// Serializes the single connection (ServeClient is one-per-thread).
+    std::mutex ConnMutex;
+    ServeClient Conn;
+    /// Spawned-child state (unused for external backends). Subprocess is
+    /// single-owner, but killBackend() may race shutdown()'s reap from
+    /// another thread; ChildMutex serializes kill/wait on this one child
+    /// only — per-backend, never a fleet-wide lock.
+    bool Spawned = false;
+    std::mutex ChildMutex;
+    Subprocess Child;
+    std::atomic<uint64_t> Forwarded{0};
+    std::atomic<uint64_t> Failures{0};
+  };
+
+  /// Rendezvous winner for \p Key among live backends (nullptr when the
+  /// whole fleet is dead).
+  Backend *pickBackend(uint64_t Key);
+  /// One blocking request/reply against \p B under its connection lock.
+  /// False = transport failure (the caller marks \p B dead and rehashes).
+  /// Static so the const stats snapshot can use it too — it touches only
+  /// the backend's own state.
+  static bool callBackend(Backend &B, const std::string &Line,
+                          std::string &Reply);
+  /// The forwarding loop: rendezvous, call, on failure mark dead and
+  /// rehash over the survivors. Runs on a forward thread.
+  void forward(uint64_t Key, const std::string &Id, std::string Line,
+               std::function<void(std::string)> Done);
+  void finish(std::function<void(std::string)> &Done, std::string Reply);
+
+  bool spawnBackend(Backend &B, size_t Index, std::string &Error);
+
+  const RouterOptions Opts;
+  /// Fixed at start(); only Alive/conn state changes afterwards, so
+  /// iteration never needs a registry lock.
+  std::vector<std::unique_ptr<Backend>> Fleet;
+  std::string ScratchDir;
+  bool OwnScratch = false;
+  bool Started = false;
+
+  ThreadPool Pool;
+  mutable std::mutex Mutex; ///< Guards Pending/QueueHighWater only.
+  std::condition_variable DrainedCv;
+  size_t Pending = 0;
+  size_t QueueHighWater = 0;
+  std::atomic<bool> Draining{false};
+  std::atomic<bool> ShutdownRan{false};
+
+  // Counters (relaxed; stats is a monitoring snapshot).
+  std::atomic<uint64_t> Lines{0};
+  std::atomic<uint64_t> ForwardedTotal{0};
+  std::atomic<uint64_t> Retries{0};
+  std::atomic<uint64_t> BackendDeaths{0};
+  std::atomic<uint64_t> Malformed{0};
+  std::atomic<uint64_t> ShedOverloaded{0};
+  std::atomic<uint64_t> ShedShuttingDown{0};
+  std::atomic<uint64_t> StatsServed{0};
+};
+
+} // namespace ipcp
+
+#endif // IPCP_SERVE_ROUTER_H

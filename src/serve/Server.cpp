@@ -26,26 +26,6 @@ const WorkloadProgram *findSuiteProgram(const std::string &Name) {
   return nullptr;
 }
 
-/// The coalescing key: requests with equal keys are interchangeable and
-/// share one computation. analyze-source and analyze-suite-program of
-/// the same source text deliberately share keys (the suite name is
-/// resolved to its source before admission).
-uint64_t coalesceKey(const ServeRequest &Req) {
-  std::string K = Req.Method == ServeMethod::AnalyzeSource ||
-                          Req.Method == ServeMethod::AnalyzeSuiteProgram
-                      ? "analyze"
-                      : serveMethodName(Req.Method);
-  K += '\n';
-  K += configKey(Req.Config, Req.Report);
-  K += "\nseed=";
-  K += std::to_string(Req.ReadSeed);
-  K += " steps=";
-  K += std::to_string(Req.MaxSteps);
-  K += " exec=";
-  K += execEngineName(Req.Exec);
-  return contentHash(Req.Source, K);
-}
-
 } // namespace
 
 Server::Server(ServerOptions O)
@@ -98,8 +78,12 @@ void Server::submit(std::string Line, std::function<void(std::string)> Done) {
     Req.Source = W->Source;
   }
 
+  // The coalescing key (serve/Protocol.h): requests with equal keys are
+  // interchangeable and share one computation. Computed after suite-name
+  // resolution, so analyze-source and analyze-suite-program of the same
+  // source text deliberately share keys.
   const std::string Id = Req.Id;
-  const uint64_t Key = coalesceKey(Req);
+  const uint64_t Key = requestContentKey(Req);
   double DeadlineMs = Req.DeadlineMs > 0 ? Req.DeadlineMs
                       : Req.DeadlineMs < 0 ? 0
                                            : Opts.DefaultDeadlineMs;

@@ -36,6 +36,7 @@
 #ifndef IPCP_SERVE_SERVER_H
 #define IPCP_SERVE_SERVER_H
 
+#include "serve/Handler.h"
 #include "serve/Protocol.h"
 #include "serve/SessionCache.h"
 #include "support/Cancellation.h"
@@ -66,28 +67,30 @@ struct ServerOptions {
   double DefaultDeadlineMs = 0;
 };
 
-class Server {
+class Server : public RequestHandler {
 public:
   explicit Server(ServerOptions Opts = {});
-  ~Server();
+  ~Server() override;
 
   /// Parses and executes one request line asynchronously. \p Done is
   /// invoked exactly once — possibly on the calling thread (control
   /// traffic, rejections), possibly on a worker — with the serialized
   /// reply line (no trailing newline). \p Done must be thread-safe
   /// against other replies and must not block.
-  void submit(std::string Line, std::function<void(std::string)> Done);
+  void submit(std::string Line, std::function<void(std::string)> Done) override;
 
   /// Synchronous submit: blocks until the reply is ready. Convenience
   /// for tests and the in-process client.
-  std::string handle(const std::string &Line);
+  std::string handle(const std::string &Line) override;
 
   /// Begins draining (idempotent) and blocks until every admitted
   /// request has been answered. New compute requests are rejected with
   /// `shutting-down` from the moment drain begins.
-  void shutdown();
+  void shutdown() override;
 
-  bool draining() const { return Draining.load(std::memory_order_acquire); }
+  bool draining() const override {
+    return Draining.load(std::memory_order_acquire);
+  }
 
   /// The `stats` reply payload (also reachable without the protocol).
   JsonValue statsJson() const;

@@ -6,7 +6,7 @@
 
 #include "serve/Transport.h"
 
-#include "serve/Server.h"
+#include "serve/Handler.h"
 
 #include <condition_variable>
 #include <istream>
@@ -21,7 +21,8 @@
 
 using namespace ipcp;
 
-void ipcp::serveStream(Server &S, std::istream &In, std::ostream &Out) {
+void ipcp::serveStream(RequestHandler &S, std::istream &In,
+                       std::ostream &Out) {
   std::mutex WriteMutex; // Replies land from worker threads; serialize.
   std::mutex DoneMutex;
   std::condition_variable DoneCv;
@@ -75,8 +76,8 @@ void sendAll(int Fd, const std::string &Data) {
 
 /// Serves one connection synchronously: read a line, answer it, repeat
 /// until the client hangs up. Within a connection requests serialize;
-/// across connections the Server interleaves them.
-void serveConnection(int Fd, Server &S) {
+/// across connections the handler interleaves them.
+void serveConnection(int Fd, RequestHandler &S) {
   std::string Buffer;
   char Chunk[4096];
   for (;;) {
@@ -144,7 +145,7 @@ bool TcpListener::listen(uint16_t Port, std::string &Error) {
   return true;
 }
 
-void TcpListener::run(Server &S) {
+void TcpListener::run(RequestHandler &S) {
   while (!Stopping.load(std::memory_order_acquire) && !S.draining()) {
     pollfd Pfd = {Fd, POLLIN, 0};
     int N = ::poll(&Pfd, 1, /*timeout_ms=*/200);

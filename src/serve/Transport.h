@@ -17,6 +17,10 @@
 /// request begins draining, after every submitted request has been
 /// answered.
 ///
+/// Both transports speak to a RequestHandler (serve/Handler.h), not to
+/// Server directly, so the same pumps front a computing Server or a
+/// forwarding Router.
+///
 /// TcpListener accepts loopback connections and serves each on its own
 /// thread, one request at a time per connection (concurrency comes from
 /// opening more connections, which is what the bench's closed-loop
@@ -37,13 +41,13 @@
 
 namespace ipcp {
 
-class Server;
+class RequestHandler;
 
 /// Pumps request lines from \p In into \p S and reply lines to \p Out
 /// (one per line, flushed). Returns at EOF or when a shutdown request
 /// begins draining; every reply for a submitted request has been
 /// written by the time it returns. Blank lines are ignored.
-void serveStream(Server &S, std::istream &In, std::ostream &Out);
+void serveStream(RequestHandler &S, std::istream &In, std::ostream &Out);
 
 /// A loopback TCP acceptor serving one connection per thread.
 class TcpListener {
@@ -65,7 +69,7 @@ public:
 
   /// Accept loop. Returns once stop() is called or \p S starts
   /// draining; all connection threads are joined before it returns.
-  void run(Server &S);
+  void run(RequestHandler &S);
 
   /// Signals run() to return. Safe from any thread.
   void stop() { Stopping.store(true, std::memory_order_release); }

@@ -1,0 +1,474 @@
+//===- tests/SummaryIOTests.cpp - ipcp/SummaryIO --------------------------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The summary serialization contract: fingerprints and whole summaries
+/// round-trip byte-identically, a reconstituted summary solves exactly
+/// like a same-process build, partial summaries merge seamlessly, and
+/// every malformed input — truncation, version skew, garbage, bad
+/// partitions — fails loudly with a diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ipcp/SummaryIO.h"
+
+#include "ipcp/AnalysisSession.h"
+#include "ipcp/Solver.h"
+#include "workloads/Suite.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipcp;
+using namespace ipcp::test;
+
+namespace {
+
+/// Frontend + session bundle for summary tests (sessions keep references
+/// into the context and symbol table, so the pieces must live together).
+struct SessionFixture {
+  std::unique_ptr<AstContext> Ctx;
+  SymbolTable Symbols;
+  std::unique_ptr<AnalysisSession> Session;
+  std::string Source;
+
+  explicit SessionFixture(const std::string &Src) : Source(Src) {
+    DiagnosticEngine Diags;
+    Ctx = parseProgram(Src, Diags);
+    EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+    Symbols = Sema::run(*Ctx, Diags);
+    EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+    Session = std::make_unique<AnalysisSession>(*Ctx, Symbols);
+  }
+
+  ProgramSummary summary(const JumpFunctionOptions &Opts,
+                         const std::string &Name = "test") {
+    return buildSummary(*Session, Opts, Name, summarySourceHash(Source));
+  }
+};
+
+/// The distinct jump-function configurations the nine suite columns
+/// exercise, plus the gated-SSA build (gamma fingerprints).
+std::vector<JumpFunctionOptions> allJfOptions() {
+  std::vector<JumpFunctionOptions> Out;
+  auto Add = [&](JumpFunctionKind K, bool Rjf, bool Mod, bool Gsa) {
+    JumpFunctionOptions O;
+    O.Kind = K;
+    O.UseReturnJumpFunctions = Rjf;
+    O.UseMod = Mod;
+    O.UseGatedSsa = Gsa;
+    Out.push_back(O);
+  };
+  Add(JumpFunctionKind::Polynomial, true, true, false);
+  Add(JumpFunctionKind::PassThrough, true, true, false);
+  Add(JumpFunctionKind::IntraConst, true, true, false);
+  Add(JumpFunctionKind::Literal, true, true, false);
+  Add(JumpFunctionKind::Polynomial, false, true, false);
+  Add(JumpFunctionKind::PassThrough, false, true, false);
+  Add(JumpFunctionKind::Polynomial, true, false, false);
+  Add(JumpFunctionKind::Polynomial, true, true, true);
+  return Out;
+}
+
+std::string fingerprint(const JumpFunction &J) {
+  std::string Fp;
+  J.appendFingerprint(Fp);
+  return Fp;
+}
+
+/// Renders a solve's CONSTANTS sets deterministically.
+std::string constantsDigest(const SolveResult &R, const SymbolTable &Symbols,
+                            size_t NumProcs) {
+  std::string Out;
+  for (ProcId P = 0; P < NumProcs; ++P)
+    for (const auto &[Sym, V] : R.constants(P)) {
+      Out += std::to_string(P);
+      Out += ':';
+      Out += Symbols.symbol(Sym).Name;
+      Out += '=';
+      Out += std::to_string(V);
+      Out += '\n';
+    }
+  return Out;
+}
+
+const char *RichSource = R"(global g
+global h
+proc main()
+  integer k
+  g = 4
+  k = 3 * g + 1
+  call a(k, 7)
+  call a(k + g, k)
+end
+proc a(x, y)
+  integer t
+  t = x + y
+  if (x > 0) then
+    h = t
+  else
+    h = 0 - t
+  end if
+  call b(t)
+end
+proc b(z)
+  print z
+  g = z
+end
+)";
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Fingerprint round trips
+//===----------------------------------------------------------------------===//
+
+TEST(SummaryIO, FingerprintRoundTripsEveryFormInSuite) {
+  // Every jump function of every suite program under every configuration
+  // must survive parse(print(J)) byte-identically.
+  size_t Checked = 0;
+  for (const WorkloadProgram &W : benchmarkSuite()) {
+    SessionFixture F(W.Source);
+    for (const JumpFunctionOptions &Opts : allJfOptions()) {
+      ProgramSummary S = F.summary(Opts, W.Name);
+      for (const ProcSummary &P : S.Procs) {
+        auto Check = [&](const JumpFunction &J) {
+          std::string Fp = fingerprint(J);
+          JumpFunction Parsed;
+          std::string Error;
+          ASSERT_TRUE(JumpFunction::parseFingerprint(Fp, Parsed, Error))
+              << Fp << ": " << Error;
+          EXPECT_EQ(fingerprint(Parsed), Fp);
+          ++Checked;
+        };
+        for (const CallSiteJumpFunctions &Site : P.Sites) {
+          for (const JumpFunction &J : Site.Args)
+            Check(J);
+          for (const JumpFunction &J : Site.Globals)
+            Check(J);
+        }
+        for (const auto &[Sym, J] : P.Returns) {
+          (void)Sym;
+          Check(J);
+        }
+      }
+    }
+  }
+  EXPECT_GT(Checked, 1000u);
+}
+
+TEST(SummaryIO, FingerprintParsesHandWrittenForms) {
+  // Gamma and unknown nodes, written by hand so coverage does not depend
+  // on what the suite programs happen to generate.
+  for (const char *Fp :
+       {"B", "C-9223372036854775808;", "C42;", "P3;", "Yc5;", "Yp7;",
+        "Yu1(p2;)", "Yb4(p1;c3;)", "Yg(b7(p1;c0;)c1;?)",
+        "Yb0(g(p1;?c2;)u0(p3;))"}) {
+    JumpFunction Parsed;
+    std::string Error;
+    ASSERT_TRUE(JumpFunction::parseFingerprint(Fp, Parsed, Error))
+        << Fp << ": " << Error;
+    EXPECT_EQ(fingerprint(Parsed), Fp);
+  }
+}
+
+TEST(SummaryIO, FingerprintParserRejectsMalformed) {
+  const char *Bad[] = {
+      "",                      // empty
+      "X",                     // unknown form tag
+      "C",                     // truncated constant
+      "C5",                    // missing ';'
+      "C5;x",                  // trailing bytes
+      "C99999999999999999999;",// int64 overflow
+      "P-1;",                  // negative symbol id
+      "P4294967295;",          // InvalidSymbol
+      "Y",                     // truncated expression
+      "Yq5;",                  // unknown node tag
+      "Yu9(c1;)",              // unary op out of range
+      "Yb99(c1;c2;)",          // binary op out of range
+      "Yb0(c1;)",              // binary arity
+      "Yg(c1;c2;)",            // gamma arity
+      "Yb0(c1;c2;",            // unclosed paren
+      "Yb0(c1;c2;)x",          // trailing bytes after expr
+  };
+  for (const char *Fp : Bad) {
+    JumpFunction Parsed;
+    std::string Error;
+    EXPECT_FALSE(JumpFunction::parseFingerprint(Fp, Parsed, Error)) << Fp;
+    EXPECT_FALSE(Error.empty()) << Fp;
+  }
+}
+
+TEST(SummaryIO, FingerprintParserBoundsNesting) {
+  // A nesting bomb must be rejected cleanly, not overflow the stack.
+  std::string Bomb = "Y";
+  for (int I = 0; I < 5000; ++I)
+    Bomb += "u0(";
+  Bomb += "c1;";
+  for (int I = 0; I < 5000; ++I)
+    Bomb += ")";
+  JumpFunction Parsed;
+  std::string Error;
+  EXPECT_FALSE(JumpFunction::parseFingerprint(Bomb, Parsed, Error));
+  EXPECT_NE(Error.find("deep"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Summary round trips and reconstituted solves
+//===----------------------------------------------------------------------===//
+
+TEST(SummaryIO, SummaryRoundTripsByteIdentically) {
+  for (const WorkloadProgram &W : benchmarkSuite()) {
+    SessionFixture F(W.Source);
+    for (const JumpFunctionOptions &Opts : allJfOptions()) {
+      ProgramSummary S = F.summary(Opts, W.Name);
+      std::string Bytes = serializeSummary(S);
+      ProgramSummary Reloaded;
+      std::string Error;
+      ASSERT_TRUE(parseSummary(Bytes, Reloaded, Error))
+          << W.Name << ": " << Error;
+      EXPECT_EQ(serializeSummary(Reloaded), Bytes) << W.Name;
+    }
+  }
+}
+
+TEST(SummaryIO, ReconstitutedSolveMatchesDirectSolve) {
+  for (const WorkloadProgram &W : benchmarkSuite()) {
+    SessionFixture F(W.Source);
+    for (const JumpFunctionOptions &Opts : allJfOptions()) {
+      // Direct: stage 2 + stage 3 in-process.
+      const Module &M = F.Session->module();
+      const CallGraph &CG = F.Session->callGraph();
+      ProgramJumpFunctions Direct = buildJumpFunctions(
+          M, F.Symbols, CG, F.Session->modRef(Opts.UseMod), Opts,
+          &F.Session->refAlias(Opts.UseMod), nullptr, F.Session.get());
+      SolveResult Want = solveConstants(F.Symbols, CG, Direct);
+
+      // Through the wire: summary -> bytes -> parse -> reconstitute ->
+      // solve.
+      std::string Bytes = serializeSummary(F.summary(Opts, W.Name));
+      ProgramSummary Reloaded;
+      std::string Error;
+      ASSERT_TRUE(parseSummary(Bytes, Reloaded, Error)) << Error;
+      SolveResult Got;
+      ASSERT_TRUE(solveSummary(Reloaded, M, F.Symbols, CG,
+                               SolverStrategy::Worklist, Got, Error))
+          << W.Name << ": " << Error;
+
+      EXPECT_EQ(constantsDigest(Got, F.Symbols, CG.numProcs()),
+                constantsDigest(Want, F.Symbols, CG.numProcs()))
+          << W.Name;
+    }
+  }
+}
+
+TEST(SummaryIO, MergedPartialsMatchFullSummaryByteForByte) {
+  SessionFixture F(RichSource);
+  JumpFunctionOptions Opts;
+  ProgramSummary Full = F.summary(Opts);
+  std::string FullBytes = serializeSummary(Full);
+
+  // One part per procedure, shuffled, serialized and reloaded — the
+  // worker-to-coordinator path.
+  const Module &M = F.Session->module();
+  const CallGraph &CG = F.Session->callGraph();
+  ProgramJumpFunctions Jfs = buildJumpFunctions(
+      M, F.Symbols, CG, F.Session->modRef(true), Opts,
+      &F.Session->refAlias(true), nullptr, F.Session.get());
+  std::vector<ProgramSummary> Parts;
+  std::vector<ProcId> Order = {2, 0, 1};
+  for (ProcId P : Order) {
+    ProgramSummary Part =
+        makeSummary("test", summarySourceHash(F.Source), M, F.Symbols, CG,
+                    Jfs, &F.Session->refAlias(true), {P});
+    std::string Bytes = serializeSummary(Part);
+    ProgramSummary Reloaded;
+    std::string Error;
+    ASSERT_TRUE(parseSummary(Bytes, Reloaded, Error)) << Error;
+    EXPECT_FALSE(Reloaded.complete());
+    Parts.push_back(std::move(Reloaded));
+  }
+
+  ProgramSummary Merged;
+  std::string Error;
+  ASSERT_TRUE(mergeSummaries(std::move(Parts), Merged, Error)) << Error;
+  EXPECT_EQ(serializeSummary(Merged), FullBytes);
+}
+
+//===----------------------------------------------------------------------===//
+// Malformed-input hardening
+//===----------------------------------------------------------------------===//
+
+TEST(SummaryIO, ParseRejectsMalformedDocuments) {
+  SessionFixture F(RichSource);
+  std::string Good = serializeSummary(F.summary(JumpFunctionOptions()));
+  ProgramSummary Out;
+  std::string Error;
+  ASSERT_TRUE(parseSummary(Good, Out, Error)) << Error;
+
+  // Truncations at every eighth byte: never a crash, never a success.
+  for (size_t N = 0; N < Good.size(); N += 8) {
+    Error.clear();
+    EXPECT_FALSE(parseSummary(Good.substr(0, N), Out, Error)) << N;
+    EXPECT_FALSE(Error.empty()) << N;
+  }
+
+  auto Mutate = [&](const std::string &From, const std::string &To) {
+    std::string Doc = Good;
+    size_t Pos = Doc.find(From);
+    EXPECT_NE(Pos, std::string::npos) << From;
+    Doc.replace(Pos, From.size(), To);
+    return Doc;
+  };
+
+  struct Case {
+    std::string Doc;
+    const char *ExpectInError;
+  } Cases[] = {
+      {"", "JSON"},
+      {"not json at all", "JSON"},
+      {"[1,2,3]", "object"},
+      {Mutate("\"format\":\"ipcp-jf-summary\"", "\"format\":\"tarball\""),
+       "format"},
+      {Mutate("\"version\":1", "\"version\":2"), "version mismatch"},
+      {Mutate("\"version\":1", "\"version\":1,\"extra\":true"), "unknown"},
+      {Mutate("\"source_fnv\":\"", "\"source_fnv\":\"zz"), "hex"},
+      {Mutate("\"jf\":\"poly\"", "\"jf\":\"cubic\""), "config.jf"},
+      {Mutate("\"num_procs\":3", "\"num_procs\":-3"), "non-negative"},
+  };
+  for (const Case &C : Cases) {
+    Error.clear();
+    EXPECT_FALSE(parseSummary(C.Doc, Out, Error)) << C.Doc.substr(0, 80);
+    EXPECT_NE(Error.find(C.ExpectInError), std::string::npos)
+        << "got '" << Error << "', want substring '" << C.ExpectInError
+        << "'";
+  }
+}
+
+TEST(SummaryIO, ParseCatchesContentCorruptionThroughStats) {
+  SessionFixture F(RichSource);
+  std::string Good = serializeSummary(F.summary(JumpFunctionOptions()));
+
+  // Drop one whole procedure entry from the procs array: still valid
+  // JSON, still schema-shaped — only the stats checksum can notice.
+  size_t Start = Good.find("{\"alias_unstable\"");
+  ASSERT_NE(Start, std::string::npos);
+  int Depth = 0;
+  size_t End = Start;
+  for (; End < Good.size(); ++End) {
+    if (Good[End] == '{')
+      ++Depth;
+    else if (Good[End] == '}' && --Depth == 0)
+      break;
+  }
+  std::string Doc = Good;
+  Doc.erase(Start, End - Start + 2); // entry plus trailing ",".
+
+  ProgramSummary Out;
+  std::string Error;
+  EXPECT_FALSE(parseSummary(Doc, Out, Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(SummaryIO, MergeRejectsBadPartitions) {
+  SessionFixture F(RichSource);
+  JumpFunctionOptions Opts;
+  const Module &M = F.Session->module();
+  const CallGraph &CG = F.Session->callGraph();
+  ProgramJumpFunctions Jfs = buildJumpFunctions(
+      M, F.Symbols, CG, F.Session->modRef(true), Opts,
+      &F.Session->refAlias(true), nullptr, F.Session.get());
+  auto Part = [&](std::vector<ProcId> Procs) {
+    return makeSummary("test", summarySourceHash(F.Source), M, F.Symbols, CG,
+                       Jfs, &F.Session->refAlias(true), std::move(Procs));
+  };
+
+  ProgramSummary Out;
+  std::string Error;
+
+  // Overlap.
+  {
+    std::vector<ProgramSummary> Parts;
+    Parts.push_back(Part({0, 1}));
+    Parts.push_back(Part({1, 2}));
+    EXPECT_FALSE(mergeSummaries(std::move(Parts), Out, Error));
+    EXPECT_NE(Error.find("overlap"), std::string::npos) << Error;
+  }
+  // Gap.
+  {
+    std::vector<ProgramSummary> Parts;
+    Parts.push_back(Part({0}));
+    Parts.push_back(Part({2}));
+    EXPECT_FALSE(mergeSummaries(std::move(Parts), Out, Error));
+    EXPECT_NE(Error.find("gap"), std::string::npos) << Error;
+  }
+  // Configuration skew.
+  {
+    std::vector<ProgramSummary> Parts;
+    Parts.push_back(Part({0, 1}));
+    Parts.push_back(Part({2}));
+    Parts.back().Options.Kind = JumpFunctionKind::Literal;
+    EXPECT_FALSE(mergeSummaries(std::move(Parts), Out, Error));
+    EXPECT_NE(Error.find("configuration"), std::string::npos) << Error;
+  }
+  // Source skew.
+  {
+    std::vector<ProgramSummary> Parts;
+    Parts.push_back(Part({0, 1}));
+    Parts.push_back(Part({2}));
+    Parts.back().SourceHash ^= 1;
+    EXPECT_FALSE(mergeSummaries(std::move(Parts), Out, Error));
+    EXPECT_NE(Error.find("source"), std::string::npos) << Error;
+  }
+  // Empty.
+  {
+    EXPECT_FALSE(mergeSummaries({}, Out, Error));
+    EXPECT_FALSE(Error.empty());
+  }
+  // And the happy path still works after all that.
+  {
+    std::vector<ProgramSummary> Parts;
+    Parts.push_back(Part({1}));
+    Parts.push_back(Part({0, 2}));
+    EXPECT_TRUE(mergeSummaries(std::move(Parts), Out, Error)) << Error;
+    EXPECT_TRUE(Out.complete());
+  }
+}
+
+TEST(SummaryIO, ReconstituteValidatesAgainstLoadedProgram) {
+  SessionFixture F(RichSource);
+  JumpFunctionOptions Opts;
+  ProgramSummary S = F.summary(Opts);
+
+  // Partial summaries must be merged first.
+  {
+    const Module &M = F.Session->module();
+    const CallGraph &CG = F.Session->callGraph();
+    ProgramJumpFunctions Jfs = buildJumpFunctions(
+        M, F.Symbols, CG, F.Session->modRef(true), Opts,
+        &F.Session->refAlias(true), nullptr, F.Session.get());
+    ProgramSummary Partial =
+        makeSummary("test", summarySourceHash(F.Source), M, F.Symbols, CG,
+                    Jfs, &F.Session->refAlias(true), {0});
+    ProgramJumpFunctions Out;
+    std::string Error;
+    EXPECT_FALSE(reconstituteJumpFunctions(Partial, M, F.Symbols, CG, Out,
+                                           Error));
+    EXPECT_NE(Error.find("partial"), std::string::npos) << Error;
+  }
+
+  // A summary of one program must not apply to another.
+  {
+    SessionFixture Other("proc main()\n  print 1\nend\n");
+    ProgramJumpFunctions Out;
+    std::string Error;
+    EXPECT_FALSE(reconstituteJumpFunctions(
+        S, Other.Session->module(), Other.Symbols,
+        Other.Session->callGraph(), Out, Error));
+    EXPECT_FALSE(Error.empty());
+  }
+}
