@@ -1,0 +1,265 @@
+//===- analysis/FlowAlias.cpp - Flow-sensitive reference aliasing ---------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/FlowAlias.h"
+
+#include "analysis/ModRef.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+using namespace ipcp;
+
+namespace {
+
+/// Formal-formal pairs as (i, j) formal indices with i < j, and
+/// formal-global pairs as (i, global SymbolId). Sets are tiny (bounded by
+/// realized bindings), so std::set keeps the fixpoint simple and
+/// deterministic.
+using FormalPairSet = std::set<std::pair<uint32_t, uint32_t>>;
+using FormalGlobalSet = std::set<std::pair<uint32_t, SymbolId>>;
+
+struct PairRelations {
+  std::vector<FormalPairSet> FF;
+  std::vector<FormalGlobalSet> FG;
+};
+
+/// Closes the pair-realization rules over every call site to a fixpoint.
+/// Unlike the baseline's binding-set intersection, a formal-formal pair
+/// only arises when a *single* call site passes one location to both
+/// positions — directly, via an already-paired caller formal pair, or via
+/// a caller formal and the global it may be bound to.
+PairRelations computeRealizedPairs(const Module &M,
+                                   const SymbolTable &Symbols) {
+  size_t NumProcs = M.Functions.size();
+  PairRelations R;
+  R.FF.resize(NumProcs);
+  R.FG.resize(NumProcs);
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (ProcId Caller = 0; Caller != NumProcs; ++Caller) {
+      const Function &F = M.function(Caller);
+      for (BlockId B = 0, BE = static_cast<BlockId>(F.numBlocks()); B != BE;
+           ++B) {
+        for (const Instr &In : F.block(B).Instrs) {
+          if (In.Op != Opcode::Call)
+            continue;
+          ProcId P = In.Callee;
+          uint32_t NumFormals =
+              static_cast<uint32_t>(Symbols.formals(P).size());
+          uint32_t E = static_cast<uint32_t>(
+              std::min<size_t>(In.Args.size(), NumFormals));
+
+          auto formalIndexOf = [&](const Operand &A) -> int64_t {
+            const Symbol &S = Symbols.symbol(A.Sym);
+            return S.Kind == SymbolKind::Formal ? S.FormalIndex : -1;
+          };
+          auto isGlobal = [&](const Operand &A) {
+            return Symbols.symbol(A.Sym).Kind == SymbolKind::Global;
+          };
+
+          // Formal-global propagation: position I binds global G when the
+          // actual is G itself or a caller formal that may be bound to G.
+          for (uint32_t I = 0; I != E; ++I) {
+            const Operand &A = In.Args[I];
+            if (!A.isVar())
+              continue;
+            if (isGlobal(A)) {
+              Changed |= R.FG[P].insert({I, A.Sym}).second;
+            } else if (int64_t FI = formalIndexOf(A); FI >= 0) {
+              for (const auto &[CallerFormal, G] : R.FG[Caller])
+                if (CallerFormal == static_cast<uint32_t>(FI))
+                  Changed |= R.FG[P].insert({I, G}).second;
+            }
+          }
+
+          // Formal-formal realization: positions I < J receive one
+          // location through this site.
+          for (uint32_t I = 0; I != E; ++I) {
+            const Operand &U = In.Args[I];
+            if (!U.isVar())
+              continue;
+            for (uint32_t J = I + 1; J != E; ++J) {
+              const Operand &V = In.Args[J];
+              if (!V.isVar())
+                continue;
+              bool Aliased = false;
+              if (U.Sym == V.Sym) {
+                Aliased = true;
+              } else {
+                int64_t FU = formalIndexOf(U);
+                int64_t FV = formalIndexOf(V);
+                if (FU >= 0 && FV >= 0) {
+                  // Value pair, not std::minmax: minmax on prvalues returns
+                  // a pair of references into expired temporaries.
+                  std::pair<uint32_t, uint32_t> Key = std::minmax(
+                      static_cast<uint32_t>(FU), static_cast<uint32_t>(FV));
+                  Aliased = R.FF[Caller].count(Key) != 0;
+                } else if (FU >= 0 && isGlobal(V)) {
+                  Aliased = R.FG[Caller].count(
+                                {static_cast<uint32_t>(FU), V.Sym}) != 0;
+                } else if (FV >= 0 && isGlobal(U)) {
+                  Aliased = R.FG[Caller].count(
+                                {static_cast<uint32_t>(FV), U.Sym}) != 0;
+                }
+                // Two distinct globals never share a location.
+              }
+              if (Aliased)
+                Changed |= R.FF[P].insert({I, J}).second;
+            }
+          }
+        }
+      }
+    }
+  }
+  return R;
+}
+
+} // namespace
+
+FlowAliasInfo::FlowAliasInfo(const Module &M, const SymbolTable &Symbols,
+                             const ModRefInfo *MRI,
+                             const RefAliasInfo &Baseline) {
+  size_t NumProcs = M.Functions.size();
+  size_t NumSyms = Symbols.size();
+  Procs.resize(NumProcs);
+
+  PairRelations Rel = computeRealizedPairs(M, Symbols);
+  SsaForm::KillOracle Kills = makeKillOracle(Symbols, MRI);
+
+  for (ProcId P = 0; P != NumProcs; ++P) {
+    ProcFlowAlias &PA = Procs[P];
+    const Function &F = M.function(P);
+    const auto &Formals = Symbols.formals(P);
+
+    // Materialize scalar symbol pairs and the per-symbol partner sets.
+    std::vector<std::pair<SymbolId, SymbolId>> Pairs;
+    auto addPair = [&](SymbolId A, SymbolId B) {
+      if (!Symbols.symbol(A).isScalar() || !Symbols.symbol(B).isScalar())
+        return;
+      Pairs.push_back({A, B});
+    };
+    for (const auto &[I, J] : Rel.FF[P])
+      addPair(Formals[I], Formals[J]);
+    for (const auto &[I, G] : Rel.FG[P])
+      addPair(Formals[I], G);
+    NumAliasPairs += Pairs.size();
+    if (Pairs.empty())
+      continue;
+
+    // Tracked-symbol bit assignment, in SymbolId order for determinism.
+    PA.TrackedBit.assign(NumSyms, -1);
+    for (const auto &[A, B] : Pairs) {
+      PA.TrackedBit[A] = 0;
+      PA.TrackedBit[B] = 0;
+    }
+    for (SymbolId S = 0; S != NumSyms; ++S)
+      if (PA.TrackedBit[S] == 0) {
+        PA.TrackedBit[S] = static_cast<int16_t>(PA.Tracked.size());
+        PA.Tracked.push_back(S);
+      }
+
+    size_t NumBlocks = F.numBlocks();
+    PA.PreState.resize(NumBlocks);
+    for (BlockId B = 0; B != static_cast<BlockId>(NumBlocks); ++B)
+      PA.PreState[B].assign(F.block(B).Instrs.size(), 0);
+
+    if (PA.Tracked.size() > 64) {
+      // More pair symbols than state bits: fall back to "always dirty",
+      // which is sound (every read of a pair symbol is gated) and no
+      // weaker than the baseline's whole-procedure masking.
+      PA.AlwaysDirty = true;
+      continue;
+    }
+
+    std::vector<uint64_t> Partner(PA.Tracked.size(), 0);
+    for (const auto &[A, B] : Pairs) {
+      Partner[PA.TrackedBit[A]] |= uint64_t(1) << PA.TrackedBit[B];
+      Partner[PA.TrackedBit[B]] |= uint64_t(1) << PA.TrackedBit[A];
+    }
+
+    // Forward may-dataflow: bit set = symbol may be stale. Entry state is
+    // all-clean (at entry every name still holds its location's value),
+    // joins union, and the transfer mirrors exactly the definitions the
+    // SSA overlay sees.
+    auto transfer = [&](const Instr &In, uint64_t Cur) -> uint64_t {
+      if (const Operand *D = In.def();
+          D && D->isVar() && PA.TrackedBit[D->Sym] >= 0) {
+        int Bit = PA.TrackedBit[D->Sym];
+        Cur |= Partner[Bit];
+        Cur &= ~(uint64_t(1) << Bit);
+      }
+      if (In.Op == Opcode::Call) {
+        uint64_t KilledMask = 0, DirtyAdd = 0;
+        for (SymbolId K : Kills(F, In)) {
+          if (PA.TrackedBit[K] < 0)
+            continue;
+          int Bit = PA.TrackedBit[K];
+          KilledMask |= uint64_t(1) << Bit;
+          DirtyAdd |= Partner[Bit];
+        }
+        Cur = (Cur | DirtyAdd) & ~KilledMask;
+      }
+      return Cur;
+    };
+
+    std::vector<BlockId> Rpo = F.reversePostOrder();
+    std::vector<uint64_t> InState(NumBlocks, 0), OutState(NumBlocks, 0);
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (BlockId B : Rpo) {
+        uint64_t In = 0;
+        for (BlockId Pred : F.block(B).Preds)
+          In |= OutState[Pred];
+        uint64_t Cur = In;
+        for (const Instr &I : F.block(B).Instrs)
+          Cur = transfer(I, Cur);
+        if (In != InState[B] || Cur != OutState[B]) {
+          InState[B] = In;
+          OutState[B] = Cur;
+          Changed = true;
+        }
+      }
+    }
+
+    // Record per-instruction pre-states and the exit union.
+    for (BlockId B : Rpo) {
+      uint64_t Cur = InState[B];
+      const auto &Instrs = F.block(B).Instrs;
+      for (uint32_t I = 0, E = static_cast<uint32_t>(Instrs.size()); I != E;
+           ++I) {
+        PA.PreState[B][I] = Cur;
+        if (Instrs[I].Op == Opcode::Ret)
+          PA.ExitDirty |= Cur;
+        Cur = transfer(Instrs[I], Cur);
+      }
+    }
+  }
+
+  // Precision delta against the baseline: (instruction point, symbol)
+  // facts where the whole-procedure mask said unstable but the dirty
+  // state here is clean.
+  for (ProcId P = 0; P != NumProcs; ++P) {
+    std::vector<SymbolId> Masked;
+    for (SymbolId S = 0; S != NumSyms; ++S)
+      if (Baseline.unstable(P, S))
+        Masked.push_back(S);
+    if (Masked.empty())
+      continue;
+    const Function &F = M.function(P);
+    for (BlockId B = 0, BE = static_cast<BlockId>(F.numBlocks()); B != BE;
+         ++B) {
+      uint32_t NumInstrs = static_cast<uint32_t>(F.block(B).Instrs.size());
+      for (uint32_t I = 0; I != NumInstrs; ++I)
+        for (SymbolId S : Masked)
+          NumRefinedPoints += !Procs[P].dirtyAt(B, I, S);
+    }
+  }
+}

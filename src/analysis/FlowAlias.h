@@ -1,0 +1,144 @@
+//===- analysis/FlowAlias.h - Flow-sensitive reference aliasing -*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Flow- and context-sensitive refinement of the call-by-reference alias
+/// analysis (analysis/RefAlias.h). The whole-procedure unstable masks are
+/// sound but blunt on two axes, and this analysis sharpens both:
+///
+///  * **Context.** RefAlias intersects per-formal binding sets that were
+///    accumulated over *all* call sites, so two formals are paired as soon
+///    as any location reaches both — even when no single call chain binds
+///    them together. Here a pair is realized only when one call site
+///    passes the same location to both positions: the same variable
+///    twice, two caller formals already paired in the caller, or a caller
+///    formal plus the global it may be bound to. Closing those rules over
+///    the call graph yields per-procedure formal-formal and formal-global
+///    relations that are a subset of the flow-insensitive pairs (locals
+///    are fresh per activation, so a formal can never alias a local of
+///    the procedure it belongs to).
+///
+///  * **Flow.** Instead of poisoning every definition of a paired symbol,
+///    a forward may-dataflow over the CFG tracks, per program point, which
+///    paired symbols are *dirty* — possibly overwritten through the other
+///    name since their last visible definition. A direct store to one
+///    member of a pair dirties its partners and cleans itself; a call
+///    cleans the symbols it kills (they receive a fresh SSA definition)
+///    and dirties the un-killed partners of every killed symbol. Only
+///    *reads* at dirty points must be treated as unknowable; reads at
+///    clean points — the `f(v, v)` EdgeCase among them — keep their SSA
+///    value.
+///
+/// Soundness: a symbol's SSA value can only diverge from memory through a
+/// store to an aliased name, every such store is a direct definition or a
+/// member of the call-kill set (which embeds MOD), and both transfer
+/// functions dirty every may-partner. The analysis is a may-analysis
+/// (union at joins, fixpoint over loops), so "clean" implies no aliased
+/// store can have intervened on any path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_ANALYSIS_FLOWALIAS_H
+#define IPCP_ANALYSIS_FLOWALIAS_H
+
+#include "analysis/RefAlias.h"
+#include "ir/Function.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ipcp {
+
+/// Per-procedure flow-sensitive dirty facts. Queries are valid for any
+/// (block, instruction) of the procedure's CFG; symbols outside every
+/// realized pair are never dirty.
+class ProcFlowAlias {
+public:
+  /// True when the procedure has no realized alias pair at all: nothing
+  /// is ever dirty and callers may skip gating entirely.
+  bool trivial() const { return Tracked.empty(); }
+
+  /// True if \p Sym may be stale immediately *before* instruction
+  /// \p InstrIdx of block \p B executes (i.e. for that instruction's
+  /// operand reads and call environment snapshot).
+  bool dirtyAt(BlockId B, uint32_t InstrIdx, SymbolId Sym) const {
+    int Bit = bitOf(Sym);
+    if (Bit < 0)
+      return false;
+    if (AlwaysDirty)
+      return true;
+    return (PreState[B][InstrIdx] >> Bit) & 1;
+  }
+
+  /// True if \p Sym may be stale at some Ret instruction (the exit
+  /// environment read that return jump functions are built from).
+  bool dirtyAtExit(SymbolId Sym) const {
+    int Bit = bitOf(Sym);
+    if (Bit < 0)
+      return false;
+    return AlwaysDirty || ((ExitDirty >> Bit) & 1);
+  }
+
+  /// Symbols that participate in at least one realized pair.
+  const std::vector<SymbolId> &trackedSymbols() const { return Tracked; }
+
+private:
+  friend class FlowAliasInfo;
+
+  int bitOf(SymbolId Sym) const {
+    if (Tracked.empty() || Sym == InvalidSymbol ||
+        Sym >= TrackedBit.size())
+      return -1;
+    return TrackedBit[Sym];
+  }
+
+  /// Tracked symbols in SymbolId order; empty when the proc has no pair.
+  std::vector<SymbolId> Tracked;
+  /// SymbolId -> bit index in the state masks, or -1.
+  std::vector<int16_t> TrackedBit;
+  /// PreState[B][I]: dirty mask before instruction I of block B.
+  std::vector<std::vector<uint64_t>> PreState;
+  /// Union of the pre-states at every Ret instruction.
+  uint64_t ExitDirty = 0;
+  /// Sound fallback when a procedure tracks more than 64 pair symbols:
+  /// every tracked symbol counts as dirty everywhere.
+  bool AlwaysDirty = false;
+};
+
+/// Program-wide flow-/context-sensitive alias facts, plus the precision
+/// delta against the flow-insensitive baseline they refine.
+class FlowAliasInfo {
+public:
+  /// Computes realized pairs and dirty dataflow for every procedure of
+  /// \p M. \p MRI supplies call kill sets (null = worst case), exactly as
+  /// the SSA overlay's kill oracle does, so dirt and SSA call-kill
+  /// definitions stay in lockstep. \p Baseline is the flow-insensitive
+  /// analysis being refined; it is only read to compute the
+  /// numRefinedPoints() statistic.
+  FlowAliasInfo(const Module &M, const SymbolTable &Symbols,
+                const ModRefInfo *MRI, const RefAliasInfo &Baseline);
+
+  const ProcFlowAlias &proc(ProcId P) const { return Procs.at(P); }
+
+  /// Number of realized (context-sensitive) alias pairs program-wide;
+  /// always <= the baseline's numAliasPairs().
+  size_t numAliasPairs() const { return NumAliasPairs; }
+
+  /// Number of (instruction point, symbol) facts where the baseline
+  /// masks the symbol as unstable but the flow-sensitive state is clean —
+  /// the points this analysis recovers.
+  size_t numRefinedPoints() const { return NumRefinedPoints; }
+
+private:
+  std::vector<ProcFlowAlias> Procs;
+  size_t NumAliasPairs = 0;
+  size_t NumRefinedPoints = 0;
+};
+
+} // namespace ipcp
+
+#endif // IPCP_ANALYSIS_FLOWALIAS_H

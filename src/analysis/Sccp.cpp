@@ -6,6 +6,8 @@
 
 #include "analysis/Sccp.h"
 
+#include "analysis/FlowAlias.h"
+
 #include <cassert>
 
 using namespace ipcp;
@@ -14,7 +16,7 @@ LatticeValue SccpCallValues::actual(uint32_t Idx) const {
   const Instr &In = S.ssa().function().block(Block).Instrs[InstrIdx];
   const InstrSsaInfo &Info = S.ssa().instrInfo(Block, InstrIdx);
   assert(Idx < In.Args.size() && "actual index out of range");
-  return S.operandValueImpl(In, Info, Idx);
+  return S.operandValueImpl(In, Info, Block, InstrIdx, Idx);
 }
 
 LatticeValue SccpCallValues::global(SymbolId G) const {
@@ -22,16 +24,24 @@ LatticeValue SccpCallValues::global(SymbolId G) const {
   const auto &Globals = S.symbols().globalScalars();
   for (uint32_t Idx = 0, E = static_cast<uint32_t>(Globals.size()); Idx != E;
        ++Idx)
-    if (Globals[Idx] == G)
+    if (Globals[Idx] == G) {
+      if (S.dirtyRead(Block, InstrIdx, G))
+        return LatticeValue::bottom();
       return S.Values[Info.GlobalEnv.at(Idx)];
+    }
   assert(false && "not a global scalar");
   return LatticeValue::bottom();
 }
 
+bool Sccp::dirtyRead(BlockId B, uint32_t InstrIdx, SymbolId Sym) const {
+  return Flow && Flow->dirtyAt(B, InstrIdx, Sym);
+}
+
 Sccp::Sccp(const SsaForm &Ssa, const SymbolTable &Symbols,
            const SccpSeeds *Seeds, const SccpKillFn *KillFn,
-           const std::vector<uint8_t> *Unstable)
-    : Ssa(Ssa), Symbols(Symbols), KillFn(KillFn), Unstable(Unstable) {
+           const std::vector<uint8_t> *Unstable, const ProcFlowAlias *Flow)
+    : Ssa(Ssa), Symbols(Symbols), KillFn(KillFn), Unstable(Unstable),
+      Flow(Flow && !Flow->trivial() ? Flow : nullptr) {
   const Function &F = Ssa.function();
   Values.assign(Ssa.numValues(), LatticeValue::top());
   ExecBlock.assign(F.numBlocks(), 0);
@@ -141,16 +151,22 @@ void Sccp::visitPhi(BlockId B, uint32_t PhiIdx) {
 }
 
 LatticeValue Sccp::operandValueImpl(const Instr &In,
-                                    const InstrSsaInfo &Info,
-                                    uint32_t Slot) const {
+                                    const InstrSsaInfo &Info, BlockId B,
+                                    uint32_t InstrIdx, uint32_t Slot) const {
   LatticeValue Result = LatticeValue::bottom();
   uint32_t Cur = 0;
   bool Found = false;
   In.forEachUse([&](const Operand &Op) {
     if (Cur == Slot) {
       Found = true;
-      Result = Op.isConst() ? LatticeValue::constant(Op.ConstValue)
-                            : Values[Info.UseSsa[Cur]];
+      if (Op.isConst())
+        Result = LatticeValue::constant(Op.ConstValue);
+      else if (dirtyRead(B, InstrIdx, Op.Sym))
+        // The reaching SSA value may have been overwritten through an
+        // aliased name on some path to this read.
+        Result = LatticeValue::bottom();
+      else
+        Result = Values[Info.UseSsa[Cur]];
     }
     ++Cur;
   });
@@ -162,14 +178,14 @@ LatticeValue Sccp::operandValueImpl(const Instr &In,
 LatticeValue Sccp::operandValue(BlockId B, uint32_t InstrIdx,
                                 uint32_t Slot) const {
   const Instr &In = Ssa.function().block(B).Instrs[InstrIdx];
-  return operandValueImpl(In, Ssa.instrInfo(B, InstrIdx), Slot);
+  return operandValueImpl(In, Ssa.instrInfo(B, InstrIdx), B, InstrIdx, Slot);
 }
 
 void Sccp::visitInstr(BlockId B, uint32_t InstrIdx) {
   const Instr &In = Ssa.function().block(B).Instrs[InstrIdx];
   const InstrSsaInfo &Info = Ssa.instrInfo(B, InstrIdx);
   auto use = [&](uint32_t Slot) {
-    return operandValueImpl(In, Info, Slot);
+    return operandValueImpl(In, Info, B, InstrIdx, Slot);
   };
 
   // A value computed into an unstable symbol is immediately unreliable:

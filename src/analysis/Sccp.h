@@ -30,6 +30,7 @@
 
 namespace ipcp {
 
+class ProcFlowAlias;
 class Sccp;
 
 /// Lattice values flowing into one call site, handed to the kill-value
@@ -67,10 +68,15 @@ public:
   /// modified by-reference alias pair (see analysis/RefAlias.h); every
   /// definition of such a symbol — entry value included — is forced to
   /// BOTTOM, since a store through the aliased name changes it without a
-  /// definition the SSA form can see.
+  /// definition the SSA form can see. \p Flow, when non-null, replaces
+  /// that whole-procedure masking with per-point gating (at most one of
+  /// the two is set): definitions and seeds stay precise, and only
+  /// *reads* at points where the symbol is dirty (analysis/FlowAlias.h)
+  /// resolve to BOTTOM.
   Sccp(const SsaForm &Ssa, const SymbolTable &Symbols,
        const SccpSeeds *Seeds, const SccpKillFn *KillFn,
-       const std::vector<uint8_t> *Unstable = nullptr);
+       const std::vector<uint8_t> *Unstable = nullptr,
+       const ProcFlowAlias *Flow = nullptr);
 
   const SsaForm &ssa() const { return Ssa; }
   const SymbolTable &symbols() const { return Symbols; }
@@ -109,6 +115,7 @@ private:
   void visitInstr(BlockId B, uint32_t InstrIdx);
   void setValue(SsaId Id, LatticeValue V);
   LatticeValue operandValueImpl(const Instr &In, const InstrSsaInfo &Info,
+                                BlockId B, uint32_t InstrIdx,
                                 uint32_t Slot) const;
   bool edgeIntoExecutable(BlockId Pred, BlockId Succ) const;
 
@@ -117,10 +124,16 @@ private:
     return Unstable && Sym != InvalidSymbol && (*Unstable)[Sym];
   }
 
+  /// Flow-gated mode: true when reading \p Sym just before instruction
+  /// \p InstrIdx of \p B may observe a value overwritten through an
+  /// aliased name.
+  bool dirtyRead(BlockId B, uint32_t InstrIdx, SymbolId Sym) const;
+
   const SsaForm &Ssa;
   const SymbolTable &Symbols;
   const SccpKillFn *KillFn;
   const std::vector<uint8_t> *Unstable;
+  const ProcFlowAlias *Flow;
 
   std::vector<LatticeValue> Values;
   std::vector<uint8_t> ExecBlock;

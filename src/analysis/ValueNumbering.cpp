@@ -6,6 +6,8 @@
 
 #include "analysis/ValueNumbering.h"
 
+#include "analysis/FlowAlias.h"
+
 #include <cassert>
 
 using namespace ipcp;
@@ -292,13 +294,12 @@ const VnExpr *CallSiteValues::actual(uint32_t Idx) const {
 }
 
 const VnExpr *CallSiteValues::global(SymbolId G) const {
-  const InstrSsaInfo &Info = VN.ssa().instrInfo(Block, InstrIdx);
   // GlobalEnv is parallel to the symbol table's global scalar list.
   const auto &Globals = VN.symbols().globalScalars();
   for (uint32_t Idx = 0, E = static_cast<uint32_t>(Globals.size()); Idx != E;
        ++Idx)
     if (Globals[Idx] == G)
-      return VN.exprOf(Info.GlobalEnv.at(Idx));
+      return VN.globalEnvExpr(Block, InstrIdx, Idx);
   assert(false && "not a global scalar");
   return nullptr;
 }
@@ -359,8 +360,83 @@ ValueNumbering::ValueNumbering(const SsaForm &Ssa,
                                const KillValueFn *KillFn,
                                const DominatorTree *GatedDT,
                                const std::vector<uint8_t> *Unstable)
-    : Ssa(Ssa), Symbols(Symbols), Ctx(Ctx) {
+    : ValueNumbering(Ssa, Symbols, Ctx, KillFn, GatedDT,
+                     VnPrecision{Unstable, nullptr, false}) {}
+
+ValueNumbering::ValueNumbering(const SsaForm &Ssa,
+                               const SymbolTable &Symbols, VnContext &Ctx,
+                               const KillValueFn *KillFn,
+                               const DominatorTree *GatedDT,
+                               const VnPrecision &Prec)
+    : Ssa(Ssa), Symbols(Symbols), Ctx(Ctx),
+      Flow(Prec.Flow && !Prec.Flow->trivial() ? Prec.Flow : nullptr) {
   ExprOf.assign(Ssa.numValues(), nullptr);
+  if (Flow)
+    buildFlowGates();
+  if (Prec.Optimistic)
+    numberOptimistic(KillFn, GatedDT, Prec.Unstable);
+  else
+    numberPessimistic(KillFn, GatedDT, Prec.Unstable);
+
+  // Unreachable definitions (e.g. phis in a preserved-but-unreachable
+  // exit block) get opaque values so exprOf() is total.
+  for (const VnExpr *&E : ExprOf)
+    if (!E)
+      E = Ctx.makeOpaque();
+}
+
+/// Pre-allocates one Opaque gate for every dirty read point: operand
+/// slots, per-call global environments, and the exit environment. Filling
+/// the tables up front (in deterministic block order) keeps the numbering
+/// itself allocation-order-stable across optimistic passes and lets
+/// concurrent post-construction readers resolve gated reads without ever
+/// touching the context.
+void ValueNumbering::buildFlowGates() {
+  const Function &F = Ssa.function();
+  const auto &Globals = Symbols.globalScalars();
+  for (BlockId B = 0, BE = static_cast<BlockId>(F.numBlocks()); B != BE;
+       ++B) {
+    const auto &Instrs = F.block(B).Instrs;
+    for (uint32_t I = 0, E = static_cast<uint32_t>(Instrs.size()); I != E;
+         ++I) {
+      const Instr &In = Instrs[I];
+      uint32_t Slot = 0;
+      In.forEachUse([&](const Operand &Op) {
+        if (Op.isVar() && Flow->dirtyAt(B, I, Op.Sym))
+          OperandGates.emplace(GateKey{B, I, Slot}, Ctx.makeOpaque());
+        ++Slot;
+      });
+      if (In.Op == Opcode::Call) {
+        const InstrSsaInfo &Info = Ssa.instrInfo(B, I);
+        for (uint32_t GI = 0,
+                      GE = static_cast<uint32_t>(Info.GlobalEnv.size());
+             GI != GE; ++GI)
+          if (Flow->dirtyAt(B, I, Globals[GI]))
+            GlobalGates.emplace(GateKey{B, I, GI}, Ctx.makeOpaque());
+      }
+    }
+  }
+  if (Ssa.hasExitEnv()) {
+    const auto &ExitSyms = Ssa.exitSymbols();
+    ExitGates.assign(ExitSyms.size(), nullptr);
+    for (uint32_t I = 0, E = static_cast<uint32_t>(ExitSyms.size()); I != E;
+         ++I)
+      if (Flow->dirtyAtExit(ExitSyms[I]))
+        ExitGates[I] = Ctx.makeOpaque();
+  }
+}
+
+const VnExpr *ValueNumbering::operandGate(BlockId B, uint32_t InstrIdx,
+                                          uint32_t Slot) const {
+  if (!Flow)
+    return nullptr;
+  auto It = OperandGates.find(GateKey{B, InstrIdx, Slot});
+  return It != OperandGates.end() ? It->second : nullptr;
+}
+
+void ValueNumbering::numberPessimistic(const KillValueFn *KillFn,
+                                       const DominatorTree *GatedDT,
+                                       const std::vector<uint8_t> *Unstable) {
   const Function &F = Ssa.function();
 
   auto unstable = [&](SymbolId Sym) {
@@ -398,8 +474,9 @@ ValueNumbering::ValueNumbering(const SsaForm &Ssa,
     const auto &BranchInstrs = F.block(BranchBlock).Instrs;
     uint32_t BranchIdx = static_cast<uint32_t>(BranchInstrs.size() - 1);
     const VnExpr *Cond = exprOfOperand(BranchBlock, BranchIdx, 0);
-    // The predicate must be evaluable during propagation.
-    if (!isParamExpr(Cond))
+    // The predicate must be evaluable during propagation. (Optimistic
+    // passes may see a still-unnumbered predicate; no gamma then.)
+    if (!Cond || !isParamExpr(Cond))
       return nullptr;
     const VnExpr *Arms[2];
     for (int I = 0; I != 2; ++I) {
@@ -461,11 +538,14 @@ ValueNumbering::ValueNumbering(const SsaForm &Ssa,
       const Instr &In = Instrs[I];
       const InstrSsaInfo &Info = Ssa.instrInfo(B, I);
 
-      // Gather operand expressions in slot order.
+      // Gather operand expressions in slot order. A read gated dirty by
+      // the flow-sensitive alias facts resolves to its gate Opaque: the
+      // reaching SSA value may be stale at this point.
       Ops.clear();
       uint32_t Slot = 0;
       In.forEachUse([&](const Operand &Op) {
-        Ops.push_back(operandExpr(Op, Info.UseSsa[Slot]));
+        const VnExpr *Gate = operandGate(B, I, Slot);
+        Ops.push_back(Gate ? Gate : operandExpr(Op, Info.UseSsa[Slot]));
         ++Slot;
       });
 
@@ -510,22 +590,225 @@ ValueNumbering::ValueNumbering(const SsaForm &Ssa,
       }
     }
   }
+}
 
-  // Unreachable definitions (e.g. phis in a preserved-but-unreachable
-  // exit block) get opaque values so exprOf() is total.
-  for (const VnExpr *&E : ExprOf)
-    if (!E)
-      E = Ctx.makeOpaque();
+/// Pai-style optimistic iteration: every value starts at TOP (null) and
+/// reverse-postorder passes re-evaluate until nothing changes. Phi merges
+/// skip TOP inputs (the optimistic assumption that an unresolved path
+/// will agree); a value whose re-evaluation disagrees with what it
+/// already holds is pinned to its stable per-id Opaque, so each value
+/// changes at most twice and the iteration terminates. Values still TOP
+/// at the fixpoint are unreachable and are filled with Opaques by the
+/// constructor tail.
+void ValueNumbering::numberOptimistic(const KillValueFn *KillFn,
+                                      const DominatorTree *GatedDT,
+                                      const std::vector<uint8_t> *Unstable) {
+  const Function &F = Ssa.function();
+
+  auto unstable = [&](SymbolId Sym) {
+    return Unstable && Sym != InvalidSymbol && (*Unstable)[Sym];
+  };
+
+  OpaqueSlots.assign(Ssa.numValues(), nullptr);
+  auto opaqueFor = [&](SsaId Id) {
+    if (!OpaqueSlots[Id])
+      OpaqueSlots[Id] = Ctx.makeOpaque();
+    return OpaqueSlots[Id];
+  };
+
+  // Three-level descent per id: TOP (null) adopts the first value; a
+  // re-evaluation that disagrees pins the id to its stable Opaque; a
+  // pinned id never changes again.
+  auto setExpr = [&](SsaId Id, const VnExpr *E) -> bool {
+    if (ExprOf[Id] == E)
+      return false;
+    if (!ExprOf[Id]) {
+      ExprOf[Id] = E;
+      return true;
+    }
+    if (OpaqueSlots[Id] && ExprOf[Id] == OpaqueSlots[Id])
+      return false;
+    ExprOf[Id] = opaqueFor(Id);
+    return true;
+  };
+
+  for (auto [Sym, Id] : Ssa.entryDefs()) {
+    const Symbol &S = Symbols.symbol(Sym);
+    ExprOf[Id] = S.isInterproceduralParam() && !unstable(Sym)
+                     ? Ctx.getParam(Sym)
+                     : opaqueFor(Id);
+  }
+
+  auto operandExpr = [&](const Operand &Op, SsaId Use) -> const VnExpr * {
+    if (Op.isConst())
+      return Ctx.getConst(Op.ConstValue);
+    assert(Use != InvalidSsa && "variable operand without SSA id");
+    return ExprOf[Use]; // May still be TOP (null) mid-iteration.
+  };
+
+  auto tryGamma = [&](BlockId B, const Phi &P) -> const VnExpr * {
+    if (!GatedDT)
+      return nullptr;
+    BlockId BranchBlock = InvalidBlock;
+    bool ArmIsTrue[2];
+    if (!mapPredsToArms(F, *GatedDT, B, BranchBlock, ArmIsTrue))
+      return nullptr;
+    const auto &BranchInstrs = F.block(BranchBlock).Instrs;
+    uint32_t BranchIdx = static_cast<uint32_t>(BranchInstrs.size() - 1);
+    const VnExpr *Cond = exprOfOperand(BranchBlock, BranchIdx, 0);
+    if (!Cond || !isParamExpr(Cond))
+      return nullptr;
+    const VnExpr *Arms[2];
+    for (int I = 0; I != 2; ++I) {
+      SsaId In = P.Incoming[I];
+      Arms[I] = In != InvalidSsa ? ExprOf[In] : nullptr;
+      if (!Arms[I])
+        return nullptr;
+    }
+    const VnExpr *TrueArm = ArmIsTrue[0] ? Arms[0] : Arms[1];
+    const VnExpr *FalseArm = ArmIsTrue[0] ? Arms[1] : Arms[0];
+    return Ctx.getGamma(Cond, TrueArm, FalseArm);
+  };
+
+  // SawTop[phi def]: the phi's merge skipped a TOP input on some pass —
+  // exactly the merges the pessimistic single pass turns Opaque.
+  std::vector<uint8_t> SawTop(Ssa.numValues(), 0);
+
+  std::vector<BlockId> Rpo = F.reversePostOrder();
+  std::vector<const VnExpr *> Ops;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BlockId B : Rpo) {
+      for (const Phi &P : Ssa.phis(B)) {
+        if (unstable(P.Sym)) {
+          Changed |= setExpr(P.Def, opaqueFor(P.Def));
+          continue;
+        }
+        const VnExpr *Merged = nullptr;
+        bool SawOpaque = false, Conflict = false, SkippedTop = false;
+        for (SsaId In : P.Incoming) {
+          const VnExpr *E = In == InvalidSsa ? nullptr : ExprOf[In];
+          if (!E) {
+            SkippedTop = true; // Optimistic: assume the path will agree.
+            continue;
+          }
+          if (E->isOpaque()) {
+            SawOpaque = true;
+            break;
+          }
+          if (!Merged)
+            Merged = E;
+          else if (Merged != E) {
+            Conflict = true;
+            break;
+          }
+        }
+        if (SkippedTop)
+          SawTop[P.Def] = 1;
+        if (!SawOpaque && !Conflict) {
+          if (Merged)
+            Changed |= setExpr(P.Def, Merged);
+          // All inputs TOP: stay TOP.
+          continue;
+        }
+        if (const VnExpr *Gated = tryGamma(B, P)) {
+          Changed |= setExpr(P.Def, Gated);
+          continue;
+        }
+        Changed |= setExpr(P.Def, opaqueFor(P.Def));
+      }
+
+      const auto &Instrs = F.block(B).Instrs;
+      for (uint32_t I = 0, E = static_cast<uint32_t>(Instrs.size()); I != E;
+           ++I) {
+        const Instr &In = Instrs[I];
+        const InstrSsaInfo &Info = Ssa.instrInfo(B, I);
+
+        Ops.clear();
+        bool OpsReady = true;
+        uint32_t Slot = 0;
+        In.forEachUse([&](const Operand &Op) {
+          const VnExpr *Gate = operandGate(B, I, Slot);
+          const VnExpr *E = Gate ? Gate : operandExpr(Op, Info.UseSsa[Slot]);
+          OpsReady &= E != nullptr;
+          Ops.push_back(E);
+          ++Slot;
+        });
+
+        if (Info.DefSsa != InvalidSsa &&
+            unstable(Ssa.def(Info.DefSsa).Sym)) {
+          Changed |= setExpr(Info.DefSsa, opaqueFor(Info.DefSsa));
+          continue;
+        }
+
+        switch (In.Op) {
+        case Opcode::Copy:
+          if (OpsReady)
+            Changed |= setExpr(Info.DefSsa, Ops[0]);
+          break;
+        case Opcode::Unary:
+          if (OpsReady)
+            Changed |= setExpr(Info.DefSsa, Ctx.getUnary(In.UnOp, Ops[0]));
+          break;
+        case Opcode::Binary:
+          if (OpsReady)
+            Changed |=
+                setExpr(Info.DefSsa, Ctx.getBinary(In.BinOp, Ops[0], Ops[1]));
+          break;
+        case Opcode::Load:
+        case Opcode::Read:
+          Changed |= setExpr(Info.DefSsa, opaqueFor(Info.DefSsa));
+          break;
+        case Opcode::Call: {
+          // The kill callback reads actuals and the global environment
+          // lazily; evaluate only once every input it could read has
+          // left TOP (at the fixpoint every reachable call is ready).
+          bool EnvReady = OpsReady;
+          for (uint32_t GI = 0,
+                        GE = static_cast<uint32_t>(Info.GlobalEnv.size());
+               EnvReady && GI != GE; ++GI)
+            EnvReady = globalEnvExpr(B, I, GI) != nullptr;
+          if (!EnvReady)
+            break;
+          CallSiteValues Values(*this, B, I);
+          for (auto [Killed, Def] : Info.Kills) {
+            std::optional<int64_t> C;
+            if (KillFn && *KillFn && !unstable(Killed))
+              C = (*KillFn)(In, Killed, Values);
+            Changed |= setExpr(Def, C ? Ctx.getConst(*C) : opaqueFor(Def));
+          }
+          break;
+        }
+        case Opcode::Store:
+        case Opcode::Print:
+        case Opcode::Branch:
+        case Opcode::Jump:
+        case Opcode::Ret:
+          break;
+        }
+      }
+    }
+  }
+
+  for (BlockId B : Rpo)
+    for (const Phi &P : Ssa.phis(B))
+      if (SawTop[P.Def] && ExprOf[P.Def] && !ExprOf[P.Def]->isOpaque())
+        ++NumOptimisticPhiMerges;
 }
 
 const VnExpr *ValueNumbering::exprOfOperand(BlockId B, uint32_t InstrIdx,
                                             uint32_t Slot) const {
+  if (const VnExpr *Gate = operandGate(B, InstrIdx, Slot))
+    return Gate;
   const Instr &In = Ssa.function().block(B).Instrs[InstrIdx];
   const InstrSsaInfo &Info = Ssa.instrInfo(B, InstrIdx);
   const VnExpr *Result = nullptr;
+  bool Found = false;
   uint32_t Cur = 0;
   In.forEachUse([&](const Operand &Op) {
     if (Cur == Slot) {
+      Found = true;
       if (Op.isConst())
         Result = Ctx.getConst(Op.ConstValue);
       else
@@ -533,6 +816,24 @@ const VnExpr *ValueNumbering::exprOfOperand(BlockId B, uint32_t InstrIdx,
     }
     ++Cur;
   });
-  assert(Result && "operand slot out of range");
+  assert(Found && "operand slot out of range");
+  (void)Found;
   return Result;
+}
+
+const VnExpr *ValueNumbering::globalEnvExpr(BlockId B, uint32_t InstrIdx,
+                                            uint32_t GlobalIdx) const {
+  if (Flow) {
+    auto It = GlobalGates.find(GateKey{B, InstrIdx, GlobalIdx});
+    if (It != GlobalGates.end())
+      return It->second;
+  }
+  const InstrSsaInfo &Info = Ssa.instrInfo(B, InstrIdx);
+  return ExprOf[Info.GlobalEnv.at(GlobalIdx)];
+}
+
+const VnExpr *ValueNumbering::exitExpr(uint32_t ExitIdx) const {
+  if (ExitIdx < ExitGates.size() && ExitGates[ExitIdx])
+    return ExitGates[ExitIdx];
+  return ExprOf[Ssa.exitEnv().at(ExitIdx)];
 }

@@ -44,6 +44,8 @@
 
 namespace ipcp {
 
+class ProcFlowAlias;
+
 /// Node kinds of value-numbering expressions. Gamma is the gated-SSA
 /// selector (Ballance et al., paper reference [2]): Gamma(c, t, f) is t
 /// when c is nonzero and f otherwise. Gammas are only built when the
@@ -163,6 +165,18 @@ private:
 using KillValueFn = std::function<std::optional<int64_t>(
     const Instr &Call, SymbolId Killed, const CallSiteValues &Values)>;
 
+/// Precision options of one numbering run. At most one of \p Unstable
+/// (whole-procedure flow-insensitive masking, analysis/RefAlias.h) and
+/// \p Flow (per-point dirty gating, analysis/FlowAlias.h) is set; with
+/// \p Optimistic the pessimistic single pass is replaced by Pai-style
+/// optimistic iteration to a fixpoint (TOP-initialized, reverse-postorder
+/// passes until no expression changes).
+struct VnPrecision {
+  const std::vector<uint8_t> *Unstable = nullptr;
+  const ProcFlowAlias *Flow = nullptr;
+  bool Optimistic = false;
+};
+
 /// The value numbering of one procedure.
 class ValueNumbering {
 public:
@@ -179,6 +193,14 @@ public:
                  const DominatorTree *GatedDT = nullptr,
                  const std::vector<uint8_t> *Unstable = nullptr);
 
+  /// As above with the full precision options. With \p Prec.Flow set,
+  /// definitions stay precise and only *reads* at dirty points — operand
+  /// slots, the global environment flowing into calls, and the exit
+  /// environment — resolve to pre-allocated Opaque gate values.
+  ValueNumbering(const SsaForm &Ssa, const SymbolTable &Symbols,
+                 VnContext &Ctx, const KillValueFn *KillFn,
+                 const DominatorTree *GatedDT, const VnPrecision &Prec);
+
   const SsaForm &ssa() const { return Ssa; }
   const SymbolTable &symbols() const { return Symbols; }
   VnContext &context() const { return Ctx; }
@@ -187,15 +209,70 @@ public:
   const VnExpr *exprOf(SsaId Id) const { return ExprOf.at(Id); }
 
   /// Expression of source-operand \p Slot of instruction \p InstrIdx in
-  /// block \p B; resolves Const operands to Const expressions.
+  /// block \p B; resolves Const operands to Const expressions and dirty
+  /// reads (flow-gated mode) to their gate Opaques.
   const VnExpr *exprOfOperand(BlockId B, uint32_t InstrIdx,
                               uint32_t Slot) const;
 
+  /// Expression of the \p GlobalIdx-th global scalar flowing into the
+  /// call at (\p B, \p InstrIdx); gated like exprOfOperand.
+  const VnExpr *globalEnvExpr(BlockId B, uint32_t InstrIdx,
+                              uint32_t GlobalIdx) const;
+
+  /// Expression of the \p ExitIdx-th exit-environment value (parallel to
+  /// SsaForm::exitSymbols()); gated like exprOfOperand. Only valid when
+  /// the SSA form hasExitEnv().
+  const VnExpr *exitExpr(uint32_t ExitIdx) const;
+
+  /// Optimistic mode only: phis whose merge ever skipped an unavailable
+  /// (TOP) input and still converged to a non-Opaque value — merges the
+  /// pessimistic single pass gives up on (Pai's iteration wins).
+  size_t numOptimisticPhiMerges() const { return NumOptimisticPhiMerges; }
+
 private:
+  struct GateKey {
+    uint32_t Block;
+    uint32_t Instr;
+    uint32_t Slot;
+    bool operator==(const GateKey &) const = default;
+  };
+  struct GateKeyHash {
+    size_t operator()(const GateKey &K) const {
+      size_t H = std::hash<uint64_t>()(
+          (static_cast<uint64_t>(K.Block) << 32) | K.Instr);
+      return H * 31 + K.Slot;
+    }
+  };
+  using GateMap = std::unordered_map<GateKey, const VnExpr *, GateKeyHash>;
+
+  void buildFlowGates();
+  void numberPessimistic(const KillValueFn *KillFn,
+                         const DominatorTree *GatedDT,
+                         const std::vector<uint8_t> *Unstable);
+  void numberOptimistic(const KillValueFn *KillFn,
+                        const DominatorTree *GatedDT,
+                        const std::vector<uint8_t> *Unstable);
+  const VnExpr *operandGate(BlockId B, uint32_t InstrIdx,
+                            uint32_t Slot) const;
+
   const SsaForm &Ssa;
   const SymbolTable &Symbols;
   VnContext &Ctx;
   std::vector<const VnExpr *> ExprOf;
+
+  /// Flow-gated mode only (null otherwise). The gate tables are filled
+  /// once before numbering, so concurrent post-construction readers
+  /// (exprOfOperand from shared cached numberings) never allocate.
+  const ProcFlowAlias *Flow = nullptr;
+  GateMap OperandGates;
+  GateMap GlobalGates;
+  std::vector<const VnExpr *> ExitGates;
+
+  /// Optimistic mode only: stable per-SsaId Opaque identities, so
+  /// re-evaluation across passes terminates (TOP -> expr -> pinned
+  /// Opaque, at most two changes per value).
+  std::vector<const VnExpr *> OpaqueSlots;
+  size_t NumOptimisticPhiMerges = 0;
 };
 
 } // namespace ipcp

@@ -54,6 +54,16 @@ const std::vector<FuzzConfig> &ipcp::fuzzConfigs() {
       O.UseGatedSsa = true;
       C.push_back({"poly-gsa", O});
     }
+    {
+      PipelineOptions O;
+      O.FlowSensitiveAlias = true;
+      C.push_back({"poly-fsa", O});
+    }
+    {
+      PipelineOptions O;
+      O.OptimisticVn = true;
+      C.push_back({"poly-ogvn", O});
+    }
     return C;
   }();
   return Configs;
@@ -134,9 +144,10 @@ ipcp::evaluateProgram(const std::string &Source, FuzzFeedback &FB,
 
   // Cross-config hierarchy, in its sound set-inclusion form: a weaker
   // configuration's CONSTANTS sets are contained in polynomial's, and
-  // polynomial's in gated SSA's. (Substituted counts are NOT compared —
-  // see constantsSubset.) Complete propagation that folded nothing must
-  // agree with the plain run exactly.
+  // polynomial's in each refining configuration's — gated SSA,
+  // flow-sensitive aliasing, and optimistic numbering. (Substituted
+  // counts are NOT compared — see constantsSubset.) Complete propagation
+  // that folded nothing must agree with the plain run exactly.
   std::string Witness;
   auto Violation = [&](size_t I, const char *Rel) {
     return makeFailure("hierarchy-violation",
@@ -149,6 +160,10 @@ ipcp::evaluateProgram(const std::string &Source, FuzzFeedback &FB,
     return Violation(2, "<=");
   if (!constantsSubset(Results[0], Results[5], Witness))
     return Violation(5, ">=");
+  if (!constantsSubset(Results[0], Results[6], Witness))
+    return Violation(6, ">=");
+  if (!constantsSubset(Results[0], Results[7], Witness))
+    return Violation(7, ">=");
   if (Results[3].FoldedBranches == 0 &&
       Results[3].SubstitutedConstants != Results[0].SubstitutedConstants)
     return makeFailure(

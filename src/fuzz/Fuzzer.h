@@ -7,7 +7,7 @@
 /// \file
 /// The coverage-guided fuzzing loop, libFuzzer-shaped but with the
 /// analyzer's *behavior* as the coverage signal: each candidate program
-/// is analyzed under six pipeline configurations with a FuzzFeedback
+/// is analyzed under eight pipeline configurations with a FuzzFeedback
 /// sink attached, and a mutant joins the corpus only when its feature
 /// bitmap (lattice transitions per jump-function form, solver memo
 /// traffic, alias pairs, DCE rounds, inliner/cloning decisions, ...)
@@ -45,9 +45,10 @@ struct FuzzConfig {
   PipelineOptions Pipeline;
 };
 
-/// The six configurations every candidate runs under: the four
+/// The eight configurations every candidate runs under: the four
 /// jump-function kinds' extremes, complete propagation, the
-/// intraprocedural baseline, and gated SSA.
+/// intraprocedural baseline, gated SSA, and the precision tier
+/// (flow-sensitive aliasing and optimistic value numbering).
 const std::vector<FuzzConfig> &fuzzConfigs();
 
 /// Parameters of one campaign.

@@ -11,7 +11,7 @@
 /// configuration-independent "base" of a jump-function build — and hands
 /// them out memoized, so that
 ///
-///   * the nine suite configurations of one program share one frontend,
+///   * the eleven suite configurations of one program share one frontend,
 ///     one Module, and one SSA/VN per (procedure, UseMod) instead of
 ///     rebuilding them per cell (Tables 2/3 rerun the same programs);
 ///   * complete-propagation rounds re-lower only the procedures the
@@ -29,8 +29,9 @@
 ///     keyed (ProcId, UseMod).
 ///   * A jump-function base — stage-1 return jump functions plus the
 ///     value numberings built along the way — depends on
-///     (UseMod, UseReturnJumpFunctions, UseGatedSsa) but NOT on the
-///     forward jump-function kind, which only classifies stage-2 output.
+///     (UseMod, UseReturnJumpFunctions, UseGatedSsa, FlowSensitiveAlias,
+///     OptimisticVn) but NOT on the forward jump-function kind, which
+///     only classifies stage-2 output.
 ///   * A stage-1 value numbering equals a stage-2 rebuild only for
 ///     non-recursive procedures (bottom-up order guarantees their
 ///     callees' return jump functions were complete); recursive ones are
@@ -51,6 +52,7 @@
 #define IPCP_IPCP_ANALYSISSESSION_H
 
 #include "analysis/CallGraph.h"
+#include "analysis/FlowAlias.h"
 #include "analysis/ModRef.h"
 #include "analysis/RefAlias.h"
 #include "analysis/ValueNumbering.h"
@@ -118,6 +120,11 @@ public:
   /// By-reference alias summaries under the given MOD setting.
   const RefAliasInfo &refAlias(bool UseMod);
 
+  /// Flow-/context-sensitive alias facts under the given MOD setting
+  /// (analysis/FlowAlias.h), built on first use over the baseline
+  /// summaries of the same setting.
+  const FlowAliasInfo &flowAlias(bool UseMod);
+
   /// The call kill oracle under the given MOD setting.
   const SsaForm::KillOracle &killOracle(bool UseMod);
 
@@ -150,8 +157,9 @@ public:
     std::vector<std::unique_ptr<VnBundle>> Vn;
   };
 
-  /// The base keyed by (UseMod, UseReturnJumpFunctions, UseGatedSsa) of
-  /// \p Opts, running \p Build under the cache lock on first use.
+  /// The base keyed by (UseMod, UseReturnJumpFunctions, UseGatedSsa,
+  /// FlowSensitiveAlias, OptimisticVn) of \p Opts, running \p Build under
+  /// the cache lock on first use.
   const JfBase &jfBase(const JumpFunctionOptions &Opts,
                        const std::function<void(JfBase &)> &Build);
 
@@ -204,6 +212,7 @@ private:
   bool MriBuilt = false;
   std::optional<ModRefInfo> Mri;
   std::optional<RefAliasInfo> Aliases[2];    // [UseMod]
+  std::optional<FlowAliasInfo> FlowAliases[2];   // [UseMod]
   std::optional<SsaForm::KillOracle> Oracles[2]; // [UseMod]
 
   /// Per-(procedure, UseMod) SSA slots; each has its own lock so
@@ -214,9 +223,10 @@ private:
   };
   std::unique_ptr<SsaSlot[]> SsaSlots;
 
-  /// Jump-function bases keyed (UseMod << 2) | (UseRjf << 1) | Gated.
+  /// Jump-function bases keyed (UseMod << 4) | (UseRjf << 3) |
+  /// (Gated << 2) | (Fsa << 1) | Ogvn.
   std::mutex JfMutex;
-  std::unique_ptr<JfBase> JfBases[8];
+  std::unique_ptr<JfBase> JfBases[32];
 
   ValueContextMemo VcMemo;
 

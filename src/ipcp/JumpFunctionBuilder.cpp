@@ -6,6 +6,7 @@
 
 #include "ipcp/JumpFunctionBuilder.h"
 
+#include "analysis/FlowAlias.h"
 #include "ipcp/AnalysisSession.h"
 #include "ir/Dominators.h"
 #include "support/ThreadPool.h"
@@ -175,11 +176,25 @@ struct BuildContext {
   const SsaForm::KillOracle &KillOracle;
   const KillValueFn *VnKillFnPtr;
   const RefAliasInfo *Aliases;
+  const FlowAliasInfo *FlowAliases;
   ProgramJumpFunctions &Jfs;
   AnalysisSession *Session;
 
   const std::vector<uint8_t> *unstableMask(ProcId P) const {
     return Aliases ? &Aliases->unstableMask(P) : nullptr;
+  }
+
+  /// The precision options of procedure \p P's numbering: in
+  /// flow-sensitive mode the per-point dirty facts replace the
+  /// whole-procedure mask (at most one of the two is set).
+  VnPrecision precision(ProcId P) const {
+    VnPrecision Prec;
+    if (Opts.FlowSensitiveAlias && FlowAliases)
+      Prec.Flow = &FlowAliases->proc(P);
+    else
+      Prec.Unstable = unstableMask(P);
+    Prec.Optimistic = Opts.OptimisticVn;
+    return Prec;
   }
 };
 
@@ -222,8 +237,9 @@ JumpFunctionStats buildReturnJfsForProc(const BuildContext &BC, ProcId P,
   VnSlot.emplace(Ssa, BC.Symbols,
                  CacheInto ? CacheInto->Ctx : LocalCtx.emplace(),
                  BC.VnKillFnPtr, BC.Opts.UseGatedSsa ? View.DT : nullptr,
-                 BC.unstableMask(P));
+                 BC.precision(P));
   const ValueNumbering &VN = *VnSlot;
+  Stats.NumGvnPhiMerges += VN.numOptimisticPhiMerges();
   if (BC.Session)
     BC.Session->counters().VnBuilt.fetch_add(1, std::memory_order_relaxed);
 
@@ -240,7 +256,7 @@ JumpFunctionStats buildReturnJfsForProc(const BuildContext &BC, ProcId P,
       continue;
     JumpFunction Rjf;
     if (Ssa.hasExitEnv()) {
-      const VnExpr *Exit = VN.exprOf(Ssa.exitEnv()[I]);
+      const VnExpr *Exit = VN.exitExpr(I);
       Rjf = JumpFunction::classify(JumpFunctionKind::Polynomial, Exit,
                                    /*IsLiteralOperand=*/false,
                                    BC.Opts.UseGatedSsa);
@@ -296,12 +312,15 @@ JumpFunctionStats buildForwardJfsForProc(const BuildContext &BC, ProcId P,
       Ctx.emplace();
       LocalVN.emplace(*Ssa, BC.Symbols, *Ctx, BC.VnKillFnPtr,
                       BC.Opts.UseGatedSsa ? View.DT : nullptr,
-                      BC.unstableMask(P));
+                      BC.precision(P));
       VN = &*LocalVN;
       if (BC.Session)
         BC.Session->counters().VnBuilt.fetch_add(1,
                                                  std::memory_order_relaxed);
     }
+    // Count as a fresh build would: a cached numbering is provably
+    // identical to the rebuild it stands in for.
+    Stats.NumGvnPhiMerges += VN->numOptimisticPhiMerges();
   }
 
   auto recordStats = [&](const JumpFunction &J) {
@@ -354,8 +373,8 @@ JumpFunctionStats buildForwardJfsForProc(const BuildContext &BC, ProcId P,
          GI != GE; ++GI) {
       JumpFunction J; // Literal: globals are never literal -> bottom.
       if (!LiteralOnly) {
-        const InstrSsaInfo &Info = Ssa->instrInfo(S.Block, S.InstrIdx);
-        J = JumpFunction::classify(BC.Opts.Kind, VN->exprOf(Info.GlobalEnv[GI]),
+        J = JumpFunction::classify(BC.Opts.Kind,
+                                   VN->globalEnvExpr(S.Block, S.InstrIdx, GI),
                                    /*IsLiteralOperand=*/false,
                                    BC.Opts.UseGatedSsa);
       }
@@ -406,8 +425,8 @@ void runStage1(const BuildContext &BC, ThreadPool *Pool,
 void buildJfBase(AnalysisSession::JfBase &B, const Module &M,
                  const SymbolTable &Symbols, const CallGraph &CG,
                  const ModRefInfo *MRI, const JumpFunctionOptions &Opts,
-                 const RefAliasInfo *Aliases, ThreadPool *Pool,
-                 AnalysisSession *Session) {
+                 const RefAliasInfo *Aliases, const FlowAliasInfo *FlowAliases,
+                 ThreadPool *Pool, AnalysisSession *Session) {
   B.Skeleton.Options = Opts;
   B.Skeleton.PerSite.resize(M.Functions.size());
   B.Skeleton.ReturnJfs.resize(M.Functions.size());
@@ -417,8 +436,9 @@ void buildJfBase(AnalysisSession::JfBase &B, const Module &M,
   KillValueFn VnKillFn = makeVnKillFn(B.Skeleton, Symbols);
   const KillValueFn *VnKillFnPtr =
       Opts.UseReturnJumpFunctions ? &VnKillFn : nullptr;
-  BuildContext BC{M,          Symbols, CG,      MRI,        Opts, KillOracle,
-                  VnKillFnPtr, Aliases, B.Skeleton, Session};
+  BuildContext BC{M,           Symbols, CG,          MRI,        Opts,
+                  KillOracle,  VnKillFnPtr, Aliases, FlowAliases,
+                  B.Skeleton,  Session};
 
   if (Opts.UseReturnJumpFunctions) {
     runStage1(BC, Pool, B.Skeleton.Stats,
@@ -440,7 +460,7 @@ void buildJfBase(AnalysisSession::JfBase &B, const Module &M,
     const AnalysisSession::SsaBundle &SB = Session->ssa(P, Opts.UseMod);
     Bundle->VN.emplace(SB.Ssa, Symbols, Bundle->Ctx, nullptr,
                        Opts.UseGatedSsa ? &SB.DT : nullptr,
-                       BC.unstableMask(P));
+                       BC.precision(P));
     Session->counters().VnBuilt.fetch_add(1, std::memory_order_relaxed);
     B.Vn[P] = std::move(Bundle);
   });
@@ -458,20 +478,20 @@ void foldStats(JumpFunctionStats &Into, const JumpFunctionStats &S) {
   Into.NumReturnConst += S.NumReturnConst;
   Into.NumReturnPoly += S.NumReturnPoly;
   Into.NumReturnBottom += S.NumReturnBottom;
+  Into.NumGvnPhiMerges += S.NumGvnPhiMerges;
 }
 
 } // namespace
 
-ProgramJumpFunctions ipcp::buildJumpFunctions(const Module &M,
-                                              const SymbolTable &Symbols,
-                                              const CallGraph &CG,
-                                              const ModRefInfo *MRI,
-                                              const JumpFunctionOptions &Opts,
-                                              const RefAliasInfo *Aliases,
-                                              ThreadPool *Pool,
-                                              AnalysisSession *Session) {
+ProgramJumpFunctions ipcp::buildJumpFunctions(
+    const Module &M, const SymbolTable &Symbols, const CallGraph &CG,
+    const ModRefInfo *MRI, const JumpFunctionOptions &Opts,
+    const RefAliasInfo *Aliases, ThreadPool *Pool, AnalysisSession *Session,
+    const FlowAliasInfo *FlowAliases) {
   assert((Opts.UseMod == (MRI != nullptr)) &&
          "MOD info must be supplied exactly when UseMod is set");
+  assert((!Opts.FlowSensitiveAlias || FlowAliases || !Aliases) &&
+         "flow-sensitive mode needs the flow alias facts");
 
   ProgramJumpFunctions Jfs;
   Jfs.Options = Opts;
@@ -491,7 +511,8 @@ ProgramJumpFunctions ipcp::buildJumpFunctions(const Module &M,
   const AnalysisSession::JfBase *Base = nullptr;
   if (Session) {
     Base = &Session->jfBase(Opts, [&](AnalysisSession::JfBase &B) {
-      buildJfBase(B, M, Symbols, CG, MRI, Opts, Aliases, Pool, Session);
+      buildJfBase(B, M, Symbols, CG, MRI, Opts, Aliases, FlowAliases, Pool,
+                  Session);
     });
     for (size_t P = 0, E = Base->Skeleton.ReturnJfs.size(); P != E; ++P)
       for (const auto &[Sym, J] : Base->Skeleton.ReturnJfs[P])
@@ -510,8 +531,9 @@ ProgramJumpFunctions ipcp::buildJumpFunctions(const Module &M,
   KillValueFn VnKillFn = makeVnKillFn(Jfs, Symbols);
   const KillValueFn *VnKillFnPtr = UseRjf ? &VnKillFn : nullptr;
 
-  BuildContext BC{M,           Symbols, CG,  MRI,    Opts,
-                  *KillOracle, VnKillFnPtr, Aliases, Jfs, Session};
+  BuildContext BC{M,           Symbols, CG,          MRI,         Opts,
+                  *KillOracle, VnKillFnPtr, Aliases, FlowAliases, Jfs,
+                  Session};
 
   // Stage 1: return jump functions, bottom-up so callee RJFs are ready
   // when a caller's value numbering wants them. Within a recursive SCC

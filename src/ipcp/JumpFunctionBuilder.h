@@ -41,6 +41,7 @@
 
 namespace ipcp {
 class AnalysisSession;
+class FlowAliasInfo;
 class ThreadPool;
 }
 
@@ -58,6 +59,17 @@ struct JumpFunctionOptions {
   /// behind statically-decidable branches propagate without iterated
   /// dead-code elimination. Only strengthens the polynomial kind.
   bool UseGatedSsa = false;
+  /// Replace the whole-procedure by-reference alias masks with
+  /// flow-/context-sensitive per-point gating (analysis/FlowAlias.h): a
+  /// symbol in an alias pair only reads as Opaque at points where an
+  /// aliased store may actually have happened. Strictly refines the
+  /// baseline masking.
+  bool FlowSensitiveAlias = false;
+  /// Number values with Pai-style optimistic iteration instead of the
+  /// pessimistic single pass: phis optimistically ignore not-yet-known
+  /// inputs and re-evaluate to a fixpoint, recovering merges the single
+  /// pass gives up on. Strictly refines the pessimistic numbering.
+  bool OptimisticVn = false;
 };
 
 /// Aggregate statistics over one generation run (feeds the §3.1.5 cost
@@ -74,6 +86,9 @@ struct JumpFunctionStats {
   size_t NumReturnConst = 0;
   size_t NumReturnPoly = 0;
   size_t NumReturnBottom = 0;
+  /// Optimistic numbering only: phi merges that ignored an unavailable
+  /// input and still converged to a non-Opaque value.
+  size_t NumGvnPhiMerges = 0;
 
   /// Mean |support| over non-trivial polynomial forward jump functions;
   /// the paper observes this "approaches 1" in practice (§3.1.5).
@@ -136,17 +151,19 @@ public:
 /// the value numbering treats symbols it marks unstable as Opaque, so no
 /// jump function transmits a value that an aliased store could rewrite.
 /// Null means "no aliasing", only sound for programs that never pass a
-/// modified variable by reference.
+/// modified variable by reference. With Opts.FlowSensitiveAlias,
+/// \p FlowAliases must also be non-null; the numbering then gates only
+/// the reads at dirty program points instead of masking whole symbols.
 ///
 /// With a non-null \p Session the builder memoizes everything that does
 /// not depend on the forward jump-function Kind: SSA comes from the
 /// session's per-procedure cache, and the stage-1 return jump functions
 /// plus the value numberings built along the way are computed once per
-/// (UseMod, UseReturnJumpFunctions, UseGatedSsa) and reused by every
-/// later configuration — stage 2 only rebuilds the numbering of
-/// recursive procedures, whose stage-1 numbering saw an incomplete view
-/// of their SCC's return jump functions. The result is byte-identical to
-/// the session-less build.
+/// (UseMod, UseReturnJumpFunctions, UseGatedSsa, FlowSensitiveAlias,
+/// OptimisticVn) and reused by every later configuration — stage 2 only
+/// rebuilds the numbering of recursive procedures, whose stage-1
+/// numbering saw an incomplete view of their SCC's return jump
+/// functions. The result is byte-identical to the session-less build.
 ProgramJumpFunctions buildJumpFunctions(const Module &M,
                                         const SymbolTable &Symbols,
                                         const CallGraph &CG,
@@ -154,7 +171,9 @@ ProgramJumpFunctions buildJumpFunctions(const Module &M,
                                         const JumpFunctionOptions &Opts,
                                         const RefAliasInfo *Aliases = nullptr,
                                         ThreadPool *Pool = nullptr,
-                                        AnalysisSession *Session = nullptr);
+                                        AnalysisSession *Session = nullptr,
+                                        const FlowAliasInfo *FlowAliases =
+                                            nullptr);
 
 /// Partitions \p Order (a serial processing order over procedures) into
 /// waves such that running each wave's members concurrently, with a

@@ -147,6 +147,14 @@ ipcp::runPipelineOnSession(AnalysisSession &Session,
     const RefAliasInfo &Aliases = Session.refAlias(Opts.UseMod);
     Result.AliasPairs = Aliases.numAliasPairs();
     Result.AliasUnstableSymbols = Aliases.numUnstable();
+    // Flow-sensitive mode refines (never widens) those baseline facts
+    // with per-point dirty states; the baseline counts above stay, so
+    // the table columns remain comparable across configurations.
+    const FlowAliasInfo *FlowAliases = nullptr;
+    if (Opts.FlowSensitiveAlias) {
+      FlowAliases = &Session.flowAlias(Opts.UseMod);
+      Result.AliasPointsRefined = FlowAliases->numRefinedPoints();
+    }
     Result.Timings.LowerMs += lapMs(Phase);
 
     ProgramJumpFunctions Jfs;
@@ -162,8 +170,10 @@ ipcp::runPipelineOnSession(AnalysisSession &Session,
         JfOpts.UseReturnJumpFunctions = Opts.UseReturnJumpFunctions;
         JfOpts.UseMod = Opts.UseMod;
         JfOpts.UseGatedSsa = Opts.UseGatedSsa;
+        JfOpts.FlowSensitiveAlias = Opts.FlowSensitiveAlias;
+        JfOpts.OptimisticVn = Opts.OptimisticVn;
         Jfs = buildJumpFunctions(M, Symbols, CG, MRI, JfOpts, &Aliases, Pool,
-                                 &Session);
+                                 &Session, FlowAliases);
       }
       Result.Timings.JumpFunctionsMs += lapMs(Phase);
       if (isCancelled(Opts.Cancel))
@@ -181,7 +191,8 @@ ipcp::runPipelineOnSession(AnalysisSession &Session,
 
     SubstitutionResult Subs = countSubstitutions(
         M, Symbols, CG, Opts.IntraproceduralOnly ? nullptr : &Solve, MRI,
-        UseRjfInSccp ? ActiveJfs : nullptr, &Aliases, Pool, &Session);
+        UseRjfInSccp ? ActiveJfs : nullptr, &Aliases, Pool, &Session,
+        FlowAliases);
     Result.Timings.SubstituteMs += lapMs(Phase);
 
     bool FinalRound = true;
@@ -206,6 +217,7 @@ ipcp::runPipelineOnSession(AnalysisSession &Session,
     Result.ConstantPrints = Subs.ConstantPrints;
     Result.PerProcSubstituted = Subs.PerProc;
     Result.JfStats = ActiveJfs->Stats;
+    Result.GvnPhiMerges = ActiveJfs->Stats.NumGvnPhiMerges;
     Result.SolverProcVisits = Solve.ProcVisits;
     Result.SolverJfEvaluations = Solve.JfEvaluations;
     Result.SolverCellLowerings = Solve.CellLowerings;

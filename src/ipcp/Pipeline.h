@@ -53,6 +53,16 @@ struct PipelineOptions {
   /// Build jump functions over gated SSA (paper §4.2); an alternative to
   /// CompletePropagation that needs no iteration.
   bool UseGatedSsa = false;
+  /// Flow-/context-sensitive by-reference aliasing (analysis/FlowAlias.h)
+  /// instead of whole-procedure unstable masks: aliased symbols only read
+  /// as unknown at points where an aliased store may actually have
+  /// happened. Never loses a constant relative to the baseline.
+  bool FlowSensitiveAlias = false;
+  /// Pai-style optimistic iterative value numbering instead of the
+  /// pessimistic single pass: phi merges ignore unavailable inputs and
+  /// iterate to a fixpoint. Never loses a constant relative to the
+  /// pessimistic pass.
+  bool OptimisticVn = false;
   /// Convergence bound for CompletePropagation: the maximum number of
   /// propagate/DCE rounds before the pipeline gives up with Result.Error
   /// set (a real runtime check, not an assertion — it must hold in
@@ -155,6 +165,12 @@ struct PipelineResult {
   /// treat as unknowable because an aliased store could rewrite them.
   size_t AliasPairs = 0;
   size_t AliasUnstableSymbols = 0;
+  /// FlowSensitiveAlias only: (instruction point, symbol) facts the
+  /// baseline masked but the flow-sensitive analysis proved clean.
+  size_t AliasPointsRefined = 0;
+  /// OptimisticVn only: phi merges the pessimistic pass would have given
+  /// up on that converged to a usable value (JfStats.NumGvnPhiMerges).
+  size_t GvnPhiMerges = 0;
 
   /// VarRefExpr id -> proven constant, for every substituted use. Keyed
   /// on the analyzed AST, so only meaningful to callers that hold it

@@ -6,6 +6,7 @@
 
 #include "ipcp/Substitution.h"
 
+#include "analysis/FlowAlias.h"
 #include "analysis/Sccp.h"
 #include "ipcp/AnalysisSession.h"
 #include "ir/Dominators.h"
@@ -31,7 +32,8 @@ ProcSubstitutions countProc(const Module &M, const SymbolTable &Symbols,
                             const SolveResult *Solve,
                             const SsaForm::KillOracle &KillOracle,
                             const SccpKillFn *KillFnPtr,
-                            const RefAliasInfo *Aliases, ProcId P,
+                            const RefAliasInfo *Aliases,
+                            const FlowAliasInfo *FlowAliases, ProcId P,
                             const SsaForm *CachedSsa) {
   ProcSubstitutions Out;
   const Function &F = M.function(P);
@@ -49,8 +51,12 @@ ProcSubstitutions countProc(const Module &M, const SymbolTable &Symbols,
     for (const auto &[Sym, V] : Solve->Val.at(P))
       Seeds.emplace(Sym, V);
 
+  // Flow-sensitive mode replaces the whole-procedure mask with per-point
+  // dirty gating; at most one of the two reaches the SCCP run.
   Sccp Analysis(Ssa, Symbols, Solve ? &Seeds : nullptr, KillFnPtr,
-                Aliases ? &Aliases->unstableMask(P) : nullptr);
+                FlowAliases ? nullptr
+                            : (Aliases ? &Aliases->unstableMask(P) : nullptr),
+                FlowAliases ? &FlowAliases->proc(P) : nullptr);
 
   for (BlockId B = 0, BE = static_cast<BlockId>(F.numBlocks()); B != BE;
        ++B) {
@@ -82,7 +88,9 @@ ProcSubstitutions countProc(const Module &M, const SymbolTable &Symbols,
         uint32_t S = Slot++;
         if (!Op.isVar() || Op.SourceExpr == 0 || unsubstitutable(Op))
           return;
-        LatticeValue V = Analysis.value(Info.UseSsa[S]);
+        // Read through the gate: in flow-sensitive mode a use at a dirty
+        // point must not be substituted even when its SSA value is known.
+        LatticeValue V = Analysis.operandValue(B, I, S);
         if (!V.isConst())
           return;
         ++Out.Count;
@@ -98,15 +106,12 @@ ProcSubstitutions countProc(const Module &M, const SymbolTable &Symbols,
 
 } // namespace
 
-SubstitutionResult ipcp::countSubstitutions(const Module &M,
-                                            const SymbolTable &Symbols,
-                                            const CallGraph &CG,
-                                            const SolveResult *Solve,
-                                            const ModRefInfo *MRI,
-                                            const ProgramJumpFunctions *Jfs,
-                                            const RefAliasInfo *Aliases,
-                                            ThreadPool *Pool,
-                                            AnalysisSession *Session) {
+SubstitutionResult ipcp::countSubstitutions(
+    const Module &M, const SymbolTable &Symbols, const CallGraph &CG,
+    const SolveResult *Solve, const ModRefInfo *MRI,
+    const ProgramJumpFunctions *Jfs, const RefAliasInfo *Aliases,
+    ThreadPool *Pool, AnalysisSession *Session,
+    const FlowAliasInfo *FlowAliases) {
   SubstitutionResult Result;
   Result.PerProc.assign(M.Functions.size(), 0);
 
@@ -128,7 +133,7 @@ SubstitutionResult ipcp::countSubstitutions(const Module &M,
     const SsaForm *CachedSsa =
         Session ? &Session->ssa(Order[I], MRI != nullptr).Ssa : nullptr;
     PerProc[I] = countProc(M, Symbols, Solve, KillOracle, KillFnPtr,
-                           Aliases, Order[I], CachedSsa);
+                           Aliases, FlowAliases, Order[I], CachedSsa);
   });
 
   for (size_t I = 0; I != Order.size(); ++I) {

@@ -37,6 +37,7 @@
 
 namespace ipcp {
 class AnalysisSession;
+class FlowAliasInfo;
 
 /// Outcome of the substitution pass over one program.
 struct SubstitutionResult {
@@ -63,7 +64,11 @@ struct SubstitutionResult {
 /// functions for call-kill recovery; pass null to disable them.
 /// \p Aliases supplies by-reference alias pairs; symbols it marks
 /// unstable propagate as BOTTOM (null = no aliasing, only sound for
-/// programs that never pass a modified variable by reference).
+/// programs that never pass a modified variable by reference). With a
+/// non-null \p FlowAliases the whole-procedure masks are replaced by
+/// per-point dirty gating (analysis/FlowAlias.h): only reads at points
+/// where an aliased store may have happened resolve to BOTTOM, so uses
+/// of an aliased symbol before the first interfering store still count.
 ///
 /// Each procedure's SCCP run is independent (it reads only the immutable
 /// module and the frozen CONSTANTS sets), so with a non-null \p Pool the
@@ -83,7 +88,9 @@ SubstitutionResult countSubstitutions(const Module &M,
                                       const ProgramJumpFunctions *Jfs,
                                       const RefAliasInfo *Aliases = nullptr,
                                       ThreadPool *Pool = nullptr,
-                                      AnalysisSession *Session = nullptr);
+                                      AnalysisSession *Session = nullptr,
+                                      const FlowAliasInfo *FlowAliases =
+                                          nullptr);
 
 } // namespace ipcp
 

@@ -28,7 +28,9 @@ bool ipcp::sameJumpFunctionOptions(const JumpFunctionOptions &A,
                                    const JumpFunctionOptions &B) {
   return A.Kind == B.Kind &&
          A.UseReturnJumpFunctions == B.UseReturnJumpFunctions &&
-         A.UseMod == B.UseMod && A.UseGatedSsa == B.UseGatedSsa;
+         A.UseMod == B.UseMod && A.UseGatedSsa == B.UseGatedSsa &&
+         A.FlowSensitiveAlias == B.FlowSensitiveAlias &&
+         A.OptimisticVn == B.OptimisticVn;
 }
 
 const char *ipcp::jumpFunctionKindToken(JumpFunctionKind K) {
@@ -144,6 +146,50 @@ bool checkKeys(const JsonValue &Obj, std::initializer_list<const char *> Keys,
   return true;
 }
 
+/// checkKeys with an extra set of keys that may be absent. The precision
+/// flags ride on this: a pre-precision (v1-layout) summary omits them and
+/// parses to the defaults, a precision-era summary spells them out, and
+/// any *other* unknown field still rejects.
+bool checkKeysOpt(const JsonValue &Obj,
+                  std::initializer_list<const char *> Required,
+                  std::initializer_list<const char *> Optional,
+                  const char *What, std::string &Error) {
+  for (const auto &[K, V] : Obj.members()) {
+    (void)V;
+    auto Known = [&](std::initializer_list<const char *> Keys) {
+      return std::find_if(Keys.begin(), Keys.end(), [&](const char *Want) {
+               return K == Want;
+             }) != Keys.end();
+    };
+    if (!Known(Required) && !Known(Optional)) {
+      Error = std::string("unknown ") + What + " field '" + K + "'";
+      return false;
+    }
+  }
+  for (const char *Want : Required)
+    if (!Obj.find(Want)) {
+      Error = std::string("missing ") + What + " field '" + Want + "'";
+      return false;
+    }
+  return true;
+}
+
+/// Reads an optional boolean member, defaulting to false when absent.
+bool parseOptBool(const JsonValue &Obj, const char *Key, bool &Out,
+                  const char *What, std::string &Error) {
+  const JsonValue *B = Obj.find(Key);
+  if (!B) {
+    Out = false;
+    return true;
+  }
+  if (!B->isBool()) {
+    Error = std::string(What) + "." + Key + " must be a boolean";
+    return false;
+  }
+  Out = B->boolean();
+  return true;
+}
+
 bool parseJf(const JsonValue &V, JumpFunction &Out, const char *What,
              std::string &Error) {
   if (!V.isString()) {
@@ -202,6 +248,12 @@ std::string ipcp::serializeSummary(const ProgramSummary &S) {
   Cfg.set("rjf", JsonValue(S.Options.UseReturnJumpFunctions));
   Cfg.set("mod", JsonValue(S.Options.UseMod));
   Cfg.set("gsa", JsonValue(S.Options.UseGatedSsa));
+  // Precision flags are elided at their defaults so summaries of
+  // pre-precision configurations stay byte-identical to the v1 layout.
+  if (S.Options.FlowSensitiveAlias)
+    Cfg.set("fsa", JsonValue(true));
+  if (S.Options.OptimisticVn)
+    Cfg.set("ogvn", JsonValue(true));
   Doc.set("config", std::move(Cfg));
 
   Doc.set("num_procs", uint64_t(S.NumProcs));
@@ -295,7 +347,8 @@ bool ipcp::parseSummary(std::string_view Text, ProgramSummary &Out,
     Error = "summary 'config' must be an object";
     return false;
   }
-  if (!checkKeys(*Cfg, {"jf", "rjf", "mod", "gsa"}, "config", Error))
+  if (!checkKeysOpt(*Cfg, {"jf", "rjf", "mod", "gsa"}, {"fsa", "ogvn"},
+                    "config", Error))
     return false;
   const JsonValue *Jf = Cfg->find("jf");
   if (!Jf->isString() || !parseKindToken(Jf->str(), S.Options.Kind)) {
@@ -312,6 +365,10 @@ bool ipcp::parseSummary(std::string_view Text, ProgramSummary &Out,
   S.Options.UseReturnJumpFunctions = Cfg->find("rjf")->boolean();
   S.Options.UseMod = Cfg->find("mod")->boolean();
   S.Options.UseGatedSsa = Cfg->find("gsa")->boolean();
+  if (!parseOptBool(*Cfg, "fsa", S.Options.FlowSensitiveAlias, "config",
+                    Error) ||
+      !parseOptBool(*Cfg, "ogvn", S.Options.OptimisticVn, "config", Error))
+    return false;
 
   const JsonValue *NumProcs = Doc->find("num_procs");
   const JsonValue *NumGlobals = Doc->find("num_globals");
@@ -506,9 +563,11 @@ ProgramSummary ipcp::buildSummary(AnalysisSession &Session,
   const CallGraph &CG = Session.callGraph();
   const ModRefInfo *MRI = Session.modRef(Opts.UseMod);
   const RefAliasInfo &Aliases = Session.refAlias(Opts.UseMod);
+  const FlowAliasInfo *FlowAliases =
+      Opts.FlowSensitiveAlias ? &Session.flowAlias(Opts.UseMod) : nullptr;
   ProgramJumpFunctions Jfs =
       buildJumpFunctions(M, Session.symbols(), CG, MRI, Opts, &Aliases, Pool,
-                         &Session);
+                         &Session, FlowAliases);
   return makeSummary(std::move(ProgramName), SourceHash, M, Session.symbols(),
                      CG, Jfs, &Aliases);
 }

@@ -123,7 +123,8 @@ bool parseConfig(const JsonValue &Cfg, PipelineOptions &Opts,
         return false;
       }
     } else if (Key == "rjf" || Key == "mod" || Key == "complete" ||
-               Key == "gsa" || Key == "intra_only") {
+               Key == "gsa" || Key == "fsa" || Key == "ogvn" ||
+               Key == "intra_only") {
       if (!V.isBool()) {
         Error = "config." + Key + " must be a boolean";
         return false;
@@ -137,6 +138,10 @@ bool parseConfig(const JsonValue &Cfg, PipelineOptions &Opts,
         Opts.CompletePropagation = B;
       else if (Key == "gsa")
         Opts.UseGatedSsa = B;
+      else if (Key == "fsa")
+        Opts.FlowSensitiveAlias = B;
+      else if (Key == "ogvn")
+        Opts.OptimisticVn = B;
       else
         Opts.IntraproceduralOnly = B;
     } else {
@@ -296,6 +301,10 @@ std::string ipcp::configKey(const PipelineOptions &Opts,
   Key += Opts.CompletePropagation ? '1' : '0';
   Key += " gsa=";
   Key += Opts.UseGatedSsa ? '1' : '0';
+  Key += " fsa=";
+  Key += Opts.FlowSensitiveAlias ? '1' : '0';
+  Key += " ogvn=";
+  Key += Opts.OptimisticVn ? '1' : '0';
   Key += " intra=";
   Key += Opts.IntraproceduralOnly ? '1' : '0';
   Key += " strategy=";
@@ -408,6 +417,12 @@ std::string ipcp::serializeServeRequest(const ServeRequest &Req) {
     Cfg.set("mod", JsonValue(Req.Config.UseMod));
     Cfg.set("complete", JsonValue(Req.Config.CompletePropagation));
     Cfg.set("gsa", JsonValue(Req.Config.UseGatedSsa));
+    // Precision flags follow the exec-engine pattern: defaults are
+    // elided so pre-precision request lines stay byte-identical.
+    if (Req.Config.FlowSensitiveAlias)
+      Cfg.set("fsa", JsonValue(true));
+    if (Req.Config.OptimisticVn)
+      Cfg.set("ogvn", JsonValue(true));
     Cfg.set("intra_only", JsonValue(Req.Config.IntraproceduralOnly));
     Cfg.set("strategy", strategyToken(Req.Config.Strategy));
     Params.set("config", std::move(Cfg));

@@ -24,6 +24,8 @@ std::string ipcp::renderAnalysisReport(const PipelineOptions &Opts,
      << (Opts.UseMod ? ", MOD" : ", no MOD")
      << (Opts.CompletePropagation ? ", complete" : "")
      << (Opts.UseGatedSsa ? ", gated SSA" : "")
+     << (Opts.FlowSensitiveAlias ? ", flow-sensitive aliasing" : "")
+     << (Opts.OptimisticVn ? ", optimistic GVN" : "")
      << (Opts.IntraproceduralOnly ? " [intraprocedural only]" : "") << "\n";
   OS << "constants substituted: " << Result.SubstitutedConstants << "\n";
   if (Opts.CompletePropagation)
@@ -54,6 +56,12 @@ std::string ipcp::renderAnalysisReport(const PipelineOptions &Opts,
        << "  constant prints: " << Result.ConstantPrints << "\n"
        << "  known-but-irrelevant globals (Metzger-Stroud): "
        << Result.KnownButIrrelevant << "\n";
+    // Precision-tier lines appear only under their flags, so reports of
+    // pre-precision configurations stay byte-identical.
+    if (Opts.FlowSensitiveAlias)
+      OS << "  alias points refined: " << Result.AliasPointsRefined << "\n";
+    if (Opts.OptimisticVn)
+      OS << "  optimistic GVN phi merges: " << Result.GvnPhiMerges << "\n";
   }
 
   for (size_t P = 0; P != Result.Constants.size(); ++P) {

@@ -268,6 +268,56 @@ void ProgramGen::deadBranchExposed(int64_t Val, int Uses) {
   addMainStmt("call " + Prod + "(0 + 0)");
 }
 
+void ProgramGen::aliasRecoverable(int64_t Val, int Uses) {
+  // The host binds one local to both by-reference formals; the callee
+  // reads b \p Uses times and only then stores through a. The
+  // flow-insensitive aliasing rule condemns the whole modified pair, so
+  // every classic configuration counts zero here; the flow-sensitive
+  // tier proves the reads precede the one store and recovers them (plus
+  // the read of b feeding the store itself).
+  std::string F = fresh("arf");
+  std::vector<std::string> Stmts;
+  emitUses(Stmts, "b", Uses);
+  Stmts.push_back("  a = b + 1");
+  addGroupProc(F, "a, b", {}, std::move(Stmts));
+  std::string Host = fresh("arh");
+  addGroupProc(Host, "", {"  integer v"},
+               {"  v = " + std::to_string(Val), "  call " + F + "(v, v)"},
+               /*PadBeforeTrailingCall=*/true);
+  addMainStmt("call " + Host + "()");
+}
+
+void ProgramGen::optimisticSwapChain(int64_t Val, int Uses) {
+  // The host copies its literal-bound formal into a pair of locals,
+  // shuffles them around a loop, and forwards the survivor. Every load
+  // inside the host is a plain SCCP constant — visible to each
+  // interprocedural configuration, exactly litDirect's profile — but
+  // the forwarded argument sits behind loop phis that a single-pass
+  // pessimistic numbering pins opaque, so only the optimistic tier
+  // carries \p Val into the leaf's \p Uses.
+  std::string Leaf = fresh("osl");
+  std::vector<std::string> LeafStmts;
+  emitUses(LeafStmts, "p", Uses);
+  addGroupProc(Leaf, "p", {}, std::move(LeafStmts));
+  std::string Host = fresh("osh");
+  std::vector<std::string> Stmts = {
+      "  x = n",
+      "  y = n",
+      "  i = 0",
+      "  while (i < 2)",
+      "    t = x",
+      "    x = y",
+      "    y = t",
+      "    i = i + 1",
+      "  end while",
+      "  call " + Leaf + "(x * 1)",
+  };
+  addGroupProc(Host, "n",
+               {"  integer x", "  integer y", "  integer t", "  integer i"},
+               std::move(Stmts), /*PadBeforeTrailingCall=*/true);
+  addMainStmt("call " + Host + "(" + std::to_string(Val) + ")");
+}
+
 void ProgramGen::polyShapedArg() {
   std::string Use = fresh("ps");
   addGroupProc(Use, "q", {}, {"  print q"});

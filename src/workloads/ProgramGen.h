@@ -126,6 +126,20 @@ public:
   /// builds a polynomial jump function that evaluates to bottom.
   void polyShapedArg();
 
+  /// G9: one local bound to both by-reference formals of a callee that
+  /// reads the second formal \p Uses times before its only store through
+  /// the first. Counts zero under every flow-insensitive configuration
+  /// (the modified alias pair poisons the whole body); the flow-
+  /// sensitive tier recovers Uses + 1 reads.
+  void aliasRecoverable(int64_t Val, int Uses);
+
+  /// G10: a literal-bound formal funneled through a loop-carried swap of
+  /// two locals into a leaf consumer (\p Uses uses). The host's own
+  /// loads are ordinary constants with litDirect's visibility profile;
+  /// the forwarded argument hides behind loop phis, so the leaf's uses
+  /// count only under the optimistic value numbering tier.
+  void optimisticSwapChain(int64_t Val, int Uses);
+
   //===--------------------------------------------------------------------===//
   // Filler (never contributes constants)
   //===--------------------------------------------------------------------===//

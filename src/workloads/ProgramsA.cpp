@@ -57,11 +57,16 @@ WorkloadProgram workloads::makeAdm() {
 // doduc: almost everything is literal actuals consumed immediately
 // (289/289/289/288, still 288 without MOD) while intraprocedural
 // propagation finds only 3.
-//   litDirect a=284, localConst b=3, rjfForwarded (1 inner use) x1.
+//   litDirect a=278, swap-chain host 6 (litDirect's profile, so
+//   a + 6 = 284 keeps every classic column), localConst b=3,
+//   rjfForwarded (1 inner use) x1; the precision tier adds the swap
+//   chain's 5 leaf uses (ogvn) and the alias pair's 4+1 reads (fsa).
 WorkloadProgram workloads::makeDoduc() {
   ProgramGen G("doduc");
   G.setMinProcLines(14);
-  spread(284, 12, 5, [&](int N, int64_t V) { G.litDirect(V, N); });
+  spread(278, 12, 5, [&](int N, int64_t V) { G.litDirect(V, N); });
+  G.optimisticSwapChain(23, 5);
+  G.aliasRecoverable(17, 4);
   G.localConstInMain(8, 3);
   G.rjfForwarded(31, 1);
   G.polyShapedArg();

@@ -46,10 +46,12 @@ WorkloadProgram workloads::makeMatrix300() {
 
 // mdg: nearly flat across the kinds (41/41/40/31) with a one-constant
 // return-jump-function effect and a one-edge pass-through separation.
-//   b=30, d=7, rjfGlobalInit [1], global chain (depth 3, 0 inner uses).
+//   b=30, d=7, rjfGlobalInit [1], global chain (depth 3, 0 inner uses);
+//   the alias pair (2+1 reads) counts only under the fsa tier.
 WorkloadProgram workloads::makeMdg() {
   ProgramGen G("mdg");
   G.setMinProcLines(16);
+  G.aliasRecoverable(46, 2);
   G.localConstInMain(3, 5);
   spread(25, 9, 27, [&](int N, int64_t V) { G.localConstHost(V, N); });
   spread(7, 7, 125, [&](int N, int64_t V) { G.globalImplicit(V, N); });

@@ -90,6 +90,11 @@ JsonValue configJson(const JumpFunctionOptions &O) {
   Cfg.set("rjf", O.UseReturnJumpFunctions);
   Cfg.set("mod", O.UseMod);
   Cfg.set("gsa", O.UseGatedSsa);
+  // Elided at defaults, so pre-precision job files round-trip unchanged.
+  if (O.FlowSensitiveAlias)
+    Cfg.set("fsa", true);
+  if (O.OptimisticVn)
+    Cfg.set("ogvn", true);
   return Cfg;
 }
 
@@ -99,8 +104,23 @@ bool parseConfigJson(const JsonValue &Cfg, JumpFunctionOptions &O,
     Error = "shard job 'config' must be an object";
     return false;
   }
-  if (!checkKeys(Cfg, {"gsa", "jf", "mod", "rjf"}, "shard job config", Error))
-    return false;
+  // Same exact-key discipline as checkKeys, with the precision flags as
+  // the only optional members (absent in pre-precision job files).
+  for (const auto &[K, V] : Cfg.members()) {
+    (void)V;
+    bool Known = false;
+    for (const char *Want : {"gsa", "jf", "mod", "rjf", "fsa", "ogvn"})
+      Known = Known || K == Want;
+    if (!Known) {
+      Error = "shard job config has unknown field '" + K + "'";
+      return false;
+    }
+  }
+  for (const char *K : {"gsa", "jf", "mod", "rjf"})
+    if (!Cfg.find(K)) {
+      Error = std::string("shard job config is missing field '") + K + "'";
+      return false;
+    }
   const JsonValue *Jf = Cfg.find("jf");
   if (!Jf->isString() || !parseJumpFunctionKindToken(Jf->str(), O.Kind)) {
     Error = "shard job config.jf is not a jump-function kind";
@@ -117,6 +137,17 @@ bool parseConfigJson(const JsonValue &Cfg, JumpFunctionOptions &O,
       return false;
     }
     *Dst = V->boolean();
+  }
+  // Optional precision flags (absent in pre-precision job files).
+  const std::pair<const char *, bool *> OptFlags[] = {
+      {"fsa", &O.FlowSensitiveAlias}, {"ogvn", &O.OptimisticVn}};
+  for (auto [Key, Dst] : OptFlags) {
+    const JsonValue *V = Cfg.find(Key);
+    if (V && !V->isBool()) {
+      Error = std::string("shard job config.") + Key + " must be a boolean";
+      return false;
+    }
+    *Dst = V ? V->boolean() : false;
   }
   return true;
 }

@@ -31,7 +31,7 @@ SuiteConfig makeConfig(std::string Name,
 } // namespace
 
 std::vector<SuiteConfig> ipcp::table2Configs() {
-  return {
+  std::vector<SuiteConfig> Configs = {
       makeConfig("poly", JumpFunctionKind::Polynomial),
       makeConfig("pass", JumpFunctionKind::PassThrough),
       makeConfig("intra", JumpFunctionKind::IntraConst),
@@ -39,6 +39,16 @@ std::vector<SuiteConfig> ipcp::table2Configs() {
       makeConfig("poly-norjf", JumpFunctionKind::Polynomial, /*Rjf=*/false),
       makeConfig("pass-norjf", JumpFunctionKind::PassThrough, /*Rjf=*/false),
   };
+  // The precision tier: polynomial with flow-sensitive aliasing, and
+  // with optimistic value numbering. Each refines the plain "poly"
+  // column, never below it (the precision-differential wall pins this).
+  SuiteConfig Fsa = makeConfig("poly-fsa");
+  Fsa.Opts.FlowSensitiveAlias = true;
+  Configs.push_back(std::move(Fsa));
+  SuiteConfig Ogvn = makeConfig("poly-ogvn");
+  Ogvn.Opts.OptimisticVn = true;
+  Configs.push_back(std::move(Ogvn));
+  return Configs;
 }
 
 std::vector<SuiteConfig> ipcp::table3Configs() {
@@ -170,6 +180,8 @@ SuiteRunResult ipcp::runSuite(const std::vector<WorkloadProgram> &Programs,
     Cell.Timings = R.Timings;
     Cell.SolverMemoHits = R.SolverMemoHits;
     Cell.SolverMemoMisses = R.SolverMemoMisses;
+    Cell.AliasPointsRefined = R.AliasPointsRefined;
+    Cell.GvnPhiMerges = R.GvnPhiMerges;
   });
   Result.WallMs =
       std::chrono::duration<double, std::milli>(Clock::now() - BatchStart)

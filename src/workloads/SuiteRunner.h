@@ -33,15 +33,17 @@ struct SuiteConfig {
   PipelineOptions Opts;
 };
 
-/// The six Table 2 columns: {poly, pass, intra, literal} with return
-/// jump functions, plus {poly, pass} without (UseMod on throughout).
+/// The Table 2 columns: {poly, pass, intra, literal} with return jump
+/// functions, {poly, pass} without, plus the precision tier —
+/// {poly-fsa} (flow-sensitive aliasing) and {poly-ogvn} (optimistic
+/// value numbering) — with UseMod on throughout.
 std::vector<SuiteConfig> table2Configs();
 
 /// The Table 3 columns beyond Table 2's default: polynomial without
 /// MOD, complete propagation, and intraprocedural-only.
 std::vector<SuiteConfig> table3Configs();
 
-/// Table 2 and Table 3 columns concatenated (nine distinct configs).
+/// Table 2 and Table 3 columns concatenated (eleven distinct configs).
 std::vector<SuiteConfig> allConfigs();
 
 /// Looks up a config set by name: "all", "table2", or "table3".
@@ -65,6 +67,11 @@ struct SuiteCell {
   /// like Timings, never part of determinism comparisons.
   uint64_t SolverMemoHits = 0;
   uint64_t SolverMemoMisses = 0;
+  /// Precision-tier deltas (zero under non-precision configs): alias
+  /// points the flow-sensitive analysis recovered and phi merges the
+  /// optimistic numbering won (see PipelineResult).
+  size_t AliasPointsRefined = 0;
+  size_t GvnPhiMerges = 0;
 };
 
 /// The aggregated batch.

@@ -5,7 +5,7 @@
 // The check-fuzz suite: determinism of the mutation and campaign PRNG
 // chains, coverage-driven corpus retention, reducer effectiveness on an
 // injected bug, replay of the curated regression corpus under
-// tests/corpus/, and a bounded clean campaign across all six analyzer
+// tests/corpus/, and a bounded clean campaign across all analyzer
 // configurations.
 //
 //===----------------------------------------------------------------------===//
@@ -260,11 +260,11 @@ TEST(FuzzCorpus, MalformedHeadersAreDiagnosedAndSkipped) {
 }
 
 TEST(FuzzCampaign, BoundedBudgetAllConfigsClean) {
-  // The full evaluation — all six configurations, cross-config checks,
-  // transforms, and the execution oracle — over a small budget must
-  // find nothing: the analyzer has no known bugs, so any failure here
-  // is a regression (and comes with a reduced reproducer).
-  ASSERT_EQ(fuzzConfigs().size(), 6u);
+  // The full evaluation — all eight configurations, cross-config
+  // checks, transforms, and the execution oracle — over a small budget
+  // must find nothing: the analyzer has no known bugs, so any failure
+  // here is a regression (and comes with a reduced reproducer).
+  ASSERT_EQ(fuzzConfigs().size(), 8u);
   FuzzOptions Opts;
   Opts.Seed = 23;
   Opts.Runs = 50; // Raised from 30 with the VM oracle hot path.

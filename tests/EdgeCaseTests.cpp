@@ -54,11 +54,36 @@ end
   // a call that may modify them, print v follows an ambiguous kill, and
   // inside f both formals are a modified alias pair (writing a changes
   // b), so the alias analysis treats their values as unknowable — even
-  // the read of b that happens to precede the store, since the aliasing
-  // rule is flow-insensitive.
+  // the read of b that happens to precede the store, since the default
+  // aliasing rule is flow-insensitive (the flow-sensitive tier recovers
+  // exactly that read; see the twin test below).
   EXPECT_EQ(R.SubstitutedConstants, 0u);
   EXPECT_GE(R.AliasPairs, 1u);
   EXPECT_GE(R.AliasUnstableSymbols, 2u);
+}
+
+TEST(EdgeCase, SameVariablePassedTwiceRecoveredFlowSensitively) {
+  // The same program under the flow-sensitive aliasing tier: b's read in
+  // "a = b + 10" precedes the only store through the pair, so the
+  // analysis proves it still holds the bound value and substitutes it.
+  // Everything at or after the store stays conservative — v's uses in
+  // main remain untouched.
+  PipelineOptions Fsa;
+  Fsa.FlowSensitiveAlias = true;
+  PipelineResult R = run(R"(proc main()
+  integer v
+  v = 1
+  call f(v, v)
+  print v
+end
+proc f(a, b)
+  a = b + 10
+end
+)",
+                         Fsa);
+  EXPECT_EQ(R.SubstitutedConstants, 1u);
+  EXPECT_EQ(constantsOf(R, "f"), "a=1;b=1;");
+  EXPECT_GE(R.AliasPointsRefined, 1u);
 }
 
 TEST(EdgeCase, GlobalPassedByReferenceIsConservative) {

@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -47,11 +48,26 @@ PipelineOptions withKind(JumpFunctionKind Kind, bool Rjf = true) {
   return Opts;
 }
 
+/// The precision-tier variants of the polynomial default.
+PipelineOptions withFsa() {
+  PipelineOptions Opts;
+  Opts.FlowSensitiveAlias = true;
+  return Opts;
+}
+
+PipelineOptions withOgvn() {
+  PipelineOptions Opts;
+  Opts.OptimisticVn = true;
+  return Opts;
+}
+
 /// Renders the Table 2 columns: the four jump-function kinds with
-/// return jump functions, then polynomial and pass-through without.
+/// return jump functions, polynomial and pass-through without, and the
+/// precision tier (flow-sensitive aliasing, optimistic numbering).
 std::string renderTable2() {
   std::ostringstream OS;
-  OS << "# program poly pass intra literal poly-norjf pass-norjf\n";
+  OS << "# program poly pass intra literal poly-norjf pass-norjf"
+        " poly-fsa poly-ogvn\n";
   for (const WorkloadProgram &P : benchmarkSuite()) {
     OS << P.Name;
     OS << ' ' << substituted(P.Source, withKind(JumpFunctionKind::Polynomial));
@@ -64,6 +80,8 @@ std::string renderTable2() {
     OS << ' '
        << substituted(P.Source,
                       withKind(JumpFunctionKind::PassThrough, false));
+    OS << ' ' << substituted(P.Source, withFsa());
+    OS << ' ' << substituted(P.Source, withOgvn());
     OS << '\n';
   }
   return OS.str();
@@ -140,4 +158,26 @@ TEST(GoldenTable, Table2CellsMatchSnapshot) {
 
 TEST(GoldenTable, Table3CellsMatchSnapshot) {
   checkAgainstGolden("table3.golden", renderTable3());
+}
+
+TEST(GoldenTable, PrecisionColumnsNeverRegressAndSomewhereGain) {
+  // Per cell, each precision upgrade must count at least what the plain
+  // polynomial configuration counts (the suite programs have no
+  // DCE-style count anomalies), and across the suite each must win
+  // strictly somewhere — otherwise the new columns are dead weight.
+  unsigned FsaGain = 0, OgvnGain = 0;
+  for (const WorkloadProgram &P : benchmarkSuite()) {
+    unsigned Poly =
+        substituted(P.Source, withKind(JumpFunctionKind::Polynomial));
+    unsigned Fsa = substituted(P.Source, withFsa());
+    unsigned Ogvn = substituted(P.Source, withOgvn());
+    EXPECT_GE(Fsa, Poly) << P.Name << ": flow-sensitive aliasing lost "
+                         << "constants the baseline had";
+    EXPECT_GE(Ogvn, Poly) << P.Name << ": optimistic numbering lost "
+                          << "constants the baseline had";
+    FsaGain += Fsa - std::min(Fsa, Poly);
+    OgvnGain += Ogvn - std::min(Ogvn, Poly);
+  }
+  EXPECT_GT(FsaGain, 0u);
+  EXPECT_GT(OgvnGain, 0u);
 }

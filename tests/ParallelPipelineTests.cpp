@@ -236,11 +236,11 @@ TEST(SuiteRunner, DeterministicAcrossJobCounts) {
 }
 
 TEST(SuiteRunner, ConfigSetsAreWellFormed) {
-  EXPECT_EQ(table2Configs().size(), 6u);
+  EXPECT_EQ(table2Configs().size(), 8u);
   EXPECT_EQ(table3Configs().size(), 3u);
-  EXPECT_EQ(allConfigs().size(), 9u);
-  EXPECT_EQ(configsByName("all").size(), 9u);
-  EXPECT_EQ(configsByName("table2").size(), 6u);
+  EXPECT_EQ(allConfigs().size(), 11u);
+  EXPECT_EQ(configsByName("all").size(), 11u);
+  EXPECT_EQ(configsByName("table2").size(), 8u);
   EXPECT_EQ(configsByName("table3").size(), 3u);
   EXPECT_TRUE(configsByName("nonsense").empty());
   // Config names are unique (they become table columns).

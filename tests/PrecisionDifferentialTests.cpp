@@ -1,0 +1,299 @@
+//===- tests/PrecisionDifferentialTests.cpp - The precision wall ----------===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+// The precision tier's contract, pinned differentially against the
+// classic analysis ('check-precision' label; tools/verify.sh runs it
+// under the default and asan presets):
+//
+//   * Inclusion soundness. Per procedure, every CONSTANTS(p) entry the
+//     flow-insensitive aliasing rule proves is also proved — with the
+//     same value — under flow-sensitive aliasing, and every entry the
+//     pessimistic numbering proves survives the optimistic one. Checked
+//     over all 12 suite programs and a 200+-seed random sweep.
+//
+//   * Ground truth. The substitutions only the precision tier recovers
+//     (the f(v,v) alias pattern, constants funneled through loop-phi
+//     swaps) are validated by the translation-validation oracle, so a
+//     flow-sensitivity bug cannot hide behind the inclusion direction.
+//
+//   * Toggle-off identity. With both flags off, a session previously
+//     warmed by precision-tier cells still produces results
+//     byte-identical to a cold classic run — the new passes leave no
+//     residue in shared analysis state.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Oracle.h"
+#include "ipcp/AnalysisSession.h"
+#include "ipcp/Pipeline.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+#include "workloads/RandomProgram.h"
+#include "workloads/Suite.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+
+using namespace ipcp;
+
+namespace {
+
+PipelineOptions fsaOpts() {
+  PipelineOptions Opts;
+  Opts.FlowSensitiveAlias = true;
+  return Opts;
+}
+
+PipelineOptions ogvnOpts() {
+  PipelineOptions Opts;
+  Opts.OptimisticVn = true;
+  return Opts;
+}
+
+PipelineResult runOk(const std::string &Source, const PipelineOptions &Opts) {
+  PipelineResult R = runPipeline(Source, Opts);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return R;
+}
+
+/// True when every CONSTANTS(p) entry of \p Weak also appears, with the
+/// same value, in \p Strong (procedures matched by name). On failure
+/// \p Witness names the lost entry. Same-value matching matters: an
+/// upgrade that "finds" a constant with a different value is a soundness
+/// bug, not extra precision.
+bool constantsIncluded(const PipelineResult &Weak,
+                       const PipelineResult &Strong, std::string &Witness) {
+  for (size_t P = 0; P != Weak.ProcNames.size(); ++P) {
+    if (Weak.Constants[P].empty())
+      continue;
+    const std::vector<std::pair<std::string, int64_t>> *Sup = nullptr;
+    for (size_t Q = 0; Q != Strong.ProcNames.size(); ++Q)
+      if (Strong.ProcNames[Q] == Weak.ProcNames[P]) {
+        Sup = &Strong.Constants[Q];
+        break;
+      }
+    for (const auto &Entry : Weak.Constants[P]) {
+      bool Found = false;
+      if (Sup)
+        for (const auto &Have : *Sup)
+          if (Have == Entry) {
+            Found = true;
+            break;
+          }
+      if (!Found) {
+        Witness = Weak.ProcNames[P] + ": " + Entry.first + "=" +
+                  std::to_string(Entry.second);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void expectPrecisionInclusion(const std::string &Source,
+                              const std::string &Label) {
+  PipelineResult Base = runOk(Source, PipelineOptions());
+  PipelineResult Fsa = runOk(Source, fsaOpts());
+  PipelineResult Ogvn = runOk(Source, ogvnOpts());
+  std::string Witness;
+  EXPECT_TRUE(constantsIncluded(Base, Fsa, Witness))
+      << Label << ": flow-sensitive aliasing lost " << Witness;
+  EXPECT_TRUE(constantsIncluded(Base, Ogvn, Witness))
+      << Label << ": optimistic numbering lost " << Witness;
+}
+
+/// Every deterministic field of a PipelineResult, rendered for
+/// byte-identity comparisons (the ParallelPipelineTests notion).
+std::string fingerprint(const PipelineResult &R) {
+  std::ostringstream OS;
+  OS << R.Ok << '|' << R.Error << '|' << R.SubstitutedConstants << '|'
+     << R.ConstantPrints << '|' << R.KnownButIrrelevant << '|'
+     << R.DceRounds << '|' << R.FoldedBranches << '|'
+     << R.AliasPointsRefined << '|' << R.GvnPhiMerges << '\n';
+  OS << "perproc:";
+  for (unsigned N : R.PerProcSubstituted)
+    OS << ' ' << N;
+  OS << "\nconstants:\n";
+  for (size_t P = 0; P != R.Constants.size(); ++P) {
+    OS << "  [" << P << "]";
+    for (const auto &[Name, Value] : R.Constants[P])
+      OS << " (" << Name << ',' << Value << ')';
+    OS << '\n';
+  }
+  std::map<ExprId, int64_t> Subs(R.Substitutions.begin(),
+                                 R.Substitutions.end());
+  OS << "subs:";
+  for (const auto &[Id, Value] : Subs)
+    OS << ' ' << Id << '=' << Value;
+  OS << "\nsource:" << R.TransformedSource;
+  return OS.str();
+}
+
+/// The f(v,v) recovery pattern: only the flow-sensitive tier may
+/// substitute the read of b preceding the store through its alias.
+const char *AliasRecoverySource = R"(proc main()
+  integer v
+  v = 1
+  call f(v, v)
+  print v
+end
+proc f(a, b)
+  print b * 3
+  a = b + 10
+end
+)";
+
+/// A constant funneled through a loop-carried swap: only the optimistic
+/// numbering proves the forwarded argument still equals the formal.
+const char *SwapRecoverySource = R"(proc main()
+  call h(9)
+end
+proc h(n)
+  integer x
+  integer y
+  integer t
+  integer i
+  x = n
+  y = n
+  i = 0
+  while (i < 2)
+    t = x
+    x = y
+    y = t
+    i = i + 1
+  end while
+  call leaf(x * 1)
+end
+proc leaf(p)
+  print p * 2
+  print p * 5
+end
+)";
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Inclusion over the whole suite.
+//===----------------------------------------------------------------------===//
+
+class PrecisionSuiteTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PrecisionSuiteTest, ClassicConstantsSurviveEachUpgrade) {
+  const WorkloadProgram &W = benchmarkSuite()[GetParam()];
+  expectPrecisionInclusion(W.Source, W.Name);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, PrecisionSuiteTest, ::testing::Range<size_t>(0, 12),
+    [](const ::testing::TestParamInfo<size_t> &Info) {
+      return benchmarkSuite()[Info.param].Name;
+    });
+
+//===----------------------------------------------------------------------===//
+// Inclusion over a random sweep.
+//===----------------------------------------------------------------------===//
+
+TEST(PrecisionDifferential, RandomProgramsNeverLoseConstants) {
+  // 220 seeds across three size/recursion profiles. The profiles rotate
+  // so by-reference aliasing, globals, and recursion all appear.
+  for (uint64_t Seed = 1; Seed <= 220; ++Seed) {
+    RandomSpec Spec;
+    Spec.Seed = Seed;
+    Spec.Procs = 4 + int(Seed % 5);
+    Spec.Globals = 1 + int(Seed % 4);
+    Spec.AllowRecursion = Seed % 3 == 0;
+    std::string Source = generateRandomProgram(Spec);
+    expectPrecisionInclusion(Source, "seed " + std::to_string(Seed));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The recovered substitutions, against ground truth.
+//===----------------------------------------------------------------------===//
+
+TEST(PrecisionDifferential, AliasRecoveryIsRealAndOracleValid) {
+  PipelineResult Base = runOk(AliasRecoverySource, PipelineOptions());
+  PipelineResult Fsa = runOk(AliasRecoverySource, fsaOpts());
+  // The classic rule loses both formals for the whole body; the
+  // flow-sensitive tier recovers exactly the two reads of b that precede
+  // the store through a.
+  EXPECT_EQ(Base.SubstitutedConstants, 0u);
+  EXPECT_EQ(Fsa.SubstitutedConstants, 2u);
+  EXPECT_GE(Fsa.AliasPointsRefined, 2u);
+
+  OracleOptions OO;
+  OO.Pipeline = fsaOpts();
+  OracleResult R = validateTranslation(AliasRecoverySource, OO);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_GT(R.SubstitutedUseChecks, 0u);
+  EXPECT_EQ(R.ConstantMismatches, 0u);
+}
+
+TEST(PrecisionDifferential, SwapRecoveryIsRealAndOracleValid) {
+  PipelineResult Base = runOk(SwapRecoverySource, PipelineOptions());
+  PipelineResult Ogvn = runOk(SwapRecoverySource, ogvnOpts());
+  // The pessimistic numbering pins the loop phis opaque, so leaf's two
+  // uses appear only under the optimistic pass.
+  EXPECT_EQ(Ogvn.SubstitutedConstants, Base.SubstitutedConstants + 2);
+  EXPECT_GT(Ogvn.GvnPhiMerges, 0u);
+
+  OracleOptions OO;
+  OO.Pipeline = ogvnOpts();
+  OracleResult R = validateTranslation(SwapRecoverySource, OO);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_GT(R.SubstitutedUseChecks, 0u);
+  EXPECT_EQ(R.ConstantMismatches, 0u);
+}
+
+TEST(PrecisionDifferential, SuiteGainersSurviveTheOracle) {
+  // The two suite programs whose precision columns gain (doduc under
+  // both upgrades, mdg under flow-sensitive aliasing) execute correctly
+  // after the upgraded substitutions.
+  for (const WorkloadProgram &P : benchmarkSuite()) {
+    if (P.Name != "doduc" && P.Name != "mdg")
+      continue;
+    for (const PipelineOptions &Opts : {fsaOpts(), ogvnOpts()}) {
+      OracleOptions OO;
+      OO.Pipeline = Opts;
+      OracleResult R = validateTranslation(P.Source, OO);
+      EXPECT_TRUE(R.Ok) << P.Name << ": " << R.Error;
+      EXPECT_EQ(R.ConstantMismatches, 0u) << P.Name;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Toggle-off identity.
+//===----------------------------------------------------------------------===//
+
+TEST(PrecisionDifferential, WarmedSessionLeavesClassicResultsByteIdentical) {
+  // Precision-tier cells must not perturb shared analysis state: after
+  // fsa and ogvn runs warmed a session's caches (flow-alias info, a
+  // 5-tuple-keyed jump-function base, optimistic numberings), a default
+  // run over the same session is byte-identical to a cold classic run.
+  for (size_t I : {size_t(1), size_t(5), size_t(11)}) { // doduc, mdg, trfd
+    const WorkloadProgram &W = benchmarkSuite()[I];
+    PipelineOptions Classic;
+    Classic.EmitTransformedSource = true;
+    std::string Cold = fingerprint(runOk(W.Source, Classic));
+
+    DiagnosticEngine Diags;
+    auto Ctx = parseProgram(W.Source, Diags);
+    SymbolTable Symbols = Sema::run(*Ctx, Diags);
+    ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+    AnalysisSession Session(*Ctx, Symbols);
+    PipelineOptions Fsa = fsaOpts();
+    Fsa.EmitTransformedSource = true;
+    PipelineOptions Ogvn = ogvnOpts();
+    Ogvn.EmitTransformedSource = true;
+    ASSERT_TRUE(runPipelineOnSession(Session, Fsa).Ok);
+    ASSERT_TRUE(runPipelineOnSession(Session, Ogvn).Ok);
+    PipelineResult Warm = runPipelineOnSession(Session, Classic);
+    ASSERT_TRUE(Warm.Ok) << Warm.Error;
+    EXPECT_EQ(Cold, fingerprint(Warm)) << W.Name;
+  }
+}

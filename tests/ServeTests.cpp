@@ -171,6 +171,51 @@ TEST(ServeProtocol, SerializeRoundTrips) {
             configKey(Req.Config, Req.Report));
 }
 
+TEST(ServeProtocol, PrecisionFlagsSkewAcrossVersions) {
+  // Pre-precision request lines carry no fsa/ogvn keys: a default-config
+  // request serializes without them, such a line parses to the flags'
+  // defaults, and re-serialization reproduces it byte-identically — old
+  // and new peers exchange the same bytes.
+  ServeRequest Req;
+  Req.Id = "v1";
+  Req.Method = ServeMethod::AnalyzeSource;
+  Req.Source = "proc main()\nend\n";
+  std::string Line = serializeServeRequest(Req);
+  EXPECT_EQ(Line.find("fsa"), std::string::npos);
+  EXPECT_EQ(Line.find("ogvn"), std::string::npos);
+
+  ServeRequest Back;
+  std::string Err;
+  ASSERT_TRUE(parseServeRequest(Line, Back, Err)) << Err;
+  EXPECT_FALSE(Back.Config.FlowSensitiveAlias);
+  EXPECT_FALSE(Back.Config.OptimisticVn);
+  EXPECT_EQ(serializeServeRequest(Back), Line);
+
+  // Spelled-out flags parse, round-trip, and split the cache key from
+  // the classic configuration.
+  std::string DefaultKey = configKey(Req.Config, Req.Report);
+  Req.Config.FlowSensitiveAlias = true;
+  std::string FsaLine = serializeServeRequest(Req);
+  EXPECT_NE(FsaLine.find("\"fsa\":true"), std::string::npos);
+  ASSERT_TRUE(parseServeRequest(FsaLine, Back, Err)) << Err;
+  EXPECT_TRUE(Back.Config.FlowSensitiveAlias);
+  EXPECT_EQ(serializeServeRequest(Back), FsaLine);
+  EXPECT_NE(configKey(Back.Config, Back.Report), DefaultKey);
+
+  Req.Config.FlowSensitiveAlias = false;
+  Req.Config.OptimisticVn = true;
+  ASSERT_TRUE(parseServeRequest(serializeServeRequest(Req), Back, Err)) << Err;
+  EXPECT_TRUE(Back.Config.OptimisticVn);
+  EXPECT_NE(configKey(Back.Config, Back.Report), DefaultKey);
+
+  // The optional keys stay strictly typed.
+  EXPECT_FALSE(parseServeRequest(
+      "{\"id\":\"x\",\"method\":\"analyze-source\",\"params\":{"
+      "\"source\":\"s\",\"config\":{\"fsa\":\"yes\"}}}",
+      Back, Err));
+  EXPECT_NE(Err.find("config.fsa must be a boolean"), std::string::npos);
+}
+
 TEST(ServeProtocol, RejectsUnknownFields) {
   ServeRequest Req;
   std::string Err;

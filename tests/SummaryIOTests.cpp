@@ -52,7 +52,8 @@ struct SessionFixture {
 };
 
 /// The distinct jump-function configurations the nine suite columns
-/// exercise, plus the gated-SSA build (gamma fingerprints).
+/// exercise, plus the gated-SSA build (gamma fingerprints) and the
+/// precision tier (flow-sensitive aliasing, optimistic numbering).
 std::vector<JumpFunctionOptions> allJfOptions() {
   std::vector<JumpFunctionOptions> Out;
   auto Add = [&](JumpFunctionKind K, bool Rjf, bool Mod, bool Gsa) {
@@ -71,6 +72,12 @@ std::vector<JumpFunctionOptions> allJfOptions() {
   Add(JumpFunctionKind::PassThrough, false, true, false);
   Add(JumpFunctionKind::Polynomial, true, false, false);
   Add(JumpFunctionKind::Polynomial, true, true, true);
+  JumpFunctionOptions Fsa;
+  Fsa.FlowSensitiveAlias = true;
+  Out.push_back(Fsa);
+  JumpFunctionOptions Ogvn;
+  Ogvn.OptimisticVn = true;
+  Out.push_back(Ogvn);
   return Out;
 }
 
@@ -245,7 +252,9 @@ TEST(SummaryIO, ReconstitutedSolveMatchesDirectSolve) {
       const CallGraph &CG = F.Session->callGraph();
       ProgramJumpFunctions Direct = buildJumpFunctions(
           M, F.Symbols, CG, F.Session->modRef(Opts.UseMod), Opts,
-          &F.Session->refAlias(Opts.UseMod), nullptr, F.Session.get());
+          &F.Session->refAlias(Opts.UseMod), nullptr, F.Session.get(),
+          Opts.FlowSensitiveAlias ? &F.Session->flowAlias(Opts.UseMod)
+                                  : nullptr);
       SolveResult Want = solveConstants(F.Symbols, CG, Direct);
 
       // Through the wire: summary -> bytes -> parse -> reconstitute ->
@@ -347,6 +356,72 @@ TEST(SummaryIO, ParseRejectsMalformedDocuments) {
         << "got '" << Error << "', want substring '" << C.ExpectInError
         << "'";
   }
+}
+
+TEST(SummaryIO, PrecisionFlagsSkewAcrossVersions) {
+  SessionFixture F(RichSource);
+  ProgramSummary Out;
+  std::string Error;
+
+  // A default-configuration summary carries no precision keys at all —
+  // its bytes are exactly the pre-precision (v1) layout — and parsing
+  // those bytes yields the flags' defaults, so old writers and new
+  // readers (and vice versa) interoperate without a version bump.
+  std::string V1 = serializeSummary(F.summary(JumpFunctionOptions()));
+  EXPECT_EQ(V1.find("fsa"), std::string::npos);
+  EXPECT_EQ(V1.find("ogvn"), std::string::npos);
+  ASSERT_TRUE(parseSummary(V1, Out, Error)) << Error;
+  EXPECT_FALSE(Out.Options.FlowSensitiveAlias);
+  EXPECT_FALSE(Out.Options.OptimisticVn);
+  EXPECT_EQ(serializeSummary(Out), V1);
+
+  // A writer that spells the defaults out is tolerated, and
+  // re-serialization canonicalizes back to the elided v1 bytes.
+  std::string Spelled = V1;
+  size_t Pos = Spelled.find("\"gsa\":false");
+  ASSERT_NE(Pos, std::string::npos);
+  Spelled.insert(Pos, "\"fsa\":false,\"ogvn\":false,");
+  ASSERT_TRUE(parseSummary(Spelled, Out, Error)) << Error;
+  EXPECT_FALSE(Out.Options.FlowSensitiveAlias);
+  EXPECT_FALSE(Out.Options.OptimisticVn);
+  EXPECT_EQ(serializeSummary(Out), V1);
+
+  // Precision-era summaries spell the set flag and round-trip it.
+  JumpFunctionOptions FsaOpts;
+  FsaOpts.FlowSensitiveAlias = true;
+  std::string FsaBytes = serializeSummary(F.summary(FsaOpts));
+  EXPECT_NE(FsaBytes.find("\"fsa\":true"), std::string::npos);
+  EXPECT_EQ(FsaBytes.find("ogvn"), std::string::npos);
+  ASSERT_TRUE(parseSummary(FsaBytes, Out, Error)) << Error;
+  EXPECT_TRUE(Out.Options.FlowSensitiveAlias);
+  EXPECT_EQ(serializeSummary(Out), FsaBytes);
+
+  JumpFunctionOptions OgvnOpts;
+  OgvnOpts.OptimisticVn = true;
+  std::string OgvnBytes = serializeSummary(F.summary(OgvnOpts));
+  EXPECT_NE(OgvnBytes.find("\"ogvn\":true"), std::string::npos);
+  ASSERT_TRUE(parseSummary(OgvnBytes, Out, Error)) << Error;
+  EXPECT_TRUE(Out.Options.OptimisticVn);
+  EXPECT_EQ(serializeSummary(Out), OgvnBytes);
+
+  // The optional keys loosen nothing else: ill-typed or misspelled
+  // precision fields still fail loudly.
+  auto Mutate = [&](const std::string &From, const std::string &To) {
+    std::string Doc = FsaBytes;
+    size_t At = Doc.find(From);
+    EXPECT_NE(At, std::string::npos) << From;
+    Doc.replace(At, From.size(), To);
+    return Doc;
+  };
+  Error.clear();
+  EXPECT_FALSE(
+      parseSummary(Mutate("\"fsa\":true", "\"fsa\":\"yes\""), Out, Error));
+  EXPECT_NE(Error.find("config.fsa must be a boolean"), std::string::npos)
+      << Error;
+  Error.clear();
+  EXPECT_FALSE(
+      parseSummary(Mutate("\"fsa\":true", "\"fsb\":true"), Out, Error));
+  EXPECT_NE(Error.find("unknown config field"), std::string::npos) << Error;
 }
 
 TEST(SummaryIO, ParseCatchesContentCorruptionThroughStats) {

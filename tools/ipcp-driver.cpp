@@ -59,6 +59,8 @@ static void printUsage() {
          "  --no-mod       drop interprocedural MOD information\n"
          "  --complete     iterate with dead-code elimination\n"
          "  --gsa          gated-SSA jump functions (no DCE iteration)\n"
+         "  --fsa          flow-sensitive by-reference aliasing\n"
+         "  --ogvn         optimistic (iterative) value numbering\n"
          "  --intra-only   purely intraprocedural propagation\n"
          "  --round-robin  naive fixpoint strategy\n"
          "  --binding-graph  binding multi-graph fixpoint strategy\n"
@@ -188,6 +190,10 @@ int main(int argc, char **argv) {
       Opts.CompletePropagation = true;
     } else if (Arg == "--gsa") {
       Opts.UseGatedSsa = true;
+    } else if (Arg == "--fsa") {
+      Opts.FlowSensitiveAlias = true;
+    } else if (Arg == "--ogvn") {
+      Opts.OptimisticVn = true;
     } else if (Arg == "--intra-only") {
       Opts.IntraproceduralOnly = true;
     } else if (Arg == "--round-robin") {
@@ -573,6 +579,8 @@ int main(int argc, char **argv) {
     JfOpts.UseReturnJumpFunctions = Opts.UseReturnJumpFunctions;
     JfOpts.UseMod = Opts.UseMod;
     JfOpts.UseGatedSsa = Opts.UseGatedSsa;
+    JfOpts.FlowSensitiveAlias = Opts.FlowSensitiveAlias;
+    JfOpts.OptimisticVn = Opts.OptimisticVn;
     ProgramSummary S = buildSummary(Session, JfOpts, ProgramName,
                                     summarySourceHash(Source));
     std::ofstream OutFile(SummaryOut, std::ios::binary | std::ios::trunc);
@@ -686,6 +694,10 @@ int main(int argc, char **argv) {
       JfOpts.UseReturnJumpFunctions = Opts.UseReturnJumpFunctions;
       JfOpts.UseMod = Opts.UseMod;
       JfOpts.UseGatedSsa = Opts.UseGatedSsa;
+      JfOpts.FlowSensitiveAlias = Opts.FlowSensitiveAlias;
+      JfOpts.OptimisticVn = Opts.OptimisticVn;
+    JfOpts.FlowSensitiveAlias = Opts.FlowSensitiveAlias;
+    JfOpts.OptimisticVn = Opts.OptimisticVn;
       ProgramJumpFunctions Jfs =
           buildJumpFunctions(M, Symbols, CG, &MRI, JfOpts);
       for (ProcId P = 0; P != CG.numProcs(); ++P) {
@@ -768,6 +780,8 @@ int main(int argc, char **argv) {
     JfOpts.UseReturnJumpFunctions = Opts.UseReturnJumpFunctions;
     JfOpts.UseMod = Opts.UseMod;
     JfOpts.UseGatedSsa = Opts.UseGatedSsa;
+    JfOpts.FlowSensitiveAlias = Opts.FlowSensitiveAlias;
+    JfOpts.OptimisticVn = Opts.OptimisticVn;
     if (!sameJumpFunctionOptions(S.Options, JfOpts)) {
       std::cerr << "error: '" << SummaryIn << "' was built under a "
                    "different jump-function configuration than the one "

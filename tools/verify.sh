@@ -15,6 +15,10 @@
 #   * the engine-differential wall (`ctest -L check-vm`: bytecode VM vs
 #     AST interpreter across the suite, random seeds x configs, corpus,
 #     server replay, and oracle check counts),
+#   * the precision-differential wall (`ctest -L check-precision`:
+#     CONSTANTS inclusion of the classic analysis in the flow-sensitive
+#     aliasing and optimistic-numbering upgrades over the suite and a
+#     random sweep, oracle-validated recoveries, toggle-off identity),
 #   * the distributed tier (`ctest -L check-dist`: sharded-vs-single
 #     byte-identity at the full grid and 30 random seeds, worker-crash
 #     reassignment, shard-file hardening, and the router wall —
@@ -79,7 +83,7 @@ for preset in "${PRESETS[@]}"; do
 
   echo "==== [$preset] tier-1 tests ===="
   ctest --test-dir "$builddir" \
-        -LE "check-oracle|check-bench|check-fuzz|check-serve|check-vm|check-dist" \
+        -LE "check-oracle|check-bench|check-fuzz|check-serve|check-vm|check-dist|check-precision" \
         --output-on-failure -j "$JOBS"
 
   echo "==== [$preset] oracle fuzz (check-oracle) ===="
@@ -96,6 +100,9 @@ for preset in "${PRESETS[@]}"; do
 
   echo "==== [$preset] distributed tier (check-dist) ===="
   ctest --test-dir "$builddir" -L check-dist --output-on-failure -j "$JOBS"
+
+  echo "==== [$preset] precision wall (check-precision) ===="
+  ctest --test-dir "$builddir" -L check-precision --output-on-failure -j "$JOBS"
 
   echo "==== [$preset] bench smokes (check-bench) ===="
   ctest --test-dir "$builddir" -L check-bench --output-on-failure
@@ -115,7 +122,7 @@ if [[ "$RUN_TSAN" == "1" ]]; then
 
   echo "==== [tsan] tier-1 tests ===="
   ctest --test-dir build-tsan \
-        -LE "check-oracle|check-bench|check-fuzz|check-serve|check-vm|check-dist" \
+        -LE "check-oracle|check-bench|check-fuzz|check-serve|check-vm|check-dist|check-precision" \
         --output-on-failure -j "$JOBS"
 
   echo "==== [tsan] session-shared solver memo ===="
