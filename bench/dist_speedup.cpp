@@ -163,7 +163,7 @@ int main(int argc, char **argv) {
   // Section 1: sharded suite vs single-process per-cell cold batch.
   //===--------------------------------------------------------------------===//
 
-  const std::vector<WorkloadProgram> &Programs = benchmarkSuite();
+  const std::vector<WorkloadProgram> &Programs = extendedSuite();
   const std::vector<SuiteConfig> Configs = allConfigs();
 
   Clock::time_point ColdStart = Clock::now();

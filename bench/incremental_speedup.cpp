@@ -133,7 +133,7 @@ int main(int argc, char **argv) {
   if (Iters == 0)
     Iters = 1;
 
-  const std::vector<WorkloadProgram> Programs = benchmarkSuite();
+  const std::vector<WorkloadProgram> Programs = extendedSuite();
   const std::vector<SuiteConfig> Configs = allConfigs();
   std::cout << "Incremental sessions: cold (per-cell) vs warm (shared) "
                "suite batch\n"

@@ -6,6 +6,7 @@
 
 #include "analysis/Sccp.h"
 
+#include "analysis/CopyProp.h"
 #include "analysis/FlowAlias.h"
 
 #include <cassert>
@@ -39,9 +40,11 @@ bool Sccp::dirtyRead(BlockId B, uint32_t InstrIdx, SymbolId Sym) const {
 
 Sccp::Sccp(const SsaForm &Ssa, const SymbolTable &Symbols,
            const SccpSeeds *Seeds, const SccpKillFn *KillFn,
-           const std::vector<uint8_t> *Unstable, const ProcFlowAlias *Flow)
+           const std::vector<uint8_t> *Unstable, const ProcFlowAlias *Flow,
+           const ProcCopyProp *Copy)
     : Ssa(Ssa), Symbols(Symbols), KillFn(KillFn), Unstable(Unstable),
-      Flow(Flow && !Flow->trivial() ? Flow : nullptr) {
+      Flow(Flow && !Flow->trivial() ? Flow : nullptr),
+      Copy(Copy && !Copy->trivial() ? Copy : nullptr) {
   const Function &F = Ssa.function();
   Values.assign(Ssa.numValues(), LatticeValue::top());
   ExecBlock.assign(F.numBlocks(), 0);
@@ -63,6 +66,8 @@ Sccp::Sccp(const SsaForm &Ssa, const SymbolTable &Symbols,
     if (!Symbols.symbol(Sym).isInterproceduralParam() || isUnstable(Sym))
       V = LatticeValue::bottom();
     Values[Id] = V;
+    if (this->Copy)
+      EntryDefOf.emplace(Sym, Id);
   }
 
   ExecBlock[F.entry()] = 1;
@@ -225,6 +230,23 @@ void Sccp::visitInstr(BlockId B, uint32_t InstrIdx) {
     break;
   }
   case Opcode::Load:
+    // A load whose cell the copy-propagation dataflow resolves takes the
+    // literal / the entry value of its stable source (constant when the
+    // solver seeded the source). Entry values are fixed at construction,
+    // so this resolution is stable across re-visits.
+    if (const CopyValue *CF = Copy ? Copy->factAt(B, InstrIdx) : nullptr) {
+      if (CF->isConst()) {
+        setValue(Info.DefSsa, LatticeValue::constant(CF->constValue()));
+      } else {
+        auto It = EntryDefOf.find(CF->copySym());
+        setValue(Info.DefSsa, It != EntryDefOf.end()
+                                  ? Values[It->second]
+                                  : LatticeValue::bottom());
+      }
+      break;
+    }
+    setValue(Info.DefSsa, LatticeValue::bottom());
+    break;
   case Opcode::Read:
     setValue(Info.DefSsa, LatticeValue::bottom());
     break;

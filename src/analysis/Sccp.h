@@ -30,6 +30,7 @@
 
 namespace ipcp {
 
+class ProcCopyProp;
 class ProcFlowAlias;
 class Sccp;
 
@@ -72,11 +73,15 @@ public:
   /// that whole-procedure masking with per-point gating (at most one of
   /// the two is set): definitions and seeds stay precise, and only
   /// *reads* at points where the symbol is dirty (analysis/FlowAlias.h)
-  /// resolve to BOTTOM.
+  /// resolve to BOTTOM. \p Copy, when non-null, supplies copy-propagation
+  /// facts (analysis/CopyProp.h): a Load whose cell resolves takes the
+  /// literal / the (seeded) entry value of the stable source symbol
+  /// instead of BOTTOM — the substitution-side half of the copy lattice.
   Sccp(const SsaForm &Ssa, const SymbolTable &Symbols,
        const SccpSeeds *Seeds, const SccpKillFn *KillFn,
        const std::vector<uint8_t> *Unstable = nullptr,
-       const ProcFlowAlias *Flow = nullptr);
+       const ProcFlowAlias *Flow = nullptr,
+       const ProcCopyProp *Copy = nullptr);
 
   const SsaForm &ssa() const { return Ssa; }
   const SymbolTable &symbols() const { return Symbols; }
@@ -134,6 +139,10 @@ private:
   const SccpKillFn *KillFn;
   const std::vector<uint8_t> *Unstable;
   const ProcFlowAlias *Flow;
+  const ProcCopyProp *Copy;
+  /// Entry SSA value of each symbol (filled only in copy mode): where a
+  /// Copy(s) load fact resolves to.
+  std::unordered_map<SymbolId, SsaId> EntryDefOf;
 
   std::vector<LatticeValue> Values;
   std::vector<uint8_t> ExecBlock;

@@ -6,6 +6,7 @@
 
 #include "analysis/ValueNumbering.h"
 
+#include "analysis/CopyProp.h"
 #include "analysis/FlowAlias.h"
 
 #include <cassert>
@@ -25,6 +26,7 @@ const VnExpr *VnContext::intern(VnExpr Proto) {
     K.B = 0;
     break;
   case VnKind::Param:
+  case VnKind::CopyOf:
     K.A = Proto.Param;
     K.B = 0;
     break;
@@ -63,6 +65,13 @@ const VnExpr *VnContext::getConst(int64_t Value) {
 const VnExpr *VnContext::getParam(SymbolId Sym) {
   VnExpr E;
   E.Kind = VnKind::Param;
+  E.Param = Sym;
+  return intern(E);
+}
+
+const VnExpr *VnContext::getCopyOf(SymbolId Sym) {
+  VnExpr E;
+  E.Kind = VnKind::CopyOf;
   E.Param = Sym;
   return intern(E);
 }
@@ -200,6 +209,7 @@ bool ipcp::isParamExpr(const VnExpr *E) {
   switch (E->Kind) {
   case VnKind::Const:
   case VnKind::Param:
+  case VnKind::CopyOf:
     return true;
   case VnKind::Opaque:
     return false;
@@ -218,6 +228,7 @@ bool ipcp::isGatedParamExpr(const VnExpr *E) {
   switch (E->Kind) {
   case VnKind::Const:
   case VnKind::Param:
+  case VnKind::CopyOf:
     return true;
   case VnKind::Opaque:
     return false;
@@ -241,6 +252,7 @@ void ipcp::collectSupport(const VnExpr *E, std::vector<SymbolId> &Support) {
   case VnKind::Opaque:
     return;
   case VnKind::Param:
+  case VnKind::CopyOf:
     for (SymbolId S : Support)
       if (S == E->Param)
         return;
@@ -268,6 +280,8 @@ std::string ipcp::vnExprToString(const VnExpr *E,
     return std::to_string(E->ConstValue);
   case VnKind::Param:
     return Symbols.symbol(E->Param).Name;
+  case VnKind::CopyOf:
+    return "copy(" + Symbols.symbol(E->Param).Name + ")";
   case VnKind::Opaque:
     return "opaque#" + std::to_string(E->OpaqueId);
   case VnKind::Unary:
@@ -369,7 +383,8 @@ ValueNumbering::ValueNumbering(const SsaForm &Ssa,
                                const DominatorTree *GatedDT,
                                const VnPrecision &Prec)
     : Ssa(Ssa), Symbols(Symbols), Ctx(Ctx),
-      Flow(Prec.Flow && !Prec.Flow->trivial() ? Prec.Flow : nullptr) {
+      Flow(Prec.Flow && !Prec.Flow->trivial() ? Prec.Flow : nullptr),
+      Copy(Prec.Copy && !Prec.Copy->trivial() ? Prec.Copy : nullptr) {
   ExprOf.assign(Ssa.numValues(), nullptr);
   if (Flow)
     buildFlowGates();
@@ -568,6 +583,16 @@ void ValueNumbering::numberPessimistic(const KillValueFn *KillFn,
         ExprOf[Info.DefSsa] = Ctx.getBinary(In.BinOp, Ops[0], Ops[1]);
         break;
       case Opcode::Load:
+        // A load whose cell the copy-propagation dataflow resolves is the
+        // literal / the entry value of the stable source, not an Opaque.
+        if (const CopyValue *CF = Copy ? Copy->factAt(B, I) : nullptr) {
+          ExprOf[Info.DefSsa] = CF->isConst()
+                                    ? Ctx.getConst(CF->constValue())
+                                    : Ctx.getCopyOf(CF->copySym());
+          break;
+        }
+        ExprOf[Info.DefSsa] = Ctx.makeOpaque();
+        break;
       case Opcode::Read:
         ExprOf[Info.DefSsa] = Ctx.makeOpaque();
         break;
@@ -757,6 +782,15 @@ void ValueNumbering::numberOptimistic(const KillValueFn *KillFn,
                 setExpr(Info.DefSsa, Ctx.getBinary(In.BinOp, Ops[0], Ops[1]));
           break;
         case Opcode::Load:
+          if (const CopyValue *CF = Copy ? Copy->factAt(B, I) : nullptr) {
+            Changed |= setExpr(Info.DefSsa,
+                               CF->isConst()
+                                   ? Ctx.getConst(CF->constValue())
+                                   : Ctx.getCopyOf(CF->copySym()));
+            break;
+          }
+          Changed |= setExpr(Info.DefSsa, opaqueFor(Info.DefSsa));
+          break;
         case Opcode::Read:
           Changed |= setExpr(Info.DefSsa, opaqueFor(Info.DefSsa));
           break;

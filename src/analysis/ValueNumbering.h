@@ -45,12 +45,25 @@
 namespace ipcp {
 
 class ProcFlowAlias;
+class ProcCopyProp;
 
 /// Node kinds of value-numbering expressions. Gamma is the gated-SSA
 /// selector (Ballance et al., paper reference [2]): Gamma(c, t, f) is t
 /// when c is nonzero and f otherwise. Gammas are only built when the
 /// numbering runs in gated mode (paper §4.2's suggested improvement).
-enum class VnKind : uint8_t { Const, Param, Opaque, Unary, Binary, Gamma };
+/// CopyOf is the copy-lattice leaf (ipcp/CopyLattice.h): the entry value
+/// of a stable symbol recovered from an array cell by analysis/CopyProp —
+/// semantically identical to Param (it *is* that entry value) but kept
+/// distinct so jump functions can classify it as Form::Copy.
+enum class VnKind : uint8_t {
+  Const,
+  Param,
+  Opaque,
+  Unary,
+  Binary,
+  Gamma,
+  CopyOf
+};
 
 /// One hash-consed expression node. Structural equality coincides with
 /// pointer equality for non-Opaque nodes within one VnContext.
@@ -58,7 +71,7 @@ struct VnExpr {
   VnKind Kind;
   uint32_t Id = 0;      ///< Creation index; stable canonicalization key.
   int64_t ConstValue = 0;          ///< Const.
-  SymbolId Param = InvalidSymbol;  ///< Param (entry value of this symbol).
+  SymbolId Param = InvalidSymbol;  ///< Param/CopyOf (entry value of sym).
   uint32_t OpaqueId = 0;           ///< Opaque (unique per creation).
   UnaryOp UOp = UnaryOp::Neg;      ///< Unary.
   BinaryOp BOp = BinaryOp::Add;    ///< Binary.
@@ -68,6 +81,7 @@ struct VnExpr {
 
   bool isConst() const { return Kind == VnKind::Const; }
   bool isParam() const { return Kind == VnKind::Param; }
+  bool isCopyOf() const { return Kind == VnKind::CopyOf; }
   bool isOpaque() const { return Kind == VnKind::Opaque; }
 };
 
@@ -82,6 +96,9 @@ public:
 
   const VnExpr *getConst(int64_t Value);
   const VnExpr *getParam(SymbolId Sym);
+  /// The copy-lattice leaf: the entry value of stable symbol \p Sym, as
+  /// recovered from an array cell (analysis/CopyProp.h).
+  const VnExpr *getCopyOf(SymbolId Sym);
   /// Creates a fresh, never-unified opaque value.
   const VnExpr *makeOpaque();
   /// Builds (folding constants and simple identities) op(Operand).
@@ -175,6 +192,9 @@ struct VnPrecision {
   const std::vector<uint8_t> *Unstable = nullptr;
   const ProcFlowAlias *Flow = nullptr;
   bool Optimistic = false;
+  /// Copy-propagation facts (analysis/CopyProp.h): a Load whose cell
+  /// resolves becomes getConst/getCopyOf instead of Opaque.
+  const ProcCopyProp *Copy = nullptr;
 };
 
 /// The value numbering of one procedure.
@@ -264,6 +284,9 @@ private:
   /// once before numbering, so concurrent post-construction readers
   /// (exprOfOperand from shared cached numberings) never allocate.
   const ProcFlowAlias *Flow = nullptr;
+  /// Copy-propagation mode only (null otherwise, including when the
+  /// procedure has no resolved loads).
+  const ProcCopyProp *Copy = nullptr;
   GateMap OperandGates;
   GateMap GlobalGates;
   std::vector<const VnExpr *> ExitGates;

@@ -64,6 +64,17 @@ const std::vector<FuzzConfig> &ipcp::fuzzConfigs() {
       O.OptimisticVn = true;
       C.push_back({"poly-ogvn", O});
     }
+    {
+      PipelineOptions O;
+      O.CopyPropagation = true;
+      C.push_back({"poly-copy", O});
+    }
+    {
+      PipelineOptions O;
+      O.Kind = JumpFunctionKind::PassThrough;
+      O.CopyPropagation = true;
+      C.push_back({"copy", O});
+    }
     return C;
   }();
   return Configs;
@@ -164,6 +175,15 @@ ipcp::evaluateProgram(const std::string &Source, FuzzFeedback &FB,
     return Violation(6, ">=");
   if (!constantsSubset(Results[0], Results[7], Witness))
     return Violation(7, ">=");
+  // The copy lattice only upgrades loads that were BOTTOM classically,
+  // so poly's sets are contained in poly-copy's, and the pass-through
+  // copy config's sets in poly-copy's (polynomial refines pass-through).
+  if (!constantsSubset(Results[0], Results[8], Witness))
+    return Violation(8, ">=");
+  if (!constantsSubset(Results[9], Results[8], Witness))
+    return makeFailure("hierarchy-violation",
+                       Configs[9].Name + "<=" + Configs[8].Name,
+                       "CONSTANTS entry not contained: " + Witness, Source);
   if (Results[3].FoldedBranches == 0 &&
       Results[3].SubstitutedConstants != Results[0].SubstitutedConstants)
     return makeFailure(

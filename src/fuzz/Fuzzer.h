@@ -7,7 +7,7 @@
 /// \file
 /// The coverage-guided fuzzing loop, libFuzzer-shaped but with the
 /// analyzer's *behavior* as the coverage signal: each candidate program
-/// is analyzed under eight pipeline configurations with a FuzzFeedback
+/// is analyzed under ten pipeline configurations with a FuzzFeedback
 /// sink attached, and a mutant joins the corpus only when its feature
 /// bitmap (lattice transitions per jump-function form, solver memo
 /// traffic, alias pairs, DCE rounds, inliner/cloning decisions, ...)
@@ -45,10 +45,11 @@ struct FuzzConfig {
   PipelineOptions Pipeline;
 };
 
-/// The eight configurations every candidate runs under: the four
+/// The ten configurations every candidate runs under: the four
 /// jump-function kinds' extremes, complete propagation, the
-/// intraprocedural baseline, gated SSA, and the precision tier
-/// (flow-sensitive aliasing and optimistic value numbering).
+/// intraprocedural baseline, gated SSA, the precision tier
+/// (flow-sensitive aliasing and optimistic value numbering), and the
+/// copy tier (polynomial and pass-through with the copy lattice).
 const std::vector<FuzzConfig> &fuzzConfigs();
 
 /// Parameters of one campaign.

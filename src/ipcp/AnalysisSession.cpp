@@ -92,6 +92,18 @@ const FlowAliasInfo &AnalysisSession::flowAlias(bool UseMod) {
   return *Slot;
 }
 
+const CopyPropInfo &AnalysisSession::copyProp(bool UseMod) {
+  std::lock_guard<std::mutex> Lock(CoreMutex);
+  auto &Slot = CopyProps[UseMod];
+  if (!Slot) {
+    auto &Base = Aliases[UseMod];
+    if (!Base)
+      Base.emplace(moduleLocked(), Symbols, modRefLocked(UseMod));
+    Slot.emplace(moduleLocked(), Symbols, modRefLocked(UseMod), *Base);
+  }
+  return *Slot;
+}
+
 const SsaForm::KillOracle &AnalysisSession::killOracleLocked(bool UseMod) {
   auto &Slot = Oracles[UseMod];
   if (!Slot)
@@ -130,11 +142,12 @@ const AnalysisSession::SsaBundle &AnalysisSession::ssa(ProcId P,
 const AnalysisSession::JfBase &
 AnalysisSession::jfBase(const JumpFunctionOptions &Opts,
                         const std::function<void(JfBase &)> &Build) {
-  unsigned Key = (Opts.UseMod ? 16u : 0u) |
-                 (Opts.UseReturnJumpFunctions ? 8u : 0u) |
-                 (Opts.UseGatedSsa ? 4u : 0u) |
-                 (Opts.FlowSensitiveAlias ? 2u : 0u) |
-                 (Opts.OptimisticVn ? 1u : 0u);
+  unsigned Key = (Opts.UseMod ? 32u : 0u) |
+                 (Opts.UseReturnJumpFunctions ? 16u : 0u) |
+                 (Opts.UseGatedSsa ? 8u : 0u) |
+                 (Opts.FlowSensitiveAlias ? 4u : 0u) |
+                 (Opts.OptimisticVn ? 2u : 0u) |
+                 (Opts.CopyPropagation ? 1u : 0u);
   std::lock_guard<std::mutex> Lock(JfMutex);
   auto &Slot = JfBases[Key];
   if (!Slot) {
@@ -182,6 +195,8 @@ void AnalysisSession::invalidate(const std::vector<ProcId> &Dirty) {
   Aliases[1].reset();
   FlowAliases[0].reset();
   FlowAliases[1].reset();
+  CopyProps[0].reset();
+  CopyProps[1].reset();
   // The oracles capture the (now dead) ModRefInfo pointer.
   Oracles[0].reset();
   Oracles[1].reset();

@@ -11,7 +11,7 @@
 /// configuration-independent "base" of a jump-function build — and hands
 /// them out memoized, so that
 ///
-///   * the eleven suite configurations of one program share one frontend,
+///   * the thirteen suite configurations of one program share one frontend,
 ///     one Module, and one SSA/VN per (procedure, UseMod) instead of
 ///     rebuilding them per cell (Tables 2/3 rerun the same programs);
 ///   * complete-propagation rounds re-lower only the procedures the
@@ -52,6 +52,7 @@
 #define IPCP_IPCP_ANALYSISSESSION_H
 
 #include "analysis/CallGraph.h"
+#include "analysis/CopyProp.h"
 #include "analysis/FlowAlias.h"
 #include "analysis/ModRef.h"
 #include "analysis/RefAlias.h"
@@ -125,6 +126,11 @@ public:
   /// summaries of the same setting.
   const FlowAliasInfo &flowAlias(bool UseMod);
 
+  /// Copy-propagation facts (analysis/CopyProp.h) under the given MOD
+  /// setting, built on first use over the MOD and baseline alias
+  /// summaries of the same setting.
+  const CopyPropInfo &copyProp(bool UseMod);
+
   /// The call kill oracle under the given MOD setting.
   const SsaForm::KillOracle &killOracle(bool UseMod);
 
@@ -158,8 +164,8 @@ public:
   };
 
   /// The base keyed by (UseMod, UseReturnJumpFunctions, UseGatedSsa,
-  /// FlowSensitiveAlias, OptimisticVn) of \p Opts, running \p Build under
-  /// the cache lock on first use.
+  /// FlowSensitiveAlias, OptimisticVn, CopyPropagation) of \p Opts,
+  /// running \p Build under the cache lock on first use.
   const JfBase &jfBase(const JumpFunctionOptions &Opts,
                        const std::function<void(JfBase &)> &Build);
 
@@ -213,6 +219,7 @@ private:
   std::optional<ModRefInfo> Mri;
   std::optional<RefAliasInfo> Aliases[2];    // [UseMod]
   std::optional<FlowAliasInfo> FlowAliases[2];   // [UseMod]
+  std::optional<CopyPropInfo> CopyProps[2];      // [UseMod]
   std::optional<SsaForm::KillOracle> Oracles[2]; // [UseMod]
 
   /// Per-(procedure, UseMod) SSA slots; each has its own lock so
@@ -223,10 +230,10 @@ private:
   };
   std::unique_ptr<SsaSlot[]> SsaSlots;
 
-  /// Jump-function bases keyed (UseMod << 4) | (UseRjf << 3) |
-  /// (Gated << 2) | (Fsa << 1) | Ogvn.
+  /// Jump-function bases keyed (UseMod << 5) | (UseRjf << 4) |
+  /// (Gated << 3) | (Fsa << 2) | (Ogvn << 1) | Copy.
   std::mutex JfMutex;
-  std::unique_ptr<JfBase> JfBases[32];
+  std::unique_ptr<JfBase> JfBases[64];
 
   ValueContextMemo VcMemo;
 

@@ -1,0 +1,114 @@
+//===- ipcp/CopyLattice.h - Copy-propagation lattice ------------*- C++ -*-===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four-point lattice the copy-propagation analysis (analysis/CopyProp)
+/// computes over array cells, sitting alongside the constant lattice
+/// (ipcp/Lattice.h) the solver runs on:
+///
+///               TOP           (cell not yet reached)
+///       Copy(sym)   Const(c)  (cell provably holds the entry value of a
+///                              stable symbol / the literal c)
+///             BOTTOM          (cell may hold anything)
+///
+/// Copy(sym) is the element the constant lattice cannot express: "this
+/// location holds whatever \p sym held at procedure entry". Jump functions
+/// carry it interprocedurally (JumpFunction::Form::Copy), so the solver
+/// rewrites copy chains down to their ultimate constant — Sreekala/Paleri's
+/// observation that copy propagation subsumes constant propagation, realized
+/// inside the paper's jump-function framework.
+///
+/// The meet is the standard must-analysis meet: TOP is the identity, equal
+/// elements meet to themselves, everything else falls to BOTTOM. Distinct
+/// Copy symbols never meet to a common copy (their entry values may differ),
+/// and Copy(s) never meets Const(c) even if s is later proven to be c — that
+/// discovery belongs to the solver, not the dataflow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_IPCP_COPYLATTICE_H
+#define IPCP_IPCP_COPYLATTICE_H
+
+#include "lang/Sema.h"
+
+#include <cstdint>
+
+namespace ipcp {
+
+/// One element of the copy lattice.
+class CopyValue {
+public:
+  enum class Kind : uint8_t { Top, Copy, Const, Bottom };
+
+  CopyValue() = default;
+
+  static CopyValue top() { return CopyValue(); }
+  static CopyValue bottom() {
+    CopyValue V;
+    V.K = Kind::Bottom;
+    return V;
+  }
+  static CopyValue constant(int64_t C) {
+    CopyValue V;
+    V.K = Kind::Const;
+    V.Value = C;
+    return V;
+  }
+  static CopyValue copyOf(SymbolId Sym) {
+    CopyValue V;
+    V.K = Kind::Copy;
+    V.Sym = Sym;
+    return V;
+  }
+
+  bool isTop() const { return K == Kind::Top; }
+  bool isBottom() const { return K == Kind::Bottom; }
+  bool isConst() const { return K == Kind::Const; }
+  bool isCopy() const { return K == Kind::Copy; }
+  /// True for the two informative elements a fact can be published from.
+  bool isResolved() const { return isConst() || isCopy(); }
+
+  int64_t constValue() const { return Value; }
+  SymbolId copySym() const { return Sym; }
+
+  friend bool operator==(const CopyValue &A, const CopyValue &B) {
+    if (A.K != B.K)
+      return false;
+    switch (A.K) {
+    case Kind::Const:
+      return A.Value == B.Value;
+    case Kind::Copy:
+      return A.Sym == B.Sym;
+    case Kind::Top:
+    case Kind::Bottom:
+      return true;
+    }
+    return false;
+  }
+  friend bool operator!=(const CopyValue &A, const CopyValue &B) {
+    return !(A == B);
+  }
+
+  /// Lattice meet (greatest lower bound).
+  static CopyValue meet(const CopyValue &A, const CopyValue &B) {
+    if (A.isTop())
+      return B;
+    if (B.isTop())
+      return A;
+    if (A == B)
+      return A;
+    return bottom();
+  }
+
+private:
+  Kind K = Kind::Top;
+  SymbolId Sym = InvalidSymbol; ///< For Copy.
+  int64_t Value = 0;            ///< For Const.
+};
+
+} // namespace ipcp
+
+#endif // IPCP_IPCP_COPYLATTICE_H

@@ -100,6 +100,10 @@ std::unique_ptr<JfExpr> JfExpr::fromVn(const VnExpr *E, bool AllowGated) {
     Out->Kind = Node::Param;
     Out->Param = E->Param;
     break;
+  case VnKind::CopyOf:
+    Out->Kind = Node::Copy;
+    Out->Param = E->Param;
+    break;
   case VnKind::Unary:
     Out->Kind = Node::Unary;
     Out->UOp = E->UOp;
@@ -155,6 +159,7 @@ JfExpr::eval(const std::function<LatticeValue(SymbolId)> &Env) const {
   case Node::Const:
     return LatticeValue::constant(ConstValue);
   case Node::Param:
+  case Node::Copy:
     return Env(Param);
   case Node::Unary: {
     LatticeValue V = Lhs->eval(Env);
@@ -194,6 +199,7 @@ void JfExpr::collectSupport(std::vector<SymbolId> &Support) const {
   case Node::Const:
     return;
   case Node::Param:
+  case Node::Copy:
     for (SymbolId S : Support)
       if (S == Param)
         return;
@@ -225,6 +231,11 @@ void JfExpr::appendFingerprint(std::string &Out) const {
     return;
   case Node::Param:
     Out += 'p';
+    Out += std::to_string(Param);
+    Out += ';';
+    return;
+  case Node::Copy:
+    Out += 'k';
     Out += std::to_string(Param);
     Out += ';';
     return;
@@ -282,6 +293,11 @@ std::unique_ptr<JfExpr> JfExpr::parseFp(std::string_view &T,
     return Out;
   case 'p':
     Out->Kind = Node::Param;
+    if (!consumeSymbol(T, Out->Param, Error))
+      return nullptr;
+    return Out;
+  case 'k':
+    Out->Kind = Node::Copy;
     if (!consumeSymbol(T, Out->Param, Error))
       return nullptr;
     return Out;
@@ -352,6 +368,8 @@ std::string JfExpr::str(const SymbolTable &Symbols) const {
     return std::to_string(ConstValue);
   case Node::Param:
     return Symbols.symbol(Param).Name;
+  case Node::Copy:
+    return "copy(" + Symbols.symbol(Param).Name + ")";
   case Node::Unary:
     return std::string(unaryOpSpelling(UOp)) + "(" + Lhs->str(Symbols) + ")";
   case Node::Binary:
@@ -393,6 +411,14 @@ JumpFunction JumpFunction::polynomial(std::unique_ptr<JfExpr> Expr) {
   return J;
 }
 
+JumpFunction JumpFunction::copyOf(SymbolId Sym) {
+  JumpFunction J;
+  J.F = Form::Copy;
+  J.Pass = Sym;
+  J.Support = {Sym};
+  return J;
+}
+
 int64_t JumpFunction::constValue() const {
   assert(F == Form::Const && "constValue() on a non-constant jump function");
   return ConstValue;
@@ -421,6 +447,11 @@ JumpFunction JumpFunction::classify(JumpFunctionKind Kind, const VnExpr *E,
   // Pass-through: an entry parameter transmitted unmodified (§3.1.3).
   if (E->isParam())
     return passThrough(E->Param);
+  // Copy lattice: an array cell proven to hold the entry value of one
+  // caller parameter. CopyOf expressions only exist when the copy
+  // propagation is on, so classic configurations are byte-unaffected.
+  if (E->isCopyOf())
+    return copyOf(E->Param);
   if (Kind == JumpFunctionKind::PassThrough)
     return bottom();
 
@@ -443,6 +474,7 @@ JumpFunction::eval(const std::function<LatticeValue(SymbolId)> &Env) const {
   case Form::Const:
     return LatticeValue::constant(ConstValue);
   case Form::PassThrough:
+  case Form::Copy:
     return Env(Pass);
   case Form::Poly:
     return Expr->eval(Env);
@@ -462,6 +494,11 @@ void JumpFunction::appendFingerprint(std::string &Out) const {
     return;
   case Form::PassThrough:
     Out += 'P';
+    Out += std::to_string(Pass);
+    Out += ';';
+    return;
+  case Form::Copy:
+    Out += 'K';
     Out += std::to_string(Pass);
     Out += ';';
     return;
@@ -499,6 +536,13 @@ bool JumpFunction::parseFingerprint(std::string_view Text, JumpFunction &Out,
     Parsed = passThrough(Sym);
     break;
   }
+  case 'K': {
+    SymbolId Sym = InvalidSymbol;
+    if (!consumeSymbol(T, Sym, Error))
+      return false;
+    Parsed = copyOf(Sym);
+    break;
+  }
   case 'Y': {
     auto E = JfExpr::parseFingerprint(T, Error);
     if (!E)
@@ -526,6 +570,8 @@ std::string JumpFunction::str(const SymbolTable &Symbols) const {
     return std::to_string(ConstValue);
   case Form::PassThrough:
     return "passthrough(" + Symbols.symbol(Pass).Name + ")";
+  case Form::Copy:
+    return "copy(" + Symbols.symbol(Pass).Name + ")";
   case Form::Poly:
     return "poly(" + Expr->str(Symbols) + ")";
   }

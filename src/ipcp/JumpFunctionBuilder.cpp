@@ -6,6 +6,7 @@
 
 #include "ipcp/JumpFunctionBuilder.h"
 
+#include "analysis/CopyProp.h"
 #include "analysis/FlowAlias.h"
 #include "ipcp/AnalysisSession.h"
 #include "ir/Dominators.h"
@@ -177,6 +178,7 @@ struct BuildContext {
   const KillValueFn *VnKillFnPtr;
   const RefAliasInfo *Aliases;
   const FlowAliasInfo *FlowAliases;
+  const CopyPropInfo *CopyFacts;
   ProgramJumpFunctions &Jfs;
   AnalysisSession *Session;
 
@@ -186,7 +188,8 @@ struct BuildContext {
 
   /// The precision options of procedure \p P's numbering: in
   /// flow-sensitive mode the per-point dirty facts replace the
-  /// whole-procedure mask (at most one of the two is set).
+  /// whole-procedure mask (at most one of the two is set); copy facts
+  /// compose with either.
   VnPrecision precision(ProcId P) const {
     VnPrecision Prec;
     if (Opts.FlowSensitiveAlias && FlowAliases)
@@ -194,6 +197,8 @@ struct BuildContext {
     else
       Prec.Unstable = unstableMask(P);
     Prec.Optimistic = Opts.OptimisticVn;
+    if (Opts.CopyPropagation && CopyFacts)
+      Prec.Copy = &CopyFacts->proc(P);
     return Prec;
   }
 };
@@ -338,6 +343,9 @@ JumpFunctionStats buildForwardJfsForProc(const BuildContext &BC, ProcId P,
       Stats.MaxPolySupport =
           std::max(Stats.MaxPolySupport, J.support().size());
       break;
+    case JumpFunction::Form::Copy:
+      ++Stats.NumForwardCopy;
+      break;
     case JumpFunction::Form::Bottom:
       ++Stats.NumForwardBottom;
       break;
@@ -426,7 +434,8 @@ void buildJfBase(AnalysisSession::JfBase &B, const Module &M,
                  const SymbolTable &Symbols, const CallGraph &CG,
                  const ModRefInfo *MRI, const JumpFunctionOptions &Opts,
                  const RefAliasInfo *Aliases, const FlowAliasInfo *FlowAliases,
-                 ThreadPool *Pool, AnalysisSession *Session) {
+                 const CopyPropInfo *CopyFacts, ThreadPool *Pool,
+                 AnalysisSession *Session) {
   B.Skeleton.Options = Opts;
   B.Skeleton.PerSite.resize(M.Functions.size());
   B.Skeleton.ReturnJfs.resize(M.Functions.size());
@@ -437,7 +446,7 @@ void buildJfBase(AnalysisSession::JfBase &B, const Module &M,
   const KillValueFn *VnKillFnPtr =
       Opts.UseReturnJumpFunctions ? &VnKillFn : nullptr;
   BuildContext BC{M,           Symbols, CG,          MRI,        Opts,
-                  KillOracle,  VnKillFnPtr, Aliases, FlowAliases,
+                  KillOracle,  VnKillFnPtr, Aliases, FlowAliases, CopyFacts,
                   B.Skeleton,  Session};
 
   if (Opts.UseReturnJumpFunctions) {
@@ -472,6 +481,7 @@ void foldStats(JumpFunctionStats &Into, const JumpFunctionStats &S) {
   Into.NumForwardPassThrough += S.NumForwardPassThrough;
   Into.NumForwardPoly += S.NumForwardPoly;
   Into.NumForwardBottom += S.NumForwardBottom;
+  Into.NumForwardCopy += S.NumForwardCopy;
   Into.TotalPolySupport += S.TotalPolySupport;
   Into.MaxPolySupport = std::max(Into.MaxPolySupport, S.MaxPolySupport);
   Into.NumReturn += S.NumReturn;
@@ -487,11 +497,13 @@ ProgramJumpFunctions ipcp::buildJumpFunctions(
     const Module &M, const SymbolTable &Symbols, const CallGraph &CG,
     const ModRefInfo *MRI, const JumpFunctionOptions &Opts,
     const RefAliasInfo *Aliases, ThreadPool *Pool, AnalysisSession *Session,
-    const FlowAliasInfo *FlowAliases) {
+    const FlowAliasInfo *FlowAliases, const CopyPropInfo *CopyFacts) {
   assert((Opts.UseMod == (MRI != nullptr)) &&
          "MOD info must be supplied exactly when UseMod is set");
   assert((!Opts.FlowSensitiveAlias || FlowAliases || !Aliases) &&
          "flow-sensitive mode needs the flow alias facts");
+  assert((!Opts.CopyPropagation || CopyFacts) &&
+         "copy mode needs the copy propagation facts");
 
   ProgramJumpFunctions Jfs;
   Jfs.Options = Opts;
@@ -511,8 +523,8 @@ ProgramJumpFunctions ipcp::buildJumpFunctions(
   const AnalysisSession::JfBase *Base = nullptr;
   if (Session) {
     Base = &Session->jfBase(Opts, [&](AnalysisSession::JfBase &B) {
-      buildJfBase(B, M, Symbols, CG, MRI, Opts, Aliases, FlowAliases, Pool,
-                  Session);
+      buildJfBase(B, M, Symbols, CG, MRI, Opts, Aliases, FlowAliases,
+                  CopyFacts, Pool, Session);
     });
     for (size_t P = 0, E = Base->Skeleton.ReturnJfs.size(); P != E; ++P)
       for (const auto &[Sym, J] : Base->Skeleton.ReturnJfs[P])
@@ -532,8 +544,8 @@ ProgramJumpFunctions ipcp::buildJumpFunctions(
   const KillValueFn *VnKillFnPtr = UseRjf ? &VnKillFn : nullptr;
 
   BuildContext BC{M,           Symbols, CG,          MRI,         Opts,
-                  *KillOracle, VnKillFnPtr, Aliases, FlowAliases, Jfs,
-                  Session};
+                  *KillOracle, VnKillFnPtr, Aliases, FlowAliases, CopyFacts,
+                  Jfs,         Session};
 
   // Stage 1: return jump functions, bottom-up so callee RJFs are ready
   // when a caller's value numbering wants them. Within a recursive SCC

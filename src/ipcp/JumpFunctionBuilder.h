@@ -41,6 +41,7 @@
 
 namespace ipcp {
 class AnalysisSession;
+class CopyPropInfo;
 class FlowAliasInfo;
 class ThreadPool;
 }
@@ -70,6 +71,12 @@ struct JumpFunctionOptions {
   /// inputs and re-evaluate to a fixpoint, recovering merges the single
   /// pass gives up on. Strictly refines the pessimistic numbering.
   bool OptimisticVn = false;
+  /// Run the copy lattice (ipcp/CopyLattice.h, analysis/CopyProp.h):
+  /// array loads whose cell provably holds a literal or the entry value
+  /// of a stable parameter resolve instead of staying Opaque, and jump
+  /// functions carry the recovered facts as Form::Copy / Copy leaves.
+  /// Strictly refines every kind above IntraConst; byte-identical off.
+  bool CopyPropagation = false;
 };
 
 /// Aggregate statistics over one generation run (feeds the §3.1.5 cost
@@ -80,6 +87,8 @@ struct JumpFunctionStats {
   size_t NumForwardPassThrough = 0;
   size_t NumForwardPoly = 0;
   size_t NumForwardBottom = 0;
+  /// Copy propagation only: forward functions of Form::Copy.
+  size_t NumForwardCopy = 0;
   size_t TotalPolySupport = 0;
   size_t MaxPolySupport = 0;
   size_t NumReturn = 0;
@@ -164,6 +173,8 @@ public:
 /// rebuilds the numbering of recursive procedures, whose stage-1
 /// numbering saw an incomplete view of their SCC's return jump
 /// functions. The result is byte-identical to the session-less build.
+/// With Opts.CopyPropagation, \p CopyFacts must be non-null; value
+/// numbering then resolves the loads the copy lattice proves.
 ProgramJumpFunctions buildJumpFunctions(const Module &M,
                                         const SymbolTable &Symbols,
                                         const CallGraph &CG,
@@ -173,6 +184,8 @@ ProgramJumpFunctions buildJumpFunctions(const Module &M,
                                         ThreadPool *Pool = nullptr,
                                         AnalysisSession *Session = nullptr,
                                         const FlowAliasInfo *FlowAliases =
+                                            nullptr,
+                                        const CopyPropInfo *CopyFacts =
                                             nullptr);
 
 /// Partitions \p Order (a serial processing order over procedures) into

@@ -6,6 +6,7 @@
 
 #include "ipcp/Pipeline.h"
 
+#include "analysis/CopyProp.h"
 #include "ipcp/AnalysisSession.h"
 #include "ir/CfgBuilder.h"
 #include "lang/AstPrinter.h"
@@ -155,6 +156,14 @@ ipcp::runPipelineOnSession(AnalysisSession &Session,
       FlowAliases = &Session.flowAlias(Opts.UseMod);
       Result.AliasPointsRefined = FlowAliases->numRefinedPoints();
     }
+    // Copy propagation strictly refines every configuration: loads the
+    // copy lattice resolves stop reading as unknown in both the jump
+    // functions and the substitution SCCP below.
+    const CopyPropInfo *CopyFacts = nullptr;
+    if (Opts.CopyPropagation) {
+      CopyFacts = &Session.copyProp(Opts.UseMod);
+      Result.CopyLoadsResolved = CopyFacts->numResolvedLoads();
+    }
     Result.Timings.LowerMs += lapMs(Phase);
 
     ProgramJumpFunctions Jfs;
@@ -172,8 +181,9 @@ ipcp::runPipelineOnSession(AnalysisSession &Session,
         JfOpts.UseGatedSsa = Opts.UseGatedSsa;
         JfOpts.FlowSensitiveAlias = Opts.FlowSensitiveAlias;
         JfOpts.OptimisticVn = Opts.OptimisticVn;
+        JfOpts.CopyPropagation = Opts.CopyPropagation;
         Jfs = buildJumpFunctions(M, Symbols, CG, MRI, JfOpts, &Aliases, Pool,
-                                 &Session, FlowAliases);
+                                 &Session, FlowAliases, CopyFacts);
       }
       Result.Timings.JumpFunctionsMs += lapMs(Phase);
       if (isCancelled(Opts.Cancel))
@@ -192,7 +202,7 @@ ipcp::runPipelineOnSession(AnalysisSession &Session,
     SubstitutionResult Subs = countSubstitutions(
         M, Symbols, CG, Opts.IntraproceduralOnly ? nullptr : &Solve, MRI,
         UseRjfInSccp ? ActiveJfs : nullptr, &Aliases, Pool, &Session,
-        FlowAliases);
+        FlowAliases, CopyFacts);
     Result.Timings.SubstituteMs += lapMs(Phase);
 
     bool FinalRound = true;
@@ -218,6 +228,7 @@ ipcp::runPipelineOnSession(AnalysisSession &Session,
     Result.PerProcSubstituted = Subs.PerProc;
     Result.JfStats = ActiveJfs->Stats;
     Result.GvnPhiMerges = ActiveJfs->Stats.NumGvnPhiMerges;
+    Result.CopyForwardJfs = ActiveJfs->Stats.NumForwardCopy;
     Result.SolverProcVisits = Solve.ProcVisits;
     Result.SolverJfEvaluations = Solve.JfEvaluations;
     Result.SolverCellLowerings = Solve.CellLowerings;

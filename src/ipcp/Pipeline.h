@@ -63,6 +63,13 @@ struct PipelineOptions {
   /// iterate to a fixpoint. Never loses a constant relative to the
   /// pessimistic pass.
   bool OptimisticVn = false;
+  /// Interprocedural copy propagation (ipcp/CopyLattice.h,
+  /// analysis/CopyProp.h): array loads whose cell provably holds a
+  /// literal or the entry value of a stable parameter resolve instead of
+  /// staying unknown, and jump functions carry the recovered facts as
+  /// copy forms through call sites, returns, and globals. Never loses a
+  /// constant relative to the same configuration without it.
+  bool CopyPropagation = false;
   /// Convergence bound for CompletePropagation: the maximum number of
   /// propagate/DCE rounds before the pipeline gives up with Result.Error
   /// set (a real runtime check, not an assertion — it must hold in
@@ -171,6 +178,13 @@ struct PipelineResult {
   /// OptimisticVn only: phi merges the pessimistic pass would have given
   /// up on that converged to a usable value (JfStats.NumGvnPhiMerges).
   size_t GvnPhiMerges = 0;
+  /// CopyPropagation only: array loads the copy lattice resolved to a
+  /// literal or a stable symbol's entry value, program-wide under the
+  /// active MOD setting (analysis/CopyProp.h).
+  size_t CopyLoadsResolved = 0;
+  /// CopyPropagation only: forward jump functions classified Form::Copy
+  /// (JfStats.NumForwardCopy).
+  size_t CopyForwardJfs = 0;
 
   /// VarRefExpr id -> proven constant, for every substituted use. Keyed
   /// on the analyzed AST, so only meaningful to callers that hold it

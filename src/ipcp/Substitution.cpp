@@ -6,6 +6,7 @@
 
 #include "ipcp/Substitution.h"
 
+#include "analysis/CopyProp.h"
 #include "analysis/FlowAlias.h"
 #include "analysis/Sccp.h"
 #include "ipcp/AnalysisSession.h"
@@ -33,7 +34,8 @@ ProcSubstitutions countProc(const Module &M, const SymbolTable &Symbols,
                             const SsaForm::KillOracle &KillOracle,
                             const SccpKillFn *KillFnPtr,
                             const RefAliasInfo *Aliases,
-                            const FlowAliasInfo *FlowAliases, ProcId P,
+                            const FlowAliasInfo *FlowAliases,
+                            const CopyPropInfo *CopyFacts, ProcId P,
                             const SsaForm *CachedSsa) {
   ProcSubstitutions Out;
   const Function &F = M.function(P);
@@ -56,7 +58,8 @@ ProcSubstitutions countProc(const Module &M, const SymbolTable &Symbols,
   Sccp Analysis(Ssa, Symbols, Solve ? &Seeds : nullptr, KillFnPtr,
                 FlowAliases ? nullptr
                             : (Aliases ? &Aliases->unstableMask(P) : nullptr),
-                FlowAliases ? &FlowAliases->proc(P) : nullptr);
+                FlowAliases ? &FlowAliases->proc(P) : nullptr,
+                CopyFacts ? &CopyFacts->proc(P) : nullptr);
 
   for (BlockId B = 0, BE = static_cast<BlockId>(F.numBlocks()); B != BE;
        ++B) {
@@ -111,7 +114,7 @@ SubstitutionResult ipcp::countSubstitutions(
     const SolveResult *Solve, const ModRefInfo *MRI,
     const ProgramJumpFunctions *Jfs, const RefAliasInfo *Aliases,
     ThreadPool *Pool, AnalysisSession *Session,
-    const FlowAliasInfo *FlowAliases) {
+    const FlowAliasInfo *FlowAliases, const CopyPropInfo *CopyFacts) {
   SubstitutionResult Result;
   Result.PerProc.assign(M.Functions.size(), 0);
 
@@ -133,7 +136,8 @@ SubstitutionResult ipcp::countSubstitutions(
     const SsaForm *CachedSsa =
         Session ? &Session->ssa(Order[I], MRI != nullptr).Ssa : nullptr;
     PerProc[I] = countProc(M, Symbols, Solve, KillOracle, KillFnPtr,
-                           Aliases, FlowAliases, Order[I], CachedSsa);
+                           Aliases, FlowAliases, CopyFacts, Order[I],
+                           CachedSsa);
   });
 
   for (size_t I = 0; I != Order.size(); ++I) {

@@ -37,6 +37,7 @@
 
 namespace ipcp {
 class AnalysisSession;
+class CopyPropInfo;
 class FlowAliasInfo;
 
 /// Outcome of the substitution pass over one program.
@@ -80,6 +81,12 @@ struct SubstitutionResult {
 /// form come from the session's per-procedure cache (keyed by MOD
 /// presence, which the kill oracle depends on) instead of being rebuilt;
 /// the result is byte-identical either way.
+///
+/// With a non-null \p CopyFacts each procedure's SCCP run consumes the
+/// copy-propagation facts (analysis/CopyProp.h): array loads whose cell
+/// provably holds a literal or the (seeded) entry value of a stable
+/// symbol resolve instead of going BOTTOM — the substitution-side half
+/// of --copy.
 SubstitutionResult countSubstitutions(const Module &M,
                                       const SymbolTable &Symbols,
                                       const CallGraph &CG,
@@ -90,6 +97,8 @@ SubstitutionResult countSubstitutions(const Module &M,
                                       ThreadPool *Pool = nullptr,
                                       AnalysisSession *Session = nullptr,
                                       const FlowAliasInfo *FlowAliases =
+                                          nullptr,
+                                      const CopyPropInfo *CopyFacts =
                                           nullptr);
 
 } // namespace ipcp

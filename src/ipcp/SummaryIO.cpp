@@ -30,7 +30,8 @@ bool ipcp::sameJumpFunctionOptions(const JumpFunctionOptions &A,
          A.UseReturnJumpFunctions == B.UseReturnJumpFunctions &&
          A.UseMod == B.UseMod && A.UseGatedSsa == B.UseGatedSsa &&
          A.FlowSensitiveAlias == B.FlowSensitiveAlias &&
-         A.OptimisticVn == B.OptimisticVn;
+         A.OptimisticVn == B.OptimisticVn &&
+         A.CopyPropagation == B.CopyPropagation;
 }
 
 const char *ipcp::jumpFunctionKindToken(JumpFunctionKind K) {
@@ -106,6 +107,9 @@ void tallyForward(const JumpFunction &J, JumpFunctionStats &S) {
     S.TotalPolySupport += J.support().size();
     S.MaxPolySupport = std::max(S.MaxPolySupport, J.support().size());
     break;
+  case JumpFunction::Form::Copy:
+    ++S.NumForwardCopy;
+    break;
   }
 }
 
@@ -116,6 +120,10 @@ JsonValue statsJson(const JumpFunctionStats &S) {
   J.set("forward_pass", uint64_t(S.NumForwardPassThrough));
   J.set("forward_poly", uint64_t(S.NumForwardPoly));
   J.set("forward_bottom", uint64_t(S.NumForwardBottom));
+  // Elided at zero so pre-copy summaries keep their exact byte layout
+  // (the stats block is compared as a dumped string on load).
+  if (S.NumForwardCopy)
+    J.set("forward_copy", uint64_t(S.NumForwardCopy));
   J.set("poly_support_total", uint64_t(S.TotalPolySupport));
   J.set("poly_support_max", uint64_t(S.MaxPolySupport));
   J.set("returns", uint64_t(S.NumReturn));
@@ -228,6 +236,10 @@ JumpFunctionStats ipcp::summaryStats(const ProgramSummary &S) {
       case JumpFunction::Form::Bottom:
         ++Out.NumReturnBottom;
         break;
+      case JumpFunction::Form::Copy:
+        // Matches the builder: a copy-form return counts as polynomial.
+        ++Out.NumReturnPoly;
+        break;
       case JumpFunction::Form::PassThrough:
         break; // Counted in NumReturn only.
       }
@@ -254,6 +266,8 @@ std::string ipcp::serializeSummary(const ProgramSummary &S) {
     Cfg.set("fsa", JsonValue(true));
   if (S.Options.OptimisticVn)
     Cfg.set("ogvn", JsonValue(true));
+  if (S.Options.CopyPropagation)
+    Cfg.set("copy", JsonValue(true));
   Doc.set("config", std::move(Cfg));
 
   Doc.set("num_procs", uint64_t(S.NumProcs));
@@ -347,8 +361,8 @@ bool ipcp::parseSummary(std::string_view Text, ProgramSummary &Out,
     Error = "summary 'config' must be an object";
     return false;
   }
-  if (!checkKeysOpt(*Cfg, {"jf", "rjf", "mod", "gsa"}, {"fsa", "ogvn"},
-                    "config", Error))
+  if (!checkKeysOpt(*Cfg, {"jf", "rjf", "mod", "gsa"},
+                    {"fsa", "ogvn", "copy"}, "config", Error))
     return false;
   const JsonValue *Jf = Cfg->find("jf");
   if (!Jf->isString() || !parseKindToken(Jf->str(), S.Options.Kind)) {
@@ -367,7 +381,8 @@ bool ipcp::parseSummary(std::string_view Text, ProgramSummary &Out,
   S.Options.UseGatedSsa = Cfg->find("gsa")->boolean();
   if (!parseOptBool(*Cfg, "fsa", S.Options.FlowSensitiveAlias, "config",
                     Error) ||
-      !parseOptBool(*Cfg, "ogvn", S.Options.OptimisticVn, "config", Error))
+      !parseOptBool(*Cfg, "ogvn", S.Options.OptimisticVn, "config", Error) ||
+      !parseOptBool(*Cfg, "copy", S.Options.CopyPropagation, "config", Error))
     return false;
 
   const JsonValue *NumProcs = Doc->find("num_procs");
@@ -565,9 +580,11 @@ ProgramSummary ipcp::buildSummary(AnalysisSession &Session,
   const RefAliasInfo &Aliases = Session.refAlias(Opts.UseMod);
   const FlowAliasInfo *FlowAliases =
       Opts.FlowSensitiveAlias ? &Session.flowAlias(Opts.UseMod) : nullptr;
+  const CopyPropInfo *CopyFacts =
+      Opts.CopyPropagation ? &Session.copyProp(Opts.UseMod) : nullptr;
   ProgramJumpFunctions Jfs =
       buildJumpFunctions(M, Session.symbols(), CG, MRI, Opts, &Aliases, Pool,
-                         &Session, FlowAliases);
+                         &Session, FlowAliases, CopyFacts);
   return makeSummary(std::move(ProgramName), SourceHash, M, Session.symbols(),
                      CG, Jfs, &Aliases);
 }

@@ -124,7 +124,7 @@ bool parseConfig(const JsonValue &Cfg, PipelineOptions &Opts,
       }
     } else if (Key == "rjf" || Key == "mod" || Key == "complete" ||
                Key == "gsa" || Key == "fsa" || Key == "ogvn" ||
-               Key == "intra_only") {
+               Key == "copy" || Key == "intra_only") {
       if (!V.isBool()) {
         Error = "config." + Key + " must be a boolean";
         return false;
@@ -142,6 +142,8 @@ bool parseConfig(const JsonValue &Cfg, PipelineOptions &Opts,
         Opts.FlowSensitiveAlias = B;
       else if (Key == "ogvn")
         Opts.OptimisticVn = B;
+      else if (Key == "copy")
+        Opts.CopyPropagation = B;
       else
         Opts.IntraproceduralOnly = B;
     } else {
@@ -305,6 +307,8 @@ std::string ipcp::configKey(const PipelineOptions &Opts,
   Key += Opts.FlowSensitiveAlias ? '1' : '0';
   Key += " ogvn=";
   Key += Opts.OptimisticVn ? '1' : '0';
+  Key += " copy=";
+  Key += Opts.CopyPropagation ? '1' : '0';
   Key += " intra=";
   Key += Opts.IntraproceduralOnly ? '1' : '0';
   Key += " strategy=";
@@ -423,6 +427,8 @@ std::string ipcp::serializeServeRequest(const ServeRequest &Req) {
       Cfg.set("fsa", JsonValue(true));
     if (Req.Config.OptimisticVn)
       Cfg.set("ogvn", JsonValue(true));
+    if (Req.Config.CopyPropagation)
+      Cfg.set("copy", JsonValue(true));
     Cfg.set("intra_only", JsonValue(Req.Config.IntraproceduralOnly));
     Cfg.set("strategy", strategyToken(Req.Config.Strategy));
     Params.set("config", std::move(Cfg));

@@ -26,6 +26,7 @@ std::string ipcp::renderAnalysisReport(const PipelineOptions &Opts,
      << (Opts.UseGatedSsa ? ", gated SSA" : "")
      << (Opts.FlowSensitiveAlias ? ", flow-sensitive aliasing" : "")
      << (Opts.OptimisticVn ? ", optimistic GVN" : "")
+     << (Opts.CopyPropagation ? ", copy propagation" : "")
      << (Opts.IntraproceduralOnly ? " [intraprocedural only]" : "") << "\n";
   OS << "constants substituted: " << Result.SubstitutedConstants << "\n";
   if (Opts.CompletePropagation)
@@ -62,6 +63,9 @@ std::string ipcp::renderAnalysisReport(const PipelineOptions &Opts,
       OS << "  alias points refined: " << Result.AliasPointsRefined << "\n";
     if (Opts.OptimisticVn)
       OS << "  optimistic GVN phi merges: " << Result.GvnPhiMerges << "\n";
+    if (Opts.CopyPropagation)
+      OS << "  copy loads resolved: " << Result.CopyLoadsResolved << " ("
+         << Result.CopyForwardJfs << " copy forward JFs)\n";
   }
 
   for (size_t P = 0; P != Result.Constants.size(); ++P) {

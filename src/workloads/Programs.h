@@ -32,6 +32,11 @@ WorkloadProgram makeSnasa7();
 WorkloadProgram makeSpec77();
 WorkloadProgram makeTrfd();
 
+// The copy-stressing families (no paper rows; see ProgramsCopy.cpp).
+WorkloadProgram makeCopyChains();
+WorkloadProgram makeDeepDiameter();
+WorkloadProgram makeWideFanout();
+
 } // namespace workloads
 } // namespace ipcp
 

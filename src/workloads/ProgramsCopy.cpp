@@ -1,0 +1,229 @@
+//===- workloads/ProgramsCopy.cpp - copychains, deepdiameter, widefanout --===//
+//
+// Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The copy-stressing workload families. Unlike the twelve paper
+/// programs these have no Tables 2/3 rows (every Paper number is -1);
+/// they exist to exercise the copy lattice: scalar values relayed
+/// through array cells that the classic framework declares permanently
+/// opaque (docs/LANGUAGE.md, limitation 2). Each family plants both
+/// copy-only idioms and classic-visible baselines, so every
+/// configuration column is non-zero and the copy columns strictly
+/// dominate their base columns (the golden table pins the exact cells).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/ProgramGen.h"
+#include "workloads/Programs.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace ipcp;
+using namespace ipcp::workloads;
+
+namespace {
+
+PaperNumbers noPaperRow() { return {-1, -1, -1, -1, -1, -1, -1, -1, -1}; }
+
+/// A leaf consumer procedure using its formal \p Uses times.
+std::string consumer(ProgramGen &G, int Uses) {
+  std::string P = G.fresh("use");
+  std::ostringstream OS;
+  OS << "proc " << P << "(p)\n";
+  std::vector<std::string> Lines;
+  ProgramGen::emitUses(Lines, "p", Uses);
+  for (const auto &L : Lines)
+    OS << L << '\n';
+  OS << "end\n";
+  G.addProc(OS.str());
+  return P;
+}
+
+/// A relay chain of \p Depth procedures, each stashing its formal into a
+/// local array cell and forwarding the *cell*:
+///
+///   proc relay_d(x)        ! d < Depth
+///     array buf(8)
+///     buf(1) = x
+///     print x + d          ! countable wherever x is constant
+///     call relay_{d+1}(buf(1))
+///   end
+///
+/// The buf(1) actual is an opaque load classically, so every
+/// configuration without the copy lattice loses the constant at the
+/// first hop; with it the whole chain folds to the root literal \p Val
+/// and the innermost procedure's \p UsesInner uses count.
+void cellRelayChain(ProgramGen &G, int64_t Val, int Depth, int UsesInner) {
+  std::string Base = G.fresh("relay");
+  for (int D = 1; D <= Depth; ++D) {
+    std::ostringstream OS;
+    OS << "proc " << Base << "_" << D << "(x)\n";
+    if (D < Depth) {
+      OS << "  array buf(8)\n"
+         << "  buf(1) = x\n"
+         << "  print x + " << D << "\n"
+         << "  call " << Base << "_" << D + 1 << "(buf(1))\n";
+    } else {
+      std::vector<std::string> Lines;
+      ProgramGen::emitUses(Lines, "x", UsesInner);
+      for (const auto &L : Lines)
+        OS << L << '\n';
+    }
+    OS << "end\n";
+    G.addProc(OS.str());
+  }
+  G.addMainStmt("call " + Base + "_1(" + std::to_string(Val) + ")");
+}
+
+/// A literal stashed into a local cell, used in-procedure, and handed to
+/// a consumer — the pure Const(c) cell fact, independent of any scalar's
+/// stability. Counts \p Uses + 1 only under the copy lattice.
+void constCellHandoff(ProgramGen &G, int64_t Val, int Uses) {
+  std::string Use = consumer(G, Uses);
+  std::string Host = G.fresh("cch");
+  std::ostringstream OS;
+  OS << "proc " << Host << "()\n"
+     << "  array c(4)\n"
+     << "  c(2) = " << Val << "\n"
+     << "  print c(2) + 1\n"
+     << "  call " << Use << "(c(2))\n"
+     << "end\n";
+  G.addProc(OS.str());
+  G.addMainStmt("call " + Host + "()");
+}
+
+/// A chain of \p Depth procedures alternating direct formal forwarding
+/// (even levels — classic pass-through sees through these) with
+/// cell-mediated relays (odd levels — copy lattice only). Classic
+/// configurations lose the root constant at the first odd hop; the copy
+/// tier carries it the whole way down.
+void mixedDepthChain(ProgramGen &G, int64_t Val, int Depth, int UsesInner) {
+  std::string Base = G.fresh("deep");
+  for (int D = 1; D <= Depth; ++D) {
+    std::ostringstream OS;
+    OS << "proc " << Base << "_" << D << "(x)\n";
+    if (D < Depth) {
+      if (D % 2) {
+        OS << "  array t(4)\n"
+           << "  t(1) = x\n"
+           << "  call " << Base << "_" << D + 1 << "(t(1))\n";
+      } else {
+        OS << "  print x - " << D << "\n"
+           << "  call " << Base << "_" << D + 1 << "(x)\n";
+      }
+    } else {
+      std::vector<std::string> Lines;
+      ProgramGen::emitUses(Lines, "x", UsesInner);
+      for (const auto &L : Lines)
+        OS << L << '\n';
+    }
+    OS << "end\n";
+    G.addProc(OS.str());
+  }
+  G.addMainStmt("call " + Base + "_1(" + std::to_string(Val) + ")");
+}
+
+/// A hub bound to a literal, fanning out to \p Leaves consumers with a
+/// rotation of actual shapes: a copy-of-x cell, a constant cell, the
+/// formal itself, and a fresh literal. The two cell shapes count only
+/// under the copy lattice; the other two are classic baselines, so the
+/// fan-out mixes constant and copy actuals the way the issue asks.
+void fanoutHub(ProgramGen &G, int64_t Val, int Leaves, int UsesEach) {
+  std::string Hub = G.fresh("hub");
+  std::ostringstream OS;
+  OS << "proc " << Hub << "(x)\n"
+     << "  array h(8)\n"
+     << "  h(1) = x\n"
+     << "  h(2) = " << Val + 100 << "\n";
+  for (int L = 0; L < Leaves; ++L) {
+    std::string Leaf = consumer(G, UsesEach);
+    switch (L % 4) {
+    case 0:
+      OS << "  call " << Leaf << "(h(1))\n";
+      break;
+    case 1:
+      OS << "  call " << Leaf << "(h(2))\n";
+      break;
+    case 2:
+      OS << "  call " << Leaf << "(x)\n";
+      break;
+    case 3:
+      OS << "  call " << Leaf << "(" << Val + L << ")\n";
+      break;
+    }
+  }
+  OS << "end\n";
+  G.addProc(OS.str());
+  G.addMainStmt("call " + Hub + "(" + std::to_string(Val) + ")");
+}
+
+} // namespace
+
+// copychains: k-deep scalar copy relays through array cells. Two relay
+// chains (depths 6 and 4), two const-cell handoffs, plus classic
+// baselines so the non-copy columns stay non-zero.
+WorkloadProgram workloads::makeCopyChains() {
+  ProgramGen G("copychains");
+  G.setMinProcLines(8);
+  G.localConstInMain(31, 3);
+  G.litDirect(12, 4);
+  cellRelayChain(G, 42, 6, 8);
+  cellRelayChain(G, 97, 4, 5);
+  constCellHandoff(G, 9, 5);
+  constCellHandoff(G, 21, 3);
+  G.polyShapedArg();
+  G.fillerProc(40);
+  G.fillerInMain(12);
+  WorkloadProgram P;
+  P.Name = "copychains";
+  P.Source = G.render();
+  P.Paper = noPaperRow();
+  P.PaperTable1 = {-1, -1, -1, -1};
+  return P;
+}
+
+// deepdiameter: call-graph diameter >= 14 with the constant injected at
+// the root of a mixed direct/cell chain; a filler chain adds more
+// constant-free depth and a classic pass chain keeps the pass-through
+// column honest.
+WorkloadProgram workloads::makeDeepDiameter() {
+  ProgramGen G("deepdiameter");
+  G.setMinProcLines(6);
+  G.localConstInMain(5, 2);
+  G.passChain(64, 4, 3);
+  mixedDepthChain(G, 123, 14, 10);
+  constCellHandoff(G, 55, 4);
+  G.fillerChain(12, 4);
+  G.fillerProc(30);
+  WorkloadProgram P;
+  P.Name = "deepdiameter";
+  P.Source = G.render();
+  P.Paper = noPaperRow();
+  P.PaperTable1 = {-1, -1, -1, -1};
+  return P;
+}
+
+// widefanout: one hub calling 24 leaves with a mix of constant and copy
+// actuals (the rotation in fanoutHub), plus a global-across-call group
+// and filler bulk.
+WorkloadProgram workloads::makeWideFanout() {
+  ProgramGen G("widefanout");
+  G.setMinProcLines(6);
+  G.localConstInMain(3, 2);
+  fanoutHub(G, 11, 24, 3);
+  G.globalAcrossCall(17, 4);
+  G.polyShapedArg();
+  G.fillerProc(36);
+  G.fillerInMain(10);
+  WorkloadProgram P;
+  P.Name = "widefanout";
+  P.Source = G.render();
+  P.Paper = noPaperRow();
+  P.PaperTable1 = {-1, -1, -1, -1};
+  return P;
+}

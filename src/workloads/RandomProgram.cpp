@@ -225,6 +225,20 @@ private:
       else
         Args.push_back(expr(1));
     }
+    if (Spec.CopyRelayStores && !Arrays.empty() && NumArgs >= 1 &&
+        R.chance(35)) {
+      // A copy relay: stash a value into a constant-index cell just
+      // before the call and pass the cell. Classically the actual is an
+      // opaque load; the copy lattice resolves it to the stashed value.
+      const auto &[Name, Size] = Arrays[R.below(int(Arrays.size()))];
+      std::string Cell = Name + "(" + std::to_string(1 + R.below(Size)) +
+                         ")";
+      std::string Src =
+          R.chance(50) ? std::to_string(R.below(50)) : var();
+      indent(OS, Level);
+      OS << Cell << " = " << Src << "\n";
+      Args[R.below(NumArgs)] = Cell;
+    }
     if (Spec.AllowAliasingCalls && NumArgs >= 1) {
       int Shape = R.below(100);
       if (Shape < 14 && NumArgs >= 2) {

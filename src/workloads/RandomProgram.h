@@ -47,6 +47,12 @@ struct RandomSpec {
   /// to two reference formals; a global passed bare into a formal) that
   /// exercise the RefAlias unstable-symbol machinery.
   bool AllowAliasingCalls = true;
+  /// Deliberately emit copy-relay shapes: a literal or scalar stashed
+  /// into a constant-index array cell immediately before a call that
+  /// passes the cell, so classically-opaque loads the copy lattice
+  /// resolves appear as call actuals. Off by default so every pre-copy
+  /// seed generates byte-identical text; check-copy sweeps turn it on.
+  bool CopyRelayStores = false;
 };
 
 /// Generates the program deterministically from \p Spec.

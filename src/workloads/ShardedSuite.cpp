@@ -95,6 +95,8 @@ JsonValue configJson(const JumpFunctionOptions &O) {
     Cfg.set("fsa", true);
   if (O.OptimisticVn)
     Cfg.set("ogvn", true);
+  if (O.CopyPropagation)
+    Cfg.set("copy", true);
   return Cfg;
 }
 
@@ -109,7 +111,7 @@ bool parseConfigJson(const JsonValue &Cfg, JumpFunctionOptions &O,
   for (const auto &[K, V] : Cfg.members()) {
     (void)V;
     bool Known = false;
-    for (const char *Want : {"gsa", "jf", "mod", "rjf", "fsa", "ogvn"})
+    for (const char *Want : {"gsa", "jf", "mod", "rjf", "fsa", "ogvn", "copy"})
       Known = Known || K == Want;
     if (!Known) {
       Error = "shard job config has unknown field '" + K + "'";
@@ -140,7 +142,9 @@ bool parseConfigJson(const JsonValue &Cfg, JumpFunctionOptions &O,
   }
   // Optional precision flags (absent in pre-precision job files).
   const std::pair<const char *, bool *> OptFlags[] = {
-      {"fsa", &O.FlowSensitiveAlias}, {"ogvn", &O.OptimisticVn}};
+      {"fsa", &O.FlowSensitiveAlias},
+      {"ogvn", &O.OptimisticVn},
+      {"copy", &O.CopyPropagation}};
   for (auto [Key, Dst] : OptFlags) {
     const JsonValue *V = Cfg.find(Key);
     if (V && !V->isBool()) {

@@ -33,6 +33,27 @@ const std::vector<WorkloadProgram> &ipcp::benchmarkSuite() {
   return Suite;
 }
 
+const std::vector<WorkloadProgram> &ipcp::copyStressPrograms() {
+  static const std::vector<WorkloadProgram> Programs = [] {
+    std::vector<WorkloadProgram> S;
+    S.push_back(workloads::makeCopyChains());
+    S.push_back(workloads::makeDeepDiameter());
+    S.push_back(workloads::makeWideFanout());
+    return S;
+  }();
+  return Programs;
+}
+
+const std::vector<WorkloadProgram> &ipcp::extendedSuite() {
+  static const std::vector<WorkloadProgram> Suite = [] {
+    std::vector<WorkloadProgram> S = benchmarkSuite();
+    for (const WorkloadProgram &P : copyStressPrograms())
+      S.push_back(P);
+    return S;
+  }();
+  return Suite;
+}
+
 ProgramCharacteristics
 ipcp::measureCharacteristics(const std::string &Source) {
   ProgramCharacteristics C;

@@ -57,6 +57,18 @@ struct WorkloadProgram {
 /// paper's tables.
 const std::vector<WorkloadProgram> &benchmarkSuite();
 
+/// The three copy-stressing families (copychains, deepdiameter,
+/// widefanout): scalar values relayed through array cells that the
+/// classic framework declares opaque, so the copy lattice (--copy) has
+/// something to recover. No paper rows — every Paper number is -1.
+const std::vector<WorkloadProgram> &copyStressPrograms();
+
+/// The 12 paper programs followed by the 3 copy-stress families: the
+/// 15-program grid the golden tables, the driver's --suite lookup, and
+/// the full-grid benches run. benchmarkSuite() stays the paper-faithful
+/// 12 for the paper-vs-measured outputs.
+const std::vector<WorkloadProgram> &extendedSuite();
+
 /// Measured characteristics of a MiniFort source (Table 1 analogue).
 /// Lines exclude comments and blanks, like the paper's counts.
 struct ProgramCharacteristics {

@@ -48,6 +48,15 @@ std::vector<SuiteConfig> ipcp::table2Configs() {
   SuiteConfig Ogvn = makeConfig("poly-ogvn");
   Ogvn.Opts.OptimisticVn = true;
   Configs.push_back(std::move(Ogvn));
+  // The copy tier: pass-through and polynomial with the copy lattice
+  // (--copy). Each refines its base column — loads the lattice resolves
+  // stop reading as unknown — never below it (check-copy pins this).
+  SuiteConfig Copy = makeConfig("copy", JumpFunctionKind::PassThrough);
+  Copy.Opts.CopyPropagation = true;
+  Configs.push_back(std::move(Copy));
+  SuiteConfig PolyCopy = makeConfig("poly-copy");
+  PolyCopy.Opts.CopyPropagation = true;
+  Configs.push_back(std::move(PolyCopy));
   return Configs;
 }
 
@@ -182,6 +191,7 @@ SuiteRunResult ipcp::runSuite(const std::vector<WorkloadProgram> &Programs,
     Cell.SolverMemoMisses = R.SolverMemoMisses;
     Cell.AliasPointsRefined = R.AliasPointsRefined;
     Cell.GvnPhiMerges = R.GvnPhiMerges;
+    Cell.CopyLoadsResolved = R.CopyLoadsResolved;
   });
   Result.WallMs =
       std::chrono::duration<double, std::milli>(Clock::now() - BatchStart)

@@ -36,14 +36,16 @@ struct SuiteConfig {
 /// The Table 2 columns: {poly, pass, intra, literal} with return jump
 /// functions, {poly, pass} without, plus the precision tier —
 /// {poly-fsa} (flow-sensitive aliasing) and {poly-ogvn} (optimistic
-/// value numbering) — with UseMod on throughout.
+/// value numbering) — and the copy tier — {copy} (pass-through + the
+/// copy lattice) and {poly-copy} (polynomial + the copy lattice) — with
+/// UseMod on throughout.
 std::vector<SuiteConfig> table2Configs();
 
 /// The Table 3 columns beyond Table 2's default: polynomial without
 /// MOD, complete propagation, and intraprocedural-only.
 std::vector<SuiteConfig> table3Configs();
 
-/// Table 2 and Table 3 columns concatenated (eleven distinct configs).
+/// Table 2 and Table 3 columns concatenated (thirteen distinct configs).
 std::vector<SuiteConfig> allConfigs();
 
 /// Looks up a config set by name: "all", "table2", or "table3".
@@ -72,6 +74,9 @@ struct SuiteCell {
   /// optimistic numbering won (see PipelineResult).
   size_t AliasPointsRefined = 0;
   size_t GvnPhiMerges = 0;
+  /// Copy-tier delta (zero without CopyPropagation): array loads the
+  /// copy lattice resolved program-wide (see PipelineResult).
+  size_t CopyLoadsResolved = 0;
 };
 
 /// The aggregated batch.

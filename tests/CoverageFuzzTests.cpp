@@ -260,11 +260,11 @@ TEST(FuzzCorpus, MalformedHeadersAreDiagnosedAndSkipped) {
 }
 
 TEST(FuzzCampaign, BoundedBudgetAllConfigsClean) {
-  // The full evaluation — all eight configurations, cross-config
+  // The full evaluation — all ten configurations, cross-config
   // checks, transforms, and the execution oracle — over a small budget
   // must find nothing: the analyzer has no known bugs, so any failure
   // here is a regression (and comes with a reduced reproducer).
-  ASSERT_EQ(fuzzConfigs().size(), 8u);
+  ASSERT_EQ(fuzzConfigs().size(), 10u);
   FuzzOptions Opts;
   Opts.Seed = 23;
   Opts.Runs = 50; // Raised from 30 with the VM oracle hot path.

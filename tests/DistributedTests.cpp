@@ -8,7 +8,7 @@
 /// The 'check-dist' label: multi-process sharded suite runs and the
 /// ipcp-serve shard router must be invisible to results.
 ///
-///   * The full (12 programs x 11 configs) grid and 30 random-seed
+///   * The full (12 programs x 13 configs) grid and 30 random-seed
 ///     programs come back byte-identical (deterministic fields) from
 ///     runShardedSuite vs a single-process runSuite.
 ///   * A worker crash mid-partition is recovered by reassignment with

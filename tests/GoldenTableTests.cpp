@@ -2,8 +2,8 @@
 //
 // Part of the ipcp project (Grove & Torczon, PLDI 1993 reproduction).
 //
-// Golden snapshots of every Table 2 and Table 3 cell over the 12-program
-// suite. The paper-alignment tests (WorkloadTests) check the *ordering*
+// Golden snapshots of every Table 2 and Table 3 cell over the 15-program
+// extended suite (the 12 paper programs plus the copy-stress families). The paper-alignment tests (WorkloadTests) check the *ordering*
 // properties the paper reports; these pin the exact numbers, so any
 // analyzer change that moves a cell shows up as a readable table diff
 // instead of a distant property failure. Regenerate intentionally with:
@@ -61,14 +61,24 @@ PipelineOptions withOgvn() {
   return Opts;
 }
 
+/// The copy-tier variants: the copy lattice over the pass-through and
+/// polynomial base kinds (the suite runner's "copy" / "poly-copy").
+PipelineOptions withCopy(JumpFunctionKind Kind) {
+  PipelineOptions Opts;
+  Opts.Kind = Kind;
+  Opts.CopyPropagation = true;
+  return Opts;
+}
+
 /// Renders the Table 2 columns: the four jump-function kinds with
-/// return jump functions, polynomial and pass-through without, and the
-/// precision tier (flow-sensitive aliasing, optimistic numbering).
+/// return jump functions, polynomial and pass-through without, the
+/// precision tier (flow-sensitive aliasing, optimistic numbering), and
+/// the copy tier (pass-through and polynomial with the copy lattice).
 std::string renderTable2() {
   std::ostringstream OS;
   OS << "# program poly pass intra literal poly-norjf pass-norjf"
-        " poly-fsa poly-ogvn\n";
-  for (const WorkloadProgram &P : benchmarkSuite()) {
+        " poly-fsa poly-ogvn copy poly-copy\n";
+  for (const WorkloadProgram &P : extendedSuite()) {
     OS << P.Name;
     OS << ' ' << substituted(P.Source, withKind(JumpFunctionKind::Polynomial));
     OS << ' ' << substituted(P.Source, withKind(JumpFunctionKind::PassThrough));
@@ -82,6 +92,10 @@ std::string renderTable2() {
                       withKind(JumpFunctionKind::PassThrough, false));
     OS << ' ' << substituted(P.Source, withFsa());
     OS << ' ' << substituted(P.Source, withOgvn());
+    OS << ' '
+       << substituted(P.Source, withCopy(JumpFunctionKind::PassThrough));
+    OS << ' '
+       << substituted(P.Source, withCopy(JumpFunctionKind::Polynomial));
     OS << '\n';
   }
   return OS.str();
@@ -93,7 +107,7 @@ std::string renderTable2() {
 std::string renderTable3() {
   std::ostringstream OS;
   OS << "# program nomod withmod complete dce-rounds intra-only\n";
-  for (const WorkloadProgram &P : benchmarkSuite()) {
+  for (const WorkloadProgram &P : extendedSuite()) {
     PipelineOptions NoMod;
     NoMod.UseMod = false;
     PipelineOptions Complete;
@@ -166,7 +180,7 @@ TEST(GoldenTable, PrecisionColumnsNeverRegressAndSomewhereGain) {
   // DCE-style count anomalies), and across the suite each must win
   // strictly somewhere — otherwise the new columns are dead weight.
   unsigned FsaGain = 0, OgvnGain = 0;
-  for (const WorkloadProgram &P : benchmarkSuite()) {
+  for (const WorkloadProgram &P : extendedSuite()) {
     unsigned Poly =
         substituted(P.Source, withKind(JumpFunctionKind::Polynomial));
     unsigned Fsa = substituted(P.Source, withFsa());
@@ -180,4 +194,39 @@ TEST(GoldenTable, PrecisionColumnsNeverRegressAndSomewhereGain) {
   }
   EXPECT_GT(FsaGain, 0u);
   EXPECT_GT(OgvnGain, 0u);
+}
+
+TEST(GoldenTable, CopyColumnsNeverRegressAndEveryFamilyGains) {
+  // Per cell, each copy column must count at least its base column
+  // (loads the lattice resolves only add constants on these programs),
+  // and the gain must land where it is designed to: every copy-stress
+  // family wins strictly under both base kinds. The classic 12 programs
+  // keep their pre-copy cells byte-identical with the flag off — that is
+  // exactly what the table2 snapshot rows pin.
+  unsigned FamilyGainPass = 0, FamilyGainPoly = 0;
+  for (const WorkloadProgram &P : extendedSuite()) {
+    unsigned Pass =
+        substituted(P.Source, withKind(JumpFunctionKind::PassThrough));
+    unsigned Poly =
+        substituted(P.Source, withKind(JumpFunctionKind::Polynomial));
+    unsigned Copy =
+        substituted(P.Source, withCopy(JumpFunctionKind::PassThrough));
+    unsigned PolyCopy =
+        substituted(P.Source, withCopy(JumpFunctionKind::Polynomial));
+    EXPECT_GE(Copy, Pass) << P.Name << ": the copy lattice lost "
+                          << "constants the pass-through baseline had";
+    EXPECT_GE(PolyCopy, Poly) << P.Name << ": the copy lattice lost "
+                              << "constants the polynomial baseline had";
+    bool IsFamily = false;
+    for (const WorkloadProgram &F : copyStressPrograms())
+      IsFamily |= F.Name == P.Name;
+    if (IsFamily) {
+      FamilyGainPass += Copy - std::min(Copy, Pass);
+      FamilyGainPoly += PolyCopy - std::min(PolyCopy, Poly);
+      EXPECT_GT(Copy, Pass) << P.Name;
+      EXPECT_GT(PolyCopy, Poly) << P.Name;
+    }
+  }
+  EXPECT_GT(FamilyGainPass, 0u);
+  EXPECT_GT(FamilyGainPoly, 0u);
 }

@@ -236,11 +236,11 @@ TEST(SuiteRunner, DeterministicAcrossJobCounts) {
 }
 
 TEST(SuiteRunner, ConfigSetsAreWellFormed) {
-  EXPECT_EQ(table2Configs().size(), 8u);
+  EXPECT_EQ(table2Configs().size(), 10u);
   EXPECT_EQ(table3Configs().size(), 3u);
-  EXPECT_EQ(allConfigs().size(), 11u);
-  EXPECT_EQ(configsByName("all").size(), 11u);
-  EXPECT_EQ(configsByName("table2").size(), 8u);
+  EXPECT_EQ(allConfigs().size(), 13u);
+  EXPECT_EQ(configsByName("all").size(), 13u);
+  EXPECT_EQ(configsByName("table2").size(), 10u);
   EXPECT_EQ(configsByName("table3").size(), 3u);
   EXPECT_TRUE(configsByName("nonsense").empty());
   // Config names are unique (they become table columns).

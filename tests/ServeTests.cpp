@@ -216,6 +216,53 @@ TEST(ServeProtocol, PrecisionFlagsSkewAcrossVersions) {
   EXPECT_NE(Err.find("config.fsa must be a boolean"), std::string::npos);
 }
 
+TEST(ServeProtocol, CopyFlagSkewAcrossVersions) {
+  // Pre-copy request lines carry no copy key: a default-config request
+  // serializes without it, such a line parses to the flag's default,
+  // and re-serialization reproduces it byte-identically — old and new
+  // peers exchange the same bytes.
+  ServeRequest Req;
+  Req.Id = "v1";
+  Req.Method = ServeMethod::AnalyzeSource;
+  Req.Source = "proc main()\nend\n";
+  std::string Line = serializeServeRequest(Req);
+  EXPECT_EQ(Line.find("copy"), std::string::npos);
+
+  ServeRequest Back;
+  std::string Err;
+  ASSERT_TRUE(parseServeRequest(Line, Back, Err)) << Err;
+  EXPECT_FALSE(Back.Config.CopyPropagation);
+  EXPECT_EQ(serializeServeRequest(Back), Line);
+
+  // The spelled-out flag parses, round-trips, and splits the cache key
+  // from the classic configuration.
+  std::string DefaultKey = configKey(Req.Config, Req.Report);
+  Req.Config.CopyPropagation = true;
+  std::string CopyLine = serializeServeRequest(Req);
+  EXPECT_NE(CopyLine.find("\"copy\":true"), std::string::npos);
+  ASSERT_TRUE(parseServeRequest(CopyLine, Back, Err)) << Err;
+  EXPECT_TRUE(Back.Config.CopyPropagation);
+  EXPECT_EQ(serializeServeRequest(Back), CopyLine);
+  EXPECT_NE(configKey(Back.Config, Back.Report), DefaultKey);
+
+  // A spelled-out false is tolerated and canonicalizes back to the
+  // elided v1 bytes.
+  ASSERT_TRUE(parseServeRequest(
+      "{\"id\":\"v1\",\"method\":\"analyze-source\",\"params\":{"
+      "\"source\":\"proc main()\\nend\\n\",\"config\":{\"copy\":false}}}",
+      Back, Err))
+      << Err;
+  EXPECT_FALSE(Back.Config.CopyPropagation);
+  EXPECT_EQ(serializeServeRequest(Back), Line);
+
+  // The optional key stays strictly typed.
+  EXPECT_FALSE(parseServeRequest(
+      "{\"id\":\"x\",\"method\":\"analyze-source\",\"params\":{"
+      "\"source\":\"s\",\"config\":{\"copy\":\"yes\"}}}",
+      Back, Err));
+  EXPECT_NE(Err.find("config.copy must be a boolean"), std::string::npos);
+}
+
 TEST(ServeProtocol, RejectsUnknownFields) {
   ServeRequest Req;
   std::string Err;

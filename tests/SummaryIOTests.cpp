@@ -52,8 +52,9 @@ struct SessionFixture {
 };
 
 /// The distinct jump-function configurations the nine suite columns
-/// exercise, plus the gated-SSA build (gamma fingerprints) and the
-/// precision tier (flow-sensitive aliasing, optimistic numbering).
+/// exercise, plus the gated-SSA build (gamma fingerprints), the
+/// precision tier (flow-sensitive aliasing, optimistic numbering), and
+/// the copy tier (the copy lattice's K-form fingerprints).
 std::vector<JumpFunctionOptions> allJfOptions() {
   std::vector<JumpFunctionOptions> Out;
   auto Add = [&](JumpFunctionKind K, bool Rjf, bool Mod, bool Gsa) {
@@ -78,6 +79,9 @@ std::vector<JumpFunctionOptions> allJfOptions() {
   JumpFunctionOptions Ogvn;
   Ogvn.OptimisticVn = true;
   Out.push_back(Ogvn);
+  JumpFunctionOptions Copy;
+  Copy.CopyPropagation = true;
+  Out.push_back(Copy);
   return Out;
 }
 
@@ -254,7 +258,9 @@ TEST(SummaryIO, ReconstitutedSolveMatchesDirectSolve) {
           M, F.Symbols, CG, F.Session->modRef(Opts.UseMod), Opts,
           &F.Session->refAlias(Opts.UseMod), nullptr, F.Session.get(),
           Opts.FlowSensitiveAlias ? &F.Session->flowAlias(Opts.UseMod)
-                                  : nullptr);
+                                  : nullptr,
+          Opts.CopyPropagation ? &F.Session->copyProp(Opts.UseMod)
+                               : nullptr);
       SolveResult Want = solveConstants(F.Symbols, CG, Direct);
 
       // Through the wire: summary -> bytes -> parse -> reconstitute ->
@@ -421,6 +427,78 @@ TEST(SummaryIO, PrecisionFlagsSkewAcrossVersions) {
   Error.clear();
   EXPECT_FALSE(
       parseSummary(Mutate("\"fsa\":true", "\"fsb\":true"), Out, Error));
+  EXPECT_NE(Error.find("unknown config field"), std::string::npos) << Error;
+}
+
+TEST(SummaryIO, CopyTokenSkewAcrossVersions) {
+  // A source whose copy-era jump functions carry the K-form: the buf(1)
+  // actual is a copy of the relay's formal.
+  const char *CopySource = R"(proc main()
+  call relay(7)
+end
+proc relay(x)
+  array buf(8)
+  buf(1) = x
+  call leaf(buf(1))
+end
+proc leaf(p)
+  print p * 2
+end
+)";
+  SessionFixture F(CopySource);
+  ProgramSummary Out;
+  std::string Error;
+
+  // A default-configuration summary carries no copy key and no K-form
+  // tokens — its bytes are exactly the pre-copy (v1) layout — and
+  // parsing those bytes yields the flag's default, so old writers and
+  // new readers (and vice versa) interoperate without a version bump.
+  std::string V1 = serializeSummary(F.summary(JumpFunctionOptions()));
+  EXPECT_EQ(V1.find("\"copy\""), std::string::npos);
+  ASSERT_TRUE(parseSummary(V1, Out, Error)) << Error;
+  EXPECT_FALSE(Out.Options.CopyPropagation);
+  EXPECT_EQ(serializeSummary(Out), V1);
+
+  // A writer that spells the default out is tolerated, and
+  // re-serialization canonicalizes back to the elided v1 bytes.
+  std::string Spelled = V1;
+  size_t Pos = Spelled.find("\"gsa\":false");
+  ASSERT_NE(Pos, std::string::npos);
+  Spelled.insert(Pos, "\"copy\":false,");
+  ASSERT_TRUE(parseSummary(Spelled, Out, Error)) << Error;
+  EXPECT_FALSE(Out.Options.CopyPropagation);
+  EXPECT_EQ(serializeSummary(Out), V1);
+
+  // Copy-era summaries spell the flag, carry the K-form fingerprint,
+  // and round-trip byte-identically (including the forward_copy stat
+  // the recompute-and-compare checksum re-derives on load).
+  JumpFunctionOptions CopyOpts;
+  CopyOpts.CopyPropagation = true;
+  std::string CopyBytes = serializeSummary(F.summary(CopyOpts));
+  EXPECT_NE(CopyBytes.find("\"copy\":true"), std::string::npos);
+  EXPECT_NE(CopyBytes.find('K'), std::string::npos);
+  EXPECT_NE(CopyBytes.find("forward_copy"), std::string::npos);
+  ASSERT_TRUE(parseSummary(CopyBytes, Out, Error)) << Error;
+  EXPECT_TRUE(Out.Options.CopyPropagation);
+  EXPECT_EQ(serializeSummary(Out), CopyBytes);
+
+  // The optional key loosens nothing else: ill-typed or misspelled copy
+  // fields still fail loudly.
+  auto Mutate = [&](const std::string &From, const std::string &To) {
+    std::string Doc = CopyBytes;
+    size_t At = Doc.find(From);
+    EXPECT_NE(At, std::string::npos) << From;
+    Doc.replace(At, From.size(), To);
+    return Doc;
+  };
+  Error.clear();
+  EXPECT_FALSE(
+      parseSummary(Mutate("\"copy\":true", "\"copy\":1"), Out, Error));
+  EXPECT_NE(Error.find("config.copy must be a boolean"), std::string::npos)
+      << Error;
+  Error.clear();
+  EXPECT_FALSE(
+      parseSummary(Mutate("\"copy\":true", "\"kopy\":true"), Out, Error));
   EXPECT_NE(Error.find("unknown config field"), std::string::npos) << Error;
 }
 

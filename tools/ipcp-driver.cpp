@@ -20,6 +20,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/CallGraph.h"
+#include "analysis/CopyProp.h"
 #include "exec/ExecEngine.h"
 #include "exec/Interpreter.h"
 #include "exec/Oracle.h"
@@ -61,6 +62,7 @@ static void printUsage() {
          "  --gsa          gated-SSA jump functions (no DCE iteration)\n"
          "  --fsa          flow-sensitive by-reference aliasing\n"
          "  --ogvn         optimistic (iterative) value numbering\n"
+         "  --copy         interprocedural copy propagation (copy lattice)\n"
          "  --intra-only   purely intraprocedural propagation\n"
          "  --round-robin  naive fixpoint strategy\n"
          "  --binding-graph  binding multi-graph fixpoint strategy\n"
@@ -194,6 +196,8 @@ int main(int argc, char **argv) {
       Opts.FlowSensitiveAlias = true;
     } else if (Arg == "--ogvn") {
       Opts.OptimisticVn = true;
+    } else if (Arg == "--copy") {
+      Opts.CopyPropagation = true;
     } else if (Arg == "--intra-only") {
       Opts.IntraproceduralOnly = true;
     } else if (Arg == "--round-robin") {
@@ -322,7 +326,7 @@ int main(int argc, char **argv) {
       ShardedSuiteOptions SOpts;
       SOpts.NumWorkers = Shards;
       SOpts.ConfigSet = ConfigSet;
-      ShardedSuiteResult Batch = runShardedSuite(benchmarkSuite(), SOpts);
+      ShardedSuiteResult Batch = runShardedSuite(extendedSuite(), SOpts);
       if (!Batch.Ok) {
         std::cerr << "error: " << Batch.Error << '\n';
         return 1;
@@ -357,7 +361,7 @@ int main(int argc, char **argv) {
       return AllOk ? 0 : 1;
     }
     SuiteRunResult Batch =
-        runSuite(benchmarkSuite(), Configs, Jobs, Opts.Threads, Sharing);
+        runSuite(extendedSuite(), Configs, Jobs, Opts.Threads, Sharing);
 
     TablePrinter Table;
     std::vector<std::string> Header = {"Program"};
@@ -453,7 +457,7 @@ int main(int argc, char **argv) {
 
   std::string Source;
   if (!SuiteName.empty()) {
-    for (const WorkloadProgram &P : benchmarkSuite())
+    for (const WorkloadProgram &P : extendedSuite())
       if (P.Name == SuiteName)
         Source = P.Source;
     if (Source.empty()) {
@@ -581,6 +585,7 @@ int main(int argc, char **argv) {
     JfOpts.UseGatedSsa = Opts.UseGatedSsa;
     JfOpts.FlowSensitiveAlias = Opts.FlowSensitiveAlias;
     JfOpts.OptimisticVn = Opts.OptimisticVn;
+    JfOpts.CopyPropagation = Opts.CopyPropagation;
     ProgramSummary S = buildSummary(Session, JfOpts, ProgramName,
                                     summarySourceHash(Source));
     std::ofstream OutFile(SummaryOut, std::ios::binary | std::ios::trunc);
@@ -696,10 +701,17 @@ int main(int argc, char **argv) {
       JfOpts.UseGatedSsa = Opts.UseGatedSsa;
       JfOpts.FlowSensitiveAlias = Opts.FlowSensitiveAlias;
       JfOpts.OptimisticVn = Opts.OptimisticVn;
-    JfOpts.FlowSensitiveAlias = Opts.FlowSensitiveAlias;
-    JfOpts.OptimisticVn = Opts.OptimisticVn;
+      JfOpts.CopyPropagation = Opts.CopyPropagation;
+      std::optional<CopyPropInfo> CopyFacts;
+      if (JfOpts.CopyPropagation) {
+        RefAliasInfo Aliases(M, Symbols, &MRI);
+        CopyFacts.emplace(M, Symbols, &MRI, Aliases);
+      }
       ProgramJumpFunctions Jfs =
-          buildJumpFunctions(M, Symbols, CG, &MRI, JfOpts);
+          buildJumpFunctions(M, Symbols, CG, &MRI, JfOpts,
+                             /*Aliases=*/nullptr, /*Pool=*/nullptr,
+                             /*Session=*/nullptr, /*FlowAliases=*/nullptr,
+                             CopyFacts ? &*CopyFacts : nullptr);
       for (ProcId P = 0; P != CG.numProcs(); ++P) {
         const auto &Sites = CG.callSitesIn(P);
         for (size_t I = 0; I != Sites.size(); ++I) {
@@ -782,6 +794,7 @@ int main(int argc, char **argv) {
     JfOpts.UseGatedSsa = Opts.UseGatedSsa;
     JfOpts.FlowSensitiveAlias = Opts.FlowSensitiveAlias;
     JfOpts.OptimisticVn = Opts.OptimisticVn;
+    JfOpts.CopyPropagation = Opts.CopyPropagation;
     if (!sameJumpFunctionOptions(S.Options, JfOpts)) {
       std::cerr << "error: '" << SummaryIn << "' was built under a "
                    "different jump-function configuration than the one "

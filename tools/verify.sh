@@ -19,6 +19,10 @@
 #     CONSTANTS inclusion of the classic analysis in the flow-sensitive
 #     aliasing and optimistic-numbering upgrades over the suite and a
 #     random sweep, oracle-validated recoveries, toggle-off identity),
+#   * the copy-lattice wall (`ctest -L check-copy`: CONSTANTS inclusion
+#     of the classic analysis in the copy tier over the extended suite
+#     and a 200-seed relay sweep, oracle-validated recoveries, strict
+#     per-family gains, toggle-off identity),
 #   * the distributed tier (`ctest -L check-dist`: sharded-vs-single
 #     byte-identity at the full grid and 30 random seeds, worker-crash
 #     reassignment, shard-file hardening, and the router wall —
@@ -44,7 +48,8 @@
 #   --quick   default preset only (skip the sanitizer rebuild and the
 #             coverage pass)
 #   --tsan    also build the 'tsan' preset and run the tier-1,
-#             check-serve, and check-vm suites plus the VM bench smoke
+#             check-copy, check-serve, and check-vm suites plus the VM
+#             bench smoke
 #             under ThreadSanitizer, with explicit passes over the
 #             session-shared solver-memo tests (the value-context memo
 #             is shared state reachable from pool workers) and the
@@ -83,7 +88,7 @@ for preset in "${PRESETS[@]}"; do
 
   echo "==== [$preset] tier-1 tests ===="
   ctest --test-dir "$builddir" \
-        -LE "check-oracle|check-bench|check-fuzz|check-serve|check-vm|check-dist|check-precision" \
+        -LE "check-oracle|check-bench|check-fuzz|check-serve|check-vm|check-dist|check-precision|check-copy" \
         --output-on-failure -j "$JOBS"
 
   echo "==== [$preset] oracle fuzz (check-oracle) ===="
@@ -104,6 +109,9 @@ for preset in "${PRESETS[@]}"; do
   echo "==== [$preset] precision wall (check-precision) ===="
   ctest --test-dir "$builddir" -L check-precision --output-on-failure -j "$JOBS"
 
+  echo "==== [$preset] copy-lattice wall (check-copy) ===="
+  ctest --test-dir "$builddir" -L check-copy --output-on-failure -j "$JOBS"
+
   echo "==== [$preset] bench smokes (check-bench) ===="
   ctest --test-dir "$builddir" -L check-bench --output-on-failure
 
@@ -122,8 +130,11 @@ if [[ "$RUN_TSAN" == "1" ]]; then
 
   echo "==== [tsan] tier-1 tests ===="
   ctest --test-dir build-tsan \
-        -LE "check-oracle|check-bench|check-fuzz|check-serve|check-vm|check-dist|check-precision" \
+        -LE "check-oracle|check-bench|check-fuzz|check-serve|check-vm|check-dist|check-precision|check-copy" \
         --output-on-failure -j "$JOBS"
+
+  echo "==== [tsan] copy-lattice wall (check-copy) ===="
+  ctest --test-dir build-tsan -L check-copy --output-on-failure -j "$JOBS"
 
   echo "==== [tsan] session-shared solver memo ===="
   ctest --test-dir build-tsan -R 'AnalysisSession\.' --no-tests=error \
